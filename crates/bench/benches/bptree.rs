@@ -1,0 +1,62 @@
+//! Ablation: B⁺-tree bulk load vs incremental insertion, and point-get /
+//! range-scan cost — the access paths behind the metadata database.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tklus_storage::{BPlusTree, BufferPool, MemPager};
+
+type Tree = BPlusTree<BufferPool<MemPager>, 8>;
+
+fn entries(n: u64) -> Vec<((u64, u64), [u8; 8])> {
+    (0..n).map(|k| ((k, 0), k.to_le_bytes())).collect()
+}
+
+fn pool(cache: usize) -> BufferPool<MemPager> {
+    BufferPool::new(MemPager::new(), cache)
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bptree_load");
+    group.sample_size(10);
+    for &n in &[10_000u64, 50_000] {
+        let data = entries(n);
+        group.bench_with_input(BenchmarkId::new("bulk", n), &data, |b, data| {
+            b.iter(|| Tree::bulk_load(pool(256), black_box(data)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &data, |b, data| {
+            b.iter(|| {
+                let mut t = Tree::new(pool(256));
+                for (k, v) in data {
+                    t.insert(*k, *v);
+                }
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_access(c: &mut Criterion) {
+    let data = entries(100_000);
+    let mut group = c.benchmark_group("bptree_access");
+    for &cache in &[0usize, 1024] {
+        let mut tree = Tree::bulk_load(pool(cache), &data);
+        group.bench_function(BenchmarkId::new("get", cache), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 9973) % 100_000;
+                black_box(tree.get((k, 0)))
+            })
+        });
+        group.bench_function(BenchmarkId::new("scan100", cache), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 9973) % 99_900;
+                black_box(tree.scan((k, 0), (k + 99, 0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load, bench_access);
+criterion_main!(benches);

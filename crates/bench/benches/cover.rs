@@ -1,0 +1,32 @@
+//! Ablation: circle-cover construction cost and quality at different
+//! geohash lengths — the trade-off behind Figure 7.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tklus_geo::{circle_cover, cover::circle_cover_with_stats, DistanceMetric, Point};
+
+fn bench_cover(c: &mut Criterion) {
+    let center = Point::new_unchecked(43.6839128037, -79.37356590);
+    let mut group = c.benchmark_group("circle_cover");
+    for &len in &[2usize, 3, 4, 5] {
+        for &radius in &[10.0f64, 50.0] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("len{len}"), format!("r{radius}")),
+                &(len, radius),
+                |b, &(len, radius)| {
+                    b.iter(|| circle_cover(black_box(&center), radius, len, DistanceMetric::Euclidean).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Print the cover-quality trade-off once (cells vs overcoverage).
+    println!("\ncover quality at r=10 km (cells / overcover ratio):");
+    for len in 1..=5usize {
+        let (_, stats) = circle_cover_with_stats(&center, 10.0, len, DistanceMetric::Euclidean).unwrap();
+        println!("  len {len}: {} cells, {:.2}x circle area", stats.cells, stats.overcover_ratio());
+    }
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table IV — geohash encoding length example.
+//!
+//! Reproduces the paper's worked example: the coordinate
+//! `(-23.994140625, -46.23046875)` encoded at lengths 1 through 4.
+
+use tklus_bench::csv_row;
+use tklus_geo::{encode, Cell, Point};
+
+fn main() {
+    println!("== Table IV: geohash encoding length example ==");
+    let point = Point::new_unchecked(-23.994140625, -46.23046875);
+    println!("coordinate: {point}");
+    println!("{:<8} {:<10} {:>16} {:>16}", "length", "geohash", "cell width km", "cell height km");
+    for len in 1..=4usize {
+        let gh = encode(&point, len).expect("valid length");
+        let cell = Cell::from_geohash(&gh);
+        let west = Point::new_unchecked(cell.center().lat(), cell.lon_lo());
+        let east = Point::new_unchecked(cell.center().lat(), cell.lon_hi().min(180.0));
+        let south = Point::new_unchecked(cell.lat_lo(), cell.center().lon());
+        let north = Point::new_unchecked(cell.lat_hi().min(90.0), cell.center().lon());
+        let width = west.euclidean_km(&east);
+        let height = south.euclidean_km(&north);
+        println!("{:<8} {:<10} {:>16.1} {:>16.1}", len, gh.to_string(), width, height);
+        csv_row(&[len.to_string(), gh.to_string(), format!("{width:.1}"), format!("{height:.1}")]);
+    }
+    println!("\npaper Table IV: 6, 6g, 6gx, 6gxp");
+}

@@ -1,0 +1,138 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--name value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// A flag parsing/validation failure, printed as the CLI error message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (already stripped of the program name and
+    /// subcommand).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
+                if out.flags.insert(name.to_string(), value).is_some() {
+                    return Err(ArgError(format!("flag --{name} given twice")));
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required flag, parsed to `T`.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let raw = self.flags.get(name).ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
+        raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
+    }
+
+    /// An optional flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// An optional flag as `Option<T>`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => {
+                raw.parse().map(Some).map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
+            }
+        }
+    }
+
+    /// Raw string flag.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Errors if any flag outside `allowed` was supplied, or any stray
+    /// positional argument is present (typo guard).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{name}; expected one of: {}",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(" ")
+                )));
+            }
+        }
+        if let Some(stray) = self.positional().first() {
+            return Err(ArgError(format!("unexpected argument {stray:?}")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = parse(&["--posts", "100", "extra", "--seed", "7"]).unwrap();
+        assert_eq!(a.require::<usize>("posts").unwrap(), 100);
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.positional(), &["extra".to_string()]);
+    }
+
+    #[test]
+    fn defaults_and_options() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.get_or::<usize>("k", 5).unwrap(), 5);
+        assert_eq!(a.get::<f64>("radius").unwrap(), None);
+        assert!(a.require::<usize>("posts").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&["--posts"]).is_err());
+        assert!(parse(&["--posts", "1", "--posts", "2"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parses_and_unknown_flags() {
+        let a = parse(&["--posts", "abc"]).unwrap();
+        assert!(a.require::<usize>("posts").is_err());
+        let a = parse(&["--tpyo", "1"]).unwrap();
+        assert!(a.check_known(&["posts"]).is_err());
+        assert!(a.check_known(&["tpyo"]).is_ok());
+        // Stray positionals are rejected by check_known.
+        let a = parse(&["--posts", "1", "oops"]).unwrap();
+        assert!(a.check_known(&["posts"]).is_err());
+    }
+}

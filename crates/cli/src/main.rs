@@ -1,0 +1,227 @@
+//! `tklus` — command-line interface to the TkLUS reproduction.
+//!
+//! ```text
+//! tklus generate    --posts 20000 --seed 123 --out corpus.tsv
+//! tklus build-index --corpus corpus.tsv --out index_dir/
+//! tklus stats       [--corpus corpus.tsv | --posts 20000 --seed 123]
+//! tklus query       --lat 43.6839 --lon -79.3736 --radius 10 \
+//!                   --keywords hotel,spa --k 5 --ranking max --semantics or \
+//!                   [--corpus corpus.tsv] [--index index_dir/] \
+//!                   [--since T --until T] [--now T --half-life H]
+//! ```
+//!
+//! Corpora travel between invocations as TSV files (`tklus generate --out`)
+//! or are regenerated deterministically from `--posts`/`--seed`; indexes
+//! can be built once (`build-index`) and reloaded for querying
+//! (`query --index`).
+
+mod args;
+
+use args::{ArgError, Args};
+use std::path::PathBuf;
+use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_gen::{generate_corpus, load_tsv, save_tsv, GenConfig};
+use tklus_geo::Point;
+use tklus_model::{Corpus, Semantics, TklusQuery};
+
+const USAGE: &str = "usage:
+  tklus generate    --posts N [--seed S] --out FILE.tsv
+  tklus ingest      --json FILE.jsonl --out FILE.tsv
+  tklus build-index [--corpus FILE.tsv | --posts N --seed S]
+                    --out DIR [--geohash-len 4] [--nodes 3]
+  tklus stats       [--corpus FILE.tsv] [--posts N] [--seed S]
+  tklus query       --lat L --lon L --radius KM --keywords a,b[,c]
+                    [--k K] [--ranking sum|max|max-global] [--semantics and|or]
+                    [--corpus FILE.tsv] [--posts N] [--seed S] [--index DIR]
+                    [--since T --until T] [--now T --half-life H]";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "ingest" => cmd_ingest(rest),
+        "build-index" => cmd_build_index(rest),
+        "stats" => cmd_stats(rest),
+        "query" => cmd_query(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command {other:?}\n{USAGE}"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Loads `--corpus FILE` if given, else generates from `--posts`/`--seed`.
+fn corpus_from(args: &Args) -> Result<Corpus, ArgError> {
+    if let Some(path) = args.get_str("corpus") {
+        return load_tsv(&PathBuf::from(path)).map_err(|e| ArgError(e.to_string()));
+    }
+    let posts: usize = args.get_or("posts", 20_000)?;
+    let seed: u64 = args.get_or("seed", 0x7B1D5)?;
+    Ok(generate_corpus(&GenConfig {
+        original_posts: posts,
+        users: (posts / 3).max(50),
+        seed,
+        ..GenConfig::default()
+    }))
+}
+
+fn cmd_generate(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw)?;
+    args.check_known(&["posts", "seed", "out"])?;
+    let out: String = args.require("out")?;
+    let corpus = corpus_from(&args)?;
+    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| ArgError(e.to_string()))?;
+    println!("wrote {} posts by {} users to {out}", corpus.len(), corpus.user_count());
+    Ok(())
+}
+
+fn cmd_ingest(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw)?;
+    args.check_known(&["json", "out"])?;
+    let json: String = args.require("json")?;
+    let out: String = args.require("out")?;
+    let file = std::fs::File::open(&json).map_err(|e| ArgError(format!("{json}: {e}")))?;
+    let (corpus, report) = tklus_gen::etl_json(file).map_err(|e| ArgError(e.to_string()))?;
+    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "etl: {} lines -> {} loaded ({} no location, {} bad location, {} malformed, {} duplicate) -> {out}",
+        report.lines,
+        report.loaded,
+        report.dropped_no_location,
+        report.dropped_bad_location,
+        report.dropped_malformed,
+        report.dropped_duplicate
+    );
+    Ok(())
+}
+
+fn cmd_build_index(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw)?;
+    args.check_known(&["corpus", "posts", "seed", "out", "geohash-len", "nodes"])?;
+    let out: String = args.require("out")?;
+    let corpus = corpus_from(&args)?;
+    let config = tklus_index::IndexBuildConfig {
+        geohash_len: args.get_or("geohash-len", 4)?,
+        nodes: args.get_or("nodes", 3)?,
+        ..tklus_index::IndexBuildConfig::default()
+    };
+    let (index, report) = tklus_index::build_index(corpus.posts(), &config);
+    tklus_index::save_dir(&index, &PathBuf::from(&out)).map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "built index over {} posts in {:?}: {} keys, {} postings, {} bytes -> {out}",
+        report.posts, report.total_time, report.keys, report.postings, report.index_bytes
+    );
+    Ok(())
+}
+
+fn cmd_stats(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw)?;
+    args.check_known(&["corpus", "posts", "seed"])?;
+    let corpus = corpus_from(&args)?;
+    let (engine, report) = TklusEngine::build(&corpus, &EngineConfig::default());
+    println!("corpus: {} posts, {} users", corpus.len(), corpus.user_count());
+    let replies = corpus.posts().iter().filter(|p| p.is_reply()).count();
+    println!("  replies/forwards: {replies}");
+    println!("index: built in {:?}", report.total_time);
+    println!("  <geohash, term> keys: {}", report.keys);
+    println!("  postings:             {}", report.postings);
+    println!("  inverted bytes (DFS): {}", report.index_bytes);
+    println!("  forward bytes (RAM):  {}", engine.index().forward().size_bytes());
+    println!("  distinct terms:       {}", report.distinct_terms);
+    println!("top-10 keywords:");
+    for (rank, (term, freq)) in engine.index().vocab().top_terms(10).into_iter().enumerate() {
+        println!("  {:>2}. {:<16} {freq}", rank + 1, engine.index().vocab().term(term).unwrap_or("?"));
+    }
+    Ok(())
+}
+
+fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw)?;
+    args.check_known(&[
+        "lat", "lon", "radius", "keywords", "k", "ranking", "semantics", "corpus", "posts", "seed", "index",
+        "since", "until", "now", "half-life",
+    ])?;
+    let lat: f64 = args.require("lat")?;
+    let lon: f64 = args.require("lon")?;
+    let location = Point::new(lat, lon).map_err(|e| ArgError(e.to_string()))?;
+    let radius: f64 = args.require("radius")?;
+    let keywords: Vec<String> = args
+        .require::<String>("keywords")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let k: usize = args.get_or("k", 5)?;
+    let semantics = match args.get_str("semantics").unwrap_or("or") {
+        "and" | "AND" => Semantics::And,
+        "or" | "OR" => Semantics::Or,
+        other => return Err(ArgError(format!("--semantics must be and|or, got {other:?}"))),
+    };
+    let ranking = match args.get_str("ranking").unwrap_or("max") {
+        "sum" => Ranking::Sum,
+        "max" => Ranking::Max(BoundsMode::HotKeywords),
+        "max-global" => Ranking::Max(BoundsMode::Global),
+        other => return Err(ArgError(format!("--ranking must be sum|max|max-global, got {other:?}"))),
+    };
+
+    let mut query =
+        TklusQuery::new(location, radius, keywords, k, semantics).map_err(|e| ArgError(e.to_string()))?;
+    match (args.get::<u64>("since")?, args.get::<u64>("until")?) {
+        (None, None) => {}
+        (since, until) => {
+            query = query
+                .with_time_range(since.unwrap_or(0), until.unwrap_or(u64::MAX))
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+    }
+    if let Some(now) = args.get::<u64>("now")? {
+        let half_life: u64 = args.require("half-life")?;
+        query = query.with_recency(now, half_life).map_err(|e| ArgError(e.to_string()))?;
+    }
+
+    let corpus = corpus_from(&args)?;
+    let engine_config = EngineConfig { hot_keywords: 200, ..EngineConfig::default() };
+    let mut engine = match args.get_str("index") {
+        Some(dir) => {
+            eprintln!("loading index from {dir} ...");
+            let index = tklus_index::load_dir(&PathBuf::from(dir)).map_err(|e| ArgError(e.to_string()))?;
+            TklusEngine::from_index(index, &corpus, &engine_config)
+        }
+        None => {
+            eprintln!("building engine over {} posts ...", corpus.len());
+            TklusEngine::build(&corpus, &engine_config).0
+        }
+    };
+    let (top, stats) = engine.query(&query, ranking);
+
+    println!(
+        "top-{k} local users for {:?} within {radius} km of ({lat}, {lon}) [{}]:",
+        query.keywords, query.semantics
+    );
+    if top.is_empty() {
+        println!("  (no qualifying users)");
+    }
+    for (rank, r) in top.iter().enumerate() {
+        println!("  #{:<3} {:<12} score {:.4}", rank + 1, r.user.to_string(), r.score);
+    }
+    println!(
+        "stats: {} candidates, {} in radius, {} threads built, {} pruned, {} metadata page reads, {:.2} ms",
+        stats.candidates,
+        stats.in_radius,
+        stats.threads_built,
+        stats.threads_pruned,
+        stats.metadata_page_reads,
+        stats.elapsed.as_secs_f64() * 1e3
+    );
+    Ok(())
+}

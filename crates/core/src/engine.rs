@@ -1,0 +1,252 @@
+//! The end-to-end TkLUS engine: Figure 3's system in one object.
+//!
+//! Building the engine runs the full offline pipeline — the MapReduce
+//! index build (Algorithms 2/3), the metadata database load, and the
+//! hot-keyword bound precomputation (Section V-B) — after which
+//! [`TklusEngine::query`] answers TkLUS queries with either ranking
+//! algorithm.
+
+use crate::bounds::{BoundsMode, BoundsTable};
+use crate::metadata::MetadataDb;
+use crate::query::{max::query_max, sum::query_sum, QueryStats, RankedUser};
+use tklus_graph::SocialNetwork;
+use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
+use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery};
+use tklus_text::{TermId, TextPipeline};
+
+/// How users are ranked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ranking {
+    /// Sum-score ranking (Definition 7, Algorithm 4).
+    Sum,
+    /// Maximum-score ranking (Definition 8, Algorithm 5) with the given
+    /// popularity-bound mode.
+    Max(BoundsMode),
+}
+
+/// Engine build configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Hybrid index build parameters.
+    pub index: IndexBuildConfig,
+    /// Scoring parameters (α, ε, N, thread depth, metric).
+    pub scoring: ScoringConfig,
+    /// Metadata buffer-pool pages (0 = caches off, the paper's setting).
+    pub cache_pages: usize,
+    /// Number of hot keywords to precompute bounds for (the paper uses the
+    /// top-10 of Table II).
+    pub hot_keywords: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            index: IndexBuildConfig::default(),
+            scoring: ScoringConfig::default(),
+            cache_pages: 0,
+            hot_keywords: 10,
+        }
+    }
+}
+
+/// The assembled system.
+///
+/// ```
+/// use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+/// use tklus_geo::Point;
+/// use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
+///
+/// let here = Point::new_unchecked(43.7, -79.4);
+/// let corpus = Corpus::new(vec![
+///     Post::original(TweetId(1), UserId(9), here, "I'm at the Clarion Hotel"),
+/// ]).unwrap();
+/// let (mut engine, _report) = TklusEngine::build(&corpus, &EngineConfig::default());
+///
+/// let q = TklusQuery::new(here, 10.0, vec!["hotel".into()], 5, Semantics::Or).unwrap();
+/// let (top, _stats) = engine.query(&q, Ranking::Max(BoundsMode::HotKeywords));
+/// assert_eq!(top[0].user, UserId(9));
+/// ```
+pub struct TklusEngine {
+    index: HybridIndex,
+    db: MetadataDb,
+    bounds: BoundsTable,
+    pipeline: TextPipeline,
+    scoring: ScoringConfig,
+}
+
+impl TklusEngine {
+    /// Builds the engine from a corpus; returns it with the index build
+    /// report.
+    pub fn build(corpus: &Corpus, config: &EngineConfig) -> (Self, IndexBuildReport) {
+        config.scoring.validate().expect("valid scoring config");
+        let (index, report) = build_index(corpus.posts(), &config.index);
+        let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
+        let network = SocialNetwork::from_corpus(corpus);
+        let bounds = BoundsTable::precompute(corpus, &network, index.vocab(), config.hot_keywords, &config.scoring);
+        (
+            Self { index, db, bounds, pipeline: TextPipeline::new(), scoring: config.scoring },
+            report,
+        )
+    }
+
+    /// Assembles an engine from a pre-built (e.g. loaded-from-disk) hybrid
+    /// index plus the corpus it was built over. Skips the MapReduce build
+    /// but still loads the metadata database and precomputes bounds —
+    /// matching Figure 3's architecture where the index is periodically
+    /// rebuilt offline while the query side just loads it.
+    pub fn from_index(index: HybridIndex, corpus: &Corpus, config: &EngineConfig) -> Self {
+        config.scoring.validate().expect("valid scoring config");
+        let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
+        let network = SocialNetwork::from_corpus(corpus);
+        let bounds = BoundsTable::precompute(corpus, &network, index.vocab(), config.hot_keywords, &config.scoring);
+        Self { index, db, bounds, pipeline: TextPipeline::new(), scoring: config.scoring }
+    }
+
+    /// The hybrid index.
+    pub fn index(&self) -> &HybridIndex {
+        &self.index
+    }
+
+    /// The metadata database (mutable: lookups touch buffer-pool state).
+    pub fn db_mut(&mut self) -> &mut MetadataDb {
+        &mut self.db
+    }
+
+    /// The precomputed bounds table.
+    pub fn bounds(&self) -> &BoundsTable {
+        &self.bounds
+    }
+
+    /// The scoring configuration.
+    pub fn scoring(&self) -> &ScoringConfig {
+        &self.scoring
+    }
+
+    /// Normalizes raw query keywords to term ids. `None` entries are
+    /// keywords absent from the corpus dictionary (or normalized away).
+    pub fn resolve_keywords(&self, keywords: &[String]) -> Vec<Option<TermId>> {
+        keywords
+            .iter()
+            .map(|kw| self.pipeline.normalize_keyword(kw).and_then(|t| self.index.vocab().get(&t)))
+            .collect()
+    }
+
+    /// Answers a TkLUS query with the chosen ranking method.
+    pub fn query(&mut self, q: &TklusQuery, ranking: Ranking) -> (Vec<RankedUser>, QueryStats) {
+        let resolved = self.resolve_keywords(&q.keywords);
+        // Under AND, a keyword no tweet contains empties the result; under
+        // OR, unknown keywords are simply dropped.
+        let terms: Vec<TermId> = match q.semantics {
+            Semantics::And => {
+                if resolved.iter().any(Option::is_none) {
+                    return (Vec::new(), QueryStats::default());
+                }
+                resolved.into_iter().flatten().collect()
+            }
+            Semantics::Or => resolved.into_iter().flatten().collect(),
+        };
+        if terms.is_empty() {
+            return (Vec::new(), QueryStats::default());
+        }
+        match ranking {
+            Ranking::Sum => query_sum(&self.index, &mut self.db, q, &terms, &self.scoring),
+            Ranking::Max(mode) => {
+                query_max(&self.index, &mut self.db, &self.bounds, mode, q, &terms, &self.scoring)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_geo::Point;
+    use tklus_model::{Post, TweetId, UserId};
+
+    fn corpus() -> Corpus {
+        let here = Point::new_unchecked(43.7, -79.4);
+        Corpus::new(vec![
+            Post::original(TweetId(1), UserId(1), here, "great hotel downtown"),
+            Post::original(TweetId(2), UserId(2), here, "pizza place with hotels nearby"),
+            Post::reply(TweetId(3), UserId(3), here, "thanks", TweetId(1), UserId(1)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn resolve_keywords_normalizes_and_reports_misses() {
+        let (engine, _) = TklusEngine::build(&corpus(), &EngineConfig::default());
+        // "Hotels" stems to the indexed "hotel"; stop words normalize away;
+        // unknown words miss.
+        let resolved = engine.resolve_keywords(&[
+            "Hotels".to_string(),
+            "the".to_string(),
+            "zzzunknown".to_string(),
+            "pizza".to_string(),
+        ]);
+        assert!(resolved[0].is_some());
+        assert!(resolved[1].is_none(), "stop word normalizes away");
+        assert!(resolved[2].is_none(), "unknown keyword");
+        assert!(resolved[3].is_some());
+        // Both "hotel"-family keywords resolve to the same term id.
+        let direct = engine.resolve_keywords(&["hotel".to_string()]);
+        assert_eq!(resolved[0], direct[0]);
+    }
+
+    #[test]
+    fn from_index_matches_full_build() {
+        let corpus = corpus();
+        let config = EngineConfig::default();
+        let (mut built, _) = TklusEngine::build(&corpus, &config);
+        // Re-assemble from the already-built index (the loaded-from-disk
+        // path, minus the disk).
+        let (index2, _) = build_index(corpus.posts(), &config.index);
+        let mut assembled = TklusEngine::from_index(index2, &corpus, &config);
+        let q = tklus_model::TklusQuery::new(
+            Point::new_unchecked(43.7, -79.4),
+            10.0,
+            vec!["hotel".into()],
+            5,
+            Semantics::Or,
+        )
+        .unwrap();
+        for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::HotKeywords)] {
+            let (a, _) = built.query(&q, ranking);
+            let (b, _) = assembled.query(&q, ranking);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.user, y.user);
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_is_rejected_at_query_construction() {
+        // Guarded by TklusQuery::new, so the engine never sees k = 0.
+        let err = tklus_model::TklusQuery::new(
+            Point::new_unchecked(0.0, 0.0),
+            1.0,
+            vec!["x".into()],
+            0,
+            Semantics::Or,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn all_stopword_query_returns_empty() {
+        let (mut engine, _) = TklusEngine::build(&corpus(), &EngineConfig::default());
+        let q = tklus_model::TklusQuery::new(
+            Point::new_unchecked(43.7, -79.4),
+            10.0,
+            vec!["the".into(), "and".into()],
+            5,
+            Semantics::Or,
+        )
+        .unwrap();
+        let (top, stats) = engine.query(&q, Ranking::Sum);
+        assert!(top.is_empty());
+        assert_eq!(stats.candidates, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's primary contribution: TkLUS query processing.
+//!
+//! This crate ties the substrates together into the system of Sections III–V:
+//!
+//! * [`metadata`] — the centralized tweet-metadata database of Section IV-A:
+//!   the relation `(sid, uid, lat, lon, ruid, rsid)` over from-scratch
+//!   B⁺-trees on `sid`, `rsid`, and (for user distance scores) `uid`, with
+//!   buffer-pool-accounted I/O.
+//! * [`score`] — the scoring functions: tweet distance score (Def. 5),
+//!   keyword relevance (Def. 6), Sum/Maximum user keyword scores
+//!   (Defs. 7/8), user distance score (Def. 9), combined user score
+//!   (Def. 10).
+//! * [`bounds`] — the pruning bounds of Section V-B: the global upper bound
+//!   popularity (Def. 11) and the pre-computed per-hot-keyword bounds.
+//! * [`query`] — Algorithm 4 (Sum-score ranking) and Algorithm 5
+//!   (Maximum-score ranking with upper-bound pruning).
+//! * [`engine`] — [`engine::TklusEngine`], the end-to-end facade: build the
+//!   hybrid index and metadata database from a corpus, then answer
+//!   [`tklus_model::TklusQuery`]s with either ranking.
+
+pub mod bounds;
+pub mod engine;
+pub mod metadata;
+pub mod query;
+pub mod score;
+
+pub use bounds::{BoundsMode, BoundsTable};
+pub use engine::{EngineConfig, Ranking, TklusEngine};
+pub use metadata::{MetaRow, MetadataDb};
+pub use query::{QueryStats, RankedUser};

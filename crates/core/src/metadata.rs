@@ -1,0 +1,276 @@
+//! The centralized tweet-metadata database of Section IV-A.
+//!
+//! "All tweets in our system form a relation with the schema of
+//! `(sid, uid, lat, lon, ruid, rsid)` which is stored in a centralized
+//! metadata database … attribute sid is the primary key for which we build
+//! a B⁺-tree. Another B⁺-tree is built on attribute rsid."
+//!
+//! Three B⁺-trees over one buffer pool:
+//!
+//! * primary — key `(sid, 0)`, value = the 40-byte row remainder;
+//! * reply index — key `(rsid, sid)`, empty value; `replies_to` is a range
+//!   scan, exactly Algorithm 1's `select all where rsid equals Id`;
+//! * user index — key `(uid, sid)`, value = `(lat, lon)`; user distance
+//!   scores (Definition 9) average over all of a user's posts, which this
+//!   index retrieves without touching post text.
+//!
+//! Every logical operation's physical cost is visible through
+//! [`MetadataDb::io`]; the experiments run with a zero-capacity pool
+//! ("database caches are set off").
+
+use tklus_geo::Point;
+use tklus_graph::ReplyProvider;
+use tklus_model::{Post, TweetId, UserId};
+use tklus_storage::{BPlusTree, BufferPool, IoStats, MemPager};
+
+/// Sentinel for "no reply target" in the `ruid`/`rsid` columns.
+const NONE_ID: u64 = u64::MAX;
+
+/// A decoded metadata row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaRow {
+    /// Author.
+    pub uid: UserId,
+    /// Post location.
+    pub location: Point,
+    /// Reply target author, if any.
+    pub ruid: Option<UserId>,
+    /// Reply target post, if any.
+    pub rsid: Option<TweetId>,
+}
+
+const ROW_SIZE: usize = 40;
+const LOC_SIZE: usize = 16;
+
+fn encode_row(row: &MetaRow) -> [u8; ROW_SIZE] {
+    let mut out = [0u8; ROW_SIZE];
+    out[0..8].copy_from_slice(&row.uid.0.to_le_bytes());
+    out[8..16].copy_from_slice(&row.location.lat().to_le_bytes());
+    out[16..24].copy_from_slice(&row.location.lon().to_le_bytes());
+    out[24..32].copy_from_slice(&row.ruid.map_or(NONE_ID, |u| u.0).to_le_bytes());
+    out[32..40].copy_from_slice(&row.rsid.map_or(NONE_ID, |s| s.0).to_le_bytes());
+    out
+}
+
+fn decode_row(bytes: &[u8; ROW_SIZE]) -> MetaRow {
+    let uid = UserId(u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
+    let lat = f64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let lon = f64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let ruid = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let rsid = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+    MetaRow {
+        uid,
+        location: Point::new_unchecked(lat, lon),
+        ruid: (ruid != NONE_ID).then_some(UserId(ruid)),
+        rsid: (rsid != NONE_ID).then_some(TweetId(rsid)),
+    }
+}
+
+type Pool = BufferPool<MemPager>;
+
+/// The metadata database.
+pub struct MetadataDb {
+    primary: BPlusTree<Pool, ROW_SIZE>,
+    reply_index: BPlusTree<Pool, 0>,
+    user_index: BPlusTree<Pool, LOC_SIZE>,
+    stats: IoStats,
+    rows: u64,
+}
+
+impl MetadataDb {
+    /// Bulk loads the database from posts. `cache_pages` sizes the shared
+    /// buffer-pool budget (0 = caches off, the paper's experimental
+    /// setting); the budget is split across the three trees.
+    pub fn from_posts(posts: &[Post], cache_pages: usize) -> Self {
+        let stats = IoStats::new();
+        let per_tree = cache_pages / 3;
+
+        let mut primary_entries: Vec<((u64, u64), [u8; ROW_SIZE])> = posts
+            .iter()
+            .map(|p| {
+                let row = MetaRow {
+                    uid: p.user,
+                    location: p.location,
+                    ruid: p.in_reply_to.map(|r| r.target_user),
+                    rsid: p.in_reply_to.map(|r| r.target),
+                };
+                ((p.id.0, 0), encode_row(&row))
+            })
+            .collect();
+        primary_entries.sort_by_key(|e| e.0);
+
+        let mut reply_entries: Vec<((u64, u64), [u8; 0])> = posts
+            .iter()
+            .filter_map(|p| p.in_reply_to.map(|r| ((r.target.0, p.id.0), [])))
+            .collect();
+        reply_entries.sort_by_key(|e| e.0);
+
+        let mut user_entries: Vec<((u64, u64), [u8; LOC_SIZE])> = posts
+            .iter()
+            .map(|p| {
+                let mut loc = [0u8; LOC_SIZE];
+                loc[0..8].copy_from_slice(&p.location.lat().to_le_bytes());
+                loc[8..16].copy_from_slice(&p.location.lon().to_le_bytes());
+                ((p.user.0, p.id.0), loc)
+            })
+            .collect();
+        user_entries.sort_by_key(|e| e.0);
+
+        let pool = |s: &IoStats| BufferPool::new(MemPager::with_stats(s.clone()), per_tree);
+        Self {
+            primary: BPlusTree::bulk_load(pool(&stats), &primary_entries),
+            reply_index: BPlusTree::bulk_load(pool(&stats), &reply_entries),
+            user_index: BPlusTree::bulk_load(pool(&stats), &user_entries),
+            stats,
+            rows: posts.len() as u64,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        self.rows
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Shared I/O counters across all three trees.
+    pub fn io(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// `select * where sid = ?` on the primary index.
+    pub fn row(&mut self, sid: TweetId) -> Option<MetaRow> {
+        self.primary.get((sid.0, 0)).map(|bytes| decode_row(&bytes))
+    }
+
+    /// `select uid where sid = ?` (Algorithm 4 line 20 / Algorithm 5
+    /// line 22).
+    pub fn user_of(&mut self, sid: TweetId) -> Option<UserId> {
+        self.row(sid).map(|r| r.uid)
+    }
+
+    /// The location of a post.
+    pub fn location_of(&mut self, sid: TweetId) -> Option<Point> {
+        self.row(sid).map(|r| r.location)
+    }
+
+    /// `select sid where rsid = ?` on the reply index (Algorithm 1 line 7).
+    pub fn replies_to_ids(&mut self, rsid: TweetId) -> Vec<TweetId> {
+        self.reply_index.scan_major(rsid.0).into_iter().map(|((_, sid), _)| TweetId(sid)).collect()
+    }
+
+    /// All posts of a user, as `(sid, location)` — the `P_u` scan for
+    /// Definition 9's user distance score.
+    pub fn posts_of_user(&mut self, uid: UserId) -> Vec<(TweetId, Point)> {
+        self.user_index
+            .scan_major(uid.0)
+            .into_iter()
+            .map(|((_, sid), loc)| {
+                let lat = f64::from_le_bytes(loc[0..8].try_into().unwrap());
+                let lon = f64::from_le_bytes(loc[8..16].try_into().unwrap());
+                (TweetId(sid), Point::new_unchecked(lat, lon))
+            })
+            .collect()
+    }
+}
+
+impl ReplyProvider for MetadataDb {
+    fn replies_to(&mut self, id: TweetId) -> Vec<TweetId> {
+        self.replies_to_ids(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_graph::build_thread;
+
+    fn pt(lat: f64, lon: f64) -> Point {
+        Point::new_unchecked(lat, lon)
+    }
+
+    fn posts() -> Vec<Post> {
+        vec![
+            Post::original(TweetId(1), UserId(10), pt(43.7, -79.4), "root tweet"),
+            Post::reply(TweetId(2), UserId(11), pt(43.8, -79.3), "reply one", TweetId(1), UserId(10)),
+            Post::reply(TweetId(3), UserId(12), pt(43.9, -79.2), "reply two", TweetId(1), UserId(10)),
+            Post::forward(TweetId(4), UserId(11), pt(43.6, -79.5), "rt", TweetId(2), UserId(11)),
+            Post::original(TweetId(5), UserId(10), pt(44.0, -79.0), "another original"),
+        ]
+    }
+
+    #[test]
+    fn primary_lookups() {
+        let mut db = MetadataDb::from_posts(&posts(), 0);
+        assert_eq!(db.len(), 5);
+        let row = db.row(TweetId(2)).unwrap();
+        assert_eq!(row.uid, UserId(11));
+        assert_eq!(row.rsid, Some(TweetId(1)));
+        assert_eq!(row.ruid, Some(UserId(10)));
+        assert_eq!(db.user_of(TweetId(5)), Some(UserId(10)));
+        assert_eq!(db.row(TweetId(99)), None);
+        let root = db.row(TweetId(1)).unwrap();
+        assert_eq!(root.rsid, None);
+        assert_eq!(root.ruid, None);
+    }
+
+    #[test]
+    fn reply_index_scans() {
+        let mut db = MetadataDb::from_posts(&posts(), 0);
+        assert_eq!(db.replies_to_ids(TweetId(1)), vec![TweetId(2), TweetId(3)]);
+        assert_eq!(db.replies_to_ids(TweetId(2)), vec![TweetId(4)]);
+        assert!(db.replies_to_ids(TweetId(5)).is_empty());
+    }
+
+    #[test]
+    fn user_index_scans() {
+        let mut db = MetadataDb::from_posts(&posts(), 0);
+        let u10 = db.posts_of_user(UserId(10));
+        assert_eq!(u10.len(), 2);
+        assert_eq!(u10[0].0, TweetId(1));
+        assert_eq!(u10[1].0, TweetId(5));
+        assert!((u10[1].1.lat() - 44.0).abs() < 1e-12);
+        assert!(db.posts_of_user(UserId(99)).is_empty());
+    }
+
+    #[test]
+    fn works_as_reply_provider_for_threads() {
+        let mut db = MetadataDb::from_posts(&posts(), 0);
+        let t = build_thread(&mut db, TweetId(1), 5);
+        assert_eq!(t.level_sizes(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn io_counted_with_caches_off() {
+        let mut db = MetadataDb::from_posts(&posts(), 0);
+        db.io().reset();
+        db.row(TweetId(1));
+        let first = db.io().page_reads();
+        assert!(first > 0, "caches off: lookups cost physical reads");
+        db.row(TweetId(1));
+        assert_eq!(db.io().page_reads(), first * 2, "no caching between identical lookups");
+    }
+
+    #[test]
+    fn caching_reduces_io() {
+        let mut db = MetadataDb::from_posts(&posts(), 300);
+        db.io().reset();
+        db.row(TweetId(1));
+        db.row(TweetId(1));
+        db.row(TweetId(1));
+        assert!(db.io().cache_hits() > 0);
+    }
+
+    #[test]
+    fn location_roundtrip_precision() {
+        let original = pt(43.6839128037, -79.37356590);
+        let p = vec![Post::original(TweetId(7), UserId(1), original, "x")];
+        let mut db = MetadataDb::from_posts(&p, 0);
+        let loc = db.location_of(TweetId(7)).unwrap();
+        assert_eq!(loc.lat(), original.lat());
+        assert_eq!(loc.lon(), original.lon());
+    }
+}

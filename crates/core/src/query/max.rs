@@ -1,0 +1,171 @@
+//! Algorithm 5: query processing for Maximum-score based user ranking.
+//!
+//! The key device is the upper-bound prune (lines 18–19): before paying the
+//! I/Os of thread construction for a candidate tweet, compute the best user
+//! score that tweet could possibly yield — keyword part bounded by the
+//! popularity bound (global Definition 11, or the tighter per-hot-keyword
+//! bound of Section VI-B5), distance part bounded by 1. If that optimistic
+//! score cannot beat the current k-th best user, skip the tweet entirely.
+
+use crate::bounds::{BoundsMode, BoundsTable};
+use crate::metadata::MetadataDb;
+use crate::query::{candidates, top_k, QueryStats, RankedUser};
+use crate::score::{tweet_keyword_score, upper_bound_user_score, user_distance_score, user_score};
+use std::collections::HashMap;
+use std::time::Instant;
+use tklus_graph::build_thread;
+use tklus_index::HybridIndex;
+use tklus_model::{ScoringConfig, TklusQuery, UserId};
+use tklus_text::TermId;
+
+/// Per-user state in the running top-k set.
+struct Candidate {
+    /// Best (maximum) keyword relevance of the user's tweets so far —
+    /// Definition 8's `ρ_m`.
+    rho_max: f64,
+    /// Cached user distance score (Definition 9).
+    delta: f64,
+    /// Combined user score (Definition 10).
+    score: f64,
+}
+
+/// The running top-k user set of Algorithm 5 (the paper's `topKUser`
+/// priority queue). With k ≤ tens, a flat map with linear min search is
+/// faster than a heap with lazy deletion and trivially correct.
+struct TopK {
+    k: usize,
+    users: HashMap<UserId, Candidate>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self { k, users: HashMap::with_capacity(k + 1) }
+    }
+
+    fn is_full(&self) -> bool {
+        self.users.len() >= self.k
+    }
+
+    /// The smallest user score in the set (`topKUser.peek()`).
+    fn min_score(&self) -> Option<f64> {
+        self.users.values().map(|c| c.score).min_by(|a, b| a.partial_cmp(b).expect("finite scores"))
+    }
+
+    fn evict_min(&mut self) {
+        if let Some((&uid, _)) = self
+            .users
+            .iter()
+            .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("finite scores").then(b.0.cmp(a.0)))
+        {
+            self.users.remove(&uid);
+        }
+    }
+
+    fn into_ranked(self) -> Vec<RankedUser> {
+        self.users.into_iter().map(|(user, c)| RankedUser { user, score: c.score }).collect()
+    }
+}
+
+/// Runs Algorithm 5 with the given popularity-bound table and mode.
+///
+/// The temporal extension (Section VIII) composes with the prune: the
+/// time window filters candidates before any I/O, and the recency factor —
+/// known from the candidate's timestamp alone — *tightens* the upper bound
+/// (an old tweet's best possible score shrinks by its decay factor), so
+/// recency-biased queries prune more, not less.
+pub fn query_max(
+    index: &HybridIndex,
+    db: &mut MetadataDb,
+    bounds: &BoundsTable,
+    mode: BoundsMode,
+    query: &TklusQuery,
+    terms: &[TermId],
+    config: &ScoringConfig,
+) -> (Vec<RankedUser>, QueryStats) {
+    let start = Instant::now();
+    let io_before = db.io().page_reads();
+    let center = &query.location;
+    let radius_km = query.radius_km;
+    let k = query.k;
+
+    // Lines 1–14: identical to Algorithm 4.
+    let fetch = index.fetch_for_query(center, radius_km, terms, config.metric);
+    let cands = candidates(&fetch, query.semantics);
+
+    let mut stats = QueryStats {
+        cover_cells: fetch.cells,
+        lists_fetched: fetch.lists,
+        dfs_bytes: fetch.bytes,
+        candidates: cands.len(),
+        ..QueryStats::default()
+    };
+
+    let popularity_bound = bounds.query_bound(terms, query.semantics, mode);
+    let mut top = TopK::new(k);
+    // Per-user distance scores are query-constant; cache them.
+    let mut delta_cache: HashMap<UserId, f64> = HashMap::new();
+
+    for (tid, tf) in cands {
+        if !query.in_time_range(tid.0) {
+            continue;
+        }
+        let Some(row) = db.row(tid) else { continue };
+        if center.distance_km(&row.location, config.metric) > radius_km {
+            continue;
+        }
+        stats.in_radius += 1;
+        let recency = query.recency_factor(tid.0);
+
+        // Lines 18–19: the prune. The best score this tweet can give its
+        // author cannot beat the current k-th user -> skip the thread.
+        // The recency factor scales the keyword part of the bound.
+        if top.is_full() {
+            let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
+            if upper <= top.min_score().expect("full set has a min") {
+                stats.threads_pruned += 1;
+                continue;
+            }
+        }
+
+        // Lines 20–22: construct the thread, score the tweet and its user.
+        let thread = build_thread(db, tid, config.thread_depth);
+        stats.threads_built += 1;
+        let phi = thread.popularity(config.epsilon);
+        let rho = tweet_keyword_score(tf, phi, config) * recency;
+        let uid = row.uid;
+        let delta = match delta_cache.get(&uid) {
+            Some(&d) => d,
+            None => {
+                let locations: Vec<tklus_geo::Point> =
+                    db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
+                let d = user_distance_score(center, radius_km, &locations, config);
+                delta_cache.insert(uid, d);
+                d
+            }
+        };
+
+        // Lines 23–33: maintain the top-k set under Definition 8's
+        // max-aggregation.
+        match top.users.get_mut(&uid) {
+            Some(c) => {
+                if rho > c.rho_max {
+                    c.rho_max = rho;
+                    c.score = user_score(c.rho_max, c.delta, config);
+                }
+            }
+            None => {
+                let score = user_score(rho, delta, config);
+                if !top.is_full() {
+                    top.users.insert(uid, Candidate { rho_max: rho, delta, score });
+                } else if score > top.min_score().expect("full set has a min") {
+                    top.evict_min();
+                    top.users.insert(uid, Candidate { rho_max: rho, delta, score });
+                }
+            }
+        }
+    }
+
+    stats.metadata_page_reads = db.io().page_reads() - io_before;
+    stats.elapsed = start.elapsed();
+    (top_k(top.into_ranked(), k), stats)
+}

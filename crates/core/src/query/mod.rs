@@ -1,0 +1,136 @@
+//! TkLUS query processing: Algorithm 4 (Sum) and Algorithm 5 (Maximum).
+//!
+//! Both algorithms share the same front half — geohash circle cover,
+//! postings retrieval, AND/OR candidate formation — and differ in how they
+//! aggregate per-tweet scores into user scores and in whether they can
+//! prune thread construction with an upper bound.
+
+pub mod max;
+pub mod sum;
+
+use tklus_index::{intersect_sum, union_sum, QueryFetch};
+use tklus_model::{Semantics, TweetId, UserId};
+
+/// One result row: a user and their score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedUser {
+    /// The local user.
+    pub user: UserId,
+    /// `score(u, q)` under the ranking method used.
+    pub score: f64,
+}
+
+/// Cost accounting for one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Wall-clock time of the whole query.
+    pub elapsed: std::time::Duration,
+    /// Geohash cells in the circle cover.
+    pub cover_cells: usize,
+    /// Postings lists fetched from the DFS.
+    pub lists_fetched: usize,
+    /// Bytes fetched from the DFS.
+    pub dfs_bytes: u64,
+    /// Candidate tweets after AND/OR combination.
+    pub candidates: usize,
+    /// Candidates that passed the exact radius check.
+    pub in_radius: usize,
+    /// Tweet threads actually constructed (Algorithm 1 runs).
+    pub threads_built: usize,
+    /// Thread constructions skipped by the upper-bound prune
+    /// (always 0 for the Sum algorithm).
+    pub threads_pruned: usize,
+    /// Physical metadata-database page reads incurred.
+    pub metadata_page_reads: u64,
+}
+
+/// Lines 8–14 of Algorithms 4/5: combine the fetched postings lists into
+/// the candidate list `P` of `(tweet, keyword-occurrence-count)` pairs.
+///
+/// * OR — union of every list; a tweet's count sums over all keywords.
+/// * AND — per-keyword union across cover cells, then intersection across
+///   keywords (a tweet must contain every keyword), counts summed.
+pub(crate) fn candidates(fetch: &QueryFetch, semantics: Semantics) -> Vec<(TweetId, u32)> {
+    match semantics {
+        Semantics::Or => {
+            let all: Vec<tklus_index::PostingsList> = fetch.per_keyword.iter().flatten().cloned().collect();
+            union_sum(&all)
+        }
+        Semantics::And => {
+            let groups: Vec<Vec<(TweetId, u32)>> = fetch.per_keyword.iter().map(|lists| union_sum(lists)).collect();
+            if groups.iter().any(Vec::is_empty) {
+                return Vec::new();
+            }
+            intersect_sum(&groups)
+        }
+    }
+}
+
+/// Sorts users by score descending (ties broken by user id for
+/// determinism) and truncates to `k`.
+pub(crate) fn top_k(mut users: Vec<RankedUser>, k: usize) -> Vec<RankedUser> {
+    users.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite").then(a.user.cmp(&b.user)));
+    users.truncate(k);
+    users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_index::PostingsList;
+
+    fn fetch(per_keyword: Vec<Vec<Vec<(u64, u32)>>>) -> QueryFetch {
+        QueryFetch {
+            per_keyword: per_keyword
+                .into_iter()
+                .map(|lists| lists.into_iter().map(|l| l.into_iter().collect::<PostingsList>()).collect())
+                .collect(),
+            cells: 0,
+            lists: 0,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn or_unions_across_keywords() {
+        let f = fetch(vec![vec![vec![(1, 1), (2, 1)]], vec![vec![(2, 2), (3, 1)]]]);
+        let got = candidates(&f, Semantics::Or);
+        assert_eq!(got, vec![(TweetId(1), 1), (TweetId(2), 3), (TweetId(3), 1)]);
+    }
+
+    #[test]
+    fn and_intersects_across_keywords() {
+        let f = fetch(vec![vec![vec![(1, 1), (2, 1)]], vec![vec![(2, 2), (3, 1)]]]);
+        let got = candidates(&f, Semantics::And);
+        assert_eq!(got, vec![(TweetId(2), 3)]);
+    }
+
+    #[test]
+    fn and_with_missing_keyword_is_empty() {
+        let f = fetch(vec![vec![vec![(1, 1)]], vec![]]);
+        assert!(candidates(&f, Semantics::And).is_empty());
+        // OR still returns the present keyword's candidates.
+        assert_eq!(candidates(&f, Semantics::Or), vec![(TweetId(1), 1)]);
+    }
+
+    #[test]
+    fn and_merges_per_keyword_cells_first() {
+        // Keyword 0 spread over two cells; tweet 5 only matches keyword 0
+        // in cell B and keyword 1 in its own cell.
+        let f = fetch(vec![vec![vec![(1, 1)], vec![(5, 2)]], vec![vec![(5, 1)]]]);
+        assert_eq!(candidates(&f, Semantics::And), vec![(TweetId(5), 3)]);
+    }
+
+    #[test]
+    fn top_k_sorts_and_breaks_ties_by_id() {
+        let users = vec![
+            RankedUser { user: UserId(3), score: 1.0 },
+            RankedUser { user: UserId(1), score: 2.0 },
+            RankedUser { user: UserId(2), score: 1.0 },
+        ];
+        let top = top_k(users, 2);
+        assert_eq!(top[0].user, UserId(1));
+        assert_eq!(top[1].user, UserId(2), "tie broken by id");
+        assert_eq!(top.len(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Algorithm 4: query processing for Sum-score based user ranking.
+//!
+//! Every candidate tweet inside the radius gets its thread constructed
+//! (the I/O bottleneck of Section V-B) and its keyword relevance added to
+//! its author's Sum score (Definition 7); user scores then blend with the
+//! user distance score (Definitions 9/10).
+
+use crate::metadata::MetadataDb;
+use crate::query::{candidates, top_k, QueryStats, RankedUser};
+use crate::score::{tweet_keyword_score, user_distance_score, user_score};
+use std::collections::HashMap;
+use std::time::Instant;
+use tklus_graph::build_thread;
+use tklus_index::HybridIndex;
+use tklus_model::{ScoringConfig, TklusQuery, UserId};
+use tklus_text::TermId;
+
+/// Runs Algorithm 4. `terms` are the query keywords already normalized to
+/// term ids (keywords missing from the dictionary are resolved upstream).
+/// The query's optional time window and recency bias (the Section VIII
+/// temporal extension) are honoured: out-of-window candidates are skipped
+/// before any metadata I/O, and keyword relevance is decayed by the
+/// recency factor.
+pub fn query_sum(
+    index: &HybridIndex,
+    db: &mut MetadataDb,
+    query: &TklusQuery,
+    terms: &[TermId],
+    config: &ScoringConfig,
+) -> (Vec<RankedUser>, QueryStats) {
+    let start = Instant::now();
+    let io_before = db.io().page_reads();
+    let center = &query.location;
+    let radius_km = query.radius_km;
+
+    // Lines 1–14: cover, fetch, AND/OR combine.
+    let fetch = index.fetch_for_query(center, radius_km, terms, config.metric);
+    let cands = candidates(&fetch, query.semantics);
+
+    let mut stats = QueryStats {
+        cover_cells: fetch.cells,
+        lists_fetched: fetch.lists,
+        dfs_bytes: fetch.bytes,
+        candidates: cands.len(),
+        ..QueryStats::default()
+    };
+
+    // Lines 15–24: per-tweet scoring into per-user Sum scores.
+    let mut users: HashMap<UserId, f64> = HashMap::new();
+    for (tid, tf) in cands {
+        // Temporal extension: the id is the timestamp, so the window
+        // check costs nothing and precedes all metadata I/O.
+        if !query.in_time_range(tid.0) {
+            continue;
+        }
+        let Some(row) = db.row(tid) else { continue };
+        if center.distance_km(&row.location, config.metric) > radius_km {
+            continue;
+        }
+        stats.in_radius += 1;
+        let thread = build_thread(db, tid, config.thread_depth);
+        stats.threads_built += 1;
+        let phi = thread.popularity(config.epsilon);
+        let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
+        *users.entry(row.uid).or_insert(0.0) += rs;
+    }
+
+    // Lines 25–27: blend with user distance scores (Definition 10).
+    let ranked: Vec<RankedUser> = users
+        .into_iter()
+        .map(|(uid, rho_sum)| {
+            let locations: Vec<tklus_geo::Point> = db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
+            let delta = user_distance_score(center, radius_km, &locations, config);
+            RankedUser { user: uid, score: user_score(rho_sum, delta, config) }
+        })
+        .collect();
+
+    stats.metadata_page_reads = db.io().page_reads() - io_before;
+    stats.elapsed = start.elapsed();
+    (top_k(ranked, query.k), stats)
+}

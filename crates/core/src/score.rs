@@ -1,0 +1,139 @@
+//! The scoring functions of Section III.
+
+use tklus_geo::Point;
+use tklus_model::ScoringConfig;
+
+/// Definition 5 — distance score of a tweet:
+/// `(r − ‖q.l, p.l‖) / r` within the radius, else 0. Range `[0, 1]`.
+pub fn tweet_distance_score(query_loc: &Point, radius_km: f64, post_loc: &Point, config: &ScoringConfig) -> f64 {
+    let d = query_loc.distance_km(post_loc, config.metric);
+    if d <= radius_km {
+        (radius_km - d) / radius_km
+    } else {
+        0.0
+    }
+}
+
+/// Definition 6 — keyword relevance score of a tweet:
+/// `ρ(p, q) = |q.W ∩ p.W| / N · φ(p)`, where the intersection is counted
+/// under the bag model (`matched_occurrences` = total occurrences of query
+/// keywords in the tweet) and `φ(p)` is the tweet's thread popularity.
+pub fn tweet_keyword_score(matched_occurrences: u32, popularity: f64, config: &ScoringConfig) -> f64 {
+    matched_occurrences as f64 / config.keyword_norm * popularity
+}
+
+/// Definition 9 — distance score of a user: the mean of the tweet distance
+/// scores over all the user's posts (posts outside the radius contribute 0
+/// but still count in the denominator).
+pub fn user_distance_score(
+    query_loc: &Point,
+    radius_km: f64,
+    post_locations: &[Point],
+    config: &ScoringConfig,
+) -> f64 {
+    if post_locations.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = post_locations.iter().map(|l| tweet_distance_score(query_loc, radius_km, l, config)).sum();
+    sum / post_locations.len() as f64
+}
+
+/// Definition 10 — combined user score:
+/// `score(u, q) = α · ρ(u, q) + (1 − α) · δ(u, q)`, where `ρ(u, q)` is the
+/// Sum (Def. 7) or Maximum (Def. 8) keyword score depending on the ranking
+/// method.
+pub fn user_score(keyword_score: f64, distance_score: f64, config: &ScoringConfig) -> f64 {
+    config.alpha * keyword_score + (1.0 - config.alpha) * distance_score
+}
+
+/// The maximum user score any tweet with `matched_occurrences` keyword hits
+/// can produce under a popularity upper bound: keyword part bounded by
+/// `tf/N · φ_bound`, distance part bounded by 1 (Section V-B: "the maximum
+/// distance score can be 1"). Algorithm 5 compares this against the k-th
+/// best user score to skip thread construction.
+pub fn upper_bound_user_score(matched_occurrences: u32, popularity_bound: f64, config: &ScoringConfig) -> f64 {
+    user_score(tweet_keyword_score(matched_occurrences, popularity_bound, config), 1.0, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScoringConfig {
+        ScoringConfig::default()
+    }
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new_unchecked(lat, lon)
+    }
+
+    #[test]
+    fn distance_score_range_and_boundaries() {
+        let q = p(43.7, -79.4);
+        let c = cfg();
+        // At the query point itself: score 1.
+        assert_eq!(tweet_distance_score(&q, 10.0, &q, &c), 1.0);
+        // Outside the radius: 0.
+        let far = p(44.7, -79.4); // ~111 km away
+        assert_eq!(tweet_distance_score(&q, 10.0, &far, &c), 0.0);
+        // Midway: in (0, 1).
+        let mid = p(43.745, -79.4); // ~5 km
+        let s = tweet_distance_score(&q, 10.0, &mid, &c);
+        assert!((0.4..0.6).contains(&s), "score {s}");
+    }
+
+    #[test]
+    fn keyword_score_is_linear_in_occurrences_and_popularity() {
+        let c = cfg(); // N = 40
+        assert_eq!(tweet_keyword_score(0, 5.0, &c), 0.0);
+        assert_eq!(tweet_keyword_score(1, 40.0, &c), 1.0);
+        let base = tweet_keyword_score(2, 3.0, &c);
+        assert!((tweet_keyword_score(4, 3.0, &c) - 2.0 * base).abs() < 1e-12);
+        assert!((tweet_keyword_score(2, 6.0, &c) - 2.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keyword_score_may_exceed_one() {
+        // "we do not necessarily further normalize φ(p) since ρ(p,q) is
+        // allowed to exceed 1".
+        let c = cfg();
+        assert!(tweet_keyword_score(3, 100.0, &c) > 1.0);
+    }
+
+    #[test]
+    fn user_distance_averages_over_all_posts() {
+        let q = p(43.7, -79.4);
+        let c = cfg();
+        // One post at the query point, one outside the radius: mean of
+        // {1.0, 0.0} = 0.5 — the far post dilutes the score.
+        let locs = [q, p(44.7, -79.4)];
+        assert_eq!(user_distance_score(&q, 10.0, &locs, &c), 0.5);
+        assert_eq!(user_distance_score(&q, 10.0, &[], &c), 0.0);
+    }
+
+    #[test]
+    fn user_score_alpha_blend() {
+        let mut c = cfg();
+        c.alpha = 0.5;
+        assert_eq!(user_score(2.0, 0.5, &c), 1.25);
+        c.alpha = 1.0;
+        assert_eq!(user_score(2.0, 0.5, &c), 2.0);
+        c.alpha = 0.0;
+        assert_eq!(user_score(2.0, 0.5, &c), 0.5);
+    }
+
+    #[test]
+    fn upper_bound_dominates_actual_scores() {
+        let c = cfg();
+        let bound_pop = 12.0;
+        for tf in [1u32, 2, 5] {
+            for actual_pop in [0.1, 1.0, 11.9] {
+                for dist in [0.0, 0.3, 1.0] {
+                    let actual = user_score(tweet_keyword_score(tf, actual_pop, &c), dist, &c);
+                    let bound = upper_bound_user_score(tf, bound_pop, &c);
+                    assert!(actual <= bound + 1e-12, "tf={tf} pop={actual_pop} dist={dist}");
+                }
+            }
+        }
+    }
+}

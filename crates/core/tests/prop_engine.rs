@@ -1,0 +1,152 @@
+//! Property test: on arbitrary small corpora and queries, the full engine
+//! (hybrid index + metadata DB + either algorithm, with and without
+//! pruning) returns exactly the users and scores that a direct
+//! implementation of Definitions 4–10 computes.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_geo::Point;
+use tklus_graph::{build_thread, SocialNetwork};
+use tklus_model::{Corpus, Post, ScoringConfig, Semantics, TklusQuery, TweetId, UserId};
+use tklus_text::TextPipeline;
+
+const WORDS: [&str; 8] = ["hotel", "pizza", "cafe", "museum", "sushi", "beach", "coffee", "club"];
+
+#[derive(Debug, Clone)]
+struct RawPost {
+    user: u8,
+    // Offsets within a ~30 km box around Toronto.
+    dlat: i8,
+    dlon: i8,
+    words: Vec<u8>,
+    reply_to: Option<u8>,
+}
+
+fn arb_post() -> impl Strategy<Value = RawPost> {
+    (
+        0u8..12,
+        -100i8..=100,
+        -100i8..=100,
+        proptest::collection::vec(0u8..WORDS.len() as u8, 1..5),
+        proptest::option::of(0u8..40),
+    )
+        .prop_map(|(user, dlat, dlon, words, reply_to)| RawPost { user, dlat, dlon, words, reply_to })
+}
+
+fn materialize(raw: &[RawPost]) -> Corpus {
+    let base = Point::new_unchecked(43.68, -79.38);
+    let posts: Vec<Post> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let id = TweetId(i as u64 + 1);
+            let loc = Point::new_unchecked(
+                base.lat() + r.dlat as f64 * 0.0015,
+                base.lon() + r.dlon as f64 * 0.002,
+            );
+            let text: String =
+                r.words.iter().map(|&w| WORDS[w as usize]).collect::<Vec<_>>().join(" ");
+            // Replies target an earlier post when the index resolves.
+            match r.reply_to {
+                Some(t) if (t as usize) < i => {
+                    let target = TweetId(t as u64 + 1);
+                    let target_user = UserId(raw[t as usize].user as u64);
+                    Post::reply(id, UserId(r.user as u64), loc, text, target, target_user)
+                }
+                _ => Post::original(id, UserId(r.user as u64), loc, text),
+            }
+        })
+        .collect();
+    Corpus::new(posts).expect("sequential ids")
+}
+
+/// Direct implementation of the scoring definitions.
+fn reference(
+    corpus: &Corpus,
+    q: &TklusQuery,
+    use_max: bool,
+    config: &ScoringConfig,
+) -> Vec<(UserId, f64)> {
+    let pipeline = TextPipeline::new();
+    let network = SocialNetwork::from_corpus(corpus);
+    let stems: Vec<String> = q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
+    let mut per_user: HashMap<UserId, f64> = HashMap::new();
+    for post in corpus.posts() {
+        if q.location.distance_km(&post.location, config.metric) > q.radius_km {
+            continue;
+        }
+        let terms = pipeline.terms(&post.text);
+        let occurrences: u32 =
+            stems.iter().map(|s| terms.iter().filter(|t| *t == s).count() as u32).sum();
+        let qualifies = match q.semantics {
+            Semantics::And => !stems.is_empty() && stems.iter().all(|s| terms.contains(s)),
+            Semantics::Or => occurrences > 0,
+        };
+        if !qualifies {
+            continue;
+        }
+        let mut provider = &network;
+        let phi = build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
+        let rho = occurrences as f64 / config.keyword_norm * phi;
+        let entry = per_user.entry(post.user).or_insert(0.0);
+        if use_max {
+            *entry = entry.max(rho);
+        } else {
+            *entry += rho;
+        }
+    }
+    let mut scored: Vec<(UserId, f64)> = per_user
+        .into_iter()
+        .map(|(uid, rho)| {
+            let locs: Vec<Point> = corpus.posts_of(uid).map(|p| p.location).collect();
+            let delta: f64 = locs
+                .iter()
+                .map(|l| {
+                    let d = q.location.distance_km(l, config.metric);
+                    if d <= q.radius_km { (q.radius_km - d) / q.radius_km } else { 0.0 }
+                })
+                .sum::<f64>()
+                / locs.len() as f64;
+            (uid, config.alpha * rho + (1.0 - config.alpha) * delta)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(q.k);
+    scored
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_equals_reference_on_random_corpora(
+        raw in proptest::collection::vec(arb_post(), 5..60),
+        radius in 2.0f64..25.0,
+        k in 1usize..6,
+        kw_idx in proptest::collection::vec(0u8..WORDS.len() as u8, 1..3),
+        and_sem in any::<bool>(),
+    ) {
+        let corpus = materialize(&raw);
+        let config = EngineConfig::default();
+        let (mut engine, _) = TklusEngine::build(&corpus, &config);
+        let mut keywords: Vec<String> = kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
+        keywords.dedup();
+        let semantics = if and_sem { Semantics::And } else { Semantics::Or };
+        let q = TklusQuery::new(Point::new_unchecked(43.68, -79.38), radius, keywords, k, semantics).unwrap();
+
+        for (ranking, use_max) in [
+            (Ranking::Sum, false),
+            (Ranking::Max(BoundsMode::Global), true),
+            (Ranking::Max(BoundsMode::HotKeywords), true),
+        ] {
+            let (got, _) = engine.query(&q, ranking);
+            let want = reference(&corpus, &q, use_max, &config.scoring);
+            prop_assert_eq!(got.len(), want.len(), "{:?} {:?}", ranking, &q.keywords);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.user, w.0, "{:?}", ranking);
+                prop_assert!((g.score - w.1).abs() < 1e-9, "{} vs {} ({:?})", g.score, w.1, ranking);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Reply/forward cascade generation.
+//!
+//! Real reply trees are heavy-tailed: most tweets get no response, a few
+//! spawn deep conversations. We model per-node branching as: with
+//! probability `p_respond` the node gets `1 + Geometric(p_more)` children,
+//! and response probability decays with depth — yielding thread
+//! popularities spanning orders of magnitude, which is what gives the
+//! Maximum-score ranking and its pruning bound something to work with.
+
+use rand::Rng;
+
+/// Cascade shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeConfig {
+    /// Probability a root tweet receives any response.
+    pub p_respond: f64,
+    /// Geometric "one more sibling" parameter (closer to 1 = wider).
+    pub p_more: f64,
+    /// Per-level decay of the response probability.
+    pub depth_decay: f64,
+    /// Hard cap on depth (levels below the root).
+    pub max_depth: usize,
+    /// Fraction of responses that are forwards rather than replies.
+    pub forward_fraction: f64,
+    /// Probability a root goes *viral*: it always gets a direct-response
+    /// burst of `viral_children` first-level responses (deeper levels
+    /// follow the normal parameters). This is the heavy tail that makes
+    /// thread popularity span orders of magnitude; the burst size range is
+    /// kept tight so the per-keyword popularity bound (Section V-B) sits
+    /// close to the scores the top-k actually achieves — which is what
+    /// gives the upper-bound prune its bite, as in the paper's data.
+    pub p_viral: f64,
+    /// Inclusive range of first-level responses for a viral root.
+    pub viral_children: (usize, usize),
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        Self {
+            p_respond: 0.25,
+            p_more: 0.55,
+            depth_decay: 0.55,
+            max_depth: 5,
+            forward_fraction: 0.3,
+            p_viral: 0.025,
+            viral_children: (48, 64),
+        }
+    }
+}
+
+/// One response node in a sampled cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadeNode {
+    /// Index of the parent within the cascade; `None` = responds to the
+    /// root tweet.
+    pub parent: Option<usize>,
+    /// Level below the root (1 = direct response).
+    pub level: usize,
+    /// True if this response is a forward (retweet), else a reply.
+    pub is_forward: bool,
+}
+
+/// Samples a cascade's response nodes in breadth-first order.
+pub fn sample_cascade<R: Rng>(rng: &mut R, config: &CascadeConfig) -> Vec<CascadeNode> {
+    let viral = rng.gen_bool(config.p_viral.clamp(0.0, 1.0));
+    let mut nodes: Vec<CascadeNode> = Vec::new();
+    // Queue of (node index or None for root, level).
+    let mut frontier: Vec<(Option<usize>, usize)> = vec![(None, 0)];
+    while let Some((parent, level)) = frontier.pop() {
+        if level >= config.max_depth {
+            continue;
+        }
+        if viral && level == 0 {
+            let (lo, hi) = config.viral_children;
+            let children = rng.gen_range(lo..=hi);
+            for _ in 0..children {
+                let idx = nodes.len();
+                nodes.push(CascadeNode { parent, level: 1, is_forward: rng.gen_bool(config.forward_fraction) });
+                frontier.push((Some(idx), 1));
+            }
+            continue;
+        }
+        let p = config.p_respond * config.depth_decay.powi(level as i32);
+        if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+            continue;
+        }
+        // 1 + Geometric(p_more) children.
+        let mut children = 1;
+        while rng.gen_bool(config.p_more) && children < 64 {
+            children += 1;
+        }
+        for _ in 0..children {
+            let idx = nodes.len();
+            nodes.push(CascadeNode {
+                parent,
+                level: level + 1,
+                is_forward: rng.gen_bool(config.forward_fraction),
+            });
+            frontier.push((Some(idx), level + 1));
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn most_cascades_are_empty_some_are_large() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = CascadeConfig::default();
+        let sizes: Vec<usize> = (0..5000).map(|_| sample_cascade(&mut rng, &config).len()).collect();
+        let empty = sizes.iter().filter(|&&s| s == 0).count();
+        let large = sizes.iter().filter(|&&s| s >= 8).count();
+        assert!(empty > 2500, "most tweets get no response ({empty})");
+        assert!(large > 20, "but some cascades are large ({large})");
+    }
+
+    #[test]
+    fn viral_cascades_form_a_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = CascadeConfig::default();
+        let sizes: Vec<usize> = (0..10_000).map(|_| sample_cascade(&mut rng, &config).len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let median = {
+            let mut s = sizes.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        let viral = sizes.iter().filter(|&&s| s >= 48).count();
+        assert!(max >= 48, "some cascades are viral (max {max})");
+        assert_eq!(median, 0, "the typical cascade is empty");
+        // Viral rate near the configured 2.5%, and viral bursts are tight:
+        // the bound stays close to what top threads actually score.
+        let rate = viral as f64 / sizes.len() as f64;
+        assert!((0.015..0.04).contains(&rate), "viral rate {rate}");
+        assert!(max <= 64 * 3, "viral size bounded (max {max})");
+    }
+
+    #[test]
+    fn parents_precede_children_and_levels_consistent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = CascadeConfig {
+            p_respond: 0.9,
+            p_more: 0.7,
+            depth_decay: 0.8,
+            max_depth: 4,
+            forward_fraction: 0.5,
+            ..CascadeConfig::default()
+        };
+        for _ in 0..200 {
+            let nodes = sample_cascade(&mut rng, &config);
+            for (i, n) in nodes.iter().enumerate() {
+                match n.parent {
+                    None => assert_eq!(n.level, 1),
+                    Some(p) => {
+                        assert!(p < i, "parent allocated before child");
+                        assert_eq!(n.level, nodes[p].level + 1);
+                    }
+                }
+                assert!(n.level <= config.max_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = CascadeConfig { p_respond: 1.0, p_more: 0.5, depth_decay: 1.0, max_depth: 2, forward_fraction: 0.0, ..CascadeConfig::default() };
+        for _ in 0..100 {
+            let nodes = sample_cascade(&mut rng, &config);
+            assert!(nodes.iter().all(|n| n.level <= 2));
+        }
+    }
+
+    #[test]
+    fn forwards_appear_at_configured_fraction() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = CascadeConfig { p_respond: 1.0, p_more: 0.8, depth_decay: 0.9, max_depth: 3, forward_fraction: 0.4, p_viral: 0.0, ..CascadeConfig::default() };
+        let mut forwards = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for n in sample_cascade(&mut rng, &config) {
+                total += 1;
+                forwards += n.is_forward as usize;
+            }
+        }
+        let frac = forwards as f64 / total as f64;
+        assert!((0.3..0.5).contains(&frac), "forward fraction {frac}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Corpus generation: assembling posts, users, and cascades into a
+//! deterministic synthetic data set.
+
+use crate::cascade::{sample_cascade, CascadeConfig};
+use crate::keywords::KeywordModel;
+use crate::spatial::{sample_around, CityModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use tklus_geo::Point;
+use tklus_model::{Corpus, Post, TweetId, UserId};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of *original* posts to generate (cascade responses are
+    /// additional).
+    pub original_posts: usize,
+    /// Number of users.
+    pub users: usize,
+    /// RNG seed; the full corpus is a pure function of this config.
+    pub seed: u64,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent for keyword sampling.
+    pub zipf_exponent: f64,
+    /// Words per tweet: uniform in `words_min..=words_max`.
+    pub words_min: usize,
+    /// Upper bound on words per tweet.
+    pub words_max: usize,
+    /// Cascade shape.
+    pub cascade: CascadeConfig,
+    /// Probability a tweet *emphasizes* its topical keyword by repeating
+    /// it ("Pizza pizza pizza!") — the source of term frequencies above 1,
+    /// which Definition 6 counts under the bag model and which the
+    /// Maximum-score prune needs in the data (a queue of tf>=2 scores is
+    /// what lets tf=1 candidates be skipped).
+    pub p_emphasis: f64,
+    /// User home scatter around their city, in km.
+    pub user_sigma_km: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            original_posts: 20_000,
+            users: 4_000,
+            seed: 0x7B1D5,
+            vocab_size: 2_000,
+            zipf_exponent: 1.0,
+            words_min: 4,
+            words_max: 10,
+            cascade: CascadeConfig::default(),
+            p_emphasis: 0.3,
+            user_sigma_km: 3.0,
+        }
+    }
+}
+
+/// Generates a corpus from the configuration. Deterministic: equal configs
+/// yield equal corpora.
+///
+/// ```
+/// use tklus_gen::{generate_corpus, GenConfig};
+///
+/// let config = GenConfig { original_posts: 100, users: 30, ..GenConfig::default() };
+/// let corpus = generate_corpus(&config);
+/// assert!(corpus.len() >= 100); // originals plus cascade responses
+/// assert_eq!(corpus.posts(), generate_corpus(&config).posts()); // deterministic
+/// ```
+pub fn generate_corpus(config: &GenConfig) -> Corpus {
+    assert!(config.users > 0 && config.original_posts > 0, "non-empty corpus");
+    assert!(config.words_min >= 1 && config.words_min <= config.words_max);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cities = CityModel::default_world();
+    let keywords = KeywordModel::new(config.vocab_size, config.zipf_exponent);
+
+    // Each user gets a home city and a home point; posting activity is
+    // Zipf-distributed (a few prolific users, a long quiet tail).
+    let homes: Vec<(usize, Point)> = (0..config.users)
+        .map(|_| {
+            let c = cities.sample_city(&mut rng);
+            let home = cities.sample_near(&mut rng, c);
+            (c, home)
+        })
+        .collect();
+    let user_zipf = Zipf::new(config.users as u64, 0.45).expect("valid zipf");
+
+    let mut posts: Vec<Post> = Vec::with_capacity(config.original_posts * 2);
+    let mut next_id = 1u64;
+    let alloc_id = |next_id: &mut u64| {
+        let id = TweetId(*next_id);
+        *next_id += 1;
+        id
+    };
+
+    for _ in 0..config.original_posts {
+        let uid = UserId(user_zipf.sample(&mut rng) as u64 - 1);
+        let (_, home) = homes[uid.0 as usize];
+        let location = sample_around(&mut rng, &home, config.user_sigma_km);
+        let nwords = rng.gen_range(config.words_min..=config.words_max);
+        let mut words = keywords.sample_words(&mut rng, nwords);
+        // Emphasis repetition: duplicate one topical (query-pool) word.
+        if rng.gen_bool(config.p_emphasis) {
+            let topical: Vec<&str> =
+                words.iter().copied().filter(|w| keywords.is_query_keyword(w)).collect();
+            if !topical.is_empty() {
+                let w = topical[rng.gen_range(0..topical.len())];
+                for _ in 0..rng.gen_range(1..=2usize) {
+                    words.push(w);
+                }
+            }
+        }
+        let text = words.join(" ");
+        let root_id = alloc_id(&mut next_id);
+        let root_user = uid;
+        posts.push(Post::original(root_id, root_user, location, text));
+
+        // Sample the response cascade. Responders are random users posting
+        // near their own homes; response text is drawn from the same
+        // vocabulary (responses rarely repeat the root's keywords).
+        let cascade = sample_cascade(&mut rng, &config.cascade);
+        let base = posts.len();
+        let mut node_ids: Vec<(TweetId, UserId)> = Vec::with_capacity(cascade.len());
+        for node in &cascade {
+            let (target_id, target_user) = match node.parent {
+                None => (root_id, root_user),
+                Some(p) => node_ids[p],
+            };
+            let responder = UserId(rng.gen_range(0..config.users as u64));
+            let (_, responder_home) = homes[responder.0 as usize];
+            let rloc = sample_around(&mut rng, &responder_home, config.user_sigma_km);
+            let rwords = rng.gen_range(2..=5);
+            let rtext = keywords.sample_words(&mut rng, rwords).join(" ");
+            let rid = alloc_id(&mut next_id);
+            let post = if node.is_forward {
+                Post::forward(rid, responder, rloc, rtext, target_id, target_user)
+            } else {
+                Post::reply(rid, responder, rloc, rtext, target_id, target_user)
+            };
+            node_ids.push((rid, responder));
+            posts.push(post);
+        }
+        debug_assert_eq!(posts.len() - base, cascade.len());
+    }
+
+    Corpus::new(posts).expect("generated ids are unique")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_text::TextPipeline;
+
+    fn small() -> GenConfig {
+        GenConfig { original_posts: 2_000, users: 400, vocab_size: 300, ..GenConfig::default() }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_corpus(&small());
+        let b = generate_corpus(&small());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.posts()[..50], b.posts()[..50]);
+    }
+
+    #[test]
+    fn different_seed_different_corpus() {
+        let a = generate_corpus(&small());
+        let b = generate_corpus(&GenConfig { seed: 99, ..small() });
+        assert_ne!(a.posts()[..50], b.posts()[..50]);
+    }
+
+    #[test]
+    fn has_replies_and_forwards() {
+        let c = generate_corpus(&small());
+        let replies = c.posts().iter().filter(|p| p.is_reply()).count();
+        assert!(replies > 100, "replies: {replies}");
+        let forwards = c
+            .posts()
+            .iter()
+            .filter(|p| matches!(p.in_reply_to.map(|r| r.kind), Some(tklus_model::InteractionKind::Forward)))
+            .count();
+        assert!(forwards > 10, "forwards: {forwards}");
+        // All reply targets exist in the corpus.
+        for p in c.posts() {
+            if let Some(rt) = p.in_reply_to {
+                let target = c.get(rt.target).expect("reply target exists");
+                assert_eq!(target.user, rt.target_user, "ruid matches target's author");
+                assert!(rt.target < p.id, "replies come after their targets");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_keywords_dominate() {
+        let c = generate_corpus(&small());
+        let pipeline = TextPipeline::new();
+        let mut restaurant = 0usize;
+        let mut rare = 0usize;
+        for p in c.posts() {
+            for t in pipeline.terms(&p.text) {
+                if t == "restaur" {
+                    restaurant += 1;
+                } else if t.starts_with("word0") {
+                    rare += 1;
+                }
+            }
+        }
+        assert!(restaurant > 200, "restaurant stem count {restaurant}");
+        // Each individual rare word is much rarer than the top keyword.
+        assert!(restaurant * 4 > rare, "restaurant {restaurant} vs all-rare {rare}");
+    }
+
+    #[test]
+    fn users_post_near_home() {
+        let c = generate_corpus(&small());
+        // For users with >= 3 original posts, their posts cluster: mean
+        // pairwise distance well under inter-city distances.
+        let mut checked = 0;
+        for uid in c.users() {
+            let locs: Vec<Point> =
+                c.posts_of(uid).filter(|p| !p.is_reply()).map(|p| p.location).collect();
+            if locs.len() < 3 {
+                continue;
+            }
+            checked += 1;
+            let mut sum = 0.0;
+            let mut n = 0;
+            for i in 0..locs.len() {
+                for j in i + 1..locs.len() {
+                    sum += locs[i].euclidean_km(&locs[j]);
+                    n += 1;
+                }
+            }
+            let mean = sum / n as f64;
+            assert!(mean < 50.0, "user {uid} scatter too wide ({mean} km)");
+            if checked > 30 {
+                break;
+            }
+        }
+        assert!(checked > 5, "not enough multi-post users to check");
+    }
+
+    #[test]
+    fn ids_monotone_in_generation_order() {
+        let c = generate_corpus(&small());
+        assert!(c.posts().windows(2).all(|w| w[0].id < w[1].id));
+    }
+}

@@ -1,0 +1,137 @@
+//! Keyword model: a Zipf-distributed vocabulary with the paper's Table II
+//! hot keywords seeded at the top ranks.
+
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+/// Table II: the top-10 frequent keywords of the paper's data set, in rank
+/// order.
+pub const TABLE2_KEYWORDS: [&str; 10] =
+    ["restaurant", "game", "cafe", "shop", "hotel", "club", "coffee", "film", "pizza", "mall"];
+
+/// The next 20 "meaningful keywords" filling out the paper's 30-keyword
+/// query pool (Section VI-B1 selects "30 meaningful keywords including the
+/// top-10 frequent ones").
+pub const EXTRA_QUERY_KEYWORDS: [&str; 20] = [
+    "museum", "beach", "park", "bar", "concert", "sushi", "burger", "gym", "theater", "market",
+    "library", "airport", "stadium", "gallery", "bakery", "brunch", "karaoke", "spa", "zoo", "festival",
+];
+
+/// Filler content words (never queried, they pad tweet text realistically).
+const FILLER: [&str; 40] = [
+    "amazing", "awesome", "beautiful", "best", "big", "busy", "cheap", "cold", "cool", "crazy",
+    "delicious", "downtown", "evening", "famous", "fancy", "favourite", "friendly", "fresh", "fun", "good",
+    "great", "happy", "huge", "lovely", "lunch", "morning", "new", "nice", "night", "old",
+    "perfect", "pretty", "quiet", "small", "street", "sunny", "super", "tasty", "tonight", "weekend",
+];
+
+/// A ranked vocabulary sampled through a Zipf law.
+#[derive(Debug, Clone)]
+pub struct KeywordModel {
+    ranked: Vec<String>,
+    zipf: Zipf<f64>,
+}
+
+impl KeywordModel {
+    /// Builds a vocabulary of `size` words: the 30 query keywords first (so
+    /// they are the frequent ones), then filler words, then generated
+    /// pseudo-words ("w0031", …). `exponent` is the Zipf exponent
+    /// (≈ 1.0 matches word-frequency folklore).
+    pub fn new(size: usize, exponent: f64) -> Self {
+        assert!(size >= TABLE2_KEYWORDS.len() + EXTRA_QUERY_KEYWORDS.len(), "vocabulary too small");
+        let mut ranked: Vec<String> = TABLE2_KEYWORDS.iter().map(|s| s.to_string()).collect();
+        ranked.extend(EXTRA_QUERY_KEYWORDS.iter().map(|s| s.to_string()));
+        ranked.extend(FILLER.iter().map(|s| s.to_string()));
+        let mut i = 0;
+        while ranked.len() < size {
+            ranked.push(format!("word{i:04}"));
+            i += 1;
+        }
+        ranked.truncate(size);
+        Self { zipf: Zipf::new(ranked.len() as u64, exponent).expect("valid zipf"), ranked }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// True when the vocabulary is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// The word at `rank` (0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.ranked[rank]
+    }
+
+    /// The 30 query keywords (Table II top-10 + 20 more).
+    pub fn query_keywords(&self) -> Vec<&str> {
+        self.ranked[..TABLE2_KEYWORDS.len() + EXTRA_QUERY_KEYWORDS.len()].iter().map(String::as_str).collect()
+    }
+
+    /// Whether `word` is one of the 30 query-pool keywords.
+    pub fn is_query_keyword(&self, word: &str) -> bool {
+        self.query_keywords().contains(&word)
+    }
+
+    /// Samples one word by the Zipf law.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &str {
+        let rank = (self.zipf.sample(rng) as usize).clamp(1, self.ranked.len());
+        &self.ranked[rank - 1]
+    }
+
+    /// Samples a tweet's worth of words (length `n`).
+    pub fn sample_words<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<&str> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn table2_keywords_lead_the_ranking() {
+        let m = KeywordModel::new(500, 1.0);
+        for (i, kw) in TABLE2_KEYWORDS.iter().enumerate() {
+            assert_eq!(m.word(i), *kw);
+        }
+        assert_eq!(m.query_keywords().len(), 30);
+        assert_eq!(m.len(), 500);
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed_toward_top_ranks() {
+        let m = KeywordModel::new(500, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(m.sample(&mut rng)).or_default() += 1;
+        }
+        let restaurant = counts.get("restaurant").copied().unwrap_or(0);
+        let deep = counts.get(m.word(400)).copied().unwrap_or(0);
+        assert!(restaurant > 50 * deep.max(1), "restaurant {restaurant} vs rank-400 {deep}");
+        // Top word clearly more frequent than rank-10.
+        let mall = counts.get("mall").copied().unwrap_or(0);
+        assert!(restaurant > mall, "restaurant {restaurant} vs mall {mall}");
+    }
+
+    #[test]
+    fn sample_words_length() {
+        let m = KeywordModel::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.sample_words(&mut rng, 7).len(), 7);
+        assert!(m.sample_words(&mut rng, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary too small")]
+    fn too_small_vocab_rejected() {
+        let _ = KeywordModel::new(10, 1.0);
+    }
+}

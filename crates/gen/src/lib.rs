@@ -1,0 +1,40 @@
+//! Synthetic workload generation.
+//!
+//! The paper evaluates on 514 million real geo-tagged tweets crawled from
+//! Twitter (Sep 2012 – Feb 2013) plus AOL query logs — neither of which is
+//! available here. This crate generates a deterministic synthetic
+//! equivalent whose *statistical shape* matches what the algorithms
+//! actually depend on:
+//!
+//! * **spatial clustering** ([`spatial`]) — tweets concentrate in city
+//!   clusters (Gaussian mixture), like real geo-tagged data;
+//! * **keyword skew** ([`keywords`]) — term frequencies follow a Zipf law
+//!   with the paper's Table II hot keywords seeded at the top ranks;
+//! * **cascades** ([`cascade`]) — reply/forward trees with heavy-tailed
+//!   branching, so thread popularity varies over orders of magnitude;
+//! * **user locality** — each user is anchored to a home city and posts
+//!   near it, which is what makes "local user" a meaningful notion;
+//! * **query workload** ([`queries`]) — the Section VI-B1 recipe: 30
+//!   meaningful keywords including the Table II top-10; 1-keyword queries
+//!   drawn uniformly from them; 2–3-keyword queries formed from a hot
+//!   anchor plus corpus-co-occurring qualifiers (standing in for the AOL
+//!   log phrases); query locations sampled from the corpus's spatial
+//!   distribution.
+//!
+//! Everything is seeded: the same [`GenConfig`] always produces the same
+//! corpus and query set, byte for byte.
+
+pub mod cascade;
+pub mod corpus;
+pub mod etl;
+pub mod io;
+pub mod keywords;
+pub mod queries;
+pub mod spatial;
+
+pub use corpus::{generate_corpus, GenConfig};
+pub use etl::{etl_json, EtlError, EtlReport};
+pub use keywords::{KeywordModel, TABLE2_KEYWORDS};
+pub use queries::{generate_queries, QueryConfig, QuerySpec};
+pub use io::{load_tsv, save_tsv, CorpusIoError};
+pub use spatial::{City, CityModel};

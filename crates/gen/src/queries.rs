@@ -1,0 +1,207 @@
+//! Query workload generation (Section VI-B1).
+//!
+//! "We select 30 meaningful keywords including the top-10 frequent ones …
+//! a 1-keyword query randomly gets one out of the 30. Queries with 2 and 3
+//! keywords are constructed from AOL query logs that contain the single
+//! keyword from Table II … Each query is randomly associated with a
+//! location that is sampled according to the spatial distribution in our
+//! data set. Finally, random combinations of keywords and locations form a
+//! 90-query set."
+//!
+//! Without the AOL logs, multi-keyword queries take a Table II hot keyword
+//! as anchor and add qualifiers that *co-occur* with it in the corpus —
+//! the same "hot keyword + qualifier" structure the AOL phrases have
+//! ("restaurant seafood", "morroccan restaurants houston").
+
+use crate::keywords::{EXTRA_QUERY_KEYWORDS, TABLE2_KEYWORDS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tklus_geo::Point;
+use tklus_model::Corpus;
+use tklus_text::{PorterStemmer, Tokenizer};
+
+/// One generated query (radius and k are attached per experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Query location, sampled from the corpus's spatial distribution.
+    pub location: Point,
+    /// Raw query keywords (1 to 3 words).
+    pub keywords: Vec<String>,
+}
+
+/// Query-set configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Queries per keyword-count bucket (30 in the paper → 90 total).
+    pub per_bucket: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self { per_bucket: 30, seed: 0x9E37 }
+    }
+}
+
+/// Generates the query set: `per_bucket` queries each with 1, 2, and 3
+/// keywords. Locations are sampled from the corpus's own post locations
+/// (i.e., exactly its spatial distribution).
+pub fn generate_queries(corpus: &Corpus, config: &QueryConfig) -> Vec<QuerySpec> {
+    assert!(!corpus.is_empty(), "need a corpus to sample locations from");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cooc = co_occurrence(corpus);
+    let pool: Vec<&str> = TABLE2_KEYWORDS.iter().chain(EXTRA_QUERY_KEYWORDS.iter()).copied().collect();
+
+    let mut out = Vec::with_capacity(config.per_bucket * 3);
+    for nkw in 1..=3usize {
+        for _ in 0..config.per_bucket {
+            let location = corpus.posts()[rng.gen_range(0..corpus.len())].location;
+            let keywords = match nkw {
+                1 => vec![pool.choose(&mut rng).expect("pool non-empty").to_string()],
+                _ => {
+                    // Anchor on a hot keyword that has co-occurring words.
+                    let anchor = *TABLE2_KEYWORDS
+                        .iter()
+                        .filter(|a| cooc.get(**a).is_some_and(|v| v.len() >= nkw - 1))
+                        .collect::<Vec<_>>()
+                        .choose(&mut rng)
+                        .unwrap_or(&&TABLE2_KEYWORDS[0]);
+                    let mut kws = vec![anchor.to_string()];
+                    if let Some(companions) = cooc.get(anchor) {
+                        // Weighted toward the most frequent companions:
+                        // sample from the top slice.
+                        let top = &companions[..companions.len().min(25)];
+                        let mut chosen: Vec<&String> = top.choose_multiple(&mut rng, nkw - 1).collect();
+                        chosen.sort();
+                        kws.extend(chosen.into_iter().cloned());
+                    }
+                    kws
+                }
+            };
+            out.push(QuerySpec { location, keywords });
+        }
+    }
+    out
+}
+
+/// For each Table II hot keyword: the raw words co-occurring with it in
+/// corpus posts, most frequent first. Raw (unstemmed) words are collected
+/// so generated queries look like real query text.
+fn co_occurrence(corpus: &Corpus) -> HashMap<&'static str, Vec<String>> {
+    let tokenizer = Tokenizer::new();
+    let stemmer = PorterStemmer::new();
+    let anchor_stems: Vec<(usize, String)> =
+        TABLE2_KEYWORDS.iter().enumerate().map(|(i, k)| (i, stemmer.stem(k))).collect();
+    let mut counters: Vec<HashMap<String, usize>> = vec![HashMap::new(); TABLE2_KEYWORDS.len()];
+    for post in corpus.posts() {
+        let toks = tokenizer.tokenize(&post.text);
+        if toks.is_empty() {
+            continue;
+        }
+        let stems: Vec<String> = toks.iter().map(|t| stemmer.stem(t)).collect();
+        for (ai, astem) in &anchor_stems {
+            if stems.iter().any(|s| s == astem) {
+                for (tok, stem) in toks.iter().zip(&stems) {
+                    if stem != astem {
+                        *counters[*ai].entry(tok.clone()).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+    anchor_stems
+        .into_iter()
+        .map(|(ai, _)| {
+            let mut words: Vec<(String, usize)> = counters[ai].drain().collect();
+            words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            (TABLE2_KEYWORDS[ai], words.into_iter().map(|(w, _)| w).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, GenConfig};
+
+    fn corpus() -> Corpus {
+        generate_corpus(&GenConfig { original_posts: 3_000, users: 500, vocab_size: 300, ..GenConfig::default() })
+    }
+
+    #[test]
+    fn generates_90_queries_in_buckets() {
+        let c = corpus();
+        let qs = generate_queries(&c, &QueryConfig::default());
+        assert_eq!(qs.len(), 90);
+        for (i, q) in qs.iter().enumerate() {
+            let expect = i / 30 + 1;
+            assert_eq!(q.keywords.len(), expect, "query {i}: {:?}", q.keywords);
+        }
+    }
+
+    #[test]
+    fn single_keyword_queries_use_the_30_pool() {
+        let c = corpus();
+        let qs = generate_queries(&c, &QueryConfig::default());
+        let pool: Vec<&str> = TABLE2_KEYWORDS.iter().chain(EXTRA_QUERY_KEYWORDS.iter()).copied().collect();
+        for q in &qs[..30] {
+            assert!(pool.contains(&q.keywords[0].as_str()), "{:?}", q.keywords);
+        }
+    }
+
+    #[test]
+    fn multi_keyword_queries_anchor_on_hot_keywords() {
+        let c = corpus();
+        let qs = generate_queries(&c, &QueryConfig::default());
+        for q in &qs[30..] {
+            assert!(TABLE2_KEYWORDS.contains(&q.keywords[0].as_str()), "{:?}", q.keywords);
+            // Qualifiers are distinct from the anchor.
+            for kw in &q.keywords[1..] {
+                assert_ne!(kw, &q.keywords[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let c = corpus();
+        let a = generate_queries(&c, &QueryConfig::default());
+        let b = generate_queries(&c, &QueryConfig::default());
+        assert_eq!(a, b);
+        let other = generate_queries(&c, &QueryConfig { seed: 123, per_bucket: 30 });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn locations_come_from_corpus_distribution() {
+        let c = corpus();
+        let qs = generate_queries(&c, &QueryConfig::default());
+        // Every query location is an actual post location.
+        for q in &qs {
+            assert!(c.posts().iter().any(|p| p.location == q.location));
+        }
+    }
+
+    #[test]
+    fn qualifiers_cooccur_with_anchor_in_corpus() {
+        let c = corpus();
+        let qs = generate_queries(&c, &QueryConfig::default());
+        let tokenizer = Tokenizer::new();
+        let stemmer = PorterStemmer::new();
+        for q in &qs[30..40] {
+            let anchor_stem = stemmer.stem(&q.keywords[0]);
+            for qual in &q.keywords[1..] {
+                let qual_stem = stemmer.stem(qual);
+                let found = c.posts().iter().any(|p| {
+                    let stems: Vec<String> =
+                        tokenizer.tokenize(&p.text).iter().map(|t| stemmer.stem(t)).collect();
+                    stems.contains(&anchor_stem) && stems.contains(&qual_stem)
+                });
+                assert!(found, "({}, {qual}) never co-occur", q.keywords[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Spatial model: a Gaussian-mixture of city clusters.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use tklus_geo::Point;
+
+/// One city cluster.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// City name (for reports).
+    pub name: &'static str,
+    /// Cluster centre.
+    pub center: Point,
+    /// Standard deviation of the scatter, in kilometres.
+    pub sigma_km: f64,
+    /// Relative sampling weight (population proxy).
+    pub weight: f64,
+}
+
+/// A mixture of city clusters to sample locations from.
+#[derive(Debug, Clone)]
+pub struct CityModel {
+    cities: Vec<City>,
+    cumulative: Vec<f64>,
+}
+
+impl CityModel {
+    /// Builds a model; weights must be positive.
+    pub fn new(cities: Vec<City>) -> Self {
+        assert!(!cities.is_empty(), "at least one city");
+        assert!(cities.iter().all(|c| c.weight > 0.0 && c.sigma_km > 0.0), "positive weights and sigmas");
+        let total: f64 = cities.iter().map(|c| c.weight).sum();
+        let mut acc = 0.0;
+        let cumulative = cities
+            .iter()
+            .map(|c| {
+                acc += c.weight / total;
+                acc
+            })
+            .collect();
+        Self { cities, cumulative }
+    }
+
+    /// The default world: a spread of major cities, Toronto-heavy to echo
+    /// the paper's running example.
+    pub fn default_world() -> Self {
+        const KM_SIGMA: f64 = 8.0;
+        let city = |name, lat, lon, weight| City {
+            name,
+            center: Point::new_unchecked(lat, lon),
+            sigma_km: KM_SIGMA,
+            weight,
+        };
+        Self::new(vec![
+            city("Toronto", 43.6839, -79.3736, 3.0),
+            city("New York", 40.7128, -74.0060, 2.5),
+            city("Los Angeles", 34.0522, -118.2437, 2.0),
+            city("Chicago", 41.8781, -87.6298, 1.5),
+            city("London", 51.5074, -0.1278, 2.0),
+            city("Paris", 48.8566, 2.3522, 1.5),
+            city("Sao Paulo", -23.5505, -46.6333, 1.5),
+            city("Tokyo", 35.6762, 139.6503, 2.0),
+            city("Seoul", 37.5665, 126.9780, 1.2),
+            city("Sydney", -33.8688, 151.2093, 1.0),
+            city("Copenhagen", 55.6761, 12.5683, 0.8),
+            city("Houston", 29.7604, -95.3698, 1.0),
+        ])
+    }
+
+    /// The cities.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// Samples a city index by weight.
+    pub fn sample_city<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < x).min(self.cities.len() - 1)
+    }
+
+    /// Samples a point near the given city (Gaussian scatter, clamped to
+    /// valid coordinates).
+    pub fn sample_near<R: Rng>(&self, rng: &mut R, city_idx: usize) -> Point {
+        let city = &self.cities[city_idx];
+        sample_around(rng, &city.center, city.sigma_km)
+    }
+
+    /// Samples a point from the whole mixture.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Point {
+        let c = self.sample_city(rng);
+        self.sample_near(rng, c)
+    }
+}
+
+/// Gaussian scatter of `sigma_km` around `center`.
+pub fn sample_around<R: Rng>(rng: &mut R, center: &Point, sigma_km: f64) -> Point {
+    // 1 degree latitude ~ 111.32 km; longitude scaled by cos(lat).
+    const KM_PER_DEG: f64 = 111.32;
+    let normal = Normal::new(0.0, sigma_km).expect("positive sigma");
+    let dy_km: f64 = normal.sample(rng);
+    let dx_km: f64 = normal.sample(rng);
+    let lat = (center.lat() + dy_km / KM_PER_DEG).clamp(-89.9, 89.9);
+    let coslat = lat.to_radians().cos().max(0.01);
+    let mut lon = center.lon() + dx_km / (KM_PER_DEG * coslat);
+    if lon > 180.0 {
+        lon -= 360.0;
+    } else if lon < -180.0 {
+        lon += 360.0;
+    }
+    Point::new_unchecked(lat, lon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_cluster_near_city_centers() {
+        let model = CityModel::default_world();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let p = model.sample(&mut rng);
+            let nearest = model
+                .cities()
+                .iter()
+                .map(|c| c.center.euclidean_km(&p))
+                .fold(f64::INFINITY, f64::min);
+            // Within 6 sigma of some city.
+            assert!(nearest < 6.0 * 8.0, "point {p} is {nearest} km from every city");
+        }
+    }
+
+    #[test]
+    fn city_weights_respected() {
+        let model = CityModel::default_world();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; model.cities().len()];
+        for _ in 0..20_000 {
+            counts[model.sample_city(&mut rng)] += 1;
+        }
+        // Toronto (weight 3.0) should be sampled more than Sydney (1.0).
+        let toronto = model.cities().iter().position(|c| c.name == "Toronto").unwrap();
+        let sydney = model.cities().iter().position(|c| c.name == "Sydney").unwrap();
+        assert!(counts[toronto] > counts[sydney] * 2, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "every city sampled: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let model = CityModel::default_world();
+        let a: Vec<Point> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| model.sample(&mut rng)).collect()
+        };
+        let b: Vec<Point> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| model.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_around_respects_sigma() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let center = Point::new_unchecked(43.7, -79.4);
+        let mean_dist: f64 = (0..1000)
+            .map(|_| center.euclidean_km(&sample_around(&mut rng, &center, 5.0)))
+            .sum::<f64>()
+            / 1000.0;
+        // Mean distance of a 2D Gaussian with sigma 5 is sigma * sqrt(pi/2)
+        // ~ 6.27 km.
+        assert!((5.0..8.0).contains(&mean_dist), "mean {mean_dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city")]
+    fn empty_model_rejected() {
+        let _ = CityModel::new(vec![]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Geohash cells: the bounding rectangle a geohash prefix denotes.
+//!
+//! Circle-cover construction (Section IV-B1) needs two geometric predicates
+//! per candidate prefix: "can any point of this cell be within `r` of the
+//! query?" (keep/expand) and "is the whole cell within `r`?" (useful for
+//! cover statistics). Both reduce to point-to-rectangle minimum/maximum
+//! distance, implemented here on top of the crate's distance metrics.
+
+use crate::geohash::{decode, Geohash};
+use crate::point::{DistanceMetric, Point};
+use serde::{Deserialize, Serialize};
+
+/// The axis-aligned lat/lon rectangle of a geohash prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    lat_lo: f64,
+    lat_hi: f64,
+    lon_lo: f64,
+    lon_hi: f64,
+}
+
+impl Cell {
+    /// The cell denoted by a geohash.
+    pub fn from_geohash(gh: &Geohash) -> Self {
+        let ((lat_lo, lat_hi), (lon_lo, lon_hi)) = decode(gh);
+        Self { lat_lo, lat_hi, lon_lo, lon_hi }
+    }
+
+    /// A cell from explicit bounds. Intended for tests; callers must supply
+    /// `lo <= hi` on both axes.
+    pub fn from_bounds(lat_lo: f64, lat_hi: f64, lon_lo: f64, lon_hi: f64) -> Self {
+        debug_assert!(lat_lo <= lat_hi && lon_lo <= lon_hi);
+        Self { lat_lo, lat_hi, lon_lo, lon_hi }
+    }
+
+    /// Lower latitude bound (inclusive).
+    pub fn lat_lo(&self) -> f64 {
+        self.lat_lo
+    }
+    /// Upper latitude bound (exclusive in geohash terms).
+    pub fn lat_hi(&self) -> f64 {
+        self.lat_hi
+    }
+    /// Lower longitude bound (inclusive).
+    pub fn lon_lo(&self) -> f64 {
+        self.lon_lo
+    }
+    /// Upper longitude bound (exclusive in geohash terms).
+    pub fn lon_hi(&self) -> f64 {
+        self.lon_hi
+    }
+
+    /// Cell centre.
+    pub fn center(&self) -> Point {
+        Point::new_unchecked((self.lat_lo + self.lat_hi) / 2.0, (self.lon_lo + self.lon_hi) / 2.0)
+    }
+
+    /// Whether the point lies inside the cell (geohash half-open semantics:
+    /// low edges inclusive, high edges exclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.lat_lo <= p.lat() && p.lat() < self.lat_hi && self.lon_lo <= p.lon() && p.lon() < self.lon_hi
+    }
+
+    /// The point of the cell closest to `p` (clamping on both axes).
+    pub fn closest_point_to(&self, p: &Point) -> Point {
+        let lat = p.lat().clamp(self.lat_lo, self.lat_hi);
+        let lon = p.lon().clamp(self.lon_lo, self.lon_hi);
+        Point::new_unchecked(lat, lon)
+    }
+
+    /// Minimum distance from `p` to any point of the cell, in km. Zero when
+    /// `p` is inside.
+    pub fn min_distance_km(&self, p: &Point, metric: DistanceMetric) -> f64 {
+        p.distance_km(&self.closest_point_to(p), metric)
+    }
+
+    /// Maximum distance from `p` to any point of the cell, in km
+    /// (the farthest corner).
+    pub fn max_distance_km(&self, p: &Point, metric: DistanceMetric) -> f64 {
+        let corners = [
+            Point::new_unchecked(self.lat_lo, self.lon_lo),
+            Point::new_unchecked(self.lat_lo, self.lon_hi.min(180.0)),
+            Point::new_unchecked(self.lat_hi.min(90.0), self.lon_lo),
+            Point::new_unchecked(self.lat_hi.min(90.0), self.lon_hi.min(180.0)),
+        ];
+        corners.iter().map(|c| p.distance_km(c, metric)).fold(0.0, f64::max)
+    }
+
+    /// Whether any part of the cell lies within `radius_km` of `center`.
+    pub fn intersects_circle(&self, center: &Point, radius_km: f64, metric: DistanceMetric) -> bool {
+        self.min_distance_km(center, metric) <= radius_km
+    }
+
+    /// Whether the entire cell lies within `radius_km` of `center`.
+    pub fn within_circle(&self, center: &Point, radius_km: f64, metric: DistanceMetric) -> bool {
+        self.max_distance_km(center, metric) <= radius_km
+    }
+
+    /// Approximate cell area in km², using the equirectangular projection at
+    /// the cell's mean latitude. Used only for cover-quality statistics.
+    pub fn area_km2(&self) -> f64 {
+        use crate::point::EARTH_RADIUS_KM;
+        let mean_lat = ((self.lat_lo + self.lat_hi) / 2.0).to_radians();
+        let height = (self.lat_hi - self.lat_lo).to_radians() * EARTH_RADIUS_KM;
+        let width = (self.lon_hi - self.lon_lo).to_radians() * mean_lat.cos() * EARTH_RADIUS_KM;
+        (height * width).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geohash::encode;
+
+    fn p(lat: f64, lon: f64) -> Point {
+        Point::new_unchecked(lat, lon)
+    }
+
+    #[test]
+    fn cell_of_encoded_point_contains_it() {
+        let point = p(43.6839128037, -79.37356590);
+        for len in 1..=8 {
+            let cell = Cell::from_geohash(&encode(&point, len).unwrap());
+            assert!(cell.contains(&point), "len {len}");
+            assert_eq!(cell.min_distance_km(&point, DistanceMetric::Euclidean), 0.0);
+        }
+    }
+
+    #[test]
+    fn min_distance_zero_inside_positive_outside() {
+        let cell = Cell::from_bounds(0.0, 1.0, 0.0, 1.0);
+        assert_eq!(cell.min_distance_km(&p(0.5, 0.5), DistanceMetric::Euclidean), 0.0);
+        let outside = p(2.0, 0.5);
+        let d = cell.min_distance_km(&outside, DistanceMetric::Euclidean);
+        // 1 degree of latitude is ~111 km.
+        assert!((105.0..118.0).contains(&d), "distance was {d}");
+    }
+
+    #[test]
+    fn min_distance_clamps_to_nearest_corner() {
+        let cell = Cell::from_bounds(0.0, 1.0, 0.0, 1.0);
+        let diag = p(2.0, 2.0);
+        let to_corner = diag.euclidean_km(&p(1.0, 1.0));
+        assert!((cell.min_distance_km(&diag, DistanceMetric::Euclidean) - to_corner).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_distance_reaches_far_corner() {
+        let cell = Cell::from_bounds(0.0, 1.0, 0.0, 1.0);
+        let origin = p(0.0, 0.0);
+        let far = origin.euclidean_km(&p(1.0, 1.0));
+        assert!((cell.max_distance_km(&origin, DistanceMetric::Euclidean) - far).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_le_max_distance() {
+        let cell = Cell::from_geohash(&"6gxp".parse().unwrap());
+        for point in [p(-23.9, -46.2), p(0.0, 0.0), p(-24.5, -47.0)] {
+            for metric in [DistanceMetric::Euclidean, DistanceMetric::Haversine] {
+                assert!(cell.min_distance_km(&point, metric) <= cell.max_distance_km(&point, metric) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn circle_predicates() {
+        let cell = Cell::from_bounds(0.0, 1.0, 0.0, 1.0);
+        let center = p(0.5, 0.5);
+        // Cell diagonal half-extent is ~78 km; a 200 km circle swallows it.
+        assert!(cell.within_circle(&center, 200.0, DistanceMetric::Euclidean));
+        assert!(cell.intersects_circle(&center, 200.0, DistanceMetric::Euclidean));
+        // A 10 km circle intersects but does not contain the cell.
+        assert!(cell.intersects_circle(&center, 10.0, DistanceMetric::Euclidean));
+        assert!(!cell.within_circle(&center, 10.0, DistanceMetric::Euclidean));
+        // A far-away circle does neither.
+        let far = p(50.0, 50.0);
+        assert!(!cell.intersects_circle(&far, 10.0, DistanceMetric::Euclidean));
+    }
+
+    #[test]
+    fn area_shrinks_with_length() {
+        let point = p(40.0, -74.0);
+        let a4 = Cell::from_geohash(&encode(&point, 4).unwrap()).area_km2();
+        let a5 = Cell::from_geohash(&encode(&point, 5).unwrap()).area_km2();
+        // One extra character = 32x finer subdivision.
+        assert!((a4 / a5 - 32.0).abs() < 0.5, "ratio {}", a4 / a5);
+    }
+
+    #[test]
+    fn center_is_inside() {
+        let cell = Cell::from_geohash(&"u4pr".parse().unwrap());
+        assert!(cell.contains(&cell.center()));
+    }
+}

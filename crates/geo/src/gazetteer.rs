@@ -1,0 +1,237 @@
+//! Place-name gazetteer: inferring implicit locations from text.
+//!
+//! The paper's Section VIII names this future-work direction: "There are
+//! also tweets that lack longitude/latitude in the metadata but mention
+//! place name(s) in the short content. It is worth studying how to exploit
+//! the implicit spatial information in such tweets." This module implements
+//! the classic dictionary approach: a gazetteer of place names (cities and
+//! well-known landmarks) with representative coordinates, matched against
+//! tweet text with multi-word names taking precedence over single words
+//! ("new york" beats "york").
+//!
+//! A recovered location is a city-level estimate, far coarser than a GPS
+//! fix; [`Inference::precision_km`] reports the expected error radius so
+//! downstream scoring can discount it (or a caller can choose to index
+//! recovered posts only for large-radius queries).
+
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// One inferred location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// The inferred coordinate (the place's representative point).
+    pub location: Point,
+    /// The canonical place name that matched.
+    pub place: String,
+    /// Expected error radius of the inference, in kilometres.
+    pub precision_km: f64,
+}
+
+/// A dictionary of place names to representative coordinates.
+///
+/// ```
+/// use tklus_geo::Gazetteer;
+///
+/// let g = Gazetteer::builtin();
+/// let inf = g.infer("Finally Toronto (at Clarion Hotel)").unwrap();
+/// assert_eq!(inf.place, "toronto");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    /// name (lowercase, single-space-separated) -> (point, precision_km).
+    entries: HashMap<String, (Point, f64)>,
+    /// Longest entry name, in words, to bound n-gram probing.
+    max_words: usize,
+}
+
+impl Gazetteer {
+    /// An empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A built-in world gazetteer covering major cities (including every
+    /// city the synthetic corpus generator uses) and a few landmarks.
+    pub fn builtin() -> Self {
+        let mut g = Self::new();
+        const CITY_PRECISION_KM: f64 = 15.0;
+        const LANDMARK_PRECISION_KM: f64 = 1.0;
+        let cities: &[(&str, f64, f64)] = &[
+            ("toronto", 43.6532, -79.3832),
+            ("new york", 40.7128, -74.0060),
+            ("nyc", 40.7128, -74.0060),
+            ("los angeles", 34.0522, -118.2437),
+            ("chicago", 41.8781, -87.6298),
+            ("london", 51.5074, -0.1278),
+            ("paris", 48.8566, 2.3522),
+            ("sao paulo", -23.5505, -46.6333),
+            ("tokyo", 35.6762, 139.6503),
+            ("seoul", 37.5665, 126.9780),
+            ("sydney", -33.8688, 151.2093),
+            ("copenhagen", 55.6761, 12.5683),
+            ("houston", 29.7604, -95.3698),
+            ("berlin", 52.5200, 13.4050),
+            ("madrid", 40.4168, -3.7038),
+            ("rome", 41.9028, 12.4964),
+            ("beijing", 39.9042, 116.4074),
+            ("mumbai", 19.0760, 72.8777),
+            ("mexico city", 19.4326, -99.1332),
+            ("cairo", 30.0444, 31.2357),
+            ("moscow", 55.7558, 37.6173),
+            ("singapore", 1.3521, 103.8198),
+            ("hong kong", 22.3193, 114.1694),
+            ("san francisco", 37.7749, -122.4194),
+            ("boston", 42.3601, -71.0589),
+            ("seattle", 47.6062, -122.3321),
+            ("vancouver", 49.2827, -123.1207),
+            ("montreal", 45.5017, -73.5673),
+            ("amsterdam", 52.3676, 4.9041),
+            ("barcelona", 41.3851, 2.1734),
+            ("dubai", 25.2048, 55.2708),
+            ("istanbul", 41.0082, 28.9784),
+            ("bangkok", 13.7563, 100.5018),
+            ("buenos aires", -34.6037, -58.3816),
+            ("aalborg", 57.0488, 9.9217),
+        ];
+        for &(name, lat, lon) in cities {
+            g.add(name, Point::new_unchecked(lat, lon), CITY_PRECISION_KM);
+        }
+        let landmarks: &[(&str, f64, f64)] = &[
+            ("times square", 40.7580, -73.9855),
+            ("eiffel tower", 48.8584, 2.2945),
+            ("central park", 40.7829, -73.9654),
+            ("cn tower", 43.6426, -79.3871),
+            ("golden gate bridge", 37.8199, -122.4783),
+        ];
+        for &(name, lat, lon) in landmarks {
+            g.add(name, Point::new_unchecked(lat, lon), LANDMARK_PRECISION_KM);
+        }
+        g
+    }
+
+    /// Adds (or replaces) an entry. Names are normalized to lowercase with
+    /// single spaces.
+    pub fn add(&mut self, name: &str, location: Point, precision_km: f64) {
+        let norm = normalize(name);
+        assert!(!norm.is_empty(), "place name must contain words");
+        self.max_words = self.max_words.max(norm.split(' ').count());
+        self.entries.insert(norm, (location, precision_km));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Infers a location from free text. Scans every n-gram of the text
+    /// (longest n-grams first, so "mexico city" wins over a hypothetical
+    /// "mexico" entry); the earliest longest match wins.
+    pub fn infer(&self, text: &str) -> Option<Inference> {
+        let words: Vec<String> = normalize(text).split(' ').map(str::to_string).collect();
+        if words.is_empty() || self.entries.is_empty() {
+            return None;
+        }
+        for n in (1..=self.max_words.min(words.len())).rev() {
+            for start in 0..=(words.len() - n) {
+                let candidate = words[start..start + n].join(" ");
+                if let Some(&(location, precision_km)) = self.entries.get(&candidate) {
+                    return Some(Inference { location, place: candidate, precision_km });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Lowercases and keeps only alphanumeric words, single-space-separated.
+fn normalize(text: &str) -> String {
+    text.chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
+        .collect::<String>()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_infers_single_word_city() {
+        let g = Gazetteer::builtin();
+        let inf = g.infer("Finally Toronto (at Clarion Hotel)").unwrap();
+        assert_eq!(inf.place, "toronto");
+        assert!((inf.location.lat() - 43.6532).abs() < 1e-9);
+        assert!(inf.precision_km > 1.0, "city matches are coarse");
+    }
+
+    #[test]
+    fn multiword_names_beat_substrings() {
+        let mut g = Gazetteer::new();
+        g.add("york", Point::new_unchecked(53.96, -1.08), 10.0);
+        g.add("new york", Point::new_unchecked(40.7128, -74.0060), 15.0);
+        let inf = g.infer("greetings from New York city!").unwrap();
+        assert_eq!(inf.place, "new york");
+        // Plain "york" still matches alone.
+        assert_eq!(g.infer("visiting york today").unwrap().place, "york");
+    }
+
+    #[test]
+    fn landmarks_are_high_precision() {
+        let g = Gazetteer::builtin();
+        let inf = g.infer("watching the sunset at the Eiffel Tower").unwrap();
+        assert_eq!(inf.place, "eiffel tower");
+        assert!(inf.precision_km <= 1.0);
+    }
+
+    #[test]
+    fn no_place_no_inference() {
+        let g = Gazetteer::builtin();
+        assert_eq!(g.infer("great pizza with friends tonight"), None);
+        assert_eq!(g.infer(""), None);
+        assert_eq!(Gazetteer::new().infer("toronto"), None);
+    }
+
+    #[test]
+    fn punctuation_and_case_insensitive() {
+        let g = Gazetteer::builtin();
+        for text in ["TOKYO!!!", "#tokyo", "…tokyo,", "in Tokyo."] {
+            assert_eq!(g.infer(text).unwrap().place, "tokyo", "{text:?}");
+        }
+    }
+
+    #[test]
+    fn earliest_longest_match_wins() {
+        let g = Gazetteer::builtin();
+        // Two cities mentioned: the earliest one at the longest n-gram
+        // level wins deterministically.
+        let inf = g.infer("flying from london to paris tomorrow").unwrap();
+        assert_eq!(inf.place, "london");
+    }
+
+    #[test]
+    fn custom_entries() {
+        let mut g = Gazetteer::builtin();
+        let before = g.len();
+        g.add("Bloor Yorkville", Point::new_unchecked(43.6709, -79.3933), 0.5);
+        assert_eq!(g.len(), before + 1);
+        let inf = g.infer("I'm at Toronto Marriott Bloor Yorkville Hotel").unwrap();
+        // The landmark (2 words) and the city (1 word) both match; the
+        // 2-gram is probed first.
+        assert_eq!(inf.place, "bloor yorkville");
+    }
+
+    #[test]
+    #[should_panic(expected = "place name must contain words")]
+    fn empty_name_rejected() {
+        let mut g = Gazetteer::new();
+        g.add("!!!", Point::new_unchecked(0.0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Z-order (Morton) bit interleaving.
+//!
+//! Geohash is a Z-order curve over recursive longitude/latitude halvings:
+//! even bit positions (0, 2, 4, …) hold longitude decisions and odd positions
+//! hold latitude decisions. The paper cites the Z-order curve (Samet 2006)
+//! as the mechanism behind constructing prefix sets covering a circular
+//! region. These helpers implement the interleaving on `u32` coordinates and
+//! are shared by [`crate::geohash`] and its tests.
+
+/// Spreads the low 32 bits of `x` so bit `i` of the input lands at bit `2i`
+/// of the output (the classic "part 1 by 1" bit trick).
+#[inline]
+pub fn spread(x: u32) -> u64 {
+    let mut x = x as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collects every second bit (bits 0, 2, 4, …).
+#[inline]
+pub fn squash(x: u64) -> u32 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleaves `x` (even bit positions) and `y` (odd bit positions) into a
+/// single Morton code. For geohash, `x` is the longitude path and `y` the
+/// latitude path.
+#[inline]
+pub fn interleave(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Splits a Morton code back into its `(x, y)` components.
+#[inline]
+pub fn deinterleave(z: u64) -> (u32, u32) {
+    (squash(z), squash(z >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_examples() {
+        assert_eq!(spread(0), 0);
+        assert_eq!(spread(1), 1);
+        assert_eq!(spread(0b11), 0b101);
+        assert_eq!(spread(0b101), 0b10001);
+        assert_eq!(spread(u32::MAX), 0x5555_5555_5555_5555);
+    }
+
+    #[test]
+    fn squash_inverts_spread() {
+        for x in [0u32, 1, 2, 3, 0xDEAD_BEEF, u32::MAX, 0x8000_0000] {
+            assert_eq!(squash(spread(x)), x);
+        }
+    }
+
+    #[test]
+    fn interleave_examples() {
+        // x bits at even positions, y bits at odd.
+        assert_eq!(interleave(0b1, 0b0), 0b01);
+        assert_eq!(interleave(0b0, 0b1), 0b10);
+        assert_eq!(interleave(0b11, 0b11), 0b1111);
+        assert_eq!(interleave(0b10, 0b01), 0b0110);
+    }
+
+    #[test]
+    fn deinterleave_inverts_interleave() {
+        for (x, y) in [(0u32, 0u32), (1, 2), (12345, 67890), (u32::MAX, 0), (0, u32::MAX), (u32::MAX, u32::MAX)] {
+            assert_eq!(deinterleave(interleave(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn morton_preserves_locality_ordering_within_quadrant() {
+        // Points in the same quadrant share the high interleaved bits.
+        let a = interleave(0b1000, 0b1000);
+        let b = interleave(0b1001, 0b1001);
+        let c = interleave(0b0000, 0b0000);
+        // a and b share the top 6 bits of an 8-bit Morton code; c does not.
+        assert_eq!(a >> 2, b >> 2);
+        assert_ne!(a >> 6, c >> 6);
+    }
+}

@@ -1,0 +1,163 @@
+//! The social network of Definition 2.
+//!
+//! `G = (U, E_reply, l_reply, E_forward, l_forward)`: users as vertices,
+//! directed reply/forward edges, and label maps from each edge to the posts
+//! that realize it ("each reply edge must involve at least one post").
+//! Built in one pass over a [`Corpus`].
+
+use std::collections::HashMap;
+use tklus_model::{Corpus, InteractionKind, TweetId, UserId};
+
+/// Directed edge key: `(from, to)`.
+type Edge = (UserId, UserId);
+
+/// In-memory social network with post-labelled reply/forward edges and a
+/// child index for thread construction.
+#[derive(Debug, Default)]
+pub struct SocialNetwork {
+    reply_edges: HashMap<Edge, Vec<TweetId>>,
+    forward_edges: HashMap<Edge, Vec<TweetId>>,
+    /// tweet -> the tweets that reply to or forward it (time order).
+    children: HashMap<TweetId, Vec<TweetId>>,
+    users: Vec<UserId>,
+    max_fanout: usize,
+}
+
+impl SocialNetwork {
+    /// Builds the network from a corpus. Posts referencing targets outside
+    /// the corpus still contribute edges (the paper's crawl is a sample;
+    /// dangling `rsid`s are normal) but only in-corpus targets get children.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let mut net = SocialNetwork::default();
+        let mut users: Vec<UserId> = corpus.users().collect();
+        users.sort();
+        net.users = users;
+        for post in corpus.posts() {
+            let Some(rt) = post.in_reply_to else { continue };
+            let edge = (post.user, rt.target_user);
+            match rt.kind {
+                InteractionKind::Reply => net.reply_edges.entry(edge).or_default().push(post.id),
+                InteractionKind::Forward => net.forward_edges.entry(edge).or_default().push(post.id),
+            }
+            net.children.entry(rt.target).or_default().push(post.id);
+        }
+        // Posts are iterated in id (= time) order, so children are sorted.
+        net.max_fanout = net.children.values().map(Vec::len).max().unwrap_or(0);
+        net
+    }
+
+    /// All users, sorted.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// `l_reply(u1, u2)`: the posts in which `u1` replies to `u2`.
+    pub fn reply_posts(&self, from: UserId, to: UserId) -> &[TweetId] {
+        self.reply_edges.get(&(from, to)).map_or(&[], Vec::as_slice)
+    }
+
+    /// `l_forward(u1, u2)`: `u2`'s posts forwarded by `u1` (recorded by the
+    /// forwarding post's id).
+    pub fn forward_posts(&self, from: UserId, to: UserId) -> &[TweetId] {
+        self.forward_edges.get(&(from, to)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether a reply edge `⟨u1, u2⟩ ∈ E_reply` exists.
+    pub fn has_reply_edge(&self, from: UserId, to: UserId) -> bool {
+        self.reply_edges.contains_key(&(from, to))
+    }
+
+    /// Whether a forward edge exists.
+    pub fn has_forward_edge(&self, from: UserId, to: UserId) -> bool {
+        self.forward_edges.contains_key(&(from, to))
+    }
+
+    /// Number of reply edges.
+    pub fn reply_edge_count(&self) -> usize {
+        self.reply_edges.len()
+    }
+
+    /// Number of forward edges.
+    pub fn forward_edge_count(&self) -> usize {
+        self.forward_edges.len()
+    }
+
+    /// The tweets replying to / forwarding `id`, in time order.
+    pub fn children_of(&self, id: TweetId) -> &[TweetId] {
+        self.children.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// `t_m`: "the maximum number of replied tweets a tweet can have in our
+    /// database" (Definition 11).
+    pub fn max_fanout(&self) -> usize {
+        self.max_fanout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_geo::Point;
+    use tklus_model::Post;
+
+    fn pt() -> Point {
+        Point::new_unchecked(43.7, -79.4)
+    }
+
+    fn corpus() -> Corpus {
+        // u9 posts 1; u3 replies (2), u4 forwards (3); u3 replies again (4);
+        // u5 replies to 2 (5).
+        Corpus::new(vec![
+            Post::original(TweetId(1), UserId(9), pt(), "root"),
+            Post::reply(TweetId(2), UserId(3), pt(), "re", TweetId(1), UserId(9)),
+            Post::forward(TweetId(3), UserId(4), pt(), "rt", TweetId(1), UserId(9)),
+            Post::reply(TweetId(4), UserId(3), pt(), "re2", TweetId(1), UserId(9)),
+            Post::reply(TweetId(5), UserId(5), pt(), "re3", TweetId(2), UserId(3)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn edges_and_labels() {
+        let net = SocialNetwork::from_corpus(&corpus());
+        assert!(net.has_reply_edge(UserId(3), UserId(9)));
+        assert!(net.has_forward_edge(UserId(4), UserId(9)));
+        assert!(!net.has_reply_edge(UserId(9), UserId(3)));
+        assert_eq!(net.reply_posts(UserId(3), UserId(9)), &[TweetId(2), TweetId(4)]);
+        assert_eq!(net.forward_posts(UserId(4), UserId(9)), &[TweetId(3)]);
+        assert_eq!(net.reply_edge_count(), 2); // (3->9), (5->3)
+        assert_eq!(net.forward_edge_count(), 1);
+    }
+
+    #[test]
+    fn children_in_time_order() {
+        let net = SocialNetwork::from_corpus(&corpus());
+        assert_eq!(net.children_of(TweetId(1)), &[TweetId(2), TweetId(3), TweetId(4)]);
+        assert_eq!(net.children_of(TweetId(2)), &[TweetId(5)]);
+        assert!(net.children_of(TweetId(5)).is_empty());
+    }
+
+    #[test]
+    fn max_fanout_is_global_max() {
+        let net = SocialNetwork::from_corpus(&corpus());
+        assert_eq!(net.max_fanout(), 3);
+        let empty = SocialNetwork::from_corpus(&Corpus::new(vec![]).unwrap());
+        assert_eq!(empty.max_fanout(), 0);
+    }
+
+    #[test]
+    fn users_sorted() {
+        let net = SocialNetwork::from_corpus(&corpus());
+        assert_eq!(net.users(), &[UserId(3), UserId(4), UserId(5), UserId(9)]);
+    }
+
+    #[test]
+    fn dangling_targets_make_edges_but_no_children() {
+        let c = Corpus::new(vec![Post::reply(TweetId(10), UserId(1), pt(), "re", TweetId(99), UserId(2))]).unwrap();
+        let net = SocialNetwork::from_corpus(&c);
+        assert!(net.has_reply_edge(UserId(1), UserId(2)));
+        // Target 99 is outside the corpus but the child index still knows
+        // who pointed at it.
+        assert_eq!(net.children_of(TweetId(99)), &[TweetId(10)]);
+    }
+}

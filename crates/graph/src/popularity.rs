@@ -1,0 +1,96 @@
+//! Popularity scores: Definition 4 and its upper bound, Definition 11.
+
+/// `Σ_{i=2}^{n} 1/i` — the harmonic weight mass available to levels 2..=n
+/// of a thread. Shared by the actual popularity and the upper bound.
+pub fn harmonic_tail(n: usize) -> f64 {
+    (2..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Definition 4: popularity of a tweet whose thread has the given level
+/// sizes. `level_sizes[0]` is the root level (size 1); level `i` (1-based
+/// index `i+1` in the paper) contributes `|T_i| × 1/i`.
+///
+/// A single-level thread (no responses) scores the smoothing `epsilon`.
+pub fn popularity(level_sizes: &[usize], epsilon: f64) -> f64 {
+    if level_sizes.len() <= 1 {
+        return epsilon;
+    }
+    level_sizes
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(idx, &size)| size as f64 / (idx + 1) as f64)
+        .sum()
+}
+
+/// Definition 11: upper bound popularity `φ(p)_m = Σ_{i=2}^{n} t_m × 1/i`,
+/// where `t_m` is the maximum reply fan-out in the database and `n` the
+/// thread depth bound. With maximal fan-out `t_m` at every level this
+/// over-counts (level i could hold up to `t_m^(i-1)` tweets, but the paper
+/// deliberately uses the flat bound, and so do we — it is what Algorithm 5
+/// compares against).
+pub fn upper_bound_popularity(max_fanout: usize, depth: usize, epsilon: f64) -> f64 {
+    if depth <= 1 || max_fanout == 0 {
+        return epsilon;
+    }
+    (max_fanout as f64 * harmonic_tail(depth)).max(epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure2_example() {
+        // "the score of tweet p1 is 3 × 1/2 + 4 × 1/3 + 2 × 1/4 = 10/3".
+        let phi = popularity(&[1, 3, 4, 2], 0.1);
+        assert!((phi - 10.0 / 3.0).abs() < 1e-12, "phi = {phi}");
+    }
+
+    #[test]
+    fn singleton_thread_scores_epsilon() {
+        assert_eq!(popularity(&[1], 0.1), 0.1);
+        assert_eq!(popularity(&[], 0.25), 0.25);
+    }
+
+    #[test]
+    fn two_level_thread() {
+        // Root + 5 direct responses: 5 × 1/2.
+        assert_eq!(popularity(&[1, 5], 0.1), 2.5);
+    }
+
+    #[test]
+    fn harmonic_tail_values() {
+        assert_eq!(harmonic_tail(1), 0.0);
+        assert!((harmonic_tail(2) - 0.5).abs() < 1e-12);
+        assert!((harmonic_tail(4) - (0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_dominates_any_thread_with_bounded_fanout() {
+        // Any thread whose every level has at most t_m tweets and depth <= n
+        // scores below the bound.
+        let t_m = 4;
+        let depth = 5;
+        let bound = upper_bound_popularity(t_m, depth, 0.1);
+        for levels in [vec![1, 4, 4, 4, 4], vec![1, 4], vec![1, 1, 1, 1, 1], vec![1]] {
+            let phi = popularity(&levels, 0.1);
+            assert!(phi <= bound + 1e-12, "levels {levels:?}: {phi} > {bound}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_degenerate_cases() {
+        assert_eq!(upper_bound_popularity(0, 5, 0.1), 0.1);
+        assert_eq!(upper_bound_popularity(10, 1, 0.1), 0.1);
+        // Tiny fan-out with deep threads still at least epsilon.
+        assert!(upper_bound_popularity(1, 2, 0.7) >= 0.7);
+    }
+
+    #[test]
+    fn upper_bound_monotone_in_fanout_and_depth() {
+        let e = 0.1;
+        assert!(upper_bound_popularity(5, 4, e) < upper_bound_popularity(6, 4, e));
+        assert!(upper_bound_popularity(5, 4, e) < upper_bound_popularity(5, 5, e));
+    }
+}

@@ -1,0 +1,295 @@
+//! Index construction: the MapReduce job of Algorithms 2 and 3 plus the
+//! driver that lays partitions out on the DFS and builds the forward index.
+
+use crate::forward::{ForwardIndex, PostingsLocation};
+use crate::inverted::HybridIndex;
+use crate::posting::{Posting, PostingsList};
+use std::time::{Duration, Instant};
+use tklus_geo::{encode, Geohash};
+use tklus_mapreduce::{run_job, JobConfig, Mapper, RangePartitioner, Reducer};
+use tklus_model::Post;
+use tklus_storage::{Dfs, DfsConfig};
+use tklus_text::{TextPipeline, Vocab};
+
+/// Configuration of an index build.
+#[derive(Debug, Clone)]
+pub struct IndexBuildConfig {
+    /// Geohash encoding length (the paper evaluates 1–4; default 4, the
+    /// choice Section VI-B2 settles on).
+    pub geohash_len: usize,
+    /// Simulated cluster size = map tasks = reduce partitions = DFS nodes
+    /// (the paper's cluster has 3 machines).
+    pub nodes: usize,
+    /// DFS block size in bytes.
+    pub block_size: usize,
+    /// DFS replication factor for partition files (1 = no replicas).
+    pub replication: usize,
+}
+
+impl Default for IndexBuildConfig {
+    fn default() -> Self {
+        Self { geohash_len: 4, nodes: 3, block_size: 64 * 1024, replication: 1 }
+    }
+}
+
+/// Outcome statistics of a build, for the Figure 5/6 harnesses.
+#[derive(Debug, Clone)]
+pub struct IndexBuildReport {
+    /// Total wall time of the build.
+    pub total_time: Duration,
+    /// Map+shuffle phase wall time.
+    pub map_time: Duration,
+    /// Reduce phase wall time.
+    pub reduce_time: Duration,
+    /// Posts consumed.
+    pub posts: u64,
+    /// `⟨geohash, term⟩` keys produced (= forward index entries).
+    pub keys: u64,
+    /// Postings across all lists.
+    pub postings: u64,
+    /// Bytes of inverted-index data written to the DFS (Fig. 6's size).
+    pub index_bytes: u64,
+    /// Distinct terms in the dictionary.
+    pub distinct_terms: u64,
+}
+
+/// The map function of Algorithm 2: tokenize + stem the post, count term
+/// frequencies, and emit `⟨(geohash, term), (timestamp, tf)⟩` per distinct
+/// term.
+struct IndexMapper {
+    pipeline: TextPipeline,
+    geohash_len: usize,
+}
+
+impl Mapper for IndexMapper {
+    type Input = Post;
+    type Key = (Geohash, String);
+    type Value = (u64, u32);
+
+    fn map(&self, post: &Post, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        let gh = encode(&post.location, self.geohash_len).expect("valid geohash length");
+        // Associative array H of Algorithm 2: term -> in-post frequency.
+        let mut terms = self.pipeline.terms(&post.text);
+        terms.sort_unstable();
+        let mut i = 0;
+        while i < terms.len() {
+            let mut j = i + 1;
+            while j < terms.len() && terms[j] == terms[i] {
+                j += 1;
+            }
+            emit((gh, terms[i].clone()), (post.id.0, (j - i) as u32));
+            i = j;
+        }
+    }
+}
+
+/// The reduce function of Algorithm 3: gather all postings of one key and
+/// sort them by timestamp.
+struct IndexReducer;
+
+impl Reducer for IndexReducer {
+    type Key = (Geohash, String);
+    type Value = (u64, u32);
+    type Output = PostingsList;
+
+    fn reduce(&self, _key: &Self::Key, values: Vec<(u64, u32)>, emit: &mut dyn FnMut(PostingsList)) {
+        emit(PostingsList::new(
+            values.into_iter().map(|(id, tf)| Posting { id: tklus_model::TweetId(id), tf }).collect(),
+        ))
+    }
+}
+
+/// Geohash-range split points giving each of `n` partitions an equal slice
+/// of the top-level geohash alphabet, so each spatial region lands on one
+/// node.
+fn geohash_splits(n: usize) -> Vec<(Geohash, String)> {
+    (1..n)
+        .map(|i| {
+            let c = (i * 32 / n) as u64;
+            (Geohash::from_low_bits(c, 1).expect("root cell"), String::new())
+        })
+        .collect()
+}
+
+/// Builds the hybrid index over `posts` with the MapReduce pipeline and
+/// returns it together with a build report.
+///
+/// ```
+/// use tklus_index::{build_index, IndexBuildConfig};
+/// use tklus_geo::Point;
+/// use tklus_model::{Post, TweetId, UserId};
+///
+/// let posts = vec![Post::original(
+///     TweetId(1), UserId(1), Point::new_unchecked(43.7, -79.4), "hotel downtown",
+/// )];
+/// let (index, report) = build_index(&posts, &IndexBuildConfig::default());
+/// assert_eq!(report.posts, 1);
+/// assert!(index.vocab().get("hotel").is_some());
+/// ```
+pub fn build_index(posts: &[Post], config: &IndexBuildConfig) -> (HybridIndex, IndexBuildReport) {
+    assert!(config.nodes > 0, "at least one node");
+    let start = Instant::now();
+    let mapper = IndexMapper { pipeline: TextPipeline::new(), geohash_len: config.geohash_len };
+    let partitioner = RangePartitioner::new(geohash_splits(config.nodes));
+    let job = run_job(
+        JobConfig { map_tasks: config.nodes, reduce_tasks: config.nodes, ..JobConfig::default() },
+        posts,
+        &mapper,
+        &IndexReducer,
+        &partitioner,
+    );
+
+    // Driver: lay each partition out as one DFS file on its own node, in
+    // sorted key order, while building the dictionary and directory.
+    let dfs = Dfs::new(DfsConfig { nodes: config.nodes, block_size: config.block_size, replication: config.replication });
+    let mut vocab = Vocab::new();
+    let mut entries: Vec<((Geohash, tklus_text::TermId), PostingsLocation)> = Vec::new();
+    let mut postings_total = 0u64;
+    for (part_idx, partition) in job.partitions.iter().enumerate() {
+        let mut file = Vec::new();
+        for ((gh, term), list) in partition {
+            let term_id = vocab.intern(term);
+            // Corpus frequency = total occurrences (Table II ranking).
+            let occurrences: u64 = list.postings().iter().map(|p| p.tf as u64).sum();
+            vocab.add_occurrences(term_id, occurrences);
+            postings_total += list.len() as u64;
+            let bytes = list.encode();
+            entries.push((
+                (*gh, term_id),
+                PostingsLocation { partition: part_idx as u32, offset: file.len() as u64, len: bytes.len() as u32 },
+            ));
+            file.extend_from_slice(&bytes);
+        }
+        dfs.create_on(&HybridIndex::partition_file(part_idx as u32), file, part_idx % config.nodes)
+            .expect("fresh DFS");
+    }
+    // Directory order is (geohash, term-id); term ids are assigned in
+    // first-encounter order, so re-sort before building the directory.
+    entries.sort_by_key(|e| e.0);
+    let forward = ForwardIndex::from_sorted(entries);
+
+    let report = IndexBuildReport {
+        total_time: start.elapsed(),
+        map_time: job.map_time,
+        reduce_time: job.reduce_time,
+        posts: job.counters.map_input_records,
+        keys: forward.len() as u64,
+        postings: postings_total,
+        index_bytes: dfs.total_bytes(),
+        distinct_terms: vocab.len() as u64,
+    };
+    let index = HybridIndex::new(forward, vocab, dfs, config.geohash_len);
+    (index, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_geo::Point;
+    use tklus_model::{TweetId, UserId};
+
+    fn post(id: u64, user: u64, lat: f64, lon: f64, text: &str) -> Post {
+        Post::original(TweetId(id), UserId(user), Point::new_unchecked(lat, lon), text)
+    }
+
+    fn toronto_posts() -> Vec<Post> {
+        vec![
+            post(1, 1, 43.670, -79.387, "I'm at Toronto Marriott Bloor Yorkville Hotel"),
+            post(2, 2, 43.655, -79.380, "Finally Toronto (at Clarion Hotel)"),
+            post(3, 3, 43.671, -79.389, "I'm at Four Seasons Hotel Toronto"),
+            post(4, 4, 43.671, -79.389, "Veal, lemon ricotta gnocchi @ Four Seasons Hotel Toronto"),
+            post(5, 5, 43.672, -79.390, "best massage ever (@ The Spa at Four Seasons Hotel Toronto)"),
+            post(6, 6, 43.672, -79.390, "Saturday night steez #fashion #toronto @ Four Seasons Hotel Toronto"),
+            post(7, 1, 43.669, -79.386, "Marriott Bloor Yorkville Hotel is a perfect place to stay"),
+        ]
+    }
+
+    #[test]
+    fn builds_and_looks_up_postings() {
+        let (index, report) = build_index(&toronto_posts(), &IndexBuildConfig::default());
+        assert_eq!(report.posts, 7);
+        assert!(report.keys > 0);
+        assert!(report.index_bytes > 0);
+        // Every post mentions "hotel"; they are all in the same 4-char cell
+        // neighbourhood of Toronto.
+        let hotel = index.vocab().get("hotel").expect("hotel indexed");
+        let gh = encode(&Point::new_unchecked(43.670, -79.387), 4).unwrap();
+        let list = index.postings(gh, hotel).expect("postings present");
+        assert!(!list.is_empty());
+        // Postings sorted by id.
+        assert!(list.postings().windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn stemming_unifies_query_and_index_terms() {
+        let posts = vec![post(1, 1, 43.7, -79.4, "great restaurants downtown")];
+        let (index, _) = build_index(&posts, &IndexBuildConfig::default());
+        // "restaurants" stems to the same term a "restaurant" query uses.
+        let pipeline = TextPipeline::new();
+        let q = pipeline.normalize_keyword("restaurant").unwrap();
+        assert!(index.vocab().get(&q).is_some(), "query stem {q:?} missing from dictionary");
+    }
+
+    #[test]
+    fn term_frequency_counted_per_post() {
+        let posts = vec![post(1, 1, 43.7, -79.4, "pizza pizza pizza is the best pizza")];
+        let (index, _) = build_index(&posts, &IndexBuildConfig::default());
+        let pizza = index.vocab().get("pizza").unwrap();
+        let gh = encode(&Point::new_unchecked(43.7, -79.4), 4).unwrap();
+        let list = index.postings(gh, pizza).unwrap();
+        assert_eq!(list.postings()[0].tf, 4);
+        // Dictionary frequency counts all occurrences.
+        assert_eq!(index.vocab().frequency(pizza), 4);
+    }
+
+    #[test]
+    fn partitions_respect_geohash_ranges() {
+        // Posts spread over the globe land in different partitions/nodes.
+        let posts = vec![
+            post(1, 1, -23.99, -46.23, "hotel sao paulo"),    // geohash 6...
+            post(2, 2, 43.67, -79.38, "hotel toronto"),       // geohash d...
+            post(3, 3, 57.64, 10.40, "hotel denmark"),        // geohash u...
+        ];
+        let (index, _) = build_index(&posts, &IndexBuildConfig { geohash_len: 4, nodes: 3, block_size: 1024, replication: 1 });
+        // Three partition files exist (some may be empty but created).
+        let files = index.dfs().list();
+        assert_eq!(files.len(), 3, "{files:?}");
+        // Keys for Brazil sort before Canada before Denmark, and partition
+        // indexes are monotone in key range.
+        let hotel = index.vocab().get("hotel").unwrap();
+        let parts: Vec<u32> = [(-23.99, -46.23), (43.67, -79.38), (57.64, 10.40)]
+            .iter()
+            .map(|&(lat, lon)| {
+                let gh = encode(&Point::new_unchecked(lat, lon), 4).unwrap();
+                index.forward().lookup(gh, hotel).unwrap().partition
+            })
+            .collect();
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]), "{parts:?}");
+        assert!(parts[0] < parts[2], "extremes must differ: {parts:?}");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let (index, report) = build_index(&toronto_posts(), &IndexBuildConfig::default());
+        assert_eq!(report.keys as usize, index.forward().len());
+        assert_eq!(report.distinct_terms as usize, index.vocab().len());
+        assert!(report.postings >= report.keys, "every key has at least one posting");
+        assert_eq!(report.index_bytes, index.dfs().total_bytes());
+    }
+
+    #[test]
+    fn empty_corpus_builds_empty_index() {
+        let (index, report) = build_index(&[], &IndexBuildConfig::default());
+        assert_eq!(report.keys, 0);
+        assert!(index.forward().is_empty());
+    }
+
+    #[test]
+    fn geohash_length_one_still_works() {
+        let (index, _) = build_index(&toronto_posts(), &IndexBuildConfig { geohash_len: 1, nodes: 3, block_size: 1024, replication: 1 });
+        let hotel = index.vocab().get("hotel").unwrap();
+        let gh = encode(&Point::new_unchecked(43.670, -79.387), 1).unwrap();
+        let list = index.postings(gh, hotel).unwrap();
+        assert_eq!(list.len(), 7, "all posts collapse into one cell");
+    }
+}

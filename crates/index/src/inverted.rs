@@ -1,0 +1,213 @@
+//! The query-side face of the hybrid index.
+//!
+//! [`HybridIndex`] bundles the in-memory forward index, the term
+//! dictionary, and the DFS holding the partition files, and implements the
+//! postings-retrieval phase of Algorithms 4 and 5 (lines 1–7): geohash
+//! circle cover, then one postings fetch per surviving `⟨cell, keyword⟩`
+//! pair. Fetches are issued in `(partition, offset)` order so reads within
+//! a partition are as sequential as the key layout allows — the locality
+//! the paper's sorted `⟨geohash, term⟩` organization is designed to give.
+
+use crate::forward::ForwardIndex;
+use crate::posting::PostingsList;
+use tklus_geo::{circle_cover, DistanceMetric, Geohash, Point};
+use tklus_storage::Dfs;
+use tklus_text::{TermId, Vocab};
+
+/// A `⟨geohash, term⟩` key, as stored in the forward index.
+pub type IndexKey = (Geohash, TermId);
+
+/// The hybrid index: forward directory in memory, inverted partitions on
+/// the DFS.
+pub struct HybridIndex {
+    forward: ForwardIndex,
+    vocab: Vocab,
+    dfs: Dfs,
+    geohash_len: usize,
+}
+
+/// Result of the postings-retrieval phase for one query.
+#[derive(Debug)]
+pub struct QueryFetch {
+    /// `per_keyword[i]` holds the postings lists found for keyword `i`,
+    /// one per cover cell that had an entry.
+    pub per_keyword: Vec<Vec<PostingsList>>,
+    /// Number of cover cells examined.
+    pub cells: usize,
+    /// Number of postings lists fetched.
+    pub lists: usize,
+    /// Encoded bytes fetched from the DFS.
+    pub bytes: u64,
+}
+
+impl HybridIndex {
+    /// Assembles an index from its parts (normally via
+    /// [`crate::build::build_index`]).
+    pub fn new(forward: ForwardIndex, vocab: Vocab, dfs: Dfs, geohash_len: usize) -> Self {
+        Self { forward, vocab, dfs, geohash_len }
+    }
+
+    /// DFS file name of partition `i`.
+    pub fn partition_file(i: u32) -> String {
+        format!("inverted/part-{i:05}")
+    }
+
+    /// The forward index (directory).
+    pub fn forward(&self) -> &ForwardIndex {
+        &self.forward
+    }
+
+    /// The term dictionary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The DFS holding the partition files.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The geohash encoding length the index was built with.
+    pub fn geohash_len(&self) -> usize {
+        self.geohash_len
+    }
+
+    /// Fetches the postings list for one `⟨geohash, term⟩` key.
+    pub fn postings(&self, geohash: Geohash, term: TermId) -> Option<PostingsList> {
+        let loc = self.forward.lookup(geohash, term)?;
+        let bytes = self
+            .dfs
+            .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
+            .expect("directory points at valid partition range");
+        let (list, _) = PostingsList::decode(&bytes).expect("partition bytes decode");
+        Some(list)
+    }
+
+    /// The postings-retrieval phase of Algorithms 4/5: computes the geohash
+    /// circle cover of `(center, radius_km)` and fetches the postings list
+    /// of every `⟨cell, keyword⟩` pair present in the directory.
+    ///
+    /// `keywords` are already-normalized term ids (the engine resolves
+    /// strings through [`Self::vocab`] first).
+    pub fn fetch_for_query(
+        &self,
+        center: &Point,
+        radius_km: f64,
+        keywords: &[TermId],
+        metric: DistanceMetric,
+    ) -> QueryFetch {
+        let cover = circle_cover(center, radius_km, self.geohash_len, metric)
+            .expect("index geohash length is valid");
+        // Gather directory hits first, then fetch in storage order.
+        let mut hits: Vec<(usize, crate::forward::PostingsLocation)> = Vec::new();
+        for (ki, &term) in keywords.iter().enumerate() {
+            for &cell in &cover {
+                if let Some(loc) = self.forward.lookup(cell, term) {
+                    hits.push((ki, loc));
+                }
+            }
+        }
+        hits.sort_by_key(|(_, loc)| (loc.partition, loc.offset));
+        let mut per_keyword: Vec<Vec<PostingsList>> = keywords.iter().map(|_| Vec::new()).collect();
+        let mut bytes = 0u64;
+        let lists = hits.len();
+        for (ki, loc) in hits {
+            let raw = self
+                .dfs
+                .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
+                .expect("directory points at valid partition range");
+            bytes += raw.len() as u64;
+            let (list, _) = PostingsList::decode(&raw).expect("partition bytes decode");
+            per_keyword[ki].push(list);
+        }
+        QueryFetch { per_keyword, cells: cover.len(), lists, bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, IndexBuildConfig};
+    use tklus_model::{Post, TweetId, UserId};
+
+    fn post(id: u64, lat: f64, lon: f64, text: &str) -> Post {
+        Post::original(TweetId(id), UserId(id), Point::new_unchecked(lat, lon), text)
+    }
+
+    fn index() -> HybridIndex {
+        let posts = vec![
+            post(1, 43.670, -79.387, "hotel downtown"),
+            post(2, 43.675, -79.390, "hotel and spa"),
+            post(3, 43.800, -79.200, "hotel far away suburb"),
+            post(4, 43.671, -79.388, "pizza place"),
+            post(5, 48.8566, 2.3522, "hotel paris"),
+        ];
+        build_index(&posts, &IndexBuildConfig::default()).0
+    }
+
+    #[test]
+    fn fetch_for_query_groups_by_keyword() {
+        let idx = index();
+        let hotel = idx.vocab().get("hotel").unwrap();
+        let pizza = idx.vocab().get("pizza").unwrap();
+        let center = Point::new_unchecked(43.6839128037, -79.37356590);
+        let fetch = idx.fetch_for_query(&center, 10.0, &[hotel, pizza], DistanceMetric::Euclidean);
+        assert_eq!(fetch.per_keyword.len(), 2);
+        let hotel_ids: Vec<u64> = fetch.per_keyword[0]
+            .iter()
+            .flat_map(|l| l.postings().iter().map(|p| p.id.0))
+            .collect();
+        // Tweets 1 and 2 are in range cells; tweet 3's cell may or may not
+        // fall inside the 10 km cover, tweet 5 (Paris) must not.
+        assert!(hotel_ids.contains(&1) && hotel_ids.contains(&2));
+        assert!(!hotel_ids.contains(&5));
+        let pizza_ids: Vec<u64> = fetch.per_keyword[1]
+            .iter()
+            .flat_map(|l| l.postings().iter().map(|p| p.id.0))
+            .collect();
+        assert_eq!(pizza_ids, vec![4]);
+        assert!(fetch.cells > 0);
+        assert_eq!(fetch.lists, fetch.per_keyword.iter().map(Vec::len).sum::<usize>());
+        assert!(fetch.bytes > 0);
+    }
+
+    #[test]
+    fn unknown_keyword_fetches_nothing() {
+        let idx = index();
+        let center = Point::new_unchecked(43.68, -79.37);
+        // Use a term id that exists in no directory entry.
+        let bogus = TermId(9999);
+        let fetch = idx.fetch_for_query(&center, 10.0, &[bogus], DistanceMetric::Euclidean);
+        assert!(fetch.per_keyword[0].is_empty());
+        assert_eq!(fetch.lists, 0);
+        assert_eq!(fetch.bytes, 0);
+    }
+
+    #[test]
+    fn wider_radius_fetches_at_least_as_much() {
+        let idx = index();
+        let hotel = idx.vocab().get("hotel").unwrap();
+        let center = Point::new_unchecked(43.6839128037, -79.37356590);
+        let near = idx.fetch_for_query(&center, 5.0, &[hotel], DistanceMetric::Euclidean);
+        let far = idx.fetch_for_query(&center, 50.0, &[hotel], DistanceMetric::Euclidean);
+        assert!(far.cells >= near.cells);
+        assert!(far.lists >= near.lists);
+        let far_ids: usize = far.per_keyword[0].iter().map(PostingsList::len).sum();
+        let near_ids: usize = near.per_keyword[0].iter().map(PostingsList::len).sum();
+        assert!(far_ids >= near_ids);
+        // 50 km from downtown Toronto reaches the suburb tweet.
+        let ids: Vec<u64> =
+            far.per_keyword[0].iter().flat_map(|l| l.postings().iter().map(|p| p.id.0)).collect();
+        assert!(ids.contains(&3));
+    }
+
+    #[test]
+    fn reads_hit_dfs_counters() {
+        let idx = index();
+        let hotel = idx.vocab().get("hotel").unwrap();
+        let before = idx.dfs().total_counters().blocks_read;
+        let center = Point::new_unchecked(43.6839128037, -79.37356590);
+        let _ = idx.fetch_for_query(&center, 10.0, &[hotel], DistanceMetric::Euclidean);
+        assert!(idx.dfs().total_counters().blocks_read > before);
+    }
+}

@@ -1,0 +1,239 @@
+//! Saving and loading a [`HybridIndex`] as a directory on the real
+//! filesystem.
+//!
+//! Layout (all text formats are line-oriented and human-inspectable):
+//!
+//! ```text
+//! <dir>/meta.tsv          geohash_len, node count
+//! <dir>/vocab.tsv         term_id \t frequency \t term   (ascending ids)
+//! <dir>/forward.tsv       geohash \t term_id \t partition \t offset \t len
+//! <dir>/partitions/part-NNNNN    raw concatenated postings bytes
+//! ```
+//!
+//! Loading rebuilds the simulated DFS (same node placement: partition `i`
+//! on node `i % nodes`), the dictionary (ids are positions, so interning
+//! in file order reproduces them), and the forward directory.
+
+use crate::forward::{ForwardIndex, PostingsLocation};
+use crate::inverted::HybridIndex;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use tklus_storage::{Dfs, DfsConfig};
+use tklus_text::{TermId, Vocab};
+
+/// Errors from index persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed metadata/dictionary/directory line.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index io error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt index directory: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn corrupt(message: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(message.into())
+}
+
+/// Writes the index to `dir` (created if missing; existing files are
+/// overwritten).
+pub fn save_dir(index: &HybridIndex, dir: &Path) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir.join("partitions"))?;
+
+    // meta.tsv
+    let mut meta = BufWriter::new(std::fs::File::create(dir.join("meta.tsv"))?);
+    writeln!(meta, "geohash_len\t{}", index.geohash_len())?;
+    writeln!(meta, "nodes\t{}", index.dfs().node_count())?;
+    meta.flush()?;
+
+    // vocab.tsv — ascending term id order.
+    let mut vocab = BufWriter::new(std::fs::File::create(dir.join("vocab.tsv"))?);
+    for (id, term, freq) in index.vocab().iter() {
+        debug_assert!(!term.contains('\t') && !term.contains('\n'), "terms are tokenizer output");
+        writeln!(vocab, "{}\t{}\t{}", id.0, freq, term)?;
+    }
+    vocab.flush()?;
+
+    // forward.tsv — already sorted by (geohash, term).
+    let mut fwd = BufWriter::new(std::fs::File::create(dir.join("forward.tsv"))?);
+    for ((gh, term), loc) in index.forward().iter() {
+        writeln!(fwd, "{}\t{}\t{}\t{}\t{}", gh, term.0, loc.partition, loc.offset, loc.len)?;
+    }
+    fwd.flush()?;
+
+    // Partition files.
+    for name in index.dfs().list() {
+        let bytes = index.dfs().read_all(&name).map_err(|e| corrupt(e.to_string()))?;
+        let file = name.rsplit('/').next().expect("partition file name");
+        std::fs::write(dir.join("partitions").join(file), bytes)?;
+    }
+    Ok(())
+}
+
+/// Loads an index previously written by [`save_dir`].
+pub fn load_dir(dir: &Path) -> Result<HybridIndex, PersistError> {
+    // meta.tsv
+    let meta = std::fs::read_to_string(dir.join("meta.tsv"))?;
+    let mut geohash_len: Option<usize> = None;
+    let mut nodes: Option<usize> = None;
+    for line in meta.lines() {
+        match line.split_once('\t') {
+            Some(("geohash_len", v)) => geohash_len = Some(v.parse().map_err(|_| corrupt("geohash_len"))?),
+            Some(("nodes", v)) => nodes = Some(v.parse().map_err(|_| corrupt("nodes"))?),
+            _ => return Err(corrupt(format!("meta line {line:?}"))),
+        }
+    }
+    let geohash_len = geohash_len.ok_or_else(|| corrupt("missing geohash_len"))?;
+    let nodes = nodes.ok_or_else(|| corrupt("missing nodes"))?;
+
+    // vocab.tsv — ids must be dense and ascending.
+    let mut vocab = Vocab::new();
+    let reader = BufReader::new(std::fs::File::open(dir.join("vocab.tsv"))?);
+    for line in reader.lines() {
+        let line = line?;
+        let mut parts = line.splitn(3, '\t');
+        let id: u32 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| corrupt("vocab id"))?;
+        let freq: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| corrupt("vocab freq"))?;
+        let term = parts.next().ok_or_else(|| corrupt("vocab term"))?;
+        let assigned = vocab.intern(term);
+        if assigned.0 != id {
+            return Err(corrupt(format!("vocab ids not dense: expected {id}, assigned {}", assigned.0)));
+        }
+        vocab.add_occurrences(assigned, freq);
+    }
+
+    // forward.tsv
+    let mut entries = Vec::new();
+    let reader = BufReader::new(std::fs::File::open(dir.join("forward.tsv"))?);
+    for line in reader.lines() {
+        let line = line?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(corrupt(format!("forward line {line:?}")));
+        }
+        let gh = fields[0].parse().map_err(|_| corrupt("forward geohash"))?;
+        let term: u32 = fields[1].parse().map_err(|_| corrupt("forward term"))?;
+        let partition: u32 = fields[2].parse().map_err(|_| corrupt("forward partition"))?;
+        let offset: u64 = fields[3].parse().map_err(|_| corrupt("forward offset"))?;
+        let len: u32 = fields[4].parse().map_err(|_| corrupt("forward len"))?;
+        entries.push(((gh, TermId(term)), PostingsLocation { partition, offset, len }));
+    }
+    let forward = ForwardIndex::from_sorted(entries);
+
+    // Partition files back onto a fresh simulated DFS.
+    let dfs = Dfs::new(DfsConfig { nodes, ..DfsConfig::default() });
+    let mut names: Vec<String> = std::fs::read_dir(dir.join("partitions"))?
+        .map(|e| Ok(e?.file_name().to_string_lossy().into_owned()))
+        .collect::<Result<_, PersistError>>()?;
+    names.sort();
+    for name in names {
+        let idx: u32 = name
+            .strip_prefix("part-")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| corrupt(format!("partition file name {name:?}")))?;
+        let bytes = std::fs::read(dir.join("partitions").join(&name))?;
+        dfs.create_on(&HybridIndex::partition_file(idx), bytes, idx as usize % nodes)
+            .map_err(|e| corrupt(e.to_string()))?;
+    }
+    Ok(HybridIndex::new(forward, vocab, dfs, geohash_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, IndexBuildConfig};
+    use tklus_geo::{DistanceMetric, Point};
+    use tklus_model::{Post, TweetId, UserId};
+
+    fn posts() -> Vec<Post> {
+        (0..300u64)
+            .map(|i| {
+                let lat = 43.6 + (i % 15) as f64 * 0.01;
+                let lon = -79.5 + (i % 11) as f64 * 0.01;
+                let text = match i % 3 {
+                    0 => "hotel by the lake",
+                    1 => "pizza pizza downtown",
+                    _ => "coffee and games",
+                };
+                Post::original(TweetId(i + 1), UserId(i % 40), Point::new_unchecked(lat, lon), text)
+            })
+            .collect()
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tklus-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_queries() {
+        let (index, report) = build_index(&posts(), &IndexBuildConfig::default());
+        let dir = tmp_dir("roundtrip");
+        save_dir(&index, &dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+
+        assert_eq!(loaded.geohash_len(), index.geohash_len());
+        assert_eq!(loaded.forward().len(), index.forward().len());
+        assert_eq!(loaded.vocab().len(), index.vocab().len());
+        assert_eq!(loaded.dfs().total_bytes(), report.index_bytes);
+
+        // Same postings for every keyword over a query region.
+        let center = Point::new_unchecked(43.68, -79.45);
+        for kw in ["hotel", "pizza", "coffe", "game"] {
+            let t1 = index.vocab().get(kw);
+            let t2 = loaded.vocab().get(kw);
+            assert_eq!(t1, t2, "{kw}: term ids must be identical");
+            let Some(t) = t1 else { continue };
+            let f1 = index.fetch_for_query(&center, 30.0, &[t], DistanceMetric::Euclidean);
+            let f2 = loaded.fetch_for_query(&center, 30.0, &[t], DistanceMetric::Euclidean);
+            assert_eq!(f1.per_keyword, f2.per_keyword, "{kw}");
+        }
+        // Term frequencies survive (Table II reproducibility from a loaded
+        // index).
+        let top1: Vec<_> = index.vocab().top_terms(5);
+        let top2: Vec<_> = loaded.vocab().top_terms(5);
+        assert_eq!(top1, top2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let err = match load_dir(Path::new("/nonexistent/tklus-index")) {
+            Err(e) => e,
+            Ok(_) => panic!("missing directory must not load"),
+        };
+        assert!(matches!(err, PersistError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_meta_detected() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(dir.join("partitions")).unwrap();
+        std::fs::write(dir.join("meta.tsv"), "bogus\t4\n").unwrap();
+        std::fs::write(dir.join("vocab.tsv"), "").unwrap();
+        std::fs::write(dir.join("forward.tsv"), "").unwrap();
+        let err = match load_dir(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt meta must not load"),
+        };
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

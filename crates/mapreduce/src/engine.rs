@@ -1,0 +1,308 @@
+//! The job driver: threaded map phase, sort-merge shuffle, reduce phase.
+
+use crate::counters::{CounterSnapshot, JobCounters};
+use crate::job::{Mapper, Reducer};
+use crate::partition::Partitioner;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
+
+/// Job configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JobConfig {
+    /// Number of concurrent map tasks (one thread each). Models the worker
+    /// slots of the simulated cluster.
+    pub map_tasks: usize,
+    /// Number of reduce partitions (= output partition files).
+    pub reduce_tasks: usize,
+    /// Attempts per task before the job fails — Hadoop-style task retry,
+    /// the fault-tolerance half of why the paper picks MapReduce. A task
+    /// that panics is re-executed from its input split (map) or its
+    /// shuffled bucket (reduce); user code must therefore be deterministic
+    /// or at least idempotent, as in Hadoop.
+    pub max_attempts: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self { map_tasks: 3, reduce_tasks: 3, max_attempts: 3 }
+    }
+}
+
+/// Runs `task` up to `max_attempts` times, capturing panics; counts
+/// retries. Panics (ending the job) only when every attempt failed.
+fn run_attempts<T>(max_attempts: usize, counters: &JobCounters, what: &str, task: impl Fn() -> T) -> T {
+    for attempt in 1..=max_attempts {
+        match std::panic::catch_unwind(AssertUnwindSafe(&task)) {
+            Ok(out) => return out,
+            Err(payload) => {
+                if attempt == max_attempts {
+                    std::panic::resume_unwind(payload);
+                }
+                counters.add_task_retry(1);
+                let _ = what;
+            }
+        }
+    }
+    unreachable!("loop either returns or resumes unwinding")
+}
+
+/// Output of a job: one key-sorted `(key, output)` vector per reduce
+/// partition, plus counters and phase timings.
+#[derive(Debug)]
+pub struct JobOutput<K, O> {
+    /// `partitions[i]` holds reducer `i`'s output, sorted by key.
+    pub partitions: Vec<Vec<(K, O)>>,
+    /// Counter snapshot.
+    pub counters: CounterSnapshot,
+    /// Wall time of the map + shuffle phase.
+    pub map_time: Duration,
+    /// Wall time of the reduce phase.
+    pub reduce_time: Duration,
+}
+
+/// Runs a MapReduce job over `inputs`.
+///
+/// Within each partition the reducer sees key groups in ascending key
+/// order, and the partition output preserves that order — the sortedness
+/// guarantee Section IV-B2 relies on for the contiguous on-disk layout of
+/// `⟨geohash, term⟩` keys.
+pub fn run_job<M, R, P>(
+    config: JobConfig,
+    inputs: &[M::Input],
+    mapper: &M,
+    reducer: &R,
+    partitioner: &P,
+) -> JobOutput<M::Key, R::Output>
+where
+    M: Mapper,
+    M::Value: Clone,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+    P: Partitioner<M::Key>,
+{
+    assert!(config.map_tasks > 0 && config.reduce_tasks > 0, "tasks must be positive");
+    assert!(config.max_attempts > 0, "at least one attempt per task");
+    let counters = JobCounters::default();
+    let nred = config.reduce_tasks;
+
+    // ---- Map phase: each task maps a contiguous input split and
+    // pre-partitions its emissions.
+    let map_start = Instant::now();
+    let chunk = inputs.len().div_ceil(config.map_tasks).max(1);
+    let splits: Vec<&[M::Input]> = inputs.chunks(chunk).collect();
+    let mut buckets: Vec<Vec<(M::Key, M::Value)>> = (0..nred).map(|_| Vec::new()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = splits
+            .iter()
+            .map(|split| {
+                let counters = &counters;
+                scope.spawn(move || {
+                    run_attempts(config.max_attempts, counters, "map", || {
+                        let mut local: Vec<Vec<(M::Key, M::Value)>> = (0..nred).map(|_| Vec::new()).collect();
+                        let mut inputs = 0u64;
+                        let mut outputs = 0u64;
+                        for record in *split {
+                            inputs += 1;
+                            mapper.map(record, &mut |k, v| {
+                                let p = partitioner.partition(&k, nred);
+                                debug_assert!(p < nred, "partitioner returned {p} for {nred} partitions");
+                                local[p].push((k, v));
+                                outputs += 1;
+                            });
+                        }
+                        // Counters commit only on task success, so a
+                        // retried task is not double-counted.
+                        counters.add_map_input(inputs);
+                        counters.add_map_output(outputs);
+                        local
+                    })
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Propagate the original panic payload so callers see the
+            // task's own failure message.
+            let local = handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (bucket, mut part) in buckets.iter_mut().zip(local) {
+                bucket.append(&mut part);
+            }
+        }
+    });
+    let map_time = map_start.elapsed();
+
+    // ---- Reduce phase: sort each partition by key, group, reduce.
+    let reduce_start = Instant::now();
+    let mut partitions: Vec<Vec<(M::Key, R::Output)>> = Vec::with_capacity(nred);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|mut bucket| {
+                let counters = &counters;
+                scope.spawn(move || {
+                    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                    // Retry re-reads the sorted bucket, mirroring Hadoop
+                    // re-reading spilled shuffle files; values are cloned
+                    // per group for that reason.
+                    run_attempts(config.max_attempts, counters, "reduce", || {
+                        let mut out: Vec<(M::Key, R::Output)> = Vec::new();
+                        let mut groups = 0u64;
+                        let mut emitted = 0u64;
+                        let mut i = 0;
+                        while i < bucket.len() {
+                            let key = &bucket[i].0;
+                            let mut j = i + 1;
+                            while j < bucket.len() && bucket[j].0 == *key {
+                                j += 1;
+                            }
+                            let values: Vec<M::Value> = bucket[i..j].iter().map(|(_, v)| v.clone()).collect();
+                            groups += 1;
+                            reducer.reduce(key, values, &mut |o| {
+                                out.push((key.clone(), o));
+                                emitted += 1;
+                            });
+                            i = j;
+                        }
+                        counters.add_reduce_group(groups);
+                        counters.add_reduce_output(emitted);
+                        out
+                    })
+                })
+            })
+            .collect();
+        for handle in handles {
+            partitions.push(handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)));
+        }
+    });
+    let reduce_time = reduce_start.elapsed();
+
+    JobOutput { partitions, counters: counters.snapshot(), map_time, reduce_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{HashPartitioner, RangePartitioner};
+
+    /// Classic word count: mapper splits lines, reducer sums counts.
+    struct WcMap;
+    impl Mapper for WcMap {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+            for w in input.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct WcReduce;
+    impl Reducer for WcReduce {
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, _key: &String, values: Vec<u64>, emit: &mut dyn FnMut(u64)) {
+            emit(values.iter().sum());
+        }
+    }
+
+    fn lines(texts: &[&str]) -> Vec<String> {
+        texts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn collect_all(out: JobOutput<String, u64>) -> std::collections::BTreeMap<String, u64> {
+        out.partitions.into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let inputs = lines(&["hotel toronto hotel", "toronto cafe", "hotel"]);
+        let out = run_job(JobConfig::default(), &inputs, &WcMap, &WcReduce, &HashPartitioner);
+        let counts = collect_all(out);
+        assert_eq!(counts.get("hotel"), Some(&3));
+        assert_eq!(counts.get("toronto"), Some(&2));
+        assert_eq!(counts.get("cafe"), Some(&1));
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let inputs = lines(&["a b c", "a a"]);
+        let out = run_job(JobConfig::default(), &inputs, &WcMap, &WcReduce, &HashPartitioner);
+        assert_eq!(out.counters.map_input_records, 2);
+        assert_eq!(out.counters.map_output_records, 5);
+        assert_eq!(out.counters.shuffled_records, 5);
+        assert_eq!(out.counters.reduce_groups, 3); // a, b, c
+        assert_eq!(out.counters.reduce_output_records, 3);
+    }
+
+    #[test]
+    fn partitions_are_key_sorted() {
+        let inputs: Vec<String> = (0..200).map(|i| format!("w{:03} w{:03}", i % 50, (i * 7) % 50)).collect();
+        let out = run_job(JobConfig { map_tasks: 4, reduce_tasks: 5, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &HashPartitioner);
+        assert_eq!(out.partitions.len(), 5);
+        for part in &out.partitions {
+            assert!(part.windows(2).all(|w| w[0].0 < w[1].0), "partition not sorted");
+        }
+    }
+
+    #[test]
+    fn result_is_independent_of_task_counts() {
+        let inputs: Vec<String> = (0..100).map(|i| format!("k{} k{} k{}", i % 11, i % 7, i % 5)).collect();
+        let base = collect_all(run_job(JobConfig { map_tasks: 1, reduce_tasks: 1, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &HashPartitioner));
+        for (m, r) in [(2, 3), (4, 1), (3, 8), (7, 2)] {
+            let got = collect_all(run_job(JobConfig { map_tasks: m, reduce_tasks: r, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &HashPartitioner));
+            assert_eq!(got, base, "map_tasks={m} reduce_tasks={r}");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_keeps_ranges_together() {
+        let inputs = lines(&["apple grape mango zebra", "banana pear zulu"]);
+        let p = RangePartitioner::new(vec!["h".to_string(), "q".to_string()]);
+        let out = run_job(JobConfig { map_tasks: 2, reduce_tasks: 3, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &p);
+        // Partition 0: keys < "h"; partition 1: "h".."q"; partition 2: >= "q".
+        let part_keys: Vec<Vec<&String>> =
+            out.partitions.iter().map(|p| p.iter().map(|(k, _)| k).collect()).collect();
+        assert!(part_keys[0].iter().all(|k| k.as_str() < "h"), "{part_keys:?}");
+        assert!(part_keys[1].iter().all(|k| ("h".."q").contains(&k.as_str())));
+        assert!(part_keys[2].iter().all(|k| k.as_str() >= "q"));
+        // Global order = concatenation of partitions (total order property).
+        let flat: Vec<&String> = part_keys.into_iter().flatten().collect();
+        assert!(flat.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_partitions() {
+        let out = run_job(JobConfig::default(), &Vec::<String>::new(), &WcMap, &WcReduce, &HashPartitioner);
+        assert_eq!(out.partitions.len(), 3);
+        assert!(out.partitions.iter().all(Vec::is_empty));
+        assert_eq!(out.counters.map_input_records, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks must be positive")]
+    fn zero_tasks_rejected() {
+        let _ = run_job(JobConfig { map_tasks: 0, reduce_tasks: 1, ..JobConfig::default() }, &Vec::<String>::new(), &WcMap, &WcReduce, &HashPartitioner);
+    }
+
+    /// A reducer that emits multiple outputs per key, to cover that path.
+    struct ExplodeReduce;
+    impl Reducer for ExplodeReduce {
+        type Key = String;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, _key: &String, values: Vec<u64>, emit: &mut dyn FnMut(u64)) {
+            for v in values {
+                emit(v * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn reducer_can_emit_many() {
+        let inputs = lines(&["x x x"]);
+        let out = run_job(JobConfig::default(), &inputs, &WcMap, &ExplodeReduce, &HashPartitioner);
+        let all: Vec<(String, u64)> = out.partitions.into_iter().flatten().collect();
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|(k, v)| k == "x" && *v == 10));
+    }
+}

@@ -1,0 +1,39 @@
+//! Mapper and Reducer traits — the user-visible programming model of
+//! Algorithms 2 and 3.
+
+use std::hash::Hash;
+
+/// A map function: one input record to zero or more `(key, value)` pairs.
+///
+/// Algorithm 2's map function takes a post, tokenizes/stems it, and emits
+/// `⟨(geohash, term), (timestamp, tf)⟩` pairs; any other job shapes its own
+/// types the same way.
+pub trait Mapper: Sync {
+    /// Input record type.
+    type Input: Send + Sync;
+    /// Intermediate key; must be totally ordered for the sort-merge shuffle.
+    type Key: Clone + Ord + Hash + Send;
+    /// Intermediate value.
+    type Value: Send;
+
+    /// Maps one record, emitting pairs through `emit`.
+    fn map(&self, input: &Self::Input, emit: &mut dyn FnMut(Self::Key, Self::Value));
+}
+
+/// A reduce function: one key group to zero or more outputs.
+///
+/// Algorithm 3's reduce function receives all postings for one
+/// `⟨geohash, term⟩` key, sorts them by timestamp, and emits the postings
+/// list.
+pub trait Reducer: Sync {
+    /// Key type (must match the mapper's).
+    type Key;
+    /// Incoming value type (must match the mapper's).
+    type Value;
+    /// Output record type.
+    type Output: Send;
+
+    /// Reduces one key group. `values` arrive in arbitrary order (like
+    /// Hadoop, value order within a key is not guaranteed).
+    fn reduce(&self, key: &Self::Key, values: Vec<Self::Value>, emit: &mut dyn FnMut(Self::Output));
+}

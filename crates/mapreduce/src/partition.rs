@@ -1,0 +1,95 @@
+//! Shuffle partitioners.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Decides which reduce partition a key belongs to.
+pub trait Partitioner<K>: Sync {
+    /// Partition index in `0..n` for `key`. Must be deterministic.
+    fn partition(&self, key: &K, n: usize) -> usize;
+}
+
+/// Hadoop's default: hash the key, modulo the partition count.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashPartitioner;
+
+impl<K: Hash> Partitioner<K> for HashPartitioner {
+    fn partition(&self, key: &K, n: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
+}
+
+/// Range partitioner over sorted split points: keys `< splits[0]` go to
+/// partition 0, keys in `[splits[i-1], splits[i])` to partition `i`, and
+/// keys `>= splits.last()` to the final partition. With geohash-prefix
+/// split points this keeps each spatial key range on one node — the
+/// locality property Section IV-B1 claims for the geohash layout.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner<K> {
+    splits: Vec<K>,
+}
+
+impl<K: Ord> RangePartitioner<K> {
+    /// Creates a partitioner with `splits.len() + 1` partitions. Splits
+    /// must be strictly increasing.
+    pub fn new(splits: Vec<K>) -> Self {
+        assert!(splits.windows(2).all(|w| w[0] < w[1]), "split points must be strictly increasing");
+        Self { splits }
+    }
+
+    /// Number of partitions this partitioner defines.
+    pub fn partitions(&self) -> usize {
+        self.splits.len() + 1
+    }
+}
+
+impl<K: Ord + Sync + Send> Partitioner<K> for RangePartitioner<K> {
+    fn partition(&self, key: &K, n: usize) -> usize {
+        debug_assert!(n >= self.partitions(), "job configured with fewer partitions than the range partitioner defines");
+        self.splits.partition_point(|s| s <= key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner;
+        for key in ["a", "b", "zzz", ""] {
+            let x = p.partition(&key, 7);
+            assert_eq!(x, p.partition(&key, 7));
+            assert!(x < 7);
+        }
+    }
+
+    #[test]
+    fn range_partitioner_buckets() {
+        let p = RangePartitioner::new(vec![10u64, 20, 30]);
+        assert_eq!(p.partitions(), 4);
+        assert_eq!(p.partition(&5, 4), 0);
+        assert_eq!(p.partition(&10, 4), 1);
+        assert_eq!(p.partition(&19, 4), 1);
+        assert_eq!(p.partition(&20, 4), 2);
+        assert_eq!(p.partition(&30, 4), 3);
+        assert_eq!(p.partition(&999, 4), 3);
+    }
+
+    #[test]
+    fn range_partitioner_preserves_order() {
+        // Keys in increasing order never move to a lower partition.
+        let p = RangePartitioner::new(vec!["g".to_string(), "p".to_string()]);
+        let parts: Vec<usize> = ["a", "g", "h", "p", "z"].iter().map(|k| p.partition(&k.to_string(), 3)).collect();
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(parts, vec![0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn range_partitioner_rejects_unsorted_splits() {
+        let _ = RangePartitioner::new(vec![3u64, 2]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fault injection: tasks that panic are retried and the job still
+//! produces exactly the same output as a healthy run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tklus_mapreduce::{run_job, HashPartitioner, JobConfig, Mapper, Reducer};
+
+struct WcMap;
+impl Mapper for WcMap {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+        for w in input.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct WcReduce;
+impl Reducer for WcReduce {
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+    fn reduce(&self, _key: &String, values: Vec<u64>, emit: &mut dyn FnMut(u64)) {
+        emit(values.iter().sum());
+    }
+}
+
+/// A mapper whose first `failures` invocations panic (simulating a worker
+/// crash), then behaves like word count.
+struct FlakyMap {
+    failures: usize,
+    calls: AtomicUsize,
+}
+
+impl Mapper for FlakyMap {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    fn map(&self, input: &String, emit: &mut dyn FnMut(String, u64)) {
+        if self.calls.fetch_add(1, Ordering::SeqCst) < self.failures {
+            panic!("injected map-task failure");
+        }
+        WcMap.map(input, emit);
+    }
+}
+
+/// A reducer that panics on its first `failures` key groups.
+struct FlakyReduce {
+    failures: usize,
+    calls: AtomicUsize,
+}
+
+impl Reducer for FlakyReduce {
+    type Key = String;
+    type Value = u64;
+    type Output = u64;
+    fn reduce(&self, key: &String, values: Vec<u64>, emit: &mut dyn FnMut(u64)) {
+        if self.calls.fetch_add(1, Ordering::SeqCst) < self.failures {
+            panic!("injected reduce-task failure");
+        }
+        WcReduce.reduce(key, values, emit);
+    }
+}
+
+fn inputs() -> Vec<String> {
+    (0..60).map(|i| format!("w{} w{} shared", i % 7, i % 13)).collect()
+}
+
+fn healthy_result() -> BTreeMap<String, u64> {
+    run_job(JobConfig::default(), &inputs(), &WcMap, &WcReduce, &HashPartitioner)
+        .partitions
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[test]
+fn map_failures_are_retried_transparently() {
+    let flaky = FlakyMap { failures: 2, calls: AtomicUsize::new(0) };
+    let out = run_job(
+        JobConfig { max_attempts: 3, ..JobConfig::default() },
+        &inputs(),
+        &flaky,
+        &WcReduce,
+        &HashPartitioner,
+    );
+    assert!(out.counters.task_retries >= 1, "retries recorded: {:?}", out.counters);
+    let got: BTreeMap<String, u64> = out.partitions.into_iter().flatten().collect();
+    assert_eq!(got, healthy_result(), "retried job matches healthy output");
+    // Counters are not double-counted by the failed attempts.
+    assert_eq!(out.counters.map_input_records, 60);
+}
+
+#[test]
+fn reduce_failures_are_retried_transparently() {
+    let flaky = FlakyReduce { failures: 2, calls: AtomicUsize::new(0) };
+    let out = run_job(
+        JobConfig { max_attempts: 4, ..JobConfig::default() },
+        &inputs(),
+        &WcMap,
+        &flaky,
+        &HashPartitioner,
+    );
+    assert!(out.counters.task_retries >= 1);
+    let got: BTreeMap<String, u64> = out.partitions.into_iter().flatten().collect();
+    assert_eq!(got, healthy_result());
+    // Each key group reduced exactly once in the successful attempts'
+    // accounting.
+    assert_eq!(out.counters.reduce_groups as usize, healthy_result().len());
+}
+
+#[test]
+#[should_panic(expected = "injected map-task failure")]
+fn exhausted_attempts_fail_the_job() {
+    // More injected failures than total attempts allow.
+    let flaky = FlakyMap { failures: 1_000_000, calls: AtomicUsize::new(0) };
+    let _ = run_job(
+        JobConfig { map_tasks: 2, reduce_tasks: 2, max_attempts: 2 },
+        &inputs(),
+        &flaky,
+        &WcReduce,
+        &HashPartitioner,
+    );
+}
+
+#[test]
+fn single_attempt_config_disables_retry() {
+    let healthy = run_job(
+        JobConfig { max_attempts: 1, ..JobConfig::default() },
+        &inputs(),
+        &WcMap,
+        &WcReduce,
+        &HashPartitioner,
+    );
+    assert_eq!(healthy.counters.task_retries, 0);
+    let got: BTreeMap<String, u64> = healthy.partitions.into_iter().flatten().collect();
+    assert_eq!(got, healthy_result());
+}

@@ -1,0 +1,52 @@
+//! Precision: "the fraction of the returned local users that are regarded
+//! as relevant by the user study" (Section VI-B6).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision of `returned` (best first, truncated to `k`) against the set
+/// of `relevant` items. Returns 0 for an empty result.
+pub fn precision_at_k<T: Eq + Hash>(returned: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+    let considered = &returned[..returned.len().min(k)];
+    if considered.is_empty() {
+        return 0.0;
+    }
+    let hits = considered.iter().filter(|x| relevant.contains(x)).count();
+    hits as f64 / considered.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&'static str]) -> HashSet<&'static str> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn full_and_zero_precision() {
+        let relevant = set(&["a", "b", "c"]);
+        assert_eq!(precision_at_k(&["a", "b", "c"], &relevant, 3), 1.0);
+        assert_eq!(precision_at_k(&["x", "y"], &relevant, 2), 0.0);
+        assert_eq!(precision_at_k::<&str>(&[], &relevant, 5), 0.0);
+    }
+
+    #[test]
+    fn partial_precision() {
+        let relevant = set(&["a", "c"]);
+        assert_eq!(precision_at_k(&["a", "b", "c", "d"], &relevant, 4), 0.5);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let relevant = set(&["a"]);
+        // Only the first 2 considered: {a, b} -> 1 hit of 2.
+        assert_eq!(precision_at_k(&["a", "b", "a2", "a3"], &relevant, 2), 0.5);
+    }
+
+    #[test]
+    fn short_result_divides_by_its_own_length() {
+        let relevant = set(&["a"]);
+        assert_eq!(precision_at_k(&["a"], &relevant, 10), 1.0);
+    }
+}

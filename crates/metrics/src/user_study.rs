@@ -1,0 +1,150 @@
+//! Simulated user study (Section VI-B6).
+//!
+//! The paper invites six Twitter-literate participants; each result line
+//! `(userId, tweet content)` is judged by four of them, and a user is
+//! regarded relevant "if a particular Twitter user's tweets are considered
+//! relevant twice or even more". We replace the humans with a panel of
+//! stochastic judges driven by a *latent relevance* per line — computed by
+//! the harness from ground truth the paper's judges would perceive: does
+//! the tweet really carry the query keywords, and how close to the query
+//! location was it posted? Each judge reads the latent relevance through
+//! personal noise; the vote-aggregation protocol is the paper's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tklus_geo::Point;
+use tklus_model::UserId;
+
+/// One top-10 result line presented to the panel.
+#[derive(Debug, Clone)]
+pub struct StudyLine {
+    /// The returned user.
+    pub user: UserId,
+    /// Where the exemplar tweet was posted.
+    pub tweet_location: Point,
+    /// Fraction of query keywords the exemplar tweet actually contains
+    /// (1.0 = all of them).
+    pub keyword_match: f64,
+}
+
+/// A panel of simulated judges.
+#[derive(Debug, Clone)]
+pub struct JudgePanel {
+    /// Number of judges voting on each line (4 in the paper's assignment).
+    pub votes_per_line: usize,
+    /// Votes required to deem a user relevant (2 in the paper).
+    pub relevance_threshold: usize,
+    /// Judge noise: each vote flips the latent judgement with this
+    /// probability.
+    pub noise: f64,
+    rng: StdRng,
+}
+
+impl JudgePanel {
+    /// A paper-shaped panel: 4 votes per line, relevant at ≥ 2, with the
+    /// given judge noise and seed.
+    pub fn new(noise: f64, seed: u64) -> Self {
+        assert!((0.0..=0.5).contains(&noise), "noise must be in [0, 0.5]");
+        Self { votes_per_line: 4, relevance_threshold: 2, noise, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The latent relevance a human judge would perceive for a line, given
+    /// the query: keyword truthfulness weighted by location proximity.
+    /// Distance relevance decays linearly within the radius and is zero
+    /// beyond twice the radius (a judge looking at a "local expert" whose
+    /// tweet is from far outside the asked area marks it irrelevant).
+    pub fn latent_relevance(query_loc: &Point, radius_km: f64, line: &StudyLine) -> f64 {
+        let d = query_loc.euclidean_km(&line.tweet_location);
+        let locality = if d <= radius_km {
+            1.0 - 0.3 * (d / radius_km)
+        } else if d <= 2.0 * radius_km {
+            0.7 * (1.0 - (d - radius_km) / radius_km)
+        } else {
+            0.0
+        };
+        (line.keyword_match * locality).clamp(0.0, 1.0)
+    }
+
+    /// Judges one line: casts the panel's votes and applies the ≥ threshold
+    /// rule. Returns whether the line's user is deemed relevant.
+    pub fn judge(&mut self, query_loc: &Point, radius_km: f64, line: &StudyLine) -> bool {
+        let latent = Self::latent_relevance(query_loc, radius_km, line);
+        let mut votes = 0usize;
+        for _ in 0..self.votes_per_line {
+            // A judge votes "relevant" with probability = latent relevance,
+            // then noise flips the vote.
+            let mut vote = self.rng.gen_bool(latent.clamp(0.0, 1.0));
+            if self.rng.gen_bool(self.noise) {
+                vote = !vote;
+            }
+            votes += vote as usize;
+        }
+        votes >= self.relevance_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Point {
+        Point::new_unchecked(43.7, -79.4)
+    }
+
+    fn line(dist_km: f64, keyword_match: f64) -> StudyLine {
+        // Move north by dist_km (1 deg lat ~ 111.32 km).
+        let loc = Point::new_unchecked(43.7 + dist_km / 111.32, -79.4);
+        StudyLine { user: UserId(1), tweet_location: loc, keyword_match }
+    }
+
+    #[test]
+    fn latent_relevance_decays_with_distance() {
+        let r = 10.0;
+        let near = JudgePanel::latent_relevance(&q(), r, &line(0.5, 1.0));
+        let mid = JudgePanel::latent_relevance(&q(), r, &line(8.0, 1.0));
+        let outside = JudgePanel::latent_relevance(&q(), r, &line(15.0, 1.0));
+        let far = JudgePanel::latent_relevance(&q(), r, &line(25.0, 1.0));
+        assert!(near > mid && mid > outside && outside > far);
+        assert_eq!(far, 0.0);
+        assert!(near > 0.9);
+    }
+
+    #[test]
+    fn keyword_match_scales_relevance() {
+        let r = 10.0;
+        let full = JudgePanel::latent_relevance(&q(), r, &line(1.0, 1.0));
+        let half = JudgePanel::latent_relevance(&q(), r, &line(1.0, 0.5));
+        let none = JudgePanel::latent_relevance(&q(), r, &line(1.0, 0.0));
+        assert!((half - full / 2.0).abs() < 1e-12);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn panel_judges_obvious_cases_correctly() {
+        let mut panel = JudgePanel::new(0.05, 42);
+        let mut relevant_hits = 0;
+        let mut irrelevant_hits = 0;
+        for _ in 0..200 {
+            relevant_hits += panel.judge(&q(), 10.0, &line(0.5, 1.0)) as usize;
+            irrelevant_hits += panel.judge(&q(), 10.0, &line(30.0, 1.0)) as usize;
+        }
+        assert!(relevant_hits > 180, "clear hits judged relevant: {relevant_hits}/200");
+        assert!(irrelevant_hits < 40, "clear misses judged irrelevant: {irrelevant_hits}/200");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let verdicts = |seed| {
+            let mut panel = JudgePanel::new(0.1, seed);
+            (0..50).map(|i| panel.judge(&q(), 10.0, &line(i as f64 * 0.4, 0.8))).collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(7), verdicts(7));
+        assert_ne!(verdicts(7), verdicts(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in")]
+    fn silly_noise_rejected() {
+        let _ = JudgePanel::new(0.9, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! In-memory post collections with user cross-references.
+//!
+//! The scoring functions aggregate over `P_u`, "all the posts by a user u"
+//! (Section II-A). [`Corpus`] owns the posts sorted by tweet id and
+//! maintains the `user → posts` mapping plus id lookups that both query
+//! algorithms and the social-network builder rely on.
+
+use crate::ids::{TweetId, UserId};
+use crate::post::Post;
+use std::collections::HashMap;
+
+/// An immutable collection of geo-tagged posts.
+///
+/// Construction sorts posts by id and rejects duplicate ids (ids are
+/// timestamps and "each timestamp is unique").
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    posts: Vec<Post>,
+    by_id: HashMap<TweetId, usize>,
+    by_user: HashMap<UserId, Vec<usize>>,
+}
+
+impl Corpus {
+    /// Builds a corpus from posts. Returns an error naming the duplicate if
+    /// two posts share an id.
+    pub fn new(mut posts: Vec<Post>) -> Result<Self, DuplicateTweetId> {
+        posts.sort_by_key(|p| p.id);
+        let mut by_id = HashMap::with_capacity(posts.len());
+        let mut by_user: HashMap<UserId, Vec<usize>> = HashMap::new();
+        for (i, post) in posts.iter().enumerate() {
+            if by_id.insert(post.id, i).is_some() {
+                return Err(DuplicateTweetId(post.id));
+            }
+            by_user.entry(post.user).or_default().push(i);
+        }
+        Ok(Self { posts, by_id, by_user })
+    }
+
+    /// All posts, sorted by tweet id (= time).
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Number of posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// True when the corpus holds no posts.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// Number of distinct users.
+    pub fn user_count(&self) -> usize {
+        self.by_user.len()
+    }
+
+    /// Looks up a post by id.
+    pub fn get(&self, id: TweetId) -> Option<&Post> {
+        self.by_id.get(&id).map(|&i| &self.posts[i])
+    }
+
+    /// `P_u`: the posts of `user`, in time order.
+    pub fn posts_of(&self, user: UserId) -> impl Iterator<Item = &Post> {
+        self.by_user.get(&user).into_iter().flatten().map(move |&i| &self.posts[i])
+    }
+
+    /// Number of posts by `user` (`|P_u|` in Definition 9).
+    pub fn post_count_of(&self, user: UserId) -> usize {
+        self.by_user.get(&user).map_or(0, Vec::len)
+    }
+
+    /// Iterates all user ids (arbitrary order).
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.by_user.keys().copied()
+    }
+}
+
+/// Two posts shared the same tweet id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateTweetId(pub TweetId);
+
+impl std::fmt::Display for DuplicateTweetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "duplicate tweet id {}", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateTweetId {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tklus_geo::Point;
+
+    fn post(id: u64, user: u64) -> Post {
+        Post::original(TweetId(id), UserId(user), Point::new_unchecked(43.7, -79.4), format!("tweet {id}"))
+    }
+
+    #[test]
+    fn sorts_by_id_and_indexes() {
+        let c = Corpus::new(vec![post(3, 1), post(1, 2), post(2, 1)]).unwrap();
+        let ids: Vec<u64> = c.posts().iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(c.get(TweetId(2)).unwrap().user, UserId(1));
+        assert_eq!(c.get(TweetId(9)), None);
+    }
+
+    #[test]
+    fn user_cross_reference() {
+        let c = Corpus::new(vec![post(3, 1), post(1, 2), post(2, 1)]).unwrap();
+        assert_eq!(c.user_count(), 2);
+        assert_eq!(c.post_count_of(UserId(1)), 2);
+        assert_eq!(c.post_count_of(UserId(2)), 1);
+        assert_eq!(c.post_count_of(UserId(3)), 0);
+        let u1_ids: Vec<u64> = c.posts_of(UserId(1)).map(|p| p.id.0).collect();
+        assert_eq!(u1_ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let err = Corpus::new(vec![post(1, 1), post(1, 2)]).unwrap_err();
+        assert_eq!(err, DuplicateTweetId(TweetId(1)));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::new(vec![]).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.user_count(), 0);
+        assert_eq!(c.users().count(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Identifier newtypes.
+//!
+//! Section IV-A: "Attribute sid represents the tweet ID which is essentially
+//! the tweet timestamp" and "each timestamp is unique". We model tweet ids
+//! as `u64`s that are *monotone in time*, so the inverted index's
+//! sort-by-id postings order (Algorithm 3 sorts postings "by the timestamp")
+//! coincides with time order, exactly as in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique tweet identifier; numerically ordered by publication time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TweetId(pub u64);
+
+impl TweetId {
+    /// The timestamp the id encodes (identity in this model).
+    #[inline]
+    pub fn timestamp(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TweetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Unique user identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tweet_ids_order_by_time() {
+        assert!(TweetId(1) < TweetId(2));
+        assert_eq!(TweetId(42).timestamp(), 42);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TweetId(7).to_string(), "s7");
+        assert_eq!(UserId(3).to_string(), "u3");
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared data model for the TkLUS reproduction.
+//!
+//! Mirrors Section II of the paper:
+//!
+//! * [`Post`] — Definition 1's social media post `p = (uid, t, l, W)`,
+//!   extended with the reply/forward back-pointer the metadata relation of
+//!   Section IV-A records (`ruid`, `rsid`).
+//! * [`TweetId`] / [`UserId`] — "tweet ID … is essentially the tweet
+//!   timestamp"; ids are `u64`s monotone in publication time.
+//! * [`TklusQuery`] — the query `q(l, r, W)` with result size `k` and the
+//!   AND/OR keyword [`Semantics`] of Algorithms 4/5.
+//! * [`ScoringConfig`] — the paper's tunables: α (Def. 10), ε (Def. 4),
+//!   N (Def. 6), the thread-construction depth `d` (Algorithm 1), and the
+//!   distance metric.
+//! * [`Corpus`] — an in-memory post collection with the user/post
+//!   cross-references (`P_u`) that user-level scoring needs.
+
+pub mod corpus;
+pub mod ids;
+pub mod post;
+pub mod query;
+pub mod scoring;
+
+pub use corpus::Corpus;
+pub use ids::{TweetId, UserId};
+pub use post::{InteractionKind, Post, ReplyTo};
+pub use query::{Semantics, TklusQuery};
+pub use scoring::ScoringConfig;

@@ -1,0 +1,256 @@
+//! The TkLUS query `q(l, r, W)`.
+
+use serde::{Deserialize, Serialize};
+use tklus_geo::Point;
+
+/// Keyword combination semantics for multi-keyword queries (Section V):
+/// "The 'AND' semantic requires the search results containing all the query
+/// keywords while the 'OR' semantic relaxes the constraint".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Semantics {
+    /// Candidate tweets must contain every query keyword.
+    And,
+    /// Candidate tweets must contain at least one query keyword
+    /// (paper default for single-keyword queries; Problem Definition
+    /// condition 1 requires `p.W ∩ q.W ≠ ∅`).
+    #[default]
+    Or,
+}
+
+impl std::fmt::Display for Semantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Semantics::And => "AND",
+            Semantics::Or => "OR",
+        })
+    }
+}
+
+/// Recency bias for temporal ranking (the paper's Section VIII extension:
+/// "give priority to more recent tweets (and their users) in ranking").
+/// A tweet's keyword relevance is multiplied by
+/// `2^(-(now - t) / half_life)` — 1.0 for a tweet posted right now, 0.5
+/// for one posted `half_life` time units ago.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecencyBias {
+    /// The reference "now" timestamp (same unit as tweet ids).
+    pub now: u64,
+    /// Half-life of tweet relevance, in timestamp units. Must be positive.
+    pub half_life: u64,
+}
+
+impl RecencyBias {
+    /// The decay factor for a tweet posted at `t`. Tweets from the future
+    /// of `now` (possible in backfills) are clamped to factor 1.
+    pub fn factor(&self, t: u64) -> f64 {
+        let age = self.now.saturating_sub(t) as f64;
+        (-age / self.half_life as f64).exp2()
+    }
+}
+
+/// A top-k local user search query.
+///
+/// ```
+/// use tklus_model::{Semantics, TklusQuery};
+/// use tklus_geo::Point;
+///
+/// // The paper's running example: "hotel" within 10 km of downtown Toronto.
+/// let q = TklusQuery::new(
+///     Point::new_unchecked(43.6839128037, -79.37356590),
+///     10.0,
+///     vec!["hotel".into()],
+///     1,
+///     Semantics::Or,
+/// ).unwrap()
+/// // Section VIII temporal extension: restrict to a period, favour recent tweets.
+/// .with_time_range(0, 1_000_000).unwrap()
+/// .with_recency(1_000_000, 10_000).unwrap();
+/// assert!(q.in_time_range(500));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TklusQuery {
+    /// Query location `q.l`.
+    pub location: Point,
+    /// Query radius `q.r` in kilometres.
+    pub radius_km: f64,
+    /// Raw query keywords `q.W` (normalized by the engine's text pipeline).
+    pub keywords: Vec<String>,
+    /// Number of users to return.
+    pub k: usize,
+    /// AND/OR keyword semantics.
+    pub semantics: Semantics,
+    /// Optional time window (inclusive timestamps): only tweets posted in
+    /// `[start, end]` qualify — the paper's Section VIII "query for a
+    /// particular period of time".
+    pub time_range: Option<(u64, u64)>,
+    /// Optional recency weighting of tweet relevance.
+    pub recency: Option<RecencyBias>,
+}
+
+impl TklusQuery {
+    /// Builds a query, validating the radius, keyword list, and `k`.
+    pub fn new(
+        location: Point,
+        radius_km: f64,
+        keywords: Vec<String>,
+        k: usize,
+        semantics: Semantics,
+    ) -> Result<Self, InvalidQuery> {
+        if !(radius_km.is_finite() && radius_km > 0.0) {
+            return Err(InvalidQuery::BadRadius(radius_km));
+        }
+        if keywords.is_empty() {
+            return Err(InvalidQuery::NoKeywords);
+        }
+        if k == 0 {
+            return Err(InvalidQuery::ZeroK);
+        }
+        Ok(Self { location, radius_km, keywords, k, semantics, time_range: None, recency: None })
+    }
+
+    /// Restricts the query to tweets posted within `[start, end]`
+    /// (inclusive, in timestamp units — tweet ids are timestamps).
+    pub fn with_time_range(mut self, start: u64, end: u64) -> Result<Self, InvalidQuery> {
+        if start > end {
+            return Err(InvalidQuery::BadTimeRange { start, end });
+        }
+        self.time_range = Some((start, end));
+        Ok(self)
+    }
+
+    /// Applies recency weighting with the given reference time and
+    /// half-life.
+    pub fn with_recency(mut self, now: u64, half_life: u64) -> Result<Self, InvalidQuery> {
+        if half_life == 0 {
+            return Err(InvalidQuery::ZeroHalfLife);
+        }
+        self.recency = Some(RecencyBias { now, half_life });
+        Ok(self)
+    }
+
+    /// Whether a tweet timestamp falls in the query's time window
+    /// (trivially true without one).
+    pub fn in_time_range(&self, t: u64) -> bool {
+        self.time_range.is_none_or(|(lo, hi)| (lo..=hi).contains(&t))
+    }
+
+    /// The recency factor for a tweet timestamp (1.0 without a bias).
+    pub fn recency_factor(&self, t: u64) -> f64 {
+        self.recency.map_or(1.0, |r| r.factor(t))
+    }
+}
+
+/// Validation failures for [`TklusQuery`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidQuery {
+    /// Radius must be positive and finite.
+    BadRadius(f64),
+    /// At least one keyword is required.
+    NoKeywords,
+    /// `k` must be at least 1.
+    ZeroK,
+    /// Time window start must not exceed its end.
+    BadTimeRange {
+        /// Window start.
+        start: u64,
+        /// Window end.
+        end: u64,
+    },
+    /// Recency half-life must be positive.
+    ZeroHalfLife,
+}
+
+impl std::fmt::Display for InvalidQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidQuery::BadRadius(r) => write!(f, "query radius must be positive and finite, got {r}"),
+            InvalidQuery::NoKeywords => f.write_str("query must have at least one keyword"),
+            InvalidQuery::ZeroK => f.write_str("query k must be at least 1"),
+            InvalidQuery::BadTimeRange { start, end } => {
+                write!(f, "time range start {start} exceeds end {end}")
+            }
+            InvalidQuery::ZeroHalfLife => f.write_str("recency half-life must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidQuery {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc() -> Point {
+        Point::new_unchecked(43.6839128037, -79.37356590)
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // "a TkLUS query is issued at the crossed location
+        // (43.6839128037, -79.37356590), with a single keyword 'hotel' and a
+        // distance of 10 km".
+        let q = TklusQuery::new(loc(), 10.0, vec!["hotel".into()], 1, Semantics::Or).unwrap();
+        assert_eq!(q.keywords, vec!["hotel"]);
+        assert_eq!(q.k, 1);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            TklusQuery::new(loc(), 0.0, vec!["x".into()], 1, Semantics::Or),
+            Err(InvalidQuery::BadRadius(0.0))
+        );
+        assert_eq!(
+            TklusQuery::new(loc(), -2.0, vec!["x".into()], 1, Semantics::Or),
+            Err(InvalidQuery::BadRadius(-2.0))
+        );
+        assert_eq!(TklusQuery::new(loc(), 5.0, vec![], 1, Semantics::Or), Err(InvalidQuery::NoKeywords));
+        assert_eq!(TklusQuery::new(loc(), 5.0, vec!["x".into()], 0, Semantics::Or), Err(InvalidQuery::ZeroK));
+        assert!(TklusQuery::new(loc(), f64::NAN, vec!["x".into()], 1, Semantics::Or).is_err());
+    }
+
+    #[test]
+    fn semantics_display() {
+        assert_eq!(Semantics::And.to_string(), "AND");
+        assert_eq!(Semantics::Or.to_string(), "OR");
+        assert_eq!(Semantics::default(), Semantics::Or);
+    }
+
+    #[test]
+    fn time_range_filters_inclusively() {
+        let q = TklusQuery::new(loc(), 10.0, vec!["x".into()], 1, Semantics::Or)
+            .unwrap()
+            .with_time_range(100, 200)
+            .unwrap();
+        assert!(!q.in_time_range(99));
+        assert!(q.in_time_range(100));
+        assert!(q.in_time_range(150));
+        assert!(q.in_time_range(200));
+        assert!(!q.in_time_range(201));
+        // Without a window everything qualifies.
+        let plain = TklusQuery::new(loc(), 10.0, vec!["x".into()], 1, Semantics::Or).unwrap();
+        assert!(plain.in_time_range(0) && plain.in_time_range(u64::MAX));
+    }
+
+    #[test]
+    fn invalid_time_range_rejected() {
+        let q = TklusQuery::new(loc(), 10.0, vec!["x".into()], 1, Semantics::Or).unwrap();
+        assert_eq!(q.clone().with_time_range(5, 4), Err(InvalidQuery::BadTimeRange { start: 5, end: 4 }));
+        assert_eq!(q.with_recency(10, 0), Err(InvalidQuery::ZeroHalfLife));
+    }
+
+    #[test]
+    fn recency_factor_halves_per_half_life() {
+        let bias = RecencyBias { now: 1000, half_life: 100 };
+        assert_eq!(bias.factor(1000), 1.0);
+        assert!((bias.factor(900) - 0.5).abs() < 1e-12);
+        assert!((bias.factor(800) - 0.25).abs() < 1e-12);
+        // Future tweets clamp to 1.
+        assert_eq!(bias.factor(2000), 1.0);
+        // Without a bias, the query factor is 1.
+        let q = TklusQuery::new(loc(), 10.0, vec!["x".into()], 1, Semantics::Or).unwrap();
+        assert_eq!(q.recency_factor(0), 1.0);
+        let q = q.with_recency(1000, 100).unwrap();
+        assert!((q.recency_factor(900) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Scoring parameters.
+//!
+//! Collects every tunable the paper's scoring and query-processing sections
+//! introduce, with the defaults the experimental study uses (Section VI-B1):
+//! α = 0.5, ε = 0.1, N ≈ 40.
+
+use serde::{Deserialize, Serialize};
+use tklus_geo::DistanceMetric;
+
+/// Parameters of the scoring functions (Definitions 4–11) and of thread
+/// construction (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoringConfig {
+    /// α in Definition 10: weight of keyword relevance vs distance score.
+    /// The experiments "set α as 0.5 so that the two factors are considered
+    /// as having the same impact".
+    pub alpha: f64,
+    /// ε in Definition 4: popularity of a singleton tweet thread.
+    /// "The ε in Definition 4 is set 0.1 in our implementation."
+    pub epsilon: f64,
+    /// N in Definition 6: keyword-occurrence normalizer. "N is empirically
+    /// set around 40 such that keyword relevance score is comparable to the
+    /// distance score."
+    pub keyword_norm: f64,
+    /// Thread-construction depth `d` in Algorithm 1: "a thread depth d is
+    /// always set to constrain the construction process".
+    pub thread_depth: usize,
+    /// Distance metric for radius checks and distance scores.
+    pub metric: DistanceMetric,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self { alpha: 0.5, epsilon: 0.1, keyword_norm: 40.0, thread_depth: 6, metric: DistanceMetric::Euclidean }
+    }
+}
+
+impl ScoringConfig {
+    /// Validates parameter ranges: `alpha ∈ [0, 1]`, `epsilon ≥ 0`,
+    /// `keyword_norm > 0`, `thread_depth ≥ 1`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.alpha) || !self.alpha.is_finite() {
+            return Err(format!("alpha must be in [0,1], got {}", self.alpha));
+        }
+        if !(self.epsilon >= 0.0 && self.epsilon.is_finite()) {
+            return Err(format!("epsilon must be >= 0, got {}", self.epsilon));
+        }
+        if !(self.keyword_norm > 0.0 && self.keyword_norm.is_finite()) {
+            return Err(format!("keyword_norm must be > 0, got {}", self.keyword_norm));
+        }
+        if self.thread_depth == 0 {
+            return Err("thread_depth must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ScoringConfig::default();
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.epsilon, 0.1);
+        assert_eq!(c.keyword_norm, 40.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let base = ScoringConfig::default();
+        assert!(ScoringConfig { alpha: 1.1, ..base }.validate().is_err());
+        assert!(ScoringConfig { alpha: -0.1, ..base }.validate().is_err());
+        assert!(ScoringConfig { alpha: f64::NAN, ..base }.validate().is_err());
+        assert!(ScoringConfig { epsilon: -1.0, ..base }.validate().is_err());
+        assert!(ScoringConfig { keyword_norm: 0.0, ..base }.validate().is_err());
+        assert!(ScoringConfig { thread_depth: 0, ..base }.validate().is_err());
+    }
+}

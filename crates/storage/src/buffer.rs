@@ -1,0 +1,203 @@
+//! Buffer pool: an LRU page cache between B⁺-trees and physical storage.
+//!
+//! The pool implements [`PageStore`] itself, so a tree stacks on top of it
+//! transparently. Hits are served from memory (counted as `cache_hits`, no
+//! physical read); misses fall through to the inner store (which counts the
+//! physical read) and are counted as `cache_misses`. Writes are
+//! write-through: the inner store always sees them, keeping it crash-simple.
+//!
+//! Section VI-B1 runs the paper's experiments with "database caches … set
+//! off in order to get fair evaluation results"; a pool with `capacity = 0`
+//! reproduces that configuration while leaving the code path identical.
+
+use crate::iostats::IoStats;
+use crate::page::{Page, PageId};
+use crate::pager::PageStore;
+use std::collections::HashMap;
+
+/// LRU write-through buffer pool over an inner [`PageStore`].
+pub struct BufferPool<S: PageStore> {
+    inner: S,
+    capacity: usize,
+    cache: HashMap<PageId, (Page, u64)>,
+    tick: u64,
+    stats: IoStats,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wraps `inner` with an LRU cache of `capacity` pages. Capacity 0
+    /// disables caching (every access is physical).
+    pub fn new(inner: S, capacity: usize) -> Self {
+        let stats = inner.stats().clone();
+        Self { inner, capacity, cache: HashMap::with_capacity(capacity), tick: 0, stats }
+    }
+
+    /// Current number of cached pages.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_if_full(&mut self) {
+        if self.cache.len() < self.capacity {
+            return;
+        }
+        if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, stamp))| *stamp) {
+            self.cache.remove(&victim);
+        }
+    }
+
+    fn cache_put(&mut self, id: PageId, page: Page) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.touch();
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.cache.entry(id) {
+            e.insert((page, stamp));
+            return;
+        }
+        self.evict_if_full();
+        self.cache.insert(id, (page, stamp));
+    }
+}
+
+impl<S: PageStore> PageStore for BufferPool<S> {
+    fn allocate(&mut self) -> PageId {
+        self.inner.allocate()
+    }
+
+    fn read(&mut self, id: PageId) -> Page {
+        let stamp = self.touch();
+        if let Some((page, s)) = self.cache.get_mut(&id) {
+            *s = stamp;
+            self.stats.record_hit();
+            return page.clone();
+        }
+        self.stats.record_miss();
+        let page = self.inner.read(id);
+        self.cache_put(id, page.clone());
+        page
+    }
+
+    fn write(&mut self, id: PageId, page: &Page) {
+        self.inner.write(id, page);
+        if self.cache.contains_key(&id) || self.capacity > 0 {
+            self.cache_put(id, page.clone());
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::zeroed_page;
+    use crate::pager::MemPager;
+
+    fn marked_page(b: u8) -> Page {
+        let mut p = zeroed_page();
+        p[0] = b;
+        p
+    }
+
+    #[test]
+    fn hits_avoid_physical_reads() {
+        let mut pool = BufferPool::new(MemPager::new(), 4);
+        let a = pool.allocate();
+        pool.write(a, &marked_page(7));
+        let r1 = pool.read(a);
+        let r2 = pool.read(a);
+        assert_eq!(r1[0], 7);
+        assert_eq!(r2[0], 7);
+        // Write populated the cache, so both reads hit.
+        assert_eq!(pool.stats().cache_hits(), 2);
+        assert_eq!(pool.stats().page_reads(), 0);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut pool = BufferPool::new(MemPager::new(), 0);
+        let a = pool.allocate();
+        pool.write(a, &marked_page(1));
+        pool.read(a);
+        pool.read(a);
+        assert_eq!(pool.stats().cache_hits(), 0);
+        assert_eq!(pool.stats().cache_misses(), 2);
+        assert_eq!(pool.stats().page_reads(), 2);
+        assert_eq!(pool.cached_pages(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut pool = BufferPool::new(MemPager::new(), 2);
+        let ids: Vec<PageId> = (0..3).map(|_| pool.allocate()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pool.write(*id, &marked_page(i as u8));
+        }
+        // Cache holds the 2 most recently written: ids[1], ids[2].
+        assert_eq!(pool.cached_pages(), 2);
+        pool.stats().reset();
+        pool.read(ids[1]);
+        pool.read(ids[2]);
+        assert_eq!(pool.stats().cache_hits(), 2);
+        // ids[0] was evicted -> miss.
+        pool.read(ids[0]);
+        assert_eq!(pool.stats().cache_misses(), 1);
+        assert_eq!(pool.stats().page_reads(), 1);
+    }
+
+    #[test]
+    fn writes_are_write_through() {
+        let mut pool = BufferPool::new(MemPager::new(), 2);
+        let a = pool.allocate();
+        pool.write(a, &marked_page(9));
+        // Inner store sees the write immediately.
+        assert_eq!(pool.inner().stats().page_writes(), 1);
+    }
+
+    #[test]
+    fn tree_over_pool_reduces_reads() {
+        use crate::bptree::BPlusTree;
+        let cached = {
+            let pool = BufferPool::new(MemPager::new(), 256);
+            let mut t: BPlusTree<_, 8> = BPlusTree::new(pool);
+            for k in 0..2000u64 {
+                t.insert((k, 0), k.to_le_bytes());
+            }
+            t.store().stats().reset();
+            for k in 0..2000u64 {
+                t.get((k, 0));
+            }
+            t.store().stats().page_reads()
+        };
+        let uncached = {
+            let pool = BufferPool::new(MemPager::new(), 0);
+            let mut t: BPlusTree<_, 8> = BPlusTree::new(pool);
+            for k in 0..2000u64 {
+                t.insert((k, 0), k.to_le_bytes());
+            }
+            t.store().stats().reset();
+            for k in 0..2000u64 {
+                t.get((k, 0));
+            }
+            t.store().stats().page_reads()
+        };
+        assert!(cached * 2 < uncached, "cached={cached} uncached={uncached}");
+    }
+}

@@ -1,0 +1,515 @@
+//! A simulated block-structured distributed file system (the HDFS stand-in).
+//!
+//! The paper stores the inverted index "in Hadoop distributed file system
+//! (HDFS)" and argues that geohash-sorted keys mean "close points associated
+//! with the same keyword are probably stored in contiguous disk pages" and
+//! that "data indexed by geohash will have all points for a given
+//! rectangular area in one computer" (Section IV-B1). This simulator models
+//! exactly those properties:
+//!
+//! * write-once named files, each *placed* on one simulated data node
+//!   (by key hash or explicitly), so a spatial partition lives together;
+//! * block-granular accounting (default 64 KiB blocks): every read is
+//!   charged `ceil(len / block_size)` block reads to the owning node, and a
+//!   read that does not continue where the previous read on the same file
+//!   ended is additionally charged a seek;
+//! * per-node and total counters that the index-size (Fig. 6) and
+//!   construction (Fig. 5) harnesses report.
+//!
+//! File contents live in memory; this is an accounting simulator, not a
+//! durability layer — the experiments reason in I/O counts, like the paper.
+
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// DFS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DfsConfig {
+    /// Number of simulated data nodes (the paper's cluster has 3).
+    pub nodes: usize,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Copies of each file, HDFS-style. The primary copy goes on the
+    /// placement node, replicas on the following nodes (mod cluster size).
+    /// Capped at the node count. Reads fall over to a replica when the
+    /// preferred node is down.
+    pub replication: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        Self { nodes: 3, block_size: 64 * 1024, replication: 1 }
+    }
+}
+
+/// Errors from DFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// No file with that name.
+    NotFound(String),
+    /// A file with that name already exists (files are write-once).
+    AlreadyExists(String),
+    /// Explicit placement named a node outside `0..nodes`.
+    BadNode(usize),
+    /// Every node holding a copy of the file is down.
+    AllReplicasDown(String),
+    /// Read past end of file.
+    OutOfBounds { file: String, offset: u64, len: usize, file_len: u64 },
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(n) => write!(f, "dfs file not found: {n}"),
+            DfsError::AlreadyExists(n) => write!(f, "dfs file already exists: {n}"),
+            DfsError::BadNode(n) => write!(f, "dfs node {n} out of range"),
+            DfsError::AllReplicasDown(name) => write!(f, "all replicas of {name} are on failed nodes"),
+            DfsError::OutOfBounds { file, offset, len, file_len } => {
+                write!(f, "read [{offset}, {offset}+{len}) past end of {file} (len {file_len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Per-node I/O counters (a snapshot; counters only grow).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Blocks read from this node.
+    pub blocks_read: u64,
+    /// Blocks written to this node.
+    pub blocks_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Non-sequential read starts (disk seeks in the cost model).
+    pub seeks: u64,
+}
+
+struct FileMeta {
+    /// Nodes holding a copy; primary first.
+    nodes: Vec<usize>,
+    data: Vec<u8>,
+    /// Where the last read on this file ended, for seek accounting.
+    last_read_end: Option<u64>,
+}
+
+struct Inner {
+    config: DfsConfig,
+    files: HashMap<String, FileMeta>,
+    nodes: Vec<NodeCounters>,
+    node_up: Vec<bool>,
+}
+
+/// Handle to a simulated DFS cluster. Cheap to clone; all clones share
+/// state, so MapReduce workers can write partitions concurrently.
+///
+/// ```
+/// use tklus_storage::{Dfs, DfsConfig};
+///
+/// let dfs = Dfs::new(DfsConfig { nodes: 3, block_size: 16, replication: 2 });
+/// dfs.create_on("part-0", vec![7; 32], 0).unwrap();
+/// // The primary node fails; the replica still serves the read.
+/// dfs.fail_node(0);
+/// assert_eq!(dfs.read_at("part-0", 0, 4).unwrap(), vec![7; 4]);
+/// ```
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Dfs {
+    /// Creates a cluster.
+    pub fn new(config: DfsConfig) -> Self {
+        assert!(config.nodes > 0, "at least one data node required");
+        assert!(config.block_size > 0, "block size must be positive");
+        Self {
+            inner: Arc::new(RwLock::new(Inner {
+                config,
+                files: HashMap::new(),
+                nodes: vec![NodeCounters::default(); config.nodes],
+                node_up: vec![true; config.nodes],
+            })),
+        }
+    }
+
+    /// The configured number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().config.nodes
+    }
+
+    /// Creates a write-once file placed by name hash.
+    pub fn create(&self, name: &str, data: Vec<u8>) -> Result<(), DfsError> {
+        let node = {
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            (h.finish() % self.node_count() as u64) as usize
+        };
+        self.create_on(name, data, node)
+    }
+
+    /// Creates a write-once file on an explicit node — how the index writer
+    /// keeps one spatial partition on one machine.
+    pub fn create_on(&self, name: &str, data: Vec<u8>, node: usize) -> Result<(), DfsError> {
+        let mut g = self.inner.write();
+        if node >= g.config.nodes {
+            return Err(DfsError::BadNode(node));
+        }
+        if g.files.contains_key(name) {
+            return Err(DfsError::AlreadyExists(name.to_string()));
+        }
+        let blocks = data.len().div_ceil(g.config.block_size).max(1) as u64;
+        let copies = g.config.replication.clamp(1, g.config.nodes);
+        let nodes: Vec<usize> = (0..copies).map(|i| (node + i) % g.config.nodes).collect();
+        for &n in &nodes {
+            let counters = &mut g.nodes[n];
+            counters.blocks_written += blocks;
+            counters.bytes_written += data.len() as u64;
+        }
+        g.files.insert(name.to_string(), FileMeta { nodes, data, last_read_end: None });
+        Ok(())
+    }
+
+    /// File length in bytes.
+    pub fn len(&self, name: &str) -> Result<u64, DfsError> {
+        let g = self.inner.read();
+        g.files.get(name).map(|f| f.data.len() as u64).ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.read().files.contains_key(name)
+    }
+
+    /// The node holding a file's primary copy.
+    pub fn node_of(&self, name: &str) -> Result<usize, DfsError> {
+        let g = self.inner.read();
+        g.files.get(name).map(|f| f.nodes[0]).ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// All nodes holding a copy of the file, primary first.
+    pub fn replicas_of(&self, name: &str) -> Result<Vec<usize>, DfsError> {
+        let g = self.inner.read();
+        g.files.get(name).map(|f| f.nodes.clone()).ok_or_else(|| DfsError::NotFound(name.to_string()))
+    }
+
+    /// Marks a node as failed: reads fall over to replicas; files whose
+    /// every copy is on failed nodes become unreadable until a restore.
+    pub fn fail_node(&self, node: usize) {
+        let mut g = self.inner.write();
+        assert!(node < g.config.nodes, "node {node} out of range");
+        g.node_up[node] = false;
+    }
+
+    /// Brings a failed node back (its data was never lost in this
+    /// simulation — only unavailable).
+    pub fn restore_node(&self, node: usize) {
+        let mut g = self.inner.write();
+        assert!(node < g.config.nodes, "node {node} out of range");
+        g.node_up[node] = true;
+    }
+
+    /// Whether a node is up.
+    pub fn node_is_up(&self, node: usize) -> bool {
+        self.inner.read().node_up[node]
+    }
+
+    /// Reads `len` bytes at `offset`, charging block reads (and a seek when
+    /// the read does not continue the previous one on this file).
+    pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, DfsError> {
+        let mut g = self.inner.write();
+        let block_size = g.config.block_size as u64;
+        let file = g.files.get(name).ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        let file_len = file.data.len() as u64;
+        if offset + len as u64 > file_len {
+            return Err(DfsError::OutOfBounds { file: name.to_string(), offset, len, file_len });
+        }
+        let Some(node) = file.nodes.iter().copied().find(|&n| g.node_up[n]) else {
+            return Err(DfsError::AllReplicasDown(name.to_string()));
+        };
+        let file = g.files.get_mut(name).expect("checked above");
+        let seek = file.last_read_end != Some(offset);
+        file.last_read_end = Some(offset + len as u64);
+        let out = file.data[offset as usize..offset as usize + len].to_vec();
+        // Charge whole blocks touched by [offset, offset+len).
+        let first_block = offset / block_size;
+        let last_block = if len == 0 { first_block } else { (offset + len as u64 - 1) / block_size };
+        let counters = &mut g.nodes[node];
+        counters.blocks_read += last_block - first_block + 1;
+        counters.bytes_read += len as u64;
+        if seek {
+            counters.seeks += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads an entire file.
+    pub fn read_all(&self, name: &str) -> Result<Vec<u8>, DfsError> {
+        let len = self.len(name)?;
+        self.read_at(name, 0, len as usize)
+    }
+
+    /// Opens a sequential reader.
+    pub fn open(&self, name: &str) -> Result<DfsFile, DfsError> {
+        if !self.exists(name) {
+            return Err(DfsError::NotFound(name.to_string()));
+        }
+        Ok(DfsFile { dfs: self.clone(), name: name.to_string(), pos: 0 })
+    }
+
+    /// Sorted list of file names.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total stored bytes across all files (the Fig. 6 "index size").
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.read().files.values().map(|f| f.data.len() as u64).sum()
+    }
+
+    /// Snapshot of a node's counters.
+    pub fn node_counters(&self, node: usize) -> NodeCounters {
+        self.inner.read().nodes[node]
+    }
+
+    /// Sum of counters over all nodes.
+    pub fn total_counters(&self) -> NodeCounters {
+        let g = self.inner.read();
+        g.nodes.iter().fold(NodeCounters::default(), |mut acc, n| {
+            acc.blocks_read += n.blocks_read;
+            acc.blocks_written += n.blocks_written;
+            acc.bytes_read += n.bytes_read;
+            acc.bytes_written += n.bytes_written;
+            acc.seeks += n.seeks;
+            acc
+        })
+    }
+}
+
+/// Sequential reader over a DFS file.
+pub struct DfsFile {
+    dfs: Dfs,
+    name: String,
+    pos: u64,
+}
+
+impl DfsFile {
+    /// Reads the next `len` bytes, advancing the cursor.
+    pub fn read(&mut self, len: usize) -> Result<Vec<u8>, DfsError> {
+        let out = self.dfs.read_at(&self.name, self.pos, len)?;
+        self.pos += len as u64;
+        Ok(out)
+    }
+
+    /// Repositions the cursor (next read will be charged a seek unless it
+    /// happens to continue the file's previous read).
+    pub fn seek(&mut self, pos: u64) {
+        self.pos = pos;
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs() -> Dfs {
+        Dfs::new(DfsConfig { nodes: 3, block_size: 16, replication: 1 })
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let d = dfs();
+        d.create("a", b"hello world".to_vec()).unwrap();
+        assert_eq!(d.read_all("a").unwrap(), b"hello world");
+        assert_eq!(d.len("a").unwrap(), 11);
+        assert!(d.exists("a"));
+        assert!(!d.exists("b"));
+    }
+
+    #[test]
+    fn files_are_write_once() {
+        let d = dfs();
+        d.create("a", vec![1]).unwrap();
+        assert_eq!(d.create("a", vec![2]), Err(DfsError::AlreadyExists("a".into())));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let d = dfs();
+        assert_eq!(d.read_all("nope"), Err(DfsError::NotFound("nope".into())));
+        assert!(d.open("nope").is_err());
+        assert!(d.len("nope").is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_read_errors() {
+        let d = dfs();
+        d.create("a", vec![0; 10]).unwrap();
+        assert!(matches!(d.read_at("a", 5, 10), Err(DfsError::OutOfBounds { .. })));
+        // Exact end is fine.
+        assert_eq!(d.read_at("a", 5, 5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn explicit_placement_and_bad_node() {
+        let d = dfs();
+        d.create_on("part-0", vec![0; 40], 2).unwrap();
+        assert_eq!(d.node_of("part-0").unwrap(), 2);
+        assert_eq!(d.create_on("x", vec![], 5), Err(DfsError::BadNode(5)));
+    }
+
+    #[test]
+    fn block_accounting_on_write() {
+        let d = dfs(); // block_size 16
+        d.create_on("a", vec![0; 33], 0).unwrap(); // 3 blocks
+        d.create_on("b", vec![0; 16], 1).unwrap(); // 1 block
+        d.create_on("c", vec![], 1).unwrap(); // empty file still costs 1
+        assert_eq!(d.node_counters(0).blocks_written, 3);
+        assert_eq!(d.node_counters(1).blocks_written, 2);
+        assert_eq!(d.total_counters().blocks_written, 5);
+        assert_eq!(d.total_bytes(), 49);
+    }
+
+    #[test]
+    fn block_accounting_on_read() {
+        let d = dfs();
+        d.create_on("a", vec![7; 64], 0).unwrap();
+        // Read of bytes 10..50 touches blocks 0..=3 (byte 49 is in block 3).
+        d.read_at("a", 10, 40).unwrap();
+        let c = d.node_counters(0);
+        assert_eq!(c.blocks_read, 4);
+        assert_eq!(c.bytes_read, 40);
+        assert_eq!(c.seeks, 1);
+    }
+
+    #[test]
+    fn sequential_reads_do_not_seek() {
+        let d = dfs();
+        d.create_on("a", vec![1; 64], 0).unwrap();
+        let mut f = d.open("a").unwrap();
+        f.read(16).unwrap();
+        f.read(16).unwrap();
+        f.read(16).unwrap();
+        assert_eq!(d.node_counters(0).seeks, 1, "only the first read seeks");
+        // A jump back costs a seek.
+        f.seek(0);
+        f.read(8).unwrap();
+        assert_eq!(d.node_counters(0).seeks, 2);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let d = dfs();
+        d.create("z", vec![]).unwrap();
+        d.create("a", vec![]).unwrap();
+        d.create("m", vec![]).unwrap();
+        assert_eq!(d.list(), vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = dfs();
+        let d2 = d.clone();
+        d2.create("shared", vec![1, 2, 3]).unwrap();
+        assert!(d.exists("shared"));
+        assert_eq!(d.total_bytes(), 3);
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_in_range() {
+        let d = dfs();
+        d.create("file-x", vec![0; 4]).unwrap();
+        let n = d.node_of("file-x").unwrap();
+        assert!(n < 3);
+        let d2 = dfs();
+        d2.create("file-x", vec![0; 4]).unwrap();
+        assert_eq!(d2.node_of("file-x").unwrap(), n);
+    }
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use super::*;
+
+    fn dfs_r2() -> Dfs {
+        Dfs::new(DfsConfig { nodes: 3, block_size: 16, replication: 2 })
+    }
+
+    #[test]
+    fn replicas_placed_on_following_nodes() {
+        let d = dfs_r2();
+        d.create_on("part-0", vec![0; 20], 1).unwrap();
+        assert_eq!(d.replicas_of("part-0").unwrap(), vec![1, 2]);
+        assert_eq!(d.node_of("part-0").unwrap(), 1);
+        // Wraps around the cluster.
+        d.create_on("part-1", vec![0; 20], 2).unwrap();
+        assert_eq!(d.replicas_of("part-1").unwrap(), vec![2, 0]);
+    }
+
+    #[test]
+    fn writes_charged_to_every_replica() {
+        let d = dfs_r2();
+        d.create_on("a", vec![0; 33], 0).unwrap(); // 3 blocks
+        assert_eq!(d.node_counters(0).blocks_written, 3);
+        assert_eq!(d.node_counters(1).blocks_written, 3);
+        assert_eq!(d.node_counters(2).blocks_written, 0);
+    }
+
+    #[test]
+    fn reads_fall_over_to_replica_on_failure() {
+        let d = dfs_r2();
+        d.create_on("a", vec![7; 32], 0).unwrap();
+        // Healthy: primary serves the read.
+        d.read_at("a", 0, 16).unwrap();
+        assert_eq!(d.node_counters(0).blocks_read, 1);
+        assert_eq!(d.node_counters(1).blocks_read, 0);
+        // Fail the primary: replica serves.
+        d.fail_node(0);
+        assert!(!d.node_is_up(0));
+        let bytes = d.read_at("a", 0, 16).unwrap();
+        assert_eq!(bytes, vec![7; 16]);
+        assert_eq!(d.node_counters(0).blocks_read, 1, "failed node untouched");
+        assert_eq!(d.node_counters(1).blocks_read, 1);
+    }
+
+    #[test]
+    fn all_replicas_down_errors_until_restore() {
+        let d = dfs_r2();
+        d.create_on("a", vec![1; 8], 0).unwrap();
+        d.fail_node(0);
+        d.fail_node(1);
+        assert_eq!(d.read_at("a", 0, 8), Err(DfsError::AllReplicasDown("a".into())));
+        // Node 2 holds no copy, so it cannot help.
+        assert!(d.node_is_up(2));
+        d.restore_node(1);
+        assert_eq!(d.read_at("a", 0, 8).unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn replication_capped_at_cluster_size() {
+        let d = Dfs::new(DfsConfig { nodes: 2, block_size: 16, replication: 5 });
+        d.create_on("a", vec![0; 4], 0).unwrap();
+        assert_eq!(d.replicas_of("a").unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn unreplicated_file_dies_with_its_node() {
+        let d = Dfs::new(DfsConfig { nodes: 3, block_size: 16, replication: 1 });
+        d.create_on("a", vec![0; 4], 0).unwrap();
+        d.fail_node(0);
+        assert_eq!(d.read_at("a", 0, 4), Err(DfsError::AllReplicasDown("a".into())));
+    }
+}

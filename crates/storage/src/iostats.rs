@@ -1,0 +1,121 @@
+//! Shared I/O counters.
+//!
+//! The paper's efficiency arguments are stated in I/Os ("every construction
+//! will cost several I/Os", Section V-B; "it does not necessarily lead to
+//! more I/Os", Section VI-B2). Counters are atomic so a pool of MapReduce
+//! workers can share one stats object.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cheaply cloneable handle to a set of atomic I/O counters.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a physical page read.
+    pub fn record_read(&self) {
+        self.inner.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a physical page write.
+    pub fn record_write(&self) {
+        self.inner.page_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn record_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool miss.
+    pub fn record_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Physical page reads so far.
+    pub fn page_reads(&self) -> u64 {
+        self.inner.page_reads.load(Ordering::Relaxed)
+    }
+
+    /// Physical page writes so far.
+    pub fn page_writes(&self) -> u64 {
+        self.inner.page_writes.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Total physical I/Os (reads + writes).
+    pub fn total_io(&self) -> u64 {
+        self.page_reads() + self.page_writes()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.inner.page_reads.store(0, Ordering::Relaxed);
+        self.inner.page_writes.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_hit();
+        s.record_miss();
+        assert_eq!(s.page_reads(), 2);
+        assert_eq!(s.page_writes(), 1);
+        assert_eq!(s.cache_hits(), 1);
+        assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.total_io(), 3);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = IoStats::new();
+        let t = s.clone();
+        t.record_read();
+        assert_eq!(s.page_reads(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_write();
+        s.reset();
+        assert_eq!(s.total_io(), 0);
+        assert_eq!(s.cache_hits(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Storage substrate for the TkLUS reproduction.
+//!
+//! Section IV-A of the paper stores tweet metadata — the relation
+//! `(sid, uid, lat, lon, ruid, rsid)` — "in a centralized metadata database"
+//! with "a B⁺-tree" on `sid` and "another B⁺-tree … on attribute rsid",
+//! while the inverted index lives in HDFS. This crate provides both storage
+//! layers from scratch:
+//!
+//! * [`page`] / [`pager`] — fixed-size pages over an in-memory or
+//!   file-backed store, with I/O accounting ([`IoStats`]).
+//! * [`bptree`] — a paged B⁺-tree with composite `(u64, u64)` keys,
+//!   fixed-size values, point lookups, range scans, inserts with node
+//!   splitting, and sorted bulk loading. The composite key serves both the
+//!   unique primary index (`(sid, 0)`) and the non-unique secondary index
+//!   (`(rsid, sid)`).
+//! * [`buffer`] — an LRU buffer pool between B⁺-trees and the page store,
+//!   so logical accesses and physical I/Os can be measured separately (the
+//!   paper's Section VI-B runs with "database caches … off"; the pool can
+//!   be sized to zero-effective caching for that configuration).
+//! * [`dfs`] — a simulated block-structured distributed file system
+//!   standing in for HDFS: named files striped over simulated data nodes,
+//!   with per-node read/write/seek counters that the index-size and
+//!   query-cost experiments report.
+
+pub mod bptree;
+pub mod buffer;
+pub mod dfs;
+pub mod iostats;
+pub mod page;
+pub mod pager;
+
+pub use bptree::{BPlusTree, Key};
+pub use buffer::BufferPool;
+pub use dfs::{Dfs, DfsConfig, DfsError, DfsFile};
+pub use iostats::IoStats;
+pub use page::{PageId, PAGE_SIZE};
+pub use pager::{FilePager, MemPager, PageStore};

@@ -1,0 +1,41 @@
+//! Fixed-size pages.
+
+use std::fmt;
+
+/// Page size in bytes. 4 KiB, the classic database page size.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a page store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An owned page buffer.
+pub type Page = Box<[u8; PAGE_SIZE]>;
+
+/// Allocates a zeroed page.
+pub fn zeroed_page() -> Page {
+    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE slice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = zeroed_page();
+        assert_eq!(p.len(), PAGE_SIZE);
+        assert!(p.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn page_id_display() {
+        assert_eq!(PageId(5).to_string(), "p5");
+    }
+}

@@ -1,0 +1,196 @@
+//! Page stores: the physical layer under B⁺-trees.
+//!
+//! Two implementations share the [`PageStore`] trait: [`MemPager`] keeps
+//! pages in memory (deterministic, fast — the default for experiments,
+//! where *counted* I/Os rather than real disk latency drive the results,
+//! matching how the paper reasons about costs), and [`FilePager`] is backed
+//! by a real file for durability-shaped testing. Both count physical reads
+//! and writes through a shared [`IoStats`].
+
+use crate::iostats::IoStats;
+use crate::page::{zeroed_page, Page, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A store of fixed-size pages addressed by [`PageId`].
+pub trait PageStore: Send {
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&mut self) -> PageId;
+    /// Reads a page. Panics if the id was never allocated.
+    fn read(&mut self, id: PageId) -> Page;
+    /// Writes a page.
+    fn write(&mut self, id: PageId, page: &Page);
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+    /// The store's I/O counters.
+    fn stats(&self) -> &IoStats;
+}
+
+/// In-memory page store.
+#[derive(Debug)]
+pub struct MemPager {
+    pages: Vec<Page>,
+    stats: IoStats,
+}
+
+impl MemPager {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        Self::with_stats(IoStats::new())
+    }
+
+    /// Creates a store sharing the given counters.
+    pub fn with_stats(stats: IoStats) -> Self {
+        Self { pages: Vec::new(), stats }
+    }
+}
+
+impl Default for MemPager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageStore for MemPager {
+    fn allocate(&mut self) -> PageId {
+        let id = PageId(self.pages.len() as u64);
+        self.pages.push(zeroed_page());
+        id
+    }
+
+    fn read(&mut self, id: PageId) -> Page {
+        self.stats.record_read();
+        self.pages[id.0 as usize].clone()
+    }
+
+    fn write(&mut self, id: PageId, page: &Page) {
+        self.stats.record_write();
+        self.pages[id.0 as usize] = page.clone();
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+/// File-backed page store. Pages live at offset `id * PAGE_SIZE`.
+#[derive(Debug)]
+pub struct FilePager {
+    file: Mutex<File>,
+    page_count: u64,
+    stats: IoStats,
+}
+
+impl FilePager {
+    /// Opens (creating if necessary) a page file at `path`. An existing
+    /// file's length must be a multiple of [`PAGE_SIZE`].
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("page file length {len} is not a multiple of {PAGE_SIZE}"),
+            ));
+        }
+        Ok(Self { file: Mutex::new(file), page_count: len / PAGE_SIZE as u64, stats: IoStats::new() })
+    }
+}
+
+impl PageStore for FilePager {
+    fn allocate(&mut self) -> PageId {
+        let id = PageId(self.page_count);
+        self.page_count += 1;
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
+        f.write_all(&zeroed_page()[..]).expect("extend page file");
+        id
+    }
+
+    fn read(&mut self, id: PageId) -> Page {
+        assert!(id.0 < self.page_count, "read of unallocated page {id}");
+        self.stats.record_read();
+        let mut page = zeroed_page();
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
+        f.read_exact(&mut page[..]).expect("read page");
+        page
+    }
+
+    fn write(&mut self, id: PageId, page: &Page) {
+        assert!(id.0 < self.page_count, "write of unallocated page {id}");
+        self.stats.record_write();
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
+        f.write_all(&page[..]).expect("write page");
+    }
+
+    fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &mut dyn PageStore) {
+        let a = store.allocate();
+        let b = store.allocate();
+        assert_ne!(a, b);
+        let mut page = zeroed_page();
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        store.write(a, &page);
+        let got = store.read(a);
+        assert_eq!(got[0], 0xAB);
+        assert_eq!(got[PAGE_SIZE - 1], 0xCD);
+        // b still zeroed.
+        assert!(store.read(b).iter().all(|&x| x == 0));
+        assert_eq!(store.page_count(), 2);
+    }
+
+    #[test]
+    fn mem_pager_roundtrip() {
+        let mut p = MemPager::new();
+        roundtrip(&mut p);
+        assert_eq!(p.stats().page_reads(), 2);
+        assert_eq!(p.stats().page_writes(), 1);
+    }
+
+    #[test]
+    fn file_pager_roundtrip_and_reopen() {
+        let path = std::env::temp_dir().join(format!("tklus-pager-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            roundtrip(&mut p);
+        }
+        {
+            // Reopen: data persists.
+            let mut p = FilePager::open(&path).unwrap();
+            assert_eq!(p.page_count(), 2);
+            assert_eq!(p.read(PageId(0))[0], 0xAB);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn file_pager_rejects_unallocated_read() {
+        let path = std::env::temp_dir().join(format!("tklus-pager-bad-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut p = FilePager::open(&path).unwrap();
+        let _ = p.read(PageId(0));
+    }
+}

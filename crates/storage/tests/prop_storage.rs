@@ -1,0 +1,136 @@
+//! Property-based tests: the B⁺-tree agrees with a BTreeMap model.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tklus_storage::{BPlusTree, BufferPool, MemPager};
+
+type Key = (u64, u64);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Key, u64),
+    Delete(Key),
+    Get(Key),
+    Scan(Key, Key),
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    // Small key space to force collisions and updates.
+    (0u64..64, 0u64..8)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Delete),
+        arb_key().prop_map(Op::Get),
+        (arb_key(), arb_key()).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut tree: BPlusTree<_, 8> = BPlusTree::new(BufferPool::new(MemPager::new(), 8));
+        let mut model: BTreeMap<Key, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = tree.insert(k, v.to_le_bytes());
+                    prop_assert_eq!(old.map(u64::from_le_bytes), model.insert(k, v));
+                }
+                Op::Delete(k) => {
+                    let old = tree.delete(k);
+                    prop_assert_eq!(old.map(u64::from_le_bytes), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k).map(u64::from_le_bytes), model.get(&k).copied());
+                }
+                Op::Scan(lo, hi) => {
+                    let got: Vec<(Key, u64)> =
+                        tree.scan(lo, hi).into_iter().map(|(k, v)| (k, u64::from_le_bytes(v))).collect();
+                    let want: Vec<(Key, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_model(mut keys in proptest::collection::btree_set((0u64..10_000, 0u64..4), 0..800)) {
+        let entries: Vec<(Key, [u8; 8])> = keys
+            .iter()
+            .map(|&k| (k, (k.0 * 10 + k.1).to_le_bytes()))
+            .collect();
+        let mut tree: BPlusTree<_, 8> = BPlusTree::bulk_load(MemPager::new(), &entries);
+        prop_assert_eq!(tree.len(), entries.len() as u64);
+        // Full scan returns everything in order.
+        let all = tree.scan((0, 0), (u64::MAX, u64::MAX));
+        prop_assert_eq!(all.len(), entries.len());
+        for ((k, v), (ek, ev)) in all.iter().zip(&entries) {
+            prop_assert_eq!(k, ek);
+            prop_assert_eq!(v, ev);
+        }
+        // Spot lookups.
+        if let Some(first) = keys.pop_first() {
+            prop_assert!(tree.get(first).is_some());
+        }
+        prop_assert_eq!(tree.get((u64::MAX, u64::MAX)), None);
+    }
+
+    #[test]
+    fn scan_major_is_group_lookup(pairs in proptest::collection::btree_set((0u64..20, 0u64..50), 0..300)) {
+        let entries: Vec<(Key, [u8; 0])> = pairs.iter().map(|&k| (k, [])).collect();
+        let mut tree: BPlusTree<_, 0> = BPlusTree::bulk_load(MemPager::new(), &entries);
+        for major in 0u64..20 {
+            let got: Vec<Key> = tree.scan_major(major).into_iter().map(|(k, _)| k).collect();
+            let want: Vec<Key> = pairs.iter().copied().filter(|k| k.0 == major).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Large-scale churn against the model: enough keys to span many
+    /// leaves, so deletes exercise borrow/merge rebalancing.
+    #[test]
+    fn churn_matches_model_across_leaves(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tree: BPlusTree<_, 8> = BPlusTree::new(BufferPool::new(MemPager::new(), 64));
+        let mut model: BTreeMap<Key, u64> = BTreeMap::new();
+        // Load 3000 keys, then randomly delete/insert/get 3000 times.
+        for _ in 0..3000 {
+            let k = (rng.gen_range(0u64..5000), 0u64);
+            let v: u64 = rng.gen();
+            tree.insert(k, v.to_le_bytes());
+            model.insert(k, v);
+        }
+        for _ in 0..3000 {
+            let k = (rng.gen_range(0u64..5000), 0u64);
+            match rng.gen_range(0..3) {
+                0 => {
+                    prop_assert_eq!(tree.delete(k).map(u64::from_le_bytes), model.remove(&k));
+                }
+                1 => {
+                    let v: u64 = rng.gen();
+                    prop_assert_eq!(tree.insert(k, v.to_le_bytes()).map(u64::from_le_bytes), model.insert(k, v));
+                }
+                _ => {
+                    prop_assert_eq!(tree.get(k).map(u64::from_le_bytes), model.get(&k).copied());
+                }
+            }
+        }
+        // Final full scan agrees.
+        let got: Vec<(Key, u64)> =
+            tree.scan((0, 0), (u64::MAX, u64::MAX)).into_iter().map(|(k, v)| (k, u64::from_le_bytes(v))).collect();
+        let want: Vec<(Key, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(tree.len(), model.len() as u64);
+    }
+}

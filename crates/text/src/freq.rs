@@ -1,0 +1,148 @@
+//! Term-frequency bags.
+//!
+//! Definition 6 counts "the occurrences of a query keyword in tweet p …
+//! according to a bag model of keywords. Precisely, q.W is a set whereas
+//! p.W is a bag/multiset." [`TermBag`] is that multiset: a sorted compact
+//! map from term id to in-post frequency, which is also exactly the `⟨TID,
+//! TF⟩` payload the inverted index stores per posting.
+
+use crate::vocab::TermId;
+use serde::{Deserialize, Serialize};
+
+/// A multiset of terms: sorted `(term, frequency)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TermBag {
+    entries: Vec<(TermId, u32)>,
+}
+
+impl TermBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a bag from an unsorted stream of term occurrences.
+    pub fn from_occurrences<I: IntoIterator<Item = TermId>>(terms: I) -> Self {
+        let mut v: Vec<TermId> = terms.into_iter().collect();
+        v.sort_unstable();
+        let mut entries: Vec<(TermId, u32)> = Vec::new();
+        for t in v {
+            match entries.last_mut() {
+                Some((last, n)) if *last == t => *n += 1,
+                _ => entries.push((t, 1)),
+            }
+        }
+        Self { entries }
+    }
+
+    /// Frequency of `term` in the bag (0 when absent).
+    pub fn freq(&self, term: TermId) -> u32 {
+        self.entries.binary_search_by_key(&term, |e| e.0).map(|i| self.entries[i].1).unwrap_or(0)
+    }
+
+    /// Whether the bag contains `term`.
+    pub fn contains(&self, term: TermId) -> bool {
+        self.freq(term) > 0
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of occurrences across all terms.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|e| e.1 as u64).sum()
+    }
+
+    /// True when the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of this bag's frequencies over the query keyword *set* — the
+    /// `|q.W ∩ p.W|` of Definition 6 under its bag reading: "spicy
+    /// restaurant" against one "spicy" and two "restaurant" yields 3.
+    pub fn matched_occurrences(&self, query_terms: &[TermId]) -> u32 {
+        query_terms.iter().map(|t| self.freq(*t)).sum()
+    }
+
+    /// Whether every query term appears at least once (AND semantics).
+    pub fn contains_all(&self, query_terms: &[TermId]) -> bool {
+        query_terms.iter().all(|t| self.contains(*t))
+    }
+
+    /// Whether any query term appears (OR semantics).
+    pub fn contains_any(&self, query_terms: &[TermId]) -> bool {
+        query_terms.iter().any(|t| self.contains(*t))
+    }
+
+    /// Iterates `(term, frequency)` in term order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+impl FromIterator<TermId> for TermBag {
+    fn from_iter<I: IntoIterator<Item = TermId>>(iter: I) -> Self {
+        Self::from_occurrences(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn builds_sorted_counts() {
+        let bag = TermBag::from_occurrences([t(5), t(1), t(5), t(3), t(5)]);
+        assert_eq!(bag.freq(t(5)), 3);
+        assert_eq!(bag.freq(t(1)), 1);
+        assert_eq!(bag.freq(t(3)), 1);
+        assert_eq!(bag.freq(t(2)), 0);
+        assert_eq!(bag.distinct(), 3);
+        assert_eq!(bag.total(), 5);
+    }
+
+    #[test]
+    fn paper_definition6_example() {
+        // Query {spicy, restaurant}; tweet has 1x spicy, 2x restaurant -> 3.
+        let spicy = t(10);
+        let restaurant = t(20);
+        let bag = TermBag::from_occurrences([spicy, restaurant, restaurant]);
+        assert_eq!(bag.matched_occurrences(&[spicy, restaurant]), 3);
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let bag = TermBag::from_occurrences([t(1), t(2)]);
+        assert!(bag.contains_all(&[t(1), t(2)]));
+        assert!(!bag.contains_all(&[t(1), t(3)]));
+        assert!(bag.contains_any(&[t(3), t(2)]));
+        assert!(!bag.contains_any(&[t(3), t(4)]));
+        // Vacuous truth on empty query set.
+        assert!(bag.contains_all(&[]));
+        assert!(!bag.contains_any(&[]));
+    }
+
+    #[test]
+    fn empty_bag() {
+        let bag = TermBag::new();
+        assert!(bag.is_empty());
+        assert_eq!(bag.total(), 0);
+        assert_eq!(bag.matched_occurrences(&[t(1)]), 0);
+        assert!(!bag.contains_any(&[t(1)]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let bag: TermBag = [t(2), t(2), t(1)].into_iter().collect();
+        assert_eq!(bag.freq(t(2)), 2);
+        let pairs: Vec<_> = bag.iter().collect();
+        assert_eq!(pairs, vec![(t(1), 1), (t(2), 2)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Text substrate for the TkLUS reproduction.
+//!
+//! Algorithm 2 in the paper (the index-construction map function) requires
+//! that "the content of each post is tokenized and each term is stemmed.
+//! Stop words are filtered out during the tokenization process." This crate
+//! provides exactly that pipeline:
+//!
+//! * [`Tokenizer`] — lowercases, strips URLs/mentions/hashtag markers, and
+//!   splits tweet text into word tokens.
+//! * [`stopwords`] — the embedded stop-word list ("a vocabulary W that
+//!   excludes popular stop words", Definition 1).
+//! * [`PorterStemmer`] — a from-scratch implementation of the classic Porter
+//!   (1980) stemming algorithm.
+//! * [`Vocab`] — a term dictionary interning strings to dense [`TermId`]s so
+//!   postings and keys store 4-byte ids rather than strings.
+//! * [`TermBag`] — per-post term-frequency bags; Definition 6 counts query
+//!   keyword occurrences "according to a bag model of keywords".
+
+pub mod freq;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use freq::TermBag;
+pub use stemmer::PorterStemmer;
+pub use stopwords::is_stopword;
+pub use tokenizer::{TextPipeline, Tokenizer};
+pub use vocab::{TermId, Vocab};

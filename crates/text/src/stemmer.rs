@@ -1,0 +1,441 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980), implemented from
+//! scratch.
+//!
+//! Algorithm 2 stems every term before it becomes part of an inverted-index
+//! key, and the query processor must stem query keywords identically so that
+//! "restaurants" in a tweet matches the query keyword "restaurant".
+//!
+//! The implementation follows the original paper's five steps over a buffer
+//! of lowercase ASCII letters. Words shorter than three letters or
+//! containing non-ASCII-alphabetic characters are returned unchanged (the
+//! tokenizer only emits lowercase alphanumeric tokens, so in practice only
+//! all-letter tokens reach the interesting paths).
+
+/// A reusable Porter stemmer. Stateless between calls; the struct exists so
+/// callers can hold one and avoid re-validating configuration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PorterStemmer;
+
+impl PorterStemmer {
+    /// Creates a stemmer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Stems `word`, returning the stemmed form. Input is expected to be
+    /// lowercase; uppercase input is lowercased first. Words with
+    /// non-ASCII-alphabetic characters are returned unchanged.
+    pub fn stem(&self, word: &str) -> String {
+        let lower = word.to_ascii_lowercase();
+        if lower.len() < 3 || !lower.bytes().all(|b| b.is_ascii_lowercase()) {
+            return lower;
+        }
+        let mut buf = Stem { b: lower.into_bytes() };
+        buf.step1a();
+        buf.step1b();
+        buf.step1c();
+        buf.step2();
+        buf.step3();
+        buf.step4();
+        buf.step5a();
+        buf.step5b();
+        String::from_utf8(buf.b).expect("stemmer output is ASCII")
+    }
+}
+
+/// Working buffer for a single stemming run.
+struct Stem {
+    b: Vec<u8>,
+}
+
+impl Stem {
+    #[inline]
+    fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Is the letter at `i` a consonant (Porter's definition: `y` is a
+    /// consonant when preceded by a vowel... precisely, `y` after a
+    /// consonant is a vowel)?
+    fn is_cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Porter's measure m of the prefix `b[..j]` — the number of VC
+    /// sequences in the form `[C](VC)^m[V]`.
+    fn measure(&self, j: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < j && self.is_cons(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < j && !self.is_cons(i) {
+                i += 1;
+            }
+            if i >= j {
+                return m;
+            }
+            // Skip consonants: one VC sequence completed.
+            while i < j && self.is_cons(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Does the prefix `b[..j]` contain a vowel?
+    fn has_vowel(&self, j: usize) -> bool {
+        (0..j).any(|i| !self.is_cons(i))
+    }
+
+    /// Does the word end in a double consonant?
+    fn double_cons(&self) -> bool {
+        let n = self.len();
+        n >= 2 && self.b[n - 1] == self.b[n - 2] && self.is_cons(n - 1)
+    }
+
+    /// Does the prefix `b[..j]` end consonant-vowel-consonant, where the
+    /// final consonant is not w, x, or y? (Used to detect short stems like
+    /// "hop" that take a final "e" — hoping -> hope.)
+    fn ends_cvc(&self, j: usize) -> bool {
+        if j < 3 {
+            return false;
+        }
+        let (c1, v, c2) = (j - 3, j - 2, j - 1);
+        self.is_cons(c1)
+            && !self.is_cons(v)
+            && self.is_cons(c2)
+            && !matches!(self.b[c2], b'w' | b'x' | b'y')
+    }
+
+    /// Does the word end with `suffix`?
+    fn ends(&self, suffix: &str) -> bool {
+        self.b.ends_with(suffix.as_bytes())
+    }
+
+    /// Length of the stem if `suffix` were removed.
+    fn stem_len(&self, suffix: &str) -> usize {
+        self.len() - suffix.len()
+    }
+
+    /// Replaces a trailing `suffix` with `replacement`.
+    fn set_suffix(&mut self, suffix: &str, replacement: &str) {
+        let keep = self.stem_len(suffix);
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// If the word ends with `suffix` and the remaining stem has m > 0,
+    /// replace the suffix. Returns true if the *suffix matched* (whether or
+    /// not replaced), so callers can stop trying alternatives.
+    fn replace_m_gt0(&mut self, suffix: &str, replacement: &str) -> bool {
+        if self.ends(suffix) {
+            if self.measure(self.stem_len(suffix)) > 0 {
+                self.set_suffix(suffix, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Step 1a: plurals. caresses->caress, ponies->poni, cats->cat.
+    fn step1a(&mut self) {
+        if self.ends("sses") {
+            self.set_suffix("sses", "ss");
+        } else if self.ends("ies") {
+            self.set_suffix("ies", "i");
+        } else if self.ends("ss") {
+            // unchanged
+        } else if self.ends("s") && self.len() > 1 {
+            self.set_suffix("s", "");
+        }
+    }
+
+    /// Step 1b: -ed / -ing. feed->feed, agreed->agree, plastered->plaster,
+    /// motoring->motor, hopping->hop, filing->file.
+    fn step1b(&mut self) {
+        if self.ends("eed") {
+            if self.measure(self.stem_len("eed")) > 0 {
+                self.set_suffix("eed", "ee");
+            }
+            return;
+        }
+        let matched = if self.ends("ed") && self.has_vowel(self.stem_len("ed")) {
+            self.set_suffix("ed", "");
+            true
+        } else if self.ends("ing") && self.has_vowel(self.stem_len("ing")) {
+            self.set_suffix("ing", "");
+            true
+        } else {
+            false
+        };
+        if matched {
+            if self.ends("at") {
+                self.set_suffix("at", "ate");
+            } else if self.ends("bl") {
+                self.set_suffix("bl", "ble");
+            } else if self.ends("iz") {
+                self.set_suffix("iz", "ize");
+            } else if self.double_cons() && !matches!(self.b[self.len() - 1], b'l' | b's' | b'z') {
+                self.b.pop();
+            } else if self.measure(self.len()) == 1 && self.ends_cvc(self.len()) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    /// Step 1c: terminal y -> i when there is a vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends("y") && self.has_vowel(self.stem_len("y")) {
+            let n = self.len();
+            self.b[n - 1] = b'i';
+        }
+    }
+
+    /// Step 2: double/triple suffixes mapped to single ones when m > 0.
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.replace_m_gt0(suffix, replacement) {
+                return;
+            }
+        }
+    }
+
+    /// Step 3: -icate, -ative, -alize, -iciti, -ical, -ful, -ness.
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.replace_m_gt0(suffix, replacement) {
+                return;
+            }
+        }
+    }
+
+    /// Step 4: strip remaining standard suffixes when m > 1.
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou", "ism", "ate",
+            "iti", "ous", "ive", "ize",
+        ];
+        for suffix in SUFFIXES {
+            if self.ends(suffix) {
+                if self.measure(self.stem_len(suffix)) > 1 {
+                    self.set_suffix(suffix, "");
+                }
+                return;
+            }
+        }
+        // -ion only when preceded by s or t: adoption -> adopt.
+        if self.ends("ion") {
+            let j = self.stem_len("ion");
+            if j > 0 && matches!(self.b[j - 1], b's' | b't') && self.measure(j) > 1 {
+                self.set_suffix("ion", "");
+            }
+        }
+    }
+
+    /// Step 5a: remove a final e when m > 1, or when m == 1 and the stem
+    /// does not end CVC (rate -> rate, cease -> ceas).
+    fn step5a(&mut self) {
+        if self.ends("e") {
+            let j = self.stem_len("e");
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !self.ends_cvc(j)) {
+                self.b.pop();
+            }
+        }
+    }
+
+    /// Step 5b: -ll -> -l when m > 1 (controll -> control, roll -> roll).
+    fn step5b(&mut self) {
+        let n = self.len();
+        if n >= 2 && self.b[n - 1] == b'l' && self.b[n - 2] == b'l' && self.measure(n) > 1 {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(word: &str) -> String {
+        PorterStemmer::new().stem(word)
+    }
+
+    #[test]
+    fn step1a_plurals() {
+        assert_eq!(s("caresses"), "caress");
+        assert_eq!(s("ponies"), "poni");
+        assert_eq!(s("ties"), "ti");
+        assert_eq!(s("caress"), "caress");
+        assert_eq!(s("cats"), "cat");
+    }
+
+    #[test]
+    fn step1b_ed_ing() {
+        assert_eq!(s("feed"), "feed");
+        assert_eq!(s("agreed"), "agre");
+        assert_eq!(s("plastered"), "plaster");
+        assert_eq!(s("bled"), "bled");
+        assert_eq!(s("motoring"), "motor");
+        assert_eq!(s("sing"), "sing");
+        assert_eq!(s("conflated"), "conflat");
+        assert_eq!(s("troubled"), "troubl");
+        assert_eq!(s("sized"), "size");
+        assert_eq!(s("hopping"), "hop");
+        assert_eq!(s("tanned"), "tan");
+        assert_eq!(s("falling"), "fall");
+        assert_eq!(s("hissing"), "hiss");
+        assert_eq!(s("fizzed"), "fizz");
+        assert_eq!(s("failing"), "fail");
+        assert_eq!(s("filing"), "file");
+    }
+
+    #[test]
+    fn step1c_y_to_i() {
+        assert_eq!(s("happy"), "happi");
+        assert_eq!(s("sky"), "sky");
+    }
+
+    #[test]
+    fn step2_double_suffixes() {
+        assert_eq!(s("relational"), "relat");
+        assert_eq!(s("conditional"), "condit");
+        assert_eq!(s("rational"), "ration");
+        assert_eq!(s("digitizer"), "digit");
+        assert_eq!(s("operator"), "oper");
+        assert_eq!(s("feudalism"), "feudal");
+        assert_eq!(s("decisiveness"), "decis");
+        assert_eq!(s("hopefulness"), "hope");
+        assert_eq!(s("callousness"), "callous");
+        assert_eq!(s("formality"), "formal");
+        assert_eq!(s("sensitivity"), "sensit");
+    }
+
+    #[test]
+    fn step3_suffixes() {
+        assert_eq!(s("triplicate"), "triplic");
+        assert_eq!(s("formative"), "form");
+        assert_eq!(s("formalize"), "formal");
+        assert_eq!(s("electricity"), "electr");
+        assert_eq!(s("electrical"), "electr");
+        assert_eq!(s("hopeful"), "hope");
+        assert_eq!(s("goodness"), "good");
+    }
+
+    #[test]
+    fn step4_suffixes() {
+        assert_eq!(s("revival"), "reviv");
+        assert_eq!(s("allowance"), "allow");
+        assert_eq!(s("inference"), "infer");
+        assert_eq!(s("airliner"), "airlin");
+        assert_eq!(s("adjustable"), "adjust");
+        assert_eq!(s("defensible"), "defens");
+        assert_eq!(s("irritant"), "irrit");
+        assert_eq!(s("replacement"), "replac");
+        assert_eq!(s("adjustment"), "adjust");
+        assert_eq!(s("dependent"), "depend");
+        assert_eq!(s("adoption"), "adopt");
+        assert_eq!(s("communism"), "commun");
+        assert_eq!(s("activate"), "activ");
+        assert_eq!(s("effective"), "effect");
+    }
+
+    #[test]
+    fn step5_final_e_and_ll() {
+        assert_eq!(s("probate"), "probat");
+        assert_eq!(s("rate"), "rate");
+        assert_eq!(s("cease"), "ceas");
+        assert_eq!(s("controlling"), "control");
+        assert_eq!(s("roll"), "roll");
+    }
+
+    #[test]
+    fn paper_hot_keywords_stem_stably() {
+        // Table II keywords: queries and tweets must stem to the same form.
+        assert_eq!(s("restaurants"), s("restaurant"));
+        assert_eq!(s("games"), s("game"));
+        assert_eq!(s("cafes"), s("cafe"));
+        assert_eq!(s("shops"), s("shop"));
+        assert_eq!(s("shopping"), s("shop"));
+        assert_eq!(s("hotels"), s("hotel"));
+        assert_eq!(s("clubs"), s("club"));
+        assert_eq!(s("coffee"), "coffe");
+        assert_eq!(s("films"), s("film"));
+        assert_eq!(s("pizzas"), s("pizza"));
+        assert_eq!(s("malls"), s("mall"));
+    }
+
+    #[test]
+    fn short_and_nonascii_words_unchanged() {
+        assert_eq!(s("is"), "is");
+        assert_eq!(s("a"), "a");
+        assert_eq!(s("日本語"), "日本語");
+        assert_eq!(s("c3po"), "c3po");
+    }
+
+    #[test]
+    fn uppercase_is_lowercased() {
+        assert_eq!(s("Hotels"), "hotel");
+        assert_eq!(s("RUNNING"), "run");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        // Note: Porter stemming is not idempotent in general (e.g.
+        // coffee -> coffe -> coff); these words are ones where the fixpoint
+        // is reached in one pass, which the query/index agreement relies on
+        // only because both sides stem exactly once.
+        let stemmer = PorterStemmer::new();
+        for w in ["restaurant", "hotel", "running", "babysitter", "massage", "marriott"] {
+            let once = stemmer.stem(w);
+            let twice = stemmer.stem(&once);
+            assert_eq!(once, twice, "stem({w}) not idempotent");
+        }
+    }
+}

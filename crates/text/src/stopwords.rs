@@ -1,0 +1,85 @@
+//! Embedded English + microblog stop-word list.
+//!
+//! Definition 1 assumes "a vocabulary W that excludes popular stop words
+//! (e.g., this and that)". The list below combines the classic English
+//! function words with microblog chat noise ("rt", "im", "lol", "amp")
+//! that would otherwise dominate postings lists without carrying any
+//! local-expertise signal.
+
+/// Sorted list of stop words; looked up by binary search.
+static STOPWORDS: &[&str] = &[
+    "about", "above", "after", "again", "against", "all", "also", "am", "amp", "an", "and", "any", "are", "arent",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can", "cannot",
+    "cant", "could", "couldnt", "did", "didnt", "do", "does", "doesnt", "doing", "dont", "down", "during", "each",
+    "few", "for", "from", "further", "get", "got", "had", "hadnt", "has", "hasnt", "have", "havent", "having", "he",
+    "hed", "hell", "her", "here", "heres", "hers", "herself", "hes", "him", "himself", "his", "how", "hows", "id",
+    "if", "ill", "im", "in", "into", "is", "isnt", "it", "its", "itself", "ive", "just", "lets", "like", "lol",
+    "me", "more", "most", "mustnt", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once", "only",
+    "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "rt", "same", "shant", "she", "shed",
+    "shell", "shes", "should", "shouldnt", "so", "some", "such", "than", "that", "thats", "the", "their", "theirs",
+    "them", "themselves", "then", "there", "theres", "these", "they", "theyd", "theyll", "theyre", "theyve", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "via", "was", "wasnt", "we", "wed", "well",
+    "were", "werent", "weve", "what", "whats", "when", "whens", "where", "wheres", "which", "while", "who", "whom",
+    "whos", "why", "whys", "will", "with", "wont", "would", "wouldnt", "you", "youd", "youll", "your", "youre",
+    "yours", "yourself", "yourselves", "youve",
+];
+
+/// Returns true if `word` (already lowercased) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// The number of stop words in the embedded list.
+pub fn stopword_count() -> usize {
+    STOPWORDS.len()
+}
+
+/// Iterates the stop-word list (for tests and documentation).
+pub fn all_stopwords() -> impl Iterator<Item = &'static str> {
+    STOPWORDS.iter().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        // Binary search correctness depends on this.
+        assert!(STOPWORDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn paper_examples_are_stopwords() {
+        // "this and that" per Definition 1.
+        assert!(is_stopword("this"));
+        assert!(is_stopword("that"));
+        assert!(is_stopword("and"));
+    }
+
+    #[test]
+    fn microblog_noise_is_stopword() {
+        for w in ["rt", "im", "lol", "amp", "via"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["hotel", "restaurant", "toronto", "babysitter", "coffee", "pizza"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_only() {
+        // Callers must lowercase first (the tokenizer does).
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn count_matches_list() {
+        assert_eq!(stopword_count(), all_stopwords().count());
+        assert!(stopword_count() > 150);
+    }
+}

@@ -1,0 +1,241 @@
+//! Tweet tokenization.
+//!
+//! Implements the tokenization half of Algorithm 2's map function: lowercase
+//! the post content, drop URLs and user mentions, strip hashtag markers
+//! (keeping the tag word itself, as in the paper's example tweet F whose
+//! `#toronto` style tags carry content), split on non-alphanumeric
+//! characters, and filter stop words. Stemming is applied by
+//! [`TextPipeline`], which bundles the tokenizer with the
+//! [`PorterStemmer`](crate::PorterStemmer).
+
+use crate::stemmer::PorterStemmer;
+use crate::stopwords::is_stopword;
+
+/// Configurable tweet tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Minimum token length in characters; shorter tokens are dropped.
+    pub min_len: usize,
+    /// Maximum token length; longer tokens are dropped (protects the index
+    /// from pathological tokens).
+    pub max_len: usize,
+    /// Drop tokens consisting only of digits.
+    pub drop_numeric: bool,
+    /// Drop stop words (Definition 1's vocabulary excludes them).
+    pub drop_stopwords: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self { min_len: 2, max_len: 40, drop_numeric: true, drop_stopwords: true }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the default settings used throughout the
+    /// reproduction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizes `text` into lowercase word tokens, in order of appearance
+    /// (duplicates preserved — Definition 6 uses a bag model).
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for raw in text.split_whitespace() {
+            // Drop URLs and user mentions entirely; they carry no keyword
+            // content ("@ Four Seasons" venue tags in the examples survive
+            // because '@' standing alone splits away from the venue words).
+            if raw.starts_with("http://") || raw.starts_with("https://") || raw.starts_with("www.") {
+                continue;
+            }
+            if raw.len() > 1 && raw.starts_with('@') {
+                continue;
+            }
+            // Hashtag marker is stripped by the alphanumeric split below.
+            let mut token = String::new();
+            for ch in raw.chars() {
+                if ch.is_alphanumeric() {
+                    for lc in ch.to_lowercase() {
+                        token.push(lc);
+                    }
+                } else if ch == '\'' {
+                    // Collapse apostrophes: "I'm" -> "im", "friend's" ->
+                    // "friends"; both then hit the stop/stem pipeline.
+                    continue;
+                } else {
+                    self.push_token(&mut out, std::mem::take(&mut token));
+                }
+            }
+            self.push_token(&mut out, token);
+        }
+        out
+    }
+
+    fn push_token(&self, out: &mut Vec<String>, token: String) {
+        if token.is_empty() {
+            return;
+        }
+        let char_len = token.chars().count();
+        if char_len < self.min_len || char_len > self.max_len {
+            return;
+        }
+        if self.drop_numeric && token.chars().all(|c| c.is_ascii_digit()) {
+            return;
+        }
+        if self.drop_stopwords && is_stopword(&token) {
+            return;
+        }
+        out.push(token);
+    }
+}
+
+/// The full text pipeline of Algorithm 2: tokenize, filter stop words, stem.
+///
+/// Both index construction and query parsing must use the same pipeline so
+/// query keywords meet index terms in the same normalized space.
+///
+/// ```
+/// use tklus_text::TextPipeline;
+///
+/// let p = TextPipeline::new();
+/// let terms = p.terms("The best restaurants in Toronto!");
+/// let query = p.normalize_keyword("Restaurant").unwrap();
+/// assert!(terms.contains(&query)); // "restaurants" and "Restaurant" meet at the stem
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextPipeline {
+    tokenizer: Tokenizer,
+    stemmer: PorterStemmer,
+}
+
+impl TextPipeline {
+    /// Pipeline with default tokenizer settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pipeline with a custom tokenizer.
+    pub fn with_tokenizer(tokenizer: Tokenizer) -> Self {
+        Self { tokenizer, stemmer: PorterStemmer::new() }
+    }
+
+    /// Tokenizes and stems `text` into index/query terms (bag semantics:
+    /// duplicates preserved, order of appearance).
+    pub fn terms(&self, text: &str) -> Vec<String> {
+        self.tokenizer.tokenize(text).iter().map(|t| self.stemmer.stem(t)).collect()
+    }
+
+    /// Normalizes a single query keyword (lowercase + stem). Returns `None`
+    /// for keywords that normalize away entirely (stop words, too short).
+    pub fn normalize_keyword(&self, keyword: &str) -> Option<String> {
+        self.tokenizer.tokenize(keyword).first().map(|t| self.stemmer.stem(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split_and_lowercase() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("Finally Toronto"), vec!["finally", "toronto"]);
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("I'm at the Four Seasons Hotel and that was the best");
+        assert!(!toks.iter().any(|w| ["the", "and", "that", "was", "at"].contains(&w.as_str())), "{toks:?}");
+        assert!(toks.contains(&"hotel".to_string()));
+        assert!(toks.contains(&"seasons".to_string()));
+    }
+
+    #[test]
+    fn paper_example_tweet_a() {
+        // Tweet A: "I'm at Toronto Marriott Bloor Yorkville Hotel".
+        // "I'm" collapses to the chat-noise stop word "im" and is dropped.
+        let t = Tokenizer::new();
+        let toks = t.tokenize("I'm at Toronto Marriott Bloor Yorkville Hotel");
+        assert_eq!(toks, vec!["toronto", "marriott", "bloor", "yorkville", "hotel"]);
+    }
+
+    #[test]
+    fn hashtags_keep_word_drop_marker() {
+        // Tweet F's tags: "#fashion #style #ootd #toronto".
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Saturday night steez #fashion #style #toronto");
+        assert!(toks.contains(&"fashion".to_string()));
+        assert!(toks.contains(&"toronto".to_string()));
+        assert!(!toks.iter().any(|w| w.starts_with('#')));
+    }
+
+    #[test]
+    fn urls_and_mentions_dropped() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("check https://t.co/abc123 and www.example.com with @friend please");
+        assert_eq!(toks, vec!["check", "please"]);
+    }
+
+    #[test]
+    fn venue_at_sign_does_not_eat_words() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("massage (@ The Spa at Four Seasons Hotel Toronto)");
+        assert!(toks.contains(&"spa".to_string()));
+        assert!(toks.contains(&"hotel".to_string()));
+    }
+
+    #[test]
+    fn numeric_tokens_dropped_alphanumeric_kept() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokenize("room 1408 at c3po hq2"), vec!["room", "c3po", "hq2"]);
+    }
+
+    #[test]
+    fn length_bounds_enforced() {
+        let t = Tokenizer { min_len: 3, max_len: 6, drop_numeric: true, drop_stopwords: false };
+        assert_eq!(t.tokenize("ab abc abcdef abcdefg"), vec!["abc", "abcdef"]);
+    }
+
+    #[test]
+    fn duplicates_preserved_bag_semantics() {
+        // Definition 6: one "spicy" + two "restaurant" counts 3 occurrences.
+        let t = Tokenizer::new();
+        let toks = t.tokenize("spicy restaurant near my favourite restaurant");
+        assert_eq!(toks.iter().filter(|w| *w == "restaurant").count(), 2);
+        assert_eq!(toks.iter().filter(|w| *w == "spicy").count(), 1);
+    }
+
+    #[test]
+    fn unicode_words_pass_through() {
+        let t = Tokenizer::new();
+        let toks = t.tokenize("Tokyo 東京 ramen");
+        assert_eq!(toks, vec!["tokyo", "東京", "ramen"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        let t = Tokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   \t\n ").is_empty());
+        assert!(t.tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn pipeline_stems_terms() {
+        let p = TextPipeline::new();
+        let terms = p.terms("Best restaurants and hotels in Toronto");
+        assert!(terms.contains(&"restaur".to_string()) || terms.contains(&"restaurant".to_string()));
+        // Query keyword and tweet word meet in the same space.
+        let q = p.normalize_keyword("Restaurants").unwrap();
+        assert!(terms.contains(&q));
+    }
+
+    #[test]
+    fn pipeline_normalize_keyword_drops_stopwords() {
+        let p = TextPipeline::new();
+        assert_eq!(p.normalize_keyword("the"), None);
+        assert_eq!(p.normalize_keyword("Hotels"), Some("hotel".to_string()));
+    }
+}

@@ -1,0 +1,179 @@
+//! Term dictionary: interning strings to dense term ids.
+//!
+//! The hybrid index keys are `⟨geohash, term⟩` pairs (Section IV-B). Storing
+//! terms as dense `u32` ids keeps keys fixed-size and comparisons cheap; the
+//! dictionary also tracks corpus frequency per term, which drives the
+//! Table II "top-10 frequent keywords" selection and the hot-keyword
+//! specific popularity bounds of Section V-B.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An interning term dictionary with per-term corpus frequencies.
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+    freq: Vec<u64>,
+}
+
+impl Vocab {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, incrementing its corpus frequency by one occurrence.
+    pub fn intern_occurrence(&mut self, term: &str) -> TermId {
+        let id = self.intern(term);
+        self.freq[id.0 as usize] += 1;
+        id
+    }
+
+    /// Interns `term` without counting an occurrence.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32 ids"));
+        self.by_term.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        self.freq.push(0);
+        id
+    }
+
+    /// Adds `n` occurrences to an already-interned term's frequency.
+    pub fn add_occurrences(&mut self, id: TermId, n: u64) {
+        self.freq[id.0 as usize] += n;
+    }
+
+    /// Looks up an already-interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string form of a term id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Corpus occurrence count of a term.
+    pub fn frequency(&self, id: TermId) -> u64 {
+        self.freq.get(id.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The `n` most frequent terms, most frequent first (ties broken by term
+    /// string for determinism). This is how the reproduction derives its
+    /// Table II top-10 keyword list.
+    pub fn top_terms(&self, n: usize) -> Vec<(TermId, u64)> {
+        let mut all: Vec<(TermId, u64)> = (0..self.terms.len() as u32).map(TermId).map(|id| (id, self.frequency(id))).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| self.terms[a.0 .0 as usize].cmp(&self.terms[b.0 .0 as usize])));
+        all.truncate(n);
+        all
+    }
+
+    /// Iterates `(id, term, frequency)` over the whole dictionary.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, u64)> {
+        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t.as_str(), self.freq[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut v = Vocab::new();
+        let a = v.intern("hotel");
+        let b = v.intern("restaurant");
+        let a2 = v.intern("hotel");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_term_strings() {
+        let mut v = Vocab::new();
+        let id = v.intern("pizza");
+        assert_eq!(v.term(id), Some("pizza"));
+        assert_eq!(v.get("pizza"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn occurrences_counted() {
+        let mut v = Vocab::new();
+        let id = v.intern_occurrence("cafe");
+        v.intern_occurrence("cafe");
+        v.intern_occurrence("cafe");
+        v.intern_occurrence("club");
+        assert_eq!(v.frequency(id), 3);
+        assert_eq!(v.frequency(v.get("club").unwrap()), 1);
+        // Plain intern does not count.
+        v.intern("cafe");
+        assert_eq!(v.frequency(id), 3);
+    }
+
+    #[test]
+    fn top_terms_ordering_and_tiebreak() {
+        let mut v = Vocab::new();
+        for _ in 0..5 {
+            v.intern_occurrence("restaurant");
+        }
+        for _ in 0..3 {
+            v.intern_occurrence("game");
+        }
+        for _ in 0..3 {
+            v.intern_occurrence("cafe");
+        }
+        v.intern_occurrence("mall");
+        let top = v.top_terms(3);
+        assert_eq!(v.term(top[0].0), Some("restaurant"));
+        // Tie between game and cafe broken alphabetically.
+        assert_eq!(v.term(top[1].0), Some("cafe"));
+        assert_eq!(v.term(top[2].0), Some("game"));
+    }
+
+    #[test]
+    fn top_terms_truncates_to_available() {
+        let mut v = Vocab::new();
+        v.intern_occurrence("one");
+        assert_eq!(v.top_terms(10).len(), 1);
+        assert!(Vocab::new().top_terms(5).is_empty());
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let mut v = Vocab::new();
+        v.intern_occurrence("x");
+        v.intern_occurrence("y");
+        let items: Vec<_> = v.iter().collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].1, "x");
+        assert_eq!(items[1].2, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the text substrate.
+
+use proptest::prelude::*;
+use tklus_text::{PorterStemmer, TermBag, TermId, TextPipeline, Tokenizer, Vocab};
+
+proptest! {
+    #[test]
+    fn tokenizer_output_is_lowercase_and_bounded(text in ".{0,200}") {
+        let t = Tokenizer::new();
+        for tok in t.tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            let n = tok.chars().count();
+            prop_assert!((t.min_len..=t.max_len).contains(&n), "token {tok:?}");
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            // Lowercasing is per-char Unicode lowercase; some characters
+            // (e.g. 𝒜) have no lowercase form and pass through — assert
+            // that everything that *can* lowercase already is.
+            prop_assert!(!tok.chars().any(|c| c.is_ascii_uppercase()));
+            prop_assert!(tok.chars().all(|c| c.to_lowercase().collect::<String>() == c.to_string()));
+        }
+    }
+
+    #[test]
+    fn stemmer_never_panics_and_never_grows_ascii_words(word in "[a-zA-Z]{1,30}") {
+        let s = PorterStemmer::new().stem(&word);
+        prop_assert!(s.len() <= word.len() + 1, "{word} -> {s}");
+        prop_assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn stemmer_output_stays_ascii_lowercase(word in "[a-z]{3,30}") {
+        let s = PorterStemmer::new().stem(&word);
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn pipeline_terms_match_normalized_keywords(word in "[a-z]{4,15}") {
+        // Any content word appearing in a tweet must be findable by using
+        // the same word as a query keyword.
+        prop_assume!(!tklus_text::is_stopword(&word));
+        let p = TextPipeline::new();
+        let tweet_terms = p.terms(&format!("visiting the {word} downtown"));
+        if let Some(q) = p.normalize_keyword(&word) {
+            prop_assert!(tweet_terms.contains(&q), "terms={tweet_terms:?} q={q}");
+        }
+    }
+
+    #[test]
+    fn termbag_total_equals_input_len(ids in proptest::collection::vec(0u32..50, 0..100)) {
+        let bag = TermBag::from_occurrences(ids.iter().map(|&i| TermId(i)));
+        prop_assert_eq!(bag.total(), ids.len() as u64);
+        // Per-term frequency matches a direct count.
+        for &i in &ids {
+            let expect = ids.iter().filter(|&&j| j == i).count() as u32;
+            prop_assert_eq!(bag.freq(TermId(i)), expect);
+        }
+    }
+
+    #[test]
+    fn vocab_intern_roundtrip(words in proptest::collection::vec("[a-z]{1,10}", 1..50)) {
+        let mut v = Vocab::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern_occurrence(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.term(*id), Some(w.as_str()));
+            prop_assert_eq!(v.get(w), Some(*id));
+        }
+        // Total frequency mass equals number of occurrences interned.
+        let mass: u64 = v.iter().map(|(_, _, f)| f).sum();
+        prop_assert_eq!(mass, words.len() as u64);
+    }
+}

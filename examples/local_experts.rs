@@ -1,0 +1,89 @@
+//! The introduction's motivating scenario: a family moving to a new city
+//! asks "are there any good babysitters around here?" — a
+//! location-dependent, contextualized social search. Instead of dumping
+//! raw tweets, TkLUS recommends *local users* to talk to.
+//!
+//! This example hand-crafts a small neighbourhood corpus so the ranking
+//! behaviour is easy to follow: a genuinely local, frequently-engaged
+//! babysitting sitter-recommender should beat both a one-off mention and a
+//! popular-but-remote account.
+//!
+//! Run with: `cargo run --release --example local_experts`
+
+use tklus::core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus::geo::Point;
+use tklus::model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
+
+fn pt(lat: f64, lon: f64) -> Point {
+    Point::new_unchecked(lat, lon)
+}
+
+fn main() {
+    // Seoul city centre.
+    let here = pt(37.5665, 126.9780);
+
+    let mut posts = vec![
+        // u1 — the neighbourhood expert: several babysitter tweets nearby,
+        // each drawing replies (people asking follow-up questions).
+        Post::original(TweetId(1), UserId(1), pt(37.57, 126.98), "our babysitter in Jongno is wonderful with toddlers"),
+        Post::original(TweetId(2), UserId(1), pt(37.565, 126.975), "babysitter recommendations for the Jongno area, ask me"),
+        Post::original(TweetId(3), UserId(1), pt(37.568, 126.982), "wrote up a list of vetted babysitters near the palace"),
+        // u2 — mentioned a babysitter once, nearby, no engagement.
+        Post::original(TweetId(4), UserId(2), pt(37.56, 126.97), "finally found a babysitter for tonight"),
+        // u3 — very popular thread, but posted from Busan (325 km away).
+        Post::original(TweetId(5), UserId(3), pt(35.1796, 129.0756), "the ultimate babysitter hiring guide"),
+    ];
+    // Replies to u1's posts (locals engaging).
+    let mut id = 100u64;
+    for root in [1u64, 2, 3] {
+        for _ in 0..4 {
+            posts.push(Post::reply(
+                TweetId(id),
+                UserId(10 + id),
+                pt(37.56 + (id % 7) as f64 * 0.002, 126.97 + (id % 5) as f64 * 0.002),
+                "thanks, sending you a message",
+                TweetId(root),
+                UserId(1),
+            ));
+            id += 1;
+        }
+    }
+    // u3's guide goes viral — but far away.
+    for _ in 0..30 {
+        posts.push(Post::forward(
+            TweetId(id),
+            UserId(10 + id),
+            pt(35.18, 129.07),
+            "RT great guide",
+            TweetId(5),
+            UserId(3),
+        ));
+        id += 1;
+    }
+
+    let corpus = Corpus::new(posts).expect("unique ids");
+    let (mut engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+
+    let query = TklusQuery::new(here, 10.0, vec!["babysitter".into()], 3, Semantics::Or).expect("valid query");
+    println!("query: 'babysitter' within 10 km of Seoul city centre, top-3\n");
+
+    for (name, ranking) in [("Sum", Ranking::Sum), ("Maximum", Ranking::Max(BoundsMode::HotKeywords))] {
+        let (top, _) = engine.query(&query, ranking);
+        println!("{name} ranking:");
+        for (rank, r) in top.iter().enumerate() {
+            let who = match r.user {
+                UserId(1) => "u1 — the Jongno babysitter expert (local, engaged)",
+                UserId(2) => "u2 — one-off mention (local, quiet)",
+                UserId(3) => "u3 — viral guide (but posted from Busan)",
+                _ => "a reply/forward account",
+            };
+            println!("  #{} {} score {:.4}  [{who}]", rank + 1, r.user, r.score);
+        }
+        // u3 must be excluded entirely: no qualifying post within 10 km
+        // (Problem Definition condition 1).
+        assert!(top.iter().all(|r| r.user != UserId(3)), "remote users cannot be local experts");
+        assert_eq!(top.first().map(|r| r.user), Some(UserId(1)), "the engaged local expert wins");
+        println!();
+    }
+    println!("note: u3's viral thread never qualifies — no post within the radius (condition 1 of the problem definition).");
+}
