@@ -10,12 +10,15 @@ fn bench_build_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
     for &nodes in &[1usize, 2, 3, 4] {
-        let config = IndexBuildConfig { geohash_len: 4, nodes, block_size: 64 * 1024, replication: 1 };
+        let config =
+            IndexBuildConfig { geohash_len: 4, nodes, block_size: 64 * 1024, replication: 1 };
         group.bench_with_input(BenchmarkId::new("mapreduce", nodes), &config, |b, config| {
             b.iter(|| build_index(corpus.posts(), config))
         });
     }
-    group.bench_function("centralized", |b| b.iter(|| build_centralized(corpus.posts(), 4, 64 * 1024)));
+    group.bench_function("centralized", |b| {
+        b.iter(|| build_centralized(corpus.posts(), 4, 64 * 1024))
+    });
     group.finish();
 }
 

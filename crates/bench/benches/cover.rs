@@ -13,7 +13,10 @@ fn bench_cover(c: &mut Criterion) {
                 BenchmarkId::new(format!("len{len}"), format!("r{radius}")),
                 &(len, radius),
                 |b, &(len, radius)| {
-                    b.iter(|| circle_cover(black_box(&center), radius, len, DistanceMetric::Euclidean).unwrap())
+                    b.iter(|| {
+                        circle_cover(black_box(&center), radius, len, DistanceMetric::Euclidean)
+                            .unwrap()
+                    })
                 },
             );
         }
@@ -23,7 +26,8 @@ fn bench_cover(c: &mut Criterion) {
     // Print the cover-quality trade-off once (cells vs overcoverage).
     println!("\ncover quality at r=10 km (cells / overcover ratio):");
     for len in 1..=5usize {
-        let (_, stats) = circle_cover_with_stats(&center, 10.0, len, DistanceMetric::Euclidean).unwrap();
+        let (_, stats) =
+            circle_cover_with_stats(&center, 10.0, len, DistanceMetric::Euclidean).unwrap();
         println!("  len {len}: {} cells, {:.2}x circle area", stats.cells, stats.overcover_ratio());
     }
 }

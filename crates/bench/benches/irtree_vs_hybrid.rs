@@ -29,11 +29,16 @@ fn bench_retrieval(c: &mut Criterion) {
                 &radius,
                 |b, &radius| {
                     b.iter(|| {
-                        let fetch =
-                            hybrid.fetch_for_query(&center, radius, &hybrid_terms, DistanceMetric::Euclidean);
+                        let fetch = hybrid.fetch_for_query(
+                            &center,
+                            radius,
+                            &hybrid_terms,
+                            DistanceMetric::Euclidean,
+                        );
                         match semantics {
                             Semantics::Or => {
-                                let all: Vec<_> = fetch.per_keyword.iter().flatten().cloned().collect();
+                                let all: Vec<_> =
+                                    fetch.per_keyword.iter().flatten().cloned().collect();
                                 union_sum(&all)
                             }
                             Semantics::And => {
@@ -49,7 +54,15 @@ fn bench_retrieval(c: &mut Criterion) {
                 BenchmarkId::new(format!("irtree_{semantics}"), format!("r{radius}")),
                 &radius,
                 |b, &radius| {
-                    b.iter(|| irtree.search_circle(&center, radius, &ir_terms, semantics, DistanceMetric::Euclidean))
+                    b.iter(|| {
+                        irtree.search_circle(
+                            &center,
+                            radius,
+                            &ir_terms,
+                            semantics,
+                            DistanceMetric::Euclidean,
+                        )
+                    })
                 },
             );
         }

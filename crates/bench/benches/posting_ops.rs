@@ -39,7 +39,9 @@ fn bench_codec(c: &mut Criterion) {
     let list = make_list(10_000, 2, 1_000_000);
     let bytes = list.encode();
     c.bench_function("postings_encode_10k", |b| b.iter(|| black_box(&list).encode()));
-    c.bench_function("postings_decode_10k", |b| b.iter(|| PostingsList::decode(black_box(&bytes)).unwrap()));
+    c.bench_function("postings_decode_10k", |b| {
+        b.iter(|| PostingsList::decode(black_box(&bytes)).unwrap())
+    });
 }
 
 fn bench_gallop_vs_merge(c: &mut Criterion) {

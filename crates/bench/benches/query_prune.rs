@@ -26,13 +26,17 @@ fn bench_query_prune(c: &mut Criterion) {
             ("max_global", Ranking::Max(BoundsMode::Global)),
             ("max_hot", Ranking::Max(BoundsMode::HotKeywords)),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, format!("r{radius}")), &queries, |b, queries| {
-                b.iter(|| {
-                    for q in queries {
-                        let _ = engine.query(q, ranking);
-                    }
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("r{radius}")),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        for q in queries {
+                            let _ = engine.query(q, ranking);
+                        }
+                    })
+                },
+            );
         }
     }
     group.finish();

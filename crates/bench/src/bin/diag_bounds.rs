@@ -13,7 +13,7 @@ fn main() {
     let flags = parse_flags();
     banner("Diagnostic: popularity bounds vs achieved top-k scores", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     println!("global bound popularity = {:.2}", engine.bounds().global());
     let specs: Vec<_> = query_workload(&corpus).into_iter().take(flags.queries.max(10)).collect();
     for spec in &specs {

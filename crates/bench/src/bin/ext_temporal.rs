@@ -12,7 +12,9 @@
 //! * result churn: Kendall tau between the timeless and recency-biased
 //!   rankings.
 
-use tklus_bench::{banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::{BoundsMode, Ranking};
 use tklus_metrics::{padded_kendall_tau, Summary};
 use tklus_model::Semantics;
@@ -21,7 +23,7 @@ fn main() {
     let flags = parse_flags();
     banner("Extension: temporal TkLUS (window selectivity and recency)", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     let specs: Vec<_> = query_workload(&corpus).into_iter().take(flags.queries.max(5)).collect();
     let max_ts = corpus.posts().last().expect("non-empty corpus").id.0;
 
@@ -35,14 +37,22 @@ fn main() {
         let mut threads = 0u64;
         let mut reads = 0u64;
         for spec in &specs {
-            let q = to_query(spec, 50.0, 5, Semantics::Or).with_time_range(lo, hi).expect("valid window");
+            let q = to_query(spec, 50.0, 5, Semantics::Or)
+                .with_time_range(lo, hi)
+                .expect("valid window");
             let (_, stats) = engine.query(&q, Ranking::Sum);
             times.push(ms(stats.elapsed));
             threads += stats.threads_built as u64;
             reads += stats.metadata_page_reads;
         }
         let t = Summary::of(&times);
-        println!("{:<12} {:>12.2} {:>12} {:>14}", format!("last {:.0}%", fraction * 100.0), t.mean, threads, reads);
+        println!(
+            "{:<12} {:>12.2} {:>12} {:>14}",
+            format!("last {:.0}%", fraction * 100.0),
+            t.mean,
+            threads,
+            reads
+        );
         csv_row(&[
             "window".into(),
             format!("{fraction}"),
@@ -54,12 +64,20 @@ fn main() {
 
     // --- Recency: pruning and ranking churn.
     println!("\nrecency bias (radius 50 km, Maximum ranking, hot bounds):");
-    println!("{:<16} {:>12} {:>10} {:>10} {:>12}", "half-life", "mean ms", "built", "pruned", "tau vs plain");
+    println!(
+        "{:<16} {:>12} {:>10} {:>10} {:>12}",
+        "half-life", "mean ms", "built", "pruned", "tau vs plain"
+    );
     let plain_tops: Vec<Vec<_>> = specs
         .iter()
         .map(|spec| {
             let q = to_query(spec, 50.0, 5, Semantics::Or);
-            engine.query(&q, Ranking::Max(BoundsMode::HotKeywords)).0.iter().map(|r| r.user).collect()
+            engine
+                .query(&q, Ranking::Max(BoundsMode::HotKeywords))
+                .0
+                .iter()
+                .map(|r| r.user)
+                .collect()
         })
         .collect();
     for &half_life_frac in &[1.0f64, 0.25, 0.05] {

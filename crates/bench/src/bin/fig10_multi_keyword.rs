@@ -7,7 +7,9 @@
 //! large radii (the union leaves more room for pruning), while AND leaves
 //! little to prune.
 
-use tklus_bench::{banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::{BoundsMode, Ranking};
 use tklus_metrics::Summary;
 use tklus_model::Semantics;
@@ -16,7 +18,7 @@ fn main() {
     let flags = parse_flags();
     banner("Figure 10: multi-keyword query efficiency", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     let all_specs = query_workload(&corpus);
     let radii = [5.0, 10.0, 20.0, 50.0];
     println!(
@@ -43,7 +45,12 @@ fn main() {
                 let c = Summary::of(&cands);
                 println!(
                     "{:<10} {:<5} {:<9} {:>12.2} {:>12.2} {:>12.0}",
-                    radius, nkw, semantics.to_string(), s.mean, m.mean, c.mean
+                    radius,
+                    nkw,
+                    semantics.to_string(),
+                    s.mean,
+                    m.mean,
+                    c.mean
                 );
                 csv_row(&[
                     radius.to_string(),

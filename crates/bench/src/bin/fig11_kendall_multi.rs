@@ -4,7 +4,9 @@
 //! Paper shape: AND stays above ~0.95 at every radius; OR dips lower
 //! (slightly below 0.8 at worst) but the rankings remain consistent.
 
-use tklus_bench::{banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::{BoundsMode, Ranking};
 use tklus_metrics::{padded_kendall_tau, Summary};
 use tklus_model::Semantics;
@@ -13,7 +15,7 @@ fn main() {
     let flags = parse_flags();
     banner("Figure 11: Kendall tau (Sum vs Maximum), multi-keyword", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     let all_specs = query_workload(&corpus);
     let radii = [5.0, 10.0, 20.0, 50.0];
     println!(
@@ -42,11 +44,25 @@ fn main() {
                 let (m5, m10) = match (taus5.is_empty(), taus10.is_empty()) {
                     (false, false) => (Summary::of(&taus5).mean, Summary::of(&taus10).mean),
                     _ => {
-                        println!("{:<10} {:<5} {:<9} {:>12} {:>12}", radius, nkw, semantics.to_string(), "n/a", "n/a");
+                        println!(
+                            "{:<10} {:<5} {:<9} {:>12} {:>12}",
+                            radius,
+                            nkw,
+                            semantics.to_string(),
+                            "n/a",
+                            "n/a"
+                        );
                         continue;
                     }
                 };
-                println!("{:<10} {:<5} {:<9} {:>12.3} {:>12.3}", radius, nkw, semantics.to_string(), m5, m10);
+                println!(
+                    "{:<10} {:<5} {:<9} {:>12.3} {:>12.3}",
+                    radius,
+                    nkw,
+                    semantics.to_string(),
+                    m5,
+                    m10
+                );
                 csv_row(&[
                     radius.to_string(),
                     nkw.to_string(),

@@ -6,7 +6,9 @@
 //! keywords under both semantics, and the gain grows with the query range
 //! (more candidates → more pruning opportunity).
 
-use tklus_bench::{banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::{BoundsMode, Ranking};
 use tklus_metrics::Summary;
 use tklus_model::Semantics;
@@ -15,13 +17,15 @@ fn main() {
     let flags = parse_flags();
     banner("Figure 12: specific popularity bound vs global bound", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     // Hot-keyword queries where AND/OR semantics actually differ: the
     // 2- and 3-keyword buckets, which all anchor on a Table II keyword.
     let all_specs = query_workload(&corpus);
     let hot: Vec<_> = all_specs
         .iter()
-        .filter(|s| s.keywords.len() >= 2 && tklus_gen::TABLE2_KEYWORDS.contains(&s.keywords[0].as_str()))
+        .filter(|s| {
+            s.keywords.len() >= 2 && tklus_gen::TABLE2_KEYWORDS.contains(&s.keywords[0].as_str())
+        })
         .cloned()
         .collect();
     let radii = [5.0, 10.0, 20.0, 50.0];
@@ -55,7 +59,13 @@ fn main() {
             let speedup = g.mean / h.mean.max(1e-9);
             println!(
                 "{:<10} {:<9} {:>12.2} {:>12.2} {:>10.2} {:>14} {:>14}",
-                radius, semantics.to_string(), g.mean, h.mean, speedup, g_pruned, h_pruned
+                radius,
+                semantics.to_string(),
+                g.mean,
+                h.mean,
+                speedup,
+                g_pruned,
+                h_pruned
             );
             csv_row(&[
                 radius.to_string(),

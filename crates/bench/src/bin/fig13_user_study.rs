@@ -11,8 +11,10 @@
 //! range grows; top-5 precision consistently above top-10.
 
 use std::collections::HashSet;
-use tklus_bench::{banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query};
-use tklus_core::{BoundsMode, Ranking, RankedUser};
+use tklus_bench::{
+    banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query,
+};
+use tklus_core::{BoundsMode, RankedUser, Ranking};
 use tklus_gen::QuerySpec;
 use tklus_metrics::{precision_at_k, JudgePanel, StudyLine, Summary};
 use tklus_model::{Corpus, Semantics, UserId};
@@ -20,13 +22,20 @@ use tklus_text::TextPipeline;
 
 /// Builds the study line for one returned user: the exemplar tweet is the
 /// user's keyword-matching post closest to the query location.
-fn study_line(corpus: &Corpus, pipeline: &TextPipeline, spec: &QuerySpec, user: UserId) -> StudyLine {
-    let stems: Vec<String> = spec.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
+fn study_line(
+    corpus: &Corpus,
+    pipeline: &TextPipeline,
+    spec: &QuerySpec,
+    user: UserId,
+) -> StudyLine {
+    let stems: Vec<String> =
+        spec.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
     let mut best: Option<(f64, StudyLine)> = None;
     for post in corpus.posts_of(user) {
         let terms = pipeline.terms(&post.text);
         let matched = stems.iter().filter(|s| terms.contains(s)).count();
-        let keyword_match = if stems.is_empty() { 0.0 } else { matched as f64 / stems.len() as f64 };
+        let keyword_match =
+            if stems.is_empty() { 0.0 } else { matched as f64 / stems.len() as f64 };
         let d = spec.location.euclidean_km(&post.location);
         // Prefer keyword-matching posts, then proximity.
         let rank = (if matched > 0 { 0.0 } else { 1e6 }) + d;
@@ -41,19 +50,19 @@ fn main() {
     let flags = parse_flags();
     banner("Figure 13: simulated user study", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     let pipeline = TextPipeline::new();
     // "A total of 30 queries with one to three keywords": 10 per bucket.
     let all_specs = query_workload(&corpus);
-    let specs: Vec<QuerySpec> = (0..3).flat_map(|b| all_specs[b * 30..b * 30 + 10].to_vec()).collect();
+    let specs: Vec<QuerySpec> =
+        (0..3).flat_map(|b| all_specs[b * 30..b * 30 + 10].to_vec()).collect();
     let radii = [5.0, 10.0, 15.0, 20.0];
     let mut panel = JudgePanel::new(0.1, 0xF16);
-    println!(
-        "{:<10} {:<9} {:>14} {:>14}",
-        "radius km", "method", "precision@5", "precision@10"
-    );
+    println!("{:<10} {:<9} {:>14} {:>14}", "radius km", "method", "precision@5", "precision@10");
     for &radius in &radii {
-        for (name, ranking) in [("sum", Ranking::Sum), ("max", Ranking::Max(BoundsMode::HotKeywords))] {
+        for (name, ranking) in
+            [("sum", Ranking::Sum), ("max", Ranking::Max(BoundsMode::HotKeywords))]
+        {
             let mut p5s = Vec::new();
             let mut p10s = Vec::new();
             for spec in &specs {
@@ -79,8 +88,15 @@ fn main() {
             let p5 = Summary::of(&p5s).mean;
             let p10 = Summary::of(&p10s).mean;
             println!("{:<10} {:<9} {:>14.3} {:>14.3}", radius, name, p5, p10);
-            csv_row(&[radius.to_string(), name.to_string(), format!("{p5:.4}"), format!("{p10:.4}")]);
+            csv_row(&[
+                radius.to_string(),
+                name.to_string(),
+                format!("{p5:.4}"),
+                format!("{p10:.4}"),
+            ]);
         }
     }
-    println!("\npaper shape: precision 60-80% at <=10 km, decreasing with radius; top-5 above top-10");
+    println!(
+        "\npaper shape: precision 60-80% at <=10 km, decreasing with radius; top-5 above top-10"
+    );
 }

@@ -6,7 +6,9 @@
 //! The reproduction runs the same random queries against indexes built at
 //! lengths 1–4 and reports mean query time and candidate counts.
 
-use tklus_bench::{banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::Ranking;
 use tklus_metrics::Summary;
 use tklus_model::Semantics;
@@ -22,7 +24,7 @@ fn main() {
         "length", "radius km", "mean ms", "candidates", "cover cells"
     );
     for len in 1..=4usize {
-        let mut engine = build_engine(&corpus, len);
+        let engine = build_engine(&corpus, len);
         for &radius in &radii {
             let mut times = Vec::new();
             let mut cands = Vec::new();
@@ -37,7 +39,10 @@ fn main() {
             let t = Summary::of(&times);
             let c = Summary::of(&cands);
             let g = Summary::of(&cells);
-            println!("{:<8} {:>10} {:>14.2} {:>12.0} {:>12.0}", len, radius, t.mean, c.mean, g.mean);
+            println!(
+                "{:<8} {:>10} {:>14.2} {:>12.0} {:>12.0}",
+                len, radius, t.mean, c.mean, g.mean
+            );
             csv_row(&[
                 len.to_string(),
                 radius.to_string(),

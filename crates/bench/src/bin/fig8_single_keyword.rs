@@ -6,7 +6,9 @@
 //! candidates that cannot reach the top-k — and pruning has more to prune
 //! when the range holds more candidates.
 
-use tklus_bench::{banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, ms, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::{BoundsMode, Ranking};
 use tklus_metrics::Summary;
 use tklus_model::Semantics;
@@ -15,7 +17,7 @@ fn main() {
     let flags = parse_flags();
     banner("Figure 8: single-keyword query efficiency (Sum vs Maximum)", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     // Single-keyword bucket of the workload.
     let specs: Vec<_> = query_workload(&corpus).into_iter().take(30).collect();
     let radii = [5.0, 10.0, 20.0, 50.0, 100.0];

@@ -5,7 +5,9 @@
 //! tau stays above ~0.86 — the two ranking functions are highly
 //! consistent.
 
-use tklus_bench::{banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query};
+use tklus_bench::{
+    banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query,
+};
 use tklus_core::{BoundsMode, Ranking};
 use tklus_metrics::{padded_kendall_tau, Summary};
 use tklus_model::Semantics;
@@ -14,7 +16,7 @@ fn main() {
     let flags = parse_flags();
     banner("Figure 9: Kendall tau (Sum vs Maximum), single keyword", &flags);
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     let specs: Vec<_> = query_workload(&corpus).into_iter().take(30).collect();
     let radii = [5.0, 10.0, 20.0, 50.0, 100.0];
     println!("{:<10} {:>12} {:>12}", "radius km", "tau top-5", "tau top-10");

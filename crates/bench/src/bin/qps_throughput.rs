@@ -1,0 +1,147 @@
+//! Query throughput of one shared engine under concurrent clients.
+//!
+//! The tentpole measurement for the `&self` query API: N client threads
+//! hammer a single `TklusEngine` with the Section VI-B1 workload and we
+//! report aggregate queries/second, plus the same workload pushed through
+//! [`TklusEngine::query_batch`]. Emits `results/BENCH_qps.json` so the
+//! performance trajectory stays machine-readable across PRs.
+//!
+//! Scaling expectation: QPS grows with client threads up to the host's
+//! core count (a 4-core runner should show ≥ 2× over single-client); on a
+//! single-core host the curve is flat and the JSON records that honestly
+//! via `host_cores`.
+
+use std::time::Instant;
+use tklus_bench::{
+    banner, build_engine, csv_row, parse_flags, query_workload, standard_corpus, to_query,
+};
+use tklus_core::{BoundsMode, Ranking, TklusEngine};
+use tklus_model::{Semantics, TklusQuery};
+
+/// Aggregate QPS of `clients` threads each running `per_client` queries
+/// round-robin over the workload against one shared engine.
+fn run_clients(
+    engine: &TklusEngine,
+    requests: &[(TklusQuery, Ranking)],
+    clients: usize,
+    per_client: usize,
+) -> f64 {
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let (q, ranking) = &requests[(c * 7 + i) % requests.len()];
+                    let (top, _) = engine.query(q, *ranking);
+                    std::hint::black_box(top);
+                }
+            });
+        }
+    });
+    (clients * per_client) as f64 / t.elapsed().as_secs_f64()
+}
+
+/// QPS of one `query_batch` call over `total` requests (the engine's own
+/// `parallelism` knob supplies the concurrency).
+fn run_batch(engine: &TklusEngine, requests: &[(TklusQuery, Ranking)], total: usize) -> f64 {
+    let batch: Vec<(TklusQuery, Ranking)> =
+        (0..total).map(|i| requests[i % requests.len()].clone()).collect();
+    let t = Instant::now();
+    let out = engine.query_batch(&batch);
+    let qps = total as f64 / t.elapsed().as_secs_f64();
+    std::hint::black_box(out);
+    qps
+}
+
+fn main() {
+    let flags = parse_flags();
+    banner("QPS throughput: N client threads, one shared engine", &flags);
+    let corpus = standard_corpus(&flags);
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let specs = query_workload(&corpus);
+    let requests: Vec<(TklusQuery, Ranking)> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let ranking = match i % 3 {
+                0 => Ranking::Sum,
+                1 => Ranking::Max(BoundsMode::Global),
+                _ => Ranking::Max(BoundsMode::HotKeywords),
+            };
+            (to_query(spec, 10.0, 5, Semantics::Or), ranking)
+        })
+        .collect();
+
+    let per_client = flags.queries.max(10) * 6;
+    let thread_counts = [1usize, 2, 4, 8];
+
+    // Client threads supply all the concurrency here, so the engine itself
+    // runs each query sequentially (parallelism 1).
+    let engine = build_engine(&corpus, 4);
+    // Warm-up: fault in every partition and metadata page once.
+    run_clients(&engine, &requests, 1, requests.len().min(per_client));
+
+    println!("{:<16} {:>10} {:>12}", "mode", "threads", "qps");
+    let mut client_rows = Vec::new();
+    for &clients in &thread_counts {
+        let qps = run_clients(&engine, &requests, clients, per_client);
+        println!("{:<16} {:>10} {:>12.1}", "client-threads", clients, qps);
+        csv_row(&["client-threads".into(), clients.to_string(), format!("{qps:.1}")]);
+        client_rows.push((clients, qps));
+    }
+
+    let mut batch_rows = Vec::new();
+    for &parallelism in &thread_counts {
+        let batch_engine = {
+            let config = tklus_core::EngineConfig {
+                index: tklus_index::IndexBuildConfig { geohash_len: 4, ..Default::default() },
+                hot_keywords: 200,
+                parallelism,
+                ..Default::default()
+            };
+            TklusEngine::build(&corpus, &config).0
+        };
+        let qps = run_batch(&batch_engine, &requests, per_client * parallelism);
+        println!("{:<16} {:>10} {:>12.1}", "query-batch", parallelism, qps);
+        csv_row(&["query-batch".into(), parallelism.to_string(), format!("{qps:.1}")]);
+        batch_rows.push((parallelism, qps));
+    }
+
+    let single = client_rows[0].1;
+    let best = client_rows.iter().map(|&(_, q)| q).fold(0.0f64, f64::max);
+    let speedup = best / single.max(1e-9);
+    println!("host cores: {host_cores}; best client-thread speedup over single: {speedup:.2}x");
+
+    // Hand-rolled JSON (serde is a no-op stand-in in this workspace; the
+    // format below is flat enough that string assembly is the simpler
+    // dependency surface).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"qps_throughput\",\n");
+    json.push_str(&format!("  \"posts\": {},\n", flags.posts));
+    json.push_str(&format!("  \"seed\": {},\n", flags.seed));
+    json.push_str(&format!("  \"queries_per_client\": {per_client},\n"));
+    json.push_str(&format!("  \"workload_queries\": {},\n", requests.len()));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str("  \"client_threads\": [\n");
+    for (i, (clients, qps)) in client_rows.iter().enumerate() {
+        let comma = if i + 1 < client_rows.len() { "," } else { "" };
+        json.push_str(&format!("    {{ \"threads\": {clients}, \"qps\": {qps:.1} }}{comma}\n"));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"query_batch\": [\n");
+    for (i, (parallelism, qps)) in batch_rows.iter().enumerate() {
+        let comma = if i + 1 < batch_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"parallelism\": {parallelism}, \"qps\": {qps:.1} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"best_speedup_over_single_client\": {speedup:.2}\n"));
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_qps.json", &json).expect("write results/BENCH_qps.json");
+    println!("wrote results/BENCH_qps.json");
+}

@@ -86,11 +86,12 @@ pub fn query_workload(corpus: &Corpus) -> Vec<QuerySpec> {
 
 /// Instantiates a spec as a TkLUS query.
 pub fn to_query(spec: &QuerySpec, radius_km: f64, k: usize, semantics: Semantics) -> TklusQuery {
-    TklusQuery::new(spec.location, radius_km, spec.keywords.clone(), k, semantics).expect("valid query")
+    TklusQuery::new(spec.location, radius_km, spec.keywords.clone(), k, semantics)
+        .expect("valid query")
 }
 
 /// Runs a query and returns its wall time.
-pub fn time_query(engine: &mut TklusEngine, q: &TklusQuery, ranking: Ranking) -> Duration {
+pub fn time_query(engine: &TklusEngine, q: &TklusQuery, ranking: Ranking) -> Duration {
     let t = Instant::now();
     let _ = engine.query(q, ranking);
     t.elapsed()
@@ -104,7 +105,10 @@ pub fn ms(d: Duration) -> f64 {
 /// Prints a figure header.
 pub fn banner(title: &str, flags: &Flags) {
     println!("== {title} ==");
-    println!("corpus: {} original posts, seed {:#x}, {} queries/point", flags.posts, flags.seed, flags.queries);
+    println!(
+        "corpus: {} original posts, seed {:#x}, {} queries/point",
+        flags.posts, flags.seed, flags.queries
+    );
 }
 
 /// Prints one machine-readable CSV row (prefixed so it is easy to grep).
@@ -136,7 +140,7 @@ mod tests {
     fn engine_answers_workload_queries() {
         let flags = Flags { posts: 1500, seed: 3, queries: 2 };
         let corpus = standard_corpus(&flags);
-        let mut engine = build_engine(&corpus, 4);
+        let engine = build_engine(&corpus, 4);
         let specs = query_workload(&corpus);
         let q = to_query(&specs[0], 20.0, 5, Semantics::Or);
         let (_, stats) = engine.query(&q, Ranking::Sum);

@@ -29,9 +29,8 @@ impl Args {
         let mut iter = raw.into_iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
+                let value =
+                    iter.next().ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
                 if out.flags.insert(name.to_string(), value).is_some() {
                     return Err(ArgError(format!("flag --{name} given twice")));
                 }
@@ -44,7 +43,10 @@ impl Args {
 
     /// A required flag, parsed to `T`.
     pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
-        let raw = self.flags.get(name).ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
         raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
     }
 
@@ -52,7 +54,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
+            }
         }
     }
 
@@ -60,9 +64,10 @@ impl Args {
     pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
         match self.flags.get(name) {
             None => Ok(None),
-            Some(raw) => {
-                raw.parse().map(Some).map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}")))
-            }
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError(format!("flag --{name}: cannot parse {raw:?}"))),
         }
     }
 

@@ -33,7 +33,8 @@ const USAGE: &str = "usage:
   tklus query       --lat L --lon L --radius KM --keywords a,b[,c]
                     [--k K] [--ranking sum|max|max-global] [--semantics and|or]
                     [--corpus FILE.tsv] [--posts N] [--seed S] [--index DIR]
-                    [--since T --until T] [--now T --half-life H]";
+                    [--since T --until T] [--now T --half-life H]
+                    [--threads N]";
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -140,7 +141,11 @@ fn cmd_stats(raw: Vec<String>) -> Result<(), ArgError> {
     println!("  distinct terms:       {}", report.distinct_terms);
     println!("top-10 keywords:");
     for (rank, (term, freq)) in engine.index().vocab().top_terms(10).into_iter().enumerate() {
-        println!("  {:>2}. {:<16} {freq}", rank + 1, engine.index().vocab().term(term).unwrap_or("?"));
+        println!(
+            "  {:>2}. {:<16} {freq}",
+            rank + 1,
+            engine.index().vocab().term(term).unwrap_or("?")
+        );
     }
     Ok(())
 }
@@ -148,8 +153,22 @@ fn cmd_stats(raw: Vec<String>) -> Result<(), ArgError> {
 fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw)?;
     args.check_known(&[
-        "lat", "lon", "radius", "keywords", "k", "ranking", "semantics", "corpus", "posts", "seed", "index",
-        "since", "until", "now", "half-life",
+        "lat",
+        "lon",
+        "radius",
+        "keywords",
+        "k",
+        "ranking",
+        "semantics",
+        "corpus",
+        "posts",
+        "seed",
+        "index",
+        "since",
+        "until",
+        "now",
+        "half-life",
+        "threads",
     ])?;
     let lat: f64 = args.require("lat")?;
     let lon: f64 = args.require("lon")?;
@@ -171,11 +190,13 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         "sum" => Ranking::Sum,
         "max" => Ranking::Max(BoundsMode::HotKeywords),
         "max-global" => Ranking::Max(BoundsMode::Global),
-        other => return Err(ArgError(format!("--ranking must be sum|max|max-global, got {other:?}"))),
+        other => {
+            return Err(ArgError(format!("--ranking must be sum|max|max-global, got {other:?}")))
+        }
     };
 
-    let mut query =
-        TklusQuery::new(location, radius, keywords, k, semantics).map_err(|e| ArgError(e.to_string()))?;
+    let mut query = TklusQuery::new(location, radius, keywords, k, semantics)
+        .map_err(|e| ArgError(e.to_string()))?;
     match (args.get::<u64>("since")?, args.get::<u64>("until")?) {
         (None, None) => {}
         (since, until) => {
@@ -189,12 +210,19 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         query = query.with_recency(now, half_life).map_err(|e| ArgError(e.to_string()))?;
     }
 
+    let threads: usize = args.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".to_string()));
+    }
+
     let corpus = corpus_from(&args)?;
-    let engine_config = EngineConfig { hot_keywords: 200, ..EngineConfig::default() };
-    let mut engine = match args.get_str("index") {
+    let engine_config =
+        EngineConfig { hot_keywords: 200, parallelism: threads, ..EngineConfig::default() };
+    let engine = match args.get_str("index") {
         Some(dir) => {
             eprintln!("loading index from {dir} ...");
-            let index = tklus_index::load_dir(&PathBuf::from(dir)).map_err(|e| ArgError(e.to_string()))?;
+            let index =
+                tklus_index::load_dir(&PathBuf::from(dir)).map_err(|e| ArgError(e.to_string()))?;
             TklusEngine::from_index(index, &corpus, &engine_config)
         }
         None => {

@@ -44,23 +44,27 @@ impl BoundsTable {
         hot_n: usize,
         config: &ScoringConfig,
     ) -> Self {
-        let global = upper_bound_popularity(network.max_fanout(), config.thread_depth, config.epsilon);
+        let global =
+            upper_bound_popularity(network.max_fanout(), config.thread_depth, config.epsilon);
         let pipeline = TextPipeline::new();
         let hot_terms: Vec<TermId> = vocab.top_terms(hot_n).into_iter().map(|(id, _)| id).collect();
-        let mut hot: HashMap<TermId, f64> = hot_terms.iter().map(|&t| (t, config.epsilon)).collect();
+        let mut hot: HashMap<TermId, f64> =
+            hot_terms.iter().map(|&t| (t, config.epsilon)).collect();
 
         // One pass over the corpus: for each post containing a hot term,
         // build its thread and raise that term's bound.
         for post in corpus.posts() {
             let terms = pipeline.terms(&post.text);
-            let mut matched: Vec<TermId> = terms.iter().filter_map(|t| vocab.get(t)).filter(|t| hot.contains_key(t)).collect();
+            let mut matched: Vec<TermId> =
+                terms.iter().filter_map(|t| vocab.get(t)).filter(|t| hot.contains_key(t)).collect();
             matched.sort_unstable();
             matched.dedup();
             if matched.is_empty() {
                 continue;
             }
             let mut provider = network;
-            let phi = build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
+            let phi = build_thread(&mut provider, post.id, config.thread_depth)
+                .popularity(config.epsilon);
             for t in matched {
                 let entry = hot.get_mut(&t).expect("hot term");
                 if phi > *entry {
@@ -130,7 +134,14 @@ mod tests {
         ];
         // 6 replies to the restaurant tweet.
         for i in 0..6u64 {
-            posts.push(Post::reply(TweetId(10 + i), UserId(50 + i), pt(), "wow", TweetId(1), UserId(1)));
+            posts.push(Post::reply(
+                TweetId(10 + i),
+                UserId(50 + i),
+                pt(),
+                "wow",
+                TweetId(1),
+                UserId(1),
+            ));
         }
         Corpus::new(posts).unwrap()
     }
@@ -199,7 +210,10 @@ mod tests {
         assert_eq!(table.hot_count(), 1);
         let cold = TermId(9999);
         assert_eq!(table.hot_bound(cold), None);
-        assert_eq!(table.query_bound(&[cold], Semantics::Or, BoundsMode::HotKeywords), table.global());
+        assert_eq!(
+            table.query_bound(&[cold], Semantics::Or, BoundsMode::HotKeywords),
+            table.global()
+        );
     }
 
     #[test]
@@ -212,7 +226,8 @@ mod tests {
         let pipeline = TextPipeline::new();
         for post in corpus.posts() {
             let mut provider = &network;
-            let phi = build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
+            let phi = build_thread(&mut provider, post.id, config.thread_depth)
+                .popularity(config.epsilon);
             for term in pipeline.terms(&post.text) {
                 if let Some(id) = vocab.get(&term) {
                     if let Some(bound) = table.hot_bound(id) {

@@ -36,6 +36,11 @@ pub struct EngineConfig {
     /// Number of hot keywords to precompute bounds for (the paper uses the
     /// top-10 of Table II).
     pub hot_keywords: usize,
+    /// Worker threads used inside a single query (postings fetch and
+    /// candidate scoring) and across a [`TklusEngine::query_batch`] call.
+    /// `1` (the default) runs fully sequentially; any value produces
+    /// byte-identical ranked results.
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +50,7 @@ impl Default for EngineConfig {
             scoring: ScoringConfig::default(),
             cache_pages: 0,
             hot_keywords: 10,
+            parallelism: 1,
         }
     }
 }
@@ -60,19 +66,29 @@ impl Default for EngineConfig {
 /// let corpus = Corpus::new(vec![
 ///     Post::original(TweetId(1), UserId(9), here, "I'm at the Clarion Hotel"),
 /// ]).unwrap();
-/// let (mut engine, _report) = TklusEngine::build(&corpus, &EngineConfig::default());
+/// let (engine, _report) = TklusEngine::build(&corpus, &EngineConfig::default());
 ///
 /// let q = TklusQuery::new(here, 10.0, vec!["hotel".into()], 5, Semantics::Or).unwrap();
 /// let (top, _stats) = engine.query(&q, Ranking::Max(BoundsMode::HotKeywords));
 /// assert_eq!(top[0].user, UserId(9));
 /// ```
+///
+/// Queries take `&self`: every layer underneath (buffer pool, B⁺-trees,
+/// DFS) uses interior mutability, so one engine can serve many client
+/// threads at once.
 pub struct TklusEngine {
     index: HybridIndex,
     db: MetadataDb,
     bounds: BoundsTable,
     pipeline: TextPipeline,
     scoring: ScoringConfig,
+    parallelism: usize,
 }
+
+// The whole point of the `&self` query API: one engine, many client
+// threads. Breaking this bound is a compile error, not a runtime surprise.
+const fn _assert_engine_is_shareable<T: Send + Sync>() {}
+const _: () = _assert_engine_is_shareable::<TklusEngine>();
 
 impl TklusEngine {
     /// Builds the engine from a corpus; returns it with the index build
@@ -82,9 +98,22 @@ impl TklusEngine {
         let (index, report) = build_index(corpus.posts(), &config.index);
         let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
         let network = SocialNetwork::from_corpus(corpus);
-        let bounds = BoundsTable::precompute(corpus, &network, index.vocab(), config.hot_keywords, &config.scoring);
+        let bounds = BoundsTable::precompute(
+            corpus,
+            &network,
+            index.vocab(),
+            config.hot_keywords,
+            &config.scoring,
+        );
         (
-            Self { index, db, bounds, pipeline: TextPipeline::new(), scoring: config.scoring },
+            Self {
+                index,
+                db,
+                bounds,
+                pipeline: TextPipeline::new(),
+                scoring: config.scoring,
+                parallelism: config.parallelism.max(1),
+            },
             report,
         )
     }
@@ -98,8 +127,21 @@ impl TklusEngine {
         config.scoring.validate().expect("valid scoring config");
         let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
         let network = SocialNetwork::from_corpus(corpus);
-        let bounds = BoundsTable::precompute(corpus, &network, index.vocab(), config.hot_keywords, &config.scoring);
-        Self { index, db, bounds, pipeline: TextPipeline::new(), scoring: config.scoring }
+        let bounds = BoundsTable::precompute(
+            corpus,
+            &network,
+            index.vocab(),
+            config.hot_keywords,
+            &config.scoring,
+        );
+        Self {
+            index,
+            db,
+            bounds,
+            pipeline: TextPipeline::new(),
+            scoring: config.scoring,
+            parallelism: config.parallelism.max(1),
+        }
     }
 
     /// The hybrid index.
@@ -107,9 +149,15 @@ impl TklusEngine {
         &self.index
     }
 
-    /// The metadata database (mutable: lookups touch buffer-pool state).
-    pub fn db_mut(&mut self) -> &mut MetadataDb {
-        &mut self.db
+    /// The metadata database. Lookups take `&self` — buffer-pool state is
+    /// behind interior mutability.
+    pub fn db(&self) -> &MetadataDb {
+        &self.db
+    }
+
+    /// The per-query worker-thread count the engine was built with.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The precomputed bounds table.
@@ -131,8 +179,37 @@ impl TklusEngine {
             .collect()
     }
 
-    /// Answers a TkLUS query with the chosen ranking method.
-    pub fn query(&mut self, q: &TklusQuery, ranking: Ranking) -> (Vec<RankedUser>, QueryStats) {
+    /// Answers a TkLUS query with the chosen ranking method, using the
+    /// engine's configured worker-thread count inside the query.
+    pub fn query(&self, q: &TklusQuery, ranking: Ranking) -> (Vec<RankedUser>, QueryStats) {
+        self.query_with_parallelism(q, ranking, self.parallelism)
+    }
+
+    /// Answers a batch of queries, fanning the *queries* (rather than the
+    /// work inside one query) across up to `parallelism` worker threads
+    /// over this one shared engine. Results come back in request order,
+    /// each identical to what a standalone [`Self::query`] call returns.
+    ///
+    /// Inside the batch each query runs sequentially — inter-query
+    /// parallelism is the throughput lever here, which is also what the
+    /// QPS benchmark measures.
+    pub fn query_batch(
+        &self,
+        requests: &[(TklusQuery, Ranking)],
+    ) -> Vec<(Vec<RankedUser>, QueryStats)> {
+        crate::query::parallel_map(requests, self.parallelism, |(q, ranking)| {
+            self.query_with_parallelism(q, *ranking, 1)
+        })
+    }
+
+    /// [`Self::query`] with an explicit per-query worker count (so
+    /// [`Self::query_batch`] can spend its threads across queries instead).
+    fn query_with_parallelism(
+        &self,
+        q: &TklusQuery,
+        ranking: Ranking,
+        parallelism: usize,
+    ) -> (Vec<RankedUser>, QueryStats) {
         let resolved = self.resolve_keywords(&q.keywords);
         // Under AND, a keyword no tweet contains empties the result; under
         // OR, unknown keywords are simply dropped.
@@ -149,10 +226,17 @@ impl TklusEngine {
             return (Vec::new(), QueryStats::default());
         }
         match ranking {
-            Ranking::Sum => query_sum(&self.index, &mut self.db, q, &terms, &self.scoring),
-            Ranking::Max(mode) => {
-                query_max(&self.index, &mut self.db, &self.bounds, mode, q, &terms, &self.scoring)
-            }
+            Ranking::Sum => query_sum(&self.index, &self.db, q, &terms, &self.scoring, parallelism),
+            Ranking::Max(mode) => query_max(
+                &self.index,
+                &self.db,
+                &self.bounds,
+                mode,
+                q,
+                &terms,
+                &self.scoring,
+                parallelism,
+            ),
         }
     }
 }
@@ -197,11 +281,11 @@ mod tests {
     fn from_index_matches_full_build() {
         let corpus = corpus();
         let config = EngineConfig::default();
-        let (mut built, _) = TklusEngine::build(&corpus, &config);
+        let (built, _) = TklusEngine::build(&corpus, &config);
         // Re-assemble from the already-built index (the loaded-from-disk
         // path, minus the disk).
         let (index2, _) = build_index(corpus.posts(), &config.index);
-        let mut assembled = TklusEngine::from_index(index2, &corpus, &config);
+        let assembled = TklusEngine::from_index(index2, &corpus, &config);
         let q = tklus_model::TklusQuery::new(
             Point::new_unchecked(43.7, -79.4),
             10.0,
@@ -236,7 +320,7 @@ mod tests {
 
     #[test]
     fn all_stopword_query_returns_empty() {
-        let (mut engine, _) = TklusEngine::build(&corpus(), &EngineConfig::default());
+        let (engine, _) = TklusEngine::build(&corpus(), &EngineConfig::default());
         let q = tklus_model::TklusQuery::new(
             Point::new_unchecked(43.7, -79.4),
             10.0,

@@ -142,29 +142,29 @@ impl MetadataDb {
     }
 
     /// `select * where sid = ?` on the primary index.
-    pub fn row(&mut self, sid: TweetId) -> Option<MetaRow> {
+    pub fn row(&self, sid: TweetId) -> Option<MetaRow> {
         self.primary.get((sid.0, 0)).map(|bytes| decode_row(&bytes))
     }
 
     /// `select uid where sid = ?` (Algorithm 4 line 20 / Algorithm 5
     /// line 22).
-    pub fn user_of(&mut self, sid: TweetId) -> Option<UserId> {
+    pub fn user_of(&self, sid: TweetId) -> Option<UserId> {
         self.row(sid).map(|r| r.uid)
     }
 
     /// The location of a post.
-    pub fn location_of(&mut self, sid: TweetId) -> Option<Point> {
+    pub fn location_of(&self, sid: TweetId) -> Option<Point> {
         self.row(sid).map(|r| r.location)
     }
 
     /// `select sid where rsid = ?` on the reply index (Algorithm 1 line 7).
-    pub fn replies_to_ids(&mut self, rsid: TweetId) -> Vec<TweetId> {
+    pub fn replies_to_ids(&self, rsid: TweetId) -> Vec<TweetId> {
         self.reply_index.scan_major(rsid.0).into_iter().map(|((_, sid), _)| TweetId(sid)).collect()
     }
 
     /// All posts of a user, as `(sid, location)` — the `P_u` scan for
     /// Definition 9's user distance score.
-    pub fn posts_of_user(&mut self, uid: UserId) -> Vec<(TweetId, Point)> {
+    pub fn posts_of_user(&self, uid: UserId) -> Vec<(TweetId, Point)> {
         self.user_index
             .scan_major(uid.0)
             .into_iter()
@@ -183,6 +183,15 @@ impl ReplyProvider for MetadataDb {
     }
 }
 
+/// Shared-reference provider: thread construction only reads, so a `&self`
+/// borrow satisfies the (historically `&mut`) provider contract. This is
+/// what lets many scoring threads walk threads over one shared database.
+impl ReplyProvider for &MetadataDb {
+    fn replies_to(&mut self, id: TweetId) -> Vec<TweetId> {
+        self.replies_to_ids(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,8 +204,22 @@ mod tests {
     fn posts() -> Vec<Post> {
         vec![
             Post::original(TweetId(1), UserId(10), pt(43.7, -79.4), "root tweet"),
-            Post::reply(TweetId(2), UserId(11), pt(43.8, -79.3), "reply one", TweetId(1), UserId(10)),
-            Post::reply(TweetId(3), UserId(12), pt(43.9, -79.2), "reply two", TweetId(1), UserId(10)),
+            Post::reply(
+                TweetId(2),
+                UserId(11),
+                pt(43.8, -79.3),
+                "reply one",
+                TweetId(1),
+                UserId(10),
+            ),
+            Post::reply(
+                TweetId(3),
+                UserId(12),
+                pt(43.9, -79.2),
+                "reply two",
+                TweetId(1),
+                UserId(10),
+            ),
             Post::forward(TweetId(4), UserId(11), pt(43.6, -79.5), "rt", TweetId(2), UserId(11)),
             Post::original(TweetId(5), UserId(10), pt(44.0, -79.0), "another original"),
         ]
@@ -204,7 +227,7 @@ mod tests {
 
     #[test]
     fn primary_lookups() {
-        let mut db = MetadataDb::from_posts(&posts(), 0);
+        let db = MetadataDb::from_posts(&posts(), 0);
         assert_eq!(db.len(), 5);
         let row = db.row(TweetId(2)).unwrap();
         assert_eq!(row.uid, UserId(11));
@@ -219,7 +242,7 @@ mod tests {
 
     #[test]
     fn reply_index_scans() {
-        let mut db = MetadataDb::from_posts(&posts(), 0);
+        let db = MetadataDb::from_posts(&posts(), 0);
         assert_eq!(db.replies_to_ids(TweetId(1)), vec![TweetId(2), TweetId(3)]);
         assert_eq!(db.replies_to_ids(TweetId(2)), vec![TweetId(4)]);
         assert!(db.replies_to_ids(TweetId(5)).is_empty());
@@ -227,7 +250,7 @@ mod tests {
 
     #[test]
     fn user_index_scans() {
-        let mut db = MetadataDb::from_posts(&posts(), 0);
+        let db = MetadataDb::from_posts(&posts(), 0);
         let u10 = db.posts_of_user(UserId(10));
         assert_eq!(u10.len(), 2);
         assert_eq!(u10[0].0, TweetId(1));
@@ -238,14 +261,14 @@ mod tests {
 
     #[test]
     fn works_as_reply_provider_for_threads() {
-        let mut db = MetadataDb::from_posts(&posts(), 0);
-        let t = build_thread(&mut db, TweetId(1), 5);
+        let db = MetadataDb::from_posts(&posts(), 0);
+        let t = build_thread(&mut &db, TweetId(1), 5);
         assert_eq!(t.level_sizes(), vec![1, 2, 1]);
     }
 
     #[test]
     fn io_counted_with_caches_off() {
-        let mut db = MetadataDb::from_posts(&posts(), 0);
+        let db = MetadataDb::from_posts(&posts(), 0);
         db.io().reset();
         db.row(TweetId(1));
         let first = db.io().page_reads();
@@ -256,7 +279,7 @@ mod tests {
 
     #[test]
     fn caching_reduces_io() {
-        let mut db = MetadataDb::from_posts(&posts(), 300);
+        let db = MetadataDb::from_posts(&posts(), 300);
         db.io().reset();
         db.row(TweetId(1));
         db.row(TweetId(1));
@@ -268,7 +291,7 @@ mod tests {
     fn location_roundtrip_precision() {
         let original = pt(43.6839128037, -79.37356590);
         let p = vec![Post::original(TweetId(7), UserId(1), original, "x")];
-        let mut db = MetadataDb::from_posts(&p, 0);
+        let db = MetadataDb::from_posts(&p, 0);
         let loc = db.location_of(TweetId(7)).unwrap();
         assert_eq!(loc.lat(), original.lat());
         assert_eq!(loc.lon(), original.lon());

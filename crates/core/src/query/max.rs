@@ -6,13 +6,30 @@
 //! popularity bound (global Definition 11, or the tighter per-hot-keyword
 //! bound of Section VI-B5), distance part bounded by 1. If that optimistic
 //! score cannot beat the current k-th best user, skip the tweet entirely.
+//!
+//! # Parallel execution
+//!
+//! The prune makes this algorithm inherently sequential: each decision
+//! depends on the top-k state left by every earlier candidate. The parallel
+//! path therefore runs in blocks. Workers score a block of candidates
+//! against a *snapshot* of the top-k floor taken at block start; because
+//! that floor only ever rises, a candidate the snapshot prunes would also
+//! have been pruned by the live state, so workers may skip its thread
+//! safely, and anything else they score speculatively. The sequential merge
+//! then replays the exact live prune in candidate order — discarding
+//! speculative work the real floor rejects — so results *and* the
+//! `threads_pruned`/`threads_built` counters are identical to a
+//! single-threaded run. Speculation can only inflate `metadata_page_reads`
+//! (I/O spent on threads the merge then discards); that is the price of the
+//! fan-out, not a change in what the algorithm computes.
 
 use crate::bounds::{BoundsMode, BoundsTable};
 use crate::metadata::MetadataDb;
-use crate::query::{candidates, top_k, QueryStats, RankedUser};
+use crate::query::{candidates, parallel_map, top_k, QueryStats, RankedUser};
 use crate::score::{tweet_keyword_score, upper_bound_user_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
+use tklus_geo::Point;
 use tklus_graph::build_thread;
 use tklus_index::HybridIndex;
 use tklus_model::{ScoringConfig, TklusQuery, UserId};
@@ -52,12 +69,31 @@ impl TopK {
     }
 
     fn evict_min(&mut self) {
-        if let Some((&uid, _)) = self
-            .users
-            .iter()
-            .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("finite scores").then(b.0.cmp(a.0)))
-        {
+        if let Some((&uid, _)) = self.users.iter().min_by(|a, b| {
+            a.1.score.partial_cmp(&b.1.score).expect("finite scores").then(b.0.cmp(a.0))
+        }) {
             self.users.remove(&uid);
+        }
+    }
+
+    /// Lines 23–33: maintain the set under Definition 8's max-aggregation.
+    fn admit(&mut self, uid: UserId, rho: f64, delta: f64, config: &ScoringConfig) {
+        match self.users.get_mut(&uid) {
+            Some(c) => {
+                if rho > c.rho_max {
+                    c.rho_max = rho;
+                    c.score = user_score(c.rho_max, c.delta, config);
+                }
+            }
+            None => {
+                let score = user_score(rho, delta, config);
+                if !self.is_full() {
+                    self.users.insert(uid, Candidate { rho_max: rho, delta, score });
+                } else if score > self.min_score().expect("full set has a min") {
+                    self.evict_min();
+                    self.users.insert(uid, Candidate { rho_max: rho, delta, score });
+                }
+            }
         }
     }
 
@@ -66,6 +102,22 @@ impl TopK {
     }
 }
 
+/// A candidate that survived the cheap filters, with the expensive parts
+/// possibly precomputed by a worker.
+struct Prepared {
+    tf: u32,
+    recency: f64,
+    uid: UserId,
+    /// `(rho, delta)` if a worker built the thread speculatively; `None`
+    /// when the snapshot floor already proved the candidate prunable.
+    speculative: Option<(f64, f64)>,
+}
+
+/// How many candidates each parallel round scores before the merge
+/// refreshes the prune floor (per worker, so speculation waste stays
+/// bounded as the floor tightens).
+const BLOCK_PER_WORKER: usize = 32;
+
 /// Runs Algorithm 5 with the given popularity-bound table and mode.
 ///
 /// The temporal extension (Section VIII) composes with the prune: the
@@ -73,14 +125,20 @@ impl TopK {
 /// known from the candidate's timestamp alone — *tightens* the upper bound
 /// (an old tweet's best possible score shrinks by its decay factor), so
 /// recency-biased queries prune more, not less.
+///
+/// `parallelism` fans the postings fetch and the block-speculative scoring
+/// across worker threads; the ranked output and prune/build counters are
+/// identical at any value (see the module docs for why).
+#[allow(clippy::too_many_arguments)]
 pub fn query_max(
     index: &HybridIndex,
-    db: &mut MetadataDb,
+    db: &MetadataDb,
     bounds: &BoundsTable,
     mode: BoundsMode,
     query: &TklusQuery,
     terms: &[TermId],
     config: &ScoringConfig,
+    parallelism: usize,
 ) -> (Vec<RankedUser>, QueryStats) {
     let start = Instant::now();
     let io_before = db.io().page_reads();
@@ -89,7 +147,8 @@ pub fn query_max(
     let k = query.k;
 
     // Lines 1–14: identical to Algorithm 4.
-    let fetch = index.fetch_for_query(center, radius_km, terms, config.metric);
+    let fetch =
+        index.fetch_for_query_parallel(center, radius_km, terms, config.metric, parallelism);
     let cands = candidates(&fetch, query.semantics);
 
     let mut stats = QueryStats {
@@ -105,62 +164,95 @@ pub fn query_max(
     // Per-user distance scores are query-constant; cache them.
     let mut delta_cache: HashMap<UserId, f64> = HashMap::new();
 
-    for (tid, tf) in cands {
-        if !query.in_time_range(tid.0) {
-            continue;
-        }
-        let Some(row) = db.row(tid) else { continue };
-        if center.distance_km(&row.location, config.metric) > radius_km {
-            continue;
-        }
-        stats.in_radius += 1;
-        let recency = query.recency_factor(tid.0);
-
-        // Lines 18–19: the prune. The best score this tweet can give its
-        // author cannot beat the current k-th user -> skip the thread.
-        // The recency factor scales the keyword part of the bound.
-        if top.is_full() {
-            let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
-            if upper <= top.min_score().expect("full set has a min") {
-                stats.threads_pruned += 1;
+    if parallelism <= 1 {
+        // Sequential path: the prune always sees the exact live floor, so
+        // no speculative I/O is ever spent.
+        for (tid, tf) in cands {
+            if !query.in_time_range(tid.0) {
                 continue;
             }
+            let Some(row) = db.row(tid) else { continue };
+            if center.distance_km(&row.location, config.metric) > radius_km {
+                continue;
+            }
+            stats.in_radius += 1;
+            let recency = query.recency_factor(tid.0);
+
+            // Lines 18–19: the prune. The best score this tweet can give
+            // its author cannot beat the current k-th user -> skip the
+            // thread. The recency factor scales the keyword part.
+            if top.is_full() {
+                let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
+                if upper <= top.min_score().expect("full set has a min") {
+                    stats.threads_pruned += 1;
+                    continue;
+                }
+            }
+
+            // Lines 20–22: construct the thread, score the tweet and user.
+            let thread = build_thread(&mut &*db, tid, config.thread_depth);
+            stats.threads_built += 1;
+            let phi = thread.popularity(config.epsilon);
+            let rho = tweet_keyword_score(tf, phi, config) * recency;
+            let uid = row.uid;
+            let delta = match delta_cache.get(&uid) {
+                Some(&d) => d,
+                None => {
+                    let d = user_distance_for(db, center, radius_km, uid, config);
+                    delta_cache.insert(uid, d);
+                    d
+                }
+            };
+            top.admit(uid, rho, delta, config);
         }
+    } else {
+        let block = BLOCK_PER_WORKER * parallelism;
+        for chunk in cands.chunks(block) {
+            // Snapshot the floor once per block. It can only be lower than
+            // (or equal to) the live floor at any later merge point, so a
+            // snapshot prune is always a subset of the live prune.
+            let snapshot_floor = if top.is_full() { top.min_score() } else { None };
 
-        // Lines 20–22: construct the thread, score the tweet and its user.
-        let thread = build_thread(db, tid, config.thread_depth);
-        stats.threads_built += 1;
-        let phi = thread.popularity(config.epsilon);
-        let rho = tweet_keyword_score(tf, phi, config) * recency;
-        let uid = row.uid;
-        let delta = match delta_cache.get(&uid) {
-            Some(&d) => d,
-            None => {
-                let locations: Vec<tklus_geo::Point> =
-                    db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
-                let d = user_distance_score(center, radius_km, &locations, config);
-                delta_cache.insert(uid, d);
-                d
-            }
-        };
+            let prepared: Vec<Option<Prepared>> = parallel_map(chunk, parallelism, |&(tid, tf)| {
+                if !query.in_time_range(tid.0) {
+                    return None;
+                }
+                let row = db.row(tid)?;
+                if center.distance_km(&row.location, config.metric) > radius_km {
+                    return None;
+                }
+                let recency = query.recency_factor(tid.0);
+                let uid = row.uid;
+                if let Some(floor) = snapshot_floor {
+                    let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
+                    if upper <= floor {
+                        return Some(Prepared { tf, recency, uid, speculative: None });
+                    }
+                }
+                let thread = build_thread(&mut &*db, tid, config.thread_depth);
+                let phi = thread.popularity(config.epsilon);
+                let rho = tweet_keyword_score(tf, phi, config) * recency;
+                let delta = user_distance_for(db, center, radius_km, uid, config);
+                Some(Prepared { tf, recency, uid, speculative: Some((rho, delta)) })
+            });
 
-        // Lines 23–33: maintain the top-k set under Definition 8's
-        // max-aggregation.
-        match top.users.get_mut(&uid) {
-            Some(c) => {
-                if rho > c.rho_max {
-                    c.rho_max = rho;
-                    c.score = user_score(c.rho_max, c.delta, config);
+            // Merge in candidate order, replaying the exact live prune.
+            for p in prepared.into_iter().flatten() {
+                stats.in_radius += 1;
+                if top.is_full() {
+                    let upper = upper_bound_user_score(p.tf, popularity_bound * p.recency, config);
+                    if upper <= top.min_score().expect("full set has a min") {
+                        stats.threads_pruned += 1;
+                        continue;
+                    }
                 }
-            }
-            None => {
-                let score = user_score(rho, delta, config);
-                if !top.is_full() {
-                    top.users.insert(uid, Candidate { rho_max: rho, delta, score });
-                } else if score > top.min_score().expect("full set has a min") {
-                    top.evict_min();
-                    top.users.insert(uid, Candidate { rho_max: rho, delta, score });
-                }
+                // Live floor did not prune, and the snapshot floor was no
+                // higher, so the worker must have scored this candidate.
+                let (rho, delta) =
+                    p.speculative.expect("snapshot prune is conservative w.r.t. the live floor");
+                stats.threads_built += 1;
+                let delta = *delta_cache.entry(p.uid).or_insert(delta);
+                top.admit(p.uid, rho, delta, config);
             }
         }
     }
@@ -168,4 +260,17 @@ pub fn query_max(
     stats.metadata_page_reads = db.io().page_reads() - io_before;
     stats.elapsed = start.elapsed();
     (top_k(top.into_ranked(), k), stats)
+}
+
+/// Definition 9's user distance score over `P_u` (pure: same inputs, same
+/// float result, whichever thread computes it).
+fn user_distance_for(
+    db: &MetadataDb,
+    center: &Point,
+    radius_km: f64,
+    uid: UserId,
+    config: &ScoringConfig,
+) -> f64 {
+    let locations: Vec<Point> = db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
+    user_distance_score(center, radius_km, &locations, config)
 }

@@ -53,11 +53,13 @@ pub struct QueryStats {
 pub(crate) fn candidates(fetch: &QueryFetch, semantics: Semantics) -> Vec<(TweetId, u32)> {
     match semantics {
         Semantics::Or => {
-            let all: Vec<tklus_index::PostingsList> = fetch.per_keyword.iter().flatten().cloned().collect();
+            let all: Vec<tklus_index::PostingsList> =
+                fetch.per_keyword.iter().flatten().cloned().collect();
             union_sum(&all)
         }
         Semantics::And => {
-            let groups: Vec<Vec<(TweetId, u32)>> = fetch.per_keyword.iter().map(|lists| union_sum(lists)).collect();
+            let groups: Vec<Vec<(TweetId, u32)>> =
+                fetch.per_keyword.iter().map(|lists| union_sum(lists)).collect();
             if groups.iter().any(Vec::is_empty) {
                 return Vec::new();
             }
@@ -66,10 +68,42 @@ pub(crate) fn candidates(fetch: &QueryFetch, semantics: Semantics) -> Vec<(Tweet
     }
 }
 
+/// Maps `f` over `items` across up to `parallelism` scoped threads,
+/// returning outputs in slot order. The split is contiguous chunks, so the
+/// output vector is identical at any parallelism; `parallelism <= 1` (or a
+/// single item) runs inline with no threads spawned.
+///
+/// This is the worker harness of the concurrent query engine: `f` must be
+/// pure given the shared read-only state it captures (the `&self` index and
+/// metadata database), which is what makes result determinism a property of
+/// *where* values are folded (sequentially, by the caller) rather than of
+/// scheduling.
+pub(crate) fn parallel_map<T, U, F>(items: &[T], parallelism: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = parallelism.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("scoring worker panicked")).collect()
+    })
+}
+
 /// Sorts users by score descending (ties broken by user id for
 /// determinism) and truncates to `k`.
 pub(crate) fn top_k(mut users: Vec<RankedUser>, k: usize) -> Vec<RankedUser> {
-    users.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite").then(a.user.cmp(&b.user)));
+    users.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).expect("scores are finite").then(a.user.cmp(&b.user))
+    });
     users.truncate(k);
     users
 }
@@ -83,7 +117,9 @@ mod tests {
         QueryFetch {
             per_keyword: per_keyword
                 .into_iter()
-                .map(|lists| lists.into_iter().map(|l| l.into_iter().collect::<PostingsList>()).collect())
+                .map(|lists| {
+                    lists.into_iter().map(|l| l.into_iter().collect::<PostingsList>()).collect()
+                })
                 .collect(),
             cells: 0,
             lists: 0,

@@ -4,9 +4,14 @@
 //! (the I/O bottleneck of Section V-B) and its keyword relevance added to
 //! its author's Sum score (Definition 7); user scores then blend with the
 //! user distance score (Definitions 9/10).
+//!
+//! Per-candidate scoring is pure given the shared read-only metadata
+//! database, so it fans out across worker threads; the per-user Sum
+//! accumulation stays sequential in candidate order, which makes the
+//! floating-point result byte-identical at any parallelism.
 
 use crate::metadata::MetadataDb;
-use crate::query::{candidates, top_k, QueryStats, RankedUser};
+use crate::query::{candidates, parallel_map, top_k, QueryStats, RankedUser};
 use crate::score::{tweet_keyword_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -21,12 +26,17 @@ use tklus_text::TermId;
 /// temporal extension) are honoured: out-of-window candidates are skipped
 /// before any metadata I/O, and keyword relevance is decayed by the
 /// recency factor.
+///
+/// `parallelism` is the number of worker threads for the postings fetch,
+/// the per-candidate thread scoring, and the per-user distance blend; the
+/// ranked output is identical at any value.
 pub fn query_sum(
     index: &HybridIndex,
-    db: &mut MetadataDb,
+    db: &MetadataDb,
     query: &TklusQuery,
     terms: &[TermId],
     config: &ScoringConfig,
+    parallelism: usize,
 ) -> (Vec<RankedUser>, QueryStats) {
     let start = Instant::now();
     let io_before = db.io().page_reads();
@@ -34,7 +44,8 @@ pub fn query_sum(
     let radius_km = query.radius_km;
 
     // Lines 1–14: cover, fetch, AND/OR combine.
-    let fetch = index.fetch_for_query(center, radius_km, terms, config.metric);
+    let fetch =
+        index.fetch_for_query_parallel(center, radius_km, terms, config.metric, parallelism);
     let cands = candidates(&fetch, query.semantics);
 
     let mut stats = QueryStats {
@@ -45,35 +56,45 @@ pub fn query_sum(
         ..QueryStats::default()
     };
 
-    // Lines 15–24: per-tweet scoring into per-user Sum scores.
-    let mut users: HashMap<UserId, f64> = HashMap::new();
-    for (tid, tf) in cands {
+    // Lines 15–24, fan-out half: per-tweet relevance. Each slot is pure —
+    // radius check, thread construction, keyword score — and lands back in
+    // candidate order.
+    let scored: Vec<Option<(UserId, f64)>> = parallel_map(&cands, parallelism, |&(tid, tf)| {
         // Temporal extension: the id is the timestamp, so the window
         // check costs nothing and precedes all metadata I/O.
         if !query.in_time_range(tid.0) {
-            continue;
+            return None;
         }
-        let Some(row) = db.row(tid) else { continue };
+        let row = db.row(tid)?;
         if center.distance_km(&row.location, config.metric) > radius_km {
-            continue;
+            return None;
         }
-        stats.in_radius += 1;
-        let thread = build_thread(db, tid, config.thread_depth);
-        stats.threads_built += 1;
+        let thread = build_thread(&mut &*db, tid, config.thread_depth);
         let phi = thread.popularity(config.epsilon);
         let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
-        *users.entry(row.uid).or_insert(0.0) += rs;
+        Some((row.uid, rs))
+    });
+
+    // Fold half: per-user Sum scores accumulate sequentially in candidate
+    // order, so float addition order never depends on scheduling.
+    let mut users: HashMap<UserId, f64> = HashMap::new();
+    for &(uid, rs) in scored.iter().flatten() {
+        stats.in_radius += 1;
+        stats.threads_built += 1;
+        *users.entry(uid).or_insert(0.0) += rs;
     }
 
-    // Lines 25–27: blend with user distance scores (Definition 10).
-    let ranked: Vec<RankedUser> = users
-        .into_iter()
-        .map(|(uid, rho_sum)| {
-            let locations: Vec<tklus_geo::Point> = db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
-            let delta = user_distance_score(center, radius_km, &locations, config);
-            RankedUser { user: uid, score: user_score(rho_sum, delta, config) }
-        })
-        .collect();
+    // Lines 25–27: blend with user distance scores (Definition 10). Each
+    // user's blend is independent, so this fans out too; users are visited
+    // in id order for deterministic I/O patterns.
+    let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
+    entries.sort_by_key(|e| e.0);
+    let ranked: Vec<RankedUser> = parallel_map(&entries, parallelism, |&(uid, rho_sum)| {
+        let locations: Vec<tklus_geo::Point> =
+            db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
+        let delta = user_distance_score(center, radius_km, &locations, config);
+        RankedUser { user: uid, score: user_score(rho_sum, delta, config) }
+    });
 
     stats.metadata_page_reads = db.io().page_reads() - io_before;
     stats.elapsed = start.elapsed();

@@ -5,7 +5,12 @@ use tklus_model::ScoringConfig;
 
 /// Definition 5 — distance score of a tweet:
 /// `(r − ‖q.l, p.l‖) / r` within the radius, else 0. Range `[0, 1]`.
-pub fn tweet_distance_score(query_loc: &Point, radius_km: f64, post_loc: &Point, config: &ScoringConfig) -> f64 {
+pub fn tweet_distance_score(
+    query_loc: &Point,
+    radius_km: f64,
+    post_loc: &Point,
+    config: &ScoringConfig,
+) -> f64 {
     let d = query_loc.distance_km(post_loc, config.metric);
     if d <= radius_km {
         (radius_km - d) / radius_km
@@ -18,7 +23,11 @@ pub fn tweet_distance_score(query_loc: &Point, radius_km: f64, post_loc: &Point,
 /// `ρ(p, q) = |q.W ∩ p.W| / N · φ(p)`, where the intersection is counted
 /// under the bag model (`matched_occurrences` = total occurrences of query
 /// keywords in the tweet) and `φ(p)` is the tweet's thread popularity.
-pub fn tweet_keyword_score(matched_occurrences: u32, popularity: f64, config: &ScoringConfig) -> f64 {
+pub fn tweet_keyword_score(
+    matched_occurrences: u32,
+    popularity: f64,
+    config: &ScoringConfig,
+) -> f64 {
     matched_occurrences as f64 / config.keyword_norm * popularity
 }
 
@@ -34,7 +43,8 @@ pub fn user_distance_score(
     if post_locations.is_empty() {
         return 0.0;
     }
-    let sum: f64 = post_locations.iter().map(|l| tweet_distance_score(query_loc, radius_km, l, config)).sum();
+    let sum: f64 =
+        post_locations.iter().map(|l| tweet_distance_score(query_loc, radius_km, l, config)).sum();
     sum / post_locations.len() as f64
 }
 
@@ -51,7 +61,11 @@ pub fn user_score(keyword_score: f64, distance_score: f64, config: &ScoringConfi
 /// `tf/N · φ_bound`, distance part bounded by 1 (Section V-B: "the maximum
 /// distance score can be 1"). Algorithm 5 compares this against the k-th
 /// best user score to skip thread construction.
-pub fn upper_bound_user_score(matched_occurrences: u32, popularity_bound: f64, config: &ScoringConfig) -> f64 {
+pub fn upper_bound_user_score(
+    matched_occurrences: u32,
+    popularity_bound: f64,
+    config: &ScoringConfig,
+) -> f64 {
     user_score(tweet_keyword_score(matched_occurrences, popularity_bound, config), 1.0, config)
 }
 

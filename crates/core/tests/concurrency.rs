@@ -1,0 +1,180 @@
+//! Concurrency contract of the shared-immutable engine.
+//!
+//! Two guarantees, tested without loom (plain OS threads):
+//!
+//! 1. **Determinism** — the same query returns a byte-identical
+//!    `RankedUser` list (ids and the exact `f64` bit patterns of scores)
+//!    whether the engine runs sequentially or with any number of workers.
+//!    The parallel paths are designed so every floating-point fold happens
+//!    sequentially in a scheduling-independent order; this test is the
+//!    enforcement of that design.
+//! 2. **Shared safety** — one engine behind `&self` serves many client
+//!    threads at once, and every client sees the same (correct) answers
+//!    while the striped buffer pool, DFS counters, and B⁺-trees are being
+//!    hammered concurrently.
+
+use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_geo::Point;
+use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
+
+/// A deterministic medium-sized corpus: 12 users posting around Toronto
+/// with a reply web deep enough to exercise thread construction and the
+/// popularity prune.
+fn corpus() -> Corpus {
+    const WORDS: [&str; 6] = ["hotel", "pizza", "museum", "coffee", "beach", "club"];
+    let base = Point::new_unchecked(43.68, -79.38);
+    let mut state = 0x243F6A8885A308D3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // A dominant tweet first in id order: maximum keyword occurrences,
+    // the corpus's most popular thread, author (user 12) exactly at the
+    // query center with no other posts (distance score 1). Once it fills a
+    // k=1 top set, every later low-tf candidate's optimistic bound loses —
+    // so the Max algorithm's prune actually fires in this workload.
+    let mut posts: Vec<Post> =
+        vec![Post::original(TweetId(1), UserId(12), base, "hotel hotel hotel hotel hotel hotel")];
+    for i in 0..24u64 {
+        posts.push(Post::reply(
+            TweetId(2 + i),
+            UserId(next() % 12),
+            Point::new_unchecked(base.lat() + 0.01, base.lon() + 0.01),
+            "boost",
+            TweetId(1),
+            UserId(12),
+        ));
+    }
+    posts.extend((26..400u64).map(|i| {
+        let id = TweetId(i + 1);
+        let user = UserId(next() % 12);
+        let loc = Point::new_unchecked(
+            base.lat() + (next() % 200) as f64 * 0.0015 - 0.15,
+            base.lon() + (next() % 200) as f64 * 0.002 - 0.2,
+        );
+        let nwords = 1 + (next() % 3) as usize;
+        let text = (0..nwords).map(|_| WORDS[(next() % 6) as usize]).collect::<Vec<_>>().join(" ");
+        // A third of posts reply to some earlier post.
+        if next() % 3 == 0 {
+            let t = next() % i;
+            Post::reply(id, user, loc, text, TweetId(t + 1), UserId(0))
+        } else {
+            Post::original(id, user, loc, text)
+        }
+    }));
+    Corpus::new(posts).unwrap()
+}
+
+fn queries() -> Vec<(TklusQuery, Ranking)> {
+    let center = Point::new_unchecked(43.68, -79.38);
+    let mut out = Vec::new();
+    for (keywords, semantics) in [
+        (vec!["hotel".to_string()], Semantics::Or),
+        (vec!["pizza".to_string(), "coffee".to_string()], Semantics::Or),
+        (vec!["hotel".to_string(), "museum".to_string()], Semantics::And),
+        (vec!["beach".to_string(), "club".to_string(), "pizza".to_string()], Semantics::Or),
+    ] {
+        for k in [1, 3, 10] {
+            let q = TklusQuery::new(center, 25.0, keywords.clone(), k, semantics).unwrap();
+            out.push((q.clone(), Ranking::Sum));
+            out.push((q.clone(), Ranking::Max(BoundsMode::Global)));
+            out.push((q, Ranking::Max(BoundsMode::HotKeywords)));
+        }
+    }
+    out
+}
+
+fn engine_with_parallelism(corpus: &Corpus, parallelism: usize) -> TklusEngine {
+    let config = EngineConfig { parallelism, cache_pages: 96, ..EngineConfig::default() };
+    TklusEngine::build(corpus, &config).0
+}
+
+#[test]
+fn parallel_results_are_byte_identical_to_sequential() {
+    let corpus = corpus();
+    let sequential = engine_with_parallelism(&corpus, 1);
+    let requests = queries();
+    let reference: Vec<_> = requests.iter().map(|(q, r)| sequential.query(q, *r)).collect();
+    // Sanity: the workload actually exercises scoring and pruning.
+    assert!(reference.iter().any(|(top, _)| !top.is_empty()));
+    assert!(reference.iter().any(|(_, s)| s.threads_pruned > 0));
+
+    for parallelism in [2, 3, 8] {
+        let parallel = engine_with_parallelism(&corpus, parallelism);
+        for ((q, ranking), (want_top, want_stats)) in requests.iter().zip(&reference) {
+            let (top, stats) = parallel.query(q, *ranking);
+            assert_eq!(top.len(), want_top.len(), "parallelism {parallelism}: {q:?}");
+            for (got, want) in top.iter().zip(want_top) {
+                assert_eq!(got.user, want.user, "parallelism {parallelism}: {q:?}");
+                assert_eq!(
+                    got.score.to_bits(),
+                    want.score.to_bits(),
+                    "parallelism {parallelism}: score bits differ for {:?} on {q:?}",
+                    got.user
+                );
+            }
+            // The prune/build accounting replays exactly, too.
+            assert_eq!(stats.candidates, want_stats.candidates);
+            assert_eq!(stats.in_radius, want_stats.in_radius);
+            assert_eq!(stats.threads_built, want_stats.threads_built);
+            assert_eq!(stats.threads_pruned, want_stats.threads_pruned);
+            assert_eq!(stats.lists_fetched, want_stats.lists_fetched);
+            assert_eq!(stats.dfs_bytes, want_stats.dfs_bytes);
+        }
+    }
+}
+
+#[test]
+fn query_batch_matches_individual_queries() {
+    let corpus = corpus();
+    let engine = engine_with_parallelism(&corpus, 4);
+    let requests = queries();
+    let individual: Vec<_> = requests.iter().map(|(q, r)| engine.query(q, *r)).collect();
+    let batched = engine.query_batch(&requests);
+    assert_eq!(batched.len(), individual.len());
+    for ((got, _), (want, _)) in batched.iter().zip(&individual) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.user, w.user);
+            assert_eq!(g.score.to_bits(), w.score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn eight_threads_hammer_one_shared_engine() {
+    let corpus = corpus();
+    // Small cache so the stress run constantly inserts/evicts in the
+    // striped buffer pool rather than settling into an all-hit steady
+    // state.
+    let engine = engine_with_parallelism(&corpus, 2);
+    let requests = queries();
+    let reference: Vec<_> = requests.iter().map(|(q, r)| engine.query(q, *r)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let engine = &engine;
+            let requests = &requests;
+            let reference = &reference;
+            scope.spawn(move || {
+                for round in 0..20 {
+                    let i = (t * 5 + round * 7) % requests.len();
+                    let (q, ranking) = &requests[i];
+                    let (top, _) = engine.query(q, *ranking);
+                    let (want, _) = &reference[i];
+                    assert_eq!(top.len(), want.len(), "thread {t} round {round}");
+                    for (g, w) in top.iter().zip(want) {
+                        assert_eq!(g.user, w.user, "thread {t} round {round}");
+                        assert_eq!(
+                            g.score.to_bits(),
+                            w.score.to_bits(),
+                            "thread {t} round {round}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}

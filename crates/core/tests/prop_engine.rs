@@ -31,7 +31,13 @@ fn arb_post() -> impl Strategy<Value = RawPost> {
         proptest::collection::vec(0u8..WORDS.len() as u8, 1..5),
         proptest::option::of(0u8..40),
     )
-        .prop_map(|(user, dlat, dlon, words, reply_to)| RawPost { user, dlat, dlon, words, reply_to })
+        .prop_map(|(user, dlat, dlon, words, reply_to)| RawPost {
+            user,
+            dlat,
+            dlon,
+            words,
+            reply_to,
+        })
 }
 
 fn materialize(raw: &[RawPost]) -> Corpus {
@@ -70,7 +76,8 @@ fn reference(
 ) -> Vec<(UserId, f64)> {
     let pipeline = TextPipeline::new();
     let network = SocialNetwork::from_corpus(corpus);
-    let stems: Vec<String> = q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
+    let stems: Vec<String> =
+        q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
     let mut per_user: HashMap<UserId, f64> = HashMap::new();
     for post in corpus.posts() {
         if q.location.distance_km(&post.location, config.metric) > q.radius_km {
@@ -87,7 +94,8 @@ fn reference(
             continue;
         }
         let mut provider = &network;
-        let phi = build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
+        let phi =
+            build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
         let rho = occurrences as f64 / config.keyword_norm * phi;
         let entry = per_user.entry(post.user).or_insert(0.0);
         if use_max {
@@ -104,7 +112,11 @@ fn reference(
                 .iter()
                 .map(|l| {
                     let d = q.location.distance_km(l, config.metric);
-                    if d <= q.radius_km { (q.radius_km - d) / q.radius_km } else { 0.0 }
+                    if d <= q.radius_km {
+                        (q.radius_km - d) / q.radius_km
+                    } else {
+                        0.0
+                    }
                 })
                 .sum::<f64>()
                 / locs.len() as f64;
@@ -129,7 +141,7 @@ proptest! {
     ) {
         let corpus = materialize(&raw);
         let config = EngineConfig::default();
-        let (mut engine, _) = TklusEngine::build(&corpus, &config);
+        let (engine, _) = TklusEngine::build(&corpus, &config);
         let mut keywords: Vec<String> = kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
         keywords.dedup();
         let semantics = if and_sem { Semantics::And } else { Semantics::Or };

@@ -63,10 +63,24 @@ fn corpus() -> Corpus {
     }
     // E's outstanding cascade: 20 direct replies, 6 second-level forwards.
     for i in 0..20u64 {
-        posts.push(Post::reply(TweetId(2000 + i), UserId(300 + i), pt(43.68, -79.39), "sounds amazing", TweetId(104), UserId(5)));
+        posts.push(Post::reply(
+            TweetId(2000 + i),
+            UserId(300 + i),
+            pt(43.68, -79.39),
+            "sounds amazing",
+            TweetId(104),
+            UserId(5),
+        ));
     }
     for i in 0..6u64 {
-        posts.push(Post::forward(TweetId(2100 + i), UserId(400 + i), pt(43.66, -79.40), "rt massage spa", TweetId(2000), UserId(300)));
+        posts.push(Post::forward(
+            TweetId(2100 + i),
+            UserId(400 + i),
+            pt(43.66, -79.40),
+            "rt massage spa",
+            TweetId(2000),
+            UserId(300),
+        ));
     }
     Corpus::new(posts).unwrap()
 }
@@ -84,7 +98,7 @@ fn sum_ranking_favours_u1() {
     // "If we use the sum score based ranking, user u1 is ranked as the top
     // local user because u1 has two relevant tweets A and G … and A is very
     // close to the query location."
-    let mut e = engine();
+    let e = engine();
     let (top, stats) = e.query(&hotel_query(1), Ranking::Sum);
     assert_eq!(top.len(), 1);
     assert_eq!(top[0].user, UserId(1), "top = {top:?}");
@@ -97,7 +111,7 @@ fn max_ranking_favours_u5() {
     // "In contrast, the maximum based ranking returns u5 as the top …
     // tweet E has considerably more replies and forwards than other
     // tweets."
-    let mut e = engine();
+    let e = engine();
     let (top, _) = e.query(&hotel_query(1), Ranking::Max(BoundsMode::HotKeywords));
     assert_eq!(top.len(), 1);
     assert_eq!(top[0].user, UserId(5), "top = {top:?}");
@@ -105,7 +119,7 @@ fn max_ranking_favours_u5() {
 
 #[test]
 fn top_k_returns_k_distinct_users_sorted() {
-    let mut e = engine();
+    let e = engine();
     let (top, _) = e.query(&hotel_query(5), Ranking::Sum);
     assert_eq!(top.len(), 5);
     let mut users: Vec<UserId> = top.iter().map(|r| r.user).collect();
@@ -120,7 +134,7 @@ fn all_returned_users_satisfy_problem_condition() {
     // Problem Definition condition 1: every returned user has a relevant
     // post within the radius.
     let corpus = corpus();
-    let mut e = engine();
+    let e = engine();
     let q = hotel_query(10);
     for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::Global)] {
         let (top, _) = e.query(&q, ranking);
@@ -138,8 +152,9 @@ fn all_returned_users_satisfy_problem_condition() {
 fn radius_excludes_far_tweets() {
     // A tighter radius drops candidates; B (u2) at ~4.3 km from the query
     // survives a 5 km radius but not a 2 km one.
-    let mut e = engine();
-    let near = TklusQuery::new(query_location(), 2.0, vec!["hotel".into()], 10, Semantics::Or).unwrap();
+    let e = engine();
+    let near =
+        TklusQuery::new(query_location(), 2.0, vec!["hotel".into()], 10, Semantics::Or).unwrap();
     let (top_near, _) = e.query(&near, Ranking::Sum);
     assert!(!top_near.iter().any(|r| r.user == UserId(2)), "{top_near:?}");
     let wide = hotel_query(10);
@@ -149,33 +164,57 @@ fn radius_excludes_far_tweets() {
 
 #[test]
 fn and_semantics_requires_all_keywords() {
-    let mut e = engine();
+    let e = engine();
     // Only tweet E and the "rt massage spa" forwards mention massage; only
     // E combines massage AND hotel.
-    let q = TklusQuery::new(query_location(), 10.0, vec!["hotel".into(), "massage".into()], 10, Semantics::And)
-        .unwrap();
+    let q = TklusQuery::new(
+        query_location(),
+        10.0,
+        vec!["hotel".into(), "massage".into()],
+        10,
+        Semantics::And,
+    )
+    .unwrap();
     let (top, _) = e.query(&q, Ranking::Sum);
     assert_eq!(top.len(), 1);
     assert_eq!(top[0].user, UserId(5));
     // OR relaxes the constraint and returns more users.
-    let q_or = TklusQuery::new(query_location(), 10.0, vec!["hotel".into(), "massage".into()], 10, Semantics::Or)
-        .unwrap();
+    let q_or = TklusQuery::new(
+        query_location(),
+        10.0,
+        vec!["hotel".into(), "massage".into()],
+        10,
+        Semantics::Or,
+    )
+    .unwrap();
     let (top_or, _) = e.query(&q_or, Ranking::Sum);
     assert!(top_or.len() > top.len(), "OR ({}) should beat AND ({})", top_or.len(), top.len());
 }
 
 #[test]
 fn unknown_keyword_behaviour() {
-    let mut e = engine();
+    let e = engine();
     // AND with an unindexed keyword -> empty.
-    let q_and = TklusQuery::new(query_location(), 10.0, vec!["hotel".into(), "zzzxqwert".into()], 5, Semantics::And)
-        .unwrap();
+    let q_and = TklusQuery::new(
+        query_location(),
+        10.0,
+        vec!["hotel".into(), "zzzxqwert".into()],
+        5,
+        Semantics::And,
+    )
+    .unwrap();
     let (top, stats) = e.query(&q_and, Ranking::Sum);
     assert!(top.is_empty());
     assert_eq!(stats.candidates, 0);
     // OR drops the unknown keyword and still answers.
-    let q_or = TklusQuery::new(query_location(), 10.0, vec!["hotel".into(), "zzzxqwert".into()], 5, Semantics::Or)
-        .unwrap();
+    let q_or = TklusQuery::new(
+        query_location(),
+        10.0,
+        vec!["hotel".into(), "zzzxqwert".into()],
+        5,
+        Semantics::Or,
+    )
+    .unwrap();
     let (top_or, _) = e.query(&q_or, Ranking::Sum);
     assert!(!top_or.is_empty());
 }
@@ -184,7 +223,7 @@ fn unknown_keyword_behaviour() {
 fn sum_and_max_agree_on_membership_mostly() {
     // The paper's Kendall-tau experiments show the two rankings are highly
     // consistent; on this tiny corpus the top-5 sets overlap heavily.
-    let mut e = engine();
+    let e = engine();
     let (sum, _) = e.query(&hotel_query(5), Ranking::Sum);
     let (max, _) = e.query(&hotel_query(5), Ranking::Max(BoundsMode::HotKeywords));
     let sum_set: std::collections::BTreeSet<UserId> = sum.iter().map(|r| r.user).collect();
@@ -196,7 +235,7 @@ fn sum_and_max_agree_on_membership_mostly() {
 fn pruning_preserves_max_results() {
     // Algorithm 5 with pruning (global or hot bounds) must return the same
     // users and scores as with an infinitely loose bound (no pruning).
-    let mut e = engine();
+    let e = engine();
     let q = hotel_query(3);
     let (with_hot, s_hot) = e.query(&q, Ranking::Max(BoundsMode::HotKeywords));
     let (with_global, s_global) = e.query(&q, Ranking::Max(BoundsMode::Global));

@@ -49,7 +49,7 @@ fn base_query(k: usize) -> TklusQuery {
 
 #[test]
 fn without_temporal_features_popular_user_wins() {
-    let mut e = engine();
+    let e = engine();
     for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::HotKeywords)] {
         let (top, _) = e.query(&base_query(2), ranking);
         assert_eq!(top[0].user, UserId(1), "{ranking:?}");
@@ -58,7 +58,7 @@ fn without_temporal_features_popular_user_wins() {
 
 #[test]
 fn time_window_restricts_to_period() {
-    let mut e = engine();
+    let e = engine();
     // Window covering only u2's late tweets.
     let q = base_query(5).with_time_range(800, 1000).unwrap();
     for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::Global)] {
@@ -80,7 +80,7 @@ fn time_window_restricts_to_period() {
 
 #[test]
 fn window_filter_skips_io_before_metadata_lookups() {
-    let mut e = engine();
+    let e = engine();
     let unfiltered = e.query(&base_query(5), Ranking::Sum).1;
     let filtered_q = base_query(5).with_time_range(800, 1000).unwrap();
     let filtered = e.query(&filtered_q, Ranking::Sum).1;
@@ -90,7 +90,7 @@ fn window_filter_skips_io_before_metadata_lookups() {
 
 #[test]
 fn recency_bias_flips_ranking_toward_fresh_users() {
-    let mut e = engine();
+    let e = engine();
     // Reference time 1000, half-life 100: u1's tweets (t~100) decay by
     // 2^-9; u2's (t~900) by 2^-1. u1's popularity advantage (threads of 3
     // replies, phi = 1.5 vs epsilon 0.1) cannot survive that.
@@ -105,7 +105,7 @@ fn recency_bias_flips_ranking_toward_fresh_users() {
 
 #[test]
 fn recency_agrees_across_rankings_and_tightens_pruning() {
-    let mut e = engine();
+    let e = engine();
     let q = base_query(2).with_recency(1000, 100).unwrap();
     let (max_top, _) = e.query(&q, Ranking::Max(BoundsMode::HotKeywords));
     assert_eq!(max_top[0].user, UserId(2), "{max_top:?}");
@@ -119,7 +119,7 @@ fn recency_agrees_across_rankings_and_tightens_pruning() {
 
 #[test]
 fn window_and_recency_compose() {
-    let mut e = engine();
+    let e = engine();
     let q = base_query(5).with_time_range(0, 1000).unwrap().with_recency(1000, 100).unwrap();
     let (top, _) = e.query(&q, Ranking::Sum);
     // Both users are in-window; recency puts u2 first.

@@ -75,7 +75,11 @@ pub fn sample_cascade<R: Rng>(rng: &mut R, config: &CascadeConfig) -> Vec<Cascad
             let children = rng.gen_range(lo..=hi);
             for _ in 0..children {
                 let idx = nodes.len();
-                nodes.push(CascadeNode { parent, level: 1, is_forward: rng.gen_bool(config.forward_fraction) });
+                nodes.push(CascadeNode {
+                    parent,
+                    level: 1,
+                    is_forward: rng.gen_bool(config.forward_fraction),
+                });
                 frontier.push((Some(idx), 1));
             }
             continue;
@@ -112,7 +116,8 @@ mod tests {
     fn most_cascades_are_empty_some_are_large() {
         let mut rng = StdRng::seed_from_u64(5);
         let config = CascadeConfig::default();
-        let sizes: Vec<usize> = (0..5000).map(|_| sample_cascade(&mut rng, &config).len()).collect();
+        let sizes: Vec<usize> =
+            (0..5000).map(|_| sample_cascade(&mut rng, &config).len()).collect();
         let empty = sizes.iter().filter(|&&s| s == 0).count();
         let large = sizes.iter().filter(|&&s| s >= 8).count();
         assert!(empty > 2500, "most tweets get no response ({empty})");
@@ -123,7 +128,8 @@ mod tests {
     fn viral_cascades_form_a_heavy_tail() {
         let mut rng = StdRng::seed_from_u64(21);
         let config = CascadeConfig::default();
-        let sizes: Vec<usize> = (0..10_000).map(|_| sample_cascade(&mut rng, &config).len()).collect();
+        let sizes: Vec<usize> =
+            (0..10_000).map(|_| sample_cascade(&mut rng, &config).len()).collect();
         let max = *sizes.iter().max().unwrap();
         let median = {
             let mut s = sizes.clone();
@@ -169,7 +175,14 @@ mod tests {
     #[test]
     fn depth_cap_respected() {
         let mut rng = StdRng::seed_from_u64(2);
-        let config = CascadeConfig { p_respond: 1.0, p_more: 0.5, depth_decay: 1.0, max_depth: 2, forward_fraction: 0.0, ..CascadeConfig::default() };
+        let config = CascadeConfig {
+            p_respond: 1.0,
+            p_more: 0.5,
+            depth_decay: 1.0,
+            max_depth: 2,
+            forward_fraction: 0.0,
+            ..CascadeConfig::default()
+        };
         for _ in 0..100 {
             let nodes = sample_cascade(&mut rng, &config);
             assert!(nodes.iter().all(|n| n.level <= 2));
@@ -179,7 +192,15 @@ mod tests {
     #[test]
     fn forwards_appear_at_configured_fraction() {
         let mut rng = StdRng::seed_from_u64(13);
-        let config = CascadeConfig { p_respond: 1.0, p_more: 0.8, depth_decay: 0.9, max_depth: 3, forward_fraction: 0.4, p_viral: 0.0, ..CascadeConfig::default() };
+        let config = CascadeConfig {
+            p_respond: 1.0,
+            p_more: 0.8,
+            depth_decay: 0.9,
+            max_depth: 3,
+            forward_fraction: 0.4,
+            p_viral: 0.0,
+            ..CascadeConfig::default()
+        };
         let mut forwards = 0usize;
         let mut total = 0usize;
         for _ in 0..500 {

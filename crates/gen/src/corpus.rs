@@ -179,7 +179,9 @@ mod tests {
         let forwards = c
             .posts()
             .iter()
-            .filter(|p| matches!(p.in_reply_to.map(|r| r.kind), Some(tklus_model::InteractionKind::Forward)))
+            .filter(|p| {
+                matches!(p.in_reply_to.map(|r| r.kind), Some(tklus_model::InteractionKind::Forward))
+            })
             .count();
         assert!(forwards > 10, "forwards: {forwards}");
         // All reply targets exist in the corpus.

@@ -18,33 +18,71 @@
 //!  "retweeted_status_id": null, "retweeted_user_id": null}
 //! ```
 
-use serde::Deserialize;
+use serde_json::Value;
 use std::io::{BufRead, BufReader, Read};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Post, TweetId, UserId};
 
 /// The subset of the REST API tweet object the ETL extracts.
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 struct RawTweet {
     id: u64,
     user_id: u64,
-    #[serde(default)]
     text: String,
     coordinates: Option<RawCoordinates>,
-    #[serde(default)]
     in_reply_to_status_id: Option<u64>,
-    #[serde(default)]
     in_reply_to_user_id: Option<u64>,
-    #[serde(default)]
     retweeted_status_id: Option<u64>,
-    #[serde(default)]
     retweeted_user_id: Option<u64>,
 }
 
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 struct RawCoordinates {
     lat: f64,
     lon: f64,
+}
+
+/// A tweet id field: missing or `null` is `None`; present but not a
+/// non-negative integer is a shape mismatch (the record is malformed).
+fn opt_u64(obj: &Value, key: &str) -> Result<Option<u64>, ()> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or(()),
+    }
+}
+
+impl RawTweet {
+    /// Extracts the metadata columns from one parsed JSON object.
+    /// `Err(())` means the record's shape doesn't match the REST API
+    /// contract (wrong types, missing required ids) — counted as
+    /// malformed by the caller, exactly like a derive-based decode error.
+    fn from_value(v: &Value) -> Result<Self, ()> {
+        let id = v.get("id").and_then(Value::as_u64).ok_or(())?;
+        let user_id = v.get("user_id").and_then(Value::as_u64).ok_or(())?;
+        let text = match v.get("text") {
+            None => String::new(),
+            Some(t) => t.as_str().ok_or(())?.to_string(),
+        };
+        let coordinates = match v.get("coordinates") {
+            None => None,
+            Some(c) if c.is_null() => None,
+            Some(c) => Some(RawCoordinates {
+                lat: c.get("lat").and_then(Value::as_f64).ok_or(())?,
+                lon: c.get("lon").and_then(Value::as_f64).ok_or(())?,
+            }),
+        };
+        Ok(Self {
+            id,
+            user_id,
+            text,
+            coordinates,
+            in_reply_to_status_id: opt_u64(v, "in_reply_to_status_id")?,
+            in_reply_to_user_id: opt_u64(v, "in_reply_to_user_id")?,
+            retweeted_status_id: opt_u64(v, "retweeted_status_id")?,
+            retweeted_user_id: opt_u64(v, "retweeted_user_id")?,
+        })
+    }
 }
 
 /// Outcome of an ETL run.
@@ -112,9 +150,12 @@ pub fn etl_json<R: Read>(reader: R) -> Result<(Corpus, EtlReport), EtlError> {
             continue;
         }
         report.lines += 1;
-        let raw: RawTweet = match serde_json::from_str(&line) {
+        let raw = match serde_json::from_str(&line)
+            .map_err(|_| ())
+            .and_then(|v| RawTweet::from_value(&v))
+        {
             Ok(t) => t,
-            Err(_) => {
+            Err(()) => {
                 report.dropped_malformed += 1;
                 continue;
             }
@@ -192,7 +233,10 @@ mod tests {
     fn retweets_become_forwards() {
         let input = r#"{"id": 5, "user_id": 2, "text": "RT", "coordinates": {"lat": 1.0, "lon": 2.0}, "retweeted_status_id": 4, "retweeted_user_id": 1}"#;
         let (corpus, _) = run(input);
-        assert_eq!(corpus.get(TweetId(5)).unwrap().in_reply_to.unwrap().kind, InteractionKind::Forward);
+        assert_eq!(
+            corpus.get(TweetId(5)).unwrap().in_reply_to.unwrap().kind,
+            InteractionKind::Forward
+        );
     }
 
     #[test]
@@ -235,7 +279,8 @@ this is not json
 {"id": 2, "user_id": 8, "text": "hotel again", "coordinates": {"lat": 43.71, "lon": -79.39}}
 "#;
         let (corpus, _) = run(input);
-        let (index, report) = tklus_index::build_index(corpus.posts(), &tklus_index::IndexBuildConfig::default());
+        let (index, report) =
+            tklus_index::build_index(corpus.posts(), &tklus_index::IndexBuildConfig::default());
         assert_eq!(report.posts, 2);
         assert!(index.vocab().get("hotel").is_some());
     }

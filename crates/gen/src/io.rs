@@ -29,7 +29,9 @@ impl std::fmt::Display for CorpusIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CorpusIoError::Io(e) => write!(f, "corpus io error: {e}"),
-            CorpusIoError::Parse { line, message } => write!(f, "corpus parse error at line {line}: {message}"),
+            CorpusIoError::Parse { line, message } => {
+                write!(f, "corpus parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -125,11 +127,16 @@ pub fn load_tsv(path: &Path) -> Result<Corpus, CorpusIoError> {
             "o" => None,
             kind @ ("r" | "f") => {
                 let target: u64 = fields[5].parse().map_err(|e| parse(format!("rsid: {e}")))?;
-                let target_user: u64 = fields[6].parse().map_err(|e| parse(format!("ruid: {e}")))?;
+                let target_user: u64 =
+                    fields[6].parse().map_err(|e| parse(format!("ruid: {e}")))?;
                 Some(ReplyTo {
                     target: TweetId(target),
                     target_user: UserId(target_user),
-                    kind: if kind == "r" { InteractionKind::Reply } else { InteractionKind::Forward },
+                    kind: if kind == "r" {
+                        InteractionKind::Reply
+                    } else {
+                        InteractionKind::Forward
+                    },
                 })
             }
             other => return Err(parse(format!("unknown kind {other:?}"))),
@@ -150,7 +157,8 @@ mod tests {
 
     #[test]
     fn roundtrip_generated_corpus() {
-        let corpus = generate_corpus(&GenConfig { original_posts: 500, users: 100, ..GenConfig::default() });
+        let corpus =
+            generate_corpus(&GenConfig { original_posts: 500, users: 100, ..GenConfig::default() });
         let path = tmp("roundtrip");
         save_tsv(&corpus, &path).unwrap();
         let back = load_tsv(&path).unwrap();
@@ -168,7 +176,14 @@ mod tests {
                 Point::new_unchecked(1.0, 2.0),
                 "tabs\tand\nnewlines and back\\slashes \\t literal",
             ),
-            Post::reply(TweetId(2), UserId(2), Point::new_unchecked(1.0, 2.0), "", TweetId(1), UserId(1)),
+            Post::reply(
+                TweetId(2),
+                UserId(2),
+                Point::new_unchecked(1.0, 2.0),
+                "",
+                TweetId(1),
+                UserId(1),
+            ),
         ];
         let corpus = Corpus::new(posts).unwrap();
         let path = tmp("escape");

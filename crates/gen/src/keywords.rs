@@ -14,15 +14,52 @@ pub const TABLE2_KEYWORDS: [&str; 10] =
 /// top-10 frequent ones").
 pub const EXTRA_QUERY_KEYWORDS: [&str; 20] = [
     "museum", "beach", "park", "bar", "concert", "sushi", "burger", "gym", "theater", "market",
-    "library", "airport", "stadium", "gallery", "bakery", "brunch", "karaoke", "spa", "zoo", "festival",
+    "library", "airport", "stadium", "gallery", "bakery", "brunch", "karaoke", "spa", "zoo",
+    "festival",
 ];
 
 /// Filler content words (never queried, they pad tweet text realistically).
 const FILLER: [&str; 40] = [
-    "amazing", "awesome", "beautiful", "best", "big", "busy", "cheap", "cold", "cool", "crazy",
-    "delicious", "downtown", "evening", "famous", "fancy", "favourite", "friendly", "fresh", "fun", "good",
-    "great", "happy", "huge", "lovely", "lunch", "morning", "new", "nice", "night", "old",
-    "perfect", "pretty", "quiet", "small", "street", "sunny", "super", "tasty", "tonight", "weekend",
+    "amazing",
+    "awesome",
+    "beautiful",
+    "best",
+    "big",
+    "busy",
+    "cheap",
+    "cold",
+    "cool",
+    "crazy",
+    "delicious",
+    "downtown",
+    "evening",
+    "famous",
+    "fancy",
+    "favourite",
+    "friendly",
+    "fresh",
+    "fun",
+    "good",
+    "great",
+    "happy",
+    "huge",
+    "lovely",
+    "lunch",
+    "morning",
+    "new",
+    "nice",
+    "night",
+    "old",
+    "perfect",
+    "pretty",
+    "quiet",
+    "small",
+    "street",
+    "sunny",
+    "super",
+    "tasty",
+    "tonight",
+    "weekend",
 ];
 
 /// A ranked vocabulary sampled through a Zipf law.
@@ -68,7 +105,10 @@ impl KeywordModel {
 
     /// The 30 query keywords (Table II top-10 + 20 more).
     pub fn query_keywords(&self) -> Vec<&str> {
-        self.ranked[..TABLE2_KEYWORDS.len() + EXTRA_QUERY_KEYWORDS.len()].iter().map(String::as_str).collect()
+        self.ranked[..TABLE2_KEYWORDS.len() + EXTRA_QUERY_KEYWORDS.len()]
+            .iter()
+            .map(String::as_str)
+            .collect()
     }
 
     /// Whether `word` is one of the 30 query-pool keywords.

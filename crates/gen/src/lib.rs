@@ -34,7 +34,7 @@ pub mod spatial;
 
 pub use corpus::{generate_corpus, GenConfig};
 pub use etl::{etl_json, EtlError, EtlReport};
+pub use io::{load_tsv, save_tsv, CorpusIoError};
 pub use keywords::{KeywordModel, TABLE2_KEYWORDS};
 pub use queries::{generate_queries, QueryConfig, QuerySpec};
-pub use io::{load_tsv, save_tsv, CorpusIoError};
 pub use spatial::{City, CityModel};

@@ -53,7 +53,8 @@ pub fn generate_queries(corpus: &Corpus, config: &QueryConfig) -> Vec<QuerySpec>
     assert!(!corpus.is_empty(), "need a corpus to sample locations from");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let cooc = co_occurrence(corpus);
-    let pool: Vec<&str> = TABLE2_KEYWORDS.iter().chain(EXTRA_QUERY_KEYWORDS.iter()).copied().collect();
+    let pool: Vec<&str> =
+        TABLE2_KEYWORDS.iter().chain(EXTRA_QUERY_KEYWORDS.iter()).copied().collect();
 
     let mut out = Vec::with_capacity(config.per_bucket * 3);
     for nkw in 1..=3usize {
@@ -74,7 +75,8 @@ pub fn generate_queries(corpus: &Corpus, config: &QueryConfig) -> Vec<QuerySpec>
                         // Weighted toward the most frequent companions:
                         // sample from the top slice.
                         let top = &companions[..companions.len().min(25)];
-                        let mut chosen: Vec<&String> = top.choose_multiple(&mut rng, nkw - 1).collect();
+                        let mut chosen: Vec<&String> =
+                            top.choose_multiple(&mut rng, nkw - 1).collect();
                         chosen.sort();
                         kws.extend(chosen.into_iter().cloned());
                     }
@@ -128,7 +130,12 @@ mod tests {
     use crate::corpus::{generate_corpus, GenConfig};
 
     fn corpus() -> Corpus {
-        generate_corpus(&GenConfig { original_posts: 3_000, users: 500, vocab_size: 300, ..GenConfig::default() })
+        generate_corpus(&GenConfig {
+            original_posts: 3_000,
+            users: 500,
+            vocab_size: 300,
+            ..GenConfig::default()
+        })
     }
 
     #[test]
@@ -146,7 +153,8 @@ mod tests {
     fn single_keyword_queries_use_the_30_pool() {
         let c = corpus();
         let qs = generate_queries(&c, &QueryConfig::default());
-        let pool: Vec<&str> = TABLE2_KEYWORDS.iter().chain(EXTRA_QUERY_KEYWORDS.iter()).copied().collect();
+        let pool: Vec<&str> =
+            TABLE2_KEYWORDS.iter().chain(EXTRA_QUERY_KEYWORDS.iter()).copied().collect();
         for q in &qs[..30] {
             assert!(pool.contains(&q.keywords[0].as_str()), "{:?}", q.keywords);
         }

@@ -28,7 +28,10 @@ impl CityModel {
     /// Builds a model; weights must be positive.
     pub fn new(cities: Vec<City>) -> Self {
         assert!(!cities.is_empty(), "at least one city");
-        assert!(cities.iter().all(|c| c.weight > 0.0 && c.sigma_km > 0.0), "positive weights and sigmas");
+        assert!(
+            cities.iter().all(|c| c.weight > 0.0 && c.sigma_km > 0.0),
+            "positive weights and sigmas"
+        );
         let total: f64 = cities.iter().map(|c| c.weight).sum();
         let mut acc = 0.0;
         let cumulative = cities

@@ -58,7 +58,10 @@ impl Cell {
     /// Whether the point lies inside the cell (geohash half-open semantics:
     /// low edges inclusive, high edges exclusive).
     pub fn contains(&self, p: &Point) -> bool {
-        self.lat_lo <= p.lat() && p.lat() < self.lat_hi && self.lon_lo <= p.lon() && p.lon() < self.lon_hi
+        self.lat_lo <= p.lat()
+            && p.lat() < self.lat_hi
+            && self.lon_lo <= p.lon()
+            && p.lon() < self.lon_hi
     }
 
     /// The point of the cell closest to `p` (clamping on both axes).
@@ -87,7 +90,12 @@ impl Cell {
     }
 
     /// Whether any part of the cell lies within `radius_km` of `center`.
-    pub fn intersects_circle(&self, center: &Point, radius_km: f64, metric: DistanceMetric) -> bool {
+    pub fn intersects_circle(
+        &self,
+        center: &Point,
+        radius_km: f64,
+        metric: DistanceMetric,
+    ) -> bool {
         self.min_distance_km(center, metric) <= radius_km
     }
 
@@ -157,7 +165,10 @@ mod tests {
         let cell = Cell::from_geohash(&"6gxp".parse().unwrap());
         for point in [p(-23.9, -46.2), p(0.0, 0.0), p(-24.5, -47.0)] {
             for metric in [DistanceMetric::Euclidean, DistanceMetric::Haversine] {
-                assert!(cell.min_distance_km(&point, metric) <= cell.max_distance_km(&point, metric) + 1e-9);
+                assert!(
+                    cell.min_distance_km(&point, metric)
+                        <= cell.max_distance_km(&point, metric) + 1e-9
+                );
             }
         }
     }

@@ -155,7 +155,11 @@ mod tests {
                 let q = p(center.lat() + dlat as f64 * 0.01, center.lon() + dlon as f64 * 0.015);
                 if center.euclidean_km(&q) <= radius {
                     let cell = encode(&q, len).unwrap();
-                    assert!(cover.contains(&cell), "point {q} ({} km) not covered", center.euclidean_km(&q));
+                    assert!(
+                        cover.contains(&cell),
+                        "point {q} ({} km) not covered",
+                        center.euclidean_km(&q)
+                    );
                 }
             }
         }
@@ -208,7 +212,11 @@ mod tests {
         // 'g...' west of the prime meridian at this latitude).
         let has_east = cover.iter().any(|g| g.to_string().starts_with('u'));
         let has_west = cover.iter().any(|g| g.to_string().starts_with('g'));
-        assert!(has_east && has_west, "cover: {:?}", cover.iter().map(|g| g.to_string()).collect::<Vec<_>>());
+        assert!(
+            has_east && has_west,
+            "cover: {:?}",
+            cover.iter().map(|g| g.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

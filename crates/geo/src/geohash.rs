@@ -152,7 +152,12 @@ impl Geohash {
 impl fmt::Display for Geohash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.len() {
-            f.write_str(std::str::from_utf8(&ALPHABET[self.char_value(i) as usize..=self.char_value(i) as usize]).unwrap())?;
+            f.write_str(
+                std::str::from_utf8(
+                    &ALPHABET[self.char_value(i) as usize..=self.char_value(i) as usize],
+                )
+                .unwrap(),
+            )?;
         }
         Ok(())
     }
@@ -312,7 +317,10 @@ mod tests {
     #[test]
     fn parse_rejects_excluded_letters() {
         for bad in ["a", "6gai", "hello", "x l"] {
-            assert!(matches!(bad.parse::<Geohash>(), Err(GeohashError::BadChar(_))), "{bad:?} should fail");
+            assert!(
+                matches!(bad.parse::<Geohash>(), Err(GeohashError::BadChar(_))),
+                "{bad:?} should fail"
+            );
         }
         assert!(matches!("".parse::<Geohash>(), Err(GeohashError::BadLength(0))));
     }
@@ -355,8 +363,10 @@ mod tests {
 
     #[test]
     fn ordering_matches_string_order() {
-        let mut hashes: Vec<Geohash> =
-            ["6gxp", "6g", "7", "6gx", "u4pr", "0", "zz", "6h"].iter().map(|s| s.parse().unwrap()).collect();
+        let mut hashes: Vec<Geohash> = ["6gxp", "6g", "7", "6gx", "u4pr", "0", "zz", "6h"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         hashes.sort();
         let strings: Vec<String> = hashes.iter().map(|g| g.to_string()).collect();
         let mut by_string = strings.clone();

@@ -42,7 +42,11 @@ impl std::error::Error for InvalidCoordinate {}
 impl Point {
     /// Creates a point, validating ranges and finiteness.
     pub fn new(lat: f64, lon: f64) -> Result<Self, InvalidCoordinate> {
-        if lat.is_finite() && lon.is_finite() && (-90.0..=90.0).contains(&lat) && (-180.0..=180.0).contains(&lon) {
+        if lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon)
+        {
             Ok(Self { lat, lon })
         } else {
             Err(InvalidCoordinate)

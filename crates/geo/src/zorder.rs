@@ -77,7 +77,14 @@ mod tests {
 
     #[test]
     fn deinterleave_inverts_interleave() {
-        for (x, y) in [(0u32, 0u32), (1, 2), (12345, 67890), (u32::MAX, 0), (0, u32::MAX), (u32::MAX, u32::MAX)] {
+        for (x, y) in [
+            (0u32, 0u32),
+            (1, 2),
+            (12345, 67890),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+        ] {
             assert_eq!(deinterleave(interleave(x, y)), (x, y));
         }
     }

@@ -37,7 +37,9 @@ impl SocialNetwork {
             let edge = (post.user, rt.target_user);
             match rt.kind {
                 InteractionKind::Reply => net.reply_edges.entry(edge).or_default().push(post.id),
-                InteractionKind::Forward => net.forward_edges.entry(edge).or_default().push(post.id),
+                InteractionKind::Forward => {
+                    net.forward_edges.entry(edge).or_default().push(post.id)
+                }
             }
             net.children.entry(rt.target).or_default().push(post.id);
         }
@@ -153,7 +155,15 @@ mod tests {
 
     #[test]
     fn dangling_targets_make_edges_but_no_children() {
-        let c = Corpus::new(vec![Post::reply(TweetId(10), UserId(1), pt(), "re", TweetId(99), UserId(2))]).unwrap();
+        let c = Corpus::new(vec![Post::reply(
+            TweetId(10),
+            UserId(1),
+            pt(),
+            "re",
+            TweetId(99),
+            UserId(2),
+        )])
+        .unwrap();
         let net = SocialNetwork::from_corpus(&c);
         assert!(net.has_reply_edge(UserId(1), UserId(2)));
         // Target 99 is outside the corpus but the child index still knows

@@ -15,12 +15,7 @@ pub fn popularity(level_sizes: &[usize], epsilon: f64) -> f64 {
     if level_sizes.len() <= 1 {
         return epsilon;
     }
-    level_sizes
-        .iter()
-        .enumerate()
-        .skip(1)
-        .map(|(idx, &size)| size as f64 / (idx + 1) as f64)
-        .sum()
+    level_sizes.iter().enumerate().skip(1).map(|(idx, &size)| size as f64 / (idx + 1) as f64).sum()
 }
 
 /// Definition 11: upper bound popularity `φ(p)_m = Σ_{i=2}^{n} t_m × 1/i`,

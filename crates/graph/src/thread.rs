@@ -88,7 +88,11 @@ impl TweetThread {
 ///
 /// Each tweet in levels `1..depth` costs one `replies_to` lookup, exactly
 /// like the per-tweet SQL of the paper's implementation.
-pub fn build_thread<P: ReplyProvider>(provider: &mut P, root: TweetId, depth: usize) -> TweetThread {
+pub fn build_thread<P: ReplyProvider>(
+    provider: &mut P,
+    root: TweetId,
+    depth: usize,
+) -> TweetThread {
     assert!(depth >= 1, "thread depth must be at least 1");
     let mut levels = vec![vec![root]];
     while levels.len() < depth {
@@ -137,17 +141,8 @@ mod tests {
     fn paper_figure2_thread() {
         // p1 <- p2, p3, p4; p2 <- p5, p6; p3 <- p7; p4 <- p8;  (4 at level 3
         // in the figure); level 4 has 2.
-        let mut p = provider(&[
-            (1, 2),
-            (1, 3),
-            (1, 4),
-            (2, 5),
-            (2, 6),
-            (3, 7),
-            (4, 8),
-            (5, 9),
-            (6, 10),
-        ]);
+        let mut p =
+            provider(&[(1, 2), (1, 3), (1, 4), (2, 5), (2, 6), (3, 7), (4, 8), (5, 9), (6, 10)]);
         let t = build_thread(&mut p, TweetId(1), 10);
         assert_eq!(t.level_sizes(), vec![1, 3, 4, 2]);
         assert!((t.popularity(0.1) - 10.0 / 3.0).abs() < 1e-12);

@@ -22,7 +22,11 @@ use tklus_storage::{Dfs, DfsConfig};
 use tklus_text::{TextPipeline, Vocab};
 
 /// Builds the same hybrid index sequentially on a single node.
-pub fn build_centralized(posts: &[Post], geohash_len: usize, block_size: usize) -> (HybridIndex, IndexBuildReport) {
+pub fn build_centralized(
+    posts: &[Post],
+    geohash_len: usize,
+    block_size: usize,
+) -> (HybridIndex, IndexBuildReport) {
     let start = Instant::now();
     let pipeline = TextPipeline::new();
     // One sequential pass accumulating (key -> postings) in sorted order.
@@ -119,8 +123,10 @@ mod tests {
             let fd = dist.fetch_for_query(&center, 25.0, &[td], DistanceMetric::Euclidean);
             let fc = cent.fetch_for_query(&center, 25.0, &[tc], DistanceMetric::Euclidean);
             let ids = |f: &crate::inverted::QueryFetch| {
-                let mut v: Vec<u64> =
-                    f.per_keyword[0].iter().flat_map(|l| l.postings().iter().map(|p| p.id.0)).collect();
+                let mut v: Vec<u64> = f.per_keyword[0]
+                    .iter()
+                    .flat_map(|l| l.postings().iter().map(|p| p.id.0))
+                    .collect();
                 v.sort_unstable();
                 v
             };

@@ -92,9 +92,17 @@ impl Reducer for IndexReducer {
     type Value = (u64, u32);
     type Output = PostingsList;
 
-    fn reduce(&self, _key: &Self::Key, values: Vec<(u64, u32)>, emit: &mut dyn FnMut(PostingsList)) {
+    fn reduce(
+        &self,
+        _key: &Self::Key,
+        values: Vec<(u64, u32)>,
+        emit: &mut dyn FnMut(PostingsList),
+    ) {
         emit(PostingsList::new(
-            values.into_iter().map(|(id, tf)| Posting { id: tklus_model::TweetId(id), tf }).collect(),
+            values
+                .into_iter()
+                .map(|(id, tf)| Posting { id: tklus_model::TweetId(id), tf })
+                .collect(),
         ))
     }
 }
@@ -141,7 +149,11 @@ pub fn build_index(posts: &[Post], config: &IndexBuildConfig) -> (HybridIndex, I
 
     // Driver: lay each partition out as one DFS file on its own node, in
     // sorted key order, while building the dictionary and directory.
-    let dfs = Dfs::new(DfsConfig { nodes: config.nodes, block_size: config.block_size, replication: config.replication });
+    let dfs = Dfs::new(DfsConfig {
+        nodes: config.nodes,
+        block_size: config.block_size,
+        replication: config.replication,
+    });
     let mut vocab = Vocab::new();
     let mut entries: Vec<((Geohash, tklus_text::TermId), PostingsLocation)> = Vec::new();
     let mut postings_total = 0u64;
@@ -156,7 +168,11 @@ pub fn build_index(posts: &[Post], config: &IndexBuildConfig) -> (HybridIndex, I
             let bytes = list.encode();
             entries.push((
                 (*gh, term_id),
-                PostingsLocation { partition: part_idx as u32, offset: file.len() as u64, len: bytes.len() as u32 },
+                PostingsLocation {
+                    partition: part_idx as u32,
+                    offset: file.len() as u64,
+                    len: bytes.len() as u32,
+                },
             ));
             file.extend_from_slice(&bytes);
         }
@@ -198,9 +214,27 @@ mod tests {
             post(2, 2, 43.655, -79.380, "Finally Toronto (at Clarion Hotel)"),
             post(3, 3, 43.671, -79.389, "I'm at Four Seasons Hotel Toronto"),
             post(4, 4, 43.671, -79.389, "Veal, lemon ricotta gnocchi @ Four Seasons Hotel Toronto"),
-            post(5, 5, 43.672, -79.390, "best massage ever (@ The Spa at Four Seasons Hotel Toronto)"),
-            post(6, 6, 43.672, -79.390, "Saturday night steez #fashion #toronto @ Four Seasons Hotel Toronto"),
-            post(7, 1, 43.669, -79.386, "Marriott Bloor Yorkville Hotel is a perfect place to stay"),
+            post(
+                5,
+                5,
+                43.672,
+                -79.390,
+                "best massage ever (@ The Spa at Four Seasons Hotel Toronto)",
+            ),
+            post(
+                6,
+                6,
+                43.672,
+                -79.390,
+                "Saturday night steez #fashion #toronto @ Four Seasons Hotel Toronto",
+            ),
+            post(
+                7,
+                1,
+                43.669,
+                -79.386,
+                "Marriott Bloor Yorkville Hotel is a perfect place to stay",
+            ),
         ]
     }
 
@@ -246,11 +280,14 @@ mod tests {
     fn partitions_respect_geohash_ranges() {
         // Posts spread over the globe land in different partitions/nodes.
         let posts = vec![
-            post(1, 1, -23.99, -46.23, "hotel sao paulo"),    // geohash 6...
-            post(2, 2, 43.67, -79.38, "hotel toronto"),       // geohash d...
-            post(3, 3, 57.64, 10.40, "hotel denmark"),        // geohash u...
+            post(1, 1, -23.99, -46.23, "hotel sao paulo"), // geohash 6...
+            post(2, 2, 43.67, -79.38, "hotel toronto"),    // geohash d...
+            post(3, 3, 57.64, 10.40, "hotel denmark"),     // geohash u...
         ];
-        let (index, _) = build_index(&posts, &IndexBuildConfig { geohash_len: 4, nodes: 3, block_size: 1024, replication: 1 });
+        let (index, _) = build_index(
+            &posts,
+            &IndexBuildConfig { geohash_len: 4, nodes: 3, block_size: 1024, replication: 1 },
+        );
         // Three partition files exist (some may be empty but created).
         let files = index.dfs().list();
         assert_eq!(files.len(), 3, "{files:?}");
@@ -286,7 +323,10 @@ mod tests {
 
     #[test]
     fn geohash_length_one_still_works() {
-        let (index, _) = build_index(&toronto_posts(), &IndexBuildConfig { geohash_len: 1, nodes: 3, block_size: 1024, replication: 1 });
+        let (index, _) = build_index(
+            &toronto_posts(),
+            &IndexBuildConfig { geohash_len: 1, nodes: 3, block_size: 1024, replication: 1 },
+        );
         let hotel = index.vocab().get("hotel").unwrap();
         let gh = encode(&Point::new_unchecked(43.670, -79.387), 1).unwrap();
         let list = index.postings(gh, hotel).unwrap();

@@ -96,6 +96,23 @@ impl HybridIndex {
         keywords: &[TermId],
         metric: DistanceMetric,
     ) -> QueryFetch {
+        self.fetch_for_query_parallel(center, radius_km, keywords, metric, 1)
+    }
+
+    /// [`Self::fetch_for_query`] with the postings reads spread over up to
+    /// `parallelism` scoped threads. The sorted hit list is split into
+    /// contiguous chunks (each worker keeps the within-partition
+    /// sequentiality the sort bought) and results are reassembled in hit
+    /// order, so the output — including per-keyword list order — is
+    /// identical at any parallelism.
+    pub fn fetch_for_query_parallel(
+        &self,
+        center: &Point,
+        radius_km: f64,
+        keywords: &[TermId],
+        metric: DistanceMetric,
+        parallelism: usize,
+    ) -> QueryFetch {
         let cover = circle_cover(center, radius_km, self.geohash_len, metric)
             .expect("index geohash length is valid");
         // Gather directory hits first, then fetch in storage order.
@@ -108,19 +125,52 @@ impl HybridIndex {
             }
         }
         hits.sort_by_key(|(_, loc)| (loc.partition, loc.offset));
+        let lists = hits.len();
+        let workers = parallelism.max(1).min(lists.max(1));
+        let fetched: Vec<(usize, PostingsList, u64)> = if workers <= 1 {
+            hits.iter().map(|&(ki, loc)| self.fetch_hit(ki, loc)).collect()
+        } else {
+            let chunk = lists.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = hits
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|&(ki, loc)| self.fetch_hit(ki, loc))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("postings fetch worker panicked"))
+                    .collect()
+            })
+        };
         let mut per_keyword: Vec<Vec<PostingsList>> = keywords.iter().map(|_| Vec::new()).collect();
         let mut bytes = 0u64;
-        let lists = hits.len();
-        for (ki, loc) in hits {
-            let raw = self
-                .dfs
-                .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
-                .expect("directory points at valid partition range");
-            bytes += raw.len() as u64;
-            let (list, _) = PostingsList::decode(&raw).expect("partition bytes decode");
+        for (ki, list, b) in fetched {
+            bytes += b;
             per_keyword[ki].push(list);
         }
         QueryFetch { per_keyword, cells: cover.len(), lists, bytes }
+    }
+
+    /// Fetches and decodes one directory hit (pure given the immutable
+    /// partition files, so safe to run from any worker).
+    fn fetch_hit(
+        &self,
+        ki: usize,
+        loc: crate::forward::PostingsLocation,
+    ) -> (usize, PostingsList, u64) {
+        let raw = self
+            .dfs
+            .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
+            .expect("directory points at valid partition range");
+        let bytes = raw.len() as u64;
+        let (list, _) = PostingsList::decode(&raw).expect("partition bytes decode");
+        (ki, list, bytes)
     }
 }
 
@@ -153,18 +203,14 @@ mod tests {
         let center = Point::new_unchecked(43.6839128037, -79.37356590);
         let fetch = idx.fetch_for_query(&center, 10.0, &[hotel, pizza], DistanceMetric::Euclidean);
         assert_eq!(fetch.per_keyword.len(), 2);
-        let hotel_ids: Vec<u64> = fetch.per_keyword[0]
-            .iter()
-            .flat_map(|l| l.postings().iter().map(|p| p.id.0))
-            .collect();
+        let hotel_ids: Vec<u64> =
+            fetch.per_keyword[0].iter().flat_map(|l| l.postings().iter().map(|p| p.id.0)).collect();
         // Tweets 1 and 2 are in range cells; tweet 3's cell may or may not
         // fall inside the 10 km cover, tweet 5 (Paris) must not.
         assert!(hotel_ids.contains(&1) && hotel_ids.contains(&2));
         assert!(!hotel_ids.contains(&5));
-        let pizza_ids: Vec<u64> = fetch.per_keyword[1]
-            .iter()
-            .flat_map(|l| l.postings().iter().map(|p| p.id.0))
-            .collect();
+        let pizza_ids: Vec<u64> =
+            fetch.per_keyword[1].iter().flat_map(|l| l.postings().iter().map(|p| p.id.0)).collect();
         assert_eq!(pizza_ids, vec![4]);
         assert!(fetch.cells > 0);
         assert_eq!(fetch.lists, fetch.per_keyword.iter().map(Vec::len).sum::<usize>());
@@ -199,6 +245,34 @@ mod tests {
         let ids: Vec<u64> =
             far.per_keyword[0].iter().flat_map(|l| l.postings().iter().map(|p| p.id.0)).collect();
         assert!(ids.contains(&3));
+    }
+
+    #[test]
+    fn parallel_fetch_matches_sequential() {
+        let idx = index();
+        let hotel = idx.vocab().get("hotel").unwrap();
+        let pizza = idx.vocab().get("pizza").unwrap();
+        let center = Point::new_unchecked(43.6839128037, -79.37356590);
+        let seq = idx.fetch_for_query(&center, 50.0, &[hotel, pizza], DistanceMetric::Euclidean);
+        for parallelism in [2, 4, 8] {
+            let par = idx.fetch_for_query_parallel(
+                &center,
+                50.0,
+                &[hotel, pizza],
+                DistanceMetric::Euclidean,
+                parallelism,
+            );
+            assert_eq!(par.cells, seq.cells);
+            assert_eq!(par.lists, seq.lists);
+            assert_eq!(par.bytes, seq.bytes);
+            assert_eq!(par.per_keyword.len(), seq.per_keyword.len());
+            for (p, s) in par.per_keyword.iter().zip(&seq.per_keyword) {
+                assert_eq!(p.len(), s.len());
+                for (pl, sl) in p.iter().zip(s) {
+                    assert_eq!(pl.postings(), sl.postings());
+                }
+            }
+        }
     }
 
     #[test]

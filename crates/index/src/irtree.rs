@@ -109,16 +109,22 @@ impl IrTree {
         let mut leaf_ids: Vec<usize> = Vec::with_capacity(leaves_needed);
         let mut order: Vec<usize> = (0..n).collect();
         // Work over indices so entries stay addressable by index.
-        order.sort_by(|&a, &b| entries[a].location.lon().partial_cmp(&entries[b].location.lon()).expect("finite"));
+        order.sort_by(|&a, &b| {
+            entries[a].location.lon().partial_cmp(&entries[b].location.lon()).expect("finite")
+        });
         for slice in order.chunks(slice_size) {
             let mut slice: Vec<usize> = slice.to_vec();
-            slice.sort_by(|&a, &b| entries[a].location.lat().partial_cmp(&entries[b].location.lat()).expect("finite"));
+            slice.sort_by(|&a, &b| {
+                entries[a].location.lat().partial_cmp(&entries[b].location.lat()).expect("finite")
+            });
             for chunk in slice.chunks(FANOUT) {
                 let node = NodeData {
                     mbr: mbr_of_points(chunk.iter().map(|&i| entries[i].location)),
-                    signature: union_signatures(chunk.iter().map(|&i| {
-                        entries[i].terms.iter().map(|(t, _)| t).collect::<Vec<_>>()
-                    })),
+                    signature: union_signatures(
+                        chunk
+                            .iter()
+                            .map(|&i| entries[i].terms.iter().map(|(t, _)| t).collect::<Vec<_>>()),
+                    ),
                     kind: NodeKind::Leaf { entries: chunk.to_vec() },
                 };
                 tree.nodes.push(node);
@@ -134,7 +140,9 @@ impl IrTree {
             for group in level.chunks(FANOUT) {
                 let node = NodeData {
                     mbr: mbr_of_cells(group.iter().map(|&i| tree.nodes[i].mbr)),
-                    signature: union_signatures(group.iter().map(|&i| tree.nodes[i].signature.clone())),
+                    signature: union_signatures(
+                        group.iter().map(|&i| tree.nodes[i].signature.clone()),
+                    ),
                     kind: NodeKind::Internal { children: group.to_vec() },
                 };
                 tree.nodes.push(node);
@@ -324,7 +332,13 @@ mod tests {
         let pizza = tree.vocab().get("pizza").unwrap();
         for radius in [5.0, 20.0, 60.0] {
             for semantics in [Semantics::And, Semantics::Or] {
-                let (got, _) = tree.search_circle(&center, radius, &[hotel, pizza], semantics, DistanceMetric::Euclidean);
+                let (got, _) = tree.search_circle(
+                    &center,
+                    radius,
+                    &[hotel, pizza],
+                    semantics,
+                    DistanceMetric::Euclidean,
+                );
                 let want = brute(&posts, &tree, &center, radius, &[hotel, pizza], semantics);
                 assert_eq!(got, want, "radius {radius} {semantics:?}");
             }
@@ -367,11 +381,18 @@ mod tests {
         let tree = IrTree::build(&[]);
         assert!(tree.is_empty());
         let center = Point::new_unchecked(0.0, 0.0);
-        let (got, _) = tree.search_circle(&center, 10.0, &[TermId(0)], Semantics::Or, DistanceMetric::Euclidean);
+        let (got, _) = tree.search_circle(
+            &center,
+            10.0,
+            &[TermId(0)],
+            Semantics::Or,
+            DistanceMetric::Euclidean,
+        );
         assert!(got.is_empty());
         // Non-empty tree, empty term list.
         let tree = IrTree::build(&posts());
-        let (got, _) = tree.search_circle(&center, 10.0, &[], Semantics::Or, DistanceMetric::Euclidean);
+        let (got, _) =
+            tree.search_circle(&center, 10.0, &[], Semantics::Or, DistanceMetric::Euclidean);
         assert!(got.is_empty());
     }
 
@@ -382,8 +403,13 @@ mod tests {
         let center = Point::new_unchecked(43.7, -79.4);
         let pizza = tree.vocab().get("pizza").unwrap();
         let hotel = tree.vocab().get("hotel").unwrap();
-        let (got, _) =
-            tree.search_circle(&center, 1.0, &[pizza, hotel], Semantics::And, DistanceMetric::Euclidean);
+        let (got, _) = tree.search_circle(
+            &center,
+            1.0,
+            &[pizza, hotel],
+            Semantics::And,
+            DistanceMetric::Euclidean,
+        );
         assert_eq!(got, vec![(TweetId(1), 4)]);
     }
 }

@@ -29,8 +29,8 @@ pub mod persist;
 pub mod posting;
 
 pub use build::{build_index, IndexBuildConfig, IndexBuildReport};
-pub use irtree::{IrSearchStats, IrTree};
-pub use persist::{load_dir, save_dir, PersistError};
 pub use forward::{ForwardIndex, PostingsLocation};
 pub use inverted::{HybridIndex, IndexKey, QueryFetch};
+pub use irtree::{IrSearchStats, IrTree};
+pub use persist::{load_dir, save_dir, PersistError};
 pub use posting::{intersect_gallop, intersect_sum, union_sum, Posting, PostingsList};

@@ -94,7 +94,9 @@ pub fn load_dir(dir: &Path) -> Result<HybridIndex, PersistError> {
     let mut nodes: Option<usize> = None;
     for line in meta.lines() {
         match line.split_once('\t') {
-            Some(("geohash_len", v)) => geohash_len = Some(v.parse().map_err(|_| corrupt("geohash_len"))?),
+            Some(("geohash_len", v)) => {
+                geohash_len = Some(v.parse().map_err(|_| corrupt("geohash_len"))?)
+            }
             Some(("nodes", v)) => nodes = Some(v.parse().map_err(|_| corrupt("nodes"))?),
             _ => return Err(corrupt(format!("meta line {line:?}"))),
         }
@@ -108,12 +110,17 @@ pub fn load_dir(dir: &Path) -> Result<HybridIndex, PersistError> {
     for line in reader.lines() {
         let line = line?;
         let mut parts = line.splitn(3, '\t');
-        let id: u32 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| corrupt("vocab id"))?;
-        let freq: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| corrupt("vocab freq"))?;
+        let id: u32 =
+            parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| corrupt("vocab id"))?;
+        let freq: u64 =
+            parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| corrupt("vocab freq"))?;
         let term = parts.next().ok_or_else(|| corrupt("vocab term"))?;
         let assigned = vocab.intern(term);
         if assigned.0 != id {
-            return Err(corrupt(format!("vocab ids not dense: expected {id}, assigned {}", assigned.0)));
+            return Err(corrupt(format!(
+                "vocab ids not dense: expected {id}, assigned {}",
+                assigned.0
+            )));
         }
         vocab.add_occurrences(assigned, freq);
     }

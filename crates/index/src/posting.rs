@@ -28,7 +28,10 @@ impl PostingsList {
     /// (one posting per `⟨key, tweet⟩` by construction in Algorithm 2).
     pub fn new(mut postings: Vec<Posting>) -> Self {
         postings.sort_by_key(|p| p.id);
-        assert!(postings.windows(2).all(|w| w[0].id < w[1].id), "duplicate tweet id in postings list");
+        assert!(
+            postings.windows(2).all(|w| w[0].id < w[1].id),
+            "duplicate tweet id in postings list"
+        );
         Self { postings }
     }
 
@@ -148,7 +151,8 @@ pub fn union_sum(lists: &[PostingsList]) -> Vec<(TweetId, u32)> {
         _ => {
             // k-way merge via a flattened sort: lists are typically short
             // and few; the simple approach beats a heap in practice here.
-            let mut all: Vec<(TweetId, u32)> = lists.iter().flat_map(|l| l.postings.iter().map(|p| (p.id, p.tf))).collect();
+            let mut all: Vec<(TweetId, u32)> =
+                lists.iter().flat_map(|l| l.postings.iter().map(|p| (p.id, p.tf))).collect();
             all.sort_by_key(|e| e.0);
             let mut out: Vec<(TweetId, u32)> = Vec::with_capacity(all.len());
             for (id, tf) in all {
@@ -267,7 +271,9 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for pairs in [vec![], vec![(1u64, 1u32)], vec![(100, 2), (101, 1), (5000, 40), (u64::MAX / 2, 7)]] {
+        for pairs in
+            [vec![], vec![(1u64, 1u32)], vec![(100, 2), (101, 1), (5000, 40), (u64::MAX / 2, 7)]]
+        {
             let l = list(&pairs);
             let bytes = l.encode();
             let (back, consumed) = PostingsList::decode(&bytes).unwrap();
@@ -359,6 +365,65 @@ mod tests {
         assert!(intersect_gallop(&odd, &even).is_empty());
     }
 
+    /// Reference implementation: the plain two-pointer linear merge the
+    /// galloping path replaced, kept only to pin equivalence.
+    fn naive_intersect(a: &[(TweetId, u32)], b: &[(TweetId, u32)]) -> Vec<(TweetId, u32)> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gallop_equals_naive_merge_on_randomized_skewed_inputs() {
+        // Deterministic xorshift so failures reproduce; sizes span the
+        // balanced case (linear-merge branch of intersect_sum) and the
+        // heavily skewed case (galloping branch).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..200 {
+            let skew = 1 + (round % 40);
+            let small_len = (next() % 30) as usize;
+            let large_len = small_len * skew + (next() % 50) as usize;
+            let mut gen_list = |len: usize, stride: u64| {
+                let mut id = 0u64;
+                (0..len)
+                    .map(|_| {
+                        id += 1 + next() % stride;
+                        (TweetId(id), (next() % 9) as u32 + 1)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let small = gen_list(small_len, 7);
+            let large = gen_list(large_len, 3);
+            let want = naive_intersect(&small, &large);
+            assert_eq!(intersect_gallop(&small, &large), want, "round {round}");
+            assert_eq!(intersect_gallop(&large, &small), want, "round {round} (swapped)");
+            // intersect_sum's adaptive dispatch must agree with the naive
+            // merge whichever branch the size ratio selects.
+            assert_eq!(
+                intersect_sum(&[small.clone(), large.clone()]),
+                want,
+                "round {round} (adaptive)"
+            );
+        }
+    }
+
     #[test]
     fn gallop_sums_term_frequencies() {
         let a = vec![(TweetId(10), 3)];
@@ -379,9 +444,6 @@ mod tests {
             let lb: PostingsList = k2.iter().map(|(id, tf)| (id.0, *tf)).collect();
             union_sum(&[la, lb])
         };
-        assert_eq!(
-            or,
-            vec![(TweetId(1), 1), (TweetId(3), 5), (TweetId(5), 3)]
-        );
+        assert_eq!(or, vec![(TweetId(1), 1), (TweetId(3), 5), (TweetId(5), 3)]);
     }
 }

@@ -30,7 +30,12 @@ impl Default for JobConfig {
 
 /// Runs `task` up to `max_attempts` times, capturing panics; counts
 /// retries. Panics (ending the job) only when every attempt failed.
-fn run_attempts<T>(max_attempts: usize, counters: &JobCounters, what: &str, task: impl Fn() -> T) -> T {
+fn run_attempts<T>(
+    max_attempts: usize,
+    counters: &JobCounters,
+    what: &str,
+    task: impl Fn() -> T,
+) -> T {
     for attempt in 1..=max_attempts {
         match std::panic::catch_unwind(AssertUnwindSafe(&task)) {
             Ok(out) => return out,
@@ -97,14 +102,18 @@ where
                 let counters = &counters;
                 scope.spawn(move || {
                     run_attempts(config.max_attempts, counters, "map", || {
-                        let mut local: Vec<Vec<(M::Key, M::Value)>> = (0..nred).map(|_| Vec::new()).collect();
+                        let mut local: Vec<Vec<(M::Key, M::Value)>> =
+                            (0..nred).map(|_| Vec::new()).collect();
                         let mut inputs = 0u64;
                         let mut outputs = 0u64;
                         for record in *split {
                             inputs += 1;
                             mapper.map(record, &mut |k, v| {
                                 let p = partitioner.partition(&k, nred);
-                                debug_assert!(p < nred, "partitioner returned {p} for {nred} partitions");
+                                debug_assert!(
+                                    p < nred,
+                                    "partitioner returned {p} for {nred} partitions"
+                                );
                                 local[p].push((k, v));
                                 outputs += 1;
                             });
@@ -153,7 +162,8 @@ where
                             while j < bucket.len() && bucket[j].0 == *key {
                                 j += 1;
                             }
-                            let values: Vec<M::Value> = bucket[i..j].iter().map(|(_, v)| v.clone()).collect();
+                            let values: Vec<M::Value> =
+                                bucket[i..j].iter().map(|(_, v)| v.clone()).collect();
                             groups += 1;
                             reducer.reduce(key, values, &mut |o| {
                                 out.push((key.clone(), o));
@@ -169,7 +179,8 @@ where
             })
             .collect();
         for handle in handles {
-            partitions.push(handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)));
+            partitions
+                .push(handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)));
         }
     });
     let reduce_time = reduce_start.elapsed();
@@ -236,8 +247,15 @@ mod tests {
 
     #[test]
     fn partitions_are_key_sorted() {
-        let inputs: Vec<String> = (0..200).map(|i| format!("w{:03} w{:03}", i % 50, (i * 7) % 50)).collect();
-        let out = run_job(JobConfig { map_tasks: 4, reduce_tasks: 5, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &HashPartitioner);
+        let inputs: Vec<String> =
+            (0..200).map(|i| format!("w{:03} w{:03}", i % 50, (i * 7) % 50)).collect();
+        let out = run_job(
+            JobConfig { map_tasks: 4, reduce_tasks: 5, ..JobConfig::default() },
+            &inputs,
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        );
         assert_eq!(out.partitions.len(), 5);
         for part in &out.partitions {
             assert!(part.windows(2).all(|w| w[0].0 < w[1].0), "partition not sorted");
@@ -246,10 +264,23 @@ mod tests {
 
     #[test]
     fn result_is_independent_of_task_counts() {
-        let inputs: Vec<String> = (0..100).map(|i| format!("k{} k{} k{}", i % 11, i % 7, i % 5)).collect();
-        let base = collect_all(run_job(JobConfig { map_tasks: 1, reduce_tasks: 1, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &HashPartitioner));
+        let inputs: Vec<String> =
+            (0..100).map(|i| format!("k{} k{} k{}", i % 11, i % 7, i % 5)).collect();
+        let base = collect_all(run_job(
+            JobConfig { map_tasks: 1, reduce_tasks: 1, ..JobConfig::default() },
+            &inputs,
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        ));
         for (m, r) in [(2, 3), (4, 1), (3, 8), (7, 2)] {
-            let got = collect_all(run_job(JobConfig { map_tasks: m, reduce_tasks: r, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &HashPartitioner));
+            let got = collect_all(run_job(
+                JobConfig { map_tasks: m, reduce_tasks: r, ..JobConfig::default() },
+                &inputs,
+                &WcMap,
+                &WcReduce,
+                &HashPartitioner,
+            ));
             assert_eq!(got, base, "map_tasks={m} reduce_tasks={r}");
         }
     }
@@ -258,7 +289,13 @@ mod tests {
     fn range_partitioner_keeps_ranges_together() {
         let inputs = lines(&["apple grape mango zebra", "banana pear zulu"]);
         let p = RangePartitioner::new(vec!["h".to_string(), "q".to_string()]);
-        let out = run_job(JobConfig { map_tasks: 2, reduce_tasks: 3, ..JobConfig::default() }, &inputs, &WcMap, &WcReduce, &p);
+        let out = run_job(
+            JobConfig { map_tasks: 2, reduce_tasks: 3, ..JobConfig::default() },
+            &inputs,
+            &WcMap,
+            &WcReduce,
+            &p,
+        );
         // Partition 0: keys < "h"; partition 1: "h".."q"; partition 2: >= "q".
         let part_keys: Vec<Vec<&String>> =
             out.partitions.iter().map(|p| p.iter().map(|(k, _)| k).collect()).collect();
@@ -272,7 +309,13 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_partitions() {
-        let out = run_job(JobConfig::default(), &Vec::<String>::new(), &WcMap, &WcReduce, &HashPartitioner);
+        let out = run_job(
+            JobConfig::default(),
+            &Vec::<String>::new(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        );
         assert_eq!(out.partitions.len(), 3);
         assert!(out.partitions.iter().all(Vec::is_empty));
         assert_eq!(out.counters.map_input_records, 0);
@@ -281,7 +324,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "tasks must be positive")]
     fn zero_tasks_rejected() {
-        let _ = run_job(JobConfig { map_tasks: 0, reduce_tasks: 1, ..JobConfig::default() }, &Vec::<String>::new(), &WcMap, &WcReduce, &HashPartitioner);
+        let _ = run_job(
+            JobConfig { map_tasks: 0, reduce_tasks: 1, ..JobConfig::default() },
+            &Vec::<String>::new(),
+            &WcMap,
+            &WcReduce,
+            &HashPartitioner,
+        );
     }
 
     /// A reducer that emits multiple outputs per key, to cover that path.

@@ -47,7 +47,10 @@ impl<K: Ord> RangePartitioner<K> {
 
 impl<K: Ord + Sync + Send> Partitioner<K> for RangePartitioner<K> {
     fn partition(&self, key: &K, n: usize) -> usize {
-        debug_assert!(n >= self.partitions(), "job configured with fewer partitions than the range partitioner defines");
+        debug_assert!(
+            n >= self.partitions(),
+            "job configured with fewer partitions than the range partitioner defines"
+        );
         self.splits.partition_point(|s| s <= key)
     }
 }
@@ -82,7 +85,8 @@ mod tests {
     fn range_partitioner_preserves_order() {
         // Keys in increasing order never move to a lower partition.
         let p = RangePartitioner::new(vec!["g".to_string(), "p".to_string()]);
-        let parts: Vec<usize> = ["a", "g", "h", "p", "z"].iter().map(|k| p.partition(&k.to_string(), 3)).collect();
+        let parts: Vec<usize> =
+            ["a", "g", "h", "p", "z"].iter().map(|k| p.partition(&k.to_string(), 3)).collect();
         assert!(parts.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(parts, vec![0, 1, 1, 2, 2]);
     }

@@ -95,7 +95,12 @@ mod tests {
     use tklus_geo::Point;
 
     fn post(id: u64, user: u64) -> Post {
-        Post::original(TweetId(id), UserId(user), Point::new_unchecked(43.7, -79.4), format!("tweet {id}"))
+        Post::original(
+            TweetId(id),
+            UserId(user),
+            Point::new_unchecked(43.7, -79.4),
+            format!("tweet {id}"),
+        )
     }
 
     #[test]

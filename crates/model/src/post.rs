@@ -117,7 +117,10 @@ mod tests {
         let post = Post::reply(TweetId(2), UserId(3), p(), "nice!", TweetId(1), UserId(9));
         assert!(post.is_reply());
         let rt = post.in_reply_to.unwrap();
-        assert_eq!((rt.target, rt.target_user, rt.kind), (TweetId(1), UserId(9), InteractionKind::Reply));
+        assert_eq!(
+            (rt.target, rt.target_user, rt.kind),
+            (TweetId(1), UserId(9), InteractionKind::Reply)
+        );
     }
 
     #[test]

@@ -163,7 +163,9 @@ pub enum InvalidQuery {
 impl std::fmt::Display for InvalidQuery {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InvalidQuery::BadRadius(r) => write!(f, "query radius must be positive and finite, got {r}"),
+            InvalidQuery::BadRadius(r) => {
+                write!(f, "query radius must be positive and finite, got {r}")
+            }
             InvalidQuery::NoKeywords => f.write_str("query must have at least one keyword"),
             InvalidQuery::ZeroK => f.write_str("query k must be at least 1"),
             InvalidQuery::BadTimeRange { start, end } => {
@@ -204,8 +206,14 @@ mod tests {
             TklusQuery::new(loc(), -2.0, vec!["x".into()], 1, Semantics::Or),
             Err(InvalidQuery::BadRadius(-2.0))
         );
-        assert_eq!(TklusQuery::new(loc(), 5.0, vec![], 1, Semantics::Or), Err(InvalidQuery::NoKeywords));
-        assert_eq!(TklusQuery::new(loc(), 5.0, vec!["x".into()], 0, Semantics::Or), Err(InvalidQuery::ZeroK));
+        assert_eq!(
+            TklusQuery::new(loc(), 5.0, vec![], 1, Semantics::Or),
+            Err(InvalidQuery::NoKeywords)
+        );
+        assert_eq!(
+            TklusQuery::new(loc(), 5.0, vec!["x".into()], 0, Semantics::Or),
+            Err(InvalidQuery::ZeroK)
+        );
         assert!(TklusQuery::new(loc(), f64::NAN, vec!["x".into()], 1, Semantics::Or).is_err());
     }
 
@@ -235,7 +243,10 @@ mod tests {
     #[test]
     fn invalid_time_range_rejected() {
         let q = TklusQuery::new(loc(), 10.0, vec!["x".into()], 1, Semantics::Or).unwrap();
-        assert_eq!(q.clone().with_time_range(5, 4), Err(InvalidQuery::BadTimeRange { start: 5, end: 4 }));
+        assert_eq!(
+            q.clone().with_time_range(5, 4),
+            Err(InvalidQuery::BadTimeRange { start: 5, end: 4 })
+        );
         assert_eq!(q.with_recency(10, 0), Err(InvalidQuery::ZeroHalfLife));
     }
 

@@ -31,7 +31,13 @@ pub struct ScoringConfig {
 
 impl Default for ScoringConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, epsilon: 0.1, keyword_norm: 40.0, thread_depth: 6, metric: DistanceMetric::Euclidean }
+        Self {
+            alpha: 0.5,
+            epsilon: 0.1,
+            keyword_norm: 40.0,
+            thread_depth: 6,
+            metric: DistanceMetric::Euclidean,
+        }
     }
 }
 

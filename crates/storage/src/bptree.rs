@@ -95,7 +95,8 @@ impl<const V: usize> Node<V> {
                 for _ in 0..count {
                     keys.push(read_key(page, off));
                     off += KEY_SIZE;
-                    children.push(PageId(u64::from_le_bytes(page[off..off + 8].try_into().unwrap())));
+                    children
+                        .push(PageId(u64::from_le_bytes(page[off..off + 8].try_into().unwrap())));
                     off += CHILD_SIZE;
                 }
                 Node::Internal { keys, children }
@@ -159,7 +160,7 @@ fn upper_bound(keys: &[Key], k: Key) -> usize {
 
 impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     /// Creates an empty tree owning `store`.
-    pub fn new(mut store: S) -> Self {
+    pub fn new(store: S) -> Self {
         let root = store.allocate();
         let empty: Node<V> = Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None };
         store.write(root, &empty.serialize());
@@ -191,7 +192,7 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         self.store
     }
 
-    fn load(&mut self, id: PageId) -> Node<V> {
+    fn load(&self, id: PageId) -> Node<V> {
         Node::parse(&self.store.read(id))
     }
 
@@ -200,7 +201,7 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     }
 
     /// Point lookup.
-    pub fn get(&mut self, key: Key) -> Option<[u8; V]> {
+    pub fn get(&self, key: Key) -> Option<[u8; V]> {
         let mut id = self.root;
         loop {
             match self.load(id) {
@@ -226,45 +227,62 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                     path.push((id, idx));
                     id = children[idx];
                 }
-                Node::Leaf { mut keys, mut vals, next } => {
-                    match keys.binary_search(&key) {
-                        Ok(i) => {
-                            let old = vals[i];
-                            vals[i] = value;
-                            self.save(id, &Node::Leaf { keys, vals, next });
-                            return Some(old);
-                        }
-                        Err(i) => {
-                            keys.insert(i, key);
-                            vals.insert(i, value);
-                            self.len += 1;
-                            if keys.len() <= Node::<V>::leaf_capacity() {
-                                self.save(id, &Node::Leaf { keys, vals, next });
-                            } else {
-                                self.split_leaf(id, keys, vals, next, path);
-                            }
-                            return None;
-                        }
+                Node::Leaf { mut keys, mut vals, next } => match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = vals[i];
+                        vals[i] = value;
+                        self.save(id, &Node::Leaf { keys, vals, next });
+                        return Some(old);
                     }
-                }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        self.len += 1;
+                        if keys.len() <= Node::<V>::leaf_capacity() {
+                            self.save(id, &Node::Leaf { keys, vals, next });
+                        } else {
+                            self.split_leaf(id, keys, vals, next, path);
+                        }
+                        return None;
+                    }
+                },
             }
         }
     }
 
-    fn split_leaf(&mut self, id: PageId, keys: Vec<Key>, vals: Vec<[u8; V]>, next: Option<PageId>, path: Vec<(PageId, usize)>) {
+    fn split_leaf(
+        &mut self,
+        id: PageId,
+        keys: Vec<Key>,
+        vals: Vec<[u8; V]>,
+        next: Option<PageId>,
+        path: Vec<(PageId, usize)>,
+    ) {
         let mid = keys.len() / 2;
         let right_keys: Vec<Key> = keys[mid..].to_vec();
         let right_vals: Vec<[u8; V]> = vals[mid..].to_vec();
         let sep = right_keys[0];
         let right_id = self.store.allocate();
         self.save(right_id, &Node::Leaf { keys: right_keys, vals: right_vals, next });
-        self.save(id, &Node::Leaf { keys: keys[..mid].to_vec(), vals: vals[..mid].to_vec(), next: Some(right_id) });
+        self.save(
+            id,
+            &Node::Leaf {
+                keys: keys[..mid].to_vec(),
+                vals: vals[..mid].to_vec(),
+                next: Some(right_id),
+            },
+        );
         self.insert_separator(sep, right_id, path);
     }
 
     /// Propagates a separator/child pair up the recorded path, splitting
     /// internal nodes (and growing a new root) as needed.
-    fn insert_separator(&mut self, mut sep: Key, mut new_child: PageId, mut path: Vec<(PageId, usize)>) {
+    fn insert_separator(
+        &mut self,
+        mut sep: Key,
+        mut new_child: PageId,
+        mut path: Vec<(PageId, usize)>,
+    ) {
         while let Some((id, idx)) = path.pop() {
             let Node::Internal { mut keys, mut children } = self.load(id) else {
                 unreachable!("path contains only internal nodes")
@@ -291,7 +309,10 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         // Root split.
         let old_root = self.root;
         let new_root = self.store.allocate();
-        self.save(new_root, &Node::Internal { keys: vec![sep], children: vec![old_root, new_child] });
+        self.save(
+            new_root,
+            &Node::Internal { keys: vec![sep], children: vec![old_root, new_child] },
+        );
         self.root = new_root;
         self.height += 1;
     }
@@ -339,7 +360,8 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     /// Fixes an underfull node at `child_id`, walking `path` upward.
     fn rebalance(&mut self, mut child_id: PageId, mut path: Vec<(PageId, usize)>) {
         while let Some((parent_id, idx)) = path.pop() {
-            let Node::Internal { keys: mut pkeys, children: mut pchildren } = self.load(parent_id) else {
+            let Node::Internal { keys: mut pkeys, children: mut pchildren } = self.load(parent_id)
+            else {
                 unreachable!("path holds internal nodes")
             };
             debug_assert_eq!(pchildren[idx], child_id);
@@ -372,7 +394,8 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
             Node::Leaf { mut keys, mut vals, next } => {
                 if idx > 0 {
                     let left_id = pchildren[idx - 1];
-                    let Node::Leaf { keys: mut lk, vals: mut lv, next: ln } = self.load(left_id) else {
+                    let Node::Leaf { keys: mut lk, vals: mut lv, next: ln } = self.load(left_id)
+                    else {
                         unreachable!("siblings share node kind")
                     };
                     if lk.len() > Self::leaf_min() {
@@ -393,7 +416,8 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                 }
                 // No left sibling: use the right one.
                 let right_id = pchildren[idx + 1];
-                let Node::Leaf { keys: mut rk, vals: mut rv, next: rn } = self.load(right_id) else {
+                let Node::Leaf { keys: mut rk, vals: mut rv, next: rn } = self.load(right_id)
+                else {
                     unreachable!("siblings share node kind")
                 };
                 if rk.len() > Self::leaf_min() {
@@ -415,7 +439,8 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
             Node::Internal { mut keys, mut children } => {
                 if idx > 0 {
                     let left_id = pchildren[idx - 1];
-                    let Node::Internal { keys: mut lk, children: mut lc } = self.load(left_id) else {
+                    let Node::Internal { keys: mut lk, children: mut lc } = self.load(left_id)
+                    else {
                         unreachable!("siblings share node kind")
                     };
                     if lk.len() > Self::internal_min() {
@@ -461,7 +486,7 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     }
 
     /// Inclusive range scan `lo ..= hi`, in key order.
-    pub fn scan(&mut self, lo: Key, hi: Key) -> Vec<(Key, [u8; V])> {
+    pub fn scan(&self, lo: Key, hi: Key) -> Vec<(Key, [u8; V])> {
         let mut out = Vec::new();
         if lo > hi {
             return out;
@@ -493,7 +518,7 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
 
     /// Range scan over all keys with the given major component — the
     /// "select all where rsid equals Id" lookup of Algorithm 1.
-    pub fn scan_major(&mut self, major: u64) -> Vec<(Key, [u8; V])> {
+    pub fn scan_major(&self, major: u64) -> Vec<(Key, [u8; V])> {
         self.scan((major, 0), (major, u64::MAX))
     }
 
@@ -501,11 +526,14 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     /// increasing). Much cheaper than repeated inserts: leaves are packed
     /// left to right at full fill, then each internal level is built in one
     /// pass. Panics if `entries` is unsorted or has duplicates.
-    pub fn bulk_load(mut store: S, entries: &[(Key, [u8; V])]) -> Self {
+    pub fn bulk_load(store: S, entries: &[(Key, [u8; V])]) -> Self {
         if entries.is_empty() {
             return Self::new(store);
         }
-        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "bulk_load requires strictly sorted keys");
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires strictly sorted keys"
+        );
         let leaf_cap = Node::<V>::leaf_capacity();
         // Build leaves.
         let mut level: Vec<(Key, PageId)> = Vec::new(); // (first key, page)
@@ -662,7 +690,7 @@ mod tests {
     fn bulk_load_matches_inserts() {
         let n = 4000u64;
         let entries: Vec<((u64, u64), [u8; 8])> = (0..n).map(|k| ((k, 0), v(k * 3))).collect();
-        let mut bulk = Tree::bulk_load(MemPager::new(), &entries);
+        let bulk = Tree::bulk_load(MemPager::new(), &entries);
         assert_eq!(bulk.len(), n);
         for k in (0..n).step_by(37) {
             assert_eq!(bulk.get((k, 0)), Some(v(k * 3)));
@@ -683,7 +711,7 @@ mod tests {
     fn bulk_load_empty_and_single() {
         let t = Tree::bulk_load(MemPager::new(), &[]);
         assert!(t.is_empty());
-        let mut t1 = Tree::bulk_load(MemPager::new(), &[((1, 2), v(9))]);
+        let t1 = Tree::bulk_load(MemPager::new(), &[((1, 2), v(9))]);
         assert_eq!(t1.get((1, 2)), Some(v(9)));
         assert_eq!(t1.len(), 1);
     }

@@ -1,10 +1,18 @@
-//! Buffer pool: an LRU page cache between B⁺-trees and physical storage.
+//! Buffer pool: a lock-striped LRU page cache between B⁺-trees and
+//! physical storage.
 //!
 //! The pool implements [`PageStore`] itself, so a tree stacks on top of it
 //! transparently. Hits are served from memory (counted as `cache_hits`, no
 //! physical read); misses fall through to the inner store (which counts the
 //! physical read) and are counted as `cache_misses`. Writes are
 //! write-through: the inner store always sees them, keeping it crash-simple.
+//!
+//! All operations take `&self`. The cache is striped into up to 16 shards,
+//! each its own `Mutex<HashMap>`, with pages routed by `page_id % shards`:
+//! concurrent readers on different shards never contend, which is what lets
+//! the query engine fan work out across threads over one shared pool.
+//! Eviction is LRU *per shard* (a stamp from one global atomic clock) — an
+//! approximation of global LRU that keeps the hot-path lock local.
 //!
 //! Section VI-B1 runs the paper's experiments with "database caches … set
 //! off in order to get fair evaluation results"; a pool with `capacity = 0`
@@ -13,28 +21,40 @@
 use crate::iostats::IoStats;
 use crate::page::{Page, PageId};
 use crate::pager::PageStore;
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Most shards the cache is split into; the effective per-shard capacity
+/// is `capacity / shards` (so tiny pools still evict correctly).
+const MAX_SHARDS: usize = 16;
 
 /// LRU write-through buffer pool over an inner [`PageStore`].
 pub struct BufferPool<S: PageStore> {
     inner: S,
-    capacity: usize,
-    cache: HashMap<PageId, (Page, u64)>,
-    tick: u64,
+    /// Per-shard page budget (`capacity / shards.len()`).
+    shard_capacity: usize,
+    shards: Vec<Mutex<HashMap<PageId, (Page, u64)>>>,
+    tick: AtomicU64,
     stats: IoStats,
 }
 
 impl<S: PageStore> BufferPool<S> {
     /// Wraps `inner` with an LRU cache of `capacity` pages. Capacity 0
-    /// disables caching (every access is physical).
+    /// disables caching (every access is physical). Capacities above the
+    /// shard count are rounded down to a multiple of the shard count.
     pub fn new(inner: S, capacity: usize) -> Self {
         let stats = inner.stats().clone();
-        Self { inner, capacity, cache: HashMap::with_capacity(capacity), tick: 0, stats }
+        let num_shards = capacity.clamp(1, MAX_SHARDS);
+        let shard_capacity = capacity / num_shards;
+        let shards =
+            (0..num_shards).map(|_| Mutex::new(HashMap::with_capacity(shard_capacity))).collect();
+        Self { inner, shard_capacity, shards, tick: AtomicU64::new(0), stats }
     }
 
-    /// Current number of cached pages.
+    /// Current number of cached pages (across all shards).
     pub fn cached_pages(&self) -> usize {
-        self.cache.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// The wrapped store.
@@ -42,57 +62,59 @@ impl<S: PageStore> BufferPool<S> {
         &self.inner
     }
 
-    fn touch(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+    fn shard(&self, id: PageId) -> &Mutex<HashMap<PageId, (Page, u64)>> {
+        &self.shards[(id.0 % self.shards.len() as u64) as usize]
     }
 
-    fn evict_if_full(&mut self) {
-        if self.cache.len() < self.capacity {
-            return;
-        }
-        if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, stamp))| *stamp) {
-            self.cache.remove(&victim);
-        }
+    fn touch(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn cache_put(&mut self, id: PageId, page: Page) {
-        if self.capacity == 0 {
+    /// Inserts into an already-locked shard, evicting that shard's
+    /// least-recently-stamped page if it is at budget.
+    fn cache_put_locked(&self, shard: &mut HashMap<PageId, (Page, u64)>, id: PageId, page: Page) {
+        if self.shard_capacity == 0 {
             return;
         }
         let stamp = self.touch();
-        if let std::collections::hash_map::Entry::Occupied(mut e) = self.cache.entry(id) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = shard.entry(id) {
             e.insert((page, stamp));
             return;
         }
-        self.evict_if_full();
-        self.cache.insert(id, (page, stamp));
+        if shard.len() >= self.shard_capacity {
+            if let Some((&victim, _)) = shard.iter().min_by_key(|(_, (_, stamp))| *stamp) {
+                shard.remove(&victim);
+            }
+        }
+        shard.insert(id, (page, stamp));
     }
 }
 
 impl<S: PageStore> PageStore for BufferPool<S> {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&self) -> PageId {
         self.inner.allocate()
     }
 
-    fn read(&mut self, id: PageId) -> Page {
-        let stamp = self.touch();
-        if let Some((page, s)) = self.cache.get_mut(&id) {
-            *s = stamp;
+    fn read(&self, id: PageId) -> Page {
+        let mut shard = self.shard(id).lock();
+        if let Some((page, s)) = shard.get_mut(&id) {
+            *s = self.touch();
             self.stats.record_hit();
             return page.clone();
         }
         self.stats.record_miss();
+        // The shard lock is held across the physical read: a concurrent
+        // reader of the same page waits instead of duplicating the I/O,
+        // and readers of other shards are unaffected.
         let page = self.inner.read(id);
-        self.cache_put(id, page.clone());
+        self.cache_put_locked(&mut shard, id, page.clone());
         page
     }
 
-    fn write(&mut self, id: PageId, page: &Page) {
+    fn write(&self, id: PageId, page: &Page) {
         self.inner.write(id, page);
-        if self.cache.contains_key(&id) || self.capacity > 0 {
-            self.cache_put(id, page.clone());
-        }
+        let mut shard = self.shard(id).lock();
+        self.cache_put_locked(&mut shard, id, page.clone());
     }
 
     fn page_count(&self) -> u64 {
@@ -118,7 +140,7 @@ mod tests {
 
     #[test]
     fn hits_avoid_physical_reads() {
-        let mut pool = BufferPool::new(MemPager::new(), 4);
+        let pool = BufferPool::new(MemPager::new(), 4);
         let a = pool.allocate();
         pool.write(a, &marked_page(7));
         let r1 = pool.read(a);
@@ -132,7 +154,7 @@ mod tests {
 
     #[test]
     fn capacity_zero_disables_caching() {
-        let mut pool = BufferPool::new(MemPager::new(), 0);
+        let pool = BufferPool::new(MemPager::new(), 0);
         let a = pool.allocate();
         pool.write(a, &marked_page(1));
         pool.read(a);
@@ -145,7 +167,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut pool = BufferPool::new(MemPager::new(), 2);
+        let pool = BufferPool::new(MemPager::new(), 2);
         let ids: Vec<PageId> = (0..3).map(|_| pool.allocate()).collect();
         for (i, id) in ids.iter().enumerate() {
             pool.write(*id, &marked_page(i as u8));
@@ -164,7 +186,7 @@ mod tests {
 
     #[test]
     fn writes_are_write_through() {
-        let mut pool = BufferPool::new(MemPager::new(), 2);
+        let pool = BufferPool::new(MemPager::new(), 2);
         let a = pool.allocate();
         pool.write(a, &marked_page(9));
         // Inner store sees the write immediately.
@@ -199,5 +221,28 @@ mod tests {
             t.store().stats().page_reads()
         };
         assert!(cached * 2 < uncached, "cached={cached} uncached={uncached}");
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pages() {
+        let pool = BufferPool::new(MemPager::new(), 8);
+        let ids: Vec<PageId> = (0..32).map(|_| pool.allocate()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pool.write(*id, &marked_page(i as u8));
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ids = &ids;
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..100 {
+                        let i = (t * 7 + round * 13) % ids.len();
+                        assert_eq!(pool.read(ids[i])[0], i as u8);
+                    }
+                });
+            }
+        });
+        // Cache never exceeds its budget.
+        assert!(pool.cached_pages() <= 8, "cached={}", pool.cached_pages());
     }
 }

@@ -19,11 +19,12 @@
 //! File contents live in memory; this is an accounting simulator, not a
 //! durability layer — the experiments reason in I/O counts, like the paper.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// DFS configuration.
@@ -67,7 +68,9 @@ impl fmt::Display for DfsError {
             DfsError::NotFound(n) => write!(f, "dfs file not found: {n}"),
             DfsError::AlreadyExists(n) => write!(f, "dfs file already exists: {n}"),
             DfsError::BadNode(n) => write!(f, "dfs node {n} out of range"),
-            DfsError::AllReplicasDown(name) => write!(f, "all replicas of {name} are on failed nodes"),
+            DfsError::AllReplicasDown(name) => {
+                write!(f, "all replicas of {name} are on failed nodes")
+            }
             DfsError::OutOfBounds { file, offset, len, file_len } => {
                 write!(f, "read [{offset}, {offset}+{len}) past end of {file} (len {file_len})")
             }
@@ -95,16 +98,44 @@ pub struct NodeCounters {
 struct FileMeta {
     /// Nodes holding a copy; primary first.
     nodes: Vec<usize>,
+    /// Immutable after creation — files are write-once, so concurrent
+    /// readers can slice it without any lock.
     data: Vec<u8>,
     /// Where the last read on this file ended, for seek accounting.
-    last_read_end: Option<u64>,
+    /// Per-file lock: readers of different files never contend on it.
+    last_read_end: Mutex<Option<u64>>,
+}
+
+/// Live per-node state: counters plus availability, all lock-free so that
+/// concurrent reads only touch atomics.
+#[derive(Debug, Default)]
+struct NodeState {
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    seeks: AtomicU64,
+    up: AtomicBool,
+}
+
+impl NodeState {
+    fn snapshot(&self) -> NodeCounters {
+        NodeCounters {
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Inner {
     config: DfsConfig,
-    files: HashMap<String, FileMeta>,
-    nodes: Vec<NodeCounters>,
-    node_up: Vec<bool>,
+    /// The namespace lock guards only the name -> file map; file contents
+    /// are behind `Arc` so reads drop the lock before touching data.
+    files: RwLock<HashMap<String, Arc<FileMeta>>>,
+    nodes: Vec<NodeState>,
 }
 
 /// Handle to a simulated DFS cluster. Cheap to clone; all clones share
@@ -121,7 +152,7 @@ struct Inner {
 /// ```
 #[derive(Clone)]
 pub struct Dfs {
-    inner: Arc<RwLock<Inner>>,
+    inner: Arc<Inner>,
 }
 
 impl Dfs {
@@ -129,19 +160,15 @@ impl Dfs {
     pub fn new(config: DfsConfig) -> Self {
         assert!(config.nodes > 0, "at least one data node required");
         assert!(config.block_size > 0, "block size must be positive");
-        Self {
-            inner: Arc::new(RwLock::new(Inner {
-                config,
-                files: HashMap::new(),
-                nodes: vec![NodeCounters::default(); config.nodes],
-                node_up: vec![true; config.nodes],
-            })),
-        }
+        let nodes = (0..config.nodes)
+            .map(|_| NodeState { up: AtomicBool::new(true), ..NodeState::default() })
+            .collect();
+        Self { inner: Arc::new(Inner { config, files: RwLock::new(HashMap::new()), nodes }) }
     }
 
     /// The configured number of nodes.
     pub fn node_count(&self) -> usize {
-        self.inner.read().config.nodes
+        self.inner.config.nodes
     }
 
     /// Creates a write-once file placed by name hash.
@@ -157,94 +184,109 @@ impl Dfs {
     /// Creates a write-once file on an explicit node — how the index writer
     /// keeps one spatial partition on one machine.
     pub fn create_on(&self, name: &str, data: Vec<u8>, node: usize) -> Result<(), DfsError> {
-        let mut g = self.inner.write();
-        if node >= g.config.nodes {
+        let config = &self.inner.config;
+        if node >= config.nodes {
             return Err(DfsError::BadNode(node));
         }
-        if g.files.contains_key(name) {
+        let mut files = self.inner.files.write();
+        if files.contains_key(name) {
             return Err(DfsError::AlreadyExists(name.to_string()));
         }
-        let blocks = data.len().div_ceil(g.config.block_size).max(1) as u64;
-        let copies = g.config.replication.clamp(1, g.config.nodes);
-        let nodes: Vec<usize> = (0..copies).map(|i| (node + i) % g.config.nodes).collect();
+        let blocks = data.len().div_ceil(config.block_size).max(1) as u64;
+        let copies = config.replication.clamp(1, config.nodes);
+        let nodes: Vec<usize> = (0..copies).map(|i| (node + i) % config.nodes).collect();
         for &n in &nodes {
-            let counters = &mut g.nodes[n];
-            counters.blocks_written += blocks;
-            counters.bytes_written += data.len() as u64;
+            let counters = &self.inner.nodes[n];
+            counters.blocks_written.fetch_add(blocks, Ordering::Relaxed);
+            counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
         }
-        g.files.insert(name.to_string(), FileMeta { nodes, data, last_read_end: None });
+        files.insert(
+            name.to_string(),
+            Arc::new(FileMeta { nodes, data, last_read_end: Mutex::new(None) }),
+        );
         Ok(())
     }
 
     /// File length in bytes.
     pub fn len(&self, name: &str) -> Result<u64, DfsError> {
-        let g = self.inner.read();
-        g.files.get(name).map(|f| f.data.len() as u64).ok_or_else(|| DfsError::NotFound(name.to_string()))
+        self.meta(name).map(|f| f.data.len() as u64)
     }
 
     /// Whether a file exists.
     pub fn exists(&self, name: &str) -> bool {
-        self.inner.read().files.contains_key(name)
+        self.inner.files.read().contains_key(name)
     }
 
     /// The node holding a file's primary copy.
     pub fn node_of(&self, name: &str) -> Result<usize, DfsError> {
-        let g = self.inner.read();
-        g.files.get(name).map(|f| f.nodes[0]).ok_or_else(|| DfsError::NotFound(name.to_string()))
+        self.meta(name).map(|f| f.nodes[0])
     }
 
     /// All nodes holding a copy of the file, primary first.
     pub fn replicas_of(&self, name: &str) -> Result<Vec<usize>, DfsError> {
-        let g = self.inner.read();
-        g.files.get(name).map(|f| f.nodes.clone()).ok_or_else(|| DfsError::NotFound(name.to_string()))
+        self.meta(name).map(|f| f.nodes.clone())
+    }
+
+    /// Looks up a file, cloning its `Arc` so the namespace lock is held
+    /// only for the map probe.
+    fn meta(&self, name: &str) -> Result<Arc<FileMeta>, DfsError> {
+        self.inner
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DfsError::NotFound(name.to_string()))
     }
 
     /// Marks a node as failed: reads fall over to replicas; files whose
     /// every copy is on failed nodes become unreadable until a restore.
     pub fn fail_node(&self, node: usize) {
-        let mut g = self.inner.write();
-        assert!(node < g.config.nodes, "node {node} out of range");
-        g.node_up[node] = false;
+        assert!(node < self.inner.config.nodes, "node {node} out of range");
+        self.inner.nodes[node].up.store(false, Ordering::Relaxed);
     }
 
     /// Brings a failed node back (its data was never lost in this
     /// simulation — only unavailable).
     pub fn restore_node(&self, node: usize) {
-        let mut g = self.inner.write();
-        assert!(node < g.config.nodes, "node {node} out of range");
-        g.node_up[node] = true;
+        assert!(node < self.inner.config.nodes, "node {node} out of range");
+        self.inner.nodes[node].up.store(true, Ordering::Relaxed);
     }
 
     /// Whether a node is up.
     pub fn node_is_up(&self, node: usize) -> bool {
-        self.inner.read().node_up[node]
+        self.inner.nodes[node].up.load(Ordering::Relaxed)
     }
 
     /// Reads `len` bytes at `offset`, charging block reads (and a seek when
     /// the read does not continue the previous one on this file).
     pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, DfsError> {
-        let mut g = self.inner.write();
-        let block_size = g.config.block_size as u64;
-        let file = g.files.get(name).ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        let block_size = self.inner.config.block_size as u64;
+        let file = self.meta(name)?;
+        // Namespace lock already released: concurrent reads of different
+        // files (the parallel postings fetch) proceed without contention.
         let file_len = file.data.len() as u64;
         if offset + len as u64 > file_len {
             return Err(DfsError::OutOfBounds { file: name.to_string(), offset, len, file_len });
         }
-        let Some(node) = file.nodes.iter().copied().find(|&n| g.node_up[n]) else {
+        let Some(node) = file.nodes.iter().copied().find(|&n| self.node_is_up(n)) else {
             return Err(DfsError::AllReplicasDown(name.to_string()));
         };
-        let file = g.files.get_mut(name).expect("checked above");
-        let seek = file.last_read_end != Some(offset);
-        file.last_read_end = Some(offset + len as u64);
+        let seek = {
+            let mut last = file.last_read_end.lock();
+            let seek = *last != Some(offset);
+            *last = Some(offset + len as u64);
+            seek
+        };
         let out = file.data[offset as usize..offset as usize + len].to_vec();
         // Charge whole blocks touched by [offset, offset+len).
         let first_block = offset / block_size;
-        let last_block = if len == 0 { first_block } else { (offset + len as u64 - 1) / block_size };
-        let counters = &mut g.nodes[node];
-        counters.blocks_read += last_block - first_block + 1;
-        counters.bytes_read += len as u64;
+        let last_block =
+            if len == 0 { first_block } else { (offset + len as u64 - 1) / block_size };
+        let counters = &self.inner.nodes[node];
+        counters.blocks_read.fetch_add(last_block - first_block + 1, Ordering::Relaxed);
+        counters.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         if seek {
-            counters.seeks += 1;
+            counters.seeks.fetch_add(1, Ordering::Relaxed);
         }
         Ok(out)
     }
@@ -265,25 +307,24 @@ impl Dfs {
 
     /// Sorted list of file names.
     pub fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.read().files.keys().cloned().collect();
+        let mut names: Vec<String> = self.inner.files.read().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Total stored bytes across all files (the Fig. 6 "index size").
     pub fn total_bytes(&self) -> u64 {
-        self.inner.read().files.values().map(|f| f.data.len() as u64).sum()
+        self.inner.files.read().values().map(|f| f.data.len() as u64).sum()
     }
 
     /// Snapshot of a node's counters.
     pub fn node_counters(&self, node: usize) -> NodeCounters {
-        self.inner.read().nodes[node]
+        self.inner.nodes[node].snapshot()
     }
 
     /// Sum of counters over all nodes.
     pub fn total_counters(&self) -> NodeCounters {
-        let g = self.inner.read();
-        g.nodes.iter().fold(NodeCounters::default(), |mut acc, n| {
+        self.inner.nodes.iter().map(|n| n.snapshot()).fold(NodeCounters::default(), |mut acc, n| {
             acc.blocks_read += n.blocks_read;
             acc.blocks_written += n.blocks_written;
             acc.bytes_read += n.bytes_read;

@@ -6,22 +6,30 @@
 //! matching how the paper reasons about costs), and [`FilePager`] is backed
 //! by a real file for durability-shaped testing. Both count physical reads
 //! and writes through a shared [`IoStats`].
+//!
+//! All operations take `&self`: stores use interior mutability so that a
+//! read-only query path can run concurrently from many threads over one
+//! shared store (the engine's `&self` query API bottoms out here).
 
 use crate::iostats::IoStats;
 use crate::page::{zeroed_page, Page, PageId, PAGE_SIZE};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A store of fixed-size pages addressed by [`PageId`].
-pub trait PageStore: Send {
+///
+/// Methods take `&self`; implementations must be safe to call from many
+/// threads at once (hence the `Send + Sync` bound).
+pub trait PageStore: Send + Sync {
     /// Allocates a fresh zeroed page and returns its id.
-    fn allocate(&mut self) -> PageId;
+    fn allocate(&self) -> PageId;
     /// Reads a page. Panics if the id was never allocated.
-    fn read(&mut self, id: PageId) -> Page;
+    fn read(&self, id: PageId) -> Page;
     /// Writes a page.
-    fn write(&mut self, id: PageId, page: &Page);
+    fn write(&self, id: PageId, page: &Page);
     /// Number of allocated pages.
     fn page_count(&self) -> u64;
     /// The store's I/O counters.
@@ -31,7 +39,10 @@ pub trait PageStore: Send {
 /// In-memory page store.
 #[derive(Debug)]
 pub struct MemPager {
-    pages: Vec<Page>,
+    /// Readers take the shared lock; `allocate` (growth) takes the
+    /// exclusive lock. Individual page writes also take the exclusive
+    /// lock — page payloads are inline in the Vec.
+    pages: RwLock<Vec<Page>>,
     stats: IoStats,
 }
 
@@ -43,7 +54,7 @@ impl MemPager {
 
     /// Creates a store sharing the given counters.
     pub fn with_stats(stats: IoStats) -> Self {
-        Self { pages: Vec::new(), stats }
+        Self { pages: RwLock::new(Vec::new()), stats }
     }
 }
 
@@ -54,24 +65,25 @@ impl Default for MemPager {
 }
 
 impl PageStore for MemPager {
-    fn allocate(&mut self) -> PageId {
-        let id = PageId(self.pages.len() as u64);
-        self.pages.push(zeroed_page());
+    fn allocate(&self) -> PageId {
+        let mut pages = self.pages.write();
+        let id = PageId(pages.len() as u64);
+        pages.push(zeroed_page());
         id
     }
 
-    fn read(&mut self, id: PageId) -> Page {
+    fn read(&self, id: PageId) -> Page {
         self.stats.record_read();
-        self.pages[id.0 as usize].clone()
+        self.pages.read()[id.0 as usize].clone()
     }
 
-    fn write(&mut self, id: PageId, page: &Page) {
+    fn write(&self, id: PageId, page: &Page) {
         self.stats.record_write();
-        self.pages[id.0 as usize] = page.clone();
+        self.pages.write()[id.0 as usize] = page.clone();
     }
 
     fn page_count(&self) -> u64 {
-        self.pages.len() as u64
+        self.pages.read().len() as u64
     }
 
     fn stats(&self) -> &IoStats {
@@ -83,7 +95,7 @@ impl PageStore for MemPager {
 #[derive(Debug)]
 pub struct FilePager {
     file: Mutex<File>,
-    page_count: u64,
+    page_count: AtomicU64,
     stats: IoStats,
 }
 
@@ -91,7 +103,8 @@ impl FilePager {
     /// Opens (creating if necessary) a page file at `path`. An existing
     /// file's length must be a multiple of [`PAGE_SIZE`].
     pub fn open(path: &Path) -> std::io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(std::io::Error::new(
@@ -99,22 +112,27 @@ impl FilePager {
                 format!("page file length {len} is not a multiple of {PAGE_SIZE}"),
             ));
         }
-        Ok(Self { file: Mutex::new(file), page_count: len / PAGE_SIZE as u64, stats: IoStats::new() })
+        Ok(Self {
+            file: Mutex::new(file),
+            page_count: AtomicU64::new(len / PAGE_SIZE as u64),
+            stats: IoStats::new(),
+        })
     }
 }
 
 impl PageStore for FilePager {
-    fn allocate(&mut self) -> PageId {
-        let id = PageId(self.page_count);
-        self.page_count += 1;
+    fn allocate(&self) -> PageId {
+        // Hold the file lock across the counter bump so concurrent
+        // allocations get distinct ids AND distinct file extents.
         let mut f = self.file.lock();
+        let id = PageId(self.page_count.fetch_add(1, Ordering::Relaxed));
         f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
         f.write_all(&zeroed_page()[..]).expect("extend page file");
         id
     }
 
-    fn read(&mut self, id: PageId) -> Page {
-        assert!(id.0 < self.page_count, "read of unallocated page {id}");
+    fn read(&self, id: PageId) -> Page {
+        assert!(id.0 < self.page_count.load(Ordering::Relaxed), "read of unallocated page {id}");
         self.stats.record_read();
         let mut page = zeroed_page();
         let mut f = self.file.lock();
@@ -123,8 +141,8 @@ impl PageStore for FilePager {
         page
     }
 
-    fn write(&mut self, id: PageId, page: &Page) {
-        assert!(id.0 < self.page_count, "write of unallocated page {id}");
+    fn write(&self, id: PageId, page: &Page) {
+        assert!(id.0 < self.page_count.load(Ordering::Relaxed), "write of unallocated page {id}");
         self.stats.record_write();
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
@@ -132,7 +150,7 @@ impl PageStore for FilePager {
     }
 
     fn page_count(&self) -> u64 {
-        self.page_count
+        self.page_count.load(Ordering::Relaxed)
     }
 
     fn stats(&self) -> &IoStats {
@@ -144,7 +162,7 @@ impl PageStore for FilePager {
 mod tests {
     use super::*;
 
-    fn roundtrip(store: &mut dyn PageStore) {
+    fn roundtrip(store: &dyn PageStore) {
         let a = store.allocate();
         let b = store.allocate();
         assert_ne!(a, b);
@@ -162,8 +180,8 @@ mod tests {
 
     #[test]
     fn mem_pager_roundtrip() {
-        let mut p = MemPager::new();
-        roundtrip(&mut p);
+        let p = MemPager::new();
+        roundtrip(&p);
         assert_eq!(p.stats().page_reads(), 2);
         assert_eq!(p.stats().page_writes(), 1);
     }
@@ -173,12 +191,12 @@ mod tests {
         let path = std::env::temp_dir().join(format!("tklus-pager-{}.db", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
-            let mut p = FilePager::open(&path).unwrap();
-            roundtrip(&mut p);
+            let p = FilePager::open(&path).unwrap();
+            roundtrip(&p);
         }
         {
             // Reopen: data persists.
-            let mut p = FilePager::open(&path).unwrap();
+            let p = FilePager::open(&path).unwrap();
             assert_eq!(p.page_count(), 2);
             assert_eq!(p.read(PageId(0))[0], 0xAB);
         }
@@ -190,7 +208,31 @@ mod tests {
     fn file_pager_rejects_unallocated_read() {
         let path = std::env::temp_dir().join(format!("tklus-pager-bad-{}.db", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        let mut p = FilePager::open(&path).unwrap();
+        let p = FilePager::open(&path).unwrap();
         let _ = p.read(PageId(0));
+    }
+
+    #[test]
+    fn mem_pager_concurrent_reads_and_allocates() {
+        let p = MemPager::new();
+        let a = p.allocate();
+        let mut page = zeroed_page();
+        page[7] = 0x77;
+        p.write(a, &page);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        assert_eq!(p.read(a)[7], 0x77);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    p.allocate();
+                }
+            });
+        });
+        assert_eq!(p.page_count(), 51);
     }
 }

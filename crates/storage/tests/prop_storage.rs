@@ -65,7 +65,7 @@ proptest! {
             .iter()
             .map(|&k| (k, (k.0 * 10 + k.1).to_le_bytes()))
             .collect();
-        let mut tree: BPlusTree<_, 8> = BPlusTree::bulk_load(MemPager::new(), &entries);
+        let tree: BPlusTree<_, 8> = BPlusTree::bulk_load(MemPager::new(), &entries);
         prop_assert_eq!(tree.len(), entries.len() as u64);
         // Full scan returns everything in order.
         let all = tree.scan((0, 0), (u64::MAX, u64::MAX));
@@ -84,7 +84,7 @@ proptest! {
     #[test]
     fn scan_major_is_group_lookup(pairs in proptest::collection::btree_set((0u64..20, 0u64..50), 0..300)) {
         let entries: Vec<(Key, [u8; 0])> = pairs.iter().map(|&k| (k, [])).collect();
-        let mut tree: BPlusTree<_, 0> = BPlusTree::bulk_load(MemPager::new(), &entries);
+        let tree: BPlusTree<_, 0> = BPlusTree::bulk_load(MemPager::new(), &entries);
         for major in 0u64..20 {
             let got: Vec<Key> = tree.scan_major(major).into_iter().map(|(k, _)| k).collect();
             let want: Vec<Key> = pairs.iter().copied().filter(|k| k.0 == major).collect();

@@ -258,8 +258,8 @@ impl Stem {
     /// Step 4: strip remaining standard suffixes when m > 1.
     fn step4(&mut self) {
         const SUFFIXES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou", "ism", "ate",
-            "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+            "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in SUFFIXES {
             if self.ends(suffix) {

@@ -8,20 +8,188 @@
 
 /// Sorted list of stop words; looked up by binary search.
 static STOPWORDS: &[&str] = &[
-    "about", "above", "after", "again", "against", "all", "also", "am", "amp", "an", "and", "any", "are", "arent",
-    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can", "cannot",
-    "cant", "could", "couldnt", "did", "didnt", "do", "does", "doesnt", "doing", "dont", "down", "during", "each",
-    "few", "for", "from", "further", "get", "got", "had", "hadnt", "has", "hasnt", "have", "havent", "having", "he",
-    "hed", "hell", "her", "here", "heres", "hers", "herself", "hes", "him", "himself", "his", "how", "hows", "id",
-    "if", "ill", "im", "in", "into", "is", "isnt", "it", "its", "itself", "ive", "just", "lets", "like", "lol",
-    "me", "more", "most", "mustnt", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once", "only",
-    "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "rt", "same", "shant", "she", "shed",
-    "shell", "shes", "should", "shouldnt", "so", "some", "such", "than", "that", "thats", "the", "their", "theirs",
-    "them", "themselves", "then", "there", "theres", "these", "they", "theyd", "theyll", "theyre", "theyve", "this",
-    "those", "through", "to", "too", "under", "until", "up", "very", "via", "was", "wasnt", "we", "wed", "well",
-    "were", "werent", "weve", "what", "whats", "when", "whens", "where", "wheres", "which", "while", "who", "whom",
-    "whos", "why", "whys", "will", "with", "wont", "would", "wouldnt", "you", "youd", "youll", "your", "youre",
-    "yours", "yourself", "yourselves", "youve",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "also",
+    "am",
+    "amp",
+    "an",
+    "and",
+    "any",
+    "are",
+    "arent",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "cant",
+    "could",
+    "couldnt",
+    "did",
+    "didnt",
+    "do",
+    "does",
+    "doesnt",
+    "doing",
+    "dont",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "get",
+    "got",
+    "had",
+    "hadnt",
+    "has",
+    "hasnt",
+    "have",
+    "havent",
+    "having",
+    "he",
+    "hed",
+    "hell",
+    "her",
+    "here",
+    "heres",
+    "hers",
+    "herself",
+    "hes",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "hows",
+    "id",
+    "if",
+    "ill",
+    "im",
+    "in",
+    "into",
+    "is",
+    "isnt",
+    "it",
+    "its",
+    "itself",
+    "ive",
+    "just",
+    "lets",
+    "like",
+    "lol",
+    "me",
+    "more",
+    "most",
+    "mustnt",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "rt",
+    "same",
+    "shant",
+    "she",
+    "shed",
+    "shell",
+    "shes",
+    "should",
+    "shouldnt",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "thats",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "theres",
+    "these",
+    "they",
+    "theyd",
+    "theyll",
+    "theyre",
+    "theyve",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "via",
+    "was",
+    "wasnt",
+    "we",
+    "wed",
+    "well",
+    "were",
+    "werent",
+    "weve",
+    "what",
+    "whats",
+    "when",
+    "whens",
+    "where",
+    "wheres",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "whos",
+    "why",
+    "whys",
+    "will",
+    "with",
+    "wont",
+    "would",
+    "wouldnt",
+    "you",
+    "youd",
+    "youll",
+    "your",
+    "youre",
+    "yours",
+    "yourself",
+    "yourselves",
+    "youve",
 ];
 
 /// Returns true if `word` (already lowercased) is a stop word.

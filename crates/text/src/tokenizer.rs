@@ -46,7 +46,8 @@ impl Tokenizer {
             // Drop URLs and user mentions entirely; they carry no keyword
             // content ("@ Four Seasons" venue tags in the examples survive
             // because '@' standing alone splits away from the venue words).
-            if raw.starts_with("http://") || raw.starts_with("https://") || raw.starts_with("www.") {
+            if raw.starts_with("http://") || raw.starts_with("https://") || raw.starts_with("www.")
+            {
                 continue;
             }
             if raw.len() > 1 && raw.starts_with('@') {
@@ -57,7 +58,12 @@ impl Tokenizer {
             for ch in raw.chars() {
                 if ch.is_alphanumeric() {
                     for lc in ch.to_lowercase() {
-                        token.push(lc);
+                        // Lowercasing can emit combining marks (e.g. 'İ'
+                        // U+0130 -> "i" + U+0307); keep only the
+                        // alphanumeric part so tokens stay alphanumeric.
+                        if lc.is_alphanumeric() {
+                            token.push(lc);
+                        }
                     }
                 } else if ch == '\'' {
                     // Collapse apostrophes: "I'm" -> "im", "friend's" ->
@@ -147,7 +153,10 @@ mod tests {
     fn stopwords_removed() {
         let t = Tokenizer::new();
         let toks = t.tokenize("I'm at the Four Seasons Hotel and that was the best");
-        assert!(!toks.iter().any(|w| ["the", "and", "that", "was", "at"].contains(&w.as_str())), "{toks:?}");
+        assert!(
+            !toks.iter().any(|w| ["the", "and", "that", "was", "at"].contains(&w.as_str())),
+            "{toks:?}"
+        );
         assert!(toks.contains(&"hotel".to_string()));
         assert!(toks.contains(&"seasons".to_string()));
     }
@@ -226,7 +235,9 @@ mod tests {
     fn pipeline_stems_terms() {
         let p = TextPipeline::new();
         let terms = p.terms("Best restaurants and hotels in Toronto");
-        assert!(terms.contains(&"restaur".to_string()) || terms.contains(&"restaurant".to_string()));
+        assert!(
+            terms.contains(&"restaur".to_string()) || terms.contains(&"restaurant".to_string())
+        );
         // Query keyword and tweet word meet in the same space.
         let q = p.normalize_keyword("Restaurants").unwrap();
         assert!(terms.contains(&q));

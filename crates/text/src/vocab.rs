@@ -87,8 +87,12 @@ impl Vocab {
     /// string for determinism). This is how the reproduction derives its
     /// Table II top-10 keyword list.
     pub fn top_terms(&self, n: usize) -> Vec<(TermId, u64)> {
-        let mut all: Vec<(TermId, u64)> = (0..self.terms.len() as u32).map(TermId).map(|id| (id, self.frequency(id))).collect();
-        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| self.terms[a.0 .0 as usize].cmp(&self.terms[b.0 .0 as usize])));
+        let mut all: Vec<(TermId, u64)> =
+            (0..self.terms.len() as u32).map(TermId).map(|id| (id, self.frequency(id))).collect();
+        all.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| self.terms[a.0 .0 as usize].cmp(&self.terms[b.0 .0 as usize]))
+        });
         all.truncate(n);
         all
     }

@@ -8,13 +8,14 @@
 //!
 //! Run with: `cargo run --release --example implicit_locations`
 
-use tklus::core::{EngineConfig, Ranking, BoundsMode, TklusEngine};
+use tklus::core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
 use tklus::gen::{generate_corpus, GenConfig};
 use tklus::geo::{Gazetteer, Point};
 use tklus::model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
 
 fn main() {
-    let corpus = generate_corpus(&GenConfig { original_posts: 4_000, users: 1_200, ..GenConfig::default() });
+    let corpus =
+        generate_corpus(&GenConfig { original_posts: 4_000, users: 1_200, ..GenConfig::default() });
     let gazetteer = Gazetteer::builtin();
 
     // Simulate the real-world split: only a sliver of tweets carry GPS
@@ -43,7 +44,11 @@ fn main() {
             tagged.push(post.clone());
         }
     }
-    println!("{} tweets keep their geo-tag; {} lost it (but mention a city)", tagged.len(), untagged.len());
+    println!(
+        "{} tweets keep their geo-tag; {} lost it (but mention a city)",
+        tagged.len(),
+        untagged.len()
+    );
 
     // Recover locations from text.
     let mut recovered = 0usize;
@@ -99,8 +104,8 @@ fn main() {
     let augmented_corpus = Corpus::new(augmented).unwrap();
 
     let query = TklusQuery::new(toronto, 20.0, vec!["sushi".into()], 10, Semantics::Or).unwrap();
-    let (mut engine_tagged, _) = TklusEngine::build(&tagged_corpus, &EngineConfig::default());
-    let (mut engine_aug, _) = TklusEngine::build(&augmented_corpus, &EngineConfig::default());
+    let (engine_tagged, _) = TklusEngine::build(&tagged_corpus, &EngineConfig::default());
+    let (engine_aug, _) = TklusEngine::build(&augmented_corpus, &EngineConfig::default());
 
     let (top_tagged, _) = engine_tagged.query(&query, Ranking::Max(BoundsMode::HotKeywords));
     let (top_aug, _) = engine_aug.query(&query, Ranking::Max(BoundsMode::HotKeywords));

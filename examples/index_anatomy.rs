@@ -22,7 +22,8 @@ fn main() {
     for len in 1..=4 {
         println!("  len {len}: {}", encode(&toronto, len).unwrap());
     }
-    let (cover, stats) = circle_cover_with_stats(&toronto, 10.0, 4, DistanceMetric::Euclidean).unwrap();
+    let (cover, stats) =
+        circle_cover_with_stats(&toronto, 10.0, 4, DistanceMetric::Euclidean).unwrap();
     println!(
         "  10 km circle cover at len 4: {} cells, {:.2}x the circle's area: {}",
         stats.cells,
@@ -32,13 +33,22 @@ fn main() {
 
     // --- Layer 2: the MapReduce index build -----------------------------
     println!("\n## hybrid index build (Algorithms 2-3)");
-    let corpus = generate_corpus(&GenConfig { original_posts: 3_000, users: 800, ..GenConfig::default() });
+    let corpus =
+        generate_corpus(&GenConfig { original_posts: 3_000, users: 800, ..GenConfig::default() });
     let (index, report) = build_index(corpus.posts(), &IndexBuildConfig::default());
     println!("  posts: {}", report.posts);
     println!("  <geohash, term> keys: {}", report.keys);
     println!("  postings: {}", report.postings);
-    println!("  inverted index on DFS: {} bytes across {} partition files", report.index_bytes, index.dfs().list().len());
-    println!("  forward index in RAM: {} entries, {} bytes", index.forward().len(), index.forward().size_bytes());
+    println!(
+        "  inverted index on DFS: {} bytes across {} partition files",
+        report.index_bytes,
+        index.dfs().list().len()
+    );
+    println!(
+        "  forward index in RAM: {} entries, {} bytes",
+        index.forward().len(),
+        index.forward().size_bytes()
+    );
     for (node, file) in index.dfs().list().iter().enumerate().take(3) {
         println!("  partition {file} lives on node {}", index.dfs().node_of(file).unwrap());
         let _ = node;
@@ -59,7 +69,11 @@ fn main() {
         for p in list.postings().iter().take(5) {
             println!("    tweet {} tf {}", p.id, p.tf);
         }
-        println!("  encoded: {} bytes ({:.2} bytes/posting)", list.encode().len(), list.encode().len() as f64 / list.len() as f64);
+        println!(
+            "  encoded: {} bytes ({:.2} bytes/posting)",
+            list.encode().len(),
+            list.encode().len() as f64 / list.len() as f64
+        );
     }
 
     // --- Layer 4: the metadata database ---------------------------------
@@ -76,5 +90,8 @@ fn main() {
     let thread = build_thread(&mut db, busiest.id, 6);
     println!("  busiest root {}: thread levels {:?}", busiest.id, thread.level_sizes());
     println!("  popularity (Definition 4, eps=0.1): {:.3}", thread.popularity(0.1));
-    println!("  metadata page reads for this thread: {}  <- the cost Algorithm 5 prunes", db.io().page_reads());
+    println!(
+        "  metadata page reads for this thread: {}  <- the cost Algorithm 5 prunes",
+        db.io().page_reads()
+    );
 }

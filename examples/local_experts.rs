@@ -25,13 +25,38 @@ fn main() {
     let mut posts = vec![
         // u1 — the neighbourhood expert: several babysitter tweets nearby,
         // each drawing replies (people asking follow-up questions).
-        Post::original(TweetId(1), UserId(1), pt(37.57, 126.98), "our babysitter in Jongno is wonderful with toddlers"),
-        Post::original(TweetId(2), UserId(1), pt(37.565, 126.975), "babysitter recommendations for the Jongno area, ask me"),
-        Post::original(TweetId(3), UserId(1), pt(37.568, 126.982), "wrote up a list of vetted babysitters near the palace"),
+        Post::original(
+            TweetId(1),
+            UserId(1),
+            pt(37.57, 126.98),
+            "our babysitter in Jongno is wonderful with toddlers",
+        ),
+        Post::original(
+            TweetId(2),
+            UserId(1),
+            pt(37.565, 126.975),
+            "babysitter recommendations for the Jongno area, ask me",
+        ),
+        Post::original(
+            TweetId(3),
+            UserId(1),
+            pt(37.568, 126.982),
+            "wrote up a list of vetted babysitters near the palace",
+        ),
         // u2 — mentioned a babysitter once, nearby, no engagement.
-        Post::original(TweetId(4), UserId(2), pt(37.56, 126.97), "finally found a babysitter for tonight"),
+        Post::original(
+            TweetId(4),
+            UserId(2),
+            pt(37.56, 126.97),
+            "finally found a babysitter for tonight",
+        ),
         // u3 — very popular thread, but posted from Busan (325 km away).
-        Post::original(TweetId(5), UserId(3), pt(35.1796, 129.0756), "the ultimate babysitter hiring guide"),
+        Post::original(
+            TweetId(5),
+            UserId(3),
+            pt(35.1796, 129.0756),
+            "the ultimate babysitter hiring guide",
+        ),
     ];
     // Replies to u1's posts (locals engaging).
     let mut id = 100u64;
@@ -62,12 +87,15 @@ fn main() {
     }
 
     let corpus = Corpus::new(posts).expect("unique ids");
-    let (mut engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+    let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
 
-    let query = TklusQuery::new(here, 10.0, vec!["babysitter".into()], 3, Semantics::Or).expect("valid query");
+    let query = TklusQuery::new(here, 10.0, vec!["babysitter".into()], 3, Semantics::Or)
+        .expect("valid query");
     println!("query: 'babysitter' within 10 km of Seoul city centre, top-3\n");
 
-    for (name, ranking) in [("Sum", Ranking::Sum), ("Maximum", Ranking::Max(BoundsMode::HotKeywords))] {
+    for (name, ranking) in
+        [("Sum", Ranking::Sum), ("Maximum", Ranking::Max(BoundsMode::HotKeywords))]
+    {
         let (top, _) = engine.query(&query, ranking);
         println!("{name} ranking:");
         for (rank, r) in top.iter().enumerate() {

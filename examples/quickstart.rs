@@ -13,17 +13,14 @@ fn main() {
     // 1. A deterministic synthetic corpus (stand-in for the paper's
     //    crawled geo-tagged tweets): city-clustered locations, Zipfian
     //    keywords, reply/forward cascades.
-    let corpus = generate_corpus(&GenConfig {
-        original_posts: 5_000,
-        users: 1_500,
-        ..GenConfig::default()
-    });
+    let corpus =
+        generate_corpus(&GenConfig { original_posts: 5_000, users: 1_500, ..GenConfig::default() });
     println!("corpus: {} posts by {} users", corpus.len(), corpus.user_count());
 
     // 2. Build the engine: MapReduce hybrid index (geohash + term keys over
     //    a simulated 3-node DFS), metadata database (B+-trees on sid, rsid,
     //    uid), and pre-computed popularity bounds.
-    let (mut engine, report) = TklusEngine::build(&corpus, &EngineConfig::default());
+    let (engine, report) = TklusEngine::build(&corpus, &EngineConfig::default());
     println!(
         "index: {} keys, {} postings, {} bytes on the simulated DFS (built in {:?})",
         report.keys, report.postings, report.index_bytes, report.total_time

@@ -13,11 +13,10 @@ use tklus::metrics::padded_kendall_tau;
 use tklus::model::{Semantics, TklusQuery, UserId};
 
 fn main() {
-    let corpus = generate_corpus(&GenConfig { original_posts: 8_000, users: 2_500, ..GenConfig::default() });
-    let (mut engine, _) = TklusEngine::build(
-        &corpus,
-        &EngineConfig { hot_keywords: 200, ..EngineConfig::default() },
-    );
+    let corpus =
+        generate_corpus(&GenConfig { original_posts: 8_000, users: 2_500, ..GenConfig::default() });
+    let (engine, _) =
+        TklusEngine::build(&corpus, &EngineConfig { hot_keywords: 200, ..EngineConfig::default() });
     let specs = generate_queries(&corpus, &QueryConfig::default());
 
     let mut worst: Option<(f64, TklusQuery, Vec<UserId>, Vec<UserId>)> = None;
@@ -45,13 +44,22 @@ fn main() {
                 continue;
             }
             let mean = taus.iter().sum::<f64>() / taus.len() as f64;
-            println!("{:<10} {:<9} {:>8} {:>10.3}", radius, semantics.to_string(), taus.len(), mean);
+            println!(
+                "{:<10} {:<9} {:>8} {:>10.3}",
+                radius,
+                semantics.to_string(),
+                taus.len(),
+                mean
+            );
         }
     }
 
     if let Some((tau, q, sum, max)) = worst {
         println!("\nmost-disagreeing query (tau {tau:.3}):");
-        println!("  keywords {:?}, radius {} km, {} semantics", q.keywords, q.radius_km, q.semantics);
+        println!(
+            "  keywords {:?}, radius {} km, {} semantics",
+            q.keywords, q.radius_km, q.semantics
+        );
         println!("  {:<4} {:<12} {:<12}", "rank", "sum", "maximum");
         for i in 0..5 {
             let s = sum.get(i).map(|u| u.to_string()).unwrap_or_default();

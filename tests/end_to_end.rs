@@ -24,7 +24,8 @@ fn reference_topk(
 ) -> Vec<(UserId, f64)> {
     let pipeline = TextPipeline::new();
     let network = SocialNetwork::from_corpus(corpus);
-    let stems: Vec<String> = q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
+    let stems: Vec<String> =
+        q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
     let mut per_user: HashMap<UserId, f64> = HashMap::new();
     for post in corpus.posts() {
         let d = q.location.distance_km(&post.location, config.metric);
@@ -32,7 +33,8 @@ fn reference_topk(
             continue;
         }
         let terms = pipeline.terms(&post.text);
-        let occurrences: u32 = stems.iter().map(|s| terms.iter().filter(|t| *t == s).count() as u32).sum();
+        let occurrences: u32 =
+            stems.iter().map(|s| terms.iter().filter(|t| *t == s).count() as u32).sum();
         let qualifies = match q.semantics {
             Semantics::And => stems.iter().all(|s| terms.contains(s)) && !stems.is_empty(),
             Semantics::Or => occurrences > 0,
@@ -41,7 +43,8 @@ fn reference_topk(
             continue;
         }
         let mut provider = &network;
-        let phi = build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
+        let phi =
+            build_thread(&mut provider, post.id, config.thread_depth).popularity(config.epsilon);
         let rho = occurrences as f64 / config.keyword_norm * phi;
         let entry = per_user.entry(post.user).or_insert(0.0);
         if use_max {
@@ -80,13 +83,16 @@ fn reference_topk(
 fn engine_matches_brute_force_reference() {
     let corpus = small_corpus(0xAB);
     let config = EngineConfig::default();
-    let (mut engine, _) = TklusEngine::build(&corpus, &config);
+    let (engine, _) = TklusEngine::build(&corpus, &config);
     let specs = generate_queries(&corpus, &QueryConfig::default());
     let mut compared = 0;
     for spec in specs.iter().step_by(7).take(8) {
         for semantics in [Semantics::And, Semantics::Or] {
-            let q = TklusQuery::new(spec.location, 25.0, spec.keywords.clone(), 5, semantics).unwrap();
-            for (ranking, use_max) in [(Ranking::Sum, false), (Ranking::Max(BoundsMode::HotKeywords), true)] {
+            let q =
+                TklusQuery::new(spec.location, 25.0, spec.keywords.clone(), 5, semantics).unwrap();
+            for (ranking, use_max) in
+                [(Ranking::Sum, false), (Ranking::Max(BoundsMode::HotKeywords), true)]
+            {
                 let (got, _) = engine.query(&q, ranking);
                 let want = reference_topk(&corpus, &q, use_max, &config.scoring);
                 assert_eq!(got.len(), want.len(), "{:?} {semantics:?} {ranking:?}", spec.keywords);
@@ -104,18 +110,20 @@ fn engine_matches_brute_force_reference() {
 #[test]
 fn pruning_never_changes_results() {
     let corpus = small_corpus(0xCD);
-    let (mut engine, _) =
+    let (engine, _) =
         TklusEngine::build(&corpus, &EngineConfig { hot_keywords: 200, ..EngineConfig::default() });
     let specs = generate_queries(&corpus, &QueryConfig::default());
     for spec in specs.iter().step_by(11).take(6) {
         for radius in [10.0, 50.0] {
-            let q = TklusQuery::new(spec.location, radius, spec.keywords.clone(), 5, Semantics::Or).unwrap();
+            let q = TklusQuery::new(spec.location, radius, spec.keywords.clone(), 5, Semantics::Or)
+                .unwrap();
             let (global, _) = engine.query(&q, Ranking::Max(BoundsMode::Global));
             let (hot, _) = engine.query(&q, Ranking::Max(BoundsMode::HotKeywords));
             assert_eq!(
                 global.iter().map(|r| r.user).collect::<Vec<_>>(),
                 hot.iter().map(|r| r.user).collect::<Vec<_>>(),
-                "bound mode must not change results for {:?}", spec.keywords
+                "bound mode must not change results for {:?}",
+                spec.keywords
             );
         }
     }
@@ -125,12 +133,14 @@ fn pruning_never_changes_results() {
 fn returned_users_always_qualify() {
     // Problem Definition condition 1 holds for every returned user.
     let corpus = small_corpus(0xEF);
-    let (mut engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+    let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
     let pipeline = TextPipeline::new();
     let specs = generate_queries(&corpus, &QueryConfig::default());
     for spec in specs.iter().step_by(9).take(10) {
-        let q = TklusQuery::new(spec.location, 20.0, spec.keywords.clone(), 10, Semantics::Or).unwrap();
-        let stems: Vec<String> = q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
+        let q =
+            TklusQuery::new(spec.location, 20.0, spec.keywords.clone(), 10, Semantics::Or).unwrap();
+        let stems: Vec<String> =
+            q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
         let (top, _) = engine.query(&q, Ranking::Sum);
         for r in &top {
             let ok = corpus.posts_of(r.user).any(|p| {
@@ -145,12 +155,14 @@ fn returned_users_always_qualify() {
 #[test]
 fn and_results_subset_of_or_candidates() {
     let corpus = small_corpus(0x11);
-    let (mut engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+    let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
     let specs = generate_queries(&corpus, &QueryConfig::default());
     // Multi-keyword specs only.
     for spec in specs.iter().filter(|s| s.keywords.len() >= 2).step_by(5).take(6) {
-        let and_q = TklusQuery::new(spec.location, 30.0, spec.keywords.clone(), 50, Semantics::And).unwrap();
-        let or_q = TklusQuery::new(spec.location, 30.0, spec.keywords.clone(), 50, Semantics::Or).unwrap();
+        let and_q = TklusQuery::new(spec.location, 30.0, spec.keywords.clone(), 50, Semantics::And)
+            .unwrap();
+        let or_q =
+            TklusQuery::new(spec.location, 30.0, spec.keywords.clone(), 50, Semantics::Or).unwrap();
         let (_, and_stats) = engine.query(&and_q, Ranking::Sum);
         let (_, or_stats) = engine.query(&or_q, Ranking::Sum);
         assert!(
@@ -178,10 +190,13 @@ fn geohash_length_does_not_change_results() {
         })
         .collect();
     for spec in specs.iter().step_by(13).take(5) {
-        let q = TklusQuery::new(spec.location, 15.0, spec.keywords.clone(), 5, Semantics::Or).unwrap();
-        let reference: Vec<UserId> = engines[0].query(&q, Ranking::Sum).0.iter().map(|r| r.user).collect();
+        let q =
+            TklusQuery::new(spec.location, 15.0, spec.keywords.clone(), 5, Semantics::Or).unwrap();
+        let reference: Vec<UserId> =
+            engines[0].query(&q, Ranking::Sum).0.iter().map(|r| r.user).collect();
         for engine in engines.iter_mut().skip(1) {
-            let got: Vec<UserId> = engine.query(&q, Ranking::Sum).0.iter().map(|r| r.user).collect();
+            let got: Vec<UserId> =
+                engine.query(&q, Ranking::Sum).0.iter().map(|r| r.user).collect();
             assert_eq!(got, reference, "length changed the answer for {:?}", spec.keywords);
         }
     }
@@ -191,11 +206,17 @@ fn geohash_length_does_not_change_results() {
 fn deterministic_end_to_end() {
     let run = || {
         let corpus = small_corpus(0x33);
-        let (mut engine, report) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let (engine, report) = TklusEngine::build(&corpus, &EngineConfig::default());
         let specs = generate_queries(&corpus, &QueryConfig::default());
-        let q = TklusQuery::new(specs[0].location, 20.0, specs[0].keywords.clone(), 5, Semantics::Or).unwrap();
+        let q =
+            TklusQuery::new(specs[0].location, 20.0, specs[0].keywords.clone(), 5, Semantics::Or)
+                .unwrap();
         let (top, _) = engine.query(&q, Ranking::Sum);
-        (report.keys, report.index_bytes, top.iter().map(|r| (r.user, r.score.to_bits())).collect::<Vec<_>>())
+        (
+            report.keys,
+            report.index_bytes,
+            top.iter().map(|r| (r.user, r.score.to_bits())).collect::<Vec<_>>(),
+        )
     };
     assert_eq!(run(), run(), "whole pipeline is deterministic");
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the criterion API surface the `crates/bench` microbenches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: per benchmark it calibrates an
+//! iteration count (~5 ms per sample), takes `sample_size` samples, and
+//! prints min/median ns-per-iter to stdout. No HTML reports, no
+//! statistical regression testing — good enough for relative comparisons
+//! on one machine, which is how this repo's benches are read.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function part and a parameter part.
+    pub fn new<S: Display, P: Display>(function_id: S, parameter: P) -> Self {
+        Self { label: format!("{function_id}/{parameter}") }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calibrates, then times `self.samples` batches of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            // Aim straight for the target to keep calibration cheap.
+            let grow = if elapsed < Duration::from_micros(50) { 16 } else { 4 };
+            iters = iters.saturating_mul(grow);
+        }
+        self.results_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.results_ns.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.results_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{label:<50} median {median:>12.1} ns/iter  (min {min:.1}, {} samples)",
+            sorted.len()
+        );
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, results_ns: Vec::new() };
+    f(&mut b);
+    b.report(label);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line, matching criterion's API shape).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, 20, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("free_standing", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_records_samples() {
+        benches();
+        let mut b = Bencher { samples: 4, results_ns: Vec::new() };
+        b.iter(|| black_box(42));
+        assert_eq!(b.results_ns.len(), 4);
+        assert!(b.results_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::from("lone").label, "lone");
+    }
+}

@@ -1,0 +1,642 @@
+//! Offline stand-in for `proptest`: deterministic generate-and-check.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the proptest surface the workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`/`boxed`,
+//! range/tuple/regex-string strategies, [`collection`] strategies,
+//! [`prop_oneof!`], `any::<T>()`, and [`ProptestConfig`].
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **no shrinking** — a failing case reports its case number and the
+//!   per-test seed; reruns are deterministic, so failures reproduce;
+//! * string strategies support the regex subset the tests use
+//!   (concatenations of `.`, `[a-z0-9A-Z]`-style classes, and literals,
+//!   each with an optional `{m,n}` quantifier);
+//! * case count defaults to 64 (upstream 256) to keep CI fast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies; deterministic per test name.
+pub type TestRng = StdRng;
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the string is the panic message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the runner retries.
+    Reject,
+}
+
+/// Runner configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Builds the deterministic per-test RNG (helper for the [`proptest!`]
+/// expansion, so calling crates need no direct `rand` dependency).
+pub fn rng_for(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// Full-domain strategies for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates `T` uniformly over its whole domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for FullRange<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// The full-domain strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: &str literals are strategies.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// `.` — a broad palette of printable ASCII plus some Unicode.
+    Any,
+    /// `[a-zA-Z0-9]`-style class, as inclusive char ranges.
+    Ranges(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+impl CharSet {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Lit(c) => *c,
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick).expect("class range is valid");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total")
+            }
+            CharSet::Any => {
+                // Weighted palette: mostly printable ASCII (including
+                // uppercase and punctuation, to stress tokenizers), with
+                // some whitespace, accented letters, CJK, and emoji.
+                match rng.gen_range(0u32..100) {
+                    0..=69 => char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("ascii"),
+                    70..=79 => *['\t', '\n', ' ', ' '].get(rng.gen_range(0..4)).expect("len 4"),
+                    80..=89 => char::from_u32(rng.gen_range(0xC0u32..0x17F)).expect("latin ext"),
+                    90..=95 => char::from_u32(rng.gen_range(0x4E00u32..0x4FFF)).expect("cjk"),
+                    _ => char::from_u32(rng.gen_range(0x1F600u32..0x1F640)).expect("emoji"),
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // ']'
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                CharSet::Lit(c)
+            }
+            c => {
+                i += 1;
+                CharSet::Lit(c)
+            }
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.set.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Size bounds accepted by the collection strategies.
+    pub trait SizeRange {
+        /// Draws a target size.
+        fn sample_size(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_size(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_size(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_size(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s; the target size is best-effort (duplicates
+    /// are retried a bounded number of times, as in upstream proptest).
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A set of roughly `size` elements drawn from `element`.
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample_size(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(10) + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Generates `None` about a quarter of the time, `Some` otherwise
+    /// (upstream's default `Some` probability is 0.75 too).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option<T>` values drawn from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case with a message; `prop_assert!(cond)` or
+/// `prop_assert!(cond, "fmt {args}")`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (the runner draws fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[$first_meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $(#[$first_meta])* fn $($rest)*);
+    };
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng: $crate::TestRng = $crate::rng_for(seed);
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20);
+                while passed < config.cases {
+                    assert!(
+                        attempts < max_attempts,
+                        "proptest {}: too many prop_assume! rejections ({} attempts, {} passed)",
+                        stringify!($name), attempts, passed
+                    );
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {} (seed {:#x}): {}",
+                                stringify!($name), attempts, seed, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{3,30}".generate(&mut rng);
+            assert!((3..=30).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let t = ".{0,200}".generate(&mut rng);
+            assert!(t.chars().count() <= 200);
+            let u = "[a-zA-Z0-9]{5}".generate(&mut rng);
+            assert_eq!(u.len(), 5);
+            assert!(u.bytes().all(|b| b.is_ascii_alphanumeric()));
+            let v = "ab[0-9]{2}".generate(&mut rng);
+            assert!(v.starts_with("ab") && v.len() == 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (1usize..=4, -2i32..3)) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=4).contains(&a));
+            prop_assert!((-2..3).contains(&b));
+        }
+
+        #[test]
+        fn oneof_map_and_collections(
+            v in crate::collection::vec(prop_oneof![0u8..10, 200u8..=255], 0..50),
+            s in crate::collection::btree_set(0u32..1000, 0..64),
+            y in any::<u64>().prop_map(|n| n % 7),
+        ) {
+            prop_assert!(v.iter().all(|&e| e < 10 || e >= 200));
+            prop_assert!(s.len() < 64);
+            prop_assert!(y < 7);
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() <= 49, "len={}", v.len());
+        }
+    }
+}

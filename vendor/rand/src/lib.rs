@@ -1,0 +1,343 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements the slice of the rand API the workspace uses: a seedable
+//! deterministic [`rngs::StdRng`] (xoshiro256** seeded via splitmix64),
+//! the [`Rng`] extension surface (`gen`, `gen_range`, `gen_bool`), and
+//! [`seq::SliceRandom`] (`choose`, `choose_multiple`, `shuffle`).
+//!
+//! Determinism contract: for a fixed seed the output stream is fixed
+//! forever within this repository (corpus generation and tests depend on
+//! it). The stream is NOT bit-compatible with upstream rand — all seeds in
+//! this repo produced their fixtures through this implementation.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their full domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types with uniform range sampling, for [`Rng::gen_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; caller guarantees `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`; caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Widening-multiply (Lemire-style) bounded draw; bias is < 2^-64 per call,
+/// far below anything the statistical tests in this repo can resolve.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded_u64(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::from_rng(rng) * (hi - lo)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::from_rng(rng) * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// User-facing sampling methods; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value over the full domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform value from `range`. Panics on empty ranges.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// with splitmix64 seed expansion.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence sampling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from slices; implemented for `[T]`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount` distinct elements (clamped to `len`) in random order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index table: first `amount`
+            // slots end up holding a uniform random sample.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx[..amount].iter().map(|&i| &self[i]).collect::<Vec<_>>().into_iter()
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+        // Both endpoints of an inclusive range are reachable.
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn slice_random_surface() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool: Vec<u32> = (0..50).collect();
+        assert!(pool.choose(&mut rng).is_some());
+        assert!(Vec::<u32>::new().choose(&mut rng).is_none());
+        let picked: Vec<&u32> = pool.choose_multiple(&mut rng, 10).collect();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "choose_multiple must not repeat");
+        // Over-asking clamps to len.
+        assert_eq!(pool.choose_multiple(&mut rng, 99).count(), 50);
+        let mut arr: Vec<u32> = (0..100).collect();
+        arr.shuffle(&mut rng);
+        let mut sorted = arr.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(arr, sorted, "a 100-element shuffle staying sorted is ~impossible");
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `rand_distr` 0.4: the [`Normal`] and [`Zipf`]
+//! distributions the corpus generator samples from.
+//!
+//! As with the vendored `rand`, streams are deterministic per seed but not
+//! bit-compatible with upstream — every fixture in this repo was produced
+//! through these implementations.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that can be sampled given a bit source.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid [`Normal`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Normal requires a finite mean and a finite non-negative std_dev")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Validates parameters; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the paired variate is discarded so that each call
+        // consumes a fixed amount of the stream (keeps replay simple).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Invalid [`Zipf`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Zipf requires n >= 1 and a finite non-negative exponent")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n`: P(k) ∝ k^(-s).
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table — O(n)
+/// memory at construction, O(log n) per sample. The generator builds one
+/// instance per corpus, so the table cost is paid once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf<F> {
+    cumulative: Vec<F>,
+}
+
+impl Zipf<f64> {
+    /// Validates parameters; `n` must be at least 1 and `s` finite, `>= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return Err(ZipfError);
+        }
+        let n = usize::try_from(n).map_err(|_| ZipfError)?;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Ok(Self { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    /// Returns the sampled rank as `f64`, in `1.0..=n`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cumulative.last().expect("n >= 1");
+        let u: f64 = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        (idx.min(self.cumulative.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.2, "var={var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zipf_ranks_in_domain_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            let r = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&r));
+            assert_eq!(r.fract(), 0.0, "ranks are integral");
+            counts[r as usize - 1] += 1;
+        }
+        // Rank 1 should appear far more often than rank 50.
+        assert!(counts[0] > 5 * counts[49], "c1={} c50={}", counts[0], counts[49]);
+        // With s=1 and 50k draws, every low rank is hit.
+        assert!(counts[..10].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = Zipf::new(4, 0.0).unwrap();
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[d.sample(&mut rng) as usize - 1] += 1;
+        }
+        assert!(counts.iter().all(|&c| (9_000..11_000).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -0.5).is_err());
+        assert!(Zipf::new(1, 2.0).is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker traits named `Serialize`/`Deserialize` plus the no-op
+//! derive macros of the same names (real serde does the same dual-namespace
+//! re-export). The traits carry no methods: nothing in this workspace
+//! serializes through generic serde bounds — the one JSON ingestion path
+//! parses via `serde_json::Value` explicitly.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` namespace stub.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace stub.
+pub mod ser {
+    pub use crate::Serialize;
+}

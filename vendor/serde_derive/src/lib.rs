@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types purely as
+//! a forward-compatibility affordance — nothing in-tree consumes the trait
+//! impls through generic bounds (the one real JSON path, `tklus-gen`'s ETL,
+//! parses through `serde_json::Value` directly). These derives therefore
+//! expand to nothing; they exist so `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` helper attributes keep compiling without crates.io
+//! access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

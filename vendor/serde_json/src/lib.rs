@@ -1,0 +1,420 @@
+//! Offline stand-in for `serde_json`: a compact, self-contained JSON
+//! parser producing a [`Value`] tree.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the subset of serde_json the workspace needs: parsing
+//! line-delimited tweet JSON into a dynamically-typed [`Value`] (the ETL
+//! extracts fields explicitly rather than through derived `Deserialize`).
+//! The parser accepts the full JSON grammar: objects, arrays, strings with
+//! escapes (including `\uXXXX` and surrogate pairs), numbers, booleans,
+//! and null.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Keys are unique; later duplicates win, as in serde_json.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number, preserving integer-ness so `u64` ids round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer without fraction/exponent.
+    PosInt(u64),
+    /// Negative integer without fraction/exponent.
+    NegInt(i64),
+    /// Everything else.
+    Float(f64),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for any other variant.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::NegInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, for any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// A parse failure, with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a complete JSON document from `input`. Trailing non-whitespace
+/// is an error, as in serde_json.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error { msg: msg.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy a run of plain bytes (UTF-8 passes through).
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if text.is_empty() || text == "-" {
+            return Err(self.err("malformed number"));
+        }
+        let num = if is_float {
+            Number::Float(text.parse::<f64>().map_err(|_| self.err("malformed number"))?)
+        } else if let Some(neg) = text.strip_prefix('-') {
+            let _ = neg;
+            Number::NegInt(text.parse::<i64>().map_err(|_| self.err("integer overflow"))?)
+        } else {
+            Number::PosInt(text.parse::<u64>().map_err(|_| self.err("integer overflow"))?)
+        };
+        Ok(Value::Number(num))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tweet_shaped_object() {
+        let v = from_str(
+            r#"{"id": 123, "user_id": 7, "text": "at the hotel",
+                "coordinates": {"lat": 43.7, "lon": -79.4},
+                "in_reply_to_status_id": 100, "retweeted_status_id": null}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(123));
+        assert_eq!(v.get("text").and_then(Value::as_str), Some("at the hotel"));
+        let coords = v.get("coordinates").unwrap();
+        assert_eq!(coords.get("lat").and_then(Value::as_f64), Some(43.7));
+        assert_eq!(coords.get("lon").and_then(Value::as_f64), Some(-79.4));
+        assert!(v.get("retweeted_status_id").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn u64_ids_roundtrip_exactly() {
+        let v = from_str(&format!("{{\"id\": {}}}", u64::MAX)).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = from_str(r#""a\n\t\"\\ é 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\ é 😀"));
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let v = from_str(r#"[1, -2, 3.5, [true, false, null], {"k": []}]"#).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_i64(), Some(-2));
+        assert_eq!(arr[2].as_f64(), Some(3.5));
+        assert_eq!(arr[3].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("nulls").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = from_str(" \t\r\n { \"a\" : 1 } \n").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+    }
+}
