@@ -7,7 +7,8 @@
 //! tklus query       --lat 43.6839 --lon -79.3736 --radius 10 \
 //!                   --keywords hotel,spa --k 5 --ranking max --semantics or \
 //!                   [--corpus corpus.tsv] [--index index_dir/] \
-//!                   [--since T --until T] [--now T --half-life H]
+//!                   [--since T --until T] [--now T --half-life H] \
+//!                   [--cover-cache N --postings-cache N --thread-cache N]
 //! ```
 //!
 //! Corpora travel between invocations as TSV files (`tklus generate --out`)
@@ -19,7 +20,7 @@ mod args;
 
 use args::{ArgError, Args};
 use std::path::PathBuf;
-use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_core::{BoundsMode, CacheConfig, EngineConfig, Ranking, TklusEngine};
 use tklus_gen::{generate_corpus, load_tsv, save_tsv, GenConfig};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Semantics, TklusQuery};
@@ -34,7 +35,8 @@ const USAGE: &str = "usage:
                     [--k K] [--ranking sum|max|max-global] [--semantics and|or]
                     [--corpus FILE.tsv] [--posts N] [--seed S] [--index DIR]
                     [--since T --until T] [--now T --half-life H]
-                    [--threads N]";
+                    [--threads N] [--cover-cache N] [--postings-cache N]
+                    [--thread-cache N]";
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -169,6 +171,9 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         "now",
         "half-life",
         "threads",
+        "cover-cache",
+        "postings-cache",
+        "thread-cache",
     ])?;
     let lat: f64 = args.require("lat")?;
     let lon: f64 = args.require("lon")?;
@@ -215,9 +220,16 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         return Err(ArgError("--threads must be at least 1".to_string()));
     }
 
+    // Per-layer query-cache budgets; 0 (the default) disables a layer.
+    let caches = CacheConfig {
+        cover: args.get_or("cover-cache", 0)?,
+        postings: args.get_or("postings-cache", 0)?,
+        thread: args.get_or("thread-cache", 0)?,
+    };
+
     let corpus = corpus_from(&args)?;
     let engine_config =
-        EngineConfig { hot_keywords: 200, parallelism: threads, ..EngineConfig::default() };
+        EngineConfig { hot_keywords: 200, parallelism: threads, caches, ..EngineConfig::default() };
     let engine = match args.get_str("index") {
         Some(dir) => {
             eprintln!("loading index from {dir} ...");
@@ -251,5 +263,20 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         stats.metadata_page_reads,
         stats.elapsed.as_secs_f64() * 1e3
     );
+    if caches != CacheConfig::default() {
+        let cs = engine.cache_stats();
+        println!(
+            "caches: cover {}/{} hit ({:.0}%), postings {}/{} ({:.0}%), thread {}/{} ({:.0}%)",
+            cs.cover.hits,
+            cs.cover.hits + cs.cover.misses,
+            cs.cover.hit_rate() * 100.0,
+            cs.postings.hits,
+            cs.postings.hits + cs.postings.misses,
+            cs.postings.hit_rate() * 100.0,
+            cs.thread.hits,
+            cs.thread.hits + cs.thread.misses,
+            cs.thread.hit_rate() * 100.0,
+        );
+    }
     Ok(())
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use tklus_graph::{build_thread, upper_bound_popularity, SocialNetwork};
-use tklus_model::{Corpus, ScoringConfig, Semantics};
+use tklus_model::{Corpus, ScoringConfig, Semantics, TweetId};
 use tklus_text::{TermId, TextPipeline, Vocab};
 
 /// Which popularity bound Algorithm 5 consults.
@@ -44,6 +44,24 @@ impl BoundsTable {
         hot_n: usize,
         config: &ScoringConfig,
     ) -> Self {
+        Self::precompute_with_seed(corpus, network, vocab, hot_n, config, |_, _| {})
+    }
+
+    /// [`Self::precompute`], also reporting every `(root tweet, φ)` pair it
+    /// computes to `seed`. The engine uses this to pre-warm its thread
+    /// cache: the threads built here are exactly the hot-keyword threads
+    /// queries are most likely to pay for, and φ depends only on the
+    /// thread's level sizes, so a value computed offline over the social
+    /// network equals what query time would compute over the metadata
+    /// database.
+    pub fn precompute_with_seed(
+        corpus: &Corpus,
+        network: &SocialNetwork,
+        vocab: &Vocab,
+        hot_n: usize,
+        config: &ScoringConfig,
+        mut seed: impl FnMut(TweetId, f64),
+    ) -> Self {
         let global =
             upper_bound_popularity(network.max_fanout(), config.thread_depth, config.epsilon);
         let pipeline = TextPipeline::new();
@@ -65,6 +83,7 @@ impl BoundsTable {
             let mut provider = network;
             let phi = build_thread(&mut provider, post.id, config.thread_depth)
                 .popularity(config.epsilon);
+            seed(post.id, phi);
             for t in matched {
                 let entry = hot.get_mut(&t).expect("hot term");
                 if phi > *entry {

@@ -7,8 +7,9 @@
 //! algorithm.
 
 use crate::bounds::{BoundsMode, BoundsTable};
+use crate::cache::{CacheConfig, CacheStats, QueryCaches};
 use crate::metadata::MetadataDb;
-use crate::query::{max::query_max, sum::query_sum, QueryStats, RankedUser};
+use crate::query::{max::query_max, sum::query_sum, QueryContext, QueryStats, RankedUser};
 use tklus_graph::SocialNetwork;
 use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
 use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery};
@@ -41,6 +42,11 @@ pub struct EngineConfig {
     /// `1` (the default) runs fully sequentially; any value produces
     /// byte-identical ranked results.
     pub parallelism: usize,
+    /// Entry budgets for the query cache hierarchy (cover, postings,
+    /// thread layers). All zero by default — caches off, matching the
+    /// paper's experimental setting. Any budgets produce byte-identical
+    /// ranked results; only query cost changes.
+    pub caches: CacheConfig,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +57,7 @@ impl Default for EngineConfig {
             cache_pages: 0,
             hot_keywords: 10,
             parallelism: 1,
+            caches: CacheConfig::default(),
         }
     }
 }
@@ -83,6 +90,7 @@ pub struct TklusEngine {
     pipeline: TextPipeline,
     scoring: ScoringConfig,
     parallelism: usize,
+    caches: QueryCaches,
 }
 
 // The whole point of the `&self` query API: one engine, many client
@@ -98,12 +106,17 @@ impl TklusEngine {
         let (index, report) = build_index(corpus.posts(), &config.index);
         let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
         let network = SocialNetwork::from_corpus(corpus);
-        let bounds = BoundsTable::precompute(
+        let caches = QueryCaches::new(config.caches);
+        // The bound precomputation already builds the hot-keyword threads
+        // offline; seeding their φ(p) values pre-warms the thread cache
+        // with exactly the threads most likely to dominate query cost.
+        let bounds = BoundsTable::precompute_with_seed(
             corpus,
             &network,
             index.vocab(),
             config.hot_keywords,
             &config.scoring,
+            |tid, phi| caches.thread.insert(tid, phi),
         );
         (
             Self {
@@ -113,6 +126,7 @@ impl TklusEngine {
                 pipeline: TextPipeline::new(),
                 scoring: config.scoring,
                 parallelism: config.parallelism.max(1),
+                caches,
             },
             report,
         )
@@ -127,12 +141,14 @@ impl TklusEngine {
         config.scoring.validate().expect("valid scoring config");
         let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
         let network = SocialNetwork::from_corpus(corpus);
-        let bounds = BoundsTable::precompute(
+        let caches = QueryCaches::new(config.caches);
+        let bounds = BoundsTable::precompute_with_seed(
             corpus,
             &network,
             index.vocab(),
             config.hot_keywords,
             &config.scoring,
+            |tid, phi| caches.thread.insert(tid, phi),
         );
         Self {
             index,
@@ -141,6 +157,7 @@ impl TklusEngine {
             pipeline: TextPipeline::new(),
             scoring: config.scoring,
             parallelism: config.parallelism.max(1),
+            caches,
         }
     }
 
@@ -170,13 +187,34 @@ impl TklusEngine {
         &self.scoring
     }
 
-    /// Normalizes raw query keywords to term ids. `None` entries are
-    /// keywords absent from the corpus dictionary (or normalized away).
+    /// A snapshot of the query-cache hierarchy's counters (all layers).
+    /// Counters are monotone: across two snapshots with queries in
+    /// between, hits and misses never decrease.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
+    }
+
+    /// Normalizes raw query keywords to term ids, position-aligned with
+    /// the input. `None` entries are keywords absent from the corpus
+    /// dictionary (or normalized away).
     pub fn resolve_keywords(&self, keywords: &[String]) -> Vec<Option<TermId>> {
         keywords
             .iter()
             .map(|kw| self.pipeline.normalize_keyword(kw).and_then(|t| self.index.vocab().get(&t)))
             .collect()
+    }
+
+    /// The distinct term ids a query's keywords resolve to, in first-
+    /// occurrence order; unknown keywords are dropped. Keywords that
+    /// normalize to the same term — exact duplicates, case variants,
+    /// inflections sharing a stem ("Hotels" and "hotel") — contribute
+    /// **one** term: Definition 6's `|q.W ∩ p.W|` counts matches against
+    /// the *set* of query keywords, so letting a duplicate through would
+    /// double-count every matching tweet's tf (and, under AND, intersect
+    /// a keyword's postings with themselves).
+    pub fn resolve_query_terms(&self, keywords: &[String]) -> Vec<TermId> {
+        let mut seen = std::collections::HashSet::new();
+        self.resolve_keywords(keywords).into_iter().flatten().filter(|&t| seen.insert(t)).collect()
     }
 
     /// Answers a TkLUS query with the chosen ranking method, using the
@@ -210,33 +248,30 @@ impl TklusEngine {
         ranking: Ranking,
         parallelism: usize,
     ) -> (Vec<RankedUser>, QueryStats) {
-        let resolved = self.resolve_keywords(&q.keywords);
         // Under AND, a keyword no tweet contains empties the result; under
-        // OR, unknown keywords are simply dropped.
-        let terms: Vec<TermId> = match q.semantics {
-            Semantics::And => {
-                if resolved.iter().any(Option::is_none) {
-                    return (Vec::new(), QueryStats::default());
-                }
-                resolved.into_iter().flatten().collect()
-            }
-            Semantics::Or => resolved.into_iter().flatten().collect(),
-        };
+        // OR, unknown keywords are simply dropped. The unknown check runs
+        // per input keyword, *before* deduplication, so an AND query with
+        // one known and one unknown keyword stays empty even if other
+        // keywords repeat.
+        if q.semantics == Semantics::And
+            && self.resolve_keywords(&q.keywords).iter().any(Option::is_none)
+        {
+            return (Vec::new(), QueryStats::default());
+        }
+        let terms = self.resolve_query_terms(&q.keywords);
         if terms.is_empty() {
             return (Vec::new(), QueryStats::default());
         }
+        let ctx = QueryContext {
+            index: &self.index,
+            db: &self.db,
+            caches: &self.caches,
+            scoring: &self.scoring,
+            parallelism,
+        };
         match ranking {
-            Ranking::Sum => query_sum(&self.index, &self.db, q, &terms, &self.scoring, parallelism),
-            Ranking::Max(mode) => query_max(
-                &self.index,
-                &self.db,
-                &self.bounds,
-                mode,
-                q,
-                &terms,
-                &self.scoring,
-                parallelism,
-            ),
+            Ranking::Sum => query_sum(&ctx, q, &terms),
+            Ranking::Max(mode) => query_max(&ctx, &self.bounds, mode, q, &terms),
         }
     }
 }
@@ -275,6 +310,158 @@ mod tests {
         // Both "hotel"-family keywords resolve to the same term id.
         let direct = engine.resolve_keywords(&["hotel".to_string()]);
         assert_eq!(resolved[0], direct[0]);
+    }
+
+    #[test]
+    fn duplicate_keywords_resolve_to_one_term() {
+        let (engine, _) = TklusEngine::build(&corpus(), &EngineConfig::default());
+        // "hotel", "Hotels", and "HOTEL" all normalize to the same stem;
+        // the query term set must contain it exactly once so Definition
+        // 6's occurrence count is not inflated.
+        let terms = engine.resolve_query_terms(&[
+            "hotel".to_string(),
+            "Hotels".to_string(),
+            "HOTEL".to_string(),
+            "pizza".to_string(),
+            "hotel".to_string(),
+        ]);
+        assert_eq!(terms.len(), 2, "expected [hotel, pizza], got {terms:?}");
+        let direct = engine.resolve_query_terms(&["hotel".to_string(), "pizza".to_string()]);
+        assert_eq!(terms, direct);
+        // Unknown keywords drop out without affecting dedup.
+        let with_unknown = engine.resolve_query_terms(&[
+            "zzzunknown".to_string(),
+            "hotel".to_string(),
+            "Hotels".to_string(),
+        ]);
+        assert_eq!(with_unknown, engine.resolve_query_terms(&["hotel".to_string()]));
+    }
+
+    #[test]
+    fn duplicate_keywords_do_not_inflate_scores() {
+        // Regression: a query repeating a keyword (verbatim or as a case or
+        // inflection variant) must score identically to the deduplicated
+        // query. Before the fix, each duplicate re-fetched the keyword's
+        // postings, doubling tf — and so N of Definition 6's ρ(p,q) — under
+        // OR, and self-intersecting under AND.
+        let corpus = corpus();
+        let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let here = Point::new_unchecked(43.7, -79.4);
+        let qk = |keywords: Vec<&str>, semantics| {
+            tklus_model::TklusQuery::new(
+                here,
+                10.0,
+                keywords.into_iter().map(String::from).collect(),
+                5,
+                semantics,
+            )
+            .unwrap()
+        };
+        for semantics in [Semantics::Or, Semantics::And] {
+            for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::HotKeywords)] {
+                let (clean, _) = engine.query(&qk(vec!["hotel"], semantics), ranking);
+                let (duped, _) =
+                    engine.query(&qk(vec!["hotel", "Hotels", "hotel"], semantics), ranking);
+                assert_eq!(clean.len(), duped.len(), "{semantics:?}/{ranking:?}");
+                for (a, b) in clean.iter().zip(&duped) {
+                    assert_eq!(a.user, b.user, "{semantics:?}/{ranking:?}");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "{semantics:?}/{ranking:?}: {} vs {}",
+                        a.score,
+                        b.score
+                    );
+                }
+            }
+        }
+        // AND with an unknown keyword is still empty even when a known
+        // keyword repeats (the unknown check precedes deduplication).
+        let (empty, _) =
+            engine.query(&qk(vec!["hotel", "hotel", "zzzunknown"], Semantics::And), Ranking::Sum);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn keyword_order_does_not_change_results() {
+        // Definition 6 scores the *set* of query keywords, so any
+        // permutation (with or without duplicates) is the same query and
+        // must produce bit-identical rankings.
+        let corpus = corpus();
+        let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let here = Point::new_unchecked(43.7, -79.4);
+        let permutations: [&[&str]; 3] =
+            [&["hotel", "pizza"], &["pizza", "hotel"], &["pizza", "hotel", "Hotels", "pizza"]];
+        for semantics in [Semantics::Or, Semantics::And] {
+            for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::HotKeywords)] {
+                let runs: Vec<_> = permutations
+                    .iter()
+                    .map(|kws| {
+                        let q = tklus_model::TklusQuery::new(
+                            here,
+                            10.0,
+                            kws.iter().map(|s| s.to_string()).collect(),
+                            5,
+                            semantics,
+                        )
+                        .unwrap();
+                        engine.query(&q, ranking).0
+                    })
+                    .collect();
+                for other in &runs[1..] {
+                    assert_eq!(runs[0].len(), other.len(), "{semantics:?}/{ranking:?}");
+                    for (a, b) in runs[0].iter().zip(other) {
+                        assert_eq!(a.user, b.user, "{semantics:?}/{ranking:?}");
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "{semantics:?}/{ranking:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_start_cold_and_count_after_queries() {
+        let corpus = corpus();
+        let config = EngineConfig {
+            caches: crate::cache::CacheConfig { cover: 8, postings: 32, thread: 32 },
+            ..EngineConfig::default()
+        };
+        let (engine, _) = TklusEngine::build(&corpus, &config);
+        let warm = engine.cache_stats();
+        // The bounds precomputation pre-warms the thread cache.
+        assert!(warm.thread.entries > 0, "bounds precompute seeds the thread cache");
+        assert_eq!(warm.cover.hits + warm.cover.misses, 0);
+        let q = tklus_model::TklusQuery::new(
+            Point::new_unchecked(43.7, -79.4),
+            10.0,
+            vec!["hotel".into()],
+            5,
+            Semantics::Or,
+        )
+        .unwrap();
+        let (cold_res, s1) = engine.query(&q, Ranking::Sum);
+        let (warm_res, s2) = engine.query(&q, Ranking::Sum);
+        assert_eq!(s1.cover_cache_misses, 1);
+        assert_eq!(s2.cover_cache_hits, 1);
+        assert!(s2.postings_cache_hits >= s1.postings_cache_hits);
+        // Identical results hot vs cold.
+        assert_eq!(cold_res.len(), warm_res.len());
+        for (a, b) in cold_res.iter().zip(&warm_res) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // Per-query tallies are consistent with the global counters.
+        let after = engine.cache_stats();
+        assert_eq!(after.cover.hits, s1.cover_cache_hits + s2.cover_cache_hits);
+        assert_eq!(after.cover.misses, s1.cover_cache_misses + s2.cover_cache_misses);
+        assert_eq!(after.postings.hits, s1.postings_cache_hits + s2.postings_cache_hits);
+        assert_eq!(after.postings.misses, s1.postings_cache_misses + s2.postings_cache_misses);
+        assert_eq!(after.thread.hits, s1.thread_cache_hits + s2.thread_cache_hits);
+        assert_eq!(after.thread.misses, s1.thread_cache_misses + s2.thread_cache_misses);
     }
 
     #[test]

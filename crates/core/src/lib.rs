@@ -12,6 +12,9 @@
 //!   (Def. 10).
 //! * [`bounds`] — the pruning bounds of Section V-B: the global upper bound
 //!   popularity (Def. 11) and the pre-computed per-hot-keyword bounds.
+//! * [`cache`] — the multi-level query cache hierarchy: memoized circle
+//!   covers, decoded postings lists, and thread popularities, each a
+//!   size-bounded lock-striped LRU layer with hit/miss accounting.
 //! * [`query`] — Algorithm 4 (Sum-score ranking) and Algorithm 5
 //!   (Maximum-score ranking with upper-bound pruning).
 //! * [`engine`] — [`engine::TklusEngine`], the end-to-end facade: build the
@@ -19,12 +22,14 @@
 //!   [`tklus_model::TklusQuery`]s with either ranking.
 
 pub mod bounds;
+pub mod cache;
 pub mod engine;
 pub mod metadata;
 pub mod query;
 pub mod score;
 
 pub use bounds::{BoundsMode, BoundsTable};
+pub use cache::{CacheConfig, CacheStats, QueryCaches};
 pub use engine::{EngineConfig, Ranking, TklusEngine};
 pub use metadata::{MetaRow, MetadataDb};
 pub use query::{QueryStats, RankedUser};

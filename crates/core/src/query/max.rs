@@ -22,16 +22,24 @@
 //! single-threaded run. Speculation can only inflate `metadata_page_reads`
 //! (I/O spent on threads the merge then discards); that is the price of the
 //! fan-out, not a change in what the algorithm computes.
+//!
+//! # Caching
+//!
+//! The cover/postings caches front the fetch and the thread cache fronts
+//! φ(p); every cached value is pure, so cached runs return identical
+//! results. One accounting nuance: a *speculative* φ probe touches the
+//! shared thread cache even when the merge later discards the candidate,
+//! so `thread_cache_hits`/`_misses` count every probe (keeping per-query
+//! tallies consistent with the global cache counters), while
+//! `threads_built`/`threads_pruned` keep replaying the live prune exactly.
 
 use crate::bounds::{BoundsMode, BoundsTable};
 use crate::metadata::MetadataDb;
-use crate::query::{candidates, parallel_map, top_k, QueryStats, RankedUser};
+use crate::query::{candidates, parallel_map, top_k, QueryContext, QueryStats, RankedUser};
 use crate::score::{tweet_keyword_score, upper_bound_user_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
 use tklus_geo::Point;
-use tklus_graph::build_thread;
-use tklus_index::HybridIndex;
 use tklus_model::{ScoringConfig, TklusQuery, UserId};
 use tklus_text::TermId;
 
@@ -108,9 +116,10 @@ struct Prepared {
     tf: u32,
     recency: f64,
     uid: UserId,
-    /// `(rho, delta)` if a worker built the thread speculatively; `None`
-    /// when the snapshot floor already proved the candidate prunable.
-    speculative: Option<(f64, f64)>,
+    /// `(rho, delta, thread-cache probe outcome)` if a worker scored the
+    /// candidate speculatively; `None` when the snapshot floor already
+    /// proved it prunable.
+    speculative: Option<(f64, f64, Option<bool>)>,
 }
 
 /// How many candidates each parallel round scores before the merge
@@ -126,29 +135,26 @@ const BLOCK_PER_WORKER: usize = 32;
 /// (an old tweet's best possible score shrinks by its decay factor), so
 /// recency-biased queries prune more, not less.
 ///
-/// `parallelism` fans the postings fetch and the block-speculative scoring
-/// across worker threads; the ranked output and prune/build counters are
-/// identical at any value (see the module docs for why).
-#[allow(clippy::too_many_arguments)]
-pub fn query_max(
-    index: &HybridIndex,
-    db: &MetadataDb,
+/// `ctx.parallelism` fans the postings fetch and the block-speculative
+/// scoring across worker threads; the ranked output and prune/build
+/// counters are identical at any value (see the module docs for why).
+pub(crate) fn query_max(
+    ctx: &QueryContext<'_>,
     bounds: &BoundsTable,
     mode: BoundsMode,
     query: &TklusQuery,
     terms: &[TermId],
-    config: &ScoringConfig,
-    parallelism: usize,
 ) -> (Vec<RankedUser>, QueryStats) {
     let start = Instant::now();
+    let db = ctx.db;
+    let config = ctx.scoring;
     let io_before = db.io().page_reads();
     let center = &query.location;
     let radius_km = query.radius_km;
     let k = query.k;
 
-    // Lines 1–14: identical to Algorithm 4.
-    let fetch =
-        index.fetch_for_query_parallel(center, radius_km, terms, config.metric, parallelism);
+    // Lines 1–14: identical to Algorithm 4, through the cache hierarchy.
+    let (fetch, tally) = ctx.fetch(center, radius_km, terms);
     let cands = candidates(&fetch, query.semantics);
 
     let mut stats = QueryStats {
@@ -156,6 +162,10 @@ pub fn query_max(
         lists_fetched: fetch.lists,
         dfs_bytes: fetch.bytes,
         candidates: cands.len(),
+        cover_cache_hits: tally.cover.map_or(0, u64::from),
+        cover_cache_misses: tally.cover.map_or(0, |hit| u64::from(!hit)),
+        postings_cache_hits: tally.postings_hits,
+        postings_cache_misses: tally.postings_misses,
         ..QueryStats::default()
     };
 
@@ -164,7 +174,7 @@ pub fn query_max(
     // Per-user distance scores are query-constant; cache them.
     let mut delta_cache: HashMap<UserId, f64> = HashMap::new();
 
-    if parallelism <= 1 {
+    if ctx.parallelism <= 1 {
         // Sequential path: the prune always sees the exact live floor, so
         // no speculative I/O is ever spent.
         for (tid, tf) in cands {
@@ -189,10 +199,13 @@ pub fn query_max(
                 }
             }
 
-            // Lines 20–22: construct the thread, score the tweet and user.
-            let thread = build_thread(&mut &*db, tid, config.thread_depth);
-            stats.threads_built += 1;
-            let phi = thread.popularity(config.epsilon);
+            // Lines 20–22: thread popularity (cached or constructed),
+            // tweet and user scores.
+            let (phi, probe) = ctx.popularity(tid);
+            stats.record_thread_probe(probe);
+            if probe != Some(true) {
+                stats.threads_built += 1;
+            }
             let rho = tweet_keyword_score(tf, phi, config) * recency;
             let uid = row.uid;
             let delta = match delta_cache.get(&uid) {
@@ -206,39 +219,45 @@ pub fn query_max(
             top.admit(uid, rho, delta, config);
         }
     } else {
-        let block = BLOCK_PER_WORKER * parallelism;
+        let block = BLOCK_PER_WORKER * ctx.parallelism;
         for chunk in cands.chunks(block) {
             // Snapshot the floor once per block. It can only be lower than
             // (or equal to) the live floor at any later merge point, so a
             // snapshot prune is always a subset of the live prune.
             let snapshot_floor = if top.is_full() { top.min_score() } else { None };
 
-            let prepared: Vec<Option<Prepared>> = parallel_map(chunk, parallelism, |&(tid, tf)| {
-                if !query.in_time_range(tid.0) {
-                    return None;
-                }
-                let row = db.row(tid)?;
-                if center.distance_km(&row.location, config.metric) > radius_km {
-                    return None;
-                }
-                let recency = query.recency_factor(tid.0);
-                let uid = row.uid;
-                if let Some(floor) = snapshot_floor {
-                    let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
-                    if upper <= floor {
-                        return Some(Prepared { tf, recency, uid, speculative: None });
+            let prepared: Vec<Option<Prepared>> =
+                parallel_map(chunk, ctx.parallelism, |&(tid, tf)| {
+                    if !query.in_time_range(tid.0) {
+                        return None;
                     }
-                }
-                let thread = build_thread(&mut &*db, tid, config.thread_depth);
-                let phi = thread.popularity(config.epsilon);
-                let rho = tweet_keyword_score(tf, phi, config) * recency;
-                let delta = user_distance_for(db, center, radius_km, uid, config);
-                Some(Prepared { tf, recency, uid, speculative: Some((rho, delta)) })
-            });
+                    let row = db.row(tid)?;
+                    if center.distance_km(&row.location, config.metric) > radius_km {
+                        return None;
+                    }
+                    let recency = query.recency_factor(tid.0);
+                    let uid = row.uid;
+                    if let Some(floor) = snapshot_floor {
+                        let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
+                        if upper <= floor {
+                            return Some(Prepared { tf, recency, uid, speculative: None });
+                        }
+                    }
+                    let (phi, probe) = ctx.popularity(tid);
+                    let rho = tweet_keyword_score(tf, phi, config) * recency;
+                    let delta = user_distance_for(db, center, radius_km, uid, config);
+                    Some(Prepared { tf, recency, uid, speculative: Some((rho, delta, probe)) })
+                });
 
             // Merge in candidate order, replaying the exact live prune.
             for p in prepared.into_iter().flatten() {
                 stats.in_radius += 1;
+                // A speculative probe touched the shared thread cache
+                // whether or not the live prune keeps the candidate, so it
+                // is tallied unconditionally.
+                if let Some((_, _, probe)) = p.speculative {
+                    stats.record_thread_probe(probe);
+                }
                 if top.is_full() {
                     let upper = upper_bound_user_score(p.tf, popularity_bound * p.recency, config);
                     if upper <= top.min_score().expect("full set has a min") {
@@ -248,9 +267,11 @@ pub fn query_max(
                 }
                 // Live floor did not prune, and the snapshot floor was no
                 // higher, so the worker must have scored this candidate.
-                let (rho, delta) =
+                let (rho, delta, probe) =
                     p.speculative.expect("snapshot prune is conservative w.r.t. the live floor");
-                stats.threads_built += 1;
+                if probe != Some(true) {
+                    stats.threads_built += 1;
+                }
                 let delta = *delta_cache.entry(p.uid).or_insert(delta);
                 top.admit(p.uid, rho, delta, config);
             }

@@ -8,8 +8,14 @@
 pub mod max;
 pub mod sum;
 
-use tklus_index::{intersect_sum, union_sum, QueryFetch};
-use tklus_model::{Semantics, TweetId, UserId};
+use crate::cache::QueryCaches;
+use crate::metadata::MetadataDb;
+use std::sync::Arc;
+use tklus_geo::{circle_cover, CoverKey, Geohash, Point};
+use tklus_graph::build_thread;
+use tklus_index::{intersect_sum, union_sum, HybridIndex, PostingsList, QueryFetch};
+use tklus_model::{ScoringConfig, Semantics, TweetId, UserId};
+use tklus_text::TermId;
 
 /// One result row: a user and their score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +48,174 @@ pub struct QueryStats {
     pub threads_pruned: usize,
     /// Physical metadata-database page reads incurred.
     pub metadata_page_reads: u64,
+    /// Circle covers served from the cover cache (0 or 1 per query; 0
+    /// whenever the layer is disabled).
+    pub cover_cache_hits: u64,
+    /// Circle covers computed because the (enabled) cover cache missed.
+    pub cover_cache_misses: u64,
+    /// Postings lists served decoded from the postings cache.
+    pub postings_cache_hits: u64,
+    /// Postings lists fetched from the DFS because the (enabled) postings
+    /// cache missed.
+    pub postings_cache_misses: u64,
+    /// Thread popularities φ(p) served from the thread cache.
+    pub thread_cache_hits: u64,
+    /// Thread popularities computed because the (enabled) thread cache
+    /// missed. Under parallel Maximum-score execution this also counts
+    /// speculative probes whose candidate the live prune later discarded,
+    /// so the per-query tallies stay consistent with the global cache
+    /// counters.
+    pub thread_cache_misses: u64,
+}
+
+impl QueryStats {
+    /// Folds one thread-cache probe outcome (`None` = layer disabled,
+    /// `Some(hit?)` otherwise) into the tallies.
+    pub(crate) fn record_thread_probe(&mut self, outcome: Option<bool>) {
+        match outcome {
+            Some(true) => self.thread_cache_hits += 1,
+            Some(false) => self.thread_cache_misses += 1,
+            None => {}
+        }
+    }
+}
+
+/// Per-fetch cache-probe tallies, folded into [`QueryStats`] by the caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FetchTally {
+    /// `Some(hit?)` when the cover cache is enabled, `None` otherwise.
+    pub cover: Option<bool>,
+    pub postings_hits: u64,
+    pub postings_misses: u64,
+}
+
+/// Everything query execution needs from the engine, bundled so both
+/// ranking algorithms run through the same cache-aware access paths.
+pub(crate) struct QueryContext<'a> {
+    pub index: &'a HybridIndex,
+    pub db: &'a MetadataDb,
+    pub caches: &'a QueryCaches,
+    pub scoring: &'a ScoringConfig,
+    pub parallelism: usize,
+}
+
+impl QueryContext<'_> {
+    /// The postings-retrieval phase of Algorithms 4/5 (lines 1–7), run
+    /// through the cache hierarchy: the circle cover through the cover
+    /// cache, each `⟨cell, term⟩` list through the postings cache, and
+    /// only the misses down to the DFS — in `(partition, offset)` order,
+    /// fanned over up to `parallelism` workers, exactly like
+    /// [`HybridIndex::fetch_for_query_parallel`].
+    ///
+    /// Per-keyword lists are assembled in cover order, which differs from
+    /// the uncached path's storage order; both orders feed the same
+    /// order-insensitive union/intersection, so candidates — and therefore
+    /// results — are identical. Directory misses (a `⟨cell, term⟩` with no
+    /// postings) are never cached: the in-memory forward lookup already
+    /// answers them for free.
+    pub(crate) fn fetch(
+        &self,
+        center: &Point,
+        radius_km: f64,
+        terms: &[TermId],
+    ) -> (QueryFetch, FetchTally) {
+        let mut tally = FetchTally::default();
+        let geohash_len = self.index.geohash_len();
+        let metric = self.scoring.metric;
+        let compute_cover = || {
+            Arc::new(
+                circle_cover(center, radius_km, geohash_len, metric)
+                    .expect("index geohash length is valid"),
+            )
+        };
+        let cover: Arc<Vec<Geohash>> = if self.caches.cover.is_enabled() {
+            let key = CoverKey::new(center, radius_km, geohash_len, metric);
+            match self.caches.cover.get(&key) {
+                Some(c) => {
+                    tally.cover = Some(true);
+                    c
+                }
+                None => {
+                    tally.cover = Some(false);
+                    let c = compute_cover();
+                    self.caches.cover.insert(key, Arc::clone(&c));
+                    c
+                }
+            }
+        } else {
+            compute_cover()
+        };
+
+        // Probe the postings cache in (keyword, cover-cell) order,
+        // reserving a slot per list so hits and later-fetched misses land
+        // in the same deterministic positions.
+        let mut per_keyword: Vec<Vec<Option<Arc<PostingsList>>>> =
+            terms.iter().map(|_| Vec::new()).collect();
+        let mut misses: Vec<(usize, usize, (Geohash, TermId), tklus_index::PostingsLocation)> =
+            Vec::new();
+        let mut lists = 0usize;
+        for (ki, &term) in terms.iter().enumerate() {
+            for &cell in cover.iter() {
+                let Some(loc) = self.index.forward().lookup(cell, term) else { continue };
+                lists += 1;
+                match self.caches.postings.get(&(cell, term)) {
+                    Some(list) => {
+                        tally.postings_hits += 1;
+                        per_keyword[ki].push(Some(list));
+                    }
+                    None => {
+                        if self.caches.postings.is_enabled() {
+                            tally.postings_misses += 1;
+                        }
+                        misses.push((ki, per_keyword[ki].len(), (cell, term), loc));
+                        per_keyword[ki].push(None);
+                    }
+                }
+            }
+        }
+
+        // Fetch the misses from the DFS in storage order (the locality the
+        // sorted ⟨geohash, term⟩ layout provides), then file each decoded
+        // list into its reserved slot and the cache.
+        misses.sort_by_key(|&(_, _, _, loc)| (loc.partition, loc.offset));
+        let fetched: Vec<(PostingsList, u64)> =
+            parallel_map(&misses, self.parallelism, |&(_, _, _, loc)| {
+                self.index.read_postings(loc)
+            });
+        let mut bytes = 0u64;
+        for (&(ki, slot, key, _), (list, b)) in misses.iter().zip(fetched) {
+            bytes += b;
+            let list = Arc::new(list);
+            self.caches.postings.insert(key, Arc::clone(&list));
+            per_keyword[ki][slot] = Some(list);
+        }
+        let per_keyword: Vec<Vec<Arc<PostingsList>>> = per_keyword
+            .into_iter()
+            .map(|lists| lists.into_iter().map(|l| l.expect("every slot filled")).collect())
+            .collect();
+        (QueryFetch { per_keyword, cells: cover.len(), lists, bytes }, tally)
+    }
+
+    /// Definition 4's thread popularity φ(p) for the thread rooted at
+    /// `tid`, through the thread cache. Returns the probe outcome
+    /// (`None` = layer disabled, `Some(hit?)` otherwise); the thread is
+    /// actually constructed exactly when the outcome is not `Some(true)`.
+    ///
+    /// Pure given the immutable corpus and the engine-fixed `thread_depth`
+    /// and `epsilon`, so any thread may compute and cache it.
+    pub(crate) fn popularity(&self, tid: TweetId) -> (f64, Option<bool>) {
+        if let Some(phi) = self.caches.thread.get(&tid) {
+            return (phi, Some(true));
+        }
+        let phi = build_thread(&mut &*self.db, tid, self.scoring.thread_depth)
+            .popularity(self.scoring.epsilon);
+        if self.caches.thread.is_enabled() {
+            self.caches.thread.insert(tid, phi);
+            (phi, Some(false))
+        } else {
+            (phi, None)
+        }
+    }
 }
 
 /// Lines 8–14 of Algorithms 4/5: combine the fetched postings lists into
@@ -53,8 +227,8 @@ pub struct QueryStats {
 pub(crate) fn candidates(fetch: &QueryFetch, semantics: Semantics) -> Vec<(TweetId, u32)> {
     match semantics {
         Semantics::Or => {
-            let all: Vec<tklus_index::PostingsList> =
-                fetch.per_keyword.iter().flatten().cloned().collect();
+            let all: Vec<Arc<PostingsList>> =
+                fetch.per_keyword.iter().flatten().map(Arc::clone).collect();
             union_sum(&all)
         }
         Semantics::And => {
@@ -118,7 +292,10 @@ mod tests {
             per_keyword: per_keyword
                 .into_iter()
                 .map(|lists| {
-                    lists.into_iter().map(|l| l.into_iter().collect::<PostingsList>()).collect()
+                    lists
+                        .into_iter()
+                        .map(|l| Arc::new(l.into_iter().collect::<PostingsList>()))
+                        .collect()
                 })
                 .collect(),
             cells: 0,

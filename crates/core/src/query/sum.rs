@@ -8,16 +8,16 @@
 //! Per-candidate scoring is pure given the shared read-only metadata
 //! database, so it fans out across worker threads; the per-user Sum
 //! accumulation stays sequential in candidate order, which makes the
-//! floating-point result byte-identical at any parallelism.
+//! floating-point result byte-identical at any parallelism. The cover,
+//! postings, and thread caches slot in transparently: every cached value
+//! is pure, so cached and uncached runs differ only in cost, never in
+//! results.
 
-use crate::metadata::MetadataDb;
-use crate::query::{candidates, parallel_map, top_k, QueryStats, RankedUser};
+use crate::query::{candidates, parallel_map, top_k, QueryContext, QueryStats, RankedUser};
 use crate::score::{tweet_keyword_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
-use tklus_graph::build_thread;
-use tklus_index::HybridIndex;
-use tklus_model::{ScoringConfig, TklusQuery, UserId};
+use tklus_model::{TklusQuery, UserId};
 use tklus_text::TermId;
 
 /// Runs Algorithm 4. `terms` are the query keywords already normalized to
@@ -27,25 +27,24 @@ use tklus_text::TermId;
 /// before any metadata I/O, and keyword relevance is decayed by the
 /// recency factor.
 ///
-/// `parallelism` is the number of worker threads for the postings fetch,
-/// the per-candidate thread scoring, and the per-user distance blend; the
-/// ranked output is identical at any value.
-pub fn query_sum(
-    index: &HybridIndex,
-    db: &MetadataDb,
+/// `ctx.parallelism` is the number of worker threads for the postings
+/// fetch, the per-candidate thread scoring, and the per-user distance
+/// blend; the ranked output is identical at any value.
+pub(crate) fn query_sum(
+    ctx: &QueryContext<'_>,
     query: &TklusQuery,
     terms: &[TermId],
-    config: &ScoringConfig,
-    parallelism: usize,
 ) -> (Vec<RankedUser>, QueryStats) {
     let start = Instant::now();
+    let db = ctx.db;
+    let config = ctx.scoring;
     let io_before = db.io().page_reads();
     let center = &query.location;
     let radius_km = query.radius_km;
 
-    // Lines 1–14: cover, fetch, AND/OR combine.
-    let fetch =
-        index.fetch_for_query_parallel(center, radius_km, terms, config.metric, parallelism);
+    // Lines 1–14: cover, fetch, AND/OR combine — through the cache
+    // hierarchy.
+    let (fetch, tally) = ctx.fetch(center, radius_km, terms);
     let cands = candidates(&fetch, query.semantics);
 
     let mut stats = QueryStats {
@@ -53,34 +52,41 @@ pub fn query_sum(
         lists_fetched: fetch.lists,
         dfs_bytes: fetch.bytes,
         candidates: cands.len(),
+        cover_cache_hits: tally.cover.map_or(0, u64::from),
+        cover_cache_misses: tally.cover.map_or(0, |hit| u64::from(!hit)),
+        postings_cache_hits: tally.postings_hits,
+        postings_cache_misses: tally.postings_misses,
         ..QueryStats::default()
     };
 
     // Lines 15–24, fan-out half: per-tweet relevance. Each slot is pure —
-    // radius check, thread construction, keyword score — and lands back in
-    // candidate order.
-    let scored: Vec<Option<(UserId, f64)>> = parallel_map(&cands, parallelism, |&(tid, tf)| {
-        // Temporal extension: the id is the timestamp, so the window
-        // check costs nothing and precedes all metadata I/O.
-        if !query.in_time_range(tid.0) {
-            return None;
-        }
-        let row = db.row(tid)?;
-        if center.distance_km(&row.location, config.metric) > radius_km {
-            return None;
-        }
-        let thread = build_thread(&mut &*db, tid, config.thread_depth);
-        let phi = thread.popularity(config.epsilon);
-        let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
-        Some((row.uid, rs))
-    });
+    // radius check, thread popularity (possibly cached), keyword score —
+    // and lands back in candidate order.
+    let scored: Vec<Option<(UserId, f64, Option<bool>)>> =
+        parallel_map(&cands, ctx.parallelism, |&(tid, tf)| {
+            // Temporal extension: the id is the timestamp, so the window
+            // check costs nothing and precedes all metadata I/O.
+            if !query.in_time_range(tid.0) {
+                return None;
+            }
+            let row = db.row(tid)?;
+            if center.distance_km(&row.location, config.metric) > radius_km {
+                return None;
+            }
+            let (phi, probe) = ctx.popularity(tid);
+            let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
+            Some((row.uid, rs, probe))
+        });
 
     // Fold half: per-user Sum scores accumulate sequentially in candidate
     // order, so float addition order never depends on scheduling.
     let mut users: HashMap<UserId, f64> = HashMap::new();
-    for &(uid, rs) in scored.iter().flatten() {
+    for &(uid, rs, probe) in scored.iter().flatten() {
         stats.in_radius += 1;
-        stats.threads_built += 1;
+        stats.record_thread_probe(probe);
+        if probe != Some(true) {
+            stats.threads_built += 1;
+        }
         *users.entry(uid).or_insert(0.0) += rs;
     }
 
@@ -89,7 +95,7 @@ pub fn query_sum(
     // in id order for deterministic I/O patterns.
     let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
     entries.sort_by_key(|e| e.0);
-    let ranked: Vec<RankedUser> = parallel_map(&entries, parallelism, |&(uid, rho_sum)| {
+    let ranked: Vec<RankedUser> = parallel_map(&entries, ctx.parallelism, |&(uid, rho_sum)| {
         let locations: Vec<tklus_geo::Point> =
             db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
         let delta = user_distance_score(center, radius_km, &locations, config);

@@ -13,7 +13,7 @@
 //!    while the striped buffer pool, DFS counters, and B⁺-trees are being
 //!    hammered concurrently.
 
-use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_core::{BoundsMode, CacheConfig, EngineConfig, QueryStats, Ranking, TklusEngine};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
 
@@ -141,6 +141,140 @@ fn query_batch_matches_individual_queries() {
             assert_eq!(g.score.to_bits(), w.score.to_bits());
         }
     }
+}
+
+/// Per-layer (hits, misses) totals accumulated from per-query [`QueryStats`]
+/// tallies, for checking against the engine's global cache counters.
+#[derive(Default, Clone, Copy)]
+struct CacheTally {
+    cover: (u64, u64),
+    postings: (u64, u64),
+    thread: (u64, u64),
+}
+
+impl CacheTally {
+    fn absorb(&mut self, s: &QueryStats) {
+        self.cover.0 += s.cover_cache_hits;
+        self.cover.1 += s.cover_cache_misses;
+        self.postings.0 += s.postings_cache_hits;
+        self.postings.1 += s.postings_cache_misses;
+        self.thread.0 += s.thread_cache_hits;
+        self.thread.1 += s.thread_cache_misses;
+    }
+
+    fn add(&mut self, other: &CacheTally) {
+        self.cover.0 += other.cover.0;
+        self.cover.1 += other.cover.1;
+        self.postings.0 += other.postings.0;
+        self.postings.1 += other.postings.1;
+        self.thread.0 += other.thread.0;
+        self.thread.1 += other.thread.1;
+    }
+}
+
+/// Cache-coherence under contention: 8 client threads replay a mixed
+/// repeated/unique query log against ONE engine with all three cache
+/// layers enabled (and sized small enough to evict), and every answer
+/// must be bit-identical to a cold, cache-disabled engine's. On top of
+/// the value check, the cache counters must behave like counters:
+/// monotone non-decreasing across snapshots taken mid-storm, and — once
+/// the storm settles — the global deltas must equal the sum of every
+/// query's own hit/miss tallies (nothing double- or under-counted even
+/// when threads race on the same keys).
+#[test]
+fn cached_engine_under_contention_matches_cold_uncached_engine() {
+    let corpus = corpus();
+    // Reference: caches off (EngineConfig::default() disables all layers).
+    let cold = engine_with_parallelism(&corpus, 1);
+    // Tiny budgets so the stress run keeps inserting and evicting instead
+    // of settling into an all-hit steady state.
+    let cached_config = EngineConfig {
+        parallelism: 2,
+        cache_pages: 96,
+        caches: CacheConfig { cover: 4, postings: 16, thread: 32 },
+        ..EngineConfig::default()
+    };
+    let cached = TklusEngine::build(&corpus, &cached_config).0;
+
+    // Mixed log: the repeated request set (cache-friendly), plus unique
+    // radius variants no other thread ever repeats (cache-hostile).
+    let mut log = queries();
+    let center = Point::new_unchecked(43.68, -79.38);
+    for i in 0..16u32 {
+        let keywords = vec!["hotel".to_string(), "coffee".to_string()];
+        let q = TklusQuery::new(center, 18.0 + f64::from(i) * 0.53, keywords, 3, Semantics::Or)
+            .unwrap();
+        log.push((q.clone(), Ranking::Sum));
+        log.push((q, Ranking::Max(BoundsMode::HotKeywords)));
+    }
+    let reference: Vec<_> = log.iter().map(|(q, r)| cold.query(q, *r)).collect();
+    assert!(reference.iter().any(|(top, _)| !top.is_empty()));
+
+    let before = cached.cache_stats();
+    let mut total = CacheTally::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t: usize| {
+                let cached = &cached;
+                let log = &log;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut tally = CacheTally::default();
+                    let mut last = cached.cache_stats();
+                    for round in 0..24 {
+                        let i = (t * 11 + round * 5) % log.len();
+                        let (q, ranking) = &log[i];
+                        let (top, stats) = cached.query(q, *ranking);
+                        let (want, _) = &reference[i];
+                        assert_eq!(top.len(), want.len(), "thread {t} round {round}");
+                        for (g, w) in top.iter().zip(want) {
+                            assert_eq!(g.user, w.user, "thread {t} round {round}");
+                            assert_eq!(
+                                g.score.to_bits(),
+                                w.score.to_bits(),
+                                "thread {t} round {round}: cached score diverged"
+                            );
+                        }
+                        tally.absorb(&stats);
+                        // Counters are monotone even while 7 other threads
+                        // hammer the same shards.
+                        let now = cached.cache_stats();
+                        for (prev, cur) in [
+                            (last.cover, now.cover),
+                            (last.postings, now.postings),
+                            (last.thread, now.thread),
+                        ] {
+                            assert!(cur.hits >= prev.hits, "thread {t} round {round}");
+                            assert!(cur.misses >= prev.misses, "thread {t} round {round}");
+                        }
+                        last = now;
+                    }
+                    tally
+                })
+            })
+            .collect();
+        for h in handles {
+            total.add(&h.join().expect("stress worker panicked"));
+        }
+    });
+
+    // Global counter movement is exactly the sum of what the queries
+    // reported: racing threads may each miss on the same key (both pay the
+    // compute), but every probe is counted once, on both sides.
+    let after = cached.cache_stats();
+    for (layer, before, after, (hits, misses)) in [
+        ("cover", before.cover, after.cover, total.cover),
+        ("postings", before.postings, after.postings, total.postings),
+        ("thread", before.thread, after.thread, total.thread),
+    ] {
+        assert_eq!(after.hits - before.hits, hits, "{layer} hit counter drifted");
+        assert_eq!(after.misses - before.misses, misses, "{layer} miss counter drifted");
+        assert!(after.entries <= after.capacity, "{layer} overflowed its budget");
+    }
+    // The repeated half of the log must actually have hit each layer.
+    assert!(total.cover.0 > 0, "no cover-cache hits in a repeating log");
+    assert!(total.postings.0 > 0, "no postings-cache hits in a repeating log");
+    assert!(total.thread.0 > 0, "no thread-cache hits in a repeating log");
 }
 
 #[test]

@@ -1,0 +1,338 @@
+//! Oracle-backed differential suite.
+//!
+//! [`oracle_top_k`] is a deliberately naive O(posts) implementation of
+//! Definitions 4–10: one linear scan over the corpus, explicit
+//! reply-tree construction per candidate, no index, no pruning bound, no
+//! cache, no shared query machinery. Its only dependencies on the system
+//! under test are the data model and the text pipeline (so both sides
+//! agree on what a "keyword" is).
+//!
+//! The suite drives ≥1000 randomized (corpus, query, ranking, semantics)
+//! cases through the full engine in three configurations — caches off,
+//! caches on with a cold cache, and caches on re-querying warm — and
+//! requires every run to return the oracle's ranked users with scores
+//! within 1e-9, with the cached runs *bit-identical* to the uncached one.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use tklus_core::{BoundsMode, CacheConfig, EngineConfig, Ranking, TklusEngine};
+use tklus_geo::Point;
+use tklus_model::{Corpus, Post, ScoringConfig, Semantics, TklusQuery, TweetId, UserId};
+use tklus_text::TextPipeline;
+
+const WORDS: [&str; 8] = ["hotel", "pizza", "cafe", "museum", "sushi", "beach", "coffee", "club"];
+
+#[derive(Debug, Clone)]
+struct RawPost {
+    user: u8,
+    dlat: i8,
+    dlon: i8,
+    words: Vec<u8>,
+    reply_to: Option<u8>,
+}
+
+fn arb_post() -> impl Strategy<Value = RawPost> {
+    (
+        0u8..10,
+        -100i8..=100,
+        -100i8..=100,
+        proptest::collection::vec(0u8..WORDS.len() as u8, 1..5),
+        proptest::option::of(0u8..40),
+    )
+        .prop_map(|(user, dlat, dlon, words, reply_to)| RawPost {
+            user,
+            dlat,
+            dlon,
+            words,
+            reply_to,
+        })
+}
+
+fn materialize(raw: &[RawPost]) -> Corpus {
+    let base = Point::new_unchecked(43.68, -79.38);
+    let posts: Vec<Post> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let id = TweetId(i as u64 + 1);
+            let loc = Point::new_unchecked(
+                base.lat() + r.dlat as f64 * 0.0015,
+                base.lon() + r.dlon as f64 * 0.002,
+            );
+            let text: String =
+                r.words.iter().map(|&w| WORDS[w as usize]).collect::<Vec<_>>().join(" ");
+            match r.reply_to {
+                Some(t) if (t as usize) < i => {
+                    let target = TweetId(t as u64 + 1);
+                    let target_user = UserId(raw[t as usize].user as u64);
+                    Post::reply(id, UserId(r.user as u64), loc, text, target, target_user)
+                }
+                _ => Post::original(id, UserId(r.user as u64), loc, text),
+            }
+        })
+        .collect();
+    Corpus::new(posts).expect("sequential ids")
+}
+
+/// Definition 4 by hand: build the reply tree rooted at `root` level by
+/// level from a parent → children map scanned straight off the corpus,
+/// then sum `|level i| / i` (1-based levels, root level excluded), or ε
+/// for a childless root.
+fn oracle_popularity(
+    replies: &HashMap<TweetId, Vec<TweetId>>,
+    root: TweetId,
+    depth: usize,
+    epsilon: f64,
+) -> f64 {
+    let mut levels: Vec<Vec<TweetId>> = vec![vec![root]];
+    while levels.len() < depth {
+        let next: Vec<TweetId> = levels
+            .last()
+            .unwrap()
+            .iter()
+            .flat_map(|t| replies.get(t).cloned().unwrap_or_default())
+            .collect();
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+    }
+    if levels.len() <= 1 {
+        return epsilon;
+    }
+    levels.iter().enumerate().skip(1).map(|(i, l)| l.len() as f64 / (i + 1) as f64).sum()
+}
+
+/// Definitions 4–10, straight off the corpus: linear scan, explicit
+/// thread trees, no index, no bounds, no cache.
+fn oracle_top_k(
+    corpus: &Corpus,
+    q: &TklusQuery,
+    use_max: bool,
+    config: &ScoringConfig,
+) -> Vec<(UserId, f64)> {
+    let pipeline = TextPipeline::new();
+
+    // The query keyword *set* (Definition 6's q.W): duplicates and case or
+    // inflection variants collapse to one stem.
+    let normalized: Vec<Option<String>> =
+        q.keywords.iter().map(|k| pipeline.normalize_keyword(k)).collect();
+    let known: HashSet<String> =
+        corpus.posts().iter().flat_map(|p| pipeline.terms(&p.text)).collect();
+    // Mirror the engine's AND contract: a keyword that normalizes away or
+    // appears in no tweet empties the result.
+    if q.semantics == Semantics::And
+        && normalized.iter().any(|s| !matches!(s, Some(s) if known.contains(s)))
+    {
+        return Vec::new();
+    }
+    let mut stems: Vec<String> = normalized.into_iter().flatten().collect();
+    stems.sort();
+    stems.dedup();
+
+    // Reply map for explicit thread construction.
+    let mut replies: HashMap<TweetId, Vec<TweetId>> = HashMap::new();
+    for post in corpus.posts() {
+        if let Some(r) = &post.in_reply_to {
+            replies.entry(r.target).or_default().push(post.id);
+        }
+    }
+
+    let mut per_user: HashMap<UserId, f64> = HashMap::new();
+    for post in corpus.posts() {
+        if !q.in_time_range(post.id.0) {
+            continue;
+        }
+        if q.location.distance_km(&post.location, config.metric) > q.radius_km {
+            continue;
+        }
+        let terms = pipeline.terms(&post.text);
+        let occurrences: u32 =
+            stems.iter().map(|s| terms.iter().filter(|t| *t == s).count() as u32).sum();
+        let qualifies = match q.semantics {
+            Semantics::And => !stems.is_empty() && stems.iter().all(|s| terms.contains(s)),
+            Semantics::Or => occurrences > 0,
+        };
+        if !qualifies {
+            continue;
+        }
+        let phi = oracle_popularity(&replies, post.id, config.thread_depth, config.epsilon);
+        // Definition 6 (ρ = N(p,q)/N × φ) times the recency factor of the
+        // temporal extension (1.0 for untimed queries).
+        let rho = occurrences as f64 / config.keyword_norm * phi * q.recency_factor(post.id.0);
+        let entry = per_user.entry(post.user).or_insert(0.0);
+        if use_max {
+            // Definition 8.
+            *entry = entry.max(rho);
+        } else {
+            // Definition 7.
+            *entry += rho;
+        }
+    }
+
+    // Definitions 9/10: blend with the mean tweet distance score.
+    let mut scored: Vec<(UserId, f64)> = per_user
+        .into_iter()
+        .map(|(uid, rho)| {
+            let locs: Vec<Point> = corpus.posts_of(uid).map(|p| p.location).collect();
+            let delta: f64 = locs
+                .iter()
+                .map(|l| {
+                    let d = q.location.distance_km(l, config.metric);
+                    if d <= q.radius_km {
+                        (q.radius_km - d) / q.radius_km
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>()
+                / locs.len() as f64;
+            (uid, config.alpha * rho + (1.0 - config.alpha) * delta)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(q.k);
+    scored
+}
+
+/// Cache budgets exercised by the suite: generous (everything fits) and
+/// starved (constant eviction pressure) — both must be invisible in
+/// results.
+fn arb_cache_config() -> impl Strategy<Value = CacheConfig> {
+    prop_oneof![
+        Just(CacheConfig { cover: 16, postings: 64, thread: 128 }),
+        Just(CacheConfig { cover: 1, postings: 2, thread: 2 }),
+    ]
+}
+
+proptest! {
+    // 170 corpora × (2 semantics × 3 rankings) = 1020 query cases, each
+    // run uncached, cache-on cold, and cache-on warm (3060 engine runs —
+    // on top of `oracle_matches_with_duplicates_and_time_windows` below).
+    #![proptest_config(ProptestConfig::with_cases(170))]
+
+    #[test]
+    fn engine_matches_oracle_cached_and_uncached(
+        raw in proptest::collection::vec(arb_post(), 5..45),
+        radius in 2.0f64..25.0,
+        k in 1usize..6,
+        kw_idx in proptest::collection::vec(0u8..WORDS.len() as u8, 1..3),
+        caches in arb_cache_config(),
+    ) {
+        let corpus = materialize(&raw);
+        let plain = EngineConfig::default();
+        let cached_cfg = EngineConfig { caches, ..EngineConfig::default() };
+        let (engine_off, _) = TklusEngine::build(&corpus, &plain);
+        let (engine_on, _) = TklusEngine::build(&corpus, &cached_cfg);
+        let keywords: Vec<String> =
+            kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
+
+        for semantics in [Semantics::Or, Semantics::And] {
+            let q = TklusQuery::new(
+                Point::new_unchecked(43.68, -79.38),
+                radius,
+                keywords.clone(),
+                k,
+                semantics,
+            ).unwrap();
+            for (ranking, use_max) in [
+                (Ranking::Sum, false),
+                (Ranking::Max(BoundsMode::Global), true),
+                (Ranking::Max(BoundsMode::HotKeywords), true),
+            ] {
+                let want = oracle_top_k(&corpus, &q, use_max, &plain.scoring);
+                let (off, _) = engine_off.query(&q, ranking);
+                let (cold, _) = engine_on.query(&q, ranking);
+                let (warm, _) = engine_on.query(&q, ranking);
+
+                // Engine (uncached) vs oracle: same users, scores to 1e-9.
+                prop_assert_eq!(off.len(), want.len(), "{:?}/{:?}", ranking, semantics);
+                for (g, w) in off.iter().zip(&want) {
+                    prop_assert_eq!(g.user, w.0, "{:?}/{:?}", ranking, semantics);
+                    prop_assert!(
+                        (g.score - w.1).abs() < 1e-9,
+                        "{} vs {} ({:?}/{:?})", g.score, w.1, ranking, semantics
+                    );
+                }
+                // Cached runs (cold and warm) vs uncached: bit-identical.
+                for cached in [&cold, &warm] {
+                    prop_assert_eq!(cached.len(), off.len());
+                    for (c, o) in cached.iter().zip(&off) {
+                        prop_assert_eq!(c.user, o.user, "{:?}/{:?}", ranking, semantics);
+                        prop_assert_eq!(
+                            c.score.to_bits(), o.score.to_bits(),
+                            "cached {} vs uncached {} ({:?}/{:?})",
+                            c.score, o.score, ranking, semantics
+                        );
+                    }
+                }
+            }
+        }
+
+        // Cache counters stayed consistent with per-layer monotonicity.
+        let cs = engine_on.cache_stats();
+        prop_assert!(cs.cover.entries <= cs.cover.capacity.max(1));
+        prop_assert!(cs.postings.entries <= cs.postings.capacity.max(1));
+        prop_assert!(cs.thread.entries <= cs.thread.capacity.max(1));
+    }
+}
+
+proptest! {
+    // 256 corpora × 2 rankings × 2 engines = 1024 more query cases
+    // focused on the duplicate-keyword fix and the temporal extension.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn oracle_matches_with_duplicates_and_time_windows(
+        raw in proptest::collection::vec(arb_post(), 5..35),
+        radius in 2.0f64..20.0,
+        k in 1usize..5,
+        kw in 0u8..WORDS.len() as u8,
+        dup_case in any::<bool>(),
+        window in proptest::option::of((1u64..20, 10u64..40)),
+        and_sem in any::<bool>(),
+    ) {
+        let corpus = materialize(&raw);
+        let (engine_off, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let cached_cfg = EngineConfig {
+            caches: CacheConfig { cover: 8, postings: 32, thread: 64 },
+            ..EngineConfig::default()
+        };
+        let (engine_on, _) = TklusEngine::build(&corpus, &cached_cfg);
+
+        // The keyword appears twice: verbatim plus a case variant —
+        // Definition 6 must count it once.
+        let base = WORDS[kw as usize];
+        let keywords = if dup_case {
+            vec![base.to_string(), base.to_uppercase()]
+        } else {
+            vec![base.to_string(), base.to_string()]
+        };
+        let semantics = if and_sem { Semantics::And } else { Semantics::Or };
+        let mut q = TklusQuery::new(
+            Point::new_unchecked(43.68, -79.38),
+            radius,
+            keywords,
+            k,
+            semantics,
+        ).unwrap();
+        if let Some((since, until)) = window {
+            q = q.with_time_range(since, until.max(since)).unwrap();
+        }
+
+        for (ranking, use_max) in [(Ranking::Sum, false), (Ranking::Max(BoundsMode::HotKeywords), true)] {
+            let want = oracle_top_k(&corpus, &q, use_max, &EngineConfig::default().scoring);
+            for engine in [&engine_off, &engine_on] {
+                let (got, _) = engine.query(&q, ranking);
+                prop_assert_eq!(got.len(), want.len(), "{:?} window={:?}", ranking, window);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.user, w.0, "{:?}", ranking);
+                    prop_assert!(
+                        (g.score - w.1).abs() < 1e-9,
+                        "{} vs {} ({:?})", g.score, w.1, ranking
+                    );
+                }
+            }
+        }
+    }
+}

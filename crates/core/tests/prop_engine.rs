@@ -76,8 +76,13 @@ fn reference(
 ) -> Vec<(UserId, f64)> {
     let pipeline = TextPipeline::new();
     let network = SocialNetwork::from_corpus(corpus);
-    let stems: Vec<String> =
+    // Definition 6 counts occurrences of the *set* of query keywords, so
+    // keywords normalizing to the same stem count once (the engine
+    // deduplicates the same way).
+    let mut stems: Vec<String> =
         q.keywords.iter().filter_map(|k| pipeline.normalize_keyword(k)).collect();
+    stems.sort();
+    stems.dedup();
     let mut per_user: HashMap<UserId, f64> = HashMap::new();
     for post in corpus.posts() {
         if q.location.distance_km(&post.location, config.metric) > q.radius_km {

@@ -121,7 +121,7 @@ impl fmt::Display for Point {
 ///
 /// The whole pipeline is generic over this; the paper's footnote 4 promises
 /// exactly that adaptability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum DistanceMetric {
     /// Euclidean distance on an equirectangular projection (paper default).
     #[default]

@@ -8,8 +8,9 @@
 //! a partition are as sequential as the key layout allows — the locality
 //! the paper's sorted `⟨geohash, term⟩` organization is designed to give.
 
-use crate::forward::ForwardIndex;
+use crate::forward::{ForwardIndex, PostingsLocation};
 use crate::posting::PostingsList;
+use std::sync::Arc;
 use tklus_geo::{circle_cover, DistanceMetric, Geohash, Point};
 use tklus_storage::Dfs;
 use tklus_text::{TermId, Vocab};
@@ -27,11 +28,15 @@ pub struct HybridIndex {
 }
 
 /// Result of the postings-retrieval phase for one query.
+///
+/// Lists are held behind `Arc` so a caching layer above the index (the
+/// engine's postings cache) can hand out the same decoded list to many
+/// concurrent queries without copying postings data.
 #[derive(Debug)]
 pub struct QueryFetch {
     /// `per_keyword[i]` holds the postings lists found for keyword `i`,
     /// one per cover cell that had an entry.
-    pub per_keyword: Vec<Vec<PostingsList>>,
+    pub per_keyword: Vec<Vec<Arc<PostingsList>>>,
     /// Number of cover cells examined.
     pub cells: usize,
     /// Number of postings lists fetched.
@@ -75,12 +80,22 @@ impl HybridIndex {
     /// Fetches the postings list for one `⟨geohash, term⟩` key.
     pub fn postings(&self, geohash: Geohash, term: TermId) -> Option<PostingsList> {
         let loc = self.forward.lookup(geohash, term)?;
-        let bytes = self
+        Some(self.read_postings(loc).0)
+    }
+
+    /// Reads and decodes the postings list at a directory location,
+    /// returning the list and the number of encoded bytes read. Pure given
+    /// the immutable partition files, so safe from any thread — this is the
+    /// storage-touching half of a fetch that the engine's postings cache
+    /// wraps.
+    pub fn read_postings(&self, loc: PostingsLocation) -> (PostingsList, u64) {
+        let raw = self
             .dfs
             .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
             .expect("directory points at valid partition range");
-        let (list, _) = PostingsList::decode(&bytes).expect("partition bytes decode");
-        Some(list)
+        let bytes = raw.len() as u64;
+        let (list, _) = PostingsList::decode(&raw).expect("partition bytes decode");
+        (list, bytes)
     }
 
     /// The postings-retrieval phase of Algorithms 4/5: computes the geohash
@@ -127,8 +142,12 @@ impl HybridIndex {
         hits.sort_by_key(|(_, loc)| (loc.partition, loc.offset));
         let lists = hits.len();
         let workers = parallelism.max(1).min(lists.max(1));
-        let fetched: Vec<(usize, PostingsList, u64)> = if workers <= 1 {
-            hits.iter().map(|&(ki, loc)| self.fetch_hit(ki, loc)).collect()
+        let fetch_hit = |ki: usize, loc: PostingsLocation| {
+            let (list, bytes) = self.read_postings(loc);
+            (ki, Arc::new(list), bytes)
+        };
+        let fetched: Vec<(usize, Arc<PostingsList>, u64)> = if workers <= 1 {
+            hits.iter().map(|&(ki, loc)| fetch_hit(ki, loc)).collect()
         } else {
             let chunk = lists.div_ceil(workers);
             std::thread::scope(|scope| {
@@ -136,9 +155,7 @@ impl HybridIndex {
                     .chunks(chunk)
                     .map(|part| {
                         scope.spawn(move || {
-                            part.iter()
-                                .map(|&(ki, loc)| self.fetch_hit(ki, loc))
-                                .collect::<Vec<_>>()
+                            part.iter().map(|&(ki, loc)| fetch_hit(ki, loc)).collect::<Vec<_>>()
                         })
                     })
                     .collect();
@@ -148,29 +165,14 @@ impl HybridIndex {
                     .collect()
             })
         };
-        let mut per_keyword: Vec<Vec<PostingsList>> = keywords.iter().map(|_| Vec::new()).collect();
+        let mut per_keyword: Vec<Vec<Arc<PostingsList>>> =
+            keywords.iter().map(|_| Vec::new()).collect();
         let mut bytes = 0u64;
         for (ki, list, b) in fetched {
             bytes += b;
             per_keyword[ki].push(list);
         }
         QueryFetch { per_keyword, cells: cover.len(), lists, bytes }
-    }
-
-    /// Fetches and decodes one directory hit (pure given the immutable
-    /// partition files, so safe to run from any worker).
-    fn fetch_hit(
-        &self,
-        ki: usize,
-        loc: crate::forward::PostingsLocation,
-    ) -> (usize, PostingsList, u64) {
-        let raw = self
-            .dfs
-            .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
-            .expect("directory points at valid partition range");
-        let bytes = raw.len() as u64;
-        let (list, _) = PostingsList::decode(&raw).expect("partition bytes decode");
-        (ki, list, bytes)
     }
 }
 
@@ -238,8 +240,8 @@ mod tests {
         let far = idx.fetch_for_query(&center, 50.0, &[hotel], DistanceMetric::Euclidean);
         assert!(far.cells >= near.cells);
         assert!(far.lists >= near.lists);
-        let far_ids: usize = far.per_keyword[0].iter().map(PostingsList::len).sum();
-        let near_ids: usize = near.per_keyword[0].iter().map(PostingsList::len).sum();
+        let far_ids: usize = far.per_keyword[0].iter().map(|l| l.len()).sum();
+        let near_ids: usize = near.per_keyword[0].iter().map(|l| l.len()).sum();
         assert!(far_ids >= near_ids);
         // 50 km from downtown Toronto reaches the suburb tweet.
         let ids: Vec<u64> =

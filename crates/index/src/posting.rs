@@ -144,15 +144,21 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
 /// * the per-keyword merge of a keyword's lists across cover cells, and
 /// * the OR-semantics union of Algorithm 4/5 (lines 12–14), where the
 ///   summed tf is the `|q.W ∩ p.W|` occurrence count of Definition 6.
-pub fn union_sum(lists: &[PostingsList]) -> Vec<(TweetId, u32)> {
+///
+/// Generic over how the lists are held (`&[PostingsList]`,
+/// `&[Arc<PostingsList>]`, …) so cache-shared lists merge without cloning
+/// their postings.
+pub fn union_sum<L: std::borrow::Borrow<PostingsList>>(lists: &[L]) -> Vec<(TweetId, u32)> {
     match lists.len() {
         0 => Vec::new(),
-        1 => lists[0].postings.iter().map(|p| (p.id, p.tf)).collect(),
+        1 => lists[0].borrow().postings.iter().map(|p| (p.id, p.tf)).collect(),
         _ => {
             // k-way merge via a flattened sort: lists are typically short
             // and few; the simple approach beats a heap in practice here.
-            let mut all: Vec<(TweetId, u32)> =
-                lists.iter().flat_map(|l| l.postings.iter().map(|p| (p.id, p.tf))).collect();
+            let mut all: Vec<(TweetId, u32)> = lists
+                .iter()
+                .flat_map(|l| l.borrow().postings.iter().map(|p| (p.id, p.tf)))
+                .collect();
             all.sort_by_key(|e| e.0);
             let mut out: Vec<(TweetId, u32)> = Vec::with_capacity(all.len());
             for (id, tf) in all {
@@ -320,7 +326,7 @@ mod tests {
 
     #[test]
     fn union_edge_cases() {
-        assert!(union_sum(&[]).is_empty());
+        assert!(union_sum::<PostingsList>(&[]).is_empty());
         let single = list(&[(7, 9)]);
         assert_eq!(union_sum(std::slice::from_ref(&single)), vec![(TweetId(7), 9)]);
         assert_eq!(union_sum(&[PostingsList::default(), single.clone()]), vec![(TweetId(7), 9)]);

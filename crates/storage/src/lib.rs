@@ -17,6 +17,10 @@
 //!   so logical accesses and physical I/Os can be measured separately (the
 //!   paper's Section VI-B runs with "database caches … off"; the pool can
 //!   be sized to zero-effective caching for that configuration).
+//! * [`lru`] — the generic lock-striped LRU map the buffer pool's
+//!   discipline generalizes to: the query-cache hierarchy in `tklus-core`
+//!   (circle covers, decoded postings lists, thread popularities) stacks
+//!   instances of it above this crate's physical layers.
 //! * [`dfs`] — a simulated block-structured distributed file system
 //!   standing in for HDFS: named files striped over simulated data nodes,
 //!   with per-node read/write/seek counters that the index-size and
@@ -26,6 +30,7 @@ pub mod bptree;
 pub mod buffer;
 pub mod dfs;
 pub mod iostats;
+pub mod lru;
 pub mod page;
 pub mod pager;
 
@@ -33,5 +38,6 @@ pub use bptree::{BPlusTree, Key};
 pub use buffer::BufferPool;
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsFile};
 pub use iostats::IoStats;
+pub use lru::{CacheLayerStats, ShardedLruCache};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageStore};
