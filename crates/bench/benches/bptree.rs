@@ -20,13 +20,13 @@ fn bench_load(c: &mut Criterion) {
     for &n in &[10_000u64, 50_000] {
         let data = entries(n);
         group.bench_with_input(BenchmarkId::new("bulk", n), &data, |b, data| {
-            b.iter(|| Tree::bulk_load(pool(256), black_box(data)))
+            b.iter(|| Tree::bulk_load(pool(256), black_box(data)).expect("bulk load"))
         });
         group.bench_with_input(BenchmarkId::new("incremental", n), &data, |b, data| {
             b.iter(|| {
-                let mut t = Tree::new(pool(256));
+                let mut t = Tree::new(pool(256)).expect("new tree");
                 for (k, v) in data {
-                    t.insert(*k, *v);
+                    t.insert(*k, *v).expect("insert");
                 }
                 t
             })
@@ -39,19 +39,19 @@ fn bench_access(c: &mut Criterion) {
     let data = entries(100_000);
     let mut group = c.benchmark_group("bptree_access");
     for &cache in &[0usize, 1024] {
-        let mut tree = Tree::bulk_load(pool(cache), &data);
+        let tree = Tree::bulk_load(pool(cache), &data).expect("bulk load");
         group.bench_function(BenchmarkId::new("get", cache), |b| {
             let mut k = 0u64;
             b.iter(|| {
                 k = (k + 9973) % 100_000;
-                black_box(tree.get((k, 0)))
+                black_box(tree.get((k, 0)).expect("get"))
             })
         });
         group.bench_function(BenchmarkId::new("scan100", cache), |b| {
             let mut k = 0u64;
             b.iter(|| {
                 k = (k + 9973) % 99_900;
-                black_box(tree.scan((k, 0), (k + 99, 0)))
+                black_box(tree.scan((k, 0), (k + 99, 0)).expect("scan"))
             })
         });
     }

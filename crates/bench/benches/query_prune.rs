@@ -10,7 +10,7 @@ use tklus_model::Semantics;
 fn bench_query_prune(c: &mut Criterion) {
     let flags = Flags { posts: 10_000, seed: 0x7B1D5, queries: 5 };
     let corpus = standard_corpus(&flags);
-    let mut engine = build_engine(&corpus, 4);
+    let engine = build_engine(&corpus, 4);
     let specs: Vec<_> = query_workload(&corpus)
         .into_iter()
         .filter(|s| tklus_gen::TABLE2_KEYWORDS.contains(&s.keywords[0].as_str()))

@@ -8,6 +8,7 @@
 //!                   --keywords hotel,spa --k 5 --ranking max --semantics or \
 //!                   [--corpus corpus.tsv] [--index index_dir/] \
 //!                   [--since T --until T] [--now T --half-life H] \
+//!                   [--timeout-ms MS] [--max-cells N] \
 //!                   [--cover-cache N --postings-cache N --thread-cache N]
 //! ```
 //!
@@ -15,15 +16,85 @@
 //! or are regenerated deterministically from `--posts`/`--seed`; indexes
 //! can be built once (`build-index`) and reloaded for querying
 //! (`query --index`).
+//!
+//! # Exit codes
+//!
+//! Failures map to distinct exit codes so scripts can branch on the
+//! failure class (DESIGN.md §10):
+//!
+//! * `1` — general failure (corpus file I/O, ETL);
+//! * `2` — usage error (bad flags, invalid query parameters);
+//! * `3` — index directory persistence failure (save/load, corruption,
+//!   format-version mismatch);
+//! * `4` — metadata storage failure during engine build or query;
+//! * `5` — inverted-index failure during query.
+//!
+//! A *degraded* query result (budget exhausted) is not a failure: the CLI
+//! prints the partial top-k with a completeness note and exits `0`.
 
 mod args;
 
 use args::{ArgError, Args};
 use std::path::PathBuf;
-use tklus_core::{BoundsMode, CacheConfig, EngineConfig, Ranking, TklusEngine};
+use tklus_core::{
+    BoundsMode, CacheConfig, Completeness, EngineConfig, EngineError, Ranking, TklusEngine,
+};
 use tklus_gen::{generate_corpus, load_tsv, save_tsv, GenConfig};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Semantics, TklusQuery};
+
+/// A CLI failure, carrying the class that decides the process exit code.
+#[derive(Debug)]
+enum CliError {
+    /// File I/O and other environment failures — exit 1.
+    General(String),
+    /// Flag and query-parameter errors — exit 2.
+    Usage(String),
+    /// Index directory save/load failures — exit 3.
+    Persist(tklus_index::PersistError),
+    /// Engine failures — exit 4 (storage) or 5 (index).
+    Engine(EngineError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::General(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Persist(_) => 3,
+            CliError::Engine(EngineError::Storage(_)) => 4,
+            CliError::Engine(EngineError::Index(_)) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::General(msg) | CliError::Usage(msg) => f.write_str(msg),
+            CliError::Persist(e) => write!(f, "index persistence failed: {e}"),
+            CliError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+impl From<tklus_index::PersistError> for CliError {
+    fn from(e: tklus_index::PersistError) -> Self {
+        CliError::Persist(e)
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
 
 const USAGE: &str = "usage:
   tklus generate    --posts N [--seed S] --out FILE.tsv
@@ -35,6 +106,7 @@ const USAGE: &str = "usage:
                     [--k K] [--ranking sum|max|max-global] [--semantics and|or]
                     [--corpus FILE.tsv] [--posts N] [--seed S] [--index DIR]
                     [--since T --until T] [--now T --half-life H]
+                    [--timeout-ms MS] [--max-cells N]
                     [--threads N] [--cover-cache N] [--postings-cache N]
                     [--thread-cache N]";
 
@@ -55,18 +127,18 @@ fn main() {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(ArgError(format!("unknown command {other:?}\n{USAGE}"))),
+        other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }
 
 /// Loads `--corpus FILE` if given, else generates from `--posts`/`--seed`.
-fn corpus_from(args: &Args) -> Result<Corpus, ArgError> {
+fn corpus_from(args: &Args) -> Result<Corpus, CliError> {
     if let Some(path) = args.get_str("corpus") {
-        return load_tsv(&PathBuf::from(path)).map_err(|e| ArgError(e.to_string()));
+        return load_tsv(&PathBuf::from(path)).map_err(|e| CliError::General(e.to_string()));
     }
     let posts: usize = args.get_or("posts", 20_000)?;
     let seed: u64 = args.get_or("seed", 0x7B1D5)?;
@@ -78,24 +150,25 @@ fn corpus_from(args: &Args) -> Result<Corpus, ArgError> {
     }))
 }
 
-fn cmd_generate(raw: Vec<String>) -> Result<(), ArgError> {
+fn cmd_generate(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     args.check_known(&["posts", "seed", "out"])?;
     let out: String = args.require("out")?;
     let corpus = corpus_from(&args)?;
-    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| ArgError(e.to_string()))?;
+    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| CliError::General(e.to_string()))?;
     println!("wrote {} posts by {} users to {out}", corpus.len(), corpus.user_count());
     Ok(())
 }
 
-fn cmd_ingest(raw: Vec<String>) -> Result<(), ArgError> {
+fn cmd_ingest(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     args.check_known(&["json", "out"])?;
     let json: String = args.require("json")?;
     let out: String = args.require("out")?;
-    let file = std::fs::File::open(&json).map_err(|e| ArgError(format!("{json}: {e}")))?;
-    let (corpus, report) = tklus_gen::etl_json(file).map_err(|e| ArgError(e.to_string()))?;
-    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| ArgError(e.to_string()))?;
+    let file = std::fs::File::open(&json).map_err(|e| CliError::General(format!("{json}: {e}")))?;
+    let (corpus, report) =
+        tklus_gen::etl_json(file).map_err(|e| CliError::General(e.to_string()))?;
+    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| CliError::General(e.to_string()))?;
     println!(
         "etl: {} lines -> {} loaded ({} no location, {} bad location, {} malformed, {} duplicate) -> {out}",
         report.lines,
@@ -108,7 +181,7 @@ fn cmd_ingest(raw: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_build_index(raw: Vec<String>) -> Result<(), ArgError> {
+fn cmd_build_index(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     args.check_known(&["corpus", "posts", "seed", "out", "geohash-len", "nodes"])?;
     let out: String = args.require("out")?;
@@ -119,7 +192,7 @@ fn cmd_build_index(raw: Vec<String>) -> Result<(), ArgError> {
         ..tklus_index::IndexBuildConfig::default()
     };
     let (index, report) = tklus_index::build_index(corpus.posts(), &config);
-    tklus_index::save_dir(&index, &PathBuf::from(&out)).map_err(|e| ArgError(e.to_string()))?;
+    tklus_index::save_dir(&index, &PathBuf::from(&out))?;
     println!(
         "built index over {} posts in {:?}: {} keys, {} postings, {} bytes -> {out}",
         report.posts, report.total_time, report.keys, report.postings, report.index_bytes
@@ -127,11 +200,11 @@ fn cmd_build_index(raw: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_stats(raw: Vec<String>) -> Result<(), ArgError> {
+fn cmd_stats(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     args.check_known(&["corpus", "posts", "seed"])?;
     let corpus = corpus_from(&args)?;
-    let (engine, report) = TklusEngine::build(&corpus, &EngineConfig::default());
+    let (engine, report) = TklusEngine::try_build(&corpus, &EngineConfig::default())?;
     println!("corpus: {} posts, {} users", corpus.len(), corpus.user_count());
     let replies = corpus.posts().iter().filter(|p| p.is_reply()).count();
     println!("  replies/forwards: {replies}");
@@ -152,7 +225,7 @@ fn cmd_stats(raw: Vec<String>) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
+fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     args.check_known(&[
         "lat",
@@ -170,6 +243,8 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         "until",
         "now",
         "half-life",
+        "timeout-ms",
+        "max-cells",
         "threads",
         "cover-cache",
         "postings-cache",
@@ -189,14 +264,16 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
     let semantics = match args.get_str("semantics").unwrap_or("or") {
         "and" | "AND" => Semantics::And,
         "or" | "OR" => Semantics::Or,
-        other => return Err(ArgError(format!("--semantics must be and|or, got {other:?}"))),
+        other => return Err(ArgError(format!("--semantics must be and|or, got {other:?}")).into()),
     };
     let ranking = match args.get_str("ranking").unwrap_or("max") {
         "sum" => Ranking::Sum,
         "max" => Ranking::Max(BoundsMode::HotKeywords),
         "max-global" => Ranking::Max(BoundsMode::Global),
         other => {
-            return Err(ArgError(format!("--ranking must be sum|max|max-global, got {other:?}")))
+            return Err(
+                ArgError(format!("--ranking must be sum|max|max-global, got {other:?}")).into()
+            )
         }
     };
 
@@ -214,10 +291,18 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
         let half_life: u64 = args.require("half-life")?;
         query = query.with_recency(now, half_life).map_err(|e| ArgError(e.to_string()))?;
     }
+    // Per-query budget: exhausting it degrades the result (exit 0 with a
+    // completeness note) rather than failing.
+    if let Some(ms) = args.get::<u64>("timeout-ms")? {
+        query = query.with_timeout_ms(ms);
+    }
+    if let Some(cells) = args.get::<usize>("max-cells")? {
+        query = query.with_max_cells(cells);
+    }
 
     let threads: usize = args.get_or("threads", 1)?;
     if threads == 0 {
-        return Err(ArgError("--threads must be at least 1".to_string()));
+        return Err(ArgError("--threads must be at least 1".to_string()).into());
     }
 
     // Per-layer query-cache budgets; 0 (the default) disables a layer.
@@ -233,16 +318,19 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
     let engine = match args.get_str("index") {
         Some(dir) => {
             eprintln!("loading index from {dir} ...");
-            let index =
-                tklus_index::load_dir(&PathBuf::from(dir)).map_err(|e| ArgError(e.to_string()))?;
-            TklusEngine::from_index(index, &corpus, &engine_config)
+            let (index, report) = tklus_index::load_dir_with_report(&PathBuf::from(dir))?;
+            for stray in &report.skipped_files {
+                eprintln!("warning: skipped stray file in index dir: {stray}");
+            }
+            TklusEngine::try_from_index(index, &corpus, &engine_config)?
         }
         None => {
             eprintln!("building engine over {} posts ...", corpus.len());
-            TklusEngine::build(&corpus, &engine_config).0
+            TklusEngine::try_build(&corpus, &engine_config)?.0
         }
     };
-    let (top, stats) = engine.query(&query, ranking);
+    let outcome = engine.try_query(&query, ranking)?;
+    let (top, stats) = (outcome.users, outcome.stats);
 
     println!(
         "top-{k} local users for {:?} within {radius} km of ({lat}, {lon}) [{}]:",
@@ -253,6 +341,12 @@ fn cmd_query(raw: Vec<String>) -> Result<(), ArgError> {
     }
     for (rank, r) in top.iter().enumerate() {
         println!("  #{:<3} {:<12} score {:.4}", rank + 1, r.user.to_string(), r.score);
+    }
+    if let Completeness::Degraded { cells_processed, cells_total } = outcome.completeness {
+        println!(
+            "note: degraded result — budget expired after {cells_processed}/{cells_total} \
+             cover cells; the ranking is exact over the cells processed"
+        );
     }
     println!(
         "stats: {} candidates, {} in radius, {} threads built, {} pruned, {} metadata page reads, {:.2} ms",

@@ -5,11 +5,21 @@
 //! hot-keyword bound precomputation (Section V-B) — after which
 //! [`TklusEngine::query`] answers TkLUS queries with either ranking
 //! algorithm.
+//!
+//! Every build and query entry point comes in two flavours (DESIGN.md
+//! §10): a `try_*` method that threads typed [`EngineError`]s up from the
+//! storage and index layers, and the historical panicking method, now a
+//! thin wrapper — appropriate when the engine runs over the default
+//! in-memory stores, which never fail.
 
 use crate::bounds::{BoundsMode, BoundsTable};
 use crate::cache::{CacheConfig, CacheStats, QueryCaches};
-use crate::metadata::MetadataDb;
-use crate::query::{max::query_max, sum::query_sum, QueryContext, QueryStats, RankedUser};
+use crate::error::EngineError;
+use crate::metadata::{MetadataDb, MetadataStoreFactory};
+use crate::query::{
+    max::try_query_max, sum::try_query_sum, Completeness, QueryContext, QueryOutcome, QueryStats,
+    RankedUser,
+};
 use tklus_graph::SocialNetwork;
 use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
 use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery};
@@ -26,7 +36,7 @@ pub enum Ranking {
 }
 
 /// Engine build configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Hybrid index build parameters.
     pub index: IndexBuildConfig,
@@ -47,6 +57,10 @@ pub struct EngineConfig {
     /// paper's experimental setting. Any budgets produce byte-identical
     /// ranked results; only query cost changes.
     pub caches: CacheConfig,
+    /// The page store under the metadata database's checksum layer
+    /// (`None` = the default in-memory pager). Chaos tests substitute a
+    /// fault-injecting stack here; everything above it is unchanged.
+    pub metadata_store: Option<MetadataStoreFactory>,
 }
 
 impl Default for EngineConfig {
@@ -58,7 +72,22 @@ impl Default for EngineConfig {
             hot_keywords: 10,
             parallelism: 1,
             caches: CacheConfig::default(),
+            metadata_store: None,
         }
+    }
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("index", &self.index)
+            .field("scoring", &self.scoring)
+            .field("cache_pages", &self.cache_pages)
+            .field("hot_keywords", &self.hot_keywords)
+            .field("parallelism", &self.parallelism)
+            .field("caches", &self.caches)
+            .field("metadata_store", &self.metadata_store.as_ref().map(|_| "<factory>"))
+            .finish()
     }
 }
 
@@ -100,11 +129,59 @@ const _: () = _assert_engine_is_shareable::<TklusEngine>();
 
 impl TklusEngine {
     /// Builds the engine from a corpus; returns it with the index build
-    /// report.
+    /// report. Panics on storage failure (impossible over the default
+    /// in-memory stores); see [`Self::try_build`].
     pub fn build(corpus: &Corpus, config: &EngineConfig) -> (Self, IndexBuildReport) {
+        match Self::try_build(corpus, config) {
+            Ok(built) => built,
+            Err(e) => panic!("engine build failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::build`]: a storage failure while bulk-loading the
+    /// metadata database surfaces as a typed error.
+    pub fn try_build(
+        corpus: &Corpus,
+        config: &EngineConfig,
+    ) -> Result<(Self, IndexBuildReport), EngineError> {
         config.scoring.validate().expect("valid scoring config");
         let (index, report) = build_index(corpus.posts(), &config.index);
-        let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
+        Ok((Self::try_assemble(index, corpus, config)?, report))
+    }
+
+    /// Assembles an engine from a pre-built (e.g. loaded-from-disk) hybrid
+    /// index plus the corpus it was built over. Skips the MapReduce build
+    /// but still loads the metadata database and precomputes bounds —
+    /// matching Figure 3's architecture where the index is periodically
+    /// rebuilt offline while the query side just loads it.
+    /// Panics on storage failure; see [`Self::try_from_index`].
+    pub fn from_index(index: HybridIndex, corpus: &Corpus, config: &EngineConfig) -> Self {
+        match Self::try_from_index(index, corpus, config) {
+            Ok(engine) => engine,
+            Err(e) => panic!("engine assembly failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::from_index`].
+    pub fn try_from_index(
+        index: HybridIndex,
+        corpus: &Corpus,
+        config: &EngineConfig,
+    ) -> Result<Self, EngineError> {
+        config.scoring.validate().expect("valid scoring config");
+        Self::try_assemble(index, corpus, config)
+    }
+
+    fn try_assemble(
+        index: HybridIndex,
+        corpus: &Corpus,
+        config: &EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let db = MetadataDb::try_from_posts(
+            corpus.posts(),
+            config.cache_pages,
+            config.metadata_store.as_ref(),
+        )?;
         let network = SocialNetwork::from_corpus(corpus);
         let caches = QueryCaches::new(config.caches);
         // The bound precomputation already builds the hot-keyword threads
@@ -118,39 +195,7 @@ impl TklusEngine {
             &config.scoring,
             |tid, phi| caches.thread.insert(tid, phi),
         );
-        (
-            Self {
-                index,
-                db,
-                bounds,
-                pipeline: TextPipeline::new(),
-                scoring: config.scoring,
-                parallelism: config.parallelism.max(1),
-                caches,
-            },
-            report,
-        )
-    }
-
-    /// Assembles an engine from a pre-built (e.g. loaded-from-disk) hybrid
-    /// index plus the corpus it was built over. Skips the MapReduce build
-    /// but still loads the metadata database and precomputes bounds —
-    /// matching Figure 3's architecture where the index is periodically
-    /// rebuilt offline while the query side just loads it.
-    pub fn from_index(index: HybridIndex, corpus: &Corpus, config: &EngineConfig) -> Self {
-        config.scoring.validate().expect("valid scoring config");
-        let db = MetadataDb::from_posts(corpus.posts(), config.cache_pages);
-        let network = SocialNetwork::from_corpus(corpus);
-        let caches = QueryCaches::new(config.caches);
-        let bounds = BoundsTable::precompute_with_seed(
-            corpus,
-            &network,
-            index.vocab(),
-            config.hot_keywords,
-            &config.scoring,
-            |tid, phi| caches.thread.insert(tid, phi),
-        );
-        Self {
+        Ok(Self {
             index,
             db,
             bounds,
@@ -158,7 +203,7 @@ impl TklusEngine {
             scoring: config.scoring,
             parallelism: config.parallelism.max(1),
             caches,
-        }
+        })
     }
 
     /// The hybrid index.
@@ -219,8 +264,24 @@ impl TklusEngine {
 
     /// Answers a TkLUS query with the chosen ranking method, using the
     /// engine's configured worker-thread count inside the query.
+    ///
+    /// Panics on storage/index failure and discards the completeness
+    /// marker — the historical interface, appropriate over the default
+    /// in-memory stores with unbudgeted queries. Fault-tolerant or
+    /// budgeted callers use [`Self::try_query`].
     pub fn query(&self, q: &TklusQuery, ranking: Ranking) -> (Vec<RankedUser>, QueryStats) {
-        self.query_with_parallelism(q, ranking, self.parallelism)
+        match self.try_query_with_parallelism(q, ranking, self.parallelism) {
+            Ok(outcome) => (outcome.users, outcome.stats),
+            Err(e) => panic!("query failed: {e}"),
+        }
+    }
+
+    /// Answers a TkLUS query, surfacing storage/index failures as typed
+    /// [`EngineError`]s and reporting whether the result is exact or
+    /// budget-degraded (see [`Completeness`]). A degraded outcome is the
+    /// exact top-k over the cover-cell prefix the budget admitted.
+    pub fn try_query(&self, q: &TklusQuery, ranking: Ranking) -> Result<QueryOutcome, EngineError> {
+        self.try_query_with_parallelism(q, ranking, self.parallelism)
     }
 
     /// Answers a batch of queries, fanning the *queries* (rather than the
@@ -236,31 +297,39 @@ impl TklusEngine {
         requests: &[(TklusQuery, Ranking)],
     ) -> Vec<(Vec<RankedUser>, QueryStats)> {
         crate::query::parallel_map(requests, self.parallelism, |(q, ranking)| {
-            self.query_with_parallelism(q, *ranking, 1)
+            match self.try_query_with_parallelism(q, *ranking, 1) {
+                Ok(outcome) => (outcome.users, outcome.stats),
+                Err(e) => panic!("query failed: {e}"),
+            }
         })
     }
 
-    /// [`Self::query`] with an explicit per-query worker count (so
+    /// [`Self::try_query`] with an explicit per-query worker count (so
     /// [`Self::query_batch`] can spend its threads across queries instead).
-    fn query_with_parallelism(
+    fn try_query_with_parallelism(
         &self,
         q: &TklusQuery,
         ranking: Ranking,
         parallelism: usize,
-    ) -> (Vec<RankedUser>, QueryStats) {
+    ) -> Result<QueryOutcome, EngineError> {
         // Under AND, a keyword no tweet contains empties the result; under
         // OR, unknown keywords are simply dropped. The unknown check runs
         // per input keyword, *before* deduplication, so an AND query with
         // one known and one unknown keyword stays empty even if other
-        // keywords repeat.
+        // keywords repeat. A trivially empty result is always complete.
+        let empty = || QueryOutcome {
+            users: Vec::new(),
+            stats: QueryStats::default(),
+            completeness: Completeness::Complete,
+        };
         if q.semantics == Semantics::And
             && self.resolve_keywords(&q.keywords).iter().any(Option::is_none)
         {
-            return (Vec::new(), QueryStats::default());
+            return Ok(empty());
         }
         let terms = self.resolve_query_terms(&q.keywords);
         if terms.is_empty() {
-            return (Vec::new(), QueryStats::default());
+            return Ok(empty());
         }
         let ctx = QueryContext {
             index: &self.index,
@@ -269,10 +338,11 @@ impl TklusEngine {
             scoring: &self.scoring,
             parallelism,
         };
-        match ranking {
-            Ranking::Sum => query_sum(&ctx, q, &terms),
-            Ranking::Max(mode) => query_max(&ctx, &self.bounds, mode, q, &terms),
-        }
+        let (users, stats, completeness) = match ranking {
+            Ranking::Sum => try_query_sum(&ctx, q, &terms)?,
+            Ranking::Max(mode) => try_query_max(&ctx, &self.bounds, mode, q, &terms)?,
+        };
+        Ok(QueryOutcome { users, stats, completeness })
     }
 }
 

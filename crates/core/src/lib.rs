@@ -20,10 +20,15 @@
 //! * [`engine`] — [`engine::TklusEngine`], the end-to-end facade: build the
 //!   hybrid index and metadata database from a corpus, then answer
 //!   [`tklus_model::TklusQuery`]s with either ranking.
+//! * [`error`] — the typed failure taxonomy of DESIGN.md §10:
+//!   [`error::EngineError`] wraps the storage and index subsystem errors,
+//!   and [`TklusEngine::try_query`](engine::TklusEngine::try_query)
+//!   reports budget-degraded results through [`query::Completeness`].
 
 pub mod bounds;
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod metadata;
 pub mod query;
 pub mod score;
@@ -31,5 +36,6 @@ pub mod score;
 pub use bounds::{BoundsMode, BoundsTable};
 pub use cache::{CacheConfig, CacheStats, QueryCaches};
 pub use engine::{EngineConfig, Ranking, TklusEngine};
-pub use metadata::{MetaRow, MetadataDb};
-pub use query::{QueryStats, RankedUser};
+pub use error::EngineError;
+pub use metadata::{MetaRow, MetadataDb, MetadataStoreFactory};
+pub use query::{Completeness, QueryOutcome, QueryStats, RankedUser};

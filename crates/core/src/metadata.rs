@@ -14,17 +14,34 @@
 //!   scores (Definition 9) average over all of a user's posts, which this
 //!   index retrieves without touching post text.
 //!
+//! Every tree runs over a [`CheckedPager`] (DESIGN.md §10): pages are
+//! sealed with a magic/version/CRC32 header on write and verified on every
+//! read, so torn writes and bit flips in the page store below surface as
+//! typed [`StorageError`]s instead of silently wrong rows. The store under
+//! the checksum layer is pluggable ([`MetadataStoreFactory`]) — the default
+//! is an in-memory pager; fault-injection tests substitute a
+//! [`tklus_storage::FaultPager`] stack.
+//!
 //! Every logical operation's physical cost is visible through
 //! [`MetadataDb::io`]; the experiments run with a zero-capacity pool
 //! ("database caches are set off").
 
+use std::sync::Arc;
 use tklus_geo::Point;
-use tklus_graph::ReplyProvider;
+use tklus_graph::TryReplyProvider;
 use tklus_model::{Post, TweetId, UserId};
-use tklus_storage::{BPlusTree, BufferPool, IoStats, MemPager};
+use tklus_storage::{
+    BPlusTree, BufferPool, CheckedPager, IoStats, MemPager, PageStore, StorageError, StorageResult,
+};
 
 /// Sentinel for "no reply target" in the `ruid`/`rsid` columns.
 const NONE_ID: u64 = u64::MAX;
+
+/// Builds the page store that backs each of the database's three B⁺-trees
+/// (called once per tree, with the shared I/O counters). The produced store
+/// sits *below* the checksum layer, so anything it corrupts or tears is
+/// caught at read time.
+pub type MetadataStoreFactory = Arc<dyn Fn(IoStats) -> Box<dyn PageStore> + Send + Sync>;
 
 /// A decoded metadata row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +83,7 @@ fn decode_row(bytes: &[u8; ROW_SIZE]) -> MetaRow {
     }
 }
 
-type Pool = BufferPool<MemPager>;
+type Pool = BufferPool<CheckedPager<Box<dyn PageStore>>>;
 
 /// The metadata database.
 pub struct MetadataDb {
@@ -78,10 +95,28 @@ pub struct MetadataDb {
 }
 
 impl MetadataDb {
-    /// Bulk loads the database from posts. `cache_pages` sizes the shared
-    /// buffer-pool budget (0 = caches off, the paper's experimental
-    /// setting); the budget is split across the three trees.
+    /// Bulk loads the database from posts over the default in-memory page
+    /// store. `cache_pages` sizes the shared buffer-pool budget (0 = caches
+    /// off, the paper's experimental setting); the budget is split across
+    /// the three trees.
+    ///
+    /// Panics on storage failure, which the in-memory store never produces;
+    /// fault-tolerant callers use [`Self::try_from_posts`].
     pub fn from_posts(posts: &[Post], cache_pages: usize) -> Self {
+        match Self::try_from_posts(posts, cache_pages, None) {
+            Ok(db) => db,
+            Err(e) => panic!("metadata bulk load failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::from_posts`] over a caller-chosen page store
+    /// (`None` = the default in-memory pager). Bulk-load I/O errors surface
+    /// as typed [`StorageError`]s.
+    pub fn try_from_posts(
+        posts: &[Post],
+        cache_pages: usize,
+        store: Option<&MetadataStoreFactory>,
+    ) -> StorageResult<Self> {
         let stats = IoStats::new();
         let per_tree = cache_pages / 3;
 
@@ -116,14 +151,20 @@ impl MetadataDb {
             .collect();
         user_entries.sort_by_key(|e| e.0);
 
-        let pool = |s: &IoStats| BufferPool::new(MemPager::with_stats(s.clone()), per_tree);
-        Self {
-            primary: BPlusTree::bulk_load(pool(&stats), &primary_entries),
-            reply_index: BPlusTree::bulk_load(pool(&stats), &reply_entries),
-            user_index: BPlusTree::bulk_load(pool(&stats), &user_entries),
+        let pool = |s: &IoStats| -> Pool {
+            let inner: Box<dyn PageStore> = match store {
+                Some(factory) => factory(s.clone()),
+                None => Box::new(MemPager::with_stats(s.clone())),
+            };
+            BufferPool::new(CheckedPager::new(inner), per_tree)
+        };
+        Ok(Self {
+            primary: BPlusTree::bulk_load(pool(&stats), &primary_entries)?,
+            reply_index: BPlusTree::bulk_load(pool(&stats), &reply_entries)?,
+            user_index: BPlusTree::bulk_load(pool(&stats), &user_entries)?,
             stats,
             rows: posts.len() as u64,
-        }
+        })
     }
 
     /// Number of rows.
@@ -142,8 +183,17 @@ impl MetadataDb {
     }
 
     /// `select * where sid = ?` on the primary index.
+    /// Panics on storage failure; see [`Self::try_row`].
     pub fn row(&self, sid: TweetId) -> Option<MetaRow> {
-        self.primary.get((sid.0, 0)).map(|bytes| decode_row(&bytes))
+        match self.try_row(sid) {
+            Ok(row) => row,
+            Err(e) => panic!("metadata row lookup failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::row`].
+    pub fn try_row(&self, sid: TweetId) -> StorageResult<Option<MetaRow>> {
+        Ok(self.primary.get((sid.0, 0))?.map(|bytes| decode_row(&bytes)))
     }
 
     /// `select uid where sid = ?` (Algorithm 4 line 20 / Algorithm 5
@@ -158,44 +208,75 @@ impl MetadataDb {
     }
 
     /// `select sid where rsid = ?` on the reply index (Algorithm 1 line 7).
+    /// Panics on storage failure; see [`Self::try_replies_to_ids`].
     pub fn replies_to_ids(&self, rsid: TweetId) -> Vec<TweetId> {
-        self.reply_index.scan_major(rsid.0).into_iter().map(|((_, sid), _)| TweetId(sid)).collect()
+        match self.try_replies_to_ids(rsid) {
+            Ok(ids) => ids,
+            Err(e) => panic!("metadata reply scan failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::replies_to_ids`].
+    pub fn try_replies_to_ids(&self, rsid: TweetId) -> StorageResult<Vec<TweetId>> {
+        Ok(self
+            .reply_index
+            .scan_major(rsid.0)?
+            .into_iter()
+            .map(|((_, sid), _)| TweetId(sid))
+            .collect())
     }
 
     /// All posts of a user, as `(sid, location)` — the `P_u` scan for
     /// Definition 9's user distance score.
+    /// Panics on storage failure; see [`Self::try_posts_of_user`].
     pub fn posts_of_user(&self, uid: UserId) -> Vec<(TweetId, Point)> {
-        self.user_index
-            .scan_major(uid.0)
+        match self.try_posts_of_user(uid) {
+            Ok(posts) => posts,
+            Err(e) => panic!("metadata user scan failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::posts_of_user`].
+    pub fn try_posts_of_user(&self, uid: UserId) -> StorageResult<Vec<(TweetId, Point)>> {
+        Ok(self
+            .user_index
+            .scan_major(uid.0)?
             .into_iter()
             .map(|((_, sid), loc)| {
                 let lat = f64::from_le_bytes(loc[0..8].try_into().unwrap());
                 let lon = f64::from_le_bytes(loc[8..16].try_into().unwrap());
                 (TweetId(sid), Point::new_unchecked(lat, lon))
             })
-            .collect()
+            .collect())
     }
 }
 
-impl ReplyProvider for MetadataDb {
+/// Owned-database provider: infallible interface for tools and benches
+/// that panic on storage failure (the blanket impl also makes this a
+/// `TryReplyProvider` with `Error = Infallible`).
+impl tklus_graph::ReplyProvider for MetadataDb {
     fn replies_to(&mut self, id: TweetId) -> Vec<TweetId> {
         self.replies_to_ids(id)
     }
 }
 
 /// Shared-reference provider: thread construction only reads, so a `&self`
-/// borrow satisfies the (historically `&mut`) provider contract. This is
-/// what lets many scoring threads walk threads over one shared database.
-impl ReplyProvider for &MetadataDb {
-    fn replies_to(&mut self, id: TweetId) -> Vec<TweetId> {
-        self.replies_to_ids(id)
+/// borrow satisfies the (historically `&mut`) provider contract — this is
+/// what lets many scoring threads walk threads over one shared database —
+/// and storage failures propagate as typed errors instead of panics.
+impl TryReplyProvider for &MetadataDb {
+    type Error = StorageError;
+
+    fn try_replies_to(&mut self, id: TweetId) -> Result<Vec<TweetId>, StorageError> {
+        self.try_replies_to_ids(id)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tklus_graph::build_thread;
+    use tklus_graph::try_build_thread;
+    use tklus_storage::{FaultConfig, FaultPager};
 
     fn pt(lat: f64, lon: f64) -> Point {
         Point::new_unchecked(lat, lon)
@@ -262,7 +343,7 @@ mod tests {
     #[test]
     fn works_as_reply_provider_for_threads() {
         let db = MetadataDb::from_posts(&posts(), 0);
-        let t = build_thread(&mut &db, TweetId(1), 5);
+        let t = try_build_thread(&mut &db, TweetId(1), 5).unwrap();
         assert_eq!(t.level_sizes(), vec![1, 2, 1]);
     }
 
@@ -295,5 +376,38 @@ mod tests {
         let loc = db.location_of(TweetId(7)).unwrap();
         assert_eq!(loc.lat(), original.lat());
         assert_eq!(loc.lon(), original.lon());
+    }
+
+    #[test]
+    fn custom_store_factory_is_used() {
+        // A fault pager with 100% transient writes, armed from the start:
+        // the (write-heavy) bulk load itself must surface the typed error.
+        let cfg = FaultConfig { seed: 1, transient_write_ppm: 1_000_000, ..FaultConfig::default() };
+        let handle = tklus_storage::FaultHandle::new();
+        handle.arm(true);
+        let factory: MetadataStoreFactory = {
+            let handle = Arc::clone(&handle);
+            Arc::new(move |stats| {
+                Box::new(FaultPager::with_handle(
+                    MemPager::with_stats(stats),
+                    cfg,
+                    Arc::clone(&handle),
+                ))
+            })
+        };
+        let err = match MetadataDb::try_from_posts(&posts(), 0, Some(&factory)) {
+            Err(e) => e,
+            Ok(_) => panic!("bulk load over an always-failing store must fail"),
+        };
+        assert!(err.is_transient(), "{err}");
+        assert!(handle.transient_injected() > 0);
+    }
+
+    #[test]
+    fn try_accessors_match_infallible_ones() {
+        let db = MetadataDb::from_posts(&posts(), 0);
+        assert_eq!(db.try_row(TweetId(2)).unwrap(), db.row(TweetId(2)));
+        assert_eq!(db.try_replies_to_ids(TweetId(1)).unwrap(), db.replies_to_ids(TweetId(1)));
+        assert_eq!(db.try_posts_of_user(UserId(10)).unwrap(), db.posts_of_user(UserId(10)));
     }
 }

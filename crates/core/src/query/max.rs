@@ -32,10 +32,21 @@
 //! so `thread_cache_hits`/`_misses` count every probe (keeping per-query
 //! tallies consistent with the global cache counters), while
 //! `threads_built`/`threads_pruned` keep replaying the live prune exactly.
+//!
+//! # Failure
+//!
+//! Storage and index failures — postings fetch, metadata lookups, thread
+//! walks — propagate as typed [`EngineError`]s instead of panics, from
+//! both the sequential path and the speculative workers (worker errors are
+//! surfaced by the in-order merge). A query budget degrades the cover
+//! instead (see [`Completeness`]).
 
 use crate::bounds::{BoundsMode, BoundsTable};
+use crate::error::EngineError;
 use crate::metadata::MetadataDb;
-use crate::query::{candidates, parallel_map, top_k, QueryContext, QueryStats, RankedUser};
+use crate::query::{
+    candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats, RankedUser,
+};
 use crate::score::{tweet_keyword_score, upper_bound_user_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -138,13 +149,13 @@ const BLOCK_PER_WORKER: usize = 32;
 /// `ctx.parallelism` fans the postings fetch and the block-speculative
 /// scoring across worker threads; the ranked output and prune/build
 /// counters are identical at any value (see the module docs for why).
-pub(crate) fn query_max(
+pub(crate) fn try_query_max(
     ctx: &QueryContext<'_>,
     bounds: &BoundsTable,
     mode: BoundsMode,
     query: &TklusQuery,
     terms: &[TermId],
-) -> (Vec<RankedUser>, QueryStats) {
+) -> Result<(Vec<RankedUser>, QueryStats, Completeness), EngineError> {
     let start = Instant::now();
     let db = ctx.db;
     let config = ctx.scoring;
@@ -152,9 +163,16 @@ pub(crate) fn query_max(
     let center = &query.location;
     let radius_km = query.radius_km;
     let k = query.k;
+    let budget = CellBudget::new(query.budget.as_ref(), start);
 
-    // Lines 1–14: identical to Algorithm 4, through the cache hierarchy.
-    let (fetch, tally) = ctx.fetch(center, radius_km, terms);
+    // Lines 1–14: identical to Algorithm 4, through the cache hierarchy,
+    // stopping between cover cells if the budget expires.
+    let (fetch, tally, cells_total) = ctx.try_fetch(center, radius_km, terms, budget.as_ref())?;
+    let completeness = if fetch.cells < cells_total {
+        Completeness::Degraded { cells_processed: fetch.cells, cells_total }
+    } else {
+        Completeness::Complete
+    };
     let cands = candidates(&fetch, query.semantics);
 
     let mut stats = QueryStats {
@@ -181,7 +199,7 @@ pub(crate) fn query_max(
             if !query.in_time_range(tid.0) {
                 continue;
             }
-            let Some(row) = db.row(tid) else { continue };
+            let Some(row) = db.try_row(tid)? else { continue };
             if center.distance_km(&row.location, config.metric) > radius_km {
                 continue;
             }
@@ -201,7 +219,7 @@ pub(crate) fn query_max(
 
             // Lines 20–22: thread popularity (cached or constructed),
             // tweet and user scores.
-            let (phi, probe) = ctx.popularity(tid);
+            let (phi, probe) = ctx.try_popularity(tid)?;
             stats.record_thread_probe(probe);
             if probe != Some(true) {
                 stats.threads_built += 1;
@@ -211,7 +229,7 @@ pub(crate) fn query_max(
             let delta = match delta_cache.get(&uid) {
                 Some(&d) => d,
                 None => {
-                    let d = user_distance_for(db, center, radius_km, uid, config);
+                    let d = user_distance_for(db, center, radius_km, uid, config)?;
                     delta_cache.insert(uid, d);
                     d
                 }
@@ -226,31 +244,33 @@ pub(crate) fn query_max(
             // snapshot prune is always a subset of the live prune.
             let snapshot_floor = if top.is_full() { top.min_score() } else { None };
 
-            let prepared: Vec<Option<Prepared>> =
+            let prepared: Vec<Result<Option<Prepared>, EngineError>> =
                 parallel_map(chunk, ctx.parallelism, |&(tid, tf)| {
                     if !query.in_time_range(tid.0) {
-                        return None;
+                        return Ok(None);
                     }
-                    let row = db.row(tid)?;
+                    let Some(row) = db.try_row(tid)? else { return Ok(None) };
                     if center.distance_km(&row.location, config.metric) > radius_km {
-                        return None;
+                        return Ok(None);
                     }
                     let recency = query.recency_factor(tid.0);
                     let uid = row.uid;
                     if let Some(floor) = snapshot_floor {
                         let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
                         if upper <= floor {
-                            return Some(Prepared { tf, recency, uid, speculative: None });
+                            return Ok(Some(Prepared { tf, recency, uid, speculative: None }));
                         }
                     }
-                    let (phi, probe) = ctx.popularity(tid);
+                    let (phi, probe) = ctx.try_popularity(tid)?;
                     let rho = tweet_keyword_score(tf, phi, config) * recency;
-                    let delta = user_distance_for(db, center, radius_km, uid, config);
-                    Some(Prepared { tf, recency, uid, speculative: Some((rho, delta, probe)) })
+                    let delta = user_distance_for(db, center, radius_km, uid, config)?;
+                    Ok(Some(Prepared { tf, recency, uid, speculative: Some((rho, delta, probe)) }))
                 });
 
-            // Merge in candidate order, replaying the exact live prune.
-            for p in prepared.into_iter().flatten() {
+            // Merge in candidate order, replaying the exact live prune
+            // (and surfacing the first worker error in candidate order).
+            for p in prepared {
+                let Some(p) = p? else { continue };
                 stats.in_radius += 1;
                 // A speculative probe touched the shared thread cache
                 // whether or not the live prune keeps the candidate, so it
@@ -280,7 +300,7 @@ pub(crate) fn query_max(
 
     stats.metadata_page_reads = db.io().page_reads() - io_before;
     stats.elapsed = start.elapsed();
-    (top_k(top.into_ranked(), k), stats)
+    Ok((top_k(top.into_ranked(), k), stats, completeness))
 }
 
 /// Definition 9's user distance score over `P_u` (pure: same inputs, same
@@ -291,7 +311,7 @@ fn user_distance_for(
     radius_km: f64,
     uid: UserId,
     config: &ScoringConfig,
-) -> f64 {
-    let locations: Vec<Point> = db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
-    user_distance_score(center, radius_km, &locations, config)
+) -> Result<f64, EngineError> {
+    let locations: Vec<Point> = db.try_posts_of_user(uid)?.into_iter().map(|(_, l)| l).collect();
+    Ok(user_distance_score(center, radius_km, &locations, config))
 }

@@ -9,12 +9,14 @@ pub mod max;
 pub mod sum;
 
 use crate::cache::QueryCaches;
+use crate::error::EngineError;
 use crate::metadata::MetadataDb;
 use std::sync::Arc;
+use std::time::Instant;
 use tklus_geo::{circle_cover, CoverKey, Geohash, Point};
-use tklus_graph::build_thread;
+use tklus_graph::try_build_thread;
 use tklus_index::{intersect_sum, union_sum, HybridIndex, PostingsList, QueryFetch};
-use tklus_model::{ScoringConfig, Semantics, TweetId, UserId};
+use tklus_model::{QueryBudget, ScoringConfig, Semantics, TweetId, UserId};
 use tklus_text::TermId;
 
 /// One result row: a user and their score.
@@ -24,6 +26,77 @@ pub struct RankedUser {
     pub user: UserId,
     /// `score(u, q)` under the ranking method used.
     pub score: f64,
+}
+
+/// Whether a query examined its whole cover or ran out of budget
+/// (DESIGN.md §10): a degraded answer is the exact top-k over the cells
+/// that *were* processed, never a silently truncated "complete" one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every cover cell was examined; this is the exact answer.
+    Complete,
+    /// The budget expired mid-cover; the result ranks only the tweets
+    /// found in the first `cells_processed` of `cells_total` cover cells.
+    Degraded {
+        /// Cover cells fully examined before the budget expired.
+        cells_processed: usize,
+        /// Cover cells the query would have examined with no budget.
+        cells_total: usize,
+    },
+}
+
+impl Completeness {
+    /// True when the result is exact.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+/// Everything [`crate::TklusEngine::try_query`] produces: the ranked
+/// users, the cost accounting, and whether the answer is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The top-k local users, best first.
+    pub users: Vec<RankedUser>,
+    /// Cost accounting for this execution.
+    pub stats: QueryStats,
+    /// Whether the whole cover was examined.
+    pub completeness: Completeness,
+}
+
+/// A query budget resolved against this execution's start time, checked at
+/// cover-cell granularity: a cell is either fully examined or not started,
+/// which is what keeps degraded results deterministic for a fixed
+/// `max_cells` and exact for whatever prefix a deadline admits.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CellBudget {
+    deadline: Option<Instant>,
+    max_cells: Option<usize>,
+}
+
+impl CellBudget {
+    /// Resolves a query's budget; `None` when there is nothing to enforce.
+    pub(crate) fn new(budget: Option<&QueryBudget>, start: Instant) -> Option<Self> {
+        let budget = budget?;
+        if budget.is_unlimited() {
+            return None;
+        }
+        Some(Self {
+            deadline: budget.timeout_ms.map(|ms| start + std::time::Duration::from_millis(ms)),
+            max_cells: budget.max_cells,
+        })
+    }
+
+    /// May another cover cell be started after `cells_done` finished ones?
+    pub(crate) fn allows(&self, cells_done: usize) -> bool {
+        if self.max_cells.is_some_and(|m| cells_done >= m) {
+            return false;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
+        true
+    }
 }
 
 /// Cost accounting for one query execution.
@@ -113,12 +186,21 @@ impl QueryContext<'_> {
     /// results — are identical. Directory misses (a `⟨cell, term⟩` with no
     /// postings) are never cached: the in-memory forward lookup already
     /// answers them for free.
-    pub(crate) fn fetch(
+    ///
+    /// With a `budget`, cells are processed one at a time (each cell's
+    /// misses fetched before the next cell starts) so the deadline check
+    /// between cells reflects real work done; the per-keyword list order is
+    /// the same as the batch path's, so a budget that admits the whole
+    /// cover yields bitwise-identical results. Returns the fetch (whose
+    /// `cells` counts *processed* cells), the cache tally, and the cover's
+    /// total cell count.
+    pub(crate) fn try_fetch(
         &self,
         center: &Point,
         radius_km: f64,
         terms: &[TermId],
-    ) -> (QueryFetch, FetchTally) {
+        budget: Option<&CellBudget>,
+    ) -> Result<(QueryFetch, FetchTally, usize), EngineError> {
         let mut tally = FetchTally::default();
         let geohash_len = self.index.geohash_len();
         let metric = self.scoring.metric;
@@ -145,6 +227,13 @@ impl QueryContext<'_> {
         } else {
             compute_cover()
         };
+        let cells_total = cover.len();
+
+        if let Some(budget) = budget {
+            return self
+                .fetch_budgeted(&cover, terms, budget, tally)
+                .map(|(fetch, tally)| (fetch, tally, cells_total));
+        }
 
         // Probe the postings cache in (keyword, cover-cell) order,
         // reserving a slot per list so hits and later-fetched misses land
@@ -178,12 +267,13 @@ impl QueryContext<'_> {
         // sorted ⟨geohash, term⟩ layout provides), then file each decoded
         // list into its reserved slot and the cache.
         misses.sort_by_key(|&(_, _, _, loc)| (loc.partition, loc.offset));
-        let fetched: Vec<(PostingsList, u64)> =
+        let fetched: Vec<Result<(PostingsList, u64), tklus_index::IndexError>> =
             parallel_map(&misses, self.parallelism, |&(_, _, _, loc)| {
-                self.index.read_postings(loc)
+                self.index.try_read_postings(loc)
             });
         let mut bytes = 0u64;
-        for (&(ki, slot, key, _), (list, b)) in misses.iter().zip(fetched) {
+        for (&(ki, slot, key, _), fetched) in misses.iter().zip(fetched) {
+            let (list, b) = fetched?;
             bytes += b;
             let list = Arc::new(list);
             self.caches.postings.insert(key, Arc::clone(&list));
@@ -193,7 +283,48 @@ impl QueryContext<'_> {
             .into_iter()
             .map(|lists| lists.into_iter().map(|l| l.expect("every slot filled")).collect())
             .collect();
-        (QueryFetch { per_keyword, cells: cover.len(), lists, bytes }, tally)
+        Ok((QueryFetch { per_keyword, cells: cells_total, lists, bytes }, tally, cells_total))
+    }
+
+    /// The budgeted fetch path: cell-outer/keyword-inner, stopping between
+    /// cells when the budget runs out. Appending to `per_keyword[ki]` in
+    /// cover order reproduces exactly the batch path's list order.
+    fn fetch_budgeted(
+        &self,
+        cover: &[Geohash],
+        terms: &[TermId],
+        budget: &CellBudget,
+        mut tally: FetchTally,
+    ) -> Result<(QueryFetch, FetchTally), EngineError> {
+        let mut per_keyword: Vec<Vec<Arc<PostingsList>>> =
+            terms.iter().map(|_| Vec::new()).collect();
+        let mut lists = 0usize;
+        let mut bytes = 0u64;
+        let mut processed = 0usize;
+        for &cell in cover {
+            if !budget.allows(processed) {
+                break;
+            }
+            for (ki, &term) in terms.iter().enumerate() {
+                let Some(loc) = self.index.forward().lookup(cell, term) else { continue };
+                lists += 1;
+                if let Some(list) = self.caches.postings.get(&(cell, term)) {
+                    tally.postings_hits += 1;
+                    per_keyword[ki].push(list);
+                    continue;
+                }
+                if self.caches.postings.is_enabled() {
+                    tally.postings_misses += 1;
+                }
+                let (list, b) = self.index.try_read_postings(loc)?;
+                bytes += b;
+                let list = Arc::new(list);
+                self.caches.postings.insert((cell, term), Arc::clone(&list));
+                per_keyword[ki].push(list);
+            }
+            processed += 1;
+        }
+        Ok((QueryFetch { per_keyword, cells: processed, lists, bytes }, tally))
     }
 
     /// Definition 4's thread popularity φ(p) for the thread rooted at
@@ -202,18 +333,20 @@ impl QueryContext<'_> {
     /// actually constructed exactly when the outcome is not `Some(true)`.
     ///
     /// Pure given the immutable corpus and the engine-fixed `thread_depth`
-    /// and `epsilon`, so any thread may compute and cache it.
-    pub(crate) fn popularity(&self, tid: TweetId) -> (f64, Option<bool>) {
+    /// and `epsilon`, so any thread may compute and cache it. A metadata
+    /// storage failure during the thread walk surfaces as a typed error.
+    pub(crate) fn try_popularity(&self, tid: TweetId) -> Result<(f64, Option<bool>), EngineError> {
         if let Some(phi) = self.caches.thread.get(&tid) {
-            return (phi, Some(true));
+            return Ok((phi, Some(true)));
         }
-        let phi = build_thread(&mut &*self.db, tid, self.scoring.thread_depth)
+        let phi = try_build_thread(&mut &*self.db, tid, self.scoring.thread_depth)
+            .map_err(EngineError::Storage)?
             .popularity(self.scoring.epsilon);
         if self.caches.thread.is_enabled() {
             self.caches.thread.insert(tid, phi);
-            (phi, Some(false))
+            Ok((phi, Some(false)))
         } else {
-            (phi, None)
+            Ok((phi, None))
         }
     }
 }

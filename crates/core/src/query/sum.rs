@@ -12,13 +12,25 @@
 //! postings, and thread caches slot in transparently: every cached value
 //! is pure, so cached and uncached runs differ only in cost, never in
 //! results.
+//!
+//! Storage and index failures anywhere along the path — postings fetch,
+//! metadata row lookup, thread walk, user scan — propagate as typed
+//! [`EngineError`]s; a query budget degrades the cover instead
+//! (see [`Completeness`]).
 
-use crate::query::{candidates, parallel_map, top_k, QueryContext, QueryStats, RankedUser};
+use crate::error::EngineError;
+use crate::query::{
+    candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats, RankedUser,
+};
 use crate::score::{tweet_keyword_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
 use tklus_model::{TklusQuery, UserId};
 use tklus_text::TermId;
+
+/// One fanned-out scoring slot: `None` when the candidate fell outside the
+/// radius or time window, otherwise `(author, relevance, cache-probe)`.
+type ScoredSlot = Result<Option<(UserId, f64, Option<bool>)>, EngineError>;
 
 /// Runs Algorithm 4. `terms` are the query keywords already normalized to
 /// term ids (keywords missing from the dictionary are resolved upstream).
@@ -30,21 +42,27 @@ use tklus_text::TermId;
 /// `ctx.parallelism` is the number of worker threads for the postings
 /// fetch, the per-candidate thread scoring, and the per-user distance
 /// blend; the ranked output is identical at any value.
-pub(crate) fn query_sum(
+pub(crate) fn try_query_sum(
     ctx: &QueryContext<'_>,
     query: &TklusQuery,
     terms: &[TermId],
-) -> (Vec<RankedUser>, QueryStats) {
+) -> Result<(Vec<RankedUser>, QueryStats, Completeness), EngineError> {
     let start = Instant::now();
     let db = ctx.db;
     let config = ctx.scoring;
     let io_before = db.io().page_reads();
     let center = &query.location;
     let radius_km = query.radius_km;
+    let budget = CellBudget::new(query.budget.as_ref(), start);
 
     // Lines 1–14: cover, fetch, AND/OR combine — through the cache
-    // hierarchy.
-    let (fetch, tally) = ctx.fetch(center, radius_km, terms);
+    // hierarchy, stopping between cover cells if the budget expires.
+    let (fetch, tally, cells_total) = ctx.try_fetch(center, radius_km, terms, budget.as_ref())?;
+    let completeness = if fetch.cells < cells_total {
+        Completeness::Degraded { cells_processed: fetch.cells, cells_total }
+    } else {
+        Completeness::Complete
+    };
     let cands = candidates(&fetch, query.semantics);
 
     let mut stats = QueryStats {
@@ -61,27 +79,28 @@ pub(crate) fn query_sum(
 
     // Lines 15–24, fan-out half: per-tweet relevance. Each slot is pure —
     // radius check, thread popularity (possibly cached), keyword score —
-    // and lands back in candidate order.
-    let scored: Vec<Option<(UserId, f64, Option<bool>)>> =
-        parallel_map(&cands, ctx.parallelism, |&(tid, tf)| {
-            // Temporal extension: the id is the timestamp, so the window
-            // check costs nothing and precedes all metadata I/O.
-            if !query.in_time_range(tid.0) {
-                return None;
-            }
-            let row = db.row(tid)?;
-            if center.distance_km(&row.location, config.metric) > radius_km {
-                return None;
-            }
-            let (phi, probe) = ctx.popularity(tid);
-            let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
-            Some((row.uid, rs, probe))
-        });
+    // and lands back in candidate order; any slot's storage error aborts
+    // the query in the sequential fold below.
+    let scored: Vec<ScoredSlot> = parallel_map(&cands, ctx.parallelism, |&(tid, tf)| {
+        // Temporal extension: the id is the timestamp, so the window
+        // check costs nothing and precedes all metadata I/O.
+        if !query.in_time_range(tid.0) {
+            return Ok(None);
+        }
+        let Some(row) = db.try_row(tid)? else { return Ok(None) };
+        if center.distance_km(&row.location, config.metric) > radius_km {
+            return Ok(None);
+        }
+        let (phi, probe) = ctx.try_popularity(tid)?;
+        let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
+        Ok(Some((row.uid, rs, probe)))
+    });
 
     // Fold half: per-user Sum scores accumulate sequentially in candidate
     // order, so float addition order never depends on scheduling.
     let mut users: HashMap<UserId, f64> = HashMap::new();
-    for &(uid, rs, probe) in scored.iter().flatten() {
+    for slot in scored {
+        let Some((uid, rs, probe)) = slot? else { continue };
         stats.in_radius += 1;
         stats.record_thread_probe(probe);
         if probe != Some(true) {
@@ -95,14 +114,16 @@ pub(crate) fn query_sum(
     // in id order for deterministic I/O patterns.
     let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
     entries.sort_by_key(|e| e.0);
-    let ranked: Vec<RankedUser> = parallel_map(&entries, ctx.parallelism, |&(uid, rho_sum)| {
-        let locations: Vec<tklus_geo::Point> =
-            db.posts_of_user(uid).into_iter().map(|(_, l)| l).collect();
-        let delta = user_distance_score(center, radius_km, &locations, config);
-        RankedUser { user: uid, score: user_score(rho_sum, delta, config) }
-    });
+    let ranked: Vec<Result<RankedUser, EngineError>> =
+        parallel_map(&entries, ctx.parallelism, |&(uid, rho_sum)| {
+            let locations: Vec<tklus_geo::Point> =
+                db.try_posts_of_user(uid)?.into_iter().map(|(_, l)| l).collect();
+            let delta = user_distance_score(center, radius_km, &locations, config);
+            Ok(RankedUser { user: uid, score: user_score(rho_sum, delta, config) })
+        });
+    let ranked: Vec<RankedUser> = ranked.into_iter().collect::<Result<_, _>>()?;
 
     stats.metadata_page_reads = db.io().page_reads() - io_before;
     stats.elapsed = start.elapsed();
-    (top_k(ranked, query.k), stats)
+    Ok((top_k(ranked, query.k), stats, completeness))
 }

@@ -15,4 +15,4 @@ pub mod thread;
 
 pub use network::SocialNetwork;
 pub use popularity::{harmonic_tail, popularity, upper_bound_popularity};
-pub use thread::{build_thread, ReplyProvider, TweetThread};
+pub use thread::{build_thread, try_build_thread, ReplyProvider, TryReplyProvider, TweetThread};

@@ -20,6 +20,25 @@ pub trait ReplyProvider {
     fn replies_to(&mut self, id: TweetId) -> Vec<TweetId>;
 }
 
+/// Fallible variant of [`ReplyProvider`] for providers backed by storage
+/// that can fail (the metadata database's secondary B⁺-tree scan). Every
+/// infallible [`ReplyProvider`] is automatically a `TryReplyProvider` with
+/// `Error = Infallible` via the blanket impl.
+pub trait TryReplyProvider {
+    /// The error a lookup can surface.
+    type Error;
+    /// The ids of tweets whose `rsid` equals `id`, or a storage error.
+    fn try_replies_to(&mut self, id: TweetId) -> Result<Vec<TweetId>, Self::Error>;
+}
+
+impl<P: ReplyProvider> TryReplyProvider for P {
+    type Error = std::convert::Infallible;
+
+    fn try_replies_to(&mut self, id: TweetId) -> Result<Vec<TweetId>, Self::Error> {
+        Ok(self.replies_to(id))
+    }
+}
+
 impl ReplyProvider for &SocialNetwork {
     fn replies_to(&mut self, id: TweetId) -> Vec<TweetId> {
         self.children_of(id).to_vec()
@@ -93,20 +112,35 @@ pub fn build_thread<P: ReplyProvider>(
     root: TweetId,
     depth: usize,
 ) -> TweetThread {
+    match try_build_thread(provider, root, depth) {
+        Ok(thread) => thread,
+        // The blanket impl gives infallible providers `Error = Infallible`.
+        Err(infallible) => match infallible {},
+    }
+}
+
+/// Fallible Algorithm 1: identical to [`build_thread`] but propagates the
+/// provider's error (a partially built thread is discarded — popularity
+/// over a truncated thread would be silently wrong).
+pub fn try_build_thread<P: TryReplyProvider>(
+    provider: &mut P,
+    root: TweetId,
+    depth: usize,
+) -> Result<TweetThread, P::Error> {
     assert!(depth >= 1, "thread depth must be at least 1");
     let mut levels = vec![vec![root]];
     while levels.len() < depth {
         let current = levels.last().expect("non-empty levels");
         let mut next = Vec::new();
         for &id in current {
-            next.extend(provider.replies_to(id));
+            next.extend(provider.try_replies_to(id)?);
         }
         if next.is_empty() {
             break;
         }
         levels.push(next);
     }
-    TweetThread { root, levels }
+    Ok(TweetThread { root, levels })
 }
 
 #[cfg(test)]
@@ -191,6 +225,41 @@ mod tests {
     fn zero_depth_rejected() {
         let mut p = provider(&[]);
         let _ = build_thread(&mut p, TweetId(1), 0);
+    }
+
+    /// A fallible provider that errors after a fixed number of lookups.
+    struct FailingProvider {
+        inner: CountingProvider,
+        fail_after: usize,
+    }
+
+    impl TryReplyProvider for FailingProvider {
+        type Error = String;
+
+        fn try_replies_to(&mut self, id: TweetId) -> Result<Vec<TweetId>, Self::Error> {
+            if self.inner.lookups >= self.fail_after {
+                return Err(format!("lookup of {id:?} failed"));
+            }
+            Ok(self.inner.replies_to(id))
+        }
+    }
+
+    #[test]
+    fn try_build_thread_matches_infallible_path() {
+        let edges = [(1, 2), (1, 3), (2, 4), (3, 5)];
+        let mut p = provider(&edges);
+        let infallible = build_thread(&mut p, TweetId(1), 4);
+        // Via the blanket impl, the same provider works fallibly.
+        let mut p2 = provider(&edges);
+        let fallible = try_build_thread(&mut p2, TweetId(1), 4).unwrap();
+        assert_eq!(infallible, fallible);
+    }
+
+    #[test]
+    fn provider_error_discards_the_partial_thread() {
+        let mut p = FailingProvider { inner: provider(&[(1, 2), (2, 3), (3, 4)]), fail_after: 2 };
+        let err = try_build_thread(&mut p, TweetId(1), 5).unwrap_err();
+        assert!(err.contains("failed"), "{err}");
     }
 
     #[test]

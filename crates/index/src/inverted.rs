@@ -12,11 +12,47 @@ use crate::forward::{ForwardIndex, PostingsLocation};
 use crate::posting::PostingsList;
 use std::sync::Arc;
 use tklus_geo::{circle_cover, DistanceMetric, Geohash, Point};
-use tklus_storage::Dfs;
+use tklus_storage::{Dfs, DfsError};
 use tklus_text::{TermId, Vocab};
 
 /// A `⟨geohash, term⟩` key, as stored in the forward index.
 pub type IndexKey = (Geohash, TermId);
+
+/// Errors from the inverted-index read path.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The DFS could not serve a partition range the directory points at.
+    Dfs {
+        /// Partition file the read targeted.
+        file: String,
+        /// The underlying DFS failure.
+        source: DfsError,
+    },
+    /// Partition bytes at a directory location failed to decode.
+    CorruptPostings {
+        /// Partition file the bytes came from.
+        file: String,
+        /// Byte offset of the postings list within the file.
+        offset: u64,
+        /// What the decoder rejected.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Dfs { file, source } => {
+                write!(f, "dfs read of {file} failed: {source}")
+            }
+            IndexError::CorruptPostings { file, offset, detail } => {
+                write!(f, "corrupt postings in {file} at offset {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
 
 /// The hybrid index: forward directory in memory, inverted partitions on
 /// the DFS.
@@ -88,14 +124,35 @@ impl HybridIndex {
     /// the immutable partition files, so safe from any thread — this is the
     /// storage-touching half of a fetch that the engine's postings cache
     /// wraps.
+    ///
+    /// Panics if the directory points at an unreadable or undecodable
+    /// range; fault-tolerant callers use [`Self::try_read_postings`].
     pub fn read_postings(&self, loc: PostingsLocation) -> (PostingsList, u64) {
+        match self.try_read_postings(loc) {
+            Ok(out) => out,
+            Err(e) => panic!("directory points at valid partition range: {e}"),
+        }
+    }
+
+    /// Fallible [`Self::read_postings`]: an unreadable partition range or
+    /// undecodable bytes surface as a typed [`IndexError`] instead of a
+    /// panic.
+    pub fn try_read_postings(
+        &self,
+        loc: PostingsLocation,
+    ) -> Result<(PostingsList, u64), IndexError> {
+        let file = Self::partition_file(loc.partition);
         let raw = self
             .dfs
-            .read_at(&Self::partition_file(loc.partition), loc.offset, loc.len as usize)
-            .expect("directory points at valid partition range");
+            .read_at(&file, loc.offset, loc.len as usize)
+            .map_err(|source| IndexError::Dfs { file: file.clone(), source })?;
         let bytes = raw.len() as u64;
-        let (list, _) = PostingsList::decode(&raw).expect("partition bytes decode");
-        (list, bytes)
+        let (list, _) = PostingsList::decode(&raw).map_err(|e| IndexError::CorruptPostings {
+            file,
+            offset: loc.offset,
+            detail: e.to_string(),
+        })?;
+        Ok((list, bytes))
     }
 
     /// The postings-retrieval phase of Algorithms 4/5: computes the geohash
@@ -275,6 +332,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bad_locations_surface_typed_errors() {
+        let idx = index();
+        let hotel = idx.vocab().get("hotel").unwrap();
+        let (&(gh, _), &loc) = idx
+            .forward()
+            .iter()
+            .find(|((_, t), _)| *t == hotel)
+            .map(|(k, v)| (k, v))
+            .expect("hotel has a directory entry");
+        let _ = gh;
+        // A read past the end of the partition is a DFS error.
+        let past_end = PostingsLocation { partition: loc.partition, offset: 1 << 40, len: 8 };
+        let err = idx.try_read_postings(past_end).unwrap_err();
+        assert!(matches!(err, IndexError::Dfs { .. }), "{err}");
+        // A truncated range decodes to garbage: a typed corruption error.
+        if loc.len > 1 {
+            let truncated =
+                PostingsLocation { partition: loc.partition, offset: loc.offset, len: loc.len - 1 };
+            let err = idx.try_read_postings(truncated).unwrap_err();
+            assert!(matches!(err, IndexError::CorruptPostings { .. }), "{err}");
+        }
+        // The good location still reads fine.
+        assert!(idx.try_read_postings(loc).is_ok());
     }
 
     #[test]

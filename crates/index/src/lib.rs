@@ -30,7 +30,9 @@ pub mod posting;
 
 pub use build::{build_index, IndexBuildConfig, IndexBuildReport};
 pub use forward::{ForwardIndex, PostingsLocation};
-pub use inverted::{HybridIndex, IndexKey, QueryFetch};
+pub use inverted::{HybridIndex, IndexError, IndexKey, QueryFetch};
 pub use irtree::{IrSearchStats, IrTree};
-pub use persist::{load_dir, save_dir, PersistError};
+pub use persist::{
+    load_dir, load_dir_with_report, save_dir, LoadReport, PersistError, PERSIST_FORMAT_VERSION,
+};
 pub use posting::{intersect_gallop, intersect_sum, union_sum, Posting, PostingsList};

@@ -4,22 +4,31 @@
 //! Layout (all text formats are line-oriented and human-inspectable):
 //!
 //! ```text
-//! <dir>/meta.tsv          geohash_len, node count
+//! <dir>/meta.tsv          format version, geohash_len, node count
 //! <dir>/vocab.tsv         term_id \t frequency \t term   (ascending ids)
 //! <dir>/forward.tsv       geohash \t term_id \t partition \t offset \t len
+//! <dir>/checksums.tsv     partition file \t crc32 (hex)
 //! <dir>/partitions/part-NNNNN    raw concatenated postings bytes
 //! ```
 //!
 //! Loading rebuilds the simulated DFS (same node placement: partition `i`
 //! on node `i % nodes`), the dictionary (ids are positions, so interning
-//! in file order reproduces them), and the forward directory.
+//! in file order reproduces them), and the forward directory. Every
+//! partition file is verified against its recorded CRC32 before it is
+//! trusted, the `format` line must match [`PERSIST_FORMAT_VERSION`], and
+//! files in `partitions/` that are not partition files are skipped and
+//! reported rather than aborting the load (editor swap files, `.DS_Store`,
+//! and the like are not corruption).
 
 use crate::forward::{ForwardIndex, PostingsLocation};
 use crate::inverted::HybridIndex;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
-use tklus_storage::{Dfs, DfsConfig};
+use tklus_storage::{crc32, Dfs, DfsConfig};
 use tklus_text::{TermId, Vocab};
+
+/// On-disk format version written to (and required from) `meta.tsv`.
+pub const PERSIST_FORMAT_VERSION: u32 = 1;
 
 /// Errors from index persistence.
 #[derive(Debug)]
@@ -28,6 +37,28 @@ pub enum PersistError {
     Io(std::io::Error),
     /// A malformed metadata/dictionary/directory line.
     Corrupt(String),
+    /// The directory was written by an incompatible format version.
+    VersionMismatch {
+        /// The `format` value found in `meta.tsv` (or a description of its
+        /// absence).
+        found: String,
+        /// The version this build reads.
+        expected: u32,
+    },
+    /// A partition file's bytes do not match their recorded checksum.
+    PartitionCorrupt {
+        /// The partition file name.
+        file: String,
+        /// CRC32 recorded in `checksums.tsv`.
+        expected: u32,
+        /// CRC32 of the bytes actually on disk.
+        actual: u32,
+    },
+    /// A partition file recorded in `checksums.tsv` is absent on disk.
+    MissingPartition {
+        /// The missing partition file name.
+        file: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -35,11 +66,29 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "index io error: {e}"),
             PersistError::Corrupt(m) => write!(f, "corrupt index directory: {m}"),
+            PersistError::VersionMismatch { found, expected } => write!(
+                f,
+                "index format version mismatch: directory has {found}, this build reads {expected}"
+            ),
+            PersistError::PartitionCorrupt { file, expected, actual } => write!(
+                f,
+                "partition {file} is corrupt: checksum {actual:#010x} does not match recorded {expected:#010x}"
+            ),
+            PersistError::MissingPartition { file } => {
+                write!(f, "partition {file} is recorded in checksums.tsv but missing on disk")
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -51,13 +100,25 @@ fn corrupt(message: impl Into<String>) -> PersistError {
     PersistError::Corrupt(message.into())
 }
 
+/// What a load found beyond the index itself: partitions verified and any
+/// stray files skipped in `partitions/`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Partition files loaded and checksum-verified.
+    pub partitions_loaded: usize,
+    /// Files in `partitions/` that are not partition files, skipped.
+    pub skipped_files: Vec<String>,
+}
+
 /// Writes the index to `dir` (created if missing; existing files are
 /// overwritten).
 pub fn save_dir(index: &HybridIndex, dir: &Path) -> Result<(), PersistError> {
     std::fs::create_dir_all(dir.join("partitions"))?;
 
-    // meta.tsv
+    // meta.tsv — format version first, so incompatible readers stop before
+    // interpreting anything else.
     let mut meta = BufWriter::new(std::fs::File::create(dir.join("meta.tsv"))?);
+    writeln!(meta, "format\t{PERSIST_FORMAT_VERSION}")?;
     writeln!(meta, "geohash_len\t{}", index.geohash_len())?;
     writeln!(meta, "nodes\t{}", index.dfs().node_count())?;
     meta.flush()?;
@@ -77,28 +138,57 @@ pub fn save_dir(index: &HybridIndex, dir: &Path) -> Result<(), PersistError> {
     }
     fwd.flush()?;
 
-    // Partition files.
-    for name in index.dfs().list() {
+    // Partition files, with a CRC32 per file recorded in checksums.tsv.
+    let mut sums = BufWriter::new(std::fs::File::create(dir.join("checksums.tsv"))?);
+    let mut names = index.dfs().list();
+    names.sort();
+    for name in names {
         let bytes = index.dfs().read_all(&name).map_err(|e| corrupt(e.to_string()))?;
         let file = name.rsplit('/').next().expect("partition file name");
+        writeln!(sums, "{}\t{:08x}", file, crc32(&bytes))?;
         std::fs::write(dir.join("partitions").join(file), bytes)?;
     }
+    sums.flush()?;
     Ok(())
 }
 
-/// Loads an index previously written by [`save_dir`].
+/// Loads an index previously written by [`save_dir`], discarding the
+/// [`LoadReport`].
 pub fn load_dir(dir: &Path) -> Result<HybridIndex, PersistError> {
-    // meta.tsv
+    load_dir_with_report(dir).map(|(index, _)| index)
+}
+
+/// Loads an index previously written by [`save_dir`], reporting what was
+/// verified and what was skipped.
+pub fn load_dir_with_report(dir: &Path) -> Result<(HybridIndex, LoadReport), PersistError> {
+    // meta.tsv — the format line gates everything else.
     let meta = std::fs::read_to_string(dir.join("meta.tsv"))?;
+    let mut format: Option<String> = None;
     let mut geohash_len: Option<usize> = None;
     let mut nodes: Option<usize> = None;
     for line in meta.lines() {
         match line.split_once('\t') {
+            Some(("format", v)) => format = Some(v.to_string()),
             Some(("geohash_len", v)) => {
                 geohash_len = Some(v.parse().map_err(|_| corrupt("geohash_len"))?)
             }
             Some(("nodes", v)) => nodes = Some(v.parse().map_err(|_| corrupt("nodes"))?),
             _ => return Err(corrupt(format!("meta line {line:?}"))),
+        }
+    }
+    match format {
+        Some(v) if v.parse() == Ok(PERSIST_FORMAT_VERSION) => {}
+        Some(v) => {
+            return Err(PersistError::VersionMismatch {
+                found: v,
+                expected: PERSIST_FORMAT_VERSION,
+            })
+        }
+        None => {
+            return Err(PersistError::VersionMismatch {
+                found: "no format line".to_string(),
+                expected: PERSIST_FORMAT_VERSION,
+            })
         }
     }
     let geohash_len = geohash_len.ok_or_else(|| corrupt("missing geohash_len"))?;
@@ -143,22 +233,52 @@ pub fn load_dir(dir: &Path) -> Result<HybridIndex, PersistError> {
     }
     let forward = ForwardIndex::from_sorted(entries);
 
-    // Partition files back onto a fresh simulated DFS.
+    // checksums.tsv — the set of partition files we expect, and what their
+    // bytes must hash to.
+    let mut expected: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+    let sums = std::fs::read_to_string(dir.join("checksums.tsv"))?;
+    for line in sums.lines() {
+        let (file, sum) =
+            line.split_once('\t').ok_or_else(|| corrupt(format!("checksum line {line:?}")))?;
+        let sum =
+            u32::from_str_radix(sum, 16).map_err(|_| corrupt(format!("checksum value {sum:?}")))?;
+        expected.insert(file.to_string(), sum);
+    }
+
+    // Partition files back onto a fresh simulated DFS. Stray files are
+    // skipped and reported; recorded-but-absent files are an error.
+    let mut report = LoadReport::default();
     let dfs = Dfs::new(DfsConfig { nodes, ..DfsConfig::default() });
     let mut names: Vec<String> = std::fs::read_dir(dir.join("partitions"))?
         .map(|e| Ok(e?.file_name().to_string_lossy().into_owned()))
         .collect::<Result<_, PersistError>>()?;
     names.sort();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for name in names {
-        let idx: u32 = name
-            .strip_prefix("part-")
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| corrupt(format!("partition file name {name:?}")))?;
+        let idx: u32 = match name.strip_prefix("part-").and_then(|s| s.parse().ok()) {
+            Some(idx) => idx,
+            None => {
+                report.skipped_files.push(name);
+                continue;
+            }
+        };
         let bytes = std::fs::read(dir.join("partitions").join(&name))?;
+        let recorded = *expected
+            .get(&name)
+            .ok_or_else(|| corrupt(format!("partition {name} has no checksum entry")))?;
+        let actual = crc32(&bytes);
+        if actual != recorded {
+            return Err(PersistError::PartitionCorrupt { file: name, expected: recorded, actual });
+        }
+        seen.insert(name);
         dfs.create_on(&HybridIndex::partition_file(idx), bytes, idx as usize % nodes)
             .map_err(|e| corrupt(e.to_string()))?;
+        report.partitions_loaded += 1;
     }
-    Ok(HybridIndex::new(forward, vocab, dfs, geohash_len))
+    if let Some(missing) = expected.keys().find(|file| !seen.contains(*file)) {
+        return Err(PersistError::MissingPartition { file: missing.clone() });
+    }
+    Ok((HybridIndex::new(forward, vocab, dfs, geohash_len), report))
 }
 
 #[cfg(test)]
@@ -183,10 +303,38 @@ mod tests {
             .collect()
     }
 
+    fn load_err(dir: &Path) -> PersistError {
+        match load_dir(dir) {
+            Err(e) => e,
+            Ok(_) => panic!("load of a damaged directory must fail"),
+        }
+    }
+
     fn tmp_dir(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("tklus-persist-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
+    }
+
+    fn saved_dir(name: &str) -> std::path::PathBuf {
+        let (index, _) = build_index(&posts(), &IndexBuildConfig::default());
+        let dir = tmp_dir(name);
+        save_dir(&index, &dir).unwrap();
+        dir
+    }
+
+    /// The first non-empty partition file in `dir` (smallest name).
+    fn first_partition(dir: &Path) -> std::path::PathBuf {
+        let mut names: Vec<_> = std::fs::read_dir(dir.join("partitions"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+            .iter()
+            .map(|n| dir.join("partitions").join(n))
+            .find(|p| std::fs::metadata(p).unwrap().len() > 0)
+            .expect("a non-empty partition exists")
     }
 
     #[test]
@@ -194,7 +342,9 @@ mod tests {
         let (index, report) = build_index(&posts(), &IndexBuildConfig::default());
         let dir = tmp_dir("roundtrip");
         save_dir(&index, &dir).unwrap();
-        let loaded = load_dir(&dir).unwrap();
+        let (loaded, load_report) = load_dir_with_report(&dir).unwrap();
+        assert!(load_report.partitions_loaded > 0);
+        assert!(load_report.skipped_files.is_empty());
 
         assert_eq!(loaded.geohash_len(), index.geohash_len());
         assert_eq!(loaded.forward().len(), index.forward().len());
@@ -233,14 +383,81 @@ mod tests {
     fn corrupt_meta_detected() {
         let dir = tmp_dir("corrupt");
         std::fs::create_dir_all(dir.join("partitions")).unwrap();
-        std::fs::write(dir.join("meta.tsv"), "bogus\t4\n").unwrap();
+        std::fs::write(dir.join("meta.tsv"), "format\t1\nbogus\t4\n").unwrap();
         std::fs::write(dir.join("vocab.tsv"), "").unwrap();
         std::fs::write(dir.join("forward.tsv"), "").unwrap();
+        std::fs::write(dir.join("checksums.tsv"), "").unwrap();
         let err = match load_dir(&dir) {
             Err(e) => e,
             Ok(_) => panic!("corrupt meta must not load"),
         };
         assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let dir = saved_dir("version");
+        let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
+        std::fs::write(dir.join("meta.tsv"), meta.replace("format\t1", "format\t99")).unwrap();
+        let err = load_err(&dir);
+        assert!(
+            matches!(&err, PersistError::VersionMismatch { found, expected: 1 } if found == "99"),
+            "{err}"
+        );
+        // A directory with no format line at all is also a version mismatch
+        // (pre-versioning layout), not a parse error.
+        std::fs::write(dir.join("meta.tsv"), meta.replace("format\t1\n", "")).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, PersistError::VersionMismatch { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_meta_is_typed() {
+        let dir = saved_dir("truncated-meta");
+        // Keep only the first two lines: nodes is gone.
+        let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
+        let short: String = meta.lines().take(2).map(|l| format!("{l}\n")).collect();
+        std::fs::write(dir.join("meta.tsv"), short).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_partition_is_typed() {
+        let dir = saved_dir("bitflip");
+        let part = first_partition(&dir);
+        let mut bytes = std::fs::read(&part).unwrap();
+        assert!(!bytes.is_empty());
+        bytes[0] ^= 0x40;
+        std::fs::write(&part, bytes).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, PersistError::PartitionCorrupt { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_partition_is_typed() {
+        let dir = saved_dir("missing-part");
+        let part = first_partition(&dir);
+        let name = part.file_name().unwrap().to_string_lossy().into_owned();
+        std::fs::remove_file(&part).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(&err, PersistError::MissingPartition { file } if *file == name), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_files_are_skipped_and_reported() {
+        let dir = saved_dir("stray");
+        std::fs::write(dir.join("partitions").join(".DS_Store"), b"junk").unwrap();
+        std::fs::write(dir.join("partitions").join("part-00000.swp"), b"vim").unwrap();
+        let (loaded, report) = load_dir_with_report(&dir).unwrap();
+        assert!(!loaded.forward().is_empty());
+        assert_eq!(report.skipped_files, vec![".DS_Store", "part-00000.swp"]);
+        assert!(report.partitions_loaded > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -48,6 +48,27 @@ impl RecencyBias {
     }
 }
 
+/// Resource budget for one query execution (DESIGN.md §10): when the
+/// budget is exhausted mid-query, the engine returns a *degraded* result —
+/// the top-k over the cover cells processed so far, flagged as incomplete —
+/// instead of blocking past a deadline. Budgets are checked at cover-cell
+/// granularity, so `max_cells` gives bit-for-bit deterministic degradation
+/// for tests while `timeout_ms` serves interactive latency floors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryBudget {
+    /// Wall-clock deadline in milliseconds from the start of execution.
+    pub timeout_ms: Option<u64>,
+    /// Maximum number of cover cells to fetch and score.
+    pub max_cells: Option<usize>,
+}
+
+impl QueryBudget {
+    /// Whether this budget can never terminate a query early.
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout_ms.is_none() && self.max_cells.is_none()
+    }
+}
+
 /// A top-k local user search query.
 ///
 /// ```
@@ -85,6 +106,9 @@ pub struct TklusQuery {
     pub time_range: Option<(u64, u64)>,
     /// Optional recency weighting of tweet relevance.
     pub recency: Option<RecencyBias>,
+    /// Optional execution budget; exhausting it degrades the result
+    /// instead of failing the query.
+    pub budget: Option<QueryBudget>,
 }
 
 impl TklusQuery {
@@ -105,7 +129,30 @@ impl TklusQuery {
         if k == 0 {
             return Err(InvalidQuery::ZeroK);
         }
-        Ok(Self { location, radius_km, keywords, k, semantics, time_range: None, recency: None })
+        Ok(Self {
+            location,
+            radius_km,
+            keywords,
+            k,
+            semantics,
+            time_range: None,
+            recency: None,
+            budget: None,
+        })
+    }
+
+    /// Caps execution at `timeout_ms` milliseconds of wall-clock time
+    /// (merged with any budget already set).
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.budget.get_or_insert_with(QueryBudget::default).timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Caps execution at `max_cells` cover cells (merged with any budget
+    /// already set).
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.budget.get_or_insert_with(QueryBudget::default).max_cells = Some(max_cells);
+        self
     }
 
     /// Restricts the query to tweets posted within `[start, end]`
@@ -248,6 +295,18 @@ mod tests {
             Err(InvalidQuery::BadTimeRange { start: 5, end: 4 })
         );
         assert_eq!(q.with_recency(10, 0), Err(InvalidQuery::ZeroHalfLife));
+    }
+
+    #[test]
+    fn budget_builders_merge() {
+        let q = TklusQuery::new(loc(), 10.0, vec!["x".into()], 1, Semantics::Or).unwrap();
+        assert!(q.budget.is_none());
+        let q = q.with_timeout_ms(250).with_max_cells(40);
+        let budget = q.budget.unwrap();
+        assert_eq!(budget.timeout_ms, Some(250));
+        assert_eq!(budget.max_cells, Some(40));
+        assert!(!budget.is_unlimited());
+        assert!(QueryBudget::default().is_unlimited());
     }
 
     #[test]

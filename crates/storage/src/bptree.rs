@@ -11,15 +11,23 @@
 //!   the range scan `(rsid, 0) ..= (rsid, u64::MAX)`.
 //!
 //! Nodes live in fixed-size pages behind a [`PageStore`] (usually a
-//! [`crate::BufferPool`]), so every logical operation's physical I/O cost is
-//! observable — the quantity the paper's Maximum-score pruning (Section V-B)
-//! is designed to save.
+//! [`crate::BufferPool`] over a [`crate::CheckedPager`]), so every logical
+//! operation's physical I/O cost is observable — the quantity the paper's
+//! Maximum-score pruning (Section V-B) is designed to save. Node content
+//! starts at [`PAGE_HEADER_SIZE`], leaving the verified page header (magic,
+//! format version, CRC32) to the checksum layer.
+//!
+//! Every operation returns a [`StorageError`] instead of panicking when the
+//! store fails or a page decodes to a structurally impossible node
+//! (`CorruptNode`); programmer errors (unsorted bulk-load input) still
+//! assert.
 //!
 //! Supported operations: point get, upsert with node splitting, inclusive
 //! range scan, delete with sibling borrow/merge rebalancing (including
 //! root collapse), and sorted bulk loading.
 
-use crate::page::{zeroed_page, Page, PageId, PAGE_SIZE};
+use crate::error::{StorageError, StorageResult};
+use crate::page::{zeroed_page, Page, PageId, PAGE_HEADER_SIZE, PAGE_SIZE};
 use crate::pager::PageStore;
 
 /// Composite key: `(major, minor)` ordered lexicographically.
@@ -27,6 +35,9 @@ pub type Key = (u64, u64);
 
 const NODE_LEAF: u8 = 1;
 const NODE_INTERNAL: u8 = 2;
+/// Node content begins after the verified page header.
+const NODE_BASE: usize = PAGE_HEADER_SIZE;
+/// Node-local header: tag, entry count, leaf `next` pointer.
 const HEADER: usize = 16;
 const KEY_SIZE: usize = 16;
 const CHILD_SIZE: usize = 8;
@@ -35,14 +46,17 @@ const NO_NEXT: u64 = u64::MAX;
 /// A B⁺-tree storing values of exactly `V` bytes.
 ///
 /// ```
-/// use tklus_storage::{BPlusTree, MemPager};
+/// use tklus_storage::{BPlusTree, MemPager, StorageError};
 ///
-/// let mut tree: BPlusTree<_, 8> = BPlusTree::new(MemPager::new());
-/// tree.insert((42, 0), 7u64.to_le_bytes());
-/// assert_eq!(tree.get((42, 0)), Some(7u64.to_le_bytes()));
+/// # fn main() -> Result<(), StorageError> {
+/// let mut tree: BPlusTree<_, 8> = BPlusTree::new(MemPager::new())?;
+/// tree.insert((42, 0), 7u64.to_le_bytes())?;
+/// assert_eq!(tree.get((42, 0))?, Some(7u64.to_le_bytes()));
 /// // The secondary-index shape: range-scan all entries of one major key.
-/// tree.insert((42, 1), 8u64.to_le_bytes());
-/// assert_eq!(tree.scan_major(42).len(), 2);
+/// tree.insert((42, 1), 8u64.to_le_bytes())?;
+/// assert_eq!(tree.scan_major(42)?.len(), 2);
+/// # Ok(())
+/// # }
 /// ```
 pub struct BPlusTree<S: PageStore, const V: usize> {
     store: S,
@@ -59,23 +73,30 @@ enum Node<const V: usize> {
 
 impl<const V: usize> Node<V> {
     fn leaf_capacity() -> usize {
-        (PAGE_SIZE - HEADER) / (KEY_SIZE + V)
+        (PAGE_SIZE - NODE_BASE - HEADER) / (KEY_SIZE + V)
     }
 
     fn internal_capacity() -> usize {
         // One leading child pointer, then (key, child) pairs.
-        (PAGE_SIZE - HEADER - CHILD_SIZE) / (KEY_SIZE + CHILD_SIZE)
+        (PAGE_SIZE - NODE_BASE - HEADER - CHILD_SIZE) / (KEY_SIZE + CHILD_SIZE)
     }
 
-    fn parse(page: &Page) -> Self {
-        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
-        match page[0] {
+    fn parse(page: &Page, id: PageId) -> StorageResult<Self> {
+        let corrupt = |detail: String| StorageError::CorruptNode { page_id: id, detail };
+        let count = u16::from_le_bytes([page[NODE_BASE + 2], page[NODE_BASE + 3]]) as usize;
+        match page[NODE_BASE] {
             NODE_LEAF => {
-                let next_raw = u64::from_le_bytes(page[8..16].try_into().unwrap());
+                if count > Self::leaf_capacity() {
+                    return Err(corrupt(format!(
+                        "leaf count {count} exceeds capacity {}",
+                        Self::leaf_capacity()
+                    )));
+                }
+                let next_raw = read_u64(page, NODE_BASE + 8);
                 let next = (next_raw != NO_NEXT).then_some(PageId(next_raw));
                 let mut keys = Vec::with_capacity(count);
                 let mut vals = Vec::with_capacity(count);
-                let mut off = HEADER;
+                let mut off = NODE_BASE + HEADER;
                 for _ in 0..count {
                     keys.push(read_key(page, off));
                     off += KEY_SIZE;
@@ -84,24 +105,29 @@ impl<const V: usize> Node<V> {
                     vals.push(v);
                     off += V;
                 }
-                Node::Leaf { keys, vals, next }
+                Ok(Node::Leaf { keys, vals, next })
             }
             NODE_INTERNAL => {
-                let mut off = HEADER;
+                if count > Self::internal_capacity() {
+                    return Err(corrupt(format!(
+                        "internal count {count} exceeds capacity {}",
+                        Self::internal_capacity()
+                    )));
+                }
+                let mut off = NODE_BASE + HEADER;
                 let mut children = Vec::with_capacity(count + 1);
-                children.push(PageId(u64::from_le_bytes(page[off..off + 8].try_into().unwrap())));
+                children.push(PageId(read_u64(page, off)));
                 off += CHILD_SIZE;
                 let mut keys = Vec::with_capacity(count);
                 for _ in 0..count {
                     keys.push(read_key(page, off));
                     off += KEY_SIZE;
-                    children
-                        .push(PageId(u64::from_le_bytes(page[off..off + 8].try_into().unwrap())));
+                    children.push(PageId(read_u64(page, off)));
                     off += CHILD_SIZE;
                 }
-                Node::Internal { keys, children }
+                Ok(Node::Internal { keys, children })
             }
-            t => panic!("corrupt node page: unknown tag {t}"),
+            t => Err(corrupt(format!("unknown node tag {t}"))),
         }
     }
 
@@ -110,10 +136,12 @@ impl<const V: usize> Node<V> {
         match self {
             Node::Leaf { keys, vals, next } => {
                 assert!(keys.len() <= Self::leaf_capacity(), "leaf overflow");
-                page[0] = NODE_LEAF;
-                page[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
-                page[8..16].copy_from_slice(&next.map_or(NO_NEXT, |p| p.0).to_le_bytes());
-                let mut off = HEADER;
+                page[NODE_BASE] = NODE_LEAF;
+                page[NODE_BASE + 2..NODE_BASE + 4]
+                    .copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                page[NODE_BASE + 8..NODE_BASE + 16]
+                    .copy_from_slice(&next.map_or(NO_NEXT, |p| p.0).to_le_bytes());
+                let mut off = NODE_BASE + HEADER;
                 for (k, v) in keys.iter().zip(vals) {
                     write_key(&mut page, off, *k);
                     off += KEY_SIZE;
@@ -124,9 +152,10 @@ impl<const V: usize> Node<V> {
             Node::Internal { keys, children } => {
                 assert!(keys.len() <= Self::internal_capacity(), "internal overflow");
                 assert_eq!(children.len(), keys.len() + 1, "internal arity");
-                page[0] = NODE_INTERNAL;
-                page[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
-                let mut off = HEADER;
+                page[NODE_BASE] = NODE_INTERNAL;
+                page[NODE_BASE + 2..NODE_BASE + 4]
+                    .copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                let mut off = NODE_BASE + HEADER;
                 page[off..off + 8].copy_from_slice(&children[0].0.to_le_bytes());
                 off += CHILD_SIZE;
                 for (k, c) in keys.iter().zip(&children[1..]) {
@@ -141,11 +170,14 @@ impl<const V: usize> Node<V> {
     }
 }
 
+fn read_u64(page: &Page, off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&page[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
 fn read_key(page: &Page, off: usize) -> Key {
-    (
-        u64::from_le_bytes(page[off..off + 8].try_into().unwrap()),
-        u64::from_le_bytes(page[off + 8..off + 16].try_into().unwrap()),
-    )
+    (read_u64(page, off), read_u64(page, off + 8))
 }
 
 fn write_key(page: &mut Page, off: usize, k: Key) {
@@ -160,11 +192,11 @@ fn upper_bound(keys: &[Key], k: Key) -> usize {
 
 impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     /// Creates an empty tree owning `store`.
-    pub fn new(store: S) -> Self {
-        let root = store.allocate();
+    pub fn new(store: S) -> StorageResult<Self> {
+        let root = store.allocate()?;
         let empty: Node<V> = Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None };
-        store.write(root, &empty.serialize());
-        Self { store, root, height: 0, len: 0 }
+        store.write(root, &empty.serialize())?;
+        Ok(Self { store, root, height: 0, len: 0 })
     }
 
     /// Number of entries.
@@ -192,36 +224,36 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         self.store
     }
 
-    fn load(&self, id: PageId) -> Node<V> {
-        Node::parse(&self.store.read(id))
+    fn load(&self, id: PageId) -> StorageResult<Node<V>> {
+        Node::parse(&self.store.read(id)?, id)
     }
 
-    fn save(&mut self, id: PageId, node: &Node<V>) {
-        self.store.write(id, &node.serialize());
+    fn save(&mut self, id: PageId, node: &Node<V>) -> StorageResult<()> {
+        self.store.write(id, &node.serialize())
     }
 
     /// Point lookup.
-    pub fn get(&self, key: Key) -> Option<[u8; V]> {
+    pub fn get(&self, key: Key) -> StorageResult<Option<[u8; V]>> {
         let mut id = self.root;
         loop {
-            match self.load(id) {
+            match self.load(id)? {
                 Node::Internal { keys, children } => {
                     id = children[upper_bound(&keys, key)];
                 }
                 Node::Leaf { keys, vals, .. } => {
-                    return keys.binary_search(&key).ok().map(|i| vals[i]);
+                    return Ok(keys.binary_search(&key).ok().map(|i| vals[i]));
                 }
             }
         }
     }
 
     /// Inserts or updates; returns the previous value if the key existed.
-    pub fn insert(&mut self, key: Key, value: [u8; V]) -> Option<[u8; V]> {
+    pub fn insert(&mut self, key: Key, value: [u8; V]) -> StorageResult<Option<[u8; V]>> {
         // Descend, recording the path of internal nodes and chosen indices.
         let mut path: Vec<(PageId, usize)> = Vec::with_capacity(self.height);
         let mut id = self.root;
         loop {
-            match self.load(id) {
+            match self.load(id)? {
                 Node::Internal { keys, children } => {
                     let idx = upper_bound(&keys, key);
                     path.push((id, idx));
@@ -231,19 +263,19 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                     Ok(i) => {
                         let old = vals[i];
                         vals[i] = value;
-                        self.save(id, &Node::Leaf { keys, vals, next });
-                        return Some(old);
+                        self.save(id, &Node::Leaf { keys, vals, next })?;
+                        return Ok(Some(old));
                     }
                     Err(i) => {
                         keys.insert(i, key);
                         vals.insert(i, value);
                         self.len += 1;
                         if keys.len() <= Node::<V>::leaf_capacity() {
-                            self.save(id, &Node::Leaf { keys, vals, next });
+                            self.save(id, &Node::Leaf { keys, vals, next })?;
                         } else {
-                            self.split_leaf(id, keys, vals, next, path);
+                            self.split_leaf(id, keys, vals, next, path)?;
                         }
-                        return None;
+                        return Ok(None);
                     }
                 },
             }
@@ -257,13 +289,13 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         vals: Vec<[u8; V]>,
         next: Option<PageId>,
         path: Vec<(PageId, usize)>,
-    ) {
+    ) -> StorageResult<()> {
         let mid = keys.len() / 2;
         let right_keys: Vec<Key> = keys[mid..].to_vec();
         let right_vals: Vec<[u8; V]> = vals[mid..].to_vec();
         let sep = right_keys[0];
-        let right_id = self.store.allocate();
-        self.save(right_id, &Node::Leaf { keys: right_keys, vals: right_vals, next });
+        let right_id = self.store.allocate()?;
+        self.save(right_id, &Node::Leaf { keys: right_keys, vals: right_vals, next })?;
         self.save(
             id,
             &Node::Leaf {
@@ -271,8 +303,8 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                 vals: vals[..mid].to_vec(),
                 next: Some(right_id),
             },
-        );
-        self.insert_separator(sep, right_id, path);
+        )?;
+        self.insert_separator(sep, right_id, path)
     }
 
     /// Propagates a separator/child pair up the recorded path, splitting
@@ -282,16 +314,16 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         mut sep: Key,
         mut new_child: PageId,
         mut path: Vec<(PageId, usize)>,
-    ) {
+    ) -> StorageResult<()> {
         while let Some((id, idx)) = path.pop() {
-            let Node::Internal { mut keys, mut children } = self.load(id) else {
+            let Node::Internal { mut keys, mut children } = self.load(id)? else {
                 unreachable!("path contains only internal nodes")
             };
             keys.insert(idx, sep);
             children.insert(idx + 1, new_child);
             if keys.len() <= Node::<V>::internal_capacity() {
-                self.save(id, &Node::Internal { keys, children });
-                return;
+                self.save(id, &Node::Internal { keys, children })?;
+                return Ok(());
             }
             // Split: middle key moves up.
             let mid = keys.len() / 2;
@@ -300,48 +332,49 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
             let right_children = children[mid + 1..].to_vec();
             keys.truncate(mid);
             children.truncate(mid + 1);
-            let right_id = self.store.allocate();
-            self.save(right_id, &Node::Internal { keys: right_keys, children: right_children });
-            self.save(id, &Node::Internal { keys, children });
+            let right_id = self.store.allocate()?;
+            self.save(right_id, &Node::Internal { keys: right_keys, children: right_children })?;
+            self.save(id, &Node::Internal { keys, children })?;
             sep = up;
             new_child = right_id;
         }
         // Root split.
         let old_root = self.root;
-        let new_root = self.store.allocate();
+        let new_root = self.store.allocate()?;
         self.save(
             new_root,
             &Node::Internal { keys: vec![sep], children: vec![old_root, new_child] },
-        );
+        )?;
         self.root = new_root;
         self.height += 1;
+        Ok(())
     }
 
     /// Removes a key; returns its value if present. Underfull nodes are
     /// rebalanced by borrowing from a sibling or merging with it, with the
     /// usual upward propagation (the root collapses when an internal root
     /// loses its last separator).
-    pub fn delete(&mut self, key: Key) -> Option<[u8; V]> {
+    pub fn delete(&mut self, key: Key) -> StorageResult<Option<[u8; V]>> {
         let mut path: Vec<(PageId, usize)> = Vec::with_capacity(self.height);
         let mut id = self.root;
         loop {
-            match self.load(id) {
+            match self.load(id)? {
                 Node::Internal { keys, children } => {
                     let idx = upper_bound(&keys, key);
                     path.push((id, idx));
                     id = children[idx];
                 }
                 Node::Leaf { mut keys, mut vals, next } => {
-                    let Ok(i) = keys.binary_search(&key) else { return None };
+                    let Ok(i) = keys.binary_search(&key) else { return Ok(None) };
                     let old = vals.remove(i);
                     keys.remove(i);
                     self.len -= 1;
                     let underfull = keys.len() < Self::leaf_min();
-                    self.save(id, &Node::Leaf { keys, vals, next });
+                    self.save(id, &Node::Leaf { keys, vals, next })?;
                     if underfull && !path.is_empty() {
-                        self.rebalance(id, path);
+                        self.rebalance(id, path)?;
                     }
-                    return Some(old);
+                    return Ok(Some(old));
                 }
             }
         }
@@ -358,43 +391,54 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     }
 
     /// Fixes an underfull node at `child_id`, walking `path` upward.
-    fn rebalance(&mut self, mut child_id: PageId, mut path: Vec<(PageId, usize)>) {
+    fn rebalance(
+        &mut self,
+        mut child_id: PageId,
+        mut path: Vec<(PageId, usize)>,
+    ) -> StorageResult<()> {
         while let Some((parent_id, idx)) = path.pop() {
-            let Node::Internal { keys: mut pkeys, children: mut pchildren } = self.load(parent_id)
+            let Node::Internal { keys: mut pkeys, children: mut pchildren } =
+                self.load(parent_id)?
             else {
                 unreachable!("path holds internal nodes")
             };
             debug_assert_eq!(pchildren[idx], child_id);
-            let fixed = self.fix_child(&mut pkeys, &mut pchildren, idx);
+            let fixed = self.fix_child(&mut pkeys, &mut pchildren, idx)?;
             debug_assert!(fixed, "rebalance must resolve the underflow");
             // Root collapse: an internal root left with zero separators
             // hands the tree to its single child.
             if path.is_empty() && pkeys.is_empty() {
                 self.root = pchildren[0];
                 self.height -= 1;
-                return;
+                return Ok(());
             }
             let parent_underfull = pkeys.len() < Self::internal_min();
-            self.save(parent_id, &Node::Internal { keys: pkeys, children: pchildren });
+            self.save(parent_id, &Node::Internal { keys: pkeys, children: pchildren })?;
             if !parent_underfull || path.is_empty() {
-                return;
+                return Ok(());
             }
             child_id = parent_id;
         }
+        Ok(())
     }
 
     /// Repairs the underfull child at `idx` of a parent whose keys/children
     /// are passed in (and mutated). Returns true when the underflow was
     /// resolved (always, given a sibling exists).
-    fn fix_child(&mut self, pkeys: &mut Vec<Key>, pchildren: &mut Vec<PageId>, idx: usize) -> bool {
+    fn fix_child(
+        &mut self,
+        pkeys: &mut Vec<Key>,
+        pchildren: &mut Vec<PageId>,
+        idx: usize,
+    ) -> StorageResult<bool> {
         let child_id = pchildren[idx];
-        let child = self.load(child_id);
+        let child = self.load(child_id)?;
         // Prefer borrowing (no structural change), then merging.
         match child {
             Node::Leaf { mut keys, mut vals, next } => {
                 if idx > 0 {
                     let left_id = pchildren[idx - 1];
-                    let Node::Leaf { keys: mut lk, vals: mut lv, next: ln } = self.load(left_id)
+                    let Node::Leaf { keys: mut lk, vals: mut lv, next: ln } = self.load(left_id)?
                     else {
                         unreachable!("siblings share node kind")
                     };
@@ -402,21 +446,21 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                         keys.insert(0, lk.pop().expect("non-empty"));
                         vals.insert(0, lv.pop().expect("non-empty"));
                         pkeys[idx - 1] = keys[0];
-                        self.save(left_id, &Node::Leaf { keys: lk, vals: lv, next: ln });
-                        self.save(child_id, &Node::Leaf { keys, vals, next });
-                        return true;
+                        self.save(left_id, &Node::Leaf { keys: lk, vals: lv, next: ln })?;
+                        self.save(child_id, &Node::Leaf { keys, vals, next })?;
+                        return Ok(true);
                     }
                     // Merge child into the left sibling.
                     lk.append(&mut keys);
                     lv.append(&mut vals);
-                    self.save(left_id, &Node::Leaf { keys: lk, vals: lv, next });
+                    self.save(left_id, &Node::Leaf { keys: lk, vals: lv, next })?;
                     pkeys.remove(idx - 1);
                     pchildren.remove(idx);
-                    return true;
+                    return Ok(true);
                 }
                 // No left sibling: use the right one.
                 let right_id = pchildren[idx + 1];
-                let Node::Leaf { keys: mut rk, vals: mut rv, next: rn } = self.load(right_id)
+                let Node::Leaf { keys: mut rk, vals: mut rv, next: rn } = self.load(right_id)?
                 else {
                     unreachable!("siblings share node kind")
                 };
@@ -424,22 +468,22 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                     keys.push(rk.remove(0));
                     vals.push(rv.remove(0));
                     pkeys[idx] = rk[0];
-                    self.save(right_id, &Node::Leaf { keys: rk, vals: rv, next: rn });
-                    self.save(child_id, &Node::Leaf { keys, vals, next });
-                    return true;
+                    self.save(right_id, &Node::Leaf { keys: rk, vals: rv, next: rn })?;
+                    self.save(child_id, &Node::Leaf { keys, vals, next })?;
+                    return Ok(true);
                 }
                 // Merge the right sibling into the child.
                 keys.append(&mut rk);
                 vals.append(&mut rv);
-                self.save(child_id, &Node::Leaf { keys, vals, next: rn });
+                self.save(child_id, &Node::Leaf { keys, vals, next: rn })?;
                 pkeys.remove(idx);
                 pchildren.remove(idx + 1);
-                true
+                Ok(true)
             }
             Node::Internal { mut keys, mut children } => {
                 if idx > 0 {
                     let left_id = pchildren[idx - 1];
-                    let Node::Internal { keys: mut lk, children: mut lc } = self.load(left_id)
+                    let Node::Internal { keys: mut lk, children: mut lc } = self.load(left_id)?
                     else {
                         unreachable!("siblings share node kind")
                     };
@@ -448,77 +492,80 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
                         keys.insert(0, pkeys[idx - 1]);
                         pkeys[idx - 1] = lk.pop().expect("non-empty");
                         children.insert(0, lc.pop().expect("non-empty"));
-                        self.save(left_id, &Node::Internal { keys: lk, children: lc });
-                        self.save(child_id, &Node::Internal { keys, children });
-                        return true;
+                        self.save(left_id, &Node::Internal { keys: lk, children: lc })?;
+                        self.save(child_id, &Node::Internal { keys, children })?;
+                        return Ok(true);
                     }
                     // Merge: left + separator + child.
                     lk.push(pkeys[idx - 1]);
                     lk.append(&mut keys);
                     lc.append(&mut children);
-                    self.save(left_id, &Node::Internal { keys: lk, children: lc });
+                    self.save(left_id, &Node::Internal { keys: lk, children: lc })?;
                     pkeys.remove(idx - 1);
                     pchildren.remove(idx);
-                    return true;
+                    return Ok(true);
                 }
                 let right_id = pchildren[idx + 1];
-                let Node::Internal { keys: mut rk, children: mut rc } = self.load(right_id) else {
+                let Node::Internal { keys: mut rk, children: mut rc } = self.load(right_id)? else {
                     unreachable!("siblings share node kind")
                 };
                 if rk.len() > Self::internal_min() {
                     keys.push(pkeys[idx]);
                     pkeys[idx] = rk.remove(0);
                     children.push(rc.remove(0));
-                    self.save(right_id, &Node::Internal { keys: rk, children: rc });
-                    self.save(child_id, &Node::Internal { keys, children });
-                    return true;
+                    self.save(right_id, &Node::Internal { keys: rk, children: rc })?;
+                    self.save(child_id, &Node::Internal { keys, children })?;
+                    return Ok(true);
                 }
                 // Merge: child + separator + right.
                 keys.push(pkeys[idx]);
                 keys.append(&mut rk);
                 children.append(&mut rc);
-                self.save(child_id, &Node::Internal { keys, children });
+                self.save(child_id, &Node::Internal { keys, children })?;
                 pkeys.remove(idx);
                 pchildren.remove(idx + 1);
-                true
+                Ok(true)
             }
         }
     }
 
     /// Inclusive range scan `lo ..= hi`, in key order.
-    pub fn scan(&self, lo: Key, hi: Key) -> Vec<(Key, [u8; V])> {
+    pub fn scan(&self, lo: Key, hi: Key) -> StorageResult<Vec<(Key, [u8; V])>> {
         let mut out = Vec::new();
         if lo > hi {
-            return out;
+            return Ok(out);
         }
         // Descend to the leaf containing lo: the first separator strictly
         // greater than lo bounds the child on the right.
         let mut id = self.root;
-        while let Node::Internal { keys, children } = self.load(id) {
-            let idx = keys.partition_point(|&x| x <= lo);
-            id = children[idx];
-        }
-        // Walk the leaf chain.
         loop {
-            let Node::Leaf { keys, vals, next } = self.load(id) else { unreachable!() };
-            for (k, v) in keys.iter().zip(&vals) {
-                if *k > hi {
-                    return out;
+            match self.load(id)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&x| x <= lo);
+                    id = children[idx];
                 }
-                if *k >= lo {
-                    out.push((*k, *v));
+                // Walk the leaf chain.
+                Node::Leaf { keys, vals, next } => {
+                    for (k, v) in keys.iter().zip(&vals) {
+                        if *k > hi {
+                            return Ok(out);
+                        }
+                        if *k >= lo {
+                            out.push((*k, *v));
+                        }
+                    }
+                    match next {
+                        Some(n) => id = n,
+                        None => return Ok(out),
+                    }
                 }
-            }
-            match next {
-                Some(n) => id = n,
-                None => return out,
             }
         }
     }
 
     /// Range scan over all keys with the given major component — the
     /// "select all where rsid equals Id" lookup of Algorithm 1.
-    pub fn scan_major(&self, major: u64) -> Vec<(Key, [u8; V])> {
+    pub fn scan_major(&self, major: u64) -> StorageResult<Vec<(Key, [u8; V])>> {
         self.scan((major, 0), (major, u64::MAX))
     }
 
@@ -526,7 +573,7 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
     /// increasing). Much cheaper than repeated inserts: leaves are packed
     /// left to right at full fill, then each internal level is built in one
     /// pass. Panics if `entries` is unsorted or has duplicates.
-    pub fn bulk_load(store: S, entries: &[(Key, [u8; V])]) -> Self {
+    pub fn bulk_load(store: S, entries: &[(Key, [u8; V])]) -> StorageResult<Self> {
         if entries.is_empty() {
             return Self::new(store);
         }
@@ -538,14 +585,17 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         // Build leaves.
         let mut level: Vec<(Key, PageId)> = Vec::new(); // (first key, page)
         let chunks: Vec<&[(Key, [u8; V])]> = entries.chunks(leaf_cap).collect();
-        let ids: Vec<PageId> = chunks.iter().map(|_| store.allocate()).collect();
+        let mut ids: Vec<PageId> = Vec::with_capacity(chunks.len());
+        for _ in &chunks {
+            ids.push(store.allocate()?);
+        }
         for (i, chunk) in chunks.iter().enumerate() {
             let node: Node<V> = Node::Leaf {
                 keys: chunk.iter().map(|e| e.0).collect(),
                 vals: chunk.iter().map(|e| e.1).collect(),
                 next: ids.get(i + 1).copied(),
             };
-            store.write(ids[i], &node.serialize());
+            store.write(ids[i], &node.serialize())?;
             level.push((chunk[0].0, ids[i]));
         }
         // Build internal levels until a single root remains.
@@ -554,22 +604,23 @@ impl<S: PageStore, const V: usize> BPlusTree<S, V> {
         while level.len() > 1 {
             let mut next_level = Vec::new();
             for group in level.chunks(internal_fanout) {
-                let id = store.allocate();
+                let id = store.allocate()?;
                 let keys: Vec<Key> = group[1..].iter().map(|e| e.0).collect();
                 let children: Vec<PageId> = group.iter().map(|e| e.1).collect();
                 let node: Node<V> = Node::Internal { keys, children };
-                store.write(id, &node.serialize());
+                store.write(id, &node.serialize())?;
                 next_level.push((group[0].0, id));
             }
             level = next_level;
             height += 1;
         }
-        Self { store, root: level[0].1, height, len: entries.len() as u64 }
+        Ok(Self { store, root: level[0].1, height, len: entries.len() as u64 })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::pager::MemPager;
 
@@ -581,127 +632,127 @@ mod tests {
 
     #[test]
     fn empty_tree() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         assert!(t.is_empty());
-        assert_eq!(t.get((1, 0)), None);
-        assert!(t.scan((0, 0), (100, 0)).is_empty());
-        assert_eq!(t.delete((1, 0)), None);
+        assert_eq!(t.get((1, 0)).unwrap(), None);
+        assert!(t.scan((0, 0), (100, 0)).unwrap().is_empty());
+        assert_eq!(t.delete((1, 0)).unwrap(), None);
     }
 
     #[test]
     fn insert_get_small() {
-        let mut t = Tree::new(MemPager::new());
-        assert_eq!(t.insert((5, 0), v(50)), None);
-        assert_eq!(t.insert((3, 0), v(30)), None);
-        assert_eq!(t.insert((7, 0), v(70)), None);
-        assert_eq!(t.get((5, 0)), Some(v(50)));
-        assert_eq!(t.get((3, 0)), Some(v(30)));
-        assert_eq!(t.get((4, 0)), None);
+        let mut t = Tree::new(MemPager::new()).unwrap();
+        assert_eq!(t.insert((5, 0), v(50)).unwrap(), None);
+        assert_eq!(t.insert((3, 0), v(30)).unwrap(), None);
+        assert_eq!(t.insert((7, 0), v(70)).unwrap(), None);
+        assert_eq!(t.get((5, 0)).unwrap(), Some(v(50)));
+        assert_eq!(t.get((3, 0)).unwrap(), Some(v(30)));
+        assert_eq!(t.get((4, 0)).unwrap(), None);
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn upsert_returns_old() {
-        let mut t = Tree::new(MemPager::new());
-        assert_eq!(t.insert((1, 1), v(10)), None);
-        assert_eq!(t.insert((1, 1), v(20)), Some(v(10)));
-        assert_eq!(t.get((1, 1)), Some(v(20)));
+        let mut t = Tree::new(MemPager::new()).unwrap();
+        assert_eq!(t.insert((1, 1), v(10)).unwrap(), None);
+        assert_eq!(t.insert((1, 1), v(20)).unwrap(), Some(v(10)));
+        assert_eq!(t.get((1, 1)).unwrap(), Some(v(20)));
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn many_inserts_split_and_stay_searchable() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         let n = 5000u64;
         // Insert in a scrambled order to exercise splits everywhere.
         for i in 0..n {
             let k = (i * 2654435761) % n;
-            t.insert((k, 0), v(k * 10));
+            t.insert((k, 0), v(k * 10)).unwrap();
         }
         assert_eq!(t.len(), n);
         assert!(t.height() >= 1, "tree should have split");
         for k in 0..n {
-            assert_eq!(t.get((k, 0)), Some(v(k * 10)), "key {k}");
+            assert_eq!(t.get((k, 0)).unwrap(), Some(v(k * 10)), "key {k}");
         }
-        assert_eq!(t.get((n, 0)), None);
+        assert_eq!(t.get((n, 0)).unwrap(), None);
     }
 
     #[test]
     fn scan_returns_sorted_inclusive_range() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         for k in (0..1000u64).rev() {
-            t.insert((k, 0), v(k));
+            t.insert((k, 0), v(k)).unwrap();
         }
-        let got = t.scan((100, 0), (110, 0));
+        let got = t.scan((100, 0), (110, 0)).unwrap();
         let keys: Vec<u64> = got.iter().map(|e| e.0 .0).collect();
         assert_eq!(keys, (100..=110).collect::<Vec<_>>());
         // Empty range.
-        assert!(t.scan((50, 1), (50, 2)).is_empty());
+        assert!(t.scan((50, 1), (50, 2)).unwrap().is_empty());
         // Inverted range.
-        assert!(t.scan((10, 0), (5, 0)).is_empty());
+        assert!(t.scan((10, 0), (5, 0)).unwrap().is_empty());
     }
 
     #[test]
     fn scan_major_finds_all_minors() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         // Secondary-index shape: (rsid, sid) pairs.
         for sid in 0..50u64 {
-            t.insert((7, sid), v(sid));
+            t.insert((7, sid), v(sid)).unwrap();
         }
-        t.insert((6, 999), v(0));
-        t.insert((8, 0), v(0));
-        let got = t.scan_major(7);
+        t.insert((6, 999), v(0)).unwrap();
+        t.insert((8, 0), v(0)).unwrap();
+        let got = t.scan_major(7).unwrap();
         assert_eq!(got.len(), 50);
         assert!(got.iter().all(|e| e.0 .0 == 7));
         assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
-        assert!(t.scan_major(9).is_empty());
+        assert!(t.scan_major(9).unwrap().is_empty());
     }
 
     #[test]
     fn scan_spanning_many_leaves() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         let n = 3000u64;
         for k in 0..n {
-            t.insert((k, 0), v(k));
+            t.insert((k, 0), v(k)).unwrap();
         }
-        let all = t.scan((0, 0), (n, 0));
+        let all = t.scan((0, 0), (n, 0)).unwrap();
         assert_eq!(all.len(), n as usize);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]
     fn delete_removes_and_reinserts() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         for k in 0..500u64 {
-            t.insert((k, 0), v(k));
+            t.insert((k, 0), v(k)).unwrap();
         }
-        assert_eq!(t.delete((250, 0)), Some(v(250)));
-        assert_eq!(t.get((250, 0)), None);
+        assert_eq!(t.delete((250, 0)).unwrap(), Some(v(250)));
+        assert_eq!(t.get((250, 0)).unwrap(), None);
         assert_eq!(t.len(), 499);
-        assert_eq!(t.delete((250, 0)), None);
-        t.insert((250, 0), v(999));
-        assert_eq!(t.get((250, 0)), Some(v(999)));
+        assert_eq!(t.delete((250, 0)).unwrap(), None);
+        t.insert((250, 0), v(999)).unwrap();
+        assert_eq!(t.get((250, 0)).unwrap(), Some(v(999)));
         // Neighbours unaffected.
-        assert_eq!(t.get((249, 0)), Some(v(249)));
-        assert_eq!(t.get((251, 0)), Some(v(251)));
+        assert_eq!(t.get((249, 0)).unwrap(), Some(v(249)));
+        assert_eq!(t.get((251, 0)).unwrap(), Some(v(251)));
     }
 
     #[test]
     fn bulk_load_matches_inserts() {
         let n = 4000u64;
         let entries: Vec<((u64, u64), [u8; 8])> = (0..n).map(|k| ((k, 0), v(k * 3))).collect();
-        let bulk = Tree::bulk_load(MemPager::new(), &entries);
+        let bulk = Tree::bulk_load(MemPager::new(), &entries).unwrap();
         assert_eq!(bulk.len(), n);
         for k in (0..n).step_by(37) {
-            assert_eq!(bulk.get((k, 0)), Some(v(k * 3)));
+            assert_eq!(bulk.get((k, 0)).unwrap(), Some(v(k * 3)));
         }
-        let scan = bulk.scan((0, 0), (n, u64::MAX));
+        let scan = bulk.scan((0, 0), (n, u64::MAX)).unwrap();
         assert_eq!(scan.len(), n as usize);
         // Bulk load writes far fewer pages than incremental insertion.
         let bulk_writes = bulk.store().stats().page_writes();
-        let mut incr = Tree::new(MemPager::new());
+        let mut incr = Tree::new(MemPager::new()).unwrap();
         for (k, val) in &entries {
-            incr.insert(*k, *val);
+            incr.insert(*k, *val).unwrap();
         }
         let incr_writes = incr.store().stats().page_writes();
         assert!(bulk_writes * 10 < incr_writes, "bulk {bulk_writes} vs incremental {incr_writes}");
@@ -709,10 +760,10 @@ mod tests {
 
     #[test]
     fn bulk_load_empty_and_single() {
-        let t = Tree::bulk_load(MemPager::new(), &[]);
+        let t = Tree::bulk_load(MemPager::new(), &[]).unwrap();
         assert!(t.is_empty());
-        let t1 = Tree::bulk_load(MemPager::new(), &[((1, 2), v(9))]);
-        assert_eq!(t1.get((1, 2)), Some(v(9)));
+        let t1 = Tree::bulk_load(MemPager::new(), &[((1, 2), v(9))]).unwrap();
+        assert_eq!(t1.get((1, 2)).unwrap(), Some(v(9)));
         assert_eq!(t1.len(), 1);
     }
 
@@ -723,24 +774,51 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_node_tag_is_a_typed_error() {
+        let t = Tree::bulk_load(
+            MemPager::new(),
+            &(0..10u64).map(|k| ((k, 0), v(k))).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // Scribble an impossible tag over the root node.
+        let mut raw = t.store().read(PageId(0)).unwrap();
+        raw[NODE_BASE] = 9;
+        t.store().write(PageId(0), &raw).unwrap();
+        assert!(matches!(t.get((0, 0)), Err(StorageError::CorruptNode { .. })));
+    }
+
+    #[test]
+    fn impossible_count_is_a_typed_error() {
+        let t = Tree::bulk_load(
+            MemPager::new(),
+            &(0..10u64).map(|k| ((k, 0), v(k))).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut raw = t.store().read(PageId(0)).unwrap();
+        raw[NODE_BASE + 2..NODE_BASE + 4].copy_from_slice(&u16::MAX.to_le_bytes());
+        t.store().write(PageId(0), &raw).unwrap();
+        assert!(matches!(t.get((0, 0)), Err(StorageError::CorruptNode { .. })));
+    }
+
+    #[test]
     fn composite_key_ordering() {
-        let mut t = Tree::new(MemPager::new());
-        t.insert((1, 5), v(15));
-        t.insert((1, 2), v(12));
-        t.insert((2, 0), v(20));
-        let got = t.scan((1, 0), (1, u64::MAX));
+        let mut t = Tree::new(MemPager::new()).unwrap();
+        t.insert((1, 5), v(15)).unwrap();
+        t.insert((1, 2), v(12)).unwrap();
+        t.insert((2, 0), v(20)).unwrap();
+        let got = t.scan((1, 0), (1, u64::MAX)).unwrap();
         let keys: Vec<Key> = got.iter().map(|e| e.0).collect();
         assert_eq!(keys, vec![(1, 2), (1, 5)]);
     }
 
     #[test]
     fn io_counts_grow_with_depth() {
-        let mut t = Tree::new(MemPager::new());
+        let mut t = Tree::new(MemPager::new()).unwrap();
         for k in 0..20000u64 {
-            t.insert((k, 0), v(k));
+            t.insert((k, 0), v(k)).unwrap();
         }
         let before = t.store().stats().page_reads();
-        t.get((12345, 0));
+        t.get((12345, 0)).unwrap();
         let after = t.store().stats().page_reads();
         let per_get = after - before;
         assert_eq!(per_get as usize, t.height() + 1, "one read per level");
@@ -749,6 +827,7 @@ mod tests {
 
 #[cfg(test)]
 mod delete_rebalance_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::pager::MemPager;
 
@@ -760,7 +839,7 @@ mod delete_rebalance_tests {
 
     fn full_tree(n: u64) -> Tree {
         let entries: Vec<((u64, u64), [u8; 8])> = (0..n).map(|k| ((k, 0), v(k))).collect();
-        Tree::bulk_load(MemPager::new(), &entries)
+        Tree::bulk_load(MemPager::new(), &entries).unwrap()
     }
 
     #[test]
@@ -772,17 +851,17 @@ mod delete_rebalance_tests {
         assert!(t.height() >= 2, "tall tree to exercise multi-level merges");
         // Delete in an order that hits merges on both flanks.
         for k in (0..n).step_by(2) {
-            assert_eq!(t.delete((k, 0)), Some(v(k)), "delete {k}");
+            assert_eq!(t.delete((k, 0)).unwrap(), Some(v(k)), "delete {k}");
         }
         let mut odds: Vec<u64> = (1..n).step_by(2).collect();
         odds.reverse();
         for k in odds {
-            assert_eq!(t.delete((k, 0)), Some(v(k)), "delete {k}");
+            assert_eq!(t.delete((k, 0)).unwrap(), Some(v(k)), "delete {k}");
         }
         assert_eq!(t.len(), 0);
         assert_eq!(t.height(), 0, "root collapsed back to a leaf");
-        assert_eq!(t.get((0, 0)), None);
-        assert!(t.scan((0, 0), (n, 0)).is_empty());
+        assert_eq!(t.get((0, 0)).unwrap(), None);
+        assert!(t.scan((0, 0), (n, 0)).unwrap().is_empty());
     }
 
     #[test]
@@ -791,17 +870,17 @@ mod delete_rebalance_tests {
         let mut t = full_tree(n);
         // Remove every third key.
         for k in (0..n).step_by(3) {
-            t.delete((k, 0));
+            t.delete((k, 0)).unwrap();
         }
-        let remaining = t.scan((0, 0), (n, 0));
+        let remaining = t.scan((0, 0), (n, 0)).unwrap();
         let expect: Vec<u64> = (0..n).filter(|k| k % 3 != 0).collect();
         assert_eq!(remaining.len(), expect.len());
         for ((got, _), want) in remaining.iter().zip(&expect) {
             assert_eq!(got.0, *want);
         }
         // Survivors still point-readable; victims gone.
-        assert_eq!(t.get((1, 0)), Some(v(1)));
-        assert_eq!(t.get((3, 0)), None);
+        assert_eq!(t.get((1, 0)).unwrap(), Some(v(1)));
+        assert_eq!(t.get((3, 0)).unwrap(), None);
     }
 
     #[test]
@@ -809,16 +888,16 @@ mod delete_rebalance_tests {
         let mut t = full_tree(5_000);
         for round in 0..3 {
             for k in 1_000..2_000u64 {
-                assert!(t.delete((k, 0)).is_some(), "round {round} delete {k}");
+                assert!(t.delete((k, 0)).unwrap().is_some(), "round {round} delete {k}");
             }
             for k in 1_000..2_000u64 {
-                assert_eq!(t.insert((k, 0), v(k * 7)), None, "round {round} reinsert {k}");
+                assert_eq!(t.insert((k, 0), v(k * 7)).unwrap(), None, "round {round} reinsert {k}");
             }
         }
         assert_eq!(t.len(), 5_000);
-        assert_eq!(t.get((1_500, 0)), Some(v(1_500 * 7)));
-        assert_eq!(t.get((2_500, 0)), Some(v(2_500)));
-        let all = t.scan((0, 0), (u64::MAX, 0));
+        assert_eq!(t.get((1_500, 0)).unwrap(), Some(v(1_500 * 7)));
+        assert_eq!(t.get((2_500, 0)).unwrap(), Some(v(2_500)));
+        let all = t.scan((0, 0), (u64::MAX, 0)).unwrap();
         assert_eq!(all.len(), 5_000);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
     }
@@ -829,12 +908,12 @@ mod delete_rebalance_tests {
         let start_height = t.height();
         assert!(start_height >= 2);
         for k in 0..29_900u64 {
-            t.delete((k, 0));
+            t.delete((k, 0)).unwrap();
         }
         assert!(t.height() < start_height, "{} -> {}", start_height, t.height());
         // The last hundred keys are all still there.
         for k in 29_900..30_000u64 {
-            assert_eq!(t.get((k, 0)), Some(v(k)));
+            assert_eq!(t.get((k, 0)).unwrap(), Some(v(k)));
         }
     }
 }

@@ -18,6 +18,7 @@
 //! off in order to get fair evaluation results"; a pool with `capacity = 0`
 //! reproduces that configuration while leaving the code path identical.
 
+use crate::error::StorageResult;
 use crate::iostats::IoStats;
 use crate::page::{Page, PageId};
 use crate::pager::PageStore;
@@ -91,30 +92,34 @@ impl<S: PageStore> BufferPool<S> {
 }
 
 impl<S: PageStore> PageStore for BufferPool<S> {
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> StorageResult<PageId> {
         self.inner.allocate()
     }
 
-    fn read(&self, id: PageId) -> Page {
+    fn read(&self, id: PageId) -> StorageResult<Page> {
         let mut shard = self.shard(id).lock();
         if let Some((page, s)) = shard.get_mut(&id) {
             *s = self.touch();
             self.stats.record_hit();
-            return page.clone();
+            return Ok(page.clone());
         }
         self.stats.record_miss();
         // The shard lock is held across the physical read: a concurrent
         // reader of the same page waits instead of duplicating the I/O,
-        // and readers of other shards are unaffected.
-        let page = self.inner.read(id);
+        // and readers of other shards are unaffected. A failed read is not
+        // cached — a later retry goes back to the inner store.
+        let page = self.inner.read(id)?;
         self.cache_put_locked(&mut shard, id, page.clone());
-        page
+        Ok(page)
     }
 
-    fn write(&self, id: PageId, page: &Page) {
-        self.inner.write(id, page);
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        // Write-through: if the inner store rejects the write, the cache is
+        // left untouched so it never serves pages the store does not hold.
+        self.inner.write(id, page)?;
         let mut shard = self.shard(id).lock();
         self.cache_put_locked(&mut shard, id, page.clone());
+        Ok(())
     }
 
     fn page_count(&self) -> u64 {
@@ -128,6 +133,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::page::zeroed_page;
     use crate::pager::MemPager;
@@ -141,10 +147,10 @@ mod tests {
     #[test]
     fn hits_avoid_physical_reads() {
         let pool = BufferPool::new(MemPager::new(), 4);
-        let a = pool.allocate();
-        pool.write(a, &marked_page(7));
-        let r1 = pool.read(a);
-        let r2 = pool.read(a);
+        let a = pool.allocate().unwrap();
+        pool.write(a, &marked_page(7)).unwrap();
+        let r1 = pool.read(a).unwrap();
+        let r2 = pool.read(a).unwrap();
         assert_eq!(r1[0], 7);
         assert_eq!(r2[0], 7);
         // Write populated the cache, so both reads hit.
@@ -155,10 +161,10 @@ mod tests {
     #[test]
     fn capacity_zero_disables_caching() {
         let pool = BufferPool::new(MemPager::new(), 0);
-        let a = pool.allocate();
-        pool.write(a, &marked_page(1));
-        pool.read(a);
-        pool.read(a);
+        let a = pool.allocate().unwrap();
+        pool.write(a, &marked_page(1)).unwrap();
+        pool.read(a).unwrap();
+        pool.read(a).unwrap();
         assert_eq!(pool.stats().cache_hits(), 0);
         assert_eq!(pool.stats().cache_misses(), 2);
         assert_eq!(pool.stats().page_reads(), 2);
@@ -168,18 +174,18 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let pool = BufferPool::new(MemPager::new(), 2);
-        let ids: Vec<PageId> = (0..3).map(|_| pool.allocate()).collect();
+        let ids: Vec<PageId> = (0..3).map(|_| pool.allocate().unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
-            pool.write(*id, &marked_page(i as u8));
+            pool.write(*id, &marked_page(i as u8)).unwrap();
         }
         // Cache holds the 2 most recently written: ids[1], ids[2].
         assert_eq!(pool.cached_pages(), 2);
         pool.stats().reset();
-        pool.read(ids[1]);
-        pool.read(ids[2]);
+        pool.read(ids[1]).unwrap();
+        pool.read(ids[2]).unwrap();
         assert_eq!(pool.stats().cache_hits(), 2);
         // ids[0] was evicted -> miss.
-        pool.read(ids[0]);
+        pool.read(ids[0]).unwrap();
         assert_eq!(pool.stats().cache_misses(), 1);
         assert_eq!(pool.stats().page_reads(), 1);
     }
@@ -187,10 +193,17 @@ mod tests {
     #[test]
     fn writes_are_write_through() {
         let pool = BufferPool::new(MemPager::new(), 2);
-        let a = pool.allocate();
-        pool.write(a, &marked_page(9));
+        let a = pool.allocate().unwrap();
+        pool.write(a, &marked_page(9)).unwrap();
         // Inner store sees the write immediately.
         assert_eq!(pool.inner().stats().page_writes(), 1);
+    }
+
+    #[test]
+    fn failed_reads_are_not_cached() {
+        let pool = BufferPool::new(MemPager::new(), 4);
+        assert!(pool.read(PageId(9)).is_err());
+        assert_eq!(pool.cached_pages(), 0);
     }
 
     #[test]
@@ -198,25 +211,25 @@ mod tests {
         use crate::bptree::BPlusTree;
         let cached = {
             let pool = BufferPool::new(MemPager::new(), 256);
-            let mut t: BPlusTree<_, 8> = BPlusTree::new(pool);
+            let mut t: BPlusTree<_, 8> = BPlusTree::new(pool).unwrap();
             for k in 0..2000u64 {
-                t.insert((k, 0), k.to_le_bytes());
+                t.insert((k, 0), k.to_le_bytes()).unwrap();
             }
             t.store().stats().reset();
             for k in 0..2000u64 {
-                t.get((k, 0));
+                t.get((k, 0)).unwrap();
             }
             t.store().stats().page_reads()
         };
         let uncached = {
             let pool = BufferPool::new(MemPager::new(), 0);
-            let mut t: BPlusTree<_, 8> = BPlusTree::new(pool);
+            let mut t: BPlusTree<_, 8> = BPlusTree::new(pool).unwrap();
             for k in 0..2000u64 {
-                t.insert((k, 0), k.to_le_bytes());
+                t.insert((k, 0), k.to_le_bytes()).unwrap();
             }
             t.store().stats().reset();
             for k in 0..2000u64 {
-                t.get((k, 0));
+                t.get((k, 0)).unwrap();
             }
             t.store().stats().page_reads()
         };
@@ -226,9 +239,9 @@ mod tests {
     #[test]
     fn concurrent_readers_see_consistent_pages() {
         let pool = BufferPool::new(MemPager::new(), 8);
-        let ids: Vec<PageId> = (0..32).map(|_| pool.allocate()).collect();
+        let ids: Vec<PageId> = (0..32).map(|_| pool.allocate().unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
-            pool.write(*id, &marked_page(i as u8));
+            pool.write(*id, &marked_page(i as u8)).unwrap();
         }
         std::thread::scope(|scope| {
             for t in 0..4 {
@@ -237,7 +250,7 @@ mod tests {
                 scope.spawn(move || {
                     for round in 0..100 {
                         let i = (t * 7 + round * 13) % ids.len();
-                        assert_eq!(pool.read(ids[i])[0], i as u8);
+                        assert_eq!(pool.read(ids[i]).unwrap()[0], i as u8);
                     }
                 });
             }

@@ -364,6 +364,7 @@ impl DfsFile {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn dfs() -> Dfs {
@@ -483,6 +484,7 @@ mod tests {
 
 #[cfg(test)]
 mod replication_tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn dfs_r2() -> Dfs {

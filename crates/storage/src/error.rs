@@ -1,0 +1,166 @@
+//! Typed storage errors.
+//!
+//! Every fallible operation in this crate reports a [`StorageError`]
+//! instead of panicking, so the engine above can distinguish transient
+//! faults (worth retrying), detected corruption (fail the query, keep the
+//! process), and programmer errors (still panics/asserts). The taxonomy is
+//! documented in DESIGN.md §10.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// An error raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// Which operation failed (`"read"`, `"write"`, `"allocate"`, ...).
+        op: &'static str,
+        /// The page involved, when the operation targets one.
+        page: Option<PageId>,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// A page failed its CRC32 check: the stored bytes do not match the
+    /// checksum they were sealed with.
+    PageCorrupt {
+        /// The corrupt page.
+        page_id: PageId,
+        /// Checksum recorded in the page header.
+        expected: u32,
+        /// Checksum recomputed over the payload actually read.
+        actual: u32,
+    },
+    /// A page header is malformed (bad magic, unsupported format version,
+    /// or non-zero reserved bytes).
+    BadPageHeader {
+        /// The offending page.
+        page_id: PageId,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A read or write addressed a page that was never allocated.
+    UnallocatedPage {
+        /// The requested page.
+        page_id: PageId,
+        /// How many pages the store actually holds.
+        page_count: u64,
+    },
+    /// A B⁺-tree node page decoded to something structurally impossible
+    /// (unknown tag, impossible entry count).
+    CorruptNode {
+        /// The page holding the node.
+        page_id: PageId,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl StorageError {
+    /// True for faults that a bounded retry may clear (interrupted /
+    /// timed-out / would-block I/O). Corruption and structural errors are
+    /// never transient: re-reading the same bytes cannot fix them.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { source, .. } => matches!(
+                source.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, page: Some(p), source } => {
+                write!(f, "i/o error during {op} of page {p}: {source}")
+            }
+            StorageError::Io { op, page: None, source } => {
+                write!(f, "i/o error during {op}: {source}")
+            }
+            StorageError::PageCorrupt { page_id, expected, actual } => write!(
+                f,
+                "page {page_id} is corrupt: checksum {actual:#010x} does not match recorded {expected:#010x}"
+            ),
+            StorageError::BadPageHeader { page_id, detail } => {
+                write!(f, "page {page_id} has a bad header: {detail}")
+            }
+            StorageError::UnallocatedPage { page_id, page_count } => {
+                write!(f, "access to unallocated page {page_id} (store holds {page_count} pages)")
+            }
+            StorageError::CorruptNode { page_id, detail } => {
+                write!(f, "corrupt B+tree node on page {page_id}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        let transient = StorageError::Io {
+            op: "read",
+            page: Some(PageId(3)),
+            source: std::io::Error::new(std::io::ErrorKind::Interrupted, "injected"),
+        };
+        assert!(transient.is_transient());
+        let hard = StorageError::Io {
+            op: "write",
+            page: None,
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"),
+        };
+        assert!(!hard.is_transient());
+        let corrupt = StorageError::PageCorrupt { page_id: PageId(1), expected: 1, actual: 2 };
+        assert!(!corrupt.is_transient());
+    }
+
+    #[test]
+    fn display_mentions_page_and_op() {
+        let e = StorageError::Io {
+            op: "read",
+            page: Some(PageId(7)),
+            source: std::io::Error::new(std::io::ErrorKind::TimedOut, "slow disk"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("read"), "{msg}");
+        assert!(msg.contains("p7"), "{msg}");
+
+        let c = StorageError::PageCorrupt { page_id: PageId(9), expected: 0xAB, actual: 0xCD };
+        let msg = c.to_string();
+        assert!(msg.contains("p9"), "{msg}");
+        assert!(msg.contains("0x000000ab"), "{msg}");
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error;
+        let e = StorageError::Io {
+            op: "read",
+            page: None,
+            source: std::io::Error::new(std::io::ErrorKind::Interrupted, "x"),
+        };
+        assert!(e.source().is_some());
+        let c = StorageError::CorruptNode { page_id: PageId(0), detail: "tag 9".into() };
+        assert!(c.source().is_none());
+    }
+}

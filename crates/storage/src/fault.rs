@@ -1,0 +1,306 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! [`FaultPager`] wraps any [`PageStore`] and injects a seeded schedule of
+//! faults into reads and writes:
+//!
+//! * **transient errors** — the operation fails with a retryable
+//!   [`StorageError::Io`] (kind `Interrupted`);
+//! * **torn writes** — only a prefix of the page reaches the inner store,
+//!   the rest keeps its previous content; the write *reports success*
+//!   (that is what makes torn writes dangerous — the checksum layer above
+//!   must catch them at read time);
+//! * **bit flips** — a single bit of the page is inverted, on the read
+//!   path (returned data differs from stored data) or on the write path
+//!   (stored data differs from what was written).
+//!
+//! The schedule is a pure function of `(seed, operation counter)` via
+//! SplitMix64, so a chaos run is exactly reproducible from its seed: same
+//! build, same queries, same faults, same outcome. Injection is gated by an
+//! [`FaultHandle::arm`] switch shared with the test harness, letting tests
+//! build a clean engine first and unleash faults only on the phase under
+//! test.
+
+use crate::error::{StorageError, StorageResult};
+use crate::iostats::IoStats;
+use crate::page::{zeroed_page, Page, PageId, PAGE_SIZE};
+use crate::pager::PageStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fault probabilities in parts-per-million, plus the schedule seed.
+/// Integer ppm (not floats) keeps the schedule trivially portable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a read fails with a transient I/O error.
+    pub transient_read_ppm: u32,
+    /// Probability a write fails with a transient I/O error.
+    pub transient_write_ppm: u32,
+    /// Probability a write is torn (prefix persisted, success reported).
+    pub torn_write_ppm: u32,
+    /// Probability a read returns the page with one bit flipped.
+    pub bit_flip_read_ppm: u32,
+    /// Probability a write persists the page with one bit flipped.
+    pub bit_flip_write_ppm: u32,
+}
+
+/// Shared control/observation handle for a [`FaultPager`]: the arming
+/// switch and counters of faults actually injected (so chaos tests can
+/// assert they exercised something, not vacuously passed).
+#[derive(Debug, Default)]
+pub struct FaultHandle {
+    armed: AtomicBool,
+    transient: AtomicU64,
+    torn: AtomicU64,
+    flipped: AtomicU64,
+}
+
+impl FaultHandle {
+    /// Creates a disarmed handle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Enables or disables fault injection.
+    pub fn arm(&self, on: bool) {
+        self.armed.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether faults are currently being injected.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    /// Transient errors injected so far.
+    pub fn transient_injected(&self) -> u64 {
+        self.transient.load(Ordering::Relaxed)
+    }
+
+    /// Torn writes injected so far.
+    pub fn torn_injected(&self) -> u64 {
+        self.torn.load(Ordering::Relaxed)
+    }
+
+    /// Bit flips injected so far (read + write path).
+    pub fn flips_injected(&self) -> u64 {
+        self.flipped.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far.
+    pub fn total_injected(&self) -> u64 {
+        self.transient_injected() + self.torn_injected() + self.flips_injected()
+    }
+}
+
+/// SplitMix64: tiny, high-quality, stateless mixing of a 64-bit input.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fault-injecting page store adapter. See the module docs.
+#[derive(Debug)]
+pub struct FaultPager<S: PageStore> {
+    inner: S,
+    cfg: FaultConfig,
+    handle: Arc<FaultHandle>,
+    op: AtomicU64,
+}
+
+impl<S: PageStore> FaultPager<S> {
+    /// Wraps `inner` with a fresh (disarmed) handle.
+    pub fn new(inner: S, cfg: FaultConfig) -> Self {
+        Self::with_handle(inner, cfg, FaultHandle::new())
+    }
+
+    /// Wraps `inner`, sharing an externally held handle — the shape chaos
+    /// tests use to arm/observe a pager buried inside an engine.
+    pub fn with_handle(inner: S, cfg: FaultConfig, handle: Arc<FaultHandle>) -> Self {
+        Self { inner, cfg, handle, op: AtomicU64::new(0) }
+    }
+
+    /// The control/observation handle.
+    pub fn handle(&self) -> Arc<FaultHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Draws the deterministic random word for `(op, channel)`.
+    fn draw(&self, op: u64, channel: u64) -> u64 {
+        splitmix64(self.cfg.seed ^ splitmix64(op.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ channel))
+    }
+
+    /// True when the channel fires for this operation.
+    fn fires(&self, op: u64, channel: u64, ppm: u32) -> bool {
+        ppm > 0 && (self.draw(op, channel) % 1_000_000) < ppm as u64
+    }
+
+    fn transient(op: &'static str, id: PageId) -> StorageError {
+        StorageError::Io {
+            op,
+            page: Some(id),
+            source: std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient fault",
+            ),
+        }
+    }
+
+    fn flip_one_bit(&self, page: &mut Page, op: u64) {
+        let bit = (self.draw(op, 7) % (PAGE_SIZE as u64 * 8)) as usize;
+        page[bit / 8] ^= 1 << (bit % 8);
+        self.handle.flipped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<S: PageStore> PageStore for FaultPager<S> {
+    /// Allocation is never faulted: the interesting failure surface is the
+    /// data path, and faulting growth would only abort setup early.
+    fn allocate(&self) -> StorageResult<PageId> {
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        if !self.handle.is_armed() {
+            return self.inner.read(id);
+        }
+        let op = self.op.fetch_add(1, Ordering::Relaxed);
+        if self.fires(op, 1, self.cfg.transient_read_ppm) {
+            self.handle.transient.fetch_add(1, Ordering::Relaxed);
+            return Err(Self::transient("read", id));
+        }
+        let mut page = self.inner.read(id)?;
+        if self.fires(op, 2, self.cfg.bit_flip_read_ppm) {
+            self.flip_one_bit(&mut page, op);
+        }
+        Ok(page)
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        if !self.handle.is_armed() {
+            return self.inner.write(id, page);
+        }
+        let op = self.op.fetch_add(1, Ordering::Relaxed);
+        if self.fires(op, 3, self.cfg.transient_write_ppm) {
+            self.handle.transient.fetch_add(1, Ordering::Relaxed);
+            return Err(Self::transient("write", id));
+        }
+        if self.fires(op, 4, self.cfg.torn_write_ppm) {
+            // Persist only a prefix; the tail keeps the old content. The
+            // caller is told the write succeeded.
+            let old = self.inner.read(id).unwrap_or_else(|_| zeroed_page());
+            let split = 1 + (self.draw(op, 5) % (PAGE_SIZE as u64 - 1)) as usize;
+            let mut torn = old;
+            torn[..split].copy_from_slice(&page[..split]);
+            self.inner.write(id, &torn)?;
+            self.handle.torn.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if self.fires(op, 6, self.cfg.bit_flip_write_ppm) {
+            let mut flipped = page.clone();
+            self.flip_one_bit(&mut flipped, op);
+            return self.inner.write(id, &flipped);
+        }
+        self.inner.write(id, page)
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::checked::CheckedPager;
+    use crate::pager::MemPager;
+
+    fn always(ppm_field: impl Fn(&mut FaultConfig)) -> FaultConfig {
+        let mut cfg = FaultConfig { seed: 42, ..FaultConfig::default() };
+        ppm_field(&mut cfg);
+        cfg
+    }
+
+    #[test]
+    fn disarmed_pager_is_transparent() {
+        let cfg = always(|c| c.transient_read_ppm = 1_000_000);
+        let store = FaultPager::new(MemPager::new(), cfg);
+        let id = store.allocate().unwrap();
+        // Not armed: reads succeed despite a 100% fault rate.
+        for _ in 0..10 {
+            store.read(id).unwrap();
+        }
+        assert_eq!(store.handle().total_injected(), 0);
+    }
+
+    #[test]
+    fn armed_transient_reads_fail_typed() {
+        let cfg = always(|c| c.transient_read_ppm = 1_000_000);
+        let store = FaultPager::new(MemPager::new(), cfg);
+        let id = store.allocate().unwrap();
+        store.handle().arm(true);
+        let err = store.read(id).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(store.handle().transient_injected(), 1);
+    }
+
+    #[test]
+    fn torn_writes_report_success_but_corrupt_checked_reads() {
+        let cfg = always(|c| c.torn_write_ppm = 1_000_000);
+        let store = CheckedPager::new(FaultPager::new(MemPager::new(), cfg));
+        let handle = store.inner().handle();
+        let id = store.allocate().unwrap();
+        handle.arm(true);
+        let mut page = zeroed_page();
+        for b in page.iter_mut() {
+            *b = 0xA5;
+        }
+        store.write(id, &page).unwrap(); // lies: only a prefix landed
+        assert!(handle.torn_injected() >= 1);
+        handle.arm(false);
+        // The checksum layer catches it on read.
+        assert!(matches!(store.read(id), Err(StorageError::PageCorrupt { .. })));
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<u32> {
+            let cfg = FaultConfig { seed, bit_flip_read_ppm: 500_000, ..FaultConfig::default() };
+            let store = FaultPager::new(MemPager::new(), cfg);
+            let id = store.allocate().unwrap();
+            let mut page = zeroed_page();
+            page[100] = 1;
+            store.write(id, &page).unwrap();
+            store.handle().arm(true);
+            (0..20).map(|_| crate::page::crc32(&store.read(id).unwrap()[..])).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn flip_counters_count_injections() {
+        let cfg = always(|c| c.bit_flip_write_ppm = 1_000_000);
+        let store = FaultPager::new(MemPager::new(), cfg);
+        let id = store.allocate().unwrap();
+        store.handle().arm(true);
+        store.write(id, &zeroed_page()).unwrap();
+        assert_eq!(store.handle().flips_injected(), 1);
+        // Exactly one bit differs from zero.
+        store.handle().arm(false);
+        let ones: u32 = store.read(id).unwrap().iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+}

@@ -25,19 +25,43 @@
 //!   standing in for HDFS: named files striped over simulated data nodes,
 //!   with per-node read/write/seek counters that the index-size and
 //!   query-cost experiments report.
+//!
+//! The fault-tolerance layer (DESIGN.md §10) lives here too:
+//!
+//! * [`error`] — the [`StorageError`] taxonomy every fallible operation
+//!   reports instead of panicking; [`StorageError::is_transient`] marks
+//!   faults worth retrying.
+//! * [`checked`] — [`CheckedPager`] seals each written page with a
+//!   magic/version/CRC32 header and verifies it on every read, turning
+//!   torn writes and bit flips into typed `PageCorrupt`/`BadPageHeader`
+//!   errors.
+//! * [`retry`] — [`RetryPager`] absorbs transient faults with bounded
+//!   exponential backoff.
+//! * [`fault`] — [`FaultPager`] injects a deterministic, seeded schedule
+//!   of transient errors, torn writes, and bit flips for chaos testing.
 
 pub mod bptree;
 pub mod buffer;
+pub mod checked;
 pub mod dfs;
+pub mod error;
+pub mod fault;
 pub mod iostats;
 pub mod lru;
 pub mod page;
 pub mod pager;
+pub mod retry;
 
 pub use bptree::{BPlusTree, Key};
 pub use buffer::BufferPool;
+pub use checked::CheckedPager;
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsFile};
+pub use error::{StorageError, StorageResult};
+pub use fault::{FaultConfig, FaultHandle, FaultPager};
 pub use iostats::IoStats;
 pub use lru::{CacheLayerStats, ShardedLruCache};
-pub use page::{PageId, PAGE_SIZE};
+pub use page::{
+    crc32, seal_page, verify_page, PageId, PAGE_FORMAT_VERSION, PAGE_HEADER_SIZE, PAGE_SIZE,
+};
 pub use pager::{FilePager, MemPager, PageStore};
+pub use retry::{RetryPager, RetryPolicy};

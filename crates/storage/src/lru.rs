@@ -185,6 +185,7 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -1,9 +1,41 @@
-//! Fixed-size pages.
+//! Fixed-size pages and the verified page header.
+//!
+//! Every page carries a 16-byte header maintained by
+//! [`crate::CheckedPager`]:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"TKPG"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       2     reserved, must be zero
+//! 8       4     CRC32 (IEEE, little-endian) over bytes 12..4096
+//! 12      4084  payload (includes 4 unused bytes before the node area)
+//! ```
+//!
+//! The CRC covers everything after the checksum field itself, and the
+//! magic/version/reserved bytes are validated exactly on read, so *every*
+//! bit of the page is protected by some check — a single flipped bit
+//! anywhere is detected. Layers that store structured data in pages (the
+//! B⁺-tree) place their content at [`PAGE_HEADER_SIZE`] and beyond.
 
+use crate::error::StorageError;
 use std::fmt;
 
 /// Page size in bytes. 4 KiB, the classic database page size.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes at the front of each page reserved for the verified header.
+pub const PAGE_HEADER_SIZE: usize = 16;
+
+/// Magic bytes identifying a sealed tklus page.
+pub const PAGE_MAGIC: [u8; 4] = *b"TKPG";
+
+/// Current on-disk page format version.
+pub const PAGE_FORMAT_VERSION: u16 = 1;
+
+/// Byte offset where the CRC-covered region begins (just after the
+/// checksum field).
+const CRC_COVER_START: usize = 12;
 
 /// Identifier of a page within a page store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,8 +55,70 @@ pub fn zeroed_page() -> Page {
     vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE slice")
 }
 
+/// CRC32 (IEEE 802.3, reflected) over `bytes`. Table-driven, built once.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Writes the verified header into `page`: magic, current format version,
+/// zeroed reserved bytes, and the CRC32 of the payload region.
+pub fn seal_page(page: &mut Page) {
+    page[0..4].copy_from_slice(&PAGE_MAGIC);
+    page[4..6].copy_from_slice(&PAGE_FORMAT_VERSION.to_le_bytes());
+    page[6..8].copy_from_slice(&[0, 0]);
+    let crc = crc32(&page[CRC_COVER_START..]);
+    page[8..12].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Validates the header written by [`seal_page`]: magic, format version,
+/// reserved bytes, and the payload checksum.
+pub fn verify_page(page: &Page, id: PageId) -> Result<(), StorageError> {
+    if page[0..4] != PAGE_MAGIC {
+        return Err(StorageError::BadPageHeader {
+            page_id: id,
+            detail: format!("bad magic {:02x?} (want {:02x?} / \"TKPG\")", &page[0..4], PAGE_MAGIC),
+        });
+    }
+    let version = u16::from_le_bytes([page[4], page[5]]);
+    if version != PAGE_FORMAT_VERSION {
+        return Err(StorageError::BadPageHeader {
+            page_id: id,
+            detail: format!("format version {version} (supported: {PAGE_FORMAT_VERSION})"),
+        });
+    }
+    if page[6..8] != [0, 0] {
+        return Err(StorageError::BadPageHeader {
+            page_id: id,
+            detail: format!("reserved bytes {:02x?} are not zero", &page[6..8]),
+        });
+    }
+    let expected = u32::from_le_bytes([page[8], page[9], page[10], page[11]]);
+    let actual = crc32(&page[CRC_COVER_START..]);
+    if expected != actual {
+        return Err(StorageError::PageCorrupt { page_id: id, expected, actual });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]
@@ -37,5 +131,74 @@ mod tests {
     #[test]
     fn page_id_display() {
         assert_eq!(PageId(5).to_string(), "p5");
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let mut p = zeroed_page();
+        p[100] = 0xAB;
+        p[PAGE_SIZE - 1] = 0xCD;
+        seal_page(&mut p);
+        verify_page(&p, PageId(0)).unwrap();
+    }
+
+    #[test]
+    fn any_payload_bit_flip_is_detected() {
+        let mut p = zeroed_page();
+        p[200] = 0x55;
+        seal_page(&mut p);
+        // Flip one bit in a sample of positions across the whole page.
+        for pos in [12, 13, 100, PAGE_HEADER_SIZE, 2048, PAGE_SIZE - 1] {
+            let mut bad = p.clone();
+            bad[pos] ^= 0x01;
+            assert!(verify_page(&bad, PageId(1)).is_err(), "flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn header_field_corruption_is_typed() {
+        let mut p = zeroed_page();
+        seal_page(&mut p);
+
+        let mut bad_magic = p.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            verify_page(&bad_magic, PageId(2)),
+            Err(StorageError::BadPageHeader { .. })
+        ));
+
+        let mut bad_version = p.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            verify_page(&bad_version, PageId(2)),
+            Err(StorageError::BadPageHeader { .. })
+        ));
+
+        let mut bad_reserved = p.clone();
+        bad_reserved[6] = 1;
+        assert!(matches!(
+            verify_page(&bad_reserved, PageId(2)),
+            Err(StorageError::BadPageHeader { .. })
+        ));
+
+        let mut bad_crc = p.clone();
+        bad_crc[9] ^= 0xFF;
+        assert!(matches!(
+            verify_page(&bad_crc, PageId(2)),
+            Err(StorageError::PageCorrupt { page_id: PageId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn unsealed_page_fails_verification() {
+        let p = zeroed_page();
+        assert!(matches!(verify_page(&p, PageId(0)), Err(StorageError::BadPageHeader { .. })));
     }
 }

@@ -10,7 +10,13 @@
 //! All operations take `&self`: stores use interior mutability so that a
 //! read-only query path can run concurrently from many threads over one
 //! shared store (the engine's `&self` query API bottoms out here).
+//!
+//! Every operation that can fail returns a [`StorageError`] instead of
+//! panicking: an unallocated page id, a short read, or a failed syscall is
+//! reported to the caller, which decides whether to retry
+//! ([`crate::RetryPager`]), surface the fault, or degrade.
 
+use crate::error::{StorageError, StorageResult};
 use crate::iostats::IoStats;
 use crate::page::{zeroed_page, Page, PageId, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock};
@@ -25,15 +31,41 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// threads at once (hence the `Send + Sync` bound).
 pub trait PageStore: Send + Sync {
     /// Allocates a fresh zeroed page and returns its id.
-    fn allocate(&self) -> PageId;
-    /// Reads a page. Panics if the id was never allocated.
-    fn read(&self, id: PageId) -> Page;
+    fn allocate(&self) -> StorageResult<PageId>;
+    /// Reads a page. Fails with [`StorageError::UnallocatedPage`] if the id
+    /// was never allocated.
+    fn read(&self, id: PageId) -> StorageResult<Page>;
     /// Writes a page.
-    fn write(&self, id: PageId, page: &Page);
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()>;
     /// Number of allocated pages.
     fn page_count(&self) -> u64;
     /// The store's I/O counters.
     fn stats(&self) -> &IoStats;
+}
+
+/// Boxed stores forward to their contents, so stacks can be assembled
+/// dynamically (e.g. a fault-injection pager slotted under the metadata
+/// database in chaos tests).
+impl PageStore for Box<dyn PageStore> {
+    fn allocate(&self) -> StorageResult<PageId> {
+        (**self).allocate()
+    }
+
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        (**self).read(id)
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        (**self).write(id, page)
+    }
+
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        (**self).stats()
+    }
 }
 
 /// In-memory page store.
@@ -65,21 +97,31 @@ impl Default for MemPager {
 }
 
 impl PageStore for MemPager {
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> StorageResult<PageId> {
         let mut pages = self.pages.write();
         let id = PageId(pages.len() as u64);
         pages.push(zeroed_page());
-        id
+        Ok(id)
     }
 
-    fn read(&self, id: PageId) -> Page {
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        let pages = self.pages.read();
+        let page = pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::UnallocatedPage { page_id: id, page_count: pages.len() as u64 })?;
         self.stats.record_read();
-        self.pages.read()[id.0 as usize].clone()
+        Ok(page.clone())
     }
 
-    fn write(&self, id: PageId, page: &Page) {
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let mut pages = self.pages.write();
+        let count = pages.len() as u64;
+        let slot = pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::UnallocatedPage { page_id: id, page_count: count })?;
         self.stats.record_write();
-        self.pages.write()[id.0 as usize] = page.clone();
+        *slot = page.clone();
+        Ok(())
     }
 
     fn page_count(&self) -> u64 {
@@ -97,6 +139,10 @@ pub struct FilePager {
     file: Mutex<File>,
     page_count: AtomicU64,
     stats: IoStats,
+}
+
+fn io_err(op: &'static str, page: Option<PageId>, source: std::io::Error) -> StorageError {
+    StorageError::Io { op, page, source }
 }
 
 impl FilePager {
@@ -118,35 +164,51 @@ impl FilePager {
             stats: IoStats::new(),
         })
     }
+
+    fn check_allocated(&self, op: &'static str, id: PageId) -> StorageResult<()> {
+        let count = self.page_count.load(Ordering::Relaxed);
+        if id.0 >= count {
+            debug_assert!(op == "read" || op == "write");
+            return Err(StorageError::UnallocatedPage { page_id: id, page_count: count });
+        }
+        Ok(())
+    }
 }
 
 impl PageStore for FilePager {
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> StorageResult<PageId> {
         // Hold the file lock across the counter bump so concurrent
         // allocations get distinct ids AND distinct file extents.
         let mut f = self.file.lock();
-        let id = PageId(self.page_count.fetch_add(1, Ordering::Relaxed));
-        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
-        f.write_all(&zeroed_page()[..]).expect("extend page file");
-        id
+        let id = PageId(self.page_count.load(Ordering::Relaxed));
+        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))
+            .map_err(|e| io_err("allocate", Some(id), e))?;
+        f.write_all(&zeroed_page()[..]).map_err(|e| io_err("allocate", Some(id), e))?;
+        // Only count the page once the extent exists, so a failed extension
+        // does not leave an unreadable phantom page behind.
+        self.page_count.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
     }
 
-    fn read(&self, id: PageId) -> Page {
-        assert!(id.0 < self.page_count.load(Ordering::Relaxed), "read of unallocated page {id}");
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        self.check_allocated("read", id)?;
         self.stats.record_read();
         let mut page = zeroed_page();
         let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
-        f.read_exact(&mut page[..]).expect("read page");
-        page
+        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))
+            .map_err(|e| io_err("read", Some(id), e))?;
+        f.read_exact(&mut page[..]).map_err(|e| io_err("read", Some(id), e))?;
+        Ok(page)
     }
 
-    fn write(&self, id: PageId, page: &Page) {
-        assert!(id.0 < self.page_count.load(Ordering::Relaxed), "write of unallocated page {id}");
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        self.check_allocated("write", id)?;
         self.stats.record_write();
         let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64)).expect("seek");
-        f.write_all(&page[..]).expect("write page");
+        f.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))
+            .map_err(|e| io_err("write", Some(id), e))?;
+        f.write_all(&page[..]).map_err(|e| io_err("write", Some(id), e))?;
+        Ok(())
     }
 
     fn page_count(&self) -> u64 {
@@ -160,21 +222,22 @@ impl PageStore for FilePager {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn roundtrip(store: &dyn PageStore) {
-        let a = store.allocate();
-        let b = store.allocate();
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
         assert_ne!(a, b);
         let mut page = zeroed_page();
         page[0] = 0xAB;
         page[PAGE_SIZE - 1] = 0xCD;
-        store.write(a, &page);
-        let got = store.read(a);
+        store.write(a, &page).unwrap();
+        let got = store.read(a).unwrap();
         assert_eq!(got[0], 0xAB);
         assert_eq!(got[PAGE_SIZE - 1], 0xCD);
         // b still zeroed.
-        assert!(store.read(b).iter().all(|&x| x == 0));
+        assert!(store.read(b).unwrap().iter().all(|&x| x == 0));
         assert_eq!(store.page_count(), 2);
     }
 
@@ -198,38 +261,63 @@ mod tests {
             // Reopen: data persists.
             let p = FilePager::open(&path).unwrap();
             assert_eq!(p.page_count(), 2);
-            assert_eq!(p.read(PageId(0))[0], 0xAB);
+            assert_eq!(p.read(PageId(0)).unwrap()[0], 0xAB);
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn file_pager_rejects_unallocated_read() {
+    fn unallocated_access_is_a_typed_error() {
         let path = std::env::temp_dir().join(format!("tklus-pager-bad-{}.db", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let p = FilePager::open(&path).unwrap();
-        let _ = p.read(PageId(0));
+        assert!(matches!(
+            p.read(PageId(0)),
+            Err(StorageError::UnallocatedPage { page_id: PageId(0), page_count: 0 })
+        ));
+        assert!(matches!(
+            p.write(PageId(5), &zeroed_page()),
+            Err(StorageError::UnallocatedPage { page_id: PageId(5), .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let m = MemPager::new();
+        assert!(matches!(m.read(PageId(0)), Err(StorageError::UnallocatedPage { .. })));
+        assert!(matches!(
+            m.write(PageId(0), &zeroed_page()),
+            Err(StorageError::UnallocatedPage { .. })
+        ));
+    }
+
+    #[test]
+    fn boxed_store_forwards() {
+        let boxed: Box<dyn PageStore> = Box::new(MemPager::new());
+        let a = boxed.allocate().unwrap();
+        let mut page = zeroed_page();
+        page[1] = 0x11;
+        boxed.write(a, &page).unwrap();
+        assert_eq!(boxed.read(a).unwrap()[1], 0x11);
+        assert_eq!(boxed.page_count(), 1);
     }
 
     #[test]
     fn mem_pager_concurrent_reads_and_allocates() {
         let p = MemPager::new();
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         let mut page = zeroed_page();
         page[7] = 0x77;
-        p.write(a, &page);
+        p.write(a, &page).unwrap();
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
                     for _ in 0..200 {
-                        assert_eq!(p.read(a)[7], 0x77);
+                        assert_eq!(p.read(a).unwrap()[7], 0x77);
                     }
                 });
             }
             scope.spawn(|| {
                 for _ in 0..50 {
-                    p.allocate();
+                    p.allocate().unwrap();
                 }
             });
         });

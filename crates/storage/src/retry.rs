@@ -1,0 +1,199 @@
+//! Bounded retry-with-backoff for transient storage faults.
+//!
+//! [`RetryPager`] re-issues operations that fail with a *transient* error
+//! ([`crate::StorageError::is_transient`]: interrupted / timed-out /
+//! would-block I/O) up to a bounded number of attempts, sleeping an
+//! exponentially growing backoff between attempts. Non-transient errors —
+//! corruption, unallocated pages, hard I/O failures — propagate
+//! immediately: retrying cannot fix them and would only add latency.
+
+use crate::error::StorageResult;
+use crate::iostats::IoStats;
+use crate::page::{Page, PageId};
+use crate::pager::PageStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Retry discipline for a [`RetryPager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Sleep before retry `n` is `base_backoff * 2^(n-1)`. Zero disables
+    /// sleeping (useful in tests).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_backoff: Duration::from_millis(1) }
+    }
+}
+
+/// Page store adapter that absorbs transient faults from the layer below.
+#[derive(Debug)]
+pub struct RetryPager<S: PageStore> {
+    inner: S,
+    policy: RetryPolicy,
+    retries: AtomicU64,
+}
+
+impl<S: PageStore> RetryPager<S> {
+    /// Wraps `inner` with the given retry policy.
+    pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "RetryPolicy.max_attempts must be at least 1");
+        Self { inner, policy, retries: AtomicU64::new(0) }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Total retries performed (attempts beyond the first, summed over all
+    /// operations).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn run<T>(&self, mut op: impl FnMut() -> StorageResult<T>) -> StorageResult<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt + 1 < self.policy.max_attempts => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.policy.base_backoff.saturating_mul(1u32 << attempt.min(16));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for RetryPager<S> {
+    fn allocate(&self) -> StorageResult<PageId> {
+        self.run(|| self.inner.allocate())
+    }
+
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        self.run(|| self.inner.read(id))
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        self.run(|| self.inner.write(id, page))
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::error::StorageError;
+    use crate::page::zeroed_page;
+    use crate::pager::MemPager;
+    use std::sync::atomic::AtomicU32;
+
+    /// Store whose reads fail transiently the first `fail_first` times.
+    struct Flaky {
+        inner: MemPager,
+        fail_first: u32,
+        seen: AtomicU32,
+        transient: bool,
+    }
+
+    impl PageStore for Flaky {
+        fn allocate(&self) -> StorageResult<PageId> {
+            self.inner.allocate()
+        }
+
+        fn read(&self, id: PageId) -> StorageResult<Page> {
+            if self.seen.fetch_add(1, Ordering::Relaxed) < self.fail_first {
+                let kind = if self.transient {
+                    std::io::ErrorKind::Interrupted
+                } else {
+                    std::io::ErrorKind::PermissionDenied
+                };
+                return Err(StorageError::Io {
+                    op: "read",
+                    page: Some(id),
+                    source: std::io::Error::new(kind, "flaky"),
+                });
+            }
+            self.inner.read(id)
+        }
+
+        fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+            self.inner.write(id, page)
+        }
+
+        fn page_count(&self) -> u64 {
+            self.inner.page_count()
+        }
+
+        fn stats(&self) -> &IoStats {
+            self.inner.stats()
+        }
+    }
+
+    fn zero_backoff(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts, base_backoff: Duration::ZERO }
+    }
+
+    #[test]
+    fn transient_faults_within_budget_are_masked() {
+        let inner = Flaky {
+            inner: MemPager::new(),
+            fail_first: 2,
+            seen: AtomicU32::new(0),
+            transient: true,
+        };
+        let store = RetryPager::new(inner, zero_backoff(3));
+        let id = store.allocate().unwrap();
+        let mut p = zeroed_page();
+        p[20] = 9;
+        store.write(id, &p).unwrap();
+        assert_eq!(store.read(id).unwrap()[20], 9);
+        assert_eq!(store.retries(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_error() {
+        let inner = Flaky {
+            inner: MemPager::new(),
+            fail_first: 5,
+            seen: AtomicU32::new(0),
+            transient: true,
+        };
+        let store = RetryPager::new(inner, zero_backoff(3));
+        let id = store.allocate().unwrap();
+        assert!(matches!(store.read(id), Err(StorageError::Io { .. })));
+        assert_eq!(store.retries(), 2, "two retries then give up");
+    }
+
+    #[test]
+    fn hard_errors_are_not_retried() {
+        let inner = Flaky {
+            inner: MemPager::new(),
+            fail_first: 1,
+            seen: AtomicU32::new(0),
+            transient: false,
+        };
+        let store = RetryPager::new(inner, zero_backoff(5));
+        let id = store.allocate().unwrap();
+        assert!(store.read(id).is_err());
+        assert_eq!(store.retries(), 0);
+    }
+}
