@@ -23,14 +23,20 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses raw arguments (already stripped of the program name and
-    /// subcommand).
+    /// subcommand). A flag followed by another flag (or by nothing) is a
+    /// boolean switch and records the value `"true"` — values themselves
+    /// never start with `--` (negative numbers start with a single `-`).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
         let mut out = Args::default();
-        let mut iter = raw.into_iter();
+        let mut iter = raw.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value =
-                    iter.next().ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?;
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        iter.next().expect("peeked value exists")
+                    }
+                    _ => "true".to_string(),
+                };
                 if out.flags.insert(name.to_string(), value).is_some() {
                     return Err(ArgError(format!("flag --{name} given twice")));
                 }
@@ -39,6 +45,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// A boolean switch: absent -> `false`, bare or `true`/`false` valued.
+    pub fn get_flag(&self, name: &str) -> Result<bool, ArgError> {
+        self.get_or(name, false)
     }
 
     /// A required flag, parsed to `T`.
@@ -124,8 +135,25 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_value_and_duplicates() {
-        assert!(parse(&["--posts"]).is_err());
+    fn bare_flags_are_boolean_switches() {
+        // A trailing flag and a flag followed by another flag read "true".
+        let a = parse(&["--fail-on-degraded", "--posts", "1", "--verbose"]).unwrap();
+        assert!(a.get_flag("fail-on-degraded").unwrap());
+        assert!(a.get_flag("verbose").unwrap());
+        assert!(!a.get_flag("absent").unwrap());
+        assert_eq!(a.require::<usize>("posts").unwrap(), 1);
+        // An explicit value still works; a bare value-flag fails at parse.
+        let a = parse(&["--fail-on-degraded", "false"]).unwrap();
+        assert!(!a.get_flag("fail-on-degraded").unwrap());
+        let a = parse(&["--posts"]).unwrap();
+        assert!(a.require::<usize>("posts").is_err(), "boolean 'true' is not a count");
+        // Negative numbers are values, not flags.
+        let a = parse(&["--lon", "-79.37"]).unwrap();
+        assert_eq!(a.require::<f64>("lon").unwrap(), -79.37);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
         assert!(parse(&["--posts", "1", "--posts", "2"]).is_err());
     }
 

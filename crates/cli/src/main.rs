@@ -27,12 +27,17 @@
 //! * `3` — index directory persistence failure (save/load, corruption,
 //!   format-version mismatch);
 //! * `4` — metadata storage failure during engine build or query;
-//! * `5` — inverted-index failure during query.
+//! * `5` — inverted-index failure during query;
+//! * `6` — degraded (budget-truncated) result under `--fail-on-degraded`.
 //!
-//! A *degraded* query result (budget exhausted) is not a failure: the CLI
-//! prints the partial top-k with a completeness note and exits `0`.
+//! A *degraded* query result (budget exhausted) is not a failure by
+//! default: the CLI prints the partial top-k with a completeness note and
+//! exits `0`. Pass `--fail-on-degraded` to make scripts treat the partial
+//! answer as an error — the result is still printed, but the process
+//! exits `6`.
 
 mod args;
+mod serve;
 
 use args::{ArgError, Args};
 use std::path::PathBuf;
@@ -54,6 +59,14 @@ enum CliError {
     Persist(tklus_index::PersistError),
     /// Engine failures — exit 4 (storage) or 5 (index).
     Engine(EngineError),
+    /// Degraded result rejected by `--fail-on-degraded` — exit 6. The
+    /// partial answer was already printed; this only flips the exit code.
+    Degraded {
+        /// Cover cells examined before the budget expired.
+        cells_processed: usize,
+        /// Cover cells a complete answer would have examined.
+        cells_total: usize,
+    },
 }
 
 impl CliError {
@@ -64,6 +77,7 @@ impl CliError {
             CliError::Persist(_) => 3,
             CliError::Engine(EngineError::Storage(_)) => 4,
             CliError::Engine(EngineError::Index(_)) => 5,
+            CliError::Degraded { .. } => 6,
         }
     }
 }
@@ -74,6 +88,11 @@ impl std::fmt::Display for CliError {
             CliError::General(msg) | CliError::Usage(msg) => f.write_str(msg),
             CliError::Persist(e) => write!(f, "index persistence failed: {e}"),
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Degraded { cells_processed, cells_total } => write!(
+                f,
+                "degraded result ({cells_processed}/{cells_total} cover cells) \
+                 rejected by --fail-on-degraded"
+            ),
         }
     }
 }
@@ -106,9 +125,15 @@ const USAGE: &str = "usage:
                     [--k K] [--ranking sum|max|max-global] [--semantics and|or]
                     [--corpus FILE.tsv] [--posts N] [--seed S] [--index DIR]
                     [--since T --until T] [--now T --half-life H]
-                    [--timeout-ms MS] [--max-cells N]
+                    [--timeout-ms MS] [--max-cells N] [--fail-on-degraded]
                     [--threads N] [--cover-cache N] [--postings-cache N]
-                    [--thread-cache N]";
+                    [--thread-cache N]
+  tklus serve       [--corpus FILE.tsv] [--posts N] [--seed S]
+                    [--mode sim|threaded] [--requests N] [--load-seed S]
+                    [--mean-interarrival-ms MS] [--deadline-ms MS]
+                    [--mean-service-ms MS] [--workers N] [--queue-capacity N]
+                    [--est-service-ms MS] [--degrade-threshold N --degrade-cells N]
+                    [--drain-at-ms MS] [--drain-deadline-ms MS]";
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -123,6 +148,7 @@ fn main() {
         "build-index" => cmd_build_index(rest),
         "stats" => cmd_stats(rest),
         "query" => cmd_query(rest),
+        "serve" => serve::cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -245,6 +271,7 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
         "half-life",
         "timeout-ms",
         "max-cells",
+        "fail-on-degraded",
         "threads",
         "cover-cache",
         "postings-cache",
@@ -342,11 +369,13 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
     for (rank, r) in top.iter().enumerate() {
         println!("  #{:<3} {:<12} score {:.4}", rank + 1, r.user.to_string(), r.score);
     }
+    let mut degraded = None;
     if let Completeness::Degraded { cells_processed, cells_total } = outcome.completeness {
         println!(
             "note: degraded result — budget expired after {cells_processed}/{cells_total} \
              cover cells; the ranking is exact over the cells processed"
         );
+        degraded = Some(CliError::Degraded { cells_processed, cells_total });
     }
     println!(
         "stats: {} candidates, {} in radius, {} threads built, {} pruned, {} metadata page reads, {:.2} ms",
@@ -372,5 +401,10 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
             cs.thread.hit_rate() * 100.0,
         );
     }
-    Ok(())
+    // The result (printed above) stands either way; the flag only decides
+    // whether scripts see a partial answer as exit 6 instead of 0.
+    match degraded {
+        Some(e) if args.get_flag("fail-on-degraded")? => Err(e),
+        _ => Ok(()),
+    }
 }

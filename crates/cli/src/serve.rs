@@ -1,0 +1,291 @@
+//! `tklus serve` — replay a seeded open-loop workload through the
+//! overload-resilient serving layer (DESIGN.md §11) and report how it
+//! degraded: shed breakdown, latency percentiles, breaker trajectory,
+//! drain accounting, and the final health/readiness probes.
+//!
+//! Two modes share every knob:
+//!
+//! * `--mode sim` (default) — the virtual-time simulator: deterministic
+//!   per `--load-seed`, finishes instantly regardless of the schedule's
+//!   virtual length;
+//! * `--mode threaded` — the real [`TklusServer`] with worker threads and
+//!   wall-clock arrivals (the same schedule, replayed in real time).
+
+use crate::args::{ArgError, Args};
+use crate::{corpus_from, CliError};
+use std::sync::Arc;
+use std::time::Duration;
+use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_gen::{generate_queries, QueryConfig};
+use tklus_metrics::Summary;
+use tklus_model::{Semantics, TklusQuery};
+use tklus_serve::sim::{
+    generate_plan, run_sim, Disposition, DrainPlan, LoadConfig, SimConfig, SimReport,
+};
+use tklus_serve::{DegradePolicy, Rejected, ServeConfig, ServeError, TklusServer};
+
+/// Builds the query workload the load generator draws from.
+fn workload(
+    corpus: &tklus_model::Corpus,
+    seed: u64,
+) -> Result<Vec<(TklusQuery, Ranking)>, CliError> {
+    let specs = generate_queries(corpus, &QueryConfig { per_bucket: 4, seed });
+    let queries: Vec<(TklusQuery, Ranking)> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let semantics = if i % 2 == 0 { Semantics::Or } else { Semantics::And };
+            let ranking =
+                if i % 3 == 0 { Ranking::Sum } else { Ranking::Max(BoundsMode::HotKeywords) };
+            TklusQuery::new(spec.location, 15.0, spec.keywords, 5, semantics).map(|q| (q, ranking))
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    if queries.is_empty() {
+        return Err(CliError::General("generated workload is empty".into()));
+    }
+    Ok(queries)
+}
+
+fn parse_serve_config(args: &Args) -> Result<ServeConfig, CliError> {
+    let degrade =
+        match (args.get::<usize>("degrade-threshold")?, args.get::<usize>("degrade-cells")?) {
+            (None, None) => None,
+            (Some(queue_threshold), Some(max_cells)) => {
+                Some(DegradePolicy { queue_threshold, max_cells })
+            }
+            _ => {
+                return Err(ArgError(
+                    "--degrade-threshold and --degrade-cells must be given together".into(),
+                )
+                .into())
+            }
+        };
+    let cfg = ServeConfig {
+        workers: args.get_or("workers", 3)?,
+        queue_capacity: args.get_or("queue-capacity", 16)?,
+        default_deadline_ms: args.get_or("deadline-ms", 120)?,
+        est_service_ms: args.get_or("est-service-ms", 5)?,
+        degrade,
+        breaker: Default::default(),
+    };
+    cfg.validate().map_err(CliError::Usage)?;
+    Ok(cfg)
+}
+
+fn parse_load_config(args: &Args) -> Result<LoadConfig, CliError> {
+    Ok(LoadConfig {
+        seed: args.get_or("load-seed", 1)?,
+        requests: args.get_or("requests", 400)?,
+        mean_interarrival_ms: args.get_or("mean-interarrival-ms", 2)?,
+        deadline_ms: args.get_or("deadline-ms", 120)?,
+        mean_service_ms: args.get_or("mean-service-ms", 7)?,
+        priority_weights: [1, 2, 1],
+    })
+}
+
+fn parse_drain(args: &Args) -> Result<Option<DrainPlan>, CliError> {
+    match (args.get::<u64>("drain-at-ms")?, args.get::<u64>("drain-deadline-ms")?) {
+        (None, None) => Ok(None),
+        (Some(at_ms), deadline) => {
+            Ok(Some(DrainPlan { at_ms, deadline_ms: deadline.unwrap_or(50) }))
+        }
+        (None, Some(_)) => {
+            Err(ArgError("--drain-deadline-ms requires --drain-at-ms".into()).into())
+        }
+    }
+}
+
+fn print_latencies(label: &str, latencies: &[f64]) {
+    if latencies.is_empty() {
+        println!("{label}: no completions");
+        return;
+    }
+    let s = Summary::of(latencies);
+    println!(
+        "{label}: n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1} (ms)",
+        s.n, s.mean, s.p50, s.p95, s.p99, s.max
+    );
+}
+
+fn print_sim_report(report: &SimReport) {
+    let mut shed = 0usize;
+    let mut expired = 0usize;
+    let mut abandoned = 0usize;
+    let mut completed = 0usize;
+    for o in &report.outcomes {
+        match o.disposition {
+            Disposition::Shed(_) => shed += 1,
+            Disposition::ExpiredInQueue => expired += 1,
+            Disposition::Completed { .. } => completed += 1,
+            Disposition::AbandonedQueued | Disposition::AbandonedInFlight { .. } => abandoned += 1,
+        }
+    }
+    println!(
+        "dispositions: {completed} completed ({} degraded, {} failed), {shed} shed, \
+         {expired} expired in queue, {abandoned} abandoned",
+        report.degraded, report.failed
+    );
+    let c = &report.admission;
+    println!(
+        "sheds: {} queue-full, {} hopeless-deadline, {} evicted, {} circuit-open, {} shutdown",
+        c.shed_queue_full,
+        c.shed_deadline,
+        c.shed_evicted,
+        report.shed_circuit,
+        report.shed_shutdown
+    );
+    let latencies: Vec<f64> = report.latencies_ms.iter().map(|&v| v as f64).collect();
+    print_latencies("latency (virtual)", &latencies);
+    if report.breaker_trips > 0 {
+        println!("breaker: {} trips", report.breaker_trips);
+        for &(t, state) in &report.storage_transitions {
+            println!("  storage @{t}ms -> {state}");
+        }
+        for &(t, state) in &report.index_transitions {
+            println!("  index   @{t}ms -> {state}");
+        }
+    }
+    if let Some(drain) = &report.drain {
+        println!(
+            "drain: {} abandoned in queue, {} abandoned in flight",
+            drain.abandoned_queued.len(),
+            drain.abandoned_in_flight.len()
+        );
+    }
+    println!("-- health --\n{}", report.health.render());
+}
+
+fn run_threaded(
+    engine: Arc<TklusEngine>,
+    queries: &[(TklusQuery, Ranking)],
+    serve: ServeConfig,
+    load: &LoadConfig,
+    drain: Option<DrainPlan>,
+) -> Result<(), CliError> {
+    let plan = generate_plan(load, queries.len());
+    let server = TklusServer::start(engine, serve).map_err(CliError::Usage)?;
+    let start = std::time::Instant::now();
+    let mut tickets = Vec::new();
+    let mut shed = 0usize;
+    let mut submitted = 0usize;
+    for req in &plan.requests {
+        if let Some(d) = drain {
+            if req.arrival_ms >= d.at_ms {
+                break; // admission closes at the drain instant
+            }
+        }
+        // Open-loop pacing: wait until this request's wall-clock arrival.
+        let arrival = Duration::from_millis(req.arrival_ms);
+        if let Some(wait) = arrival.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        submitted += 1;
+        let (q, ranking) = &queries[req.query_idx % queries.len()];
+        let deadline = Duration::from_millis(req.deadline_ms - req.arrival_ms);
+        match server.submit(q.clone(), *ranking, req.priority, Some(deadline)) {
+            Ok(t) => tickets.push(t),
+            Err(_) => shed += 1,
+        }
+    }
+    let mut completed = 0usize;
+    let mut degraded = 0usize;
+    let mut failed = 0usize;
+    let mut post_admission = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(outcome) => {
+                completed += 1;
+                if !outcome.completeness.is_complete() {
+                    degraded += 1;
+                }
+            }
+            Err(ServeError::Engine(_)) => {
+                completed += 1;
+                failed += 1;
+            }
+            Err(ServeError::Rejected(
+                Rejected::Evicted { .. } | Rejected::DeadlineHopeless { .. },
+            ))
+            | Err(ServeError::Abandoned) => post_admission += 1,
+            Err(ServeError::Rejected(_)) => shed += 1,
+        }
+    }
+    println!(
+        "threaded: {submitted} submitted, {completed} completed ({degraded} degraded, \
+         {failed} failed), {shed} shed at admission, {post_admission} shed/abandoned after"
+    );
+    println!("-- health --\n{}", server.health().render());
+    let drain_deadline = Duration::from_millis(drain.map_or(1_000, |d| d.deadline_ms));
+    let report = server.drain(drain_deadline);
+    println!(
+        "drain: {} completed, {} abandoned in queue, {} in flight at deadline",
+        report.completed,
+        report.abandoned_queued.len(),
+        report.in_flight_at_deadline
+    );
+    Ok(())
+}
+
+/// `tklus serve` entry point.
+pub fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    args.check_known(&[
+        "corpus",
+        "posts",
+        "seed",
+        "mode",
+        "requests",
+        "load-seed",
+        "mean-interarrival-ms",
+        "deadline-ms",
+        "mean-service-ms",
+        "workers",
+        "queue-capacity",
+        "est-service-ms",
+        "degrade-threshold",
+        "degrade-cells",
+        "drain-at-ms",
+        "drain-deadline-ms",
+    ])?;
+    let serve = parse_serve_config(&args)?;
+    let load = parse_load_config(&args)?;
+    let drain = parse_drain(&args)?;
+    let corpus = corpus_from(&args)?;
+    let load_seed = load.seed;
+
+    println!(
+        "serve: {} workers, queue {}, deadline {} ms, degrade {}",
+        serve.workers,
+        serve.queue_capacity,
+        serve.default_deadline_ms,
+        serve.degrade.map_or("off".to_string(), |d| format!(
+            "at depth {} -> {} cells",
+            d.queue_threshold, d.max_cells
+        ))
+    );
+    println!(
+        "load: {} requests, seed {}, mean interarrival {} ms, mean service {} ms",
+        load.requests, load.seed, load.mean_interarrival_ms, load.mean_service_ms
+    );
+
+    match args.get_str("mode").unwrap_or("sim") {
+        "sim" => {
+            // Deterministic virtual-time replay: parallelism 1 keeps the
+            // engine's execution order (and any fault schedule) seeded.
+            let config = EngineConfig { parallelism: 1, ..EngineConfig::default() };
+            let engine = TklusEngine::try_build(&corpus, &config)?.0;
+            let queries = workload(&corpus, load_seed)?;
+            let plan = generate_plan(&load, queries.len());
+            let report = run_sim(&engine, &queries, &plan, &SimConfig { serve, drain });
+            print_sim_report(&report);
+            Ok(())
+        }
+        "threaded" => {
+            let engine = Arc::new(TklusEngine::try_build(&corpus, &EngineConfig::default())?.0);
+            let queries = workload(&corpus, load_seed)?;
+            run_threaded(engine, &queries, serve, &load, drain)
+        }
+        other => Err(ArgError(format!("--mode must be sim|threaded, got {other:?}")).into()),
+    }
+}

@@ -135,6 +135,7 @@ impl BoundsTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use tklus_geo::Point;

@@ -292,15 +292,33 @@ impl TklusEngine {
     /// Inside the batch each query runs sequentially — inter-query
     /// parallelism is the throughput lever here, which is also what the
     /// QPS benchmark measures.
+    ///
+    /// Panics if any query in the batch fails; over fallible stores use
+    /// [`Self::try_query_batch`], where one bad query costs only its own
+    /// slot.
     pub fn query_batch(
         &self,
         requests: &[(TklusQuery, Ranking)],
     ) -> Vec<(Vec<RankedUser>, QueryStats)> {
-        crate::query::parallel_map(requests, self.parallelism, |(q, ranking)| {
-            match self.try_query_with_parallelism(q, *ranking, 1) {
+        self.try_query_batch(requests)
+            .into_iter()
+            .map(|result| match result {
                 Ok(outcome) => (outcome.users, outcome.stats),
                 Err(e) => panic!("query failed: {e}"),
-            }
+            })
+            .collect()
+    }
+
+    /// Fallible [`Self::query_batch`]: each query gets its own
+    /// `Result` slot, so a storage or index failure on one query never
+    /// poisons the rest of the batch — the other slots still carry
+    /// answers identical to standalone [`Self::try_query`] calls.
+    pub fn try_query_batch(
+        &self,
+        requests: &[(TklusQuery, Ranking)],
+    ) -> Vec<Result<QueryOutcome, EngineError>> {
+        crate::query::parallel_map(requests, self.parallelism, |(q, ranking)| {
+            self.try_query_with_parallelism(q, *ranking, 1)
         })
     }
 
@@ -347,6 +365,7 @@ impl TklusEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use tklus_geo::Point;
@@ -559,6 +578,29 @@ mod tests {
                 assert_eq!(x.user, y.user);
                 assert!((x.score - y.score).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn try_query_batch_matches_infallible_batch() {
+        let corpus = corpus();
+        let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let here = Point::new_unchecked(43.7, -79.4);
+        let q = |kw: &str| {
+            tklus_model::TklusQuery::new(here, 10.0, vec![kw.into()], 5, Semantics::Or).unwrap()
+        };
+        let requests = vec![
+            (q("hotel"), Ranking::Sum),
+            (q("pizza"), Ranking::Max(BoundsMode::HotKeywords)),
+            (q("zzzunknown"), Ranking::Sum),
+        ];
+        let infallible = engine.query_batch(&requests);
+        let fallible = engine.try_query_batch(&requests);
+        assert_eq!(infallible.len(), fallible.len());
+        for ((users, _), result) in infallible.iter().zip(&fallible) {
+            let outcome = result.as_ref().expect("in-memory stores never fail");
+            assert_eq!(outcome.completeness, Completeness::Complete);
+            assert_eq!(&outcome.users, users);
         }
     }
 

@@ -69,12 +69,17 @@ fn encode_row(row: &MetaRow) -> [u8; ROW_SIZE] {
     out
 }
 
+/// An 8-byte slice of a fixed-size row (infallible by construction).
+fn field8(bytes: &[u8]) -> [u8; 8] {
+    bytes.try_into().expect("row field is 8 bytes")
+}
+
 fn decode_row(bytes: &[u8; ROW_SIZE]) -> MetaRow {
-    let uid = UserId(u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
-    let lat = f64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    let lon = f64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let ruid = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
-    let rsid = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+    let uid = UserId(u64::from_le_bytes(field8(&bytes[0..8])));
+    let lat = f64::from_le_bytes(field8(&bytes[8..16]));
+    let lon = f64::from_le_bytes(field8(&bytes[16..24]));
+    let ruid = u64::from_le_bytes(field8(&bytes[24..32]));
+    let rsid = u64::from_le_bytes(field8(&bytes[32..40]));
     MetaRow {
         uid,
         location: Point::new_unchecked(lat, lon),
@@ -243,8 +248,8 @@ impl MetadataDb {
             .scan_major(uid.0)?
             .into_iter()
             .map(|((_, sid), loc)| {
-                let lat = f64::from_le_bytes(loc[0..8].try_into().unwrap());
-                let lon = f64::from_le_bytes(loc[8..16].try_into().unwrap());
+                let lat = f64::from_le_bytes(field8(&loc[0..8]));
+                let lon = f64::from_le_bytes(field8(&loc[8..16]));
                 (TweetId(sid), Point::new_unchecked(lat, lon))
             })
             .collect())
@@ -273,6 +278,7 @@ impl TryReplyProvider for &MetadataDb {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use tklus_graph::try_build_thread;

@@ -19,6 +19,8 @@
 //! the buffer pool must not mask corruption) and `parallelism: 1` (the
 //! deterministic fault schedule meets a deterministic operation order).
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
 use std::sync::Arc;
 use tklus_core::{
     BoundsMode, Completeness, EngineConfig, EngineError, MetadataStoreFactory, QueryOutcome,
@@ -298,6 +300,135 @@ fn combined_fault_storm_never_panics_or_lies() {
             }
         }
         assert!(handle.total_injected() > 0, "seed {seed}: vacuous storm");
+    }
+}
+
+/// The full stack at once — injected storage faults × tight wall-clock
+/// budgets × 8 concurrent query threads (the serving layer's worst case).
+/// Every outcome must be typed: a complete answer matching the reference,
+/// a degraded exact prefix, or a typed storage error. Any panic —
+/// including a poisoned lock from a panicking worker — fails the test.
+#[test]
+fn fault_budget_concurrency_storm_stays_typed() {
+    let corpus = corpus();
+    let (_, expected) = build_reference(&corpus);
+    let workload = queries(&corpus);
+    for seed in chaos_seeds() {
+        let handle = FaultHandle::new();
+        let cfg = FaultConfig { seed, transient_read_ppm: 15_000, ..FaultConfig::default() };
+        // parallelism > 1 plus concurrent callers: the fault schedule is
+        // no longer deterministic per query — only the outcome taxonomy
+        // is asserted, which is exactly the point of this storm.
+        let config = EngineConfig {
+            cache_pages: 0,
+            parallelism: 2,
+            metadata_store: Some(faulty_store(cfg, Arc::clone(&handle), None)),
+            ..EngineConfig::default()
+        };
+        let (engine, _) =
+            TklusEngine::try_build(&corpus, &config).expect("disarmed build is clean");
+        handle.arm(true);
+        let engine = &engine;
+        let workload = &workload;
+        let expected = &expected;
+        std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..8)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut ok = 0usize;
+                        let mut degraded = 0usize;
+                        let mut errors = 0usize;
+                        for (i, (q, ranking)) in workload.iter().enumerate() {
+                            // Stagger budgets across threads so some runs
+                            // hit the deadline mid-cover and some finish.
+                            let budgeted = q.clone().with_timeout_ms((t as u64) % 3);
+                            match engine.try_query(&budgeted, *ranking) {
+                                Ok(outcome) => match outcome.completeness {
+                                    Completeness::Complete => {
+                                        assert_same_users(
+                                            &outcome.users,
+                                            &expected[i],
+                                            &format!("seed {seed} t{t} q{i}"),
+                                        );
+                                        ok += 1;
+                                    }
+                                    Completeness::Degraded { cells_processed, cells_total } => {
+                                        assert!(
+                                            cells_processed < cells_total,
+                                            "seed {seed} t{t} q{i}: degraded must be a strict prefix"
+                                        );
+                                        degraded += 1;
+                                    }
+                                },
+                                Err(EngineError::Storage(e)) => {
+                                    assert!(
+                                        e.is_transient(),
+                                        "seed {seed} t{t} q{i}: unexpected error class: {e}"
+                                    );
+                                    errors += 1;
+                                }
+                                Err(e) => panic!(
+                                    "seed {seed} t{t} q{i}: fault surfaced outside the taxonomy: {e}"
+                                ),
+                            }
+                        }
+                        (ok, degraded, errors)
+                    })
+                })
+                .collect();
+            let mut total_ok = 0usize;
+            let mut total_degraded = 0usize;
+            let mut total_errors = 0usize;
+            for thread in threads {
+                let (ok, degraded, errors) = thread.join().expect("no worker may panic");
+                total_ok += ok;
+                total_degraded += degraded;
+                total_errors += errors;
+            }
+            // The storm must actually exercise all three outcome classes.
+            assert!(total_ok > 0, "seed {seed}: nothing completed");
+            assert!(total_degraded > 0, "seed {seed}: no budget ever expired — vacuous");
+            assert!(total_errors > 0, "seed {seed}: no fault ever surfaced — vacuous");
+        });
+        assert!(handle.transient_injected() > 0, "seed {seed}: schedule never fired");
+    }
+}
+
+/// `try_query_batch` under armed faults: per-slot `Result`s — some slots
+/// fail typed while the rest of the batch still matches the reference
+/// (one bad page must not poison sibling queries).
+#[test]
+fn try_query_batch_isolates_per_query_faults() {
+    let corpus = corpus();
+    let (_, expected) = build_reference(&corpus);
+    let workload = queries(&corpus);
+    for seed in chaos_seeds() {
+        let handle = FaultHandle::new();
+        let cfg = FaultConfig { seed, transient_read_ppm: 20_000, ..FaultConfig::default() };
+        let config = EngineConfig {
+            metadata_store: Some(faulty_store(cfg, Arc::clone(&handle), None)),
+            ..base_config()
+        };
+        let (engine, _) =
+            TklusEngine::try_build(&corpus, &config).expect("disarmed build is clean");
+        handle.arm(true);
+        let results = engine.try_query_batch(&workload);
+        assert_eq!(results.len(), workload.len());
+        let mut errors = 0usize;
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(outcome) => {
+                    assert_same_users(&outcome.users, &expected[i], &format!("seed {seed} q{i}"));
+                }
+                Err(EngineError::Storage(e)) => {
+                    assert!(e.is_transient(), "seed {seed} q{i}: unexpected class: {e}");
+                    errors += 1;
+                }
+                Err(e) => panic!("seed {seed} q{i}: fault outside the taxonomy: {e}"),
+            }
+        }
+        assert!(errors > 0, "seed {seed}: no slot observed a fault — vacuous");
+        assert!(errors < results.len(), "seed {seed}: every slot failed — isolation unproven");
     }
 }
 

@@ -13,6 +13,8 @@
 //!    while the striped buffer pool, DFS counters, and B⁺-trees are being
 //!    hammered concurrently.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
 use tklus_core::{BoundsMode, CacheConfig, EngineConfig, QueryStats, Ranking, TklusEngine};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};

@@ -13,6 +13,8 @@
 //! requires every run to return the oracle's ranked users with scores
 //! within 1e-9, with the cached runs *bit-identical* to the uncached one.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 use tklus_core::{BoundsMode, CacheConfig, EngineConfig, Ranking, TklusEngine};

@@ -3,6 +3,8 @@
 //! pruning) returns exactly the users and scores that a direct
 //! implementation of Definitions 4–10 computes.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
 use proptest::prelude::*;
 use std::collections::HashMap;
 use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};

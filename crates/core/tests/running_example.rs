@@ -4,6 +4,8 @@
 //! and Maximum ranking favours u5 (whose tweet E has by far the most
 //! replies/forwards).
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
 use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};

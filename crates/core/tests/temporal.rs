@@ -2,6 +2,8 @@
 //! future-work direction): time-windowed queries and recency-weighted
 //! ranking, on top of both query algorithms.
 
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
 use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
 use tklus_geo::Point;
 use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};

@@ -82,6 +82,7 @@ pub fn build_centralized(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use crate::build::{build_index, IndexBuildConfig};

@@ -199,6 +199,7 @@ pub fn build_index(posts: &[Post], config: &IndexBuildConfig) -> (HybridIndex, I
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use tklus_geo::Point;

@@ -73,6 +73,7 @@ impl ForwardIndex {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
 

@@ -234,6 +234,7 @@ impl HybridIndex {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use crate::build::{build_index, IndexBuildConfig};

@@ -267,6 +267,7 @@ fn signature_matches(signature: &[TermId], terms: &[TermId], semantics: Semantic
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use tklus_model::UserId;

@@ -282,6 +282,7 @@ pub fn load_dir_with_report(dir: &Path) -> Result<(HybridIndex, LoadReport), Per
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
     use crate::build::{build_index, IndexBuildConfig};

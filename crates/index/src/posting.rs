@@ -252,6 +252,7 @@ pub fn intersect_gallop(a: &[(TweetId, u32)], b: &[(TweetId, u32)]) -> Vec<(Twee
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
 mod tests {
     use super::*;
 

@@ -9,12 +9,16 @@
 //!   relevant when at least two votes agree (Section VI-B6).
 //! * [`summary`] — small statistics helpers (mean, percentiles) for the
 //!   benchmark harnesses.
+//! * [`health`] — health/readiness probe types ([`HealthReport`]) the
+//!   overload-resilient serving layer reports through (DESIGN.md §11).
 
+pub mod health;
 pub mod kendall;
 pub mod precision;
 pub mod summary;
 pub mod user_study;
 
+pub use health::{Health, HealthReport, Probe};
 pub use kendall::padded_kendall_tau;
 pub use precision::precision_at_k;
 pub use summary::Summary;

@@ -15,6 +15,8 @@ pub struct Summary {
     pub p50: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile — the tail the overload bench bounds.
+    pub p99: f64,
     /// Sample standard deviation (0 when n < 2).
     pub stddev: f64,
 }
@@ -40,6 +42,7 @@ impl Summary {
             max: sorted[n - 1],
             p50: percentile(&sorted, 0.50),
             p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
             stddev: var.sqrt(),
         }
     }
@@ -65,6 +68,7 @@ mod tests {
         assert_eq!(s.max, 5.0);
         assert_eq!(s.p50, 3.0);
         assert_eq!(s.p95, 5.0);
+        assert_eq!(s.p99, 5.0);
         assert!((s.stddev - (2.5f64).sqrt()).abs() < 1e-12);
     }
 

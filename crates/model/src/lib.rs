@@ -24,5 +24,5 @@ pub mod scoring;
 pub use corpus::Corpus;
 pub use ids::{TweetId, UserId};
 pub use post::{InteractionKind, Post, ReplyTo};
-pub use query::{QueryBudget, RecencyBias, Semantics, TklusQuery};
+pub use query::{Priority, QueryBudget, RecencyBias, Semantics, TklusQuery};
 pub use scoring::ScoringConfig;

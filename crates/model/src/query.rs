@@ -48,6 +48,44 @@ impl RecencyBias {
     }
 }
 
+/// Scheduling priority of a query under load (DESIGN.md §11). The serving
+/// layer sheds lowest-priority work first when saturated; the engine
+/// itself ignores priority — it only shapes admission and dispatch order,
+/// never the answer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Background / best-effort work: first to be shed.
+    Low,
+    /// Interactive default.
+    #[default]
+    Normal,
+    /// Latency-critical work: may evict queued `Low`/`Normal` entries
+    /// when the admission queue is full.
+    High,
+}
+
+impl Priority {
+    /// All priorities, lowest first (shedding order).
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Dense index (0 = `Low`), for per-priority bookkeeping arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        })
+    }
+}
+
 /// Resource budget for one query execution (DESIGN.md §10): when the
 /// budget is exhausted mid-query, the engine returns a *degraded* result —
 /// the top-k over the cover cells processed so far, flagged as incomplete —
@@ -66,6 +104,21 @@ impl QueryBudget {
     /// Whether this budget can never terminate a query early.
     pub fn is_unlimited(&self) -> bool {
         self.timeout_ms.is_none() && self.max_cells.is_none()
+    }
+
+    /// Tightens the cell cap to at most `max_cells` (keeps a stricter
+    /// existing cap). The serving layer's degrade mode uses this to trade
+    /// completeness for latency under saturation without ever *loosening*
+    /// a budget the client asked for.
+    pub fn tighten_max_cells(&mut self, max_cells: usize) {
+        self.max_cells = Some(self.max_cells.map_or(max_cells, |cur| cur.min(max_cells)));
+    }
+
+    /// Tightens the wall-clock cap to at most `timeout_ms` (keeps a
+    /// stricter existing cap) — used to fit a query into the time left
+    /// before its arrival deadline after it waited in the queue.
+    pub fn tighten_timeout_ms(&mut self, timeout_ms: u64) {
+        self.timeout_ms = Some(self.timeout_ms.map_or(timeout_ms, |cur| cur.min(timeout_ms)));
     }
 }
 
@@ -307,6 +360,31 @@ mod tests {
         assert_eq!(budget.max_cells, Some(40));
         assert!(!budget.is_unlimited());
         assert!(QueryBudget::default().is_unlimited());
+    }
+
+    #[test]
+    fn priority_orders_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::ALL.map(Priority::index), [0, 1, 2]);
+        assert_eq!(Priority::High.to_string(), "high");
+    }
+
+    #[test]
+    fn tighten_never_loosens() {
+        let mut b = QueryBudget::default();
+        b.tighten_max_cells(10);
+        assert_eq!(b.max_cells, Some(10));
+        b.tighten_max_cells(20); // looser: ignored
+        assert_eq!(b.max_cells, Some(10));
+        b.tighten_max_cells(5); // stricter: applied
+        assert_eq!(b.max_cells, Some(5));
+        b.tighten_timeout_ms(100);
+        b.tighten_timeout_ms(500);
+        assert_eq!(b.timeout_ms, Some(100));
+        b.tighten_timeout_ms(50);
+        assert_eq!(b.timeout_ms, Some(50));
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Circuit breakers around the engine's failure domains (DESIGN.md §11).
+//!
+//! One [`CircuitBreaker`] guards each of PR 3's engine error classes
+//! (`EngineError::Storage`, `EngineError::Index`). The state machine is
+//! the classic three-state one:
+//!
+//! ```text
+//!            failures ≥ threshold in window
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                      │ backoff elapses
+//!     │ half_open_probes successes           ▼
+//!     └───────────────────────────────── HalfOpen
+//!                 probe failure: reopen, backoff ×2 (≤ max)
+//! ```
+//!
+//! While open, the serving layer sheds matching work at admission with
+//! [`crate::Rejected::CircuitOpen`] — a corrupt partition or flaky pager
+//! fails fast instead of retry-storming the storage stack. Backoff
+//! between probe rounds grows exponentially but is bounded by
+//! `max_backoff_ms`, so recovery probing never stops entirely.
+//!
+//! Like the admission queue, the breaker is a pure state machine over
+//! caller-supplied millisecond timestamps: the threaded server feeds it
+//! wall-clock time, the simulator virtual time, and every transition is
+//! recorded with its timestamp so tests can assert the exact trajectory.
+
+use tklus_core::EngineError;
+
+/// Breaker tuning. Defaults suit the chaos-scale workloads in this repo;
+/// real deployments would widen the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Rolling window length, in recorded outcomes.
+    pub window: usize,
+    /// Failures within the window that trip the breaker.
+    pub failure_threshold: usize,
+    /// Backoff before the first half-open probe round.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling (bounded exponential).
+    pub max_backoff_ms: u64,
+    /// Consecutive probe successes required to close again.
+    pub half_open_probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            failure_threshold: 8,
+            base_backoff_ms: 100,
+            max_backoff_ms: 3_200,
+            half_open_probes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("breaker window must be at least 1".into());
+        }
+        if self.failure_threshold == 0 || self.failure_threshold > self.window {
+            return Err("failure threshold must be in 1..=window".into());
+        }
+        if self.base_backoff_ms == 0 || self.max_backoff_ms < self.base_backoff_ms {
+            return Err("backoff must satisfy 0 < base <= max".into());
+        }
+        if self.half_open_probes == 0 {
+            return Err("half-open probes must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes feed the rolling window.
+    Closed,
+    /// Failing fast; matching admissions are shed.
+    Open,
+    /// Letting a bounded number of probes through to test recovery.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// A three-state circuit breaker with a rolling failure window, half-open
+/// probing, and bounded exponential backoff.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    name: &'static str,
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Rolling outcome window, `true` = failure. Only fed while closed.
+    window: std::collections::VecDeque<bool>,
+    failures_in_window: usize,
+    opened_at_ms: u64,
+    backoff_ms: u64,
+    probes_granted: usize,
+    probe_successes: usize,
+    transitions: Vec<(u64, BreakerState)>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker named for the failure domain it guards.
+    pub fn new(name: &'static str, cfg: BreakerConfig) -> Self {
+        Self {
+            name,
+            cfg,
+            state: BreakerState::Closed,
+            window: std::collections::VecDeque::with_capacity(cfg.window),
+            failures_in_window: 0,
+            opened_at_ms: 0,
+            backoff_ms: cfg.base_backoff_ms,
+            probes_granted: 0,
+            probe_successes: 0,
+            transitions: Vec::new(),
+            trips: 0,
+        }
+    }
+
+    /// The guarded failure domain's name (`"storage"` / `"index"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current state (without advancing the clock — an open breaker past
+    /// its backoff still reads `Open` until [`Self::allow`] probes it).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker tripped open (from closed or a failed probe).
+    pub fn trip_count(&self) -> u64 {
+        self.trips
+    }
+
+    /// Every `(timestamp, new_state)` transition, in order.
+    pub fn transitions(&self) -> &[(u64, BreakerState)] {
+        &self.transitions
+    }
+
+    /// Milliseconds until the next probe round may start (0 unless open).
+    pub fn retry_in_ms(&self, now_ms: u64) -> u64 {
+        match self.state {
+            BreakerState::Open => (self.opened_at_ms + self.backoff_ms).saturating_sub(now_ms),
+            _ => 0,
+        }
+    }
+
+    /// Whether [`Self::allow`] would grant a request at `now_ms`, without
+    /// consuming a probe or transitioning. Lets a caller consult several
+    /// breakers and only commit when all of them agree.
+    pub fn would_allow(&self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => now_ms >= self.opened_at_ms + self.backoff_ms,
+            BreakerState::HalfOpen => self.probes_granted < self.cfg.half_open_probes,
+        }
+    }
+
+    /// Whether a request may proceed at `now_ms`. An open breaker whose
+    /// backoff has elapsed flips to half-open and grants the request as a
+    /// probe; a half-open breaker grants up to `half_open_probes` probes
+    /// per round.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms >= self.opened_at_ms + self.backoff_ms {
+                    self.transition(BreakerState::HalfOpen, now_ms);
+                    self.probes_granted = 1;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_granted < self.cfg.half_open_probes {
+                    self.probes_granted += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a success for this failure domain.
+    pub fn record_success(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::Closed => self.push_outcome(false),
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.half_open_probes {
+                    // Recovered: close, reset the window and the backoff.
+                    self.window.clear();
+                    self.failures_in_window = 0;
+                    self.backoff_ms = self.cfg.base_backoff_ms;
+                    self.transition(BreakerState::Closed, now_ms);
+                }
+            }
+            // A straggler completing after the trip: the window restarts
+            // from scratch when the breaker closes again.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failure for this failure domain.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.push_outcome(true);
+                if self.failures_in_window >= self.cfg.failure_threshold {
+                    self.backoff_ms = self.cfg.base_backoff_ms;
+                    self.trip(now_ms);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Failed probe: reopen with doubled (bounded) backoff.
+                self.backoff_ms = (self.backoff_ms * 2).min(self.cfg.max_backoff_ms);
+                self.trip(now_ms);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn push_outcome(&mut self, failure: bool) {
+        if self.window.len() == self.cfg.window && self.window.pop_front() == Some(true) {
+            self.failures_in_window -= 1;
+        }
+        self.window.push_back(failure);
+        if failure {
+            self.failures_in_window += 1;
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.opened_at_ms = now_ms;
+        self.trips += 1;
+        self.transition(BreakerState::Open, now_ms);
+    }
+
+    fn transition(&mut self, to: BreakerState, now_ms: u64) {
+        self.state = to;
+        self.transitions.push((now_ms, to));
+    }
+}
+
+/// The serving layer's pair of breakers, one per engine failure domain
+/// (PR 3's [`EngineError::Storage`] / [`EngineError::Index`] classes).
+///
+/// Outcome routing: a successful query is evidence both domains work (it
+/// touched the metadata store and the index), so it feeds both windows; a
+/// typed failure feeds only the breaker of the failing domain — a corrupt
+/// metadata partition says nothing about the inverted index's health.
+#[derive(Debug)]
+pub struct BreakerPanel {
+    /// Guards `EngineError::Storage`.
+    pub storage: CircuitBreaker,
+    /// Guards `EngineError::Index`.
+    pub index: CircuitBreaker,
+}
+
+impl BreakerPanel {
+    /// A panel of two closed breakers with the same tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            storage: CircuitBreaker::new("storage", cfg),
+            index: CircuitBreaker::new("index", cfg),
+        }
+    }
+
+    /// Admission-time gate: `Ok` grants the request through every breaker
+    /// (consuming half-open probes), `Err` names the first breaker that
+    /// is failing fast. Probes are only consumed when *all* breakers
+    /// agree, so a denied request never burns another domain's probe.
+    pub fn check(&mut self, now_ms: u64) -> Result<(), &'static str> {
+        if !self.storage.would_allow(now_ms) {
+            return Err(self.storage.name());
+        }
+        if !self.index.would_allow(now_ms) {
+            return Err(self.index.name());
+        }
+        let s = self.storage.allow(now_ms);
+        let i = self.index.allow(now_ms);
+        debug_assert!(s && i, "would_allow and allow agree");
+        Ok(())
+    }
+
+    /// Feeds one completed query's outcome to the panel.
+    pub fn record(&mut self, now_ms: u64, outcome: Result<(), &EngineError>) {
+        match outcome {
+            Ok(()) => {
+                self.storage.record_success(now_ms);
+                self.index.record_success(now_ms);
+            }
+            Err(EngineError::Storage(_)) => self.storage.record_failure(now_ms),
+            Err(EngineError::Index(_)) => self.index.record_failure(now_ms),
+        }
+    }
+
+    /// Total trips across both breakers.
+    pub fn trip_count(&self) -> u64 {
+        self.storage.trip_count() + self.index.trip_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(
+            "storage",
+            BreakerConfig {
+                window: 8,
+                failure_threshold: 4,
+                base_backoff_ms: 100,
+                max_backoff_ms: 400,
+                half_open_probes: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn trips_after_threshold_failures_in_window() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(i);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        b.record_failure(3);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trip_count(), 1);
+        assert!(!b.allow(4), "open breaker fails fast");
+        assert_eq!(b.retry_in_ms(4), 99);
+    }
+
+    #[test]
+    fn rolling_window_forgets_old_failures() {
+        let mut b = breaker();
+        // 3 failures, then a long run of successes pushes them out of the
+        // 8-outcome window; 1 more failure must not trip.
+        for i in 0..3 {
+            b.record_failure(i);
+        }
+        for i in 3..11 {
+            b.record_success(i);
+        }
+        b.record_failure(11);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probes_close_on_success() {
+        let mut b = breaker();
+        for i in 0..4 {
+            b.record_failure(i);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(50), "backoff not elapsed");
+        assert!(b.allow(104), "backoff elapsed: first probe granted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(105), "second probe granted");
+        assert!(!b.allow(106), "probe budget spent");
+        b.record_success(110);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one success is not enough");
+        b.record_success(111);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(112));
+        // The trajectory is recorded.
+        let states: Vec<_> = b.transitions().iter().map(|&(_, s)| s).collect();
+        assert_eq!(states, vec![BreakerState::Open, BreakerState::HalfOpen, BreakerState::Closed]);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_bounded_exponential_backoff() {
+        let mut b = breaker();
+        for i in 0..4 {
+            b.record_failure(i);
+        }
+        // Tripped at t=3 with base backoff 100: probes open at t=103.
+        assert!(!b.allow(102));
+        assert!(b.allow(103));
+        // Round 1 fails -> reopen at 104, backoff 200.
+        b.record_failure(104);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(303));
+        assert!(b.allow(304));
+        // Round 2 fails -> reopen at 305, backoff 400.
+        b.record_failure(305);
+        assert!(!b.allow(704));
+        assert!(b.allow(705));
+        // Round 3 fails -> backoff stays 400 (the bound).
+        b.record_failure(706);
+        assert_eq!(b.retry_in_ms(706), 400);
+        assert_eq!(b.trip_count(), 4);
+        // Recovery resets the backoff to base.
+        assert!(b.allow(1106));
+        b.record_success(1107);
+        assert!(b.allow(1107));
+        b.record_success(1108);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for i in 0..4 {
+            b.record_failure(2000 + i);
+        }
+        assert_eq!(b.retry_in_ms(2003), 100, "backoff reset to base after recovery");
+    }
+
+    #[test]
+    fn config_validation_catches_nonsense() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        assert!(BreakerConfig { window: 0, ..BreakerConfig::default() }.validate().is_err());
+        assert!(BreakerConfig { failure_threshold: 0, ..BreakerConfig::default() }
+            .validate()
+            .is_err());
+        assert!(BreakerConfig { failure_threshold: 33, ..BreakerConfig::default() }
+            .validate()
+            .is_err());
+        assert!(BreakerConfig { base_backoff_ms: 0, ..BreakerConfig::default() }
+            .validate()
+            .is_err());
+        assert!(BreakerConfig { max_backoff_ms: 1, ..BreakerConfig::default() }
+            .validate()
+            .is_err());
+        assert!(BreakerConfig { half_open_probes: 0, ..BreakerConfig::default() }
+            .validate()
+            .is_err());
+    }
+}

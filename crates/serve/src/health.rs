@@ -1,0 +1,142 @@
+//! Builds the serving layer's [`HealthReport`] (DESIGN.md §11).
+//!
+//! One code path renders both the threaded server's live snapshot and the
+//! simulator's end-of-run state, so probes and gauge names can never
+//! drift between them.
+
+use crate::breaker::{BreakerPanel, BreakerState, CircuitBreaker};
+use crate::queue::AdmissionCounters;
+use tklus_metrics::{Health, HealthReport, Probe};
+
+/// Everything the probes summarize, captured under the caller's lock.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Snapshot {
+    pub now_ms: u64,
+    pub depth: usize,
+    pub capacity: usize,
+    pub busy: usize,
+    pub workers: usize,
+    pub draining: bool,
+    pub counters: AdmissionCounters,
+    pub shed_circuit: u64,
+    pub shed_shutdown: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub degraded: u64,
+}
+
+fn breaker_probe(b: &CircuitBreaker, now_ms: u64) -> Probe {
+    let (health, detail) = match b.state() {
+        BreakerState::Closed => (Health::Healthy, "closed".to_string()),
+        BreakerState::HalfOpen => (Health::Degraded, "half-open, probing recovery".to_string()),
+        BreakerState::Open => {
+            (Health::Unhealthy, format!("open, next probe in {} ms", b.retry_in_ms(now_ms)))
+        }
+    };
+    Probe::new(format!("breaker:{}", b.name()), health, detail)
+}
+
+/// Renders the snapshot plus breaker states into a [`HealthReport`].
+pub(crate) fn build_report(snap: &Snapshot, panel: &BreakerPanel) -> HealthReport {
+    let mut report = HealthReport::ready();
+    report.ready = !snap.draining;
+    let admission_health = if snap.draining || snap.depth >= snap.capacity {
+        Health::Degraded
+    } else {
+        Health::Healthy
+    };
+    let admission_detail = if snap.draining {
+        format!("draining, {} queued, {} in flight", snap.depth, snap.busy)
+    } else {
+        format!(
+            "queue {}/{}, {}/{} workers busy",
+            snap.depth, snap.capacity, snap.busy, snap.workers
+        )
+    };
+    report.probe(Probe::new("admission", admission_health, admission_detail));
+    report.probe(breaker_probe(&panel.storage, snap.now_ms));
+    report.probe(breaker_probe(&panel.index, snap.now_ms));
+
+    report.gauge("queue_depth", snap.depth as f64);
+    report.gauge("queue_capacity", snap.capacity as f64);
+    report.gauge("in_flight", snap.busy as f64);
+    report.gauge("admitted", snap.counters.admitted as f64);
+    report.gauge("completed", snap.completed as f64);
+    report.gauge("failed", snap.failed as f64);
+    report.gauge("degraded", snap.degraded as f64);
+    report.gauge("shed_queue_full", snap.counters.shed_queue_full as f64);
+    report.gauge("shed_deadline", snap.counters.shed_deadline as f64);
+    report.gauge("shed_evicted", snap.counters.shed_evicted as f64);
+    report.gauge("shed_expired", snap.counters.expired_at_dispatch as f64);
+    report.gauge("shed_circuit", snap.shed_circuit as f64);
+    report.gauge("shed_shutdown", snap.shed_shutdown as f64);
+    report.gauge(
+        "shed_total",
+        (snap.counters.shed_total() + snap.shed_circuit + snap.shed_shutdown) as f64,
+    );
+    report.gauge("breaker_trips", panel.trip_count() as f64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            now_ms: 0,
+            depth: 0,
+            capacity: 8,
+            busy: 1,
+            workers: 2,
+            draining: false,
+            counters: AdmissionCounters::default(),
+            shed_circuit: 0,
+            shed_shutdown: 0,
+            completed: 5,
+            failed: 0,
+            degraded: 0,
+        }
+    }
+
+    #[test]
+    fn healthy_idle_server_reports_healthy_and_ready() {
+        let panel = BreakerPanel::new(BreakerConfig::default());
+        let report = build_report(&snap(), &panel);
+        assert!(report.ready);
+        assert_eq!(report.overall(), Health::Healthy);
+        assert_eq!(report.gauge_value("completed"), Some(5.0));
+        assert_eq!(report.gauge_value("queue_capacity"), Some(8.0));
+    }
+
+    #[test]
+    fn open_breaker_makes_report_unhealthy() {
+        let cfg = BreakerConfig { failure_threshold: 1, window: 4, ..BreakerConfig::default() };
+        let mut panel = BreakerPanel::new(cfg);
+        panel.storage.record_failure(10);
+        let report = build_report(&snap(), &panel);
+        assert_eq!(report.overall(), Health::Unhealthy);
+        let probe = report.probes.iter().find(|p| p.name == "breaker:storage").expect("probe");
+        assert_eq!(probe.health, Health::Unhealthy);
+        assert_eq!(report.gauge_value("breaker_trips"), Some(1.0));
+    }
+
+    #[test]
+    fn draining_is_not_ready() {
+        let panel = BreakerPanel::new(BreakerConfig::default());
+        let s = Snapshot { draining: true, ..snap() };
+        let report = build_report(&s, &panel);
+        assert!(!report.ready);
+        assert_eq!(report.overall(), Health::Degraded);
+    }
+
+    #[test]
+    fn full_queue_degrades_admission() {
+        let panel = BreakerPanel::new(BreakerConfig::default());
+        let s = Snapshot { depth: 8, ..snap() };
+        let report = build_report(&s, &panel);
+        let probe = report.probes.iter().find(|p| p.name == "admission").expect("probe");
+        assert_eq!(probe.health, Health::Degraded);
+    }
+}

@@ -1,0 +1,48 @@
+//! # tklus-serve — the overload-resilient serving layer
+//!
+//! Wraps the shared-immutable [`tklus_core::TklusEngine`] with the
+//! protection mechanisms a query service needs to degrade *predictably*
+//! instead of collapsing when offered load exceeds capacity
+//! (DESIGN.md §11):
+//!
+//! * **admission control** — a bounded, priority-aware queue
+//!   ([`AdmissionQueue`]) with a concurrency limit and per-request
+//!   deadlines measured from arrival; requests that cannot make their
+//!   deadline are shed *at enqueue* with a typed [`Rejected`] reason;
+//! * **load shedding with priorities** — under saturation the lowest
+//!   [`tklus_model::Priority`] work sheds first (a full queue lets a
+//!   higher-priority arrival evict the newest lowest-priority entry), and
+//!   an optional [`DegradePolicy`] trades completeness for latency by
+//!   tightening `QueryBudget::max_cells` so the engine returns typed
+//!   `Completeness::Degraded` exact prefixes;
+//! * **circuit breakers** — one [`CircuitBreaker`] per engine failure
+//!   domain (`EngineError::Storage` / `EngineError::Index`) with a rolling
+//!   failure window, half-open probing, and bounded exponential backoff;
+//! * **graceful drain** — [`TklusServer::drain`] closes admission, lets
+//!   in-flight work finish up to a drain deadline, and abandons the rest
+//!   *by name* — nothing admitted is ever silently lost.
+//!
+//! Every policy decision is made by pure state machines over
+//! caller-supplied millisecond timestamps, so the exact same code runs in
+//! two harnesses:
+//!
+//! * [`TklusServer`] — real worker threads fed wall-clock time;
+//! * [`sim`] — a seeded open-loop generator plus a virtual-time
+//!   discrete-event simulator whose every shed, trip, and drain decision
+//!   is reproducible bit-for-bit per seed (the CI overload matrix).
+
+#![warn(missing_docs)]
+
+mod breaker;
+mod config;
+mod health;
+mod queue;
+mod reject;
+mod server;
+pub mod sim;
+
+pub use breaker::{BreakerConfig, BreakerPanel, BreakerState, CircuitBreaker};
+pub use config::{DegradePolicy, ServeConfig};
+pub use queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
+pub use reject::{Rejected, ServeError};
+pub use server::{DrainReport, Ticket, TklusServer};

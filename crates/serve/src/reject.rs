@@ -1,0 +1,110 @@
+//! Typed admission rejections and serving-layer errors (DESIGN.md §11).
+
+use tklus_core::EngineError;
+use tklus_model::Priority;
+
+/// Why a request was shed instead of admitted (or, for [`Rejected::Evicted`],
+/// after admission but before dispatch). Every shed is typed and costs the
+/// engine nothing — that is the whole point of admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded admission queue is full and nothing of lower priority
+    /// could be evicted to make room.
+    QueueFull {
+        /// Queue depth at the time of rejection.
+        depth: usize,
+    },
+    /// The request's deadline would expire before a worker could plausibly
+    /// start it, so running it would waste engine time on an answer nobody
+    /// is waiting for. Shed at enqueue.
+    DeadlineHopeless {
+        /// Milliseconds until the deadline at decision time.
+        deadline_in_ms: u64,
+        /// The (deterministic) wait estimate that exceeded it.
+        estimated_wait_ms: u64,
+    },
+    /// A circuit breaker guarding the engine's failure domain is open:
+    /// the layer fails fast instead of queueing work that is expected to
+    /// error.
+    CircuitOpen {
+        /// Which breaker (`"storage"` / `"index"`).
+        breaker: &'static str,
+    },
+    /// The request was queued but a later, higher-priority arrival took
+    /// its slot when the queue was full (shed-lowest-first).
+    Evicted {
+        /// Priority of the arrival that displaced it.
+        by: Priority,
+    },
+    /// The server is draining or stopped; admission is closed.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { depth } => write!(f, "admission queue full ({depth} queued)"),
+            Rejected::DeadlineHopeless { deadline_in_ms, estimated_wait_ms } => write!(
+                f,
+                "deadline hopeless: {deadline_in_ms} ms left, estimated wait {estimated_wait_ms} ms"
+            ),
+            Rejected::CircuitOpen { breaker } => write!(f, "{breaker} circuit breaker open"),
+            Rejected::Evicted { by } => write!(f, "evicted from queue by a {by}-priority arrival"),
+            Rejected::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+/// Everything that can come back instead of a successful
+/// [`tklus_core::QueryOutcome`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Shed before reaching the engine.
+    Rejected(Rejected),
+    /// Admitted and executed, but the engine failed typed.
+    Engine(EngineError),
+    /// Admitted but abandoned by a graceful drain before completing; the
+    /// drain report names it too (nothing is lost silently).
+    Abandoned,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "rejected: {r}"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::Abandoned => f.write_str("abandoned by graceful drain"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Rejected> for ServeError {
+    fn from(r: Rejected) -> Self {
+        ServeError::Rejected(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_cause() {
+        assert!(Rejected::QueueFull { depth: 9 }.to_string().contains("9 queued"));
+        let hopeless = Rejected::DeadlineHopeless { deadline_in_ms: 3, estimated_wait_ms: 40 };
+        assert!(hopeless.to_string().contains("estimated wait 40"));
+        assert!(Rejected::CircuitOpen { breaker: "storage" }.to_string().contains("storage"));
+        assert!(Rejected::Evicted { by: Priority::High }.to_string().contains("high"));
+        assert!(ServeError::from(Rejected::ShuttingDown).to_string().contains("shutting down"));
+        assert!(ServeError::Abandoned.to_string().contains("drain"));
+    }
+}

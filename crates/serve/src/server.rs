@@ -1,0 +1,355 @@
+//! The threaded overload-resilient server (DESIGN.md §11).
+//!
+//! [`TklusServer`] wraps a shared-immutable [`TklusEngine`] with the
+//! admission queue, breaker panel, degrade policy, and graceful drain. It
+//! contains *no policy of its own*: every shed/evict/trip decision is made
+//! by the same pure state machines the virtual-time simulator drives —
+//! the server merely feeds them wall-clock milliseconds and runs admitted
+//! queries on a bounded worker pool.
+//!
+//! Concurrency shape: one `Mutex<State>` guards the queue, panel, and
+//! counters; workers block on a condvar for work and *release the lock
+//! while executing the engine query* — the engine itself is `&self` and
+//! internally parallel, so holding the admission lock across a query
+//! would serialize the whole server.
+
+use crate::breaker::BreakerPanel;
+use crate::config::ServeConfig;
+use crate::health::{build_report, Snapshot};
+use crate::queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
+use crate::reject::{Rejected, ServeError};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tklus_core::{QueryOutcome, Ranking, TklusEngine};
+use tklus_metrics::HealthReport;
+use tklus_model::{Priority, QueryBudget, TklusQuery};
+
+/// One queued unit of work: the query plus the channel its answer goes
+/// back on. Dropping the sender wakes the waiter with
+/// [`ServeError::Abandoned`].
+struct Job {
+    query: TklusQuery,
+    ranking: Ranking,
+    resp: mpsc::SyncSender<Result<QueryOutcome, ServeError>>,
+}
+
+/// Mutable server state, guarded by one mutex.
+struct State {
+    queue: AdmissionQueue<Job>,
+    panel: BreakerPanel,
+    /// Workers currently executing a query.
+    busy: usize,
+    draining: bool,
+    stopped: bool,
+    shed_circuit: u64,
+    shed_shutdown: u64,
+    completed: u64,
+    failed: u64,
+    degraded: u64,
+}
+
+struct Shared {
+    engine: Arc<TklusEngine>,
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Signalled when work arrives or the server stops.
+    work_cv: Condvar,
+    /// Signalled when a worker goes idle (drain waits on this).
+    idle_cv: Condvar,
+    started: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// A pending answer. Obtained from [`TklusServer::submit`]; redeem it with
+/// [`Ticket::wait`].
+pub struct Ticket {
+    /// The admission ticket id (matches drain-report accounting).
+    pub id: u64,
+    rx: mpsc::Receiver<Result<QueryOutcome, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the query completes, is shed post-admission (evicted
+    /// or expired), fails, or is abandoned by a drain.
+    pub fn wait(self) -> Result<QueryOutcome, ServeError> {
+        // A dropped sender (worker pool torn down without answering) is an
+        // abandonment, never a panic.
+        self.rx.recv().unwrap_or(Err(ServeError::Abandoned))
+    }
+}
+
+/// What a graceful [`TklusServer::drain`] observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Queries that finished (successfully or typed-failed) before the
+    /// drain deadline.
+    pub completed: u64,
+    /// Ticket ids abandoned while still queued; each waiter received
+    /// [`ServeError::Abandoned`].
+    pub abandoned_queued: Vec<u64>,
+    /// Workers still mid-query at the drain deadline. Their waiters
+    /// receive [`ServeError::Abandoned`] when the channel drops.
+    pub in_flight_at_deadline: usize,
+}
+
+/// The overload-resilient serving layer around a [`TklusEngine`].
+pub struct TklusServer {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TklusServer {
+    /// Starts `cfg.workers` worker threads over the engine.
+    pub fn start(engine: Arc<TklusEngine>, cfg: ServeConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let shared = Arc::new(Shared {
+            engine,
+            state: Mutex::new(State {
+                queue: AdmissionQueue::new(cfg.queue_capacity, cfg.workers, cfg.est_service_ms),
+                panel: BreakerPanel::new(cfg.breaker),
+                busy: 0,
+                draining: false,
+                stopped: false,
+                shed_circuit: 0,
+                shed_shutdown: 0,
+                completed: 0,
+                failed: 0,
+                degraded: 0,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            started: Instant::now(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// Submits a query. Returns a [`Ticket`] when admitted, or the typed
+    /// shed reason — computed without touching the engine — when not.
+    ///
+    /// `deadline` is measured from *now* (arrival); queueing time counts
+    /// against it. `None` applies the config default.
+    pub fn submit(
+        &self,
+        query: TklusQuery,
+        ranking: Ranking,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, Rejected> {
+        let now_ms = self.shared.now_ms();
+        let deadline_ms =
+            now_ms + deadline.map_or(self.shared.cfg.default_deadline_ms, |d| d.as_millis() as u64);
+        let mut state = self.shared.state.lock().expect("serve lock poisoned");
+        if state.draining || state.stopped {
+            return Err(Rejected::ShuttingDown);
+        }
+        if let Err(breaker) = state.panel.check(now_ms) {
+            state.shed_circuit += 1;
+            return Err(Rejected::CircuitOpen { breaker });
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        let busy = state.busy;
+        let job = Job { query, ranking, resp: tx };
+        match state.queue.try_admit(now_ms, priority, deadline_ms, job, busy) {
+            AdmitResult::Admitted { id, evicted } => {
+                if let Some(victim) = evicted {
+                    answer(victim, Err(Rejected::Evicted { by: priority }.into()));
+                }
+                drop(state);
+                self.shared.work_cv.notify_one();
+                Ok(Ticket { id, rx })
+            }
+            AdmitResult::Shed { reason, .. } => Err(reason),
+        }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(
+        &self,
+        query: TklusQuery,
+        ranking: Ranking,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ServeError> {
+        self.submit(query, ranking, priority, deadline)?.wait()
+    }
+
+    /// The current health/readiness report.
+    pub fn health(&self) -> HealthReport {
+        let now_ms = self.shared.now_ms();
+        let state = self.shared.state.lock().expect("serve lock poisoned");
+        let snapshot = Snapshot {
+            now_ms,
+            depth: state.queue.depth(),
+            capacity: state.queue.capacity(),
+            busy: state.busy,
+            workers: self.shared.cfg.workers,
+            draining: state.draining,
+            counters: state.queue.counters(),
+            shed_circuit: state.shed_circuit,
+            shed_shutdown: state.shed_shutdown,
+            completed: state.completed,
+            failed: state.failed,
+            degraded: state.degraded,
+        };
+        build_report(&snapshot, &state.panel)
+    }
+
+    /// Monotone admission counters (for tests and the CLI summary).
+    pub fn counters(&self) -> AdmissionCounters {
+        self.shared.state.lock().expect("serve lock poisoned").queue.counters()
+    }
+
+    /// Gracefully drains: closes admission immediately, lets queued and
+    /// in-flight work finish for up to `timeout`, then abandons the rest
+    /// *by name* — every admitted ticket is accounted for either in
+    /// `completed`, as an answered eviction/expiry, or in the report's
+    /// abandoned lists. Consumes the server; workers are joined.
+    pub fn drain(mut self, timeout: Duration) -> DrainReport {
+        let deadline = Instant::now() + timeout;
+        let mut report = DrainReport::default();
+        {
+            let mut state = self.shared.state.lock().expect("serve lock poisoned");
+            state.draining = true;
+            // Wake all workers so none sleeps through the drain.
+            self.shared.work_cv.notify_all();
+            while (state.queue.depth() > 0 || state.busy > 0) && Instant::now() < deadline {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                let (next, timed_out) =
+                    self.shared.idle_cv.wait_timeout(state, wait).expect("serve lock poisoned");
+                state = next;
+                if timed_out.timed_out() {
+                    break;
+                }
+            }
+            // Whatever still queues at the deadline is abandoned, typed.
+            for entry in state.queue.drain_all() {
+                report.abandoned_queued.push(entry.id);
+                answer(entry, Err(ServeError::Abandoned));
+            }
+            report.in_flight_at_deadline = state.busy;
+            report.completed = state.completed;
+            state.stopped = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        report.abandoned_queued.sort_unstable();
+        report
+    }
+}
+
+impl Drop for TklusServer {
+    fn drop(&mut self) {
+        // An un-drained server still shuts down cleanly: stop, wake, join.
+        {
+            let mut state = self.shared.state.lock().expect("serve lock poisoned");
+            state.draining = true;
+            state.stopped = true;
+            for entry in state.queue.drain_all() {
+                answer(entry, Err(ServeError::Abandoned));
+            }
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Sends a post-admission answer to a queued job's waiter. The waiter may
+/// have given up (receiver dropped) — that is its right, not an error.
+fn answer(entry: QueuedEntry<Job>, result: Result<QueryOutcome, ServeError>) {
+    let _ = entry.payload.resp.send(result);
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("serve lock poisoned");
+    loop {
+        // Sleep until there is work or the server stops.
+        while !state.stopped && state.queue.depth() == 0 {
+            state = shared.work_cv.wait(state).expect("serve lock poisoned");
+        }
+        if state.stopped {
+            return;
+        }
+        let now_ms = shared.started.elapsed().as_millis() as u64;
+        let Some(popped) = state.queue.pop_next(now_ms) else {
+            continue; // raced with another worker
+        };
+        match popped {
+            Popped::Expired(entry) => {
+                // Dead on arrival at dispatch: answer typed, skip the engine.
+                let deadline_in_ms = 0;
+                let waited = now_ms.saturating_sub(entry.arrival_ms);
+                answer(
+                    entry,
+                    Err(Rejected::DeadlineHopeless { deadline_in_ms, estimated_wait_ms: waited }
+                        .into()),
+                );
+            }
+            Popped::Ready(entry) => {
+                state.busy += 1;
+                let deadline_ms = entry.deadline_ms;
+                let Job { mut query, ranking, resp } = entry.payload;
+                // Tighten budgets while still holding the lock (cheap).
+                if let Some(policy) = shared.cfg.degrade {
+                    if state.queue.depth() >= policy.queue_threshold {
+                        query
+                            .budget
+                            .get_or_insert_with(QueryBudget::default)
+                            .tighten_max_cells(policy.max_cells);
+                    }
+                }
+                // Fit the execution into the time left before the arrival
+                // deadline — queueing already consumed part of it.
+                let remaining = deadline_ms.saturating_sub(now_ms).max(1);
+                query.budget.get_or_insert_with(QueryBudget::default).tighten_timeout_ms(remaining);
+
+                drop(state); // run the query WITHOUT the admission lock
+                let result = shared.engine.try_query(&query, ranking);
+                let end_ms = shared.started.elapsed().as_millis() as u64;
+
+                state = shared.state.lock().expect("serve lock poisoned");
+                state.panel.record(end_ms, result.as_ref().map(|_| ()));
+                match &result {
+                    Ok(outcome) => {
+                        state.completed += 1;
+                        if !outcome.completeness.is_complete() {
+                            state.degraded += 1;
+                        }
+                    }
+                    Err(_) => {
+                        state.completed += 1;
+                        state.failed += 1;
+                    }
+                }
+                state.busy -= 1;
+                if state.queue.depth() == 0 && state.busy == 0 {
+                    shared.idle_cv.notify_all();
+                }
+                let _ = resp.send(result.map_err(ServeError::Engine));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Threaded-path smoke tests live in tests/load_harness.rs where a
+    // corpus-backed engine is available; policy invariants are covered in
+    // the queue/breaker/sim unit tests.
+}

@@ -1,0 +1,505 @@
+//! Deterministic-load harness (ISSUE acceptance, DESIGN.md §11).
+//!
+//! A seeded open-loop arrival schedule is replayed through the
+//! virtual-time simulator — the exact same admission/breaker/drain state
+//! machines the threaded server runs — against real [`TklusEngine`]s
+//! (clean and `FaultPager`-backed). Each scenario asserts one pillar:
+//!
+//! * admitted queries return **bitwise-identical** results to an
+//!   unloaded reference engine, or a **typed degraded** exact prefix;
+//! * shed/evict/degrade decisions are **deterministic per seed**;
+//! * the circuit breaker **provably trips and recovers** under injected
+//!   storage faults, shedding typed `CircuitOpen` while open;
+//! * a graceful **drain never silently loses** an admitted query: every
+//!   ticket is accounted for by name;
+//! * under saturation, shedding is **priority-ordered** (Low before High).
+//!
+//! Scenarios run under seeds 1/2/3 (the CI overload matrix); set
+//! `TKLUS_LOAD_SEED` to pin one seed, `TKLUS_SOAK=1` (nightly) to widen
+//! the schedule 10×.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tklus_core::{
+    BoundsMode, Completeness, EngineConfig, MetadataStoreFactory, RankedUser, Ranking, TklusEngine,
+};
+use tklus_gen::{generate_corpus, generate_queries, GenConfig, QueryConfig};
+use tklus_model::{Corpus, Priority, Semantics, TklusQuery};
+use tklus_serve::sim::{
+    generate_plan, run_sim, Disposition, DrainPlan, LoadConfig, SimConfig, SimResult,
+};
+use tklus_serve::{BreakerConfig, BreakerState, DegradePolicy, Rejected, ServeConfig, TklusServer};
+use tklus_storage::{FaultConfig, FaultHandle, FaultPager, MemPager, PageStore};
+
+/// Seeds each scenario runs under; `TKLUS_LOAD_SEED` (the CI matrix
+/// variable) replaces the whole list with one seed.
+fn load_seeds() -> Vec<u64> {
+    match std::env::var("TKLUS_LOAD_SEED") {
+        Ok(s) => vec![s.parse().expect("TKLUS_LOAD_SEED must be a u64")],
+        Err(_) => vec![1, 2, 3],
+    }
+}
+
+/// Nightly soak widens every schedule 10×; default is CI-sized.
+fn soak_factor() -> usize {
+    if std::env::var("TKLUS_SOAK").is_ok_and(|v| v == "1") {
+        10
+    } else {
+        1
+    }
+}
+
+fn corpus() -> Corpus {
+    generate_corpus(&GenConfig {
+        original_posts: 300,
+        users: 60,
+        vocab_size: 300,
+        ..GenConfig::default()
+    })
+}
+
+fn workload(corpus: &Corpus) -> Vec<(TklusQuery, Ranking)> {
+    let specs = generate_queries(corpus, &QueryConfig { per_bucket: 4, seed: 0x10AD });
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let semantics = if i % 2 == 0 { Semantics::Or } else { Semantics::And };
+            let ranking =
+                if i % 3 == 0 { Ranking::Sum } else { Ranking::Max(BoundsMode::HotKeywords) };
+            let q = TklusQuery::new(spec.location, 15.0, spec.keywords, 5, semantics)
+                .expect("generated query is valid");
+            (q, ranking)
+        })
+        .collect()
+}
+
+/// `parallelism: 1` keeps execution order — and therefore any seeded
+/// fault schedule — deterministic; `cache_pages: 0` keeps the buffer
+/// pool from masking injected faults.
+fn engine_config() -> EngineConfig {
+    EngineConfig { cache_pages: 0, parallelism: 1, ..EngineConfig::default() }
+}
+
+fn clean_engine(corpus: &Corpus) -> TklusEngine {
+    TklusEngine::build(corpus, &engine_config()).0
+}
+
+fn faulty_store(cfg: FaultConfig, handle: Arc<FaultHandle>) -> MetadataStoreFactory {
+    Arc::new(move |stats| {
+        Box::new(FaultPager::with_handle(MemPager::with_stats(stats), cfg, Arc::clone(&handle)))
+            as Box<dyn PageStore>
+    })
+}
+
+fn assert_same_users(got: &[RankedUser], want: &[RankedUser], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: result size");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.user, w.user, "{ctx}");
+        assert_eq!(g.score.to_bits(), w.score.to_bits(), "{ctx}: {} vs {}", g.score, w.score);
+    }
+}
+
+/// A saturating open-loop schedule: arrivals outpace 3 workers.
+fn saturating_load(seed: u64) -> LoadConfig {
+    LoadConfig {
+        seed,
+        requests: 240 * soak_factor(),
+        mean_interarrival_ms: 2,
+        deadline_ms: 60,
+        mean_service_ms: 7,
+        priority_weights: [1, 2, 1],
+    }
+}
+
+fn saturating_serve() -> ServeConfig {
+    ServeConfig {
+        workers: 3,
+        queue_capacity: 8,
+        default_deadline_ms: 60,
+        est_service_ms: 7,
+        degrade: Some(DegradePolicy { queue_threshold: 4, max_cells: 2 }),
+        breaker: BreakerConfig::default(),
+    }
+}
+
+/// Pillar 1: every admitted-and-completed query under load is either
+/// bitwise-identical to the unloaded reference or a typed degraded answer
+/// equal to the reference run under the same tightened budget.
+#[test]
+fn admitted_results_match_reference_or_degrade_typed() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    let engine = clean_engine(&corpus);
+    let reference = clean_engine(&corpus);
+    let serve = saturating_serve();
+    let policy = serve.degrade.expect("scenario uses degrade");
+    for seed in load_seeds() {
+        let plan = generate_plan(&saturating_load(seed), workload.len());
+        let report =
+            run_sim(&engine, &workload, &plan, &SimConfig { serve: serve.clone(), drain: None });
+        let mut completed = 0usize;
+        let mut degraded = 0usize;
+        for (req, outcome) in plan.requests.iter().zip(&report.outcomes) {
+            let Disposition::Completed { result, .. } = &outcome.disposition else {
+                continue;
+            };
+            completed += 1;
+            let SimResult::Ranked { users, completeness } = result else {
+                panic!("seed {seed}: clean engine must not fail typed");
+            };
+            let (q, ranking) = &workload[req.query_idx];
+            match completeness {
+                Completeness::Complete => {
+                    let want = reference.query(q, *ranking).0;
+                    assert_same_users(users, &want, &format!("seed {seed} req@{}", req.arrival_ms));
+                }
+                Completeness::Degraded { .. } => {
+                    degraded += 1;
+                    // The only budget the sim applies is the degrade
+                    // policy's cell cap; the same capped query on the
+                    // unloaded reference must agree bitwise.
+                    let capped = q.clone().with_max_cells(policy.max_cells);
+                    let want = reference.try_query(&capped, *ranking).expect("fault-free");
+                    assert_same_users(
+                        users,
+                        &want.users,
+                        &format!("seed {seed} degraded req@{}", req.arrival_ms),
+                    );
+                    assert_eq!(*completeness, want.completeness, "seed {seed}");
+                }
+            }
+        }
+        assert!(completed > 0, "seed {seed}: nothing completed — vacuous run");
+        assert!(degraded > 0, "seed {seed}: degrade mode never engaged — vacuous run");
+        assert!(
+            report.admission.shed_total() + report.shed_circuit > 0,
+            "seed {seed}: load never saturated — vacuous run"
+        );
+        assert_eq!(report.degraded, degraded as u64);
+    }
+}
+
+/// Pillar 2: the entire disposition sequence — sheds, evictions, degrade
+/// choices, latencies — is a pure function of the seed.
+#[test]
+fn shed_decisions_are_deterministic_per_seed() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    let serve = saturating_serve();
+    for seed in load_seeds() {
+        let plan = generate_plan(&saturating_load(seed), workload.len());
+        // Two engines built independently from the same corpus: nothing
+        // may leak between runs.
+        let a = run_sim(
+            &clean_engine(&corpus),
+            &workload,
+            &plan,
+            &SimConfig { serve: serve.clone(), drain: None },
+        );
+        let b = run_sim(
+            &clean_engine(&corpus),
+            &workload,
+            &plan,
+            &SimConfig { serve: serve.clone(), drain: None },
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}: nondeterministic run");
+        assert_eq!(a.outcomes, b.outcomes, "seed {seed}");
+        assert_eq!(a.admission, b.admission, "seed {seed}");
+        // And a different seed genuinely exercises a different trajectory.
+        let other = generate_plan(&saturating_load(seed.wrapping_add(7)), workload.len());
+        let c = run_sim(
+            &clean_engine(&corpus),
+            &workload,
+            &other,
+            &SimConfig { serve: serve.clone(), drain: None },
+        );
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed {seed}: seed has no effect");
+    }
+}
+
+/// Pillar 3: with a seeded `FaultPager` underneath, the storage breaker
+/// trips open (shedding typed `CircuitOpen` work at admission), goes
+/// half-open after its backoff, and provably recovers to closed.
+#[test]
+fn breaker_trips_and_recovers_under_storage_faults() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    for seed in load_seeds() {
+        let handle = FaultHandle::new();
+        let fault = FaultConfig { seed, transient_read_ppm: 9_000, ..FaultConfig::default() };
+        let config = EngineConfig {
+            metadata_store: Some(faulty_store(fault, Arc::clone(&handle))),
+            ..engine_config()
+        };
+        let engine = TklusEngine::try_build(&corpus, &config).expect("disarmed build is clean").0;
+        handle.arm(true);
+        let serve = ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            default_deadline_ms: 400,
+            est_service_ms: 5,
+            degrade: None,
+            breaker: BreakerConfig {
+                window: 8,
+                failure_threshold: 3,
+                base_backoff_ms: 40,
+                max_backoff_ms: 320,
+                half_open_probes: 1,
+            },
+        };
+        let load = LoadConfig {
+            seed,
+            requests: 600 * soak_factor(),
+            mean_interarrival_ms: 3,
+            deadline_ms: 400,
+            mean_service_ms: 5,
+            priority_weights: [1, 2, 1],
+        };
+        let plan = generate_plan(&load, workload.len());
+        let report = run_sim(&engine, &workload, &plan, &SimConfig { serve, drain: None });
+        assert!(handle.transient_injected() > 0, "seed {seed}: no faults fired — vacuous");
+        assert!(report.failed > 0, "seed {seed}: no query observed a fault");
+        assert!(report.breaker_trips > 0, "seed {seed}: breaker never tripped");
+        let states: Vec<BreakerState> =
+            report.storage_transitions.iter().map(|&(_, s)| s).collect();
+        assert!(states.contains(&BreakerState::Open), "seed {seed}: no open transition");
+        assert!(states.contains(&BreakerState::HalfOpen), "seed {seed}: never probed");
+        // Recovery: some HalfOpen is later followed by Closed.
+        let recovered = states
+            .iter()
+            .position(|s| *s == BreakerState::HalfOpen)
+            .is_some_and(|i| states[i..].contains(&BreakerState::Closed));
+        assert!(recovered, "seed {seed}: breaker never recovered: {states:?}");
+        assert!(
+            report.shed_circuit > 0,
+            "seed {seed}: open breaker shed nothing — arrivals never hit the open window"
+        );
+        let circuit_sheds = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.disposition,
+                    Disposition::Shed(Rejected::CircuitOpen { breaker: "storage" })
+                )
+            })
+            .count();
+        assert_eq!(circuit_sheds as u64, report.shed_circuit, "seed {seed}");
+    }
+}
+
+/// Pillar 4: a graceful drain accounts for every admitted ticket by name —
+/// completed, answered-typed, or listed abandoned. Nothing vanishes.
+#[test]
+fn drain_never_silently_loses_admitted_queries() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    let engine = clean_engine(&corpus);
+    let serve = saturating_serve();
+    for seed in load_seeds() {
+        let load = saturating_load(seed);
+        let plan = generate_plan(&load, workload.len());
+        let mid = plan.requests[plan.requests.len() / 2].arrival_ms;
+        let cfg = SimConfig {
+            serve: serve.clone(),
+            drain: Some(DrainPlan { at_ms: mid, deadline_ms: 4 }),
+        };
+        let report = run_sim(&engine, &workload, &plan, &cfg);
+        let drain = report.drain.as_ref().expect("drain configured");
+
+        // Every admitted ticket id is unique and lands in exactly one
+        // terminal disposition.
+        let mut admitted = BTreeSet::new();
+        let mut abandoned_queued = BTreeSet::new();
+        let mut abandoned_in_flight = BTreeSet::new();
+        for outcome in &report.outcomes {
+            match (&outcome.ticket, &outcome.disposition) {
+                (None, Disposition::Shed(r)) => assert!(
+                    !matches!(r, Rejected::Evicted { .. }),
+                    "seed {seed}: eviction implies a ticket"
+                ),
+                (None, d) => panic!("seed {seed}: ticketless terminal state {d:?}"),
+                (Some(id), d) => {
+                    assert!(admitted.insert(*id), "seed {seed}: duplicate ticket {id}");
+                    match d {
+                        Disposition::AbandonedQueued => {
+                            abandoned_queued.insert(*id);
+                        }
+                        Disposition::AbandonedInFlight { .. } => {
+                            abandoned_in_flight.insert(*id);
+                        }
+                        Disposition::Completed { .. }
+                        | Disposition::ExpiredInQueue
+                        | Disposition::Shed(Rejected::Evicted { .. }) => {}
+                        other => panic!("seed {seed}: admitted ticket ended as {other:?}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(admitted.len() as u64, report.admission.admitted, "seed {seed}");
+        // The drain report names exactly the abandoned tickets.
+        assert_eq!(
+            drain.abandoned_queued.iter().copied().collect::<BTreeSet<_>>(),
+            abandoned_queued,
+            "seed {seed}"
+        );
+        assert_eq!(
+            drain.abandoned_in_flight.iter().copied().collect::<BTreeSet<_>>(),
+            abandoned_in_flight,
+            "seed {seed}"
+        );
+        // Arrivals after the drain instant are shed typed, never queued.
+        for (req, outcome) in plan.requests.iter().zip(&report.outcomes) {
+            if req.arrival_ms >= mid {
+                assert!(
+                    matches!(outcome.disposition, Disposition::Shed(Rejected::ShuttingDown)),
+                    "seed {seed}: post-drain arrival at {} was {:?}",
+                    req.arrival_ms,
+                    outcome.disposition
+                );
+            }
+        }
+        assert!(report.shed_shutdown > 0, "seed {seed}: drain shed nothing — vacuous");
+        assert!(
+            !drain.abandoned_queued.is_empty() || !drain.abandoned_in_flight.is_empty(),
+            "seed {seed}: drain deadline abandoned nothing — vacuous (tighten deadline_ms)"
+        );
+        // Draining reports not-ready.
+        assert!(!report.health.ready, "seed {seed}: draining server must not be ready");
+    }
+}
+
+/// Pillar 5: under saturation, shedding is priority-ordered — Low-priority
+/// work sheds at a strictly higher rate than High-priority work, and no
+/// High request is ever evicted (nothing outranks it).
+#[test]
+fn saturation_sheds_lowest_priority_first() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    let engine = clean_engine(&corpus);
+    let serve = saturating_serve();
+    for seed in load_seeds() {
+        let plan = generate_plan(&saturating_load(seed), workload.len());
+        let report =
+            run_sim(&engine, &workload, &plan, &SimConfig { serve: serve.clone(), drain: None });
+        let mut offered = [0usize; 3];
+        let mut shed = [0usize; 3];
+        for (req, outcome) in plan.requests.iter().zip(&report.outcomes) {
+            offered[req.priority.index()] += 1;
+            match &outcome.disposition {
+                Disposition::Shed(r) => {
+                    shed[req.priority.index()] += 1;
+                    if matches!(r, Rejected::Evicted { .. }) {
+                        assert_ne!(
+                            req.priority,
+                            Priority::High,
+                            "seed {seed}: nothing may evict High-priority work"
+                        );
+                    }
+                }
+                Disposition::ExpiredInQueue => shed[req.priority.index()] += 1,
+                _ => {}
+            }
+        }
+        assert!(offered.iter().all(|&n| n > 0), "seed {seed}: a priority class never arrived");
+        let rate = |p: Priority| shed[p.index()] as f64 / offered[p.index()] as f64;
+        assert!(
+            rate(Priority::Low) > rate(Priority::High),
+            "seed {seed}: Low shed rate {:.3} must exceed High shed rate {:.3} (shed {shed:?} / offered {offered:?})",
+            rate(Priority::Low),
+            rate(Priority::High),
+        );
+    }
+}
+
+/// The threaded server agrees with the reference engine on an unloaded
+/// workload, reports healthy/ready, and drains to a clean report — the
+/// wall-clock twin of the simulator's pillars.
+#[test]
+fn threaded_server_unloaded_matches_reference_and_drains_clean() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    let reference = clean_engine(&corpus);
+    let engine = Arc::new(TklusEngine::build(&corpus, &EngineConfig::default()).0);
+    let serve = ServeConfig {
+        workers: 4,
+        queue_capacity: 256,
+        default_deadline_ms: 30_000,
+        est_service_ms: 1,
+        degrade: None,
+        breaker: BreakerConfig::default(),
+    };
+    let server = TklusServer::start(Arc::clone(&engine), serve).expect("valid config");
+    let report = server.health();
+    assert!(report.ready, "fresh server must be ready");
+    let tickets: Vec<_> = workload
+        .iter()
+        .map(|(q, ranking)| {
+            server
+                .submit(q.clone(), *ranking, Priority::Normal, None)
+                .expect("unloaded server admits everything")
+        })
+        .collect();
+    for ((q, ranking), ticket) in workload.iter().zip(tickets) {
+        let outcome = ticket.wait().expect("unloaded query succeeds");
+        assert_eq!(outcome.completeness, Completeness::Complete);
+        let want = reference.query(q, *ranking).0;
+        assert_same_users(&outcome.users, &want, "threaded server vs reference");
+    }
+    let n = workload.len() as u64;
+    let drain = server.drain(std::time::Duration::from_secs(10));
+    assert_eq!(drain.completed, n, "all admitted queries completed before the drain");
+    assert!(drain.abandoned_queued.is_empty());
+    assert_eq!(drain.in_flight_at_deadline, 0);
+}
+
+/// The threaded server's typed rejection path: a drained/stopped server
+/// refuses new work with `ShuttingDown` (via the public error type).
+#[test]
+fn threaded_server_sheds_typed_when_queue_overflows() {
+    let corpus = corpus();
+    let workload = workload(&corpus);
+    let engine = Arc::new(TklusEngine::build(&corpus, &EngineConfig::default()).0);
+    // One worker, capacity one, and a hopeless-deadline configuration that
+    // cannot shed at enqueue (deadline is huge), so overflow must show up
+    // as QueueFull/Evicted once the queue is full.
+    let serve = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        default_deadline_ms: 60_000,
+        est_service_ms: 1,
+        degrade: None,
+        breaker: BreakerConfig::default(),
+    };
+    let server = TklusServer::start(Arc::clone(&engine), serve).expect("valid config");
+    let (q, ranking) = workload[0].clone();
+    // Flood: with 1 worker and capacity 1, some submissions must shed
+    // typed; admitted ones must all resolve.
+    let mut sheds = 0usize;
+    let mut tickets = Vec::new();
+    for i in 0..64 {
+        let priority = if i % 3 == 0 { Priority::High } else { Priority::Low };
+        match server.submit(q.clone(), ranking, priority, None) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::QueueFull { .. }) => sheds += 1,
+            Err(r) => panic!("unexpected rejection class: {r}"),
+        }
+    }
+    let mut delivered = 0usize;
+    for t in tickets {
+        // Every admitted ticket resolves: success, typed eviction, or a
+        // typed deadline expiry — never a hang or a dropped channel panic.
+        match t.wait() {
+            Ok(_) => delivered += 1,
+            Err(tklus_serve::ServeError::Rejected(
+                Rejected::Evicted { .. } | Rejected::DeadlineHopeless { .. },
+            )) => delivered += 1,
+            Err(e) => panic!("admitted ticket resolved as {e}"),
+        }
+    }
+    assert!(delivered > 0, "at least the in-flight query delivers");
+    assert!(sheds > 0, "a 1-deep queue flooded 64-wide must shed");
+    let drain = server.drain(std::time::Duration::from_secs(10));
+    assert!(drain.abandoned_queued.is_empty(), "everything resolved before drain");
+}
