@@ -205,7 +205,9 @@ fn run_threaded(
                 failed += 1;
             }
             Err(ServeError::Rejected(
-                Rejected::Evicted { .. } | Rejected::DeadlineHopeless { .. },
+                Rejected::Evicted { .. }
+                | Rejected::ExpiredInQueue { .. }
+                | Rejected::DeadlineHopeless { .. },
             ))
             | Err(ServeError::Abandoned) => post_admission += 1,
             Err(ServeError::Rejected(_)) => shed += 1,

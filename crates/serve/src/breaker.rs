@@ -19,6 +19,17 @@
 //! between probe rounds grows exponentially but is bounded by
 //! `max_backoff_ms`, so recovery probing never stops entirely.
 //!
+//! Half-open probes are consumed at *admission* (so an open breaker
+//! sheds instantly, without queueing doomed work), which means a probe
+//! can die between admission and execution — evicted by a higher
+//! priority, expired in the queue, or abandoned by a drain. Each
+//! admission therefore carries a [`ProbeGrant`] receipt; a grant whose
+//! request never reaches the engine must be handed back via
+//! [`BreakerPanel::release`] so the probe budget frees up again.
+//! Without that refund the breaker would wedge: all probes spent, no
+//! outcome ever recorded, every future request shed — a permanent
+//! outage in exactly the overload+fault regime this layer exists for.
+//!
 //! Like the admission queue, the breaker is a pure state machine over
 //! caller-supplied millisecond timestamps: the threaded server feeds it
 //! wall-clock time, the simulator virtual time, and every transition is
@@ -175,26 +186,49 @@ impl CircuitBreaker {
     /// probe; a half-open breaker grants up to `half_open_probes` probes
     /// per round.
     pub fn allow(&mut self, now_ms: u64) -> bool {
+        self.try_grant(now_ms).is_some()
+    }
+
+    /// Like [`Self::allow`], but reports *how* the request was granted:
+    /// `Some(true)` consumed a half-open probe (the caller owes the
+    /// breaker an outcome, or a [`Self::return_probe`] refund if the
+    /// request dies unexecuted), `Some(false)` is closed-state
+    /// passthrough, `None` is a fail-fast denial.
+    pub fn try_grant(&mut self, now_ms: u64) -> Option<bool> {
         match self.state {
-            BreakerState::Closed => true,
+            BreakerState::Closed => Some(false),
             BreakerState::Open => {
                 if now_ms >= self.opened_at_ms + self.backoff_ms {
                     self.transition(BreakerState::HalfOpen, now_ms);
                     self.probes_granted = 1;
                     self.probe_successes = 0;
-                    true
+                    Some(true)
                 } else {
-                    false
+                    None
                 }
             }
             BreakerState::HalfOpen => {
                 if self.probes_granted < self.cfg.half_open_probes {
                     self.probes_granted += 1;
-                    true
+                    Some(true)
                 } else {
-                    false
+                    None
                 }
             }
+        }
+    }
+
+    /// Refunds a half-open probe whose request died without executing
+    /// (evicted, expired in the queue, or abandoned by a drain), so the
+    /// probe budget reopens for live traffic instead of wedging the
+    /// breaker half-open forever with all probes spent and no outcome
+    /// ever coming. A no-op unless the breaker is still half-open with
+    /// an outstanding (granted-but-unresolved) probe — a refund that
+    /// arrives after the round already closed or re-opened is stale and
+    /// ignored.
+    pub fn return_probe(&mut self) {
+        if self.state == BreakerState::HalfOpen && self.probes_granted > self.probe_successes {
+            self.probes_granted -= 1;
         }
     }
 
@@ -259,6 +293,26 @@ impl CircuitBreaker {
     }
 }
 
+/// Receipt for one admission through the panel: which breakers spent a
+/// half-open probe on it. Rides with the queued request; if the request
+/// dies before executing, hand the receipt back via
+/// [`BreakerPanel::release`]. A request admitted through closed breakers
+/// holds no probes and its receipt is inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeGrant {
+    /// The storage breaker granted this request as a probe.
+    pub storage: bool,
+    /// The index breaker granted this request as a probe.
+    pub index: bool,
+}
+
+impl ProbeGrant {
+    /// Whether any breaker is waiting on this request's outcome.
+    pub fn is_probe(&self) -> bool {
+        self.storage || self.index
+    }
+}
+
 /// The serving layer's pair of breakers, one per engine failure domain
 /// (PR 3's [`EngineError::Storage`] / [`EngineError::Index`] classes).
 ///
@@ -284,20 +338,38 @@ impl BreakerPanel {
     }
 
     /// Admission-time gate: `Ok` grants the request through every breaker
-    /// (consuming half-open probes), `Err` names the first breaker that
+    /// (consuming half-open probes) and returns the [`ProbeGrant`]
+    /// receipt to queue alongside it; `Err` names the first breaker that
     /// is failing fast. Probes are only consumed when *all* breakers
     /// agree, so a denied request never burns another domain's probe.
-    pub fn check(&mut self, now_ms: u64) -> Result<(), &'static str> {
+    pub fn check(&mut self, now_ms: u64) -> Result<ProbeGrant, &'static str> {
         if !self.storage.would_allow(now_ms) {
             return Err(self.storage.name());
         }
         if !self.index.would_allow(now_ms) {
             return Err(self.index.name());
         }
-        let s = self.storage.allow(now_ms);
-        let i = self.index.allow(now_ms);
-        debug_assert!(s && i, "would_allow and allow agree");
-        Ok(())
+        let storage = self.storage.try_grant(now_ms);
+        let index = self.index.try_grant(now_ms);
+        debug_assert!(storage.is_some() && index.is_some(), "would_allow and try_grant agree");
+        Ok(ProbeGrant {
+            storage: storage.unwrap_or(false),
+            index: index.unwrap_or(false),
+        })
+    }
+
+    /// Refunds the probes an admitted request held when it died without
+    /// executing (evicted, expired in the queue, abandoned by a drain) —
+    /// see [`CircuitBreaker::return_probe`]. Call exactly once per dead
+    /// admission; grants from executed requests are settled by
+    /// [`Self::record`] instead.
+    pub fn release(&mut self, grant: ProbeGrant) {
+        if grant.storage {
+            self.storage.return_probe();
+        }
+        if grant.index {
+            self.index.return_probe();
+        }
     }
 
     /// Feeds one completed query's outcome to the panel.
@@ -418,6 +490,92 @@ mod tests {
             b.record_failure(2000 + i);
         }
         assert_eq!(b.retry_in_ms(2003), 100, "backoff reset to base after recovery");
+    }
+
+    #[test]
+    fn returned_probe_reopens_the_budget_instead_of_wedging_half_open() {
+        let mut b = breaker();
+        for i in 0..4 {
+            b.record_failure(i);
+        }
+        // Both probes of the half-open round are granted, then die
+        // unexecuted (shed post-admission). Without the refund the
+        // breaker would deny traffic forever.
+        assert!(b.allow(104));
+        assert!(b.allow(105));
+        assert!(!b.would_allow(106), "probe budget spent");
+        b.return_probe();
+        b.return_probe();
+        assert!(b.would_allow(107), "refunded probes re-arm the round");
+        assert!(b.allow(107));
+        b.record_success(108);
+        assert!(b.allow(109));
+        b.record_success(110);
+        assert_eq!(b.state(), BreakerState::Closed, "recovery still possible");
+    }
+
+    #[test]
+    fn probe_refund_never_revokes_recorded_successes() {
+        let mut b = breaker();
+        for i in 0..4 {
+            b.record_failure(i);
+        }
+        assert!(b.allow(104));
+        b.record_success(105);
+        // Only one probe outstanding was granted and it already resolved:
+        // further refunds are stale and must not free phantom probes
+        // beyond the recorded successes.
+        b.return_probe();
+        b.return_probe();
+        assert!(b.allow(106), "second probe of the round");
+        assert!(!b.allow(107), "budget is still bounded by half_open_probes");
+    }
+
+    #[test]
+    fn stale_refund_after_close_or_reopen_is_ignored() {
+        let mut b = breaker();
+        for i in 0..4 {
+            b.record_failure(i);
+        }
+        assert!(b.allow(104));
+        b.record_failure(105); // reopen: old round's grants are dead
+        b.return_probe();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(106), "refund must not pierce the open backoff");
+    }
+
+    #[test]
+    fn panel_grants_track_probe_consumption_and_release() {
+        let cfg = BreakerConfig {
+            window: 8,
+            failure_threshold: 2,
+            base_backoff_ms: 100,
+            max_backoff_ms: 400,
+            half_open_probes: 1,
+        };
+        let mut panel = BreakerPanel::new(cfg);
+        let grant = panel.check(0).expect("closed panel admits");
+        assert!(!grant.is_probe(), "closed-state passthrough holds no probes");
+        let storage_err = || {
+            EngineError::Storage(tklus_storage::StorageError::Io {
+                op: "read",
+                page: None,
+                source: std::io::Error::other("injected"),
+            })
+        };
+        panel.record(1, Err(&storage_err()));
+        panel.record(2, Err(&storage_err()));
+        assert_eq!(panel.storage.state(), BreakerState::Open);
+        assert!(panel.check(3).is_err(), "open storage breaker sheds");
+        let grant = panel.check(103).expect("backoff elapsed: probe granted");
+        assert!(grant.storage && !grant.index, "only the half-open breaker spent a probe");
+        assert!(panel.check(104).is_err(), "probe budget spent");
+        // The probe dies unexecuted; releasing it un-wedges the panel.
+        panel.release(grant);
+        let again = panel.check(105).expect("released probe re-granted");
+        assert!(again.storage);
+        panel.record(106, Ok(()));
+        assert_eq!(panel.storage.state(), BreakerState::Closed, "recovered");
     }
 
     #[test]

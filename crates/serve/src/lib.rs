@@ -41,7 +41,7 @@ mod reject;
 mod server;
 pub mod sim;
 
-pub use breaker::{BreakerConfig, BreakerPanel, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerPanel, BreakerState, CircuitBreaker, ProbeGrant};
 pub use config::{DegradePolicy, ServeConfig};
 pub use queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
 pub use reject::{Rejected, ServeError};

@@ -36,6 +36,14 @@ pub enum Rejected {
         /// Priority of the arrival that displaced it.
         by: Priority,
     },
+    /// The request was admitted but its deadline passed while it queued;
+    /// a worker caught it at dispatch and answered it typed instead of
+    /// running the engine (the threaded twin of the simulator's
+    /// `Disposition::ExpiredInQueue`).
+    ExpiredInQueue {
+        /// Milliseconds the request waited in the queue before expiring.
+        waited_ms: u64,
+    },
     /// The server is draining or stopped; admission is closed.
     ShuttingDown,
 }
@@ -50,6 +58,9 @@ impl std::fmt::Display for Rejected {
             ),
             Rejected::CircuitOpen { breaker } => write!(f, "{breaker} circuit breaker open"),
             Rejected::Evicted { by } => write!(f, "evicted from queue by a {by}-priority arrival"),
+            Rejected::ExpiredInQueue { waited_ms } => {
+                write!(f, "deadline expired after {waited_ms} ms in queue")
+            }
             Rejected::ShuttingDown => f.write_str("server is shutting down"),
         }
     }
@@ -104,6 +115,7 @@ mod tests {
         assert!(hopeless.to_string().contains("estimated wait 40"));
         assert!(Rejected::CircuitOpen { breaker: "storage" }.to_string().contains("storage"));
         assert!(Rejected::Evicted { by: Priority::High }.to_string().contains("high"));
+        assert!(Rejected::ExpiredInQueue { waited_ms: 75 }.to_string().contains("75 ms in queue"));
         assert!(ServeError::from(Rejected::ShuttingDown).to_string().contains("shutting down"));
         assert!(ServeError::Abandoned.to_string().contains("drain"));
     }

@@ -13,7 +13,7 @@
 //! internally parallel, so holding the admission lock across a query
 //! would serialize the whole server.
 
-use crate::breaker::BreakerPanel;
+use crate::breaker::{BreakerPanel, ProbeGrant};
 use crate::config::ServeConfig;
 use crate::health::{build_report, Snapshot};
 use crate::queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
@@ -31,6 +31,9 @@ use tklus_model::{Priority, QueryBudget, TklusQuery};
 struct Job {
     query: TklusQuery,
     ranking: Ranking,
+    /// Half-open probes the breaker panel spent admitting this job; must
+    /// be released if the job dies without executing.
+    grant: ProbeGrant,
     resp: mpsc::SyncSender<Result<QueryOutcome, ServeError>>,
 }
 
@@ -149,29 +152,44 @@ impl TklusServer {
         deadline: Option<Duration>,
     ) -> Result<Ticket, Rejected> {
         let now_ms = self.shared.now_ms();
-        let deadline_ms =
-            now_ms + deadline.map_or(self.shared.cfg.default_deadline_ms, |d| d.as_millis() as u64);
+        // Saturate both steps: a caller-supplied Duration may overflow
+        // u64 milliseconds, and the sum may overflow the clock.
+        let relative_ms = deadline.map_or(self.shared.cfg.default_deadline_ms, |d| {
+            u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+        });
+        let deadline_ms = now_ms.saturating_add(relative_ms);
         let mut state = self.shared.state.lock().expect("serve lock poisoned");
         if state.draining || state.stopped {
             return Err(Rejected::ShuttingDown);
         }
-        if let Err(breaker) = state.panel.check(now_ms) {
-            state.shed_circuit += 1;
-            return Err(Rejected::CircuitOpen { breaker });
-        }
+        let grant = match state.panel.check(now_ms) {
+            Ok(grant) => grant,
+            Err(breaker) => {
+                state.shed_circuit += 1;
+                return Err(Rejected::CircuitOpen { breaker });
+            }
+        };
         let (tx, rx) = mpsc::sync_channel(1);
         let busy = state.busy;
-        let job = Job { query, ranking, resp: tx };
+        let job = Job { query, ranking, grant, resp: tx };
         match state.queue.try_admit(now_ms, priority, deadline_ms, job, busy) {
             AdmitResult::Admitted { id, evicted } => {
                 if let Some(victim) = evicted {
+                    // The victim never reaches the engine: refund any
+                    // half-open probes it was admitted on.
+                    state.panel.release(victim.payload.grant);
                     answer(victim, Err(Rejected::Evicted { by: priority }.into()));
                 }
                 drop(state);
                 self.shared.work_cv.notify_one();
                 Ok(Ticket { id, rx })
             }
-            AdmitResult::Shed { reason, .. } => Err(reason),
+            AdmitResult::Shed { reason, payload } => {
+                // Shed at enqueue (after the breaker gate): the probes the
+                // panel just spent on it must come back too.
+                state.panel.release(payload.grant);
+                Err(reason)
+            }
         }
     }
 
@@ -236,6 +254,7 @@ impl TklusServer {
             }
             // Whatever still queues at the deadline is abandoned, typed.
             for entry in state.queue.drain_all() {
+                state.panel.release(entry.payload.grant);
                 report.abandoned_queued.push(entry.id);
                 answer(entry, Err(ServeError::Abandoned));
             }
@@ -260,6 +279,7 @@ impl Drop for TklusServer {
             state.draining = true;
             state.stopped = true;
             for entry in state.queue.drain_all() {
+                state.panel.release(entry.payload.grant);
                 answer(entry, Err(ServeError::Abandoned));
             }
         }
@@ -292,19 +312,21 @@ fn worker_loop(shared: &Shared) {
         };
         match popped {
             Popped::Expired(entry) => {
-                // Dead on arrival at dispatch: answer typed, skip the engine.
-                let deadline_in_ms = 0;
-                let waited = now_ms.saturating_sub(entry.arrival_ms);
-                answer(
-                    entry,
-                    Err(Rejected::DeadlineHopeless { deadline_in_ms, estimated_wait_ms: waited }
-                        .into()),
-                );
+                // Dead on arrival at dispatch: answer typed, skip the
+                // engine, and refund any breaker probes it held.
+                state.panel.release(entry.payload.grant);
+                let waited_ms = now_ms.saturating_sub(entry.arrival_ms);
+                answer(entry, Err(Rejected::ExpiredInQueue { waited_ms }.into()));
+                // An expired pop can be the last thing draining waits on.
+                if state.queue.depth() == 0 && state.busy == 0 {
+                    shared.idle_cv.notify_all();
+                }
             }
             Popped::Ready(entry) => {
                 state.busy += 1;
                 let deadline_ms = entry.deadline_ms;
-                let Job { mut query, ranking, resp } = entry.payload;
+                // The grant is settled by `panel.record` below, not refunded.
+                let Job { mut query, ranking, resp, grant: _ } = entry.payload;
                 // Tighten budgets while still holding the lock (cheap).
                 if let Some(policy) = shared.cfg.degrade {
                     if state.queue.depth() >= policy.queue_threshold {

@@ -21,7 +21,7 @@
 //! nondeterminism, so the simulator's degrade mode only ever tightens
 //! `max_cells` — which PR 3 made bitwise-deterministic.
 
-use crate::breaker::{BreakerPanel, BreakerState};
+use crate::breaker::{BreakerPanel, BreakerState, ProbeGrant};
 use crate::config::ServeConfig;
 use crate::health::{build_report, Snapshot};
 use crate::queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped};
@@ -281,6 +281,7 @@ impl SimReport {
                         Rejected::CircuitOpen { breaker } => 2000 + breaker.len() as u64,
                         Rejected::Evicted { by } => 3000 + by.index() as u64,
                         Rejected::ShuttingDown => 4000,
+                        Rejected::ExpiredInQueue { waited_ms } => 5000 + waited_ms,
                     });
                 }
                 Disposition::ExpiredInQueue => mix(2),
@@ -320,6 +321,15 @@ impl SimReport {
     }
 }
 
+/// What the simulator queues per admitted request: the plan index plus
+/// the breaker probes the panel spent admitting it (refunded if the
+/// request dies without executing, exactly like the threaded server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SimJob {
+    idx: usize,
+    grant: ProbeGrant,
+}
+
 fn failure_domain(e: &EngineError) -> &'static str {
     match e {
         EngineError::Storage(_) => "storage",
@@ -341,7 +351,7 @@ pub fn run_sim(
     assert!(!workload.is_empty(), "workload must not be empty");
     cfg.serve.validate().expect("valid serve config");
     let serve = &cfg.serve;
-    let mut queue: AdmissionQueue<usize> =
+    let mut queue: AdmissionQueue<SimJob> =
         AdmissionQueue::new(serve.queue_capacity, serve.workers, serve.est_service_ms);
     let mut panel = BreakerPanel::new(serve.breaker);
     let mut workers_free_at = vec![0u64; serve.workers];
@@ -355,7 +365,7 @@ pub fn run_sim(
     // Dispatches every queued entry whose start instant falls strictly
     // before `limit` (and at or before the drain cutoff).
     let dispatch_until = |limit: u64,
-                          queue: &mut AdmissionQueue<usize>,
+                          queue: &mut AdmissionQueue<SimJob>,
                           panel: &mut BreakerPanel,
                           workers_free_at: &mut [u64],
                           outcomes: &mut [Option<RequestOutcome>],
@@ -380,13 +390,15 @@ pub fn run_sim(
             match queue.pop_next(free_at) {
                 None => return,
                 Some(Popped::Expired(entry)) => {
-                    let slot = &mut outcomes[entry.payload];
+                    // Never executed: refund any probes it was holding.
+                    panel.release(entry.payload.grant);
+                    let slot = &mut outcomes[entry.payload.idx];
                     let ticket = slot.as_ref().and_then(|o| o.ticket);
                     *slot =
                         Some(RequestOutcome { ticket, disposition: Disposition::ExpiredInQueue });
                 }
                 Some(Popped::Ready(entry)) => {
-                    let req = &plan.requests[entry.payload];
+                    let req = &plan.requests[entry.payload.idx];
                     // A worker idle since before the entry arrived starts
                     // it at its arrival instant, not in the past.
                     let start = free_at.max(entry.arrival_ms);
@@ -419,8 +431,8 @@ pub fn run_sim(
                     };
                     let end = start + req.service_ms.max(1);
                     workers_free_at[wi] = end;
-                    let ticket = outcomes[entry.payload].as_ref().and_then(|o| o.ticket);
-                    outcomes[entry.payload] = Some(RequestOutcome {
+                    let ticket = outcomes[entry.payload.idx].as_ref().and_then(|o| o.ticket);
+                    outcomes[entry.payload.idx] = Some(RequestOutcome {
                         ticket,
                         disposition: Disposition::Completed {
                             start_ms: start,
@@ -452,16 +464,19 @@ pub fn run_sim(
             });
             continue;
         }
-        if let Err(breaker) = panel.check(now) {
-            shed_circuit += 1;
-            outcomes[idx] = Some(RequestOutcome {
-                ticket: None,
-                disposition: Disposition::Shed(Rejected::CircuitOpen { breaker }),
-            });
-            continue;
-        }
+        let grant = match panel.check(now) {
+            Ok(grant) => grant,
+            Err(breaker) => {
+                shed_circuit += 1;
+                outcomes[idx] = Some(RequestOutcome {
+                    ticket: None,
+                    disposition: Disposition::Shed(Rejected::CircuitOpen { breaker }),
+                });
+                continue;
+            }
+        };
         let busy = workers_free_at.iter().filter(|&&t| t > now).count();
-        match queue.try_admit(now, req.priority, req.deadline_ms, idx, busy) {
+        match queue.try_admit(now, req.priority, req.deadline_ms, SimJob { idx, grant }, busy) {
             AdmitResult::Admitted { id, evicted } => {
                 outcomes[idx] = Some(RequestOutcome {
                     ticket: Some(id),
@@ -473,14 +488,18 @@ pub fn run_sim(
                     },
                 });
                 if let Some(victim) = evicted {
-                    let ticket = outcomes[victim.payload].as_ref().and_then(|o| o.ticket);
-                    outcomes[victim.payload] = Some(RequestOutcome {
+                    // The victim never reaches the engine: refund its probes.
+                    panel.release(victim.payload.grant);
+                    let ticket = outcomes[victim.payload.idx].as_ref().and_then(|o| o.ticket);
+                    outcomes[victim.payload.idx] = Some(RequestOutcome {
                         ticket,
                         disposition: Disposition::Shed(Rejected::Evicted { by: req.priority }),
                     });
                 }
             }
-            AdmitResult::Shed { reason, .. } => {
+            AdmitResult::Shed { reason, payload } => {
+                // Shed at enqueue after the breaker gate: probes come back.
+                panel.release(payload.grant);
                 outcomes[idx] =
                     Some(RequestOutcome { ticket: None, disposition: Disposition::Shed(reason) });
             }
@@ -505,7 +524,8 @@ pub fn run_sim(
     let mut drain_report = cfg.drain.map(|_| DrainReport::default());
     if let (Some(report), Some(cutoff)) = (drain_report.as_mut(), cutoff) {
         for entry in queue.drain_all() {
-            let slot = &mut outcomes[entry.payload];
+            panel.release(entry.payload.grant);
+            let slot = &mut outcomes[entry.payload.idx];
             let ticket = slot.as_ref().and_then(|o| o.ticket);
             report.abandoned_queued.push(entry.id);
             *slot = Some(RequestOutcome { ticket, disposition: Disposition::AbandonedQueued });

@@ -493,7 +493,7 @@ fn threaded_server_sheds_typed_when_queue_overflows() {
         match t.wait() {
             Ok(_) => delivered += 1,
             Err(tklus_serve::ServeError::Rejected(
-                Rejected::Evicted { .. } | Rejected::DeadlineHopeless { .. },
+                Rejected::Evicted { .. } | Rejected::ExpiredInQueue { .. },
             )) => delivered += 1,
             Err(e) => panic!("admitted ticket resolved as {e}"),
         }
