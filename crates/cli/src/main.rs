@@ -121,19 +121,21 @@ const USAGE: &str = "usage:
   tklus build-index [--corpus FILE.tsv | --posts N --seed S]
                     --out DIR [--geohash-len 4] [--nodes 3]
   tklus stats       [--corpus FILE.tsv] [--posts N] [--seed S]
+                    [--metrics] [--format prometheus|json]
   tklus query       --lat L --lon L --radius KM --keywords a,b[,c]
                     [--k K] [--ranking sum|max|max-global] [--semantics and|or]
                     [--corpus FILE.tsv] [--posts N] [--seed S] [--index DIR]
                     [--since T --until T] [--now T --half-life H]
                     [--timeout-ms MS] [--max-cells N] [--fail-on-degraded]
                     [--threads N] [--cover-cache N] [--postings-cache N]
-                    [--thread-cache N]
+                    [--thread-cache N] [--metrics]
   tklus serve       [--corpus FILE.tsv] [--posts N] [--seed S]
                     [--mode sim|threaded] [--requests N] [--load-seed S]
                     [--mean-interarrival-ms MS] [--deadline-ms MS]
                     [--mean-service-ms MS] [--workers N] [--queue-capacity N]
                     [--est-service-ms MS] [--degrade-threshold N --degrade-cells N]
-                    [--drain-at-ms MS] [--drain-deadline-ms MS]";
+                    [--drain-at-ms MS] [--drain-deadline-ms MS]
+                    [--stats-every MS]";
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -228,9 +230,27 @@ fn cmd_build_index(raw: Vec<String>) -> Result<(), CliError> {
 
 fn cmd_stats(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
-    args.check_known(&["corpus", "posts", "seed"])?;
+    args.check_known(&["corpus", "posts", "seed", "metrics", "format"])?;
     let corpus = corpus_from(&args)?;
     let (engine, report) = TklusEngine::try_build(&corpus, &EngineConfig::default())?;
+    if args.get_flag("metrics")? {
+        // Registry exposition (DESIGN.md §12): on a freshly built engine
+        // the query counters are zero, but the storage counters already
+        // carry the build's page traffic.
+        let snap = engine
+            .metrics_snapshot()
+            .ok_or_else(|| CliError::General("engine built with metrics disabled".into()))?;
+        match args.get_str("format").unwrap_or("prometheus") {
+            "prometheus" | "prom" => print!("{}", snap.render_prometheus()),
+            "json" => println!("{}", snap.render_json()),
+            other => {
+                return Err(
+                    ArgError(format!("--format must be prometheus|json, got {other:?}")).into()
+                )
+            }
+        }
+        return Ok(());
+    }
     println!("corpus: {} posts, {} users", corpus.len(), corpus.user_count());
     let replies = corpus.posts().iter().filter(|p| p.is_reply()).count();
     println!("  replies/forwards: {replies}");
@@ -276,6 +296,7 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
         "cover-cache",
         "postings-cache",
         "thread-cache",
+        "metrics",
     ])?;
     let lat: f64 = args.require("lat")?;
     let lon: f64 = args.require("lon")?;
@@ -386,6 +407,23 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
         stats.metadata_page_reads,
         stats.elapsed.as_secs_f64() * 1e3
     );
+    // Per-stage span breakdown (DESIGN.md §12). Under Max ranking the
+    // scoring stage reads 0: scoring is interleaved with thread
+    // construction and attributed to `threads`.
+    let st = &stats.stages;
+    if *st != tklus_core::StageTimings::default() {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "stages: cover {:.2} ms, fetch {:.2} ms, combine {:.2} ms, threads {:.2} ms, \
+             scoring {:.2} ms, topk {:.2} ms",
+            ms(st.cover),
+            ms(st.fetch),
+            ms(st.combine),
+            ms(st.threads),
+            ms(st.scoring),
+            ms(st.topk)
+        );
+    }
     if caches != CacheConfig::default() {
         let cs = engine.cache_stats();
         println!(
@@ -400,6 +438,11 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
             cs.thread.hits + cs.thread.misses,
             cs.thread.hit_rate() * 100.0,
         );
+    }
+    if args.get_flag("metrics")? {
+        if let Some(snap) = engine.metrics_snapshot() {
+            print!("-- metrics --\n{}", snap.render_prometheus());
+        }
     }
     // The result (printed above) stands either way; the flag only decides
     // whether scripts see a partial answer as exit 6 instead of 0.

@@ -13,10 +13,12 @@
 
 use crate::args::{ArgError, Args};
 use crate::{corpus_from, CliError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
 use tklus_gen::{generate_queries, QueryConfig};
+use tklus_metrics::RegistrySnapshot;
 use tklus_metrics::Summary;
 use tklus_model::{Semantics, TklusQuery};
 use tklus_serve::sim::{
@@ -96,6 +98,27 @@ fn parse_drain(args: &Args) -> Result<Option<DrainPlan>, CliError> {
     }
 }
 
+/// One compact line of the registry's headline numbers, for the
+/// `--stats-every` periodic ticker.
+fn stats_line(snap: &RegistrySnapshot) -> String {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let (p50, p99) = snap
+        .histogram("tklus_query_latency_us")
+        .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
+    format!(
+        "stats: {} answered ({} degraded, {} errors), {}/{} admitted, {} shed, \
+         latency p50 {} us p99 {} us",
+        c("tklus_queries_total"),
+        c("tklus_queries_degraded_total"),
+        c("tklus_query_errors_total"),
+        c("tklus_serve_completed"),
+        c("tklus_serve_admitted"),
+        c("tklus_serve_shed_total"),
+        p50,
+        p99,
+    )
+}
+
 fn print_latencies(label: &str, latencies: &[f64]) {
     if latencies.is_empty() {
         println!("{label}: no completions");
@@ -162,62 +185,90 @@ fn run_threaded(
     serve: ServeConfig,
     load: &LoadConfig,
     drain: Option<DrainPlan>,
+    stats_every: Option<u64>,
 ) -> Result<(), CliError> {
     let plan = generate_plan(load, queries.len());
     let server = TklusServer::start(engine, serve).map_err(CliError::Usage)?;
-    let start = std::time::Instant::now();
-    let mut tickets = Vec::new();
     let mut shed = 0usize;
     let mut submitted = 0usize;
-    for req in &plan.requests {
-        if let Some(d) = drain {
-            if req.arrival_ms >= d.at_ms {
-                break; // admission closes at the drain instant
-            }
-        }
-        // Open-loop pacing: wait until this request's wall-clock arrival.
-        let arrival = Duration::from_millis(req.arrival_ms);
-        if let Some(wait) = arrival.checked_sub(start.elapsed()) {
-            std::thread::sleep(wait);
-        }
-        submitted += 1;
-        let (q, ranking) = &queries[req.query_idx % queries.len()];
-        let deadline = Duration::from_millis(req.deadline_ms - req.arrival_ms);
-        match server.submit(q.clone(), *ranking, req.priority, Some(deadline)) {
-            Ok(t) => tickets.push(t),
-            Err(_) => shed += 1,
-        }
-    }
     let mut completed = 0usize;
     let mut degraded = 0usize;
     let mut failed = 0usize;
     let mut post_admission = 0usize;
-    for t in tickets {
-        match t.wait() {
-            Ok(outcome) => {
-                completed += 1;
-                if !outcome.completeness.is_complete() {
-                    degraded += 1;
+    let mut tickets = Vec::new();
+    let ticker_stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(every_ms) = stats_every {
+            let every = Duration::from_millis(every_ms.max(1));
+            let (stop, server) = (&ticker_stop, &server);
+            scope.spawn(move || {
+                // Sleep in short slices so the ticker exits promptly when
+                // the run ends, however long the emission period is.
+                let slice = every.min(Duration::from_millis(50));
+                let mut next = std::time::Instant::now() + every;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(slice);
+                    if std::time::Instant::now() >= next {
+                        println!("{}", stats_line(&server.metrics_snapshot()));
+                        next += every;
+                    }
+                }
+            });
+        }
+        let start = std::time::Instant::now();
+        for req in &plan.requests {
+            if let Some(d) = drain {
+                if req.arrival_ms >= d.at_ms {
+                    break; // admission closes at the drain instant
                 }
             }
-            Err(ServeError::Engine(_)) => {
-                completed += 1;
-                failed += 1;
+            // Open-loop pacing: wait until this request's wall-clock arrival.
+            let arrival = Duration::from_millis(req.arrival_ms);
+            if let Some(wait) = arrival.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
             }
-            Err(ServeError::Rejected(
-                Rejected::Evicted { .. }
-                | Rejected::ExpiredInQueue { .. }
-                | Rejected::DeadlineHopeless { .. },
-            ))
-            | Err(ServeError::Abandoned) => post_admission += 1,
-            Err(ServeError::Rejected(_)) => shed += 1,
+            submitted += 1;
+            let (q, ranking) = &queries[req.query_idx % queries.len()];
+            let deadline = Duration::from_millis(req.deadline_ms.saturating_sub(req.arrival_ms));
+            match server.submit(q.clone(), *ranking, req.priority, Some(deadline)) {
+                Ok(t) => tickets.push(t),
+                Err(_) => shed += 1,
+            }
         }
-    }
+        // The ticker keeps emitting while admitted work resolves, so the
+        // periodic lines cover the full run, not just the arrival phase.
+        for t in tickets.drain(..) {
+            match t.wait() {
+                Ok(outcome) => {
+                    completed += 1;
+                    if !outcome.completeness.is_complete() {
+                        degraded += 1;
+                    }
+                }
+                Err(ServeError::Engine(_)) => {
+                    completed += 1;
+                    failed += 1;
+                }
+                Err(ServeError::Rejected(
+                    Rejected::Evicted { .. }
+                    | Rejected::ExpiredInQueue { .. }
+                    | Rejected::DeadlineHopeless { .. },
+                ))
+                | Err(ServeError::Abandoned) => post_admission += 1,
+                Err(ServeError::Rejected(_)) => shed += 1,
+            }
+        }
+        ticker_stop.store(true, Ordering::Relaxed);
+    });
     println!(
         "threaded: {submitted} submitted, {completed} completed ({degraded} degraded, \
          {failed} failed), {shed} shed at admission, {post_admission} shed/abandoned after"
     );
     println!("-- health --\n{}", server.health().render());
+    if stats_every.is_some() {
+        println!("{}", stats_line(&server.metrics_snapshot()));
+        println!("-- metrics --\n{}", server.metrics_snapshot().render_prometheus());
+    }
     let drain_deadline = Duration::from_millis(drain.map_or(1_000, |d| d.deadline_ms));
     let report = server.drain(drain_deadline);
     println!(
@@ -249,8 +300,10 @@ pub fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
         "degrade-cells",
         "drain-at-ms",
         "drain-deadline-ms",
+        "stats-every",
     ])?;
     let serve = parse_serve_config(&args)?;
+    let stats_every = args.get::<u64>("stats-every")?;
     let load = parse_load_config(&args)?;
     let drain = parse_drain(&args)?;
     let corpus = corpus_from(&args)?;
@@ -281,12 +334,18 @@ pub fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
             let plan = generate_plan(&load, queries.len());
             let report = run_sim(&engine, &queries, &plan, &SimConfig { serve, drain });
             print_sim_report(&report);
+            if stats_every.is_some() {
+                // Virtual time has no wall-clock ticks; emit the final
+                // registry exposition the periodic mode would converge to.
+                println!("{}", stats_line(&report.metrics));
+                println!("-- metrics --\n{}", report.metrics.render_prometheus());
+            }
             Ok(())
         }
         "threaded" => {
             let engine = Arc::new(TklusEngine::try_build(&corpus, &EngineConfig::default())?.0);
             let queries = workload(&corpus, load_seed)?;
-            run_threaded(engine, &queries, serve, &load, drain)
+            run_threaded(engine, &queries, serve, &load, drain, stats_every)
         }
         other => Err(ArgError(format!("--mode must be sim|threaded, got {other:?}")).into()),
     }

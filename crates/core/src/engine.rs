@@ -16,12 +16,14 @@ use crate::bounds::{BoundsMode, BoundsTable};
 use crate::cache::{CacheConfig, CacheStats, QueryCaches};
 use crate::error::EngineError;
 use crate::metadata::{MetadataDb, MetadataStoreFactory};
+use crate::obs::EngineMetrics;
 use crate::query::{
     max::try_query_max, sum::try_query_sum, Completeness, QueryContext, QueryOutcome, QueryStats,
     RankedUser,
 };
 use tklus_graph::SocialNetwork;
 use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
+use tklus_metrics::RegistrySnapshot;
 use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery};
 use tklus_text::{TermId, TextPipeline};
 
@@ -61,6 +63,12 @@ pub struct EngineConfig {
     /// (`None` = the default in-memory pager). Chaos tests substitute a
     /// fault-injecting stack here; everything above it is unchanged.
     pub metadata_store: Option<MetadataStoreFactory>,
+    /// Operational telemetry (DESIGN.md §12): per-query stage timings in
+    /// `QueryStats::stages` and aggregation into the engine's metric
+    /// registry ([`TklusEngine::metrics_snapshot`]). On by default — the
+    /// `obs_overhead` bench holds the cost under a 2% median-latency
+    /// budget; `false` skips every clock read and registry touch.
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +81,7 @@ impl Default for EngineConfig {
             parallelism: 1,
             caches: CacheConfig::default(),
             metadata_store: None,
+            metrics: true,
         }
     }
 }
@@ -87,6 +96,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("parallelism", &self.parallelism)
             .field("caches", &self.caches)
             .field("metadata_store", &self.metadata_store.as_ref().map(|_| "<factory>"))
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -120,6 +130,8 @@ pub struct TklusEngine {
     scoring: ScoringConfig,
     parallelism: usize,
     caches: QueryCaches,
+    /// `Some` when built with `EngineConfig::metrics` (the default).
+    obs: Option<EngineMetrics>,
 }
 
 // The whole point of the `&self` query API: one engine, many client
@@ -203,6 +215,7 @@ impl TklusEngine {
             scoring: config.scoring,
             parallelism: config.parallelism.max(1),
             caches,
+            obs: config.metrics.then(EngineMetrics::new),
         })
     }
 
@@ -237,6 +250,17 @@ impl TklusEngine {
     /// between, hits and misses never decrease.
     pub fn cache_stats(&self) -> CacheStats {
         self.caches.stats()
+    }
+
+    /// One coherent snapshot of the engine's metric registry
+    /// (DESIGN.md §12): the natively recorded query counters and stage
+    /// histograms, with the storage I/O counters re-exported as
+    /// `tklus_storage_*` and the query-cache counters as `tklus_cache_*`.
+    /// Returns `None` when the engine was built with
+    /// `EngineConfig::metrics` off.
+    pub fn metrics_snapshot(&self) -> Option<RegistrySnapshot> {
+        let obs = self.obs.as_ref()?;
+        Some(obs.snapshot(&self.db.io().snapshot(), &self.caches.stats()))
     }
 
     /// Normalizes raw query keywords to term ids, position-aligned with
@@ -343,11 +367,11 @@ impl TklusEngine {
         if q.semantics == Semantics::And
             && self.resolve_keywords(&q.keywords).iter().any(Option::is_none)
         {
-            return Ok(empty());
+            return Ok(self.finish(empty()));
         }
         let terms = self.resolve_query_terms(&q.keywords);
         if terms.is_empty() {
-            return Ok(empty());
+            return Ok(self.finish(empty()));
         }
         let ctx = QueryContext {
             index: &self.index,
@@ -355,12 +379,33 @@ impl TklusEngine {
             caches: &self.caches,
             scoring: &self.scoring,
             parallelism,
+            timings: self.obs.is_some(),
         };
-        let (users, stats, completeness) = match ranking {
-            Ranking::Sum => try_query_sum(&ctx, q, &terms)?,
-            Ranking::Max(mode) => try_query_max(&ctx, &self.bounds, mode, q, &terms)?,
+        let result = match ranking {
+            Ranking::Sum => try_query_sum(&ctx, q, &terms),
+            Ranking::Max(mode) => try_query_max(&ctx, &self.bounds, mode, q, &terms),
         };
-        Ok(QueryOutcome { users, stats, completeness })
+        match result {
+            Ok((users, stats, completeness)) => {
+                Ok(self.finish(QueryOutcome { users, stats, completeness }))
+            }
+            Err(e) => {
+                if let Some(obs) = &self.obs {
+                    obs.observe_error();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Aggregates an answered query into the registry (every answered
+    /// query counts, including trivially empty ones) and passes the
+    /// outcome through.
+    fn finish(&self, outcome: QueryOutcome) -> QueryOutcome {
+        if let Some(obs) = &self.obs {
+            obs.observe(&outcome.stats, !outcome.completeness.is_complete());
+        }
+        outcome
     }
 }
 
@@ -551,6 +596,88 @@ mod tests {
         assert_eq!(after.postings.misses, s1.postings_cache_misses + s2.postings_cache_misses);
         assert_eq!(after.thread.hits, s1.thread_cache_hits + s2.thread_cache_hits);
         assert_eq!(after.thread.misses, s1.thread_cache_misses + s2.thread_cache_misses);
+        // The registry re-exports the same cache counters coherently.
+        let snap = engine.metrics_snapshot().expect("metrics on by default");
+        assert_eq!(snap.counter("tklus_queries_total"), Some(2));
+        assert_eq!(snap.counter("tklus_cache_cover_hits_total"), Some(after.cover.hits));
+        assert_eq!(snap.counter("tklus_cache_cover_misses_total"), Some(after.cover.misses));
+        assert_eq!(snap.counter("tklus_cache_postings_hits_total"), Some(after.postings.hits));
+        assert_eq!(snap.counter("tklus_cache_thread_hits_total"), Some(after.thread.hits));
+    }
+
+    #[test]
+    fn registry_aggregates_query_stats_and_stage_timings() {
+        let corpus = corpus();
+        let (engine, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let q = tklus_model::TklusQuery::new(
+            Point::new_unchecked(43.7, -79.4),
+            10.0,
+            vec!["hotel".into()],
+            5,
+            Semantics::Or,
+        )
+        .unwrap();
+        let (_, s1) = engine.query(&q, Ranking::Sum);
+        let (_, s2) = engine.query(&q, Ranking::Max(BoundsMode::HotKeywords));
+        let snap = engine.metrics_snapshot().expect("metrics on by default");
+        assert_eq!(snap.counter("tklus_queries_total"), Some(2));
+        assert_eq!(snap.counter("tklus_queries_degraded_total"), Some(0));
+        assert_eq!(
+            snap.counter("tklus_query_candidates_total"),
+            Some((s1.candidates + s2.candidates) as u64)
+        );
+        assert_eq!(
+            snap.counter("tklus_query_metadata_page_reads_total"),
+            Some(s1.metadata_page_reads + s2.metadata_page_reads)
+        );
+        let latency = snap.histogram("tklus_query_latency_us").expect("registered");
+        assert_eq!(latency.count, 2);
+        // Stage spans are recorded and cover+fetch+… sums below elapsed.
+        assert!(s1.stages.total() <= s1.elapsed, "{:?} > {:?}", s1.stages.total(), s1.elapsed);
+        assert!(s1.stages.total() > std::time::Duration::ZERO);
+        let threads = snap.histogram("tklus_stage_threads_us").expect("registered");
+        assert_eq!(threads.count, 2);
+        // The trivially-empty path still counts as an answered query.
+        let unknown = tklus_model::TklusQuery::new(
+            Point::new_unchecked(43.7, -79.4),
+            10.0,
+            vec!["zzzunknown".into()],
+            5,
+            Semantics::And,
+        )
+        .unwrap();
+        let _ = engine.query(&unknown, Ranking::Sum);
+        let snap = engine.metrics_snapshot().expect("metrics on by default");
+        assert_eq!(snap.counter("tklus_queries_total"), Some(3));
+    }
+
+    #[test]
+    fn metrics_disabled_engine_skips_all_instrumentation() {
+        let corpus = corpus();
+        let config = EngineConfig { metrics: false, ..EngineConfig::default() };
+        let (engine, _) = TklusEngine::build(&corpus, &config);
+        assert!(engine.metrics_snapshot().is_none());
+        let q = tklus_model::TklusQuery::new(
+            Point::new_unchecked(43.7, -79.4),
+            10.0,
+            vec!["hotel".into()],
+            5,
+            Semantics::Or,
+        )
+        .unwrap();
+        let (users, stats) = engine.query(&q, Ranking::Sum);
+        assert!(!users.is_empty());
+        assert_eq!(stats.stages, crate::query::StageTimings::default());
+        // Results are identical with metrics on (instrumentation is
+        // observation only).
+        let (on, _) = TklusEngine::build(&corpus, &EngineConfig::default());
+        let (users_on, stats_on) = on.query(&q, Ranking::Sum);
+        assert_eq!(users.len(), users_on.len());
+        for (a, b) in users.iter().zip(&users_on) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert_eq!(stats.metadata_page_reads, stats_on.metadata_page_reads);
     }
 
     #[test]

@@ -24,12 +24,17 @@
 //!   [`error::EngineError`] wraps the storage and index subsystem errors,
 //!   and [`TklusEngine::try_query`](engine::TklusEngine::try_query)
 //!   reports budget-degraded results through [`query::Completeness`].
+//! * [`obs`] (private) — the observability layer of DESIGN.md §12:
+//!   per-query [`query::StageTimings`] spans and aggregation into the
+//!   [`tklus_metrics::MetricRegistry`] surfaced by
+//!   [`TklusEngine::metrics_snapshot`](engine::TklusEngine::metrics_snapshot).
 
 pub mod bounds;
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod metadata;
+mod obs;
 pub mod query;
 pub mod score;
 
@@ -38,4 +43,4 @@ pub use cache::{CacheConfig, CacheStats, QueryCaches};
 pub use engine::{EngineConfig, Ranking, TklusEngine};
 pub use error::EngineError;
 pub use metadata::{MetaRow, MetadataDb, MetadataStoreFactory};
-pub use query::{Completeness, QueryOutcome, QueryStats, RankedUser};
+pub use query::{Completeness, QueryOutcome, QueryStats, RankedUser, StageTimings};

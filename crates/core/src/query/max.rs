@@ -45,13 +45,15 @@ use crate::bounds::{BoundsMode, BoundsTable};
 use crate::error::EngineError;
 use crate::metadata::MetadataDb;
 use crate::query::{
-    candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats, RankedUser,
+    candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats,
+    RankedUser, StageClock,
 };
 use crate::score::{tweet_keyword_score, upper_bound_user_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
 use tklus_geo::Point;
 use tklus_model::{ScoringConfig, TklusQuery, UserId};
+use tklus_storage::IoStats;
 use tklus_text::TermId;
 
 /// Per-user state in the running top-k set.
@@ -159,15 +161,16 @@ pub(crate) fn try_query_max(
     let start = Instant::now();
     let db = ctx.db;
     let config = ctx.scoring;
-    let io_before = db.io().page_reads();
     let center = &query.location;
     let radius_km = query.radius_km;
     let k = query.k;
     let budget = CellBudget::new(query.budget.as_ref(), start);
+    let mut clock = StageClock::new(ctx.timings, start);
 
     // Lines 1–14: identical to Algorithm 4, through the cache hierarchy,
     // stopping between cover cells if the budget expires.
     let (fetch, tally, cells_total) = ctx.try_fetch(center, radius_km, terms, budget.as_ref())?;
+    let _ = clock.lap(); // cover+fetch measured inside try_fetch
     let completeness = if fetch.cells < cells_total {
         Completeness::Degraded { cells_processed: fetch.cells, cells_total }
     } else {
@@ -184,17 +187,25 @@ pub(crate) fn try_query_max(
         cover_cache_misses: tally.cover.map_or(0, |hit| u64::from(!hit)),
         postings_cache_hits: tally.postings_hits,
         postings_cache_misses: tally.postings_misses,
+        deadline_polls_saved: budget.as_ref().map_or(0, CellBudget::deadline_polls_saved),
         ..QueryStats::default()
     };
+    stats.stages.cover = tally.cover_time;
+    stats.stages.fetch = tally.fetch_time;
+    stats.stages.combine = clock.lap();
 
     let popularity_bound = bounds.query_bound(terms, query.semantics, mode);
     let mut top = TopK::new(k);
     // Per-user distance scores are query-constant; cache them.
     let mut delta_cache: HashMap<UserId, f64> = HashMap::new();
 
+    let mut page_reads = 0u64;
     if ctx.parallelism <= 1 {
         // Sequential path: the prune always sees the exact live floor, so
-        // no speculative I/O is ever spent.
+        // no speculative I/O is ever spent. Every metadata read happens on
+        // this thread, so one thread-tally delta around the loop
+        // attributes them all to this query exactly.
+        let reads_before = IoStats::thread_page_reads();
         for (tid, tf) in cands {
             if !query.in_time_range(tid.0) {
                 continue;
@@ -236,6 +247,7 @@ pub(crate) fn try_query_max(
             };
             top.admit(uid, rho, delta, config);
         }
+        page_reads = IoStats::thread_page_reads() - reads_before;
     } else {
         let block = BLOCK_PER_WORKER * ctx.parallelism;
         for chunk in cands.chunks(block) {
@@ -244,32 +256,46 @@ pub(crate) fn try_query_max(
             // snapshot prune is always a subset of the live prune.
             let snapshot_floor = if top.is_full() { top.min_score() } else { None };
 
-            let prepared: Vec<Result<Option<Prepared>, EngineError>> =
+            // Each slot carries the page reads it incurred on its worker
+            // thread (measured inside the closure, so the attribution is
+            // exact whichever thread — including this one — ran it).
+            let prepared: Vec<(u64, Result<Option<Prepared>, EngineError>)> =
                 parallel_map(chunk, ctx.parallelism, |&(tid, tf)| {
-                    if !query.in_time_range(tid.0) {
-                        return Ok(None);
-                    }
-                    let Some(row) = db.try_row(tid)? else { return Ok(None) };
-                    if center.distance_km(&row.location, config.metric) > radius_km {
-                        return Ok(None);
-                    }
-                    let recency = query.recency_factor(tid.0);
-                    let uid = row.uid;
-                    if let Some(floor) = snapshot_floor {
-                        let upper = upper_bound_user_score(tf, popularity_bound * recency, config);
-                        if upper <= floor {
-                            return Ok(Some(Prepared { tf, recency, uid, speculative: None }));
+                    let reads_before = IoStats::thread_page_reads();
+                    let slot = (|| {
+                        if !query.in_time_range(tid.0) {
+                            return Ok(None);
                         }
-                    }
-                    let (phi, probe) = ctx.try_popularity(tid)?;
-                    let rho = tweet_keyword_score(tf, phi, config) * recency;
-                    let delta = user_distance_for(db, center, radius_km, uid, config)?;
-                    Ok(Some(Prepared { tf, recency, uid, speculative: Some((rho, delta, probe)) }))
+                        let Some(row) = db.try_row(tid)? else { return Ok(None) };
+                        if center.distance_km(&row.location, config.metric) > radius_km {
+                            return Ok(None);
+                        }
+                        let recency = query.recency_factor(tid.0);
+                        let uid = row.uid;
+                        if let Some(floor) = snapshot_floor {
+                            let upper =
+                                upper_bound_user_score(tf, popularity_bound * recency, config);
+                            if upper <= floor {
+                                return Ok(Some(Prepared { tf, recency, uid, speculative: None }));
+                            }
+                        }
+                        let (phi, probe) = ctx.try_popularity(tid)?;
+                        let rho = tweet_keyword_score(tf, phi, config) * recency;
+                        let delta = user_distance_for(db, center, radius_km, uid, config)?;
+                        Ok(Some(Prepared {
+                            tf,
+                            recency,
+                            uid,
+                            speculative: Some((rho, delta, probe)),
+                        }))
+                    })();
+                    (IoStats::thread_page_reads() - reads_before, slot)
                 });
 
             // Merge in candidate order, replaying the exact live prune
             // (and surfacing the first worker error in candidate order).
-            for p in prepared {
+            for (reads, p) in prepared {
+                page_reads += reads;
                 let Some(p) = p? else { continue };
                 stats.in_radius += 1;
                 // A speculative probe touched the shared thread cache
@@ -298,9 +324,14 @@ pub(crate) fn try_query_max(
         }
     }
 
-    stats.metadata_page_reads = db.io().page_reads() - io_before;
+    stats.stages.threads = clock.lap();
+    // Algorithm 5 interleaves scoring with the prune loop above, so the
+    // whole loop is attributed to `threads` and `scoring` stays zero.
+    stats.metadata_page_reads = page_reads;
+    let ranked = top_k(top.into_ranked(), k);
+    stats.stages.topk = clock.lap();
     stats.elapsed = start.elapsed();
-    Ok((top_k(top.into_ranked(), k), stats, completeness))
+    Ok((ranked, stats, completeness))
 }
 
 /// Definition 9's user distance score over `P_u` (pure: same inputs, same

@@ -68,11 +68,32 @@ pub struct QueryOutcome {
 /// cover-cell granularity: a cell is either fully examined or not started,
 /// which is what keeps degraded results deterministic for a fixed
 /// `max_cells` and exact for whatever prefix a deadline admits.
-#[derive(Debug, Clone, Copy)]
+///
+/// The deadline check reads the clock only every
+/// [`DEADLINE_POLL_STRIDE`] cells: `Instant::now()` is a syscall-class
+/// operation, and polling it per cell dominated the budgeted fetch loop
+/// for small cells. Once a poll observes the deadline passed, the latch
+/// sticks — `allows` never flips back to true. The `max_cells` check is
+/// unaffected (it never reads the clock), so `max_cells`-budgeted and
+/// unbudgeted executions are byte-identical to the unbatched code, which
+/// the oracle suite asserts.
+#[derive(Debug, Clone)]
 pub(crate) struct CellBudget {
     deadline: Option<Instant>,
     max_cells: Option<usize>,
+    /// Sticky "deadline passed" latch (single query thread; `Cell` keeps
+    /// `allows` a `&self` call like before).
+    expired: std::cell::Cell<bool>,
+    /// Calls since the last real clock poll (0 = never polled).
+    calls_since_poll: std::cell::Cell<u32>,
+    /// `Instant::now()` calls skipped by the stride, exported through
+    /// [`QueryStats::deadline_polls_saved`] and the metric registry.
+    polls_saved: std::cell::Cell<u64>,
 }
+
+/// Deadline checks between cover cells read the clock once per this many
+/// `allows` calls (DESIGN.md §12).
+pub(crate) const DEADLINE_POLL_STRIDE: u32 = 8;
 
 impl CellBudget {
     /// Resolves a query's budget; `None` when there is nothing to enforce.
@@ -84,6 +105,9 @@ impl CellBudget {
         Some(Self {
             deadline: budget.timeout_ms.map(|ms| start + std::time::Duration::from_millis(ms)),
             max_cells: budget.max_cells,
+            expired: std::cell::Cell::new(false),
+            calls_since_poll: std::cell::Cell::new(0),
+            polls_saved: std::cell::Cell::new(0),
         })
     }
 
@@ -92,10 +116,86 @@ impl CellBudget {
         if self.max_cells.is_some_and(|m| cells_done >= m) {
             return false;
         }
-        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+        let Some(deadline) = self.deadline else { return true };
+        if self.expired.get() {
+            return false;
+        }
+        let since = self.calls_since_poll.get();
+        if since > 0 && since < DEADLINE_POLL_STRIDE {
+            self.calls_since_poll.set(since + 1);
+            self.polls_saved.set(self.polls_saved.get() + 1);
+            return true;
+        }
+        self.calls_since_poll.set(1);
+        if Instant::now() >= deadline {
+            self.expired.set(true);
             return false;
         }
         true
+    }
+
+    /// Clock polls the stride elided so far (see [`DEADLINE_POLL_STRIDE`]).
+    pub(crate) fn deadline_polls_saved(&self) -> u64 {
+        self.polls_saved.get()
+    }
+}
+
+/// Wall-clock breakdown of one query by pipeline stage (DESIGN.md §12).
+///
+/// Stages follow Algorithms 4/5: circle-cover resolution, postings fetch
+/// (cache probes + DFS reads), candidate combination (union/intersection),
+/// thread construction, scoring, and top-k aggregation. All zero when the
+/// engine was built with `EngineConfig::metrics` off.
+///
+/// The Maximum-score path (Algorithm 5) interleaves thread construction,
+/// scoring, and admission inside one upper-bound prune loop; that whole
+/// loop is attributed to `threads` and `scoring` stays zero there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Circle-cover resolution (cover cache probe or fresh computation).
+    pub cover: std::time::Duration,
+    /// Postings retrieval: cache probes plus DFS reads and decoding.
+    pub fetch: std::time::Duration,
+    /// AND/OR candidate combination (union/intersection).
+    pub combine: std::time::Duration,
+    /// Thread construction (Algorithm 1 runs and thread-cache probes).
+    pub threads: std::time::Duration,
+    /// Per-user scoring (distance blend; 0 on the Maximum-score path).
+    pub scoring: std::time::Duration,
+    /// Final top-k sort and truncation.
+    pub topk: std::time::Duration,
+}
+
+impl StageTimings {
+    /// Sum of every stage (≤ `QueryStats::elapsed`; the difference is
+    /// untimed glue).
+    pub fn total(&self) -> std::time::Duration {
+        self.cover + self.fetch + self.combine + self.threads + self.scoring + self.topk
+    }
+}
+
+/// Stage-boundary stopwatch: `lap()` returns the time since the previous
+/// lap (or construction) and re-arms. Disabled, it never reads the clock
+/// and always returns zero — the whole instrumentation cost of a disabled
+/// engine is one branch per stage boundary.
+pub(crate) struct StageClock {
+    last: Option<Instant>,
+}
+
+impl StageClock {
+    pub(crate) fn new(enabled: bool, start: Instant) -> Self {
+        Self { last: enabled.then_some(start) }
+    }
+
+    pub(crate) fn lap(&mut self) -> std::time::Duration {
+        match self.last {
+            Some(prev) => {
+                let now = Instant::now();
+                self.last = Some(now);
+                now - prev
+            }
+            None => std::time::Duration::ZERO,
+        }
     }
 }
 
@@ -139,6 +239,11 @@ pub struct QueryStats {
     /// so the per-query tallies stay consistent with the global cache
     /// counters.
     pub thread_cache_misses: u64,
+    /// Deadline clock polls elided by the strided budget check
+    /// (DESIGN.md §12); 0 for unbudgeted queries.
+    pub deadline_polls_saved: u64,
+    /// Per-stage wall-clock breakdown (all zero with metrics disabled).
+    pub stages: StageTimings,
 }
 
 impl QueryStats {
@@ -160,6 +265,11 @@ pub(crate) struct FetchTally {
     pub cover: Option<bool>,
     pub postings_hits: u64,
     pub postings_misses: u64,
+    /// Time spent resolving the circle cover (zero with metrics off).
+    pub cover_time: std::time::Duration,
+    /// Time spent in postings retrieval after the cover was resolved
+    /// (zero with metrics off).
+    pub fetch_time: std::time::Duration,
 }
 
 /// Everything query execution needs from the engine, bundled so both
@@ -170,6 +280,8 @@ pub(crate) struct QueryContext<'a> {
     pub caches: &'a QueryCaches,
     pub scoring: &'a ScoringConfig,
     pub parallelism: usize,
+    /// Record per-stage wall-clock spans (engine `metrics` flag).
+    pub timings: bool,
 }
 
 impl QueryContext<'_> {
@@ -202,6 +314,7 @@ impl QueryContext<'_> {
         budget: Option<&CellBudget>,
     ) -> Result<(QueryFetch, FetchTally, usize), EngineError> {
         let mut tally = FetchTally::default();
+        let mut clock = StageClock::new(self.timings, Instant::now());
         let geohash_len = self.index.geohash_len();
         let metric = self.scoring.metric;
         let compute_cover = || {
@@ -228,11 +341,12 @@ impl QueryContext<'_> {
             compute_cover()
         };
         let cells_total = cover.len();
+        tally.cover_time = clock.lap();
 
         if let Some(budget) = budget {
-            return self
-                .fetch_budgeted(&cover, terms, budget, tally)
-                .map(|(fetch, tally)| (fetch, tally, cells_total));
+            let (fetch, mut tally) = self.fetch_budgeted(&cover, terms, budget, tally)?;
+            tally.fetch_time = clock.lap();
+            return Ok((fetch, tally, cells_total));
         }
 
         // Probe the postings cache in (keyword, cover-cell) order,
@@ -283,6 +397,7 @@ impl QueryContext<'_> {
             .into_iter()
             .map(|lists| lists.into_iter().map(|l| l.expect("every slot filled")).collect())
             .collect();
+        tally.fetch_time = clock.lap();
         Ok((QueryFetch { per_keyword, cells: cells_total, lists, bytes }, tally, cells_total))
     }
 
@@ -465,6 +580,44 @@ mod tests {
         // in cell B and keyword 1 in its own cell.
         let f = fetch(vec![vec![vec![(1, 1)], vec![(5, 2)]], vec![vec![(5, 1)]]]);
         assert_eq!(candidates(&f, Semantics::And), vec![(TweetId(5), 3)]);
+    }
+
+    #[test]
+    fn cell_budget_polls_deadline_with_stride() {
+        let budget = QueryBudget { timeout_ms: Some(10_000), max_cells: None };
+        let b = CellBudget::new(Some(&budget), Instant::now()).expect("budget enforced");
+        for i in 0..17 {
+            assert!(b.allows(i), "far deadline always allows");
+        }
+        // 17 calls with stride 8 poll the clock on calls 1, 9, and 17.
+        assert_eq!(b.deadline_polls_saved(), 14);
+    }
+
+    #[test]
+    fn cell_budget_expiry_latch_sticks() {
+        let budget = QueryBudget { timeout_ms: Some(0), max_cells: None };
+        let b = CellBudget::new(Some(&budget), Instant::now()).expect("budget enforced");
+        assert!(!b.allows(0), "deadline at start has already passed");
+        assert!(!b.allows(0), "latch sticks without re-polling");
+        assert_eq!(b.deadline_polls_saved(), 0, "latched checks are not elided polls");
+    }
+
+    #[test]
+    fn cell_budget_max_cells_never_touches_clock() {
+        let budget = QueryBudget { timeout_ms: None, max_cells: Some(3) };
+        let b = CellBudget::new(Some(&budget), Instant::now()).expect("budget enforced");
+        assert!(b.allows(2));
+        assert!(!b.allows(3));
+        assert_eq!(b.deadline_polls_saved(), 0);
+    }
+
+    #[test]
+    fn stage_clock_disabled_returns_zero() {
+        let mut off = StageClock::new(false, Instant::now());
+        assert_eq!(off.lap(), std::time::Duration::ZERO);
+        let mut on = StageClock::new(true, Instant::now());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(on.lap() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -17,20 +17,29 @@
 //! metadata row lookup, thread walk, user scan — propagate as typed
 //! [`EngineError`]s; a query budget degrades the cover instead
 //! (see [`Completeness`]).
+//!
+//! Metadata page reads are attributed to the query via per-thread read
+//! tallies measured *inside* each fanned-out closure
+//! ([`IoStats::thread_page_reads`]), so `QueryStats::metadata_page_reads`
+//! is exact even with other queries running concurrently on the shared
+//! engine (a global counter delta would absorb their reads too).
 
 use crate::error::EngineError;
 use crate::query::{
-    candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats, RankedUser,
+    candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats,
+    RankedUser, StageClock,
 };
 use crate::score::{tweet_keyword_score, user_distance_score, user_score};
 use std::collections::HashMap;
 use std::time::Instant;
 use tklus_model::{TklusQuery, UserId};
+use tklus_storage::IoStats;
 use tklus_text::TermId;
 
-/// One fanned-out scoring slot: `None` when the candidate fell outside the
-/// radius or time window, otherwise `(author, relevance, cache-probe)`.
-type ScoredSlot = Result<Option<(UserId, f64, Option<bool>)>, EngineError>;
+/// One fanned-out scoring slot: the page reads the slot incurred on its
+/// worker thread, and `None` when the candidate fell outside the radius or
+/// time window, otherwise `(author, relevance, cache-probe)`.
+type ScoredSlot = (u64, Result<Option<(UserId, f64, Option<bool>)>, EngineError>);
 
 /// Runs Algorithm 4. `terms` are the query keywords already normalized to
 /// term ids (keywords missing from the dictionary are resolved upstream).
@@ -50,14 +59,15 @@ pub(crate) fn try_query_sum(
     let start = Instant::now();
     let db = ctx.db;
     let config = ctx.scoring;
-    let io_before = db.io().page_reads();
     let center = &query.location;
     let radius_km = query.radius_km;
     let budget = CellBudget::new(query.budget.as_ref(), start);
+    let mut clock = StageClock::new(ctx.timings, start);
 
     // Lines 1–14: cover, fetch, AND/OR combine — through the cache
     // hierarchy, stopping between cover cells if the budget expires.
     let (fetch, tally, cells_total) = ctx.try_fetch(center, radius_km, terms, budget.as_ref())?;
+    let _ = clock.lap(); // cover+fetch measured inside try_fetch
     let completeness = if fetch.cells < cells_total {
         Completeness::Degraded { cells_processed: fetch.cells, cells_total }
     } else {
@@ -74,32 +84,42 @@ pub(crate) fn try_query_sum(
         cover_cache_misses: tally.cover.map_or(0, |hit| u64::from(!hit)),
         postings_cache_hits: tally.postings_hits,
         postings_cache_misses: tally.postings_misses,
+        deadline_polls_saved: budget.as_ref().map_or(0, CellBudget::deadline_polls_saved),
         ..QueryStats::default()
     };
+    stats.stages.cover = tally.cover_time;
+    stats.stages.fetch = tally.fetch_time;
+    stats.stages.combine = clock.lap();
 
     // Lines 15–24, fan-out half: per-tweet relevance. Each slot is pure —
     // radius check, thread popularity (possibly cached), keyword score —
     // and lands back in candidate order; any slot's storage error aborts
     // the query in the sequential fold below.
     let scored: Vec<ScoredSlot> = parallel_map(&cands, ctx.parallelism, |&(tid, tf)| {
-        // Temporal extension: the id is the timestamp, so the window
-        // check costs nothing and precedes all metadata I/O.
-        if !query.in_time_range(tid.0) {
-            return Ok(None);
-        }
-        let Some(row) = db.try_row(tid)? else { return Ok(None) };
-        if center.distance_km(&row.location, config.metric) > radius_km {
-            return Ok(None);
-        }
-        let (phi, probe) = ctx.try_popularity(tid)?;
-        let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
-        Ok(Some((row.uid, rs, probe)))
+        let reads_before = IoStats::thread_page_reads();
+        let slot = (|| {
+            // Temporal extension: the id is the timestamp, so the window
+            // check costs nothing and precedes all metadata I/O.
+            if !query.in_time_range(tid.0) {
+                return Ok(None);
+            }
+            let Some(row) = db.try_row(tid)? else { return Ok(None) };
+            if center.distance_km(&row.location, config.metric) > radius_km {
+                return Ok(None);
+            }
+            let (phi, probe) = ctx.try_popularity(tid)?;
+            let rs = tweet_keyword_score(tf, phi, config) * query.recency_factor(tid.0);
+            Ok(Some((row.uid, rs, probe)))
+        })();
+        (IoStats::thread_page_reads() - reads_before, slot)
     });
 
     // Fold half: per-user Sum scores accumulate sequentially in candidate
     // order, so float addition order never depends on scheduling.
+    let mut page_reads = 0u64;
     let mut users: HashMap<UserId, f64> = HashMap::new();
-    for slot in scored {
+    for (reads, slot) in scored {
+        page_reads += reads;
         let Some((uid, rs, probe)) = slot? else { continue };
         stats.in_radius += 1;
         stats.record_thread_probe(probe);
@@ -108,22 +128,34 @@ pub(crate) fn try_query_sum(
         }
         *users.entry(uid).or_insert(0.0) += rs;
     }
+    stats.stages.threads = clock.lap();
 
     // Lines 25–27: blend with user distance scores (Definition 10). Each
     // user's blend is independent, so this fans out too; users are visited
     // in id order for deterministic I/O patterns.
     let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
     entries.sort_by_key(|e| e.0);
-    let ranked: Vec<Result<RankedUser, EngineError>> =
+    let ranked: Vec<(u64, Result<RankedUser, EngineError>)> =
         parallel_map(&entries, ctx.parallelism, |&(uid, rho_sum)| {
-            let locations: Vec<tklus_geo::Point> =
-                db.try_posts_of_user(uid)?.into_iter().map(|(_, l)| l).collect();
-            let delta = user_distance_score(center, radius_km, &locations, config);
-            Ok(RankedUser { user: uid, score: user_score(rho_sum, delta, config) })
+            let reads_before = IoStats::thread_page_reads();
+            let slot = (|| {
+                let locations: Vec<tklus_geo::Point> =
+                    db.try_posts_of_user(uid)?.into_iter().map(|(_, l)| l).collect();
+                let delta = user_distance_score(center, radius_km, &locations, config);
+                Ok(RankedUser { user: uid, score: user_score(rho_sum, delta, config) })
+            })();
+            (IoStats::thread_page_reads() - reads_before, slot)
         });
-    let ranked: Vec<RankedUser> = ranked.into_iter().collect::<Result<_, _>>()?;
+    let mut users_ranked = Vec::with_capacity(ranked.len());
+    for (reads, slot) in ranked {
+        page_reads += reads;
+        users_ranked.push(slot?);
+    }
+    stats.stages.scoring = clock.lap();
 
-    stats.metadata_page_reads = db.io().page_reads() - io_before;
+    stats.metadata_page_reads = page_reads;
+    let top = top_k(users_ranked, query.k);
+    stats.stages.topk = clock.lap();
     stats.elapsed = start.elapsed();
-    Ok((top_k(ranked, query.k), stats, completeness))
+    Ok((top, stats, completeness))
 }

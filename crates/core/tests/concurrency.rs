@@ -145,13 +145,19 @@ fn query_batch_matches_individual_queries() {
     }
 }
 
-/// Per-layer (hits, misses) totals accumulated from per-query [`QueryStats`]
-/// tallies, for checking against the engine's global cache counters.
+/// Per-layer (hits, misses) totals plus the query-path counters,
+/// accumulated from per-query [`QueryStats`] tallies, for checking
+/// against the engine's global cache counters and metric registry.
 #[derive(Default, Clone, Copy)]
 struct CacheTally {
     cover: (u64, u64),
     postings: (u64, u64),
     thread: (u64, u64),
+    queries: u64,
+    candidates: u64,
+    threads_built: u64,
+    metadata_page_reads: u64,
+    polls_saved: u64,
 }
 
 impl CacheTally {
@@ -162,6 +168,11 @@ impl CacheTally {
         self.postings.1 += s.postings_cache_misses;
         self.thread.0 += s.thread_cache_hits;
         self.thread.1 += s.thread_cache_misses;
+        self.queries += 1;
+        self.candidates += s.candidates as u64;
+        self.threads_built += s.threads_built as u64;
+        self.metadata_page_reads += s.metadata_page_reads;
+        self.polls_saved += s.deadline_polls_saved;
     }
 
     fn add(&mut self, other: &CacheTally) {
@@ -171,6 +182,11 @@ impl CacheTally {
         self.postings.1 += other.postings.1;
         self.thread.0 += other.thread.0;
         self.thread.1 += other.thread.1;
+        self.queries += other.queries;
+        self.candidates += other.candidates;
+        self.threads_built += other.threads_built;
+        self.metadata_page_reads += other.metadata_page_reads;
+        self.polls_saved += other.polls_saved;
     }
 }
 
@@ -213,6 +229,7 @@ fn cached_engine_under_contention_matches_cold_uncached_engine() {
     assert!(reference.iter().any(|(top, _)| !top.is_empty()));
 
     let before = cached.cache_stats();
+    let registry_before = cached.metrics_snapshot().expect("metrics on by default");
     let mut total = CacheTally::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..8)
@@ -277,6 +294,36 @@ fn cached_engine_under_contention_matches_cold_uncached_engine() {
     assert!(total.cover.0 > 0, "no cover-cache hits in a repeating log");
     assert!(total.postings.0 > 0, "no postings-cache hits in a repeating log");
     assert!(total.thread.0 > 0, "no thread-cache hits in a repeating log");
+
+    // Exposition coherence (DESIGN.md §12): the registry's counter deltas
+    // across the 8-thread storm equal the sums of the per-query tallies —
+    // for the natively recorded query counters AND the re-exported cache
+    // and storage families. In particular the page-I/O triangle closes
+    // exactly: per-query `metadata_page_reads` (thread-local attribution)
+    // sums to the same number the global `IoStats` counter moved by, which
+    // is the number the registry re-exports.
+    let registry_after = cached.metrics_snapshot().expect("metrics on by default");
+    let delta = |name: &str| {
+        registry_after.counter(name).unwrap_or(0) - registry_before.counter(name).unwrap_or(0)
+    };
+    assert_eq!(delta("tklus_queries_total"), total.queries);
+    assert_eq!(delta("tklus_query_candidates_total"), total.candidates);
+    assert_eq!(delta("tklus_query_threads_built_total"), total.threads_built);
+    assert_eq!(delta("tklus_query_metadata_page_reads_total"), total.metadata_page_reads);
+    assert_eq!(delta("tklus_query_deadline_polls_saved_total"), total.polls_saved);
+    assert_eq!(delta("tklus_storage_page_reads_total"), total.metadata_page_reads);
+    for (layer, (hits, misses)) in
+        [("cover", total.cover), ("postings", total.postings), ("thread", total.thread)]
+    {
+        assert_eq!(delta(&format!("tklus_cache_{layer}_hits_total")), hits, "{layer} registry");
+        assert_eq!(delta(&format!("tklus_cache_{layer}_misses_total")), misses, "{layer} registry");
+    }
+    let latency = registry_after.histogram("tklus_query_latency_us").expect("latency histogram");
+    assert_eq!(
+        latency.count,
+        registry_before.histogram("tklus_query_latency_us").map_or(0, |h| h.count) + total.queries,
+        "one latency sample per answered query"
+    );
 }
 
 #[test]

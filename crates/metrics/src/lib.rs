@@ -11,15 +11,22 @@
 //!   benchmark harnesses.
 //! * [`health`] — health/readiness probe types ([`HealthReport`]) the
 //!   overload-resilient serving layer reports through (DESIGN.md §11).
+//! * [`registry`] — the operational telemetry registry (DESIGN.md §12):
+//!   lock-free named counters and power-of-two-bucket latency histograms
+//!   with mergeable snapshots and stable Prometheus/JSON renderings.
 
 pub mod health;
 pub mod kendall;
 pub mod precision;
+pub mod registry;
 pub mod summary;
 pub mod user_study;
 
 pub use health::{Health, HealthReport, Probe};
 pub use kendall::padded_kendall_tau;
 pub use precision::precision_at_k;
+pub use registry::{
+    Counter, Histogram, HistogramSnapshot, MetricRegistry, RegistrySnapshot, HISTOGRAM_BUCKETS,
+};
 pub use summary::Summary;
 pub use user_study::{JudgePanel, StudyLine};

@@ -162,10 +162,17 @@ impl CircuitBreaker {
         &self.transitions
     }
 
+    /// When the current backoff ends. Saturating: a backoff pushed toward
+    /// `u64::MAX` pins the retry time at the far future instead of
+    /// wrapping into the past and misreading the breaker as retryable.
+    fn backoff_ends_ms(&self) -> u64 {
+        self.opened_at_ms.saturating_add(self.backoff_ms)
+    }
+
     /// Milliseconds until the next probe round may start (0 unless open).
     pub fn retry_in_ms(&self, now_ms: u64) -> u64 {
         match self.state {
-            BreakerState::Open => (self.opened_at_ms + self.backoff_ms).saturating_sub(now_ms),
+            BreakerState::Open => self.backoff_ends_ms().saturating_sub(now_ms),
             _ => 0,
         }
     }
@@ -176,7 +183,7 @@ impl CircuitBreaker {
     pub fn would_allow(&self, now_ms: u64) -> bool {
         match self.state {
             BreakerState::Closed => true,
-            BreakerState::Open => now_ms >= self.opened_at_ms + self.backoff_ms,
+            BreakerState::Open => now_ms >= self.backoff_ends_ms(),
             BreakerState::HalfOpen => self.probes_granted < self.cfg.half_open_probes,
         }
     }
@@ -198,7 +205,7 @@ impl CircuitBreaker {
         match self.state {
             BreakerState::Closed => Some(false),
             BreakerState::Open => {
-                if now_ms >= self.opened_at_ms + self.backoff_ms {
+                if now_ms >= self.backoff_ends_ms() {
                     self.transition(BreakerState::HalfOpen, now_ms);
                     self.probes_granted = 1;
                     self.probe_successes = 0;
@@ -264,7 +271,7 @@ impl CircuitBreaker {
             }
             BreakerState::HalfOpen => {
                 // Failed probe: reopen with doubled (bounded) backoff.
-                self.backoff_ms = (self.backoff_ms * 2).min(self.cfg.max_backoff_ms);
+                self.backoff_ms = self.backoff_ms.saturating_mul(2).min(self.cfg.max_backoff_ms);
                 self.trip(now_ms);
             }
             BreakerState::Open => {}
@@ -352,10 +359,7 @@ impl BreakerPanel {
         let storage = self.storage.try_grant(now_ms);
         let index = self.index.try_grant(now_ms);
         debug_assert!(storage.is_some() && index.is_some(), "would_allow and try_grant agree");
-        Ok(ProbeGrant {
-            storage: storage.unwrap_or(false),
-            index: index.unwrap_or(false),
-        })
+        Ok(ProbeGrant { storage: storage.unwrap_or(false), index: index.unwrap_or(false) })
     }
 
     /// Refunds the probes an admitted request held when it died without

@@ -57,24 +57,11 @@ pub(crate) fn build_report(snap: &Snapshot, panel: &BreakerPanel) -> HealthRepor
     report.probe(breaker_probe(&panel.storage, snap.now_ms));
     report.probe(breaker_probe(&panel.index, snap.now_ms));
 
-    report.gauge("queue_depth", snap.depth as f64);
-    report.gauge("queue_capacity", snap.capacity as f64);
-    report.gauge("in_flight", snap.busy as f64);
-    report.gauge("admitted", snap.counters.admitted as f64);
-    report.gauge("completed", snap.completed as f64);
-    report.gauge("failed", snap.failed as f64);
-    report.gauge("degraded", snap.degraded as f64);
-    report.gauge("shed_queue_full", snap.counters.shed_queue_full as f64);
-    report.gauge("shed_deadline", snap.counters.shed_deadline as f64);
-    report.gauge("shed_evicted", snap.counters.shed_evicted as f64);
-    report.gauge("shed_expired", snap.counters.expired_at_dispatch as f64);
-    report.gauge("shed_circuit", snap.shed_circuit as f64);
-    report.gauge("shed_shutdown", snap.shed_shutdown as f64);
-    report.gauge(
-        "shed_total",
-        (snap.counters.shed_total() + snap.shed_circuit + snap.shed_shutdown) as f64,
-    );
-    report.gauge("breaker_trips", panel.trip_count() as f64);
+    // One row list feeds both the health gauges and the `tklus_serve_*`
+    // registry export (crate::metrics), so the surfaces cannot drift.
+    for (name, value) in crate::metrics::gauge_rows(snap, panel) {
+        report.gauge(name, value as f64);
+    }
     report
 }
 

@@ -36,6 +36,7 @@
 mod breaker;
 mod config;
 mod health;
+mod metrics;
 mod queue;
 mod reject;
 mod server;

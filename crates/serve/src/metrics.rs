@@ -1,0 +1,110 @@
+//! Serving-layer registry export (DESIGN.md §12).
+//!
+//! The admission/shed/breaker counters already live in the server's
+//! [`Snapshot`] and feed the [`crate::health`] gauges; this module
+//! re-exports the same numbers into a [`RegistrySnapshot`] under
+//! `tklus_serve_*` counter names. One row list drives both surfaces, so
+//! the health report and the metrics exposition can never disagree.
+
+use crate::breaker::BreakerPanel;
+use crate::health::Snapshot;
+use tklus_metrics::RegistrySnapshot;
+
+/// The serve gauge rows, in the exact name order the health report
+/// renders them. Every value is a non-negative integral count, so the
+/// registry export keeps them as `u64` counters while the health report
+/// widens to `f64` gauges.
+pub(crate) fn gauge_rows(snap: &Snapshot, panel: &BreakerPanel) -> Vec<(&'static str, u64)> {
+    vec![
+        ("queue_depth", snap.depth as u64),
+        ("queue_capacity", snap.capacity as u64),
+        ("in_flight", snap.busy as u64),
+        ("admitted", snap.counters.admitted),
+        ("completed", snap.completed),
+        ("failed", snap.failed),
+        ("degraded", snap.degraded),
+        ("shed_queue_full", snap.counters.shed_queue_full),
+        ("shed_deadline", snap.counters.shed_deadline),
+        ("shed_evicted", snap.counters.shed_evicted),
+        ("shed_expired", snap.counters.expired_at_dispatch),
+        ("shed_circuit", snap.shed_circuit),
+        ("shed_shutdown", snap.shed_shutdown),
+        (
+            "shed_total",
+            snap.counters
+                .shed_total()
+                .saturating_add(snap.shed_circuit)
+                .saturating_add(snap.shed_shutdown),
+        ),
+        ("breaker_trips", panel.trip_count()),
+    ]
+}
+
+/// Injects the serve rows into `base` (typically the engine's registry
+/// snapshot) as `tklus_serve_<row>` counters and returns it.
+pub(crate) fn inject_serve_rows(
+    mut base: RegistrySnapshot,
+    snap: &Snapshot,
+    panel: &BreakerPanel,
+) -> RegistrySnapshot {
+    for (name, value) in gauge_rows(snap, panel) {
+        base.set_counter(&format!("tklus_serve_{name}"), value);
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use crate::health::build_report;
+    use crate::queue::AdmissionCounters;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            now_ms: 7,
+            depth: 3,
+            capacity: 8,
+            busy: 2,
+            workers: 4,
+            draining: false,
+            counters: AdmissionCounters {
+                admitted: 40,
+                shed_queue_full: 4,
+                shed_deadline: 3,
+                shed_evicted: 2,
+                expired_at_dispatch: 1,
+            },
+            shed_circuit: 5,
+            shed_shutdown: 6,
+            completed: 30,
+            failed: 2,
+            degraded: 1,
+        }
+    }
+
+    #[test]
+    fn registry_rows_mirror_health_gauges_exactly() {
+        let panel = BreakerPanel::new(BreakerConfig::default());
+        let s = snap();
+        let report = build_report(&s, &panel);
+        let rows = gauge_rows(&s, &panel);
+        assert_eq!(rows.len(), report.gauges.len());
+        for ((name, value), gauge) in rows.iter().zip(&report.gauges) {
+            assert_eq!(*name, gauge.0, "gauge order drifted");
+            assert_eq!(*value as f64, gauge.1, "gauge {name} disagrees");
+        }
+    }
+
+    #[test]
+    fn injected_snapshot_prefixes_and_sums_sheds() {
+        let panel = BreakerPanel::new(BreakerConfig::default());
+        let s = snap();
+        let out = inject_serve_rows(RegistrySnapshot::default(), &s, &panel);
+        assert_eq!(out.counter("tklus_serve_admitted"), Some(40));
+        assert_eq!(out.counter("tklus_serve_queue_depth"), Some(3));
+        // 4+3+2+1 counter sheds, +5 circuit, +6 shutdown.
+        assert_eq!(out.counter("tklus_serve_shed_total"), Some(21));
+        assert!(out.render_prometheus().contains("tklus_serve_breaker_trips 0"));
+    }
+}

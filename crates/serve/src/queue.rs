@@ -145,7 +145,7 @@ impl<T> AdmissionQueue<T> {
     /// `busy_workers` already executing.
     pub fn estimated_wait_ms(&self, priority: Priority, busy_workers: usize) -> u64 {
         let work_ahead = self.depth_at_or_above(priority) + busy_workers.min(self.workers);
-        self.est_service_ms * (work_ahead / self.workers) as u64
+        self.est_service_ms.saturating_mul((work_ahead / self.workers) as u64)
     }
 
     /// Runs the admission decision for an arrival at `now_ms` with an

@@ -208,12 +208,31 @@ impl TklusServer {
     pub fn health(&self) -> HealthReport {
         let now_ms = self.shared.now_ms();
         let state = self.shared.state.lock().expect("serve lock poisoned");
-        let snapshot = Snapshot {
+        build_report(&Self::observe(now_ms, &state, &self.shared.cfg), &state.panel)
+    }
+
+    /// One coherent registry snapshot: the engine's query/storage/cache
+    /// metrics plus the serving-layer `tklus_serve_*` counters, captured
+    /// under the same admission lock the health report uses.
+    pub fn metrics_snapshot(&self) -> tklus_metrics::RegistrySnapshot {
+        let now_ms = self.shared.now_ms();
+        let state = self.shared.state.lock().expect("serve lock poisoned");
+        let base = self.shared.engine.metrics_snapshot().unwrap_or_default();
+        crate::metrics::inject_serve_rows(
+            base,
+            &Self::observe(now_ms, &state, &self.shared.cfg),
+            &state.panel,
+        )
+    }
+
+    /// Captures the gauge snapshot both surfaces above render from.
+    fn observe(now_ms: u64, state: &State, cfg: &ServeConfig) -> Snapshot {
+        Snapshot {
             now_ms,
             depth: state.queue.depth(),
             capacity: state.queue.capacity(),
             busy: state.busy,
-            workers: self.shared.cfg.workers,
+            workers: cfg.workers,
             draining: state.draining,
             counters: state.queue.counters(),
             shed_circuit: state.shed_circuit,
@@ -221,8 +240,7 @@ impl TklusServer {
             completed: state.completed,
             failed: state.failed,
             degraded: state.degraded,
-        };
-        build_report(&snapshot, &state.panel)
+        }
     }
 
     /// Monotone admission counters (for tests and the CLI summary).
@@ -236,7 +254,10 @@ impl TklusServer {
     /// `completed`, as an answered eviction/expiry, or in the report's
     /// abandoned lists. Consumes the server; workers are joined.
     pub fn drain(mut self, timeout: Duration) -> DrainReport {
-        let deadline = Instant::now() + timeout;
+        // Clamp to a year: `Instant + Duration` panics on overflow, and a
+        // caller passing `Duration::MAX` means "wait forever" anyway.
+        const DRAIN_TIMEOUT_CAP: Duration = Duration::from_secs(365 * 24 * 60 * 60);
+        let deadline = Instant::now() + timeout.min(DRAIN_TIMEOUT_CAP);
         let mut report = DrainReport::default();
         {
             let mut state = self.shared.state.lock().expect("serve lock poisoned");

@@ -27,7 +27,7 @@ use crate::health::{build_report, Snapshot};
 use crate::queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped};
 use crate::reject::Rejected;
 use tklus_core::{Completeness, EngineError, RankedUser, Ranking, TklusEngine};
-use tklus_metrics::HealthReport;
+use tklus_metrics::{HealthReport, RegistrySnapshot};
 use tklus_model::{Priority, QueryBudget, TklusQuery};
 
 // ---- Seeded open-loop generation ---------------------------------------
@@ -117,7 +117,10 @@ pub fn generate_plan(cfg: &LoadConfig, workload_len: usize) -> LoadPlan {
     let mut clock = 0u64;
     let mut requests = Vec::with_capacity(cfg.requests);
     for _ in 0..cfg.requests {
-        clock += rng.below(2 * cfg.mean_interarrival_ms + 1);
+        // Saturating throughout: extreme configured means/deadlines pin at
+        // u64::MAX instead of wrapping a request's timeline into the past.
+        let gap_span = cfg.mean_interarrival_ms.saturating_mul(2).saturating_add(1);
+        clock = clock.saturating_add(rng.below(gap_span));
         let query_idx = rng.below(workload_len as u64) as usize;
         let mut pick = rng.below(u64::from(total_weight)) as u32;
         let mut priority = Priority::Low;
@@ -128,12 +131,13 @@ pub fn generate_plan(cfg: &LoadConfig, workload_len: usize) -> LoadPlan {
             }
             pick -= w;
         }
-        let service_ms = 1 + rng.below(2 * cfg.mean_service_ms - 1);
+        let service_span = cfg.mean_service_ms.saturating_mul(2).saturating_sub(1);
+        let service_ms = rng.below(service_span).saturating_add(1);
         requests.push(SimRequest {
             arrival_ms: clock,
             query_idx,
             priority,
-            deadline_ms: clock + cfg.deadline_ms,
+            deadline_ms: clock.saturating_add(cfg.deadline_ms),
             service_ms,
         });
     }
@@ -249,6 +253,10 @@ pub struct SimReport {
     pub drain: Option<DrainReport>,
     /// End-of-run health snapshot.
     pub health: HealthReport,
+    /// End-of-run registry snapshot: the engine's query/storage/cache
+    /// metrics plus the `tklus_serve_*` counters (empty engine side when
+    /// the engine was built with metrics off).
+    pub metrics: RegistrySnapshot,
 }
 
 impl SimReport {
@@ -360,7 +368,7 @@ pub fn run_sim(
     let mut shed_shutdown = 0u64;
     let mut degraded = 0u64;
     let mut failed = 0u64;
-    let cutoff = cfg.drain.map(|d| d.at_ms + d.deadline_ms);
+    let cutoff = cfg.drain.map(|d| d.at_ms.saturating_add(d.deadline_ms));
 
     // Dispatches every queued entry whose start instant falls strictly
     // before `limit` (and at or before the drain cutoff).
@@ -429,7 +437,7 @@ pub fn run_sim(
                             SimResult::Failed { domain: failure_domain(&e) }
                         }
                     };
-                    let end = start + req.service_ms.max(1);
+                    let end = start.saturating_add(req.service_ms.max(1));
                     workers_free_at[wi] = end;
                     let ticket = outcomes[entry.payload.idx].as_ref().and_then(|o| o.ticket);
                     outcomes[entry.payload.idx] = Some(RequestOutcome {
@@ -572,6 +580,11 @@ pub fn run_sim(
         degraded,
     };
     let health = build_report(&snapshot, &panel);
+    let metrics = crate::metrics::inject_serve_rows(
+        engine.metrics_snapshot().unwrap_or_default(),
+        &snapshot,
+        &panel,
+    );
 
     SimReport {
         outcomes,
@@ -586,6 +599,7 @@ pub fn run_sim(
         breaker_trips: panel.trip_count(),
         drain: drain_report,
         health,
+        metrics,
     }
 }
 

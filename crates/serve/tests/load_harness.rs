@@ -134,6 +134,10 @@ fn admitted_results_match_reference_or_degrade_typed() {
     let reference = clean_engine(&corpus);
     let serve = saturating_serve();
     let policy = serve.degrade.expect("scenario uses degrade");
+    // The engine (and so its registry) is reused across seeds: registry
+    // counters are cumulative, per-run serve rows are not.
+    let mut answered_so_far = 0u64;
+    let mut degraded_so_far = 0u64;
     for seed in load_seeds() {
         let plan = generate_plan(&saturating_load(seed), workload.len());
         let report =
@@ -177,6 +181,24 @@ fn admitted_results_match_reference_or_degrade_typed() {
             "seed {seed}: load never saturated — vacuous run"
         );
         assert_eq!(report.degraded, degraded as u64);
+
+        // Registry coherence (DESIGN.md §12): the end-of-run snapshot's
+        // engine counters equal the cumulative answered/degraded tallies,
+        // and the `tklus_serve_*` rows mirror this run's sim accounting.
+        answered_so_far += completed as u64;
+        degraded_so_far += degraded as u64;
+        let m = &report.metrics;
+        assert_eq!(m.counter("tklus_queries_total"), Some(answered_so_far), "seed {seed}");
+        assert_eq!(m.counter("tklus_queries_degraded_total"), Some(degraded_so_far), "seed {seed}");
+        assert_eq!(m.counter("tklus_query_errors_total"), Some(0), "seed {seed}: clean engine");
+        assert_eq!(m.counter("tklus_serve_completed"), Some(completed as u64), "seed {seed}");
+        assert_eq!(m.counter("tklus_serve_admitted"), Some(report.admission.admitted));
+        assert_eq!(
+            m.counter("tklus_serve_shed_total"),
+            Some(report.admission.shed_total() + report.shed_circuit + report.shed_shutdown),
+        );
+        let latency = m.histogram("tklus_query_latency_us").expect("engine records latency");
+        assert_eq!(latency.count, answered_so_far, "seed {seed}: one latency sample per answer");
     }
 }
 
@@ -286,6 +308,11 @@ fn breaker_trips_and_recovers_under_storage_faults() {
             })
             .count();
         assert_eq!(circuit_sheds as u64, report.shed_circuit, "seed {seed}");
+        // Registry coherence: this engine is fresh per seed, so the
+        // error counter equals exactly this run's typed failures.
+        assert_eq!(report.metrics.counter("tklus_query_errors_total"), Some(report.failed));
+        assert_eq!(report.metrics.counter("tklus_serve_breaker_trips"), Some(report.breaker_trips));
+        assert_eq!(report.metrics.counter("tklus_serve_shed_circuit"), Some(report.shed_circuit));
     }
 }
 
@@ -448,6 +475,18 @@ fn threaded_server_unloaded_matches_reference_and_drains_clean() {
         assert_same_users(&outcome.users, &want, "threaded server vs reference");
     }
     let n = workload.len() as u64;
+    // The live registry snapshot agrees with the ticket-level accounting
+    // before the server drains.
+    let metrics = server.metrics_snapshot();
+    assert_eq!(metrics.counter("tklus_queries_total"), Some(n));
+    assert_eq!(metrics.counter("tklus_query_errors_total"), Some(0));
+    assert_eq!(metrics.counter("tklus_serve_admitted"), Some(n));
+    assert_eq!(metrics.counter("tklus_serve_completed"), Some(n));
+    let latency = metrics.histogram("tklus_query_latency_us").expect("latency recorded");
+    assert_eq!(latency.count, n);
+    let text = metrics.render_prometheus();
+    assert!(text.contains("tklus_queries_total"), "exposition carries engine counters");
+    assert!(text.contains("tklus_serve_completed"), "exposition carries serve counters");
     let drain = server.drain(std::time::Duration::from_secs(10));
     assert_eq!(drain.completed, n, "all admitted queries completed before the drain");
     assert!(drain.abandoned_queued.is_empty());

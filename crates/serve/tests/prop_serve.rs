@@ -1,0 +1,181 @@
+//! Property tests for the serving layer's clock arithmetic (ISSUE
+//! satellite: the u64-overflow class the PR 4 review caught in
+//! `submit()`). Extreme `now_ms`/deadline/backoff values must flow
+//! through admission, queue expiry, breaker backoff, and plan generation
+//! without panicking — and, the subtler failure, without *misclassifying*
+//! a viable request as an instant shed because an addition wrapped.
+
+use proptest::prelude::*;
+use tklus_model::Priority;
+use tklus_serve::sim::{generate_plan, LoadConfig};
+use tklus_serve::{
+    AdmissionQueue, AdmitResult, BreakerConfig, BreakerState, CircuitBreaker, Popped,
+};
+
+/// Values dense near the overflow boundary, plus the ordinary range.
+fn extreme_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        Just(u64::MAX / 2),
+        any::<u64>(),
+        0u64..1_000_000,
+    ]
+}
+
+/// Like [`extreme_u64`], but valid as a service estimate (the queue
+/// asserts `est_service_ms > 0`, normally enforced by `ServeConfig`).
+fn extreme_service_ms() -> impl Strategy<Value = u64> {
+    extreme_u64().prop_map(|v| v.max(1))
+}
+
+fn priority() -> impl Strategy<Value = Priority> {
+    prop_oneof![Just(Priority::Low), Just(Priority::Normal), Just(Priority::High)]
+}
+
+proptest! {
+    /// Admission at any clock/deadline/estimate combination: no panic,
+    /// and — the misclassification guard — an arrival into an empty,
+    /// idle queue whose deadline has not already passed is ALWAYS
+    /// admitted, even at `deadline_ms == u64::MAX` where the naive
+    /// `now + wait > deadline` comparison would wrap.
+    #[test]
+    fn empty_idle_queue_admits_any_live_deadline(
+        now_ms in extreme_u64(),
+        deadline_ms in extreme_u64(),
+        est_service_ms in extreme_service_ms(),
+        p in priority(),
+    ) {
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(4, 2, est_service_ms);
+        let result = q.try_admit(now_ms, p, deadline_ms, 7, 0);
+        if deadline_ms >= now_ms {
+            prop_assert!(
+                matches!(result, AdmitResult::Admitted { .. }),
+                "live deadline shed at now={now_ms} deadline={deadline_ms}: {result:?}"
+            );
+        } else {
+            // An already-passed deadline is a legitimate instant shed.
+            prop_assert!(matches!(result, AdmitResult::Shed { .. }));
+        }
+    }
+
+    /// With workers busy the wait estimate engages; whatever the
+    /// decision, the counters must classify it consistently and the
+    /// queue must stay within capacity. No arithmetic panics anywhere.
+    #[test]
+    fn loaded_admission_classifies_consistently(
+        now_ms in extreme_u64(),
+        deadlines in proptest::collection::vec(extreme_u64(), 1..24),
+        est_service_ms in extreme_service_ms(),
+        busy in 0usize..8,
+        p in priority(),
+    ) {
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(4, 2, est_service_ms);
+        for (i, &deadline) in deadlines.iter().enumerate() {
+            let _ = q.try_admit(now_ms, p, deadline, i as u32, busy);
+            prop_assert!(q.depth() <= q.capacity());
+        }
+        // Every arrival lands in exactly one admission-time class
+        // (evictions strike entries that were already counted admitted).
+        let c = q.counters();
+        prop_assert_eq!(c.admitted + c.shed_queue_full + c.shed_deadline, deadlines.len() as u64);
+        // The published wait estimate itself must not overflow-panic.
+        let _ = q.estimated_wait_ms(p, busy);
+    }
+
+    /// Queue expiry at dispatch is exact under extreme clocks: an entry
+    /// pops `Expired` iff its deadline lies strictly before the dispatch
+    /// instant.
+    #[test]
+    fn expiry_classification_is_exact(
+        admit_ms in extreme_u64(),
+        deadline_ms in extreme_u64(),
+        pop_ms in extreme_u64(),
+    ) {
+        prop_assume!(deadline_ms >= admit_ms); // otherwise shed at admit
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(4, 2, 1);
+        let admitted = q.try_admit(admit_ms, Priority::Normal, deadline_ms, 1, 0);
+        prop_assert!(matches!(admitted, AdmitResult::Admitted { .. }));
+        match q.pop_next(pop_ms) {
+            Some(Popped::Expired(e)) => prop_assert!(e.deadline_ms < pop_ms),
+            Some(Popped::Ready(e)) => prop_assert!(e.deadline_ms >= pop_ms),
+            None => prop_assert!(false, "admitted entry vanished"),
+        }
+    }
+
+    /// Breaker life cycle under an adversarial clock: arbitrary
+    /// failure/success/grant events at arbitrary (extreme) instants
+    /// never panic, backoff stays within `[base, max]`, and an open
+    /// breaker's `retry_in_ms`/`would_allow` answers agree with each
+    /// other instead of wrapping into "retry immediately".
+    #[test]
+    fn breaker_backoff_survives_extreme_clocks(
+        base_backoff_ms in extreme_u64(),
+        events in proptest::collection::vec((0u8..4, extreme_u64()), 1..40),
+    ) {
+        prop_assume!(base_backoff_ms > 0);
+        let cfg = BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            base_backoff_ms,
+            max_backoff_ms: base_backoff_ms.saturating_mul(8),
+            half_open_probes: 1,
+        };
+        prop_assume!(cfg.validate().is_ok());
+        let mut b = CircuitBreaker::new("storage", cfg);
+        for (op, now_ms) in events {
+            match op {
+                0 => b.record_failure(now_ms),
+                1 => b.record_success(now_ms),
+                2 => { let _ = b.allow(now_ms); }
+                _ => {
+                    if b.try_grant(now_ms) == Some(true) {
+                        b.return_probe();
+                    }
+                }
+            }
+            if b.state() == BreakerState::Open {
+                // Coherence: "not allowed yet" must come with a nonzero
+                // retry hint, or the caller spins on an instant retry
+                // that admission then sheds.
+                if !b.would_allow(now_ms) {
+                    prop_assert!(b.retry_in_ms(now_ms) > 0);
+                } else {
+                    prop_assert_eq!(b.retry_in_ms(now_ms), 0);
+                }
+            } else {
+                prop_assert_eq!(b.retry_in_ms(now_ms), 0);
+            }
+        }
+    }
+
+    /// Load-plan generation with extreme means/deadlines: timelines
+    /// saturate instead of wrapping, so arrivals stay monotone and every
+    /// deadline is at or after its arrival.
+    #[test]
+    fn generate_plan_saturates_extreme_configs(
+        seed in any::<u64>(),
+        mean_interarrival_ms in extreme_u64(),
+        mean_service_ms in extreme_u64(),
+        deadline_ms in extreme_u64(),
+    ) {
+        prop_assume!(mean_interarrival_ms > 0 && mean_service_ms > 0);
+        let cfg = LoadConfig {
+            seed,
+            requests: 32,
+            mean_interarrival_ms,
+            deadline_ms,
+            mean_service_ms,
+            priority_weights: [1, 2, 1],
+        };
+        let plan = generate_plan(&cfg, 5);
+        prop_assert!(plan.requests.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        for r in &plan.requests {
+            prop_assert!(r.service_ms >= 1);
+            prop_assert!(r.deadline_ms >= r.arrival_ms);
+            prop_assert_eq!(r.deadline_ms, r.arrival_ms.saturating_add(cfg.deadline_ms));
+        }
+    }
+}

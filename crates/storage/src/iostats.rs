@@ -4,9 +4,58 @@
 //! will cost several I/Os", Section V-B; "it does not necessarily lead to
 //! more I/Os", Section VI-B2). Counters are atomic so a pool of MapReduce
 //! workers can share one stats object.
+//!
+//! Multi-counter reads go through [`IoStats::snapshot`], which loads each
+//! counter exactly once into an [`IoSnapshot`]; derived totals are then
+//! computed from that coherent copy instead of re-loading live atomics
+//! (which can tear against concurrent recorders). [`IoStats::take`] drains
+//! the counters with atomic swaps, so a concurrent increment lands either
+//! in the returned snapshot or in the live counters — never lost.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-OS-thread tally of physical page reads, incremented by every
+    /// [`IoStats::record_read`] on this thread (process-wide across
+    /// `IoStats` instances). The engine uses deltas of this tally to
+    /// attribute metadata page reads to the query that incurred them,
+    /// exactly, even with many queries in flight on other threads.
+    static THREAD_PAGE_READS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// One coherent reading of every counter in an [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Physical page reads.
+    pub page_reads: u64,
+    /// Physical page writes.
+    pub page_writes: u64,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+    /// Buffer-pool misses.
+    pub cache_misses: u64,
+}
+
+impl IoSnapshot {
+    /// Total physical I/Os (reads + writes) — computed from one coherent
+    /// copy, so it cannot tear against itself.
+    pub fn total_io(&self) -> u64 {
+        self.page_reads.saturating_add(self.page_writes)
+    }
+
+    /// Per-counter difference `self - earlier` (saturating; counters are
+    /// monotone between resets, so a later snapshot dominates).
+    pub fn delta_since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+}
 
 /// Cheaply cloneable handle to a set of atomic I/O counters.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +80,7 @@ impl IoStats {
     /// Records a physical page read.
     pub fn record_read(&self) {
         self.inner.page_reads.fetch_add(1, Ordering::Relaxed);
+        THREAD_PAGE_READS.with(|c| c.set(c.get().wrapping_add(1)));
     }
 
     /// Records a physical page write.
@@ -68,17 +118,47 @@ impl IoStats {
         self.inner.cache_misses.load(Ordering::Relaxed)
     }
 
-    /// Total physical I/Os (reads + writes).
-    pub fn total_io(&self) -> u64 {
-        self.page_reads() + self.page_writes()
+    /// Coherent copy of all four counters: each atomic is loaded exactly
+    /// once, and every derived figure (e.g. [`IoSnapshot::total_io`]) is
+    /// computed from the copy. Use this wherever stats are exported.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.inner.page_reads.load(Ordering::Relaxed),
+            page_writes: self.inner.page_writes.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+        }
     }
 
-    /// Resets every counter to zero.
+    /// Total physical I/Os (reads + writes), from one coherent snapshot.
+    pub fn total_io(&self) -> u64 {
+        self.snapshot().total_io()
+    }
+
+    /// Drains every counter to zero with atomic swaps and returns what was
+    /// drained. Unlike a load-then-store reset, a concurrent
+    /// `record_*` increment ends up either in the returned snapshot or in
+    /// the live counters — it is never lost.
+    pub fn take(&self) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.inner.page_reads.swap(0, Ordering::Relaxed),
+            page_writes: self.inner.page_writes.swap(0, Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.swap(0, Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (swap-based; see [`take`](Self::take)).
     pub fn reset(&self) {
-        self.inner.page_reads.store(0, Ordering::Relaxed);
-        self.inner.page_writes.store(0, Ordering::Relaxed);
-        self.inner.cache_hits.store(0, Ordering::Relaxed);
-        self.inner.cache_misses.store(0, Ordering::Relaxed);
+        let _ = self.take();
+    }
+
+    /// This thread's cumulative physical-page-read tally (process-wide
+    /// across `IoStats` instances; see [`THREAD_PAGE_READS`]). Take a
+    /// delta around a region to count the reads that region performed on
+    /// the current thread.
+    pub fn thread_page_reads() -> u64 {
+        THREAD_PAGE_READS.with(Cell::get)
     }
 }
 
@@ -100,6 +180,12 @@ mod tests {
         assert_eq!(s.cache_hits(), 1);
         assert_eq!(s.cache_misses(), 1);
         assert_eq!(s.total_io(), 3);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap,
+            IoSnapshot { page_reads: 2, page_writes: 1, cache_hits: 1, cache_misses: 1 }
+        );
+        assert_eq!(snap.total_io(), 3);
     }
 
     #[test]
@@ -111,12 +197,98 @@ mod tests {
     }
 
     #[test]
-    fn reset_zeroes() {
+    fn reset_zeroes_and_take_returns_drained_values() {
         let s = IoStats::new();
         s.record_read();
         s.record_write();
+        let drained = s.take();
+        assert_eq!(drained.page_reads, 1);
+        assert_eq!(drained.page_writes, 1);
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+        s.record_hit();
         s.reset();
         assert_eq!(s.total_io(), 0);
         assert_eq!(s.cache_hits(), 0);
+    }
+
+    #[test]
+    fn snapshot_deltas_subtract_per_counter() {
+        let s = IoStats::new();
+        s.record_read();
+        let before = s.snapshot();
+        s.record_read();
+        s.record_miss();
+        let delta = s.snapshot().delta_since(&before);
+        assert_eq!(
+            delta,
+            IoSnapshot { page_reads: 1, page_writes: 0, cache_hits: 0, cache_misses: 1 }
+        );
+    }
+
+    #[test]
+    fn thread_page_reads_tally_is_per_thread() {
+        let s = IoStats::new();
+        let before = IoStats::thread_page_reads();
+        s.record_read();
+        s.record_read();
+        assert_eq!(IoStats::thread_page_reads() - before, 2);
+        // Reads on another thread do not move this thread's tally, even
+        // through the same shared IoStats.
+        let t = s.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let inner_before = IoStats::thread_page_reads();
+                t.record_read();
+                assert_eq!(IoStats::thread_page_reads() - inner_before, 1);
+            });
+        });
+        assert_eq!(IoStats::thread_page_reads() - before, 2);
+        assert_eq!(s.page_reads(), 3);
+    }
+
+    /// Concurrent stress for the tear/reset bug: recorders hammer all four
+    /// counters while a drainer repeatedly `take`s. Swap-based draining
+    /// must conserve every increment: the sum of everything drained plus
+    /// the final snapshot equals exactly what was recorded.
+    #[test]
+    fn concurrent_take_never_loses_increments() {
+        let s = IoStats::new();
+        let per_thread = 20_000u64;
+        let n_recorders = 4;
+        let drained: IoSnapshot = std::thread::scope(|scope| {
+            for _ in 0..n_recorders {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        s.record_read();
+                        s.record_write();
+                        s.record_hit();
+                        s.record_miss();
+                    }
+                });
+            }
+            let s = s.clone();
+            scope
+                .spawn(move || {
+                    let mut acc = IoSnapshot::default();
+                    for _ in 0..200 {
+                        let t = s.take();
+                        acc.page_reads += t.page_reads;
+                        acc.page_writes += t.page_writes;
+                        acc.cache_hits += t.cache_hits;
+                        acc.cache_misses += t.cache_misses;
+                        std::thread::yield_now();
+                    }
+                    acc
+                })
+                .join()
+                .unwrap()
+        });
+        let rest = s.snapshot();
+        let total = n_recorders as u64 * per_thread;
+        assert_eq!(drained.page_reads + rest.page_reads, total);
+        assert_eq!(drained.page_writes + rest.page_writes, total);
+        assert_eq!(drained.cache_hits + rest.cache_hits, total);
+        assert_eq!(drained.cache_misses + rest.cache_misses, total);
     }
 }

@@ -58,7 +58,7 @@ pub use checked::CheckedPager;
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsFile};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultConfig, FaultHandle, FaultPager};
-pub use iostats::IoStats;
+pub use iostats::{IoSnapshot, IoStats};
 pub use lru::{CacheLayerStats, ShardedLruCache};
 pub use page::{
     crc32, seal_page, verify_page, PageId, PAGE_FORMAT_VERSION, PAGE_HEADER_SIZE, PAGE_SIZE,
