@@ -120,6 +120,7 @@ const USAGE: &str = "usage:
   tklus ingest      --json FILE.jsonl --out FILE.tsv
   tklus build-index [--corpus FILE.tsv | --posts N --seed S]
                     --out DIR [--geohash-len 4] [--nodes 3]
+                    [--postings-format flat|block]
   tklus stats       [--corpus FILE.tsv] [--posts N] [--seed S]
                     [--metrics] [--format prometheus|json]
   tklus query       --lat L --lon L --radius KM --keywords a,b[,c]
@@ -128,7 +129,7 @@ const USAGE: &str = "usage:
                     [--since T --until T] [--now T --half-life H]
                     [--timeout-ms MS] [--max-cells N] [--fail-on-degraded]
                     [--threads N] [--cover-cache N] [--postings-cache N]
-                    [--thread-cache N] [--metrics]
+                    [--thread-cache N] [--metrics] [--postings-format flat|block]
   tklus serve       [--corpus FILE.tsv] [--posts N] [--seed S]
                     [--mode sim|threaded] [--requests N] [--load-seed S]
                     [--mean-interarrival-ms MS] [--deadline-ms MS]
@@ -178,6 +179,19 @@ fn corpus_from(args: &Args) -> Result<Corpus, CliError> {
     }))
 }
 
+/// Parses `--postings-format flat|block` (defaults to the build default,
+/// block; DESIGN.md §13).
+fn postings_format_from(args: &Args) -> Result<tklus_index::PostingsFormat, CliError> {
+    match args.get_str("postings-format") {
+        None => Ok(tklus_index::PostingsFormat::default()),
+        Some("flat") => Ok(tklus_index::PostingsFormat::Flat),
+        Some("block") => Ok(tklus_index::PostingsFormat::Block),
+        Some(other) => {
+            Err(ArgError(format!("--postings-format must be flat|block, got {other:?}")).into())
+        }
+    }
+}
+
 fn cmd_generate(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     args.check_known(&["posts", "seed", "out"])?;
@@ -211,12 +225,21 @@ fn cmd_ingest(raw: Vec<String>) -> Result<(), CliError> {
 
 fn cmd_build_index(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
-    args.check_known(&["corpus", "posts", "seed", "out", "geohash-len", "nodes"])?;
+    args.check_known(&[
+        "corpus",
+        "posts",
+        "seed",
+        "out",
+        "geohash-len",
+        "nodes",
+        "postings-format",
+    ])?;
     let out: String = args.require("out")?;
     let corpus = corpus_from(&args)?;
     let config = tklus_index::IndexBuildConfig {
         geohash_len: args.get_or("geohash-len", 4)?,
         nodes: args.get_or("nodes", 3)?,
+        postings_format: postings_format_from(&args)?,
         ..tklus_index::IndexBuildConfig::default()
     };
     let (index, report) = tklus_index::build_index(corpus.posts(), &config);
@@ -297,6 +320,7 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
         "postings-cache",
         "thread-cache",
         "metrics",
+        "postings-format",
     ])?;
     let lat: f64 = args.require("lat")?;
     let lon: f64 = args.require("lon")?;
@@ -361,8 +385,19 @@ fn cmd_query(raw: Vec<String>) -> Result<(), CliError> {
     };
 
     let corpus = corpus_from(&args)?;
-    let engine_config =
-        EngineConfig { hot_keywords: 200, parallelism: threads, caches, ..EngineConfig::default() };
+    // `--postings-format` only shapes a freshly built engine; with
+    // `--index` the loaded directory dictates the layout.
+    let index_config = tklus_index::IndexBuildConfig {
+        postings_format: postings_format_from(&args)?,
+        ..tklus_index::IndexBuildConfig::default()
+    };
+    let engine_config = EngineConfig {
+        hot_keywords: 200,
+        parallelism: threads,
+        caches,
+        index: index_config,
+        ..EngineConfig::default()
+    };
     let engine = match args.get_str("index") {
         Some(dir) => {
             eprintln!("loading index from {dir} ...");

@@ -21,6 +21,7 @@ use crate::query::{
     max::try_query_max, sum::try_query_sum, Completeness, QueryContext, QueryOutcome, QueryStats,
     RankedUser,
 };
+use crate::scratch::ScratchPool;
 use tklus_graph::SocialNetwork;
 use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
 use tklus_metrics::RegistrySnapshot;
@@ -130,6 +131,9 @@ pub struct TklusEngine {
     scoring: ScoringConfig,
     parallelism: usize,
     caches: QueryCaches,
+    /// Pooled per-query scratch allocations (block unpack buffers, the
+    /// candidate accumulator), recycled across queries.
+    scratch: ScratchPool,
     /// `Some` when built with `EngineConfig::metrics` (the default).
     obs: Option<EngineMetrics>,
 }
@@ -215,6 +219,7 @@ impl TklusEngine {
             scoring: config.scoring,
             parallelism: config.parallelism.max(1),
             caches,
+            scratch: ScratchPool::new(),
             obs: config.metrics.then(EngineMetrics::new),
         })
     }
@@ -378,6 +383,7 @@ impl TklusEngine {
             db: &self.db,
             caches: &self.caches,
             scoring: &self.scoring,
+            scratch: &self.scratch,
             parallelism,
             timings: self.obs.is_some(),
         };

@@ -176,7 +176,8 @@ pub(crate) fn try_query_max(
     } else {
         Completeness::Complete
     };
-    let cands = candidates(&fetch, query.semantics);
+    let mut scratch = ctx.scratch.checkout();
+    let cands = candidates(&fetch, query.semantics, &mut scratch)?;
 
     let mut stats = QueryStats {
         cover_cells: fetch.cells,
@@ -206,7 +207,7 @@ pub(crate) fn try_query_max(
         // this thread, so one thread-tally delta around the loop
         // attributes them all to this query exactly.
         let reads_before = IoStats::thread_page_reads();
-        for (tid, tf) in cands {
+        for &(tid, tf) in &cands {
             if !query.in_time_range(tid.0) {
                 continue;
             }
@@ -324,6 +325,7 @@ pub(crate) fn try_query_max(
         }
     }
 
+    scratch.recycle_candidates(cands);
     stats.stages.threads = clock.lap();
     // Algorithm 5 interleaves scoring with the prune loop above, so the
     // whole loop is attributed to `threads` and `scoring` stays zero.

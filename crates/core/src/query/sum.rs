@@ -73,7 +73,8 @@ pub(crate) fn try_query_sum(
     } else {
         Completeness::Complete
     };
-    let cands = candidates(&fetch, query.semantics);
+    let mut scratch = ctx.scratch.checkout();
+    let cands = candidates(&fetch, query.semantics, &mut scratch)?;
 
     let mut stats = QueryStats {
         cover_cells: fetch.cells,
@@ -128,6 +129,7 @@ pub(crate) fn try_query_sum(
         }
         *users.entry(uid).or_insert(0.0) += rs;
     }
+    scratch.recycle_candidates(cands);
     stats.stages.threads = clock.lap();
 
     // Lines 25–27: blend with user distance scores (Definition 10). Each

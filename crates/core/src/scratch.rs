@@ -1,0 +1,154 @@
+//! Per-query scratch memory, pooled across queries.
+//!
+//! The block-compressed hot path (DESIGN.md §13) replaces "decode every
+//! list into a fresh `Vec` per query" with lazy per-block unpacking — but
+//! lazily unpacking into freshly allocated buffers would hand the win
+//! straight back to the allocator. [`QueryScratch`] owns the reusable
+//! allocations one query execution needs (block unpack buffers and the
+//! candidate accumulator), and [`ScratchPool`] recycles them across
+//! queries on the shared engine: a query checks a scratch out, runs with
+//! exclusive `&mut` access, and the RAII [`ScratchGuard`] returns the
+//! (cleared but capacity-retaining) scratch on drop — including the early
+//! exits, `?` error paths and panics.
+//!
+//! The pool is a plain mutex over a small stack of scratches: it is
+//! touched twice per query (checkout/return), never inside the hot loops,
+//! so striping it would buy nothing. Concurrent queries beyond the pooled
+//! count simply build a fresh scratch and the pool keeps the largest
+//! working sets up to a small cap.
+
+use parking_lot::Mutex;
+use tklus_index::BlockScratch;
+use tklus_model::TweetId;
+
+/// Most scratches the pool retains; checkouts beyond this build fresh
+/// scratches and returns beyond this drop them. Matches the largest
+/// plausible concurrent-query fan-in on one engine.
+const MAX_POOLED: usize = 32;
+
+/// The reusable allocations of one query execution.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Unpack buffers for block-postings set operations.
+    pub(crate) blocks: BlockScratch,
+    /// The candidate accumulator `(tweet, occurrence-count)`; taken by the
+    /// combine stage, given back by the ranking algorithms after scoring.
+    pub(crate) candidates: Vec<(TweetId, u32)>,
+}
+
+impl QueryScratch {
+    /// Takes the candidate buffer (cleared, capacity retained) out of the
+    /// scratch; ownership comes back via [`Self::recycle_candidates`].
+    pub(crate) fn take_candidates(&mut self) -> Vec<(TweetId, u32)> {
+        let mut out = std::mem::take(&mut self.candidates);
+        out.clear();
+        out
+    }
+
+    /// Returns a candidate buffer's capacity to the scratch.
+    pub(crate) fn recycle_candidates(&mut self, buf: Vec<(TweetId, u32)>) {
+        if buf.capacity() > self.candidates.capacity() {
+            self.candidates = buf;
+        }
+    }
+}
+
+/// A shared pool of [`QueryScratch`]es, one per engine.
+#[derive(Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<QueryScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a scratch out (reusing a pooled one when available); the
+    /// guard returns it on drop.
+    pub(crate) fn checkout(&self) -> ScratchGuard<'_> {
+        let scratch = self.pool.lock().pop().unwrap_or_default();
+        ScratchGuard { pool: self, scratch }
+    }
+
+    fn give_back(&self, scratch: QueryScratch) {
+        let mut pool = self.pool.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(scratch);
+        }
+    }
+
+    /// Scratches currently resident in the pool (test/diagnostic hook).
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+}
+
+/// RAII handle on a checked-out [`QueryScratch`].
+pub(crate) struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    scratch: QueryScratch,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = QueryScratch;
+    fn deref(&self) -> &QueryScratch {
+        &self.scratch
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut QueryScratch {
+        &mut self.scratch
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.give_back(std::mem::take(&mut self.scratch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_scratch() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.pooled(), 0);
+        {
+            let mut guard = pool.checkout();
+            let mut cands = guard.take_candidates();
+            cands.reserve(1024);
+            guard.recycle_candidates(cands);
+            assert_eq!(pool.pooled(), 0, "checked out, not pooled");
+        }
+        assert_eq!(pool.pooled(), 1, "guard drop returns the scratch");
+        let mut guard = pool.checkout();
+        assert_eq!(pool.pooled(), 0);
+        let cands = guard.take_candidates();
+        assert!(cands.capacity() >= 1024, "capacity survives the round trip");
+        assert!(cands.is_empty(), "contents do not");
+        guard.recycle_candidates(cands);
+    }
+
+    #[test]
+    fn recycle_keeps_larger_buffer() {
+        let mut scratch = QueryScratch::default();
+        scratch.recycle_candidates(Vec::with_capacity(100));
+        scratch.recycle_candidates(Vec::with_capacity(10));
+        assert!(scratch.take_candidates().capacity() >= 100);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_scratches() {
+        let pool = ScratchPool::new();
+        let g1 = pool.checkout();
+        let g2 = pool.checkout();
+        drop(g1);
+        drop(g2);
+        assert_eq!(pool.pooled(), 2);
+    }
+}

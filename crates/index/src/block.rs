@@ -1,0 +1,969 @@
+//! Block-compressed postings: fixed-size blocks of bit-packed postings
+//! with per-block skip metadata (DESIGN.md §13).
+//!
+//! The flat layout ([`crate::PostingsList`]) decodes a whole list — one
+//! varint branch per byte — before the first candidate can be formed. The
+//! block layout splits a list into [`BLOCK_LEN`]-posting blocks, each
+//! described by a skip entry (first/last id, max tf, payload extent) that
+//! is decoded up front, while the payload — frame-of-reference bit-packed
+//! id deltas and term frequencies at a fixed width per block — is unpacked
+//! lazily, block by block, into reusable scratch buffers. Set operations
+//! gallop over the skip entries and unpack only blocks that can actually
+//! contribute: a union bulk-copies blocks whose id range does not overlap
+//! any other cursor, and an intersection touches only blocks whose
+//! `[first_id, last_id]` range contains a surviving candidate.
+//!
+//! The fixed-width unpack kernel is branchless per value (a shift, a mask,
+//! and a table-free accumulator refill) — the SIMD-friendly shape — in
+//! contrast to the flat varint loop whose branch-per-byte serializes the
+//! decode.
+//!
+//! Decoding never panics: every structural invariant (block sizing, skip
+//! monotonicity, payload extents, reconstructed-id agreement with the skip
+//! entry) is checked and surfaces as a typed
+//! [`DecodeError`](crate::posting::DecodeError).
+
+use crate::posting::{read_varint, write_varint, DecodeError, Posting, PostingsList};
+use tklus_model::TweetId;
+
+/// Postings per block. Every block of a list holds exactly this many
+/// postings except the last, which holds the remainder (≥ 1).
+pub const BLOCK_LEN: usize = 128;
+
+/// On-DFS encoding of postings lists: the original delta-varint stream or
+/// the block-compressed layout of DESIGN.md §13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostingsFormat {
+    /// One delta-varint pair per posting, decoded front to back
+    /// ([`PostingsList::encode`]). The pre-block layout, kept as the
+    /// differential baseline and for persisted-v1 compatibility.
+    Flat,
+    /// [`BLOCK_LEN`]-posting blocks with skip metadata and bit-packed
+    /// payloads ([`BlockPostings::encode`]). The default.
+    #[default]
+    Block,
+}
+
+impl PostingsFormat {
+    /// The flag/meta spelling (`"flat"` / `"block"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PostingsFormat::Flat => "flat",
+            PostingsFormat::Block => "block",
+        }
+    }
+}
+
+impl std::fmt::Display for PostingsFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for PostingsFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flat" => Ok(PostingsFormat::Flat),
+            "block" => Ok(PostingsFormat::Block),
+            other => Err(format!("unknown postings format {other:?} (expected flat|block)")),
+        }
+    }
+}
+
+/// Skip metadata for one block: enough to decide, without unpacking the
+/// payload, whether the block can contain a given id (`first_id..=last_id`)
+/// and what the largest term frequency inside is (`max_tf`, the future
+/// scoring-bound surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSkip {
+    /// Smallest (first) tweet id in the block.
+    pub first_id: u64,
+    /// Largest (last) tweet id in the block.
+    pub last_id: u64,
+    /// Largest term frequency in the block.
+    pub max_tf: u32,
+    /// Postings in the block (1..=[`BLOCK_LEN`]; only the last block of a
+    /// list may hold fewer than [`BLOCK_LEN`]).
+    pub count: u32,
+    /// Byte offset of the block's payload within the payload region.
+    pub offset: u32,
+    /// Byte length of the block's payload.
+    pub len: u32,
+}
+
+/// A postings list in the block-compressed layout: a decoded skip table
+/// over a still-packed payload region.
+///
+/// Construction is either [`from_postings`](Self::from_postings) (index
+/// build) or [`decode`](Self::decode) (DFS read); both leave payloads
+/// packed until a set operation asks for a specific block via
+/// [`read_block`](Self::read_block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPostings {
+    count: usize,
+    skips: Vec<BlockSkip>,
+    data: Vec<u8>,
+}
+
+/// Bytes needed to pack `count` values of `bits` width.
+fn packed_len(count: usize, bits: u32) -> usize {
+    ((count as u64 * bits as u64).div_ceil(8)) as usize
+}
+
+/// Width in bits of the largest value (0 for an all-zero slice).
+fn width_of(max: u64) -> u32 {
+    64 - max.leading_zeros()
+}
+
+/// Packs `values` (each < 2^bits) into `out`, little-endian bit order.
+fn pack_into(values: &[u64], bits: u32, out: &mut Vec<u8>) {
+    debug_assert!(bits <= 64);
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    for &v in values {
+        debug_assert!(bits == 64 || v < (1u64 << bits), "value {v} exceeds {bits} bits");
+        acc |= (v as u128) << nbits;
+        nbits += bits;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Unpacks `count` values of `bits` width from `bytes` into `out`
+/// (appending). `bytes` must hold exactly `packed_len(count, bits)` bytes —
+/// the caller has already validated the extent. The inner loop is
+/// branch-free per value: refill the accumulator, shift, mask.
+fn unpack_into(bytes: &[u8], count: usize, bits: u32, out: &mut Vec<u64>) {
+    debug_assert_eq!(bytes.len(), packed_len(count, bits));
+    if bits == 0 {
+        out.resize(out.len() + count, 0);
+        return;
+    }
+    let mask: u128 = if bits == 64 { u64::MAX as u128 } else { (1u128 << bits) - 1 };
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    let mut pos = 0usize;
+    for _ in 0..count {
+        while nbits < bits {
+            acc |= (bytes[pos] as u128) << nbits;
+            pos += 1;
+            nbits += 8;
+        }
+        out.push((acc & mask) as u64);
+        acc >>= bits;
+        nbits -= bits;
+    }
+}
+
+impl BlockPostings {
+    /// Builds the block layout from postings sorted by strictly increasing
+    /// id (the [`PostingsList`] invariant).
+    pub fn from_postings(postings: &[Posting]) -> Self {
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].id < w[1].id),
+            "postings must be sorted with unique ids"
+        );
+        let mut skips = Vec::with_capacity(postings.len().div_ceil(BLOCK_LEN));
+        let mut data = Vec::new();
+        let mut deltas: Vec<u64> = Vec::with_capacity(BLOCK_LEN);
+        let mut tfs: Vec<u64> = Vec::with_capacity(BLOCK_LEN);
+        for chunk in postings.chunks(BLOCK_LEN) {
+            let first_id = chunk[0].id.0;
+            let last_id = chunk[chunk.len() - 1].id.0;
+            let max_tf = chunk.iter().map(|p| p.tf).max().unwrap_or(0);
+            deltas.clear();
+            tfs.clear();
+            // Successive gaps minus one (ids strictly increase), so dense
+            // runs pack to zero bits.
+            deltas.extend(chunk.windows(2).map(|w| w[1].id.0 - w[0].id.0 - 1));
+            tfs.extend(chunk.iter().map(|p| p.tf as u64));
+            let id_bits = width_of(deltas.iter().copied().max().unwrap_or(0));
+            let tf_bits = width_of(max_tf as u64);
+            let offset = data.len() as u32;
+            data.push(id_bits as u8);
+            data.push(tf_bits as u8);
+            pack_into(&deltas, id_bits, &mut data);
+            pack_into(&tfs, tf_bits, &mut data);
+            skips.push(BlockSkip {
+                first_id,
+                last_id,
+                max_tf,
+                count: chunk.len() as u32,
+                offset,
+                len: data.len() as u32 - offset,
+            });
+        }
+        Self { count: postings.len(), skips, data }
+    }
+
+    /// [`Self::from_postings`] over a [`PostingsList`].
+    pub fn from_list(list: &PostingsList) -> Self {
+        Self::from_postings(list.postings())
+    }
+
+    /// Total postings across all blocks.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The skip table, one entry per block, in id order.
+    pub fn skips(&self) -> &[BlockSkip] {
+        &self.skips
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.skips.len()
+    }
+
+    /// Smallest id in the list (`None` when empty).
+    pub fn first_id(&self) -> Option<u64> {
+        self.skips.first().map(|s| s.first_id)
+    }
+
+    /// Largest id in the list (`None` when empty).
+    pub fn last_id(&self) -> Option<u64> {
+        self.skips.last().map(|s| s.last_id)
+    }
+
+    /// Serializes to the on-DFS byte format (DESIGN.md §13):
+    ///
+    /// ```text
+    /// varint count                      total postings
+    /// varint n_blocks                   = ceil(count / BLOCK_LEN)
+    /// n_blocks × skip entry:
+    ///   varint first_delta              first_id − previous last_id
+    ///   varint span                     last_id − first_id
+    ///   varint max_tf
+    ///   varint payload_len
+    /// payloads, concatenated:
+    ///   u8 id_bits  u8 tf_bits
+    ///   packed id gaps (count−1 values of id_bits each)
+    ///   packed tfs   (count values of tf_bits each)
+    /// ```
+    ///
+    /// Payload offsets are cumulative sums of `payload_len`, so they are
+    /// never stored; per-block counts are implied by the fixed
+    /// [`BLOCK_LEN`] sizing rule.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.skips.len() * 8 + self.data.len());
+        write_varint(&mut out, self.count as u64);
+        if self.count == 0 {
+            return out;
+        }
+        write_varint(&mut out, self.skips.len() as u64);
+        let mut prev_last = 0u64;
+        for skip in &self.skips {
+            write_varint(&mut out, skip.first_id - prev_last);
+            write_varint(&mut out, skip.last_id - skip.first_id);
+            write_varint(&mut out, skip.max_tf as u64);
+            write_varint(&mut out, skip.len as u64);
+            prev_last = skip.last_id;
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Decodes bytes produced by [`encode`](Self::encode), returning the
+    /// list and the bytes consumed. Validates the whole structure — block
+    /// sizing, skip monotonicity, payload extents and per-block header
+    /// arithmetic — but leaves payload *values* packed; adversarial values
+    /// are caught by [`read_block`](Self::read_block), which is equally
+    /// panic-free.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let mut pos = 0usize;
+        let count = read_varint(bytes, &mut pos)? as usize;
+        if count == 0 {
+            return Ok((Self { count: 0, skips: Vec::new(), data: Vec::new() }, pos));
+        }
+        let n_blocks = read_varint(bytes, &mut pos)? as usize;
+        if n_blocks != count.div_ceil(BLOCK_LEN) {
+            return Err(DecodeError::BadBlockHeader("block count disagrees with posting count"));
+        }
+        let mut skips = Vec::with_capacity(n_blocks);
+        let mut prev_last = 0u64;
+        let mut offset = 0u64;
+        for b in 0..n_blocks {
+            let first_delta = read_varint(bytes, &mut pos)?;
+            let span = read_varint(bytes, &mut pos)?;
+            let max_tf = read_varint(bytes, &mut pos)?;
+            let len = read_varint(bytes, &mut pos)?;
+            // Later blocks start strictly after the previous block ends.
+            if b > 0 && first_delta == 0 {
+                return Err(DecodeError::NonMonotonic);
+            }
+            let first_id = prev_last.checked_add(first_delta).ok_or(DecodeError::Overflow)?;
+            let last_id = first_id.checked_add(span).ok_or(DecodeError::Overflow)?;
+            let max_tf = u32::try_from(max_tf).map_err(|_| DecodeError::Overflow)?;
+            let len = u32::try_from(len).map_err(|_| DecodeError::Overflow)?;
+            let block_count = if b + 1 < n_blocks { BLOCK_LEN } else { count - b * BLOCK_LEN };
+            if block_count == 1 && span != 0 {
+                return Err(DecodeError::BadBlockHeader("single-posting block with nonzero span"));
+            }
+            if block_count > 1 && span == 0 {
+                return Err(DecodeError::BadBlockHeader("multi-posting block with zero span"));
+            }
+            skips.push(BlockSkip {
+                first_id,
+                last_id,
+                max_tf,
+                count: block_count as u32,
+                offset: u32::try_from(offset).map_err(|_| DecodeError::Overflow)?,
+                len,
+            });
+            offset = offset.checked_add(len as u64).ok_or(DecodeError::Overflow)?;
+            prev_last = last_id;
+        }
+        let data_len = offset as usize;
+        let payload = bytes.get(pos..pos + data_len).ok_or(DecodeError::Truncated)?;
+        // Per-block header arithmetic: the recorded payload length must be
+        // exactly what the widths and counts imply, so a skip entry can
+        // never point a read past its block.
+        for skip in &skips {
+            let head = payload
+                .get(skip.offset as usize..skip.offset as usize + 2)
+                .ok_or(DecodeError::Truncated)?;
+            let (id_bits, tf_bits) = (head[0] as u32, head[1] as u32);
+            if id_bits > 64 || tf_bits > 32 {
+                return Err(DecodeError::BadBlockHeader("packed width out of range"));
+            }
+            let n = skip.count as usize;
+            let expect = 2 + packed_len(n - 1, id_bits) + packed_len(n, tf_bits);
+            if skip.len as usize != expect {
+                return Err(DecodeError::BadBlockHeader("payload length disagrees with widths"));
+            }
+        }
+        let data = payload.to_vec();
+        pos += data_len;
+        Ok((Self { count, skips, data }, pos))
+    }
+
+    /// Unpacks block `b` into `ids`/`tfs` (cleared first). Validates that
+    /// the reconstructed ids are strictly increasing, stay within `u64`,
+    /// and land exactly on the skip entry's `last_id`, and that the skip's
+    /// `max_tf` matches the block's actual maximum — so a decoded block is
+    /// always mutually consistent with the metadata the set operations
+    /// trusted to skip it.
+    pub fn read_block(
+        &self,
+        b: usize,
+        ids: &mut Vec<u64>,
+        tfs: &mut Vec<u32>,
+    ) -> Result<(), DecodeError> {
+        let skip = self.skips[b];
+        let n = skip.count as usize;
+        let payload = &self.data[skip.offset as usize..(skip.offset + skip.len) as usize];
+        let (id_bits, tf_bits) = (payload[0] as u32, payload[1] as u32);
+        let gaps_len = packed_len(n - 1, id_bits);
+        ids.clear();
+        tfs.clear();
+        ids.push(skip.first_id);
+        {
+            // Reuse `tfs`'s backing? No — gaps are u64; unpack into a local
+            // then fold. The fold is the frame-of-reference reconstruction.
+            let mut gaps: Vec<u64> = Vec::with_capacity(n.saturating_sub(1));
+            unpack_into(&payload[2..2 + gaps_len], n - 1, id_bits, &mut gaps);
+            let mut prev = skip.first_id;
+            for gap in gaps {
+                let id = prev
+                    .checked_add(gap)
+                    .and_then(|v| v.checked_add(1))
+                    .ok_or(DecodeError::Overflow)?;
+                ids.push(id);
+                prev = id;
+            }
+            if prev != skip.last_id {
+                return Err(DecodeError::BadBlockHeader("ids do not end on skip last_id"));
+            }
+        }
+        let mut raw_tfs: Vec<u64> = Vec::with_capacity(n);
+        unpack_into(&payload[2 + gaps_len..], n, tf_bits, &mut raw_tfs);
+        let mut seen_max = 0u32;
+        for tf in raw_tfs {
+            let tf = u32::try_from(tf).map_err(|_| DecodeError::Overflow)?;
+            seen_max = seen_max.max(tf);
+            tfs.push(tf);
+        }
+        if seen_max != skip.max_tf {
+            return Err(DecodeError::BadBlockHeader("max_tf disagrees with block contents"));
+        }
+        Ok(())
+    }
+
+    /// Fully unpacks into a [`PostingsList`] (the flat in-memory shape) —
+    /// the compatibility bridge for flat-pipeline consumers of a
+    /// block-format index.
+    pub fn to_postings_list(&self) -> Result<PostingsList, DecodeError> {
+        let mut ids = Vec::new();
+        let mut tfs = Vec::new();
+        let mut postings = Vec::with_capacity(self.count);
+        for b in 0..self.num_blocks() {
+            self.read_block(b, &mut ids, &mut tfs)?;
+            postings.extend(ids.iter().zip(&tfs).map(|(&id, &tf)| Posting { id: TweetId(id), tf }));
+        }
+        Ok(PostingsList::new(postings))
+    }
+}
+
+/// Reusable scratch for block set operations: per-cursor unpack buffers
+/// recycled across queries so the hot path stops allocating per block.
+/// One scratch serves one operation at a time (`&mut` threading); the
+/// engine pools them per query.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    bufs: Vec<(Vec<u64>, Vec<u32>)>,
+}
+
+impl BlockScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_buf(&mut self) -> (Vec<u64>, Vec<u32>) {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    fn give_buf(&mut self, buf: (Vec<u64>, Vec<u32>)) {
+        if self.bufs.len() < 64 {
+            self.bufs.push(buf);
+        }
+    }
+}
+
+/// A read cursor over one block list: the current block unpacked into a
+/// scratch buffer, plus a position within it.
+struct Cursor<'a> {
+    list: &'a BlockPostings,
+    block: usize,
+    pos: usize,
+    ids: Vec<u64>,
+    tfs: Vec<u32>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(list: &'a BlockPostings, scratch: &mut BlockScratch) -> Result<Self, DecodeError> {
+        debug_assert!(!list.is_empty());
+        let (ids, tfs) = scratch.take_buf();
+        let mut cur = Self { list, block: 0, pos: 0, ids, tfs };
+        cur.list.read_block(0, &mut cur.ids, &mut cur.tfs)?;
+        Ok(cur)
+    }
+
+    fn current(&self) -> (u64, u32) {
+        (self.ids[self.pos], self.tfs[self.pos])
+    }
+
+    /// Id range left in the current block from the cursor position on.
+    fn block_last(&self) -> u64 {
+        self.list.skips[self.block].last_id
+    }
+
+    /// Advances one posting; returns false when the list is exhausted.
+    fn advance(&mut self) -> Result<bool, DecodeError> {
+        self.pos += 1;
+        if self.pos < self.ids.len() {
+            return Ok(true);
+        }
+        self.next_block()
+    }
+
+    /// Moves to the start of the next block; returns false when exhausted.
+    fn next_block(&mut self) -> Result<bool, DecodeError> {
+        self.block += 1;
+        self.pos = 0;
+        if self.block >= self.list.num_blocks() {
+            return Ok(false);
+        }
+        self.list.read_block(self.block, &mut self.ids, &mut self.tfs)?;
+        Ok(true)
+    }
+
+    /// Appends the rest of the current block to `out` and moves to the next
+    /// block; returns false when the list is exhausted.
+    fn drain_block_into(&mut self, out: &mut Vec<(TweetId, u32)>) -> Result<bool, DecodeError> {
+        out.extend(
+            self.ids[self.pos..]
+                .iter()
+                .zip(&self.tfs[self.pos..])
+                .map(|(&id, &tf)| (TweetId(id), tf)),
+        );
+        self.next_block()
+    }
+
+    fn into_buf(self, scratch: &mut BlockScratch) {
+        scratch.give_buf((self.ids, self.tfs));
+    }
+}
+
+/// Union of block lists with term frequencies summed on shared ids — the
+/// block-layout counterpart of [`crate::union_sum`], identical output.
+///
+/// A k-way merge over lazy cursors with two fast paths that make the
+/// common disjoint case (one keyword's lists across cover cells: a tweet
+/// lives in exactly one cell, so the lists never share an id) close to a
+/// sequence of block copies:
+/// * one live cursor left → drain it block-wise, and
+/// * the minimum cursor's whole remaining block sits below every other
+///   cursor's current id → copy the block without per-element compares.
+///
+/// Output lands in `out` (cleared first); `scratch` supplies the unpack
+/// buffers.
+pub fn union_sum_blocks(
+    lists: &[&BlockPostings],
+    scratch: &mut BlockScratch,
+    out: &mut Vec<(TweetId, u32)>,
+) -> Result<(), DecodeError> {
+    out.clear();
+    out.reserve(lists.iter().map(|l| l.len()).sum());
+    let mut cursors: Vec<Cursor<'_>> = Vec::with_capacity(lists.len());
+    for list in lists {
+        if !list.is_empty() {
+            cursors.push(Cursor::new(list, scratch)?);
+        }
+    }
+    while !cursors.is_empty() {
+        if cursors.len() == 1 {
+            let mut cur = cursors.pop().expect("one cursor");
+            while cur.drain_block_into(out)? {}
+            cur.into_buf(scratch);
+            break;
+        }
+        // Find the minimum current id and the runner-up across cursors.
+        let mut min_id = u64::MAX;
+        let mut second = u64::MAX;
+        for cur in &cursors {
+            let (id, _) = cur.current();
+            if id < min_id {
+                second = min_id;
+                min_id = id;
+            } else if id < second {
+                second = id;
+            }
+        }
+        if min_id < second {
+            // Exactly one cursor owns min_id.
+            let i = cursors
+                .iter()
+                .position(|c| c.current().0 == min_id)
+                .expect("a cursor holds the minimum");
+            let cur = &mut cursors[i];
+            let alive = if cur.block_last() < second {
+                // The whole rest of this block sits before every other
+                // cursor: bulk-copy it.
+                cur.drain_block_into(out)?
+            } else {
+                let (id, tf) = cur.current();
+                out.push((TweetId(id), tf));
+                cur.advance()?
+            };
+            if !alive {
+                cursors.swap_remove(i).into_buf(scratch);
+            }
+        } else {
+            // Shared id: sum tfs across every cursor holding it. The sum
+            // saturates — builder-produced tfs are tiny (words per tweet),
+            // so saturation is unreachable from a real index, but hostile
+            // payloads must not be able to panic a debug build.
+            let mut tf_sum = 0u32;
+            let mut i = 0;
+            while i < cursors.len() {
+                if cursors[i].current().0 == min_id {
+                    tf_sum = tf_sum.saturating_add(cursors[i].current().1);
+                    if cursors[i].advance()? {
+                        i += 1;
+                    } else {
+                        cursors.swap_remove(i).into_buf(scratch);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            out.push((TweetId(min_id), tf_sum));
+        }
+    }
+    Ok(())
+}
+
+/// First block index at or after `from` whose `last_id` reaches `id`
+/// (galloping: exponential probe then binary search within the window).
+/// Returns `skips.len()` when every block ends before `id`.
+fn seek_block(skips: &[BlockSkip], from: usize, id: u64) -> usize {
+    if from >= skips.len() || skips[from].last_id >= id {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut lo = from;
+    while lo + step < skips.len() && skips[lo + step].last_id < id {
+        lo += step;
+        step *= 2;
+    }
+    let hi = (lo + step + 1).min(skips.len());
+    lo + 1 + skips[lo + 1..hi].partition_point(|s| s.last_id < id)
+}
+
+/// Winnows sorted candidates `acc` against one keyword's block lists: a
+/// candidate survives only if some list contains its id, and its tf grows
+/// by the sum of every matching list's tf — exactly the flat pipeline's
+/// per-keyword [`crate::union_sum`] followed by [`crate::intersect_sum`],
+/// without materializing the keyword's union. Blocks are located by
+/// galloping over skip entries and unpacked only when their id range
+/// actually contains a surviving candidate.
+pub fn intersect_winnow_blocks(
+    acc: &mut Vec<(TweetId, u32)>,
+    lists: &[&BlockPostings],
+    scratch: &mut BlockScratch,
+) -> Result<(), DecodeError> {
+    struct ListState<'a> {
+        list: &'a BlockPostings,
+        /// Next block that could contain the (ascending) candidate ids.
+        block: usize,
+        /// Which block the buffers currently hold, if any.
+        loaded: Option<usize>,
+        ids: Vec<u64>,
+        tfs: Vec<u32>,
+    }
+    let mut states: Vec<ListState<'_>> = lists
+        .iter()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let (ids, tfs) = scratch.take_buf();
+            ListState { list: l, block: 0, loaded: None, ids, tfs }
+        })
+        .collect();
+    let mut w = 0usize;
+    'cands: for r in 0..acc.len() {
+        let (tid, tf) = acc[r];
+        let mut matched = false;
+        let mut tf_sum = tf;
+        for st in &mut states {
+            let skips = st.list.skips();
+            st.block = seek_block(skips, st.block, tid.0);
+            if st.block >= skips.len() {
+                continue;
+            }
+            if skips[st.block].first_id > tid.0 {
+                continue;
+            }
+            if st.loaded != Some(st.block) {
+                st.list.read_block(st.block, &mut st.ids, &mut st.tfs)?;
+                st.loaded = Some(st.block);
+            }
+            if let Ok(i) = st.ids.binary_search(&tid.0) {
+                matched = true;
+                // Saturating for the same reason as union_sum_blocks:
+                // hostile tfs must not panic a debug build.
+                tf_sum = tf_sum.saturating_add(st.tfs[i]);
+            }
+        }
+        if matched {
+            acc[w] = (tid, tf_sum);
+            w += 1;
+        } else if states.iter().all(|st| st.block >= st.list.num_blocks()) {
+            // Every list is exhausted; no later candidate can match.
+            acc.truncate(w);
+            for st in states {
+                scratch.give_buf((st.ids, st.tfs));
+            }
+            break 'cands;
+        }
+    }
+    acc.truncate(w.min(acc.len()));
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
+mod tests {
+    use super::*;
+
+    fn list(pairs: &[(u64, u32)]) -> BlockPostings {
+        let flat: PostingsList = pairs.iter().copied().collect();
+        BlockPostings::from_list(&flat)
+    }
+
+    fn pairs_of(bp: &BlockPostings) -> Vec<(u64, u32)> {
+        bp.to_postings_list().unwrap().postings().iter().map(|p| (p.id.0, p.tf)).collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_widths() {
+        for bits in [0u32, 1, 3, 7, 8, 13, 31, 32, 33, 63, 64] {
+            let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let values: Vec<u64> =
+                (0..130u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & max).collect();
+            let mut bytes = Vec::new();
+            pack_into(&values, bits, &mut bytes);
+            assert_eq!(bytes.len(), packed_len(values.len(), bits));
+            let mut back = Vec::new();
+            unpack_into(&bytes, values.len(), bits, &mut back);
+            assert_eq!(back, values, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        let shapes: Vec<Vec<(u64, u32)>> = vec![
+            vec![],
+            vec![(0, 0)],
+            vec![(7, 9)],
+            (0..127u64).map(|i| (i * 3 + 1, (i % 7) as u32)).collect(),
+            (0..128u64).map(|i| (i, 1)).collect(),
+            (0..129u64).map(|i| (i * 1000, (i % 100) as u32)).collect(),
+            (0..1000u64).map(|i| (1_000_000 + i, (i % 5) as u32 + 1)).collect(),
+            vec![(u64::MAX - 1, u32::MAX), (u64::MAX, 0)],
+        ];
+        for pairs in shapes {
+            let bp = list(&pairs);
+            assert_eq!(bp.len(), pairs.len());
+            let bytes = bp.encode();
+            let (back, consumed) = BlockPostings::decode(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(back, bp);
+            assert_eq!(pairs_of(&back), pairs);
+        }
+    }
+
+    #[test]
+    fn block_sizing_rule() {
+        let bp = list(&(0..300u64).map(|i| (i * 2, 1)).collect::<Vec<_>>());
+        assert_eq!(bp.num_blocks(), 3);
+        assert_eq!(bp.skips()[0].count, 128);
+        assert_eq!(bp.skips()[1].count, 128);
+        assert_eq!(bp.skips()[2].count, 44);
+        assert_eq!(bp.first_id(), Some(0));
+        assert_eq!(bp.last_id(), Some(598));
+        // Skip invariants: monotone, non-overlapping.
+        for w in bp.skips().windows(2) {
+            assert!(w[0].last_id < w[1].first_id);
+        }
+    }
+
+    #[test]
+    fn dense_blocks_pack_small() {
+        // Consecutive ids, tf=1 → 0-bit gaps and 1-bit tfs.
+        let bp = list(&(0..1024u64).map(|i| (5_000 + i, 1)).collect::<Vec<_>>());
+        let bytes = bp.encode();
+        // 8 blocks × (2 header bytes + 0 gap bytes + 16 tf bytes) plus
+        // skip varints: far below even one byte per posting.
+        assert!(bytes.len() < 400, "encoded to {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let bp = list(&[(10, 1), (20, 2)]);
+        let mut bytes = bp.encode();
+        let len = bytes.len();
+        bytes.extend_from_slice(&[0xAB, 0xCD]);
+        let (back, consumed) = BlockPostings::decode(&bytes).unwrap();
+        assert_eq!(consumed, len);
+        assert_eq!(back, bp);
+    }
+
+    #[test]
+    fn truncation_is_typed_never_panics() {
+        let bp = list(&(0..300u64).map(|i| (i * 5 + 3, (i % 9) as u32)).collect::<Vec<_>>());
+        let bytes = bp.encode();
+        for cut in 0..bytes.len() {
+            match BlockPostings::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok((_, consumed)) => {
+                    panic!("truncated to {cut} of {} decoded {consumed} bytes", bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_typed() {
+        let bp = list(&(0..200u64).map(|i| (i * 3, 2)).collect::<Vec<_>>());
+        let bytes = bp.encode();
+        // Flip every byte position once; decode (plus a full read of every
+        // block on success) must never panic.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x55;
+            if let Ok((decoded, _)) = BlockPostings::decode(&bad) {
+                let mut ids = Vec::new();
+                let mut tfs = Vec::new();
+                for b in 0..decoded.num_blocks() {
+                    let _ = decoded.read_block(b, &mut ids, &mut tfs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_matches_flat_union() {
+        let a = vec![(1u64, 2u32), (3, 1), (5, 4), (300, 1)];
+        let b = vec![(3u64, 2u32), (4, 1), (600, 9)];
+        let c: Vec<(u64, u32)> = (0..400u64).map(|i| (i * 2 + 1, 1)).collect();
+        let flat: Vec<PostingsList> =
+            [&a, &b, &c].iter().map(|p| p.iter().copied().collect()).collect();
+        let want: Vec<(TweetId, u32)> = crate::posting::union_sum(&flat);
+        let blocks: Vec<BlockPostings> = [&a, &b, &c].iter().map(|p| list(p)).collect();
+        let refs: Vec<&BlockPostings> = blocks.iter().collect();
+        let mut scratch = BlockScratch::new();
+        let mut got = Vec::new();
+        union_sum_blocks(&refs, &mut scratch, &mut got).unwrap();
+        assert_eq!(got, want);
+        // Scratch reuse across calls changes nothing.
+        let mut again = Vec::new();
+        union_sum_blocks(&refs, &mut scratch, &mut again).unwrap();
+        assert_eq!(again, want);
+    }
+
+    #[test]
+    fn union_edge_cases() {
+        let mut scratch = BlockScratch::new();
+        let mut out = vec![(TweetId(99), 9)];
+        union_sum_blocks(&[], &mut scratch, &mut out).unwrap();
+        assert!(out.is_empty(), "output is cleared");
+        let empty = list(&[]);
+        let single = list(&[(7, 9)]);
+        union_sum_blocks(&[&empty, &single], &mut scratch, &mut out).unwrap();
+        assert_eq!(out, vec![(TweetId(7), 9)]);
+    }
+
+    #[test]
+    fn winnow_matches_flat_intersect() {
+        // Keyword A: two disjoint cell lists; keyword B: one long list.
+        let a1: Vec<(u64, u32)> = (0..150u64).map(|i| (i * 3, 1)).collect();
+        let a2: Vec<(u64, u32)> = (0..150u64).map(|i| (1000 + i * 3, 2)).collect();
+        let b: Vec<(u64, u32)> = (0..500u64).map(|i| (i * 2, 3)).collect();
+        let a_lists: Vec<PostingsList> =
+            [&a1, &a2].iter().map(|p| p.iter().copied().collect()).collect();
+        let b_lists: Vec<PostingsList> = vec![b.iter().copied().collect()];
+        let groups = vec![crate::posting::union_sum(&a_lists), crate::posting::union_sum(&b_lists)];
+        let want = crate::posting::intersect_sum(&groups);
+
+        let mut scratch = BlockScratch::new();
+        let a_blocks = [list(&a1), list(&a2)];
+        let b_blocks = [list(&b)];
+        let mut acc = Vec::new();
+        union_sum_blocks(&a_blocks.iter().collect::<Vec<_>>(), &mut scratch, &mut acc).unwrap();
+        intersect_winnow_blocks(&mut acc, &b_blocks.iter().collect::<Vec<_>>(), &mut scratch)
+            .unwrap();
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn winnow_empty_and_disjoint() {
+        let mut scratch = BlockScratch::new();
+        let b = list(&[(2, 1), (4, 1)]);
+        let mut acc = vec![(TweetId(1), 1), (TweetId(5), 1)];
+        intersect_winnow_blocks(&mut acc, &[&b], &mut scratch).unwrap();
+        assert!(acc.is_empty());
+        let mut acc = vec![(TweetId(2), 1)];
+        intersect_winnow_blocks(&mut acc, &[], &mut scratch).unwrap();
+        assert!(acc.is_empty(), "no lists → nothing matches");
+    }
+
+    #[test]
+    fn winnow_sums_across_duplicate_lists() {
+        // Adversarial: the same id in two lists of one keyword — the flat
+        // union sums them, so the winnow must too.
+        let l1 = list(&[(10, 3)]);
+        let l2 = list(&[(10, 4), (20, 1)]);
+        let mut scratch = BlockScratch::new();
+        let mut acc = vec![(TweetId(10), 5)];
+        intersect_winnow_blocks(&mut acc, &[&l1, &l2], &mut scratch).unwrap();
+        assert_eq!(acc, vec![(TweetId(10), 12)]);
+    }
+
+    #[test]
+    fn seek_block_gallops_correctly() {
+        let bp = list(&(0..1000u64).map(|i| (i * 10, 1)).collect::<Vec<_>>());
+        let skips = bp.skips();
+        for id in [0u64, 5, 1270, 1280, 5000, 9990, 9991, 100_000] {
+            let got = seek_block(skips, 0, id);
+            let want = skips.partition_point(|s| s.last_id < id);
+            assert_eq!(got, want, "id={id}");
+            // From any later starting point ≤ want, same answer.
+            for from in [want / 2, want.saturating_sub(1), want] {
+                assert_eq!(seek_block(skips, from, id), want, "id={id} from={from}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_block_ops_match_flat_ops() {
+        // Deterministic xorshift sweep: union and AND-winnow against the
+        // flat reference on skewed random inputs spanning block boundaries.
+        fn next(state: &mut u64) -> u64 {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            *state
+        }
+        fn gen_list(state: &mut u64, len: usize, stride: u64) -> Vec<(u64, u32)> {
+            let mut id = next(state) % 50;
+            (0..len)
+                .map(|_| {
+                    id += 1 + next(state) % stride;
+                    (id, (next(state) % 9) as u32)
+                })
+                .collect()
+        }
+        let s = &mut 0xC0FF_EE00_D15E_A5E5u64;
+        for round in 0..60 {
+            let n_lists = 1 + (next(s) % 4) as usize;
+            let lists: Vec<Vec<(u64, u32)>> = (0..n_lists)
+                .map(|_| {
+                    let len = (next(s) % 300) as usize;
+                    let stride = 1 + next(s) % 8;
+                    gen_list(s, len, stride)
+                })
+                .collect();
+            let flat: Vec<PostingsList> =
+                lists.iter().map(|p| p.iter().copied().collect()).collect();
+            let want_union = crate::posting::union_sum(&flat);
+            let blocks: Vec<BlockPostings> = lists.iter().map(|p| list(p)).collect();
+            let refs: Vec<&BlockPostings> = blocks.iter().collect();
+            let mut scratch = BlockScratch::new();
+            let mut got_union = Vec::new();
+            union_sum_blocks(&refs, &mut scratch, &mut got_union).unwrap();
+            assert_eq!(got_union, want_union, "round {round}");
+
+            // AND of the union with one more random keyword group.
+            let other_len = (next(s) % 400) as usize;
+            let other_stride = 1 + next(s) % 4;
+            let other = gen_list(s, other_len, other_stride);
+            let other_flat: Vec<PostingsList> = vec![other.iter().copied().collect()];
+            let want_and = crate::posting::intersect_sum(&[
+                want_union.clone(),
+                crate::posting::union_sum(&other_flat),
+            ]);
+            let other_blocks = [list(&other)];
+            let mut acc = got_union;
+            intersect_winnow_blocks(
+                &mut acc,
+                &other_blocks.iter().collect::<Vec<_>>(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(acc, want_and, "round {round} (AND)");
+        }
+    }
+
+    #[test]
+    fn postings_format_parses() {
+        assert_eq!("flat".parse::<PostingsFormat>().unwrap(), PostingsFormat::Flat);
+        assert_eq!("block".parse::<PostingsFormat>().unwrap(), PostingsFormat::Block);
+        assert!("gzip".parse::<PostingsFormat>().is_err());
+        assert_eq!(PostingsFormat::default(), PostingsFormat::Block);
+        assert_eq!(PostingsFormat::Block.to_string(), "block");
+    }
+}

@@ -1,6 +1,7 @@
 //! Index construction: the MapReduce job of Algorithms 2 and 3 plus the
 //! driver that lays partitions out on the DFS and builds the forward index.
 
+use crate::block::{BlockPostings, PostingsFormat};
 use crate::forward::{ForwardIndex, PostingsLocation};
 use crate::inverted::HybridIndex;
 use crate::posting::{Posting, PostingsList};
@@ -24,11 +25,20 @@ pub struct IndexBuildConfig {
     pub block_size: usize,
     /// DFS replication factor for partition files (1 = no replicas).
     pub replication: usize,
+    /// On-DFS postings encoding (block-compressed by default; `Flat` keeps
+    /// the pre-block delta-varint layout as a comparison baseline).
+    pub postings_format: PostingsFormat,
 }
 
 impl Default for IndexBuildConfig {
     fn default() -> Self {
-        Self { geohash_len: 4, nodes: 3, block_size: 64 * 1024, replication: 1 }
+        Self {
+            geohash_len: 4,
+            nodes: 3,
+            block_size: 64 * 1024,
+            replication: 1,
+            postings_format: PostingsFormat::Block,
+        }
     }
 }
 
@@ -165,7 +175,10 @@ pub fn build_index(posts: &[Post], config: &IndexBuildConfig) -> (HybridIndex, I
             let occurrences: u64 = list.postings().iter().map(|p| p.tf as u64).sum();
             vocab.add_occurrences(term_id, occurrences);
             postings_total += list.len() as u64;
-            let bytes = list.encode();
+            let bytes = match config.postings_format {
+                PostingsFormat::Flat => list.encode(),
+                PostingsFormat::Block => BlockPostings::from_list(list).encode(),
+            };
             entries.push((
                 (*gh, term_id),
                 PostingsLocation {
@@ -194,7 +207,7 @@ pub fn build_index(posts: &[Post], config: &IndexBuildConfig) -> (HybridIndex, I
         index_bytes: dfs.total_bytes(),
         distinct_terms: vocab.len() as u64,
     };
-    let index = HybridIndex::new(forward, vocab, dfs, config.geohash_len);
+    let index = HybridIndex::new(forward, vocab, dfs, config.geohash_len, config.postings_format);
     (index, report)
 }
 
@@ -287,7 +300,7 @@ mod tests {
         ];
         let (index, _) = build_index(
             &posts,
-            &IndexBuildConfig { geohash_len: 4, nodes: 3, block_size: 1024, replication: 1 },
+            &IndexBuildConfig { geohash_len: 4, nodes: 3, block_size: 1024, ..Default::default() },
         );
         // Three partition files exist (some may be empty but created).
         let files = index.dfs().list();
@@ -326,7 +339,7 @@ mod tests {
     fn geohash_length_one_still_works() {
         let (index, _) = build_index(
             &toronto_posts(),
-            &IndexBuildConfig { geohash_len: 1, nodes: 3, block_size: 1024, replication: 1 },
+            &IndexBuildConfig { geohash_len: 1, nodes: 3, block_size: 1024, ..Default::default() },
         );
         let hotel = index.vocab().get("hotel").unwrap();
         let gh = encode(&Point::new_unchecked(43.670, -79.387), 1).unwrap();

@@ -21,6 +21,7 @@
 //! construction-scaling experiment.
 
 pub mod baseline;
+pub mod block;
 pub mod build;
 pub mod forward;
 pub mod inverted;
@@ -28,6 +29,10 @@ pub mod irtree;
 pub mod persist;
 pub mod posting;
 
+pub use block::{
+    intersect_winnow_blocks, union_sum_blocks, BlockPostings, BlockScratch, BlockSkip,
+    PostingsFormat, BLOCK_LEN,
+};
 pub use build::{build_index, IndexBuildConfig, IndexBuildReport};
 pub use forward::{ForwardIndex, PostingsLocation};
 pub use inverted::{HybridIndex, IndexError, IndexKey, QueryFetch};
@@ -35,4 +40,4 @@ pub use irtree::{IrSearchStats, IrTree};
 pub use persist::{
     load_dir, load_dir_with_report, save_dir, LoadReport, PersistError, PERSIST_FORMAT_VERSION,
 };
-pub use posting::{intersect_gallop, intersect_sum, union_sum, Posting, PostingsList};
+pub use posting::{intersect_gallop, intersect_sum, union_sum, DecodeError, Posting, PostingsList};

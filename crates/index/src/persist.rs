@@ -20,6 +20,7 @@
 //! reported rather than aborting the load (editor swap files, `.DS_Store`,
 //! and the like are not corruption).
 
+use crate::block::PostingsFormat;
 use crate::forward::{ForwardIndex, PostingsLocation};
 use crate::inverted::HybridIndex;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -28,7 +29,18 @@ use tklus_storage::{crc32, Dfs, DfsConfig};
 use tklus_text::{TermId, Vocab};
 
 /// On-disk format version written to (and required from) `meta.tsv`.
-pub const PERSIST_FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — flat delta-varint postings only; no `postings_format` line.
+///   Still readable: a v1 directory loads with
+///   [`PostingsFormat::Flat`] (the only encoding v1 ever wrote).
+/// * **2** — adds the mandatory `postings_format` meta line
+///   (`flat` | `block`) and the block-compressed partition encoding.
+pub const PERSIST_FORMAT_VERSION: u32 = 2;
+
+/// The one format version before [`PERSIST_FORMAT_VERSION`] that this
+/// build still reads (compat path).
+const PERSIST_FORMAT_VERSION_V1: u32 = 1;
 
 /// Errors from index persistence.
 #[derive(Debug)]
@@ -119,6 +131,7 @@ pub fn save_dir(index: &HybridIndex, dir: &Path) -> Result<(), PersistError> {
     // interpreting anything else.
     let mut meta = BufWriter::new(std::fs::File::create(dir.join("meta.tsv"))?);
     writeln!(meta, "format\t{PERSIST_FORMAT_VERSION}")?;
+    writeln!(meta, "postings_format\t{}", index.postings_format())?;
     writeln!(meta, "geohash_len\t{}", index.geohash_len())?;
     writeln!(meta, "nodes\t{}", index.dfs().node_count())?;
     meta.flush()?;
@@ -164,11 +177,13 @@ pub fn load_dir_with_report(dir: &Path) -> Result<(HybridIndex, LoadReport), Per
     // meta.tsv — the format line gates everything else.
     let meta = std::fs::read_to_string(dir.join("meta.tsv"))?;
     let mut format: Option<String> = None;
+    let mut postings_format: Option<String> = None;
     let mut geohash_len: Option<usize> = None;
     let mut nodes: Option<usize> = None;
     for line in meta.lines() {
         match line.split_once('\t') {
             Some(("format", v)) => format = Some(v.to_string()),
+            Some(("postings_format", v)) => postings_format = Some(v.to_string()),
             Some(("geohash_len", v)) => {
                 geohash_len = Some(v.parse().map_err(|_| corrupt("geohash_len"))?)
             }
@@ -176,21 +191,33 @@ pub fn load_dir_with_report(dir: &Path) -> Result<(HybridIndex, LoadReport), Per
             _ => return Err(corrupt(format!("meta line {line:?}"))),
         }
     }
-    match format {
-        Some(v) if v.parse() == Ok(PERSIST_FORMAT_VERSION) => {}
-        Some(v) => {
-            return Err(PersistError::VersionMismatch {
-                found: v,
-                expected: PERSIST_FORMAT_VERSION,
-            })
-        }
+    let version = match format {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n == PERSIST_FORMAT_VERSION || n == PERSIST_FORMAT_VERSION_V1 => n,
+            _ => {
+                return Err(PersistError::VersionMismatch {
+                    found: v,
+                    expected: PERSIST_FORMAT_VERSION,
+                })
+            }
+        },
         None => {
             return Err(PersistError::VersionMismatch {
                 found: "no format line".to_string(),
                 expected: PERSIST_FORMAT_VERSION,
             })
         }
-    }
+    };
+    // v1 directories predate the postings_format line and only ever held
+    // flat-encoded partitions; v2 must say which encoding it wrote.
+    let postings_format = match (version, postings_format) {
+        (PERSIST_FORMAT_VERSION_V1, None) => PostingsFormat::Flat,
+        (PERSIST_FORMAT_VERSION_V1, Some(_)) => {
+            return Err(corrupt("format 1 directory carries a postings_format line"))
+        }
+        (_, Some(v)) => v.parse::<PostingsFormat>().map_err(corrupt)?,
+        (_, None) => return Err(corrupt("missing postings_format")),
+    };
     let geohash_len = geohash_len.ok_or_else(|| corrupt("missing geohash_len"))?;
     let nodes = nodes.ok_or_else(|| corrupt("missing nodes"))?;
 
@@ -278,7 +305,7 @@ pub fn load_dir_with_report(dir: &Path) -> Result<(HybridIndex, LoadReport), Per
     if let Some(missing) = expected.keys().find(|file| !seen.contains(*file)) {
         return Err(PersistError::MissingPartition { file: missing.clone() });
     }
-    Ok((HybridIndex::new(forward, vocab, dfs, geohash_len), report))
+    Ok((HybridIndex::new(forward, vocab, dfs, geohash_len, postings_format), report))
 }
 
 #[cfg(test)]
@@ -400,18 +427,90 @@ mod tests {
     fn version_mismatch_is_typed() {
         let dir = saved_dir("version");
         let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
-        std::fs::write(dir.join("meta.tsv"), meta.replace("format\t1", "format\t99")).unwrap();
+        std::fs::write(dir.join("meta.tsv"), meta.replace("format\t2", "format\t99")).unwrap();
         let err = load_err(&dir);
         assert!(
-            matches!(&err, PersistError::VersionMismatch { found, expected: 1 } if found == "99"),
+            matches!(&err, PersistError::VersionMismatch { found, expected: 2 } if found == "99"),
             "{err}"
         );
         // A directory with no format line at all is also a version mismatch
         // (pre-versioning layout), not a parse error.
-        std::fs::write(dir.join("meta.tsv"), meta.replace("format\t1\n", "")).unwrap();
+        std::fs::write(dir.join("meta.tsv"), meta.replace("format\t2\n", "")).unwrap();
         let err = load_err(&dir);
         assert!(matches!(err, PersistError::VersionMismatch { .. }), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_directory_loads_as_flat_compat() {
+        // A v1 directory is exactly a flat-format save minus the
+        // postings_format meta line: rewrite the meta that way and the
+        // compat path must load it, flagged flat, answering queries
+        // identically to the in-memory flat index.
+        let (index, _) = build_index(
+            &posts(),
+            &IndexBuildConfig {
+                postings_format: crate::block::PostingsFormat::Flat,
+                ..Default::default()
+            },
+        );
+        let dir = tmp_dir("v1-compat");
+        save_dir(&index, &dir).unwrap();
+        let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
+        std::fs::write(
+            dir.join("meta.tsv"),
+            meta.replace("format\t2", "format\t1").replace("postings_format\tflat\n", ""),
+        )
+        .unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.postings_format(), crate::block::PostingsFormat::Flat);
+        let center = Point::new_unchecked(43.68, -79.45);
+        let hotel = index.vocab().get("hotel").unwrap();
+        let f1 = index.fetch_for_query(&center, 30.0, &[hotel], DistanceMetric::Euclidean);
+        let f2 = loaded.fetch_for_query(&center, 30.0, &[hotel], DistanceMetric::Euclidean);
+        assert_eq!(f1.per_keyword, f2.per_keyword);
+
+        // A v1 directory claiming a postings_format is contradictory: v1
+        // never wrote one. Typed corruption, not a silent misparse.
+        let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
+        std::fs::write(dir.join("meta.tsv"), format!("{meta}postings_format\tblock\n")).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_requires_valid_postings_format() {
+        let dir = saved_dir("v2-format-line");
+        let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
+        // Unknown encoding name.
+        std::fs::write(
+            dir.join("meta.tsv"),
+            meta.replace("postings_format\tblock", "postings_format\tgzip"),
+        )
+        .unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        // Missing line entirely.
+        std::fs::write(dir.join("meta.tsv"), meta.replace("postings_format\tblock\n", "")).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roundtrip_preserves_postings_format() {
+        for format in [crate::block::PostingsFormat::Flat, crate::block::PostingsFormat::Block] {
+            let (index, _) = build_index(
+                &posts(),
+                &IndexBuildConfig { postings_format: format, ..Default::default() },
+            );
+            let dir = tmp_dir(&format!("fmt-{format}"));
+            save_dir(&index, &dir).unwrap();
+            let loaded = load_dir(&dir).unwrap();
+            assert_eq!(loaded.postings_format(), format);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

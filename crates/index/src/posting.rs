@@ -90,27 +90,36 @@ impl FromIterator<(u64, u32)> for PostingsList {
     }
 }
 
-/// Malformed postings bytes.
+/// Malformed postings bytes (flat or block layout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Input ended inside a varint.
+    /// Input ended inside a varint or before a declared payload.
     Truncated,
-    /// A term frequency exceeded `u32`.
+    /// A term frequency exceeded `u32`, or an id/offset exceeded `u64`.
     Overflow,
+    /// A block header field is internally inconsistent (block sizing,
+    /// packed widths, payload extents, skip cross-checks).
+    BadBlockHeader(&'static str),
+    /// Block id ranges are not strictly increasing.
+    NonMonotonic,
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated => f.write_str("postings bytes truncated"),
-            DecodeError::Overflow => f.write_str("term frequency overflows u32"),
+            DecodeError::Overflow => f.write_str("postings value overflows its type"),
+            DecodeError::BadBlockHeader(detail) => {
+                write!(f, "inconsistent postings block header: {detail}")
+            }
+            DecodeError::NonMonotonic => f.write_str("postings block ids not strictly increasing"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -122,7 +131,7 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

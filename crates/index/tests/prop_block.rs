@@ -1,0 +1,177 @@
+//! Property suite for the block-compressed postings codec (DESIGN.md §13).
+//!
+//! Two properties, both load-bearing for the serving path:
+//!
+//! 1. **Round-trip** — `encode ∘ decode` is the identity on any valid
+//!    postings list, bitwise, across the shapes that stress the layout:
+//!    empty lists, single postings, exact block boundaries (127/128/129),
+//!    dense id runs (0-bit gaps), and sparse 64-bit-wide ids.
+//! 2. **Hostile input never panics** — `decode` over arbitrary bytes,
+//!    truncations of valid encodings, and single-byte corruptions of valid
+//!    encodings either succeeds or returns a typed [`DecodeError`]; it
+//!    must never panic, overflow, or loop. Set operations over whatever
+//!    *does* decode must also be panic-free (the structural validation at
+//!    decode time is what licenses the lazy block unpacking later).
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+use proptest::prelude::*;
+use tklus_index::{
+    intersect_winnow_blocks, union_sum_blocks, BlockPostings, BlockScratch, PostingsList, BLOCK_LEN,
+};
+
+/// Sorted unique `(id, tf)` postings with shape diversity: gap widths from
+/// dense (+1) to huge, tf widths from 0 bits to the full u32.
+fn arb_postings() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    (
+        proptest::collection::vec((1u64..1 << 40, 0u32..=u32::MAX), 0..400),
+        // Occasionally start near u64::MAX to stress the id-width edge.
+        any::<bool>(),
+    )
+        .prop_map(|(gaps_tfs, high)| {
+            let mut id: u64 = if high { u64::MAX - (1 << 42) } else { 0 };
+            let mut out = Vec::with_capacity(gaps_tfs.len());
+            for (gap, tf) in gaps_tfs {
+                let Some(next) = id.checked_add(gap) else { break };
+                id = next;
+                out.push((id, tf));
+            }
+            out
+        })
+}
+
+fn to_list(postings: &[(u64, u32)]) -> PostingsList {
+    postings.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Round-trip: encode → decode is bitwise identity (skip table, data
+    /// payload, and the materialized postings all agree with the source).
+    #[test]
+    fn roundtrip_is_identity(postings in arb_postings()) {
+        let list = to_list(&postings);
+        let block = BlockPostings::from_list(&list);
+        prop_assert_eq!(block.len(), postings.len());
+        let bytes = block.encode();
+        let (back, used) = BlockPostings::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(used, bytes.len(), "decode consumes the whole encoding");
+        prop_assert_eq!(back.len(), block.len());
+        prop_assert_eq!(back.skips(), block.skips());
+        let materialized = back.to_postings_list().expect("valid payloads materialize");
+        prop_assert_eq!(
+            materialized.postings(),
+            list.postings(),
+            "materialized postings must round-trip bitwise"
+        );
+        // Re-encoding the decoded value is byte-identical (canonical form).
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Truncating a valid encoding at any point yields a typed error or a
+    /// still-consistent value — never a panic.
+    #[test]
+    fn truncation_never_panics(postings in arb_postings(), cut in 0usize..4096) {
+        let bytes = BlockPostings::from_list(&to_list(&postings)).encode();
+        let cut = cut % (bytes.len() + 1);
+        match BlockPostings::decode(&bytes[..cut]) {
+            Ok((b, _)) => exercise(&b),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// Flipping any single byte of a valid encoding yields a typed error
+    /// or a value whose lazy block reads are still panic-free.
+    #[test]
+    fn corruption_never_panics(
+        postings in arb_postings(),
+        pos in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = BlockPostings::from_list(&to_list(&postings)).encode();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        match BlockPostings::decode(&bytes) {
+            Ok((b, _)) => exercise(&b),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// Arbitrary garbage decodes to a typed error or a consistent value.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match BlockPostings::decode(&bytes) {
+            Ok((b, _)) => exercise(&b),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// The block set operations agree with the flat reference on any pair
+    /// of lists (union tf-sums duplicates; winnowing keeps exactly the acc
+    /// entries present in some list, adding their tfs). Tfs are capped so
+    /// the cross-list sums stay in range — overflow behaviour is not the
+    /// property under test here.
+    #[test]
+    fn set_ops_match_flat_reference(a in arb_postings(), b in arb_postings()) {
+        let cap = |v: &[(u64, u32)]| v.iter().map(|&(id, tf)| (id, tf >> 3)).collect::<Vec<_>>();
+        let (a, b) = (cap(&a), cap(&b));
+        let (la, lb) = (to_list(&a), to_list(&b));
+        let (ba, bb) = (BlockPostings::from_list(&la), BlockPostings::from_list(&lb));
+        let mut scratch = BlockScratch::default();
+
+        let mut union = Vec::new();
+        union_sum_blocks(&[&ba, &bb], &mut scratch, &mut union).expect("valid blocks");
+        let want = tklus_index::union_sum(&[std::sync::Arc::new(la), std::sync::Arc::new(lb)]);
+        prop_assert_eq!(union.clone(), want);
+
+        // Winnow the union against one side: every kept entry gains that
+        // side's tf; entries absent from it drop out.
+        let mut acc = union;
+        intersect_winnow_blocks(&mut acc, &[&ba], &mut scratch).expect("valid blocks");
+        prop_assert_eq!(acc.len(), a.len());
+        for (&(id, tf), &(aid, atf)) in acc.iter().zip(&a) {
+            prop_assert_eq!(id.0, aid);
+            let b_tf = b.iter().find(|&&(bid, _)| bid == aid).map_or(0, |&(_, t)| t);
+            prop_assert_eq!(tf, atf + atf + b_tf);
+        }
+    }
+}
+
+/// Drives every lazy access path of a decoded value: per-block reads via
+/// the public set operations plus full materialization. Any corruption
+/// that slipped past structural validation must surface as a typed error
+/// here, not a panic.
+fn exercise(block: &BlockPostings) {
+    let mut scratch = BlockScratch::default();
+    let mut out = Vec::new();
+    if let Err(e) = block.to_postings_list() {
+        let _ = e.to_string();
+    }
+    if let Err(e) = union_sum_blocks(&[block], &mut scratch, &mut out) {
+        let _ = e.to_string();
+        return;
+    }
+    let mut acc = out.clone();
+    if let Err(e) = intersect_winnow_blocks(&mut acc, &[block], &mut scratch) {
+        let _ = e.to_string();
+    }
+}
+
+/// Fixed shapes the strategies could plausibly under-sample: empty, one
+/// posting, and the exact block-boundary lengths.
+#[test]
+fn boundary_shapes_roundtrip() {
+    for len in [0usize, 1, BLOCK_LEN - 1, BLOCK_LEN, BLOCK_LEN + 1, 3 * BLOCK_LEN] {
+        let postings: Vec<(u64, u32)> = (0..len as u64).map(|i| (i * 7 + 1, i as u32)).collect();
+        let list = to_list(&postings);
+        let block = BlockPostings::from_list(&list);
+        let (back, _) = BlockPostings::decode(&block.encode()).expect("roundtrip");
+        let materialized = back.to_postings_list().expect("valid payloads materialize");
+        assert_eq!(materialized.postings(), list.postings(), "len={len}");
+        assert_eq!(back.num_blocks(), len.div_ceil(BLOCK_LEN), "len={len}");
+    }
+}

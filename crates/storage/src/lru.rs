@@ -4,8 +4,14 @@
 //! query-cache hierarchy in `tklus-core` applies it to decoded values —
 //! geohash circle covers, decoded postings lists, thread popularities.
 //! The striping is identical to the buffer pool's: up to 16 shards, each
-//! its own `Mutex<HashMap>`, entries routed by key hash, one global atomic
-//! LRU clock whose stamps approximate global LRU per shard.
+//! its own `Mutex<HashMap>`, entries routed by key hash. The LRU clock and
+//! the hit/miss counters are striped with the shards — every lookup
+//! already holds its shard lock, so bumping plain per-shard fields there
+//! is free, whereas a global atomic clock is write-shared by every cache
+//! hit on every shard and bounces its cache line across cores. Eviction
+//! is per shard, so per-shard stamps order exactly the comparisons
+//! eviction makes; cross-shard stamp order was never observable. Stats
+//! reads merge the shards.
 //!
 //! Unlike the buffer pool, a miss here does **not** hold the shard lock
 //! while the caller computes the missing value: cached values are derived
@@ -22,7 +28,6 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Most shards the cache is split into; effective per-shard capacity is
 /// `capacity / shards` (so tiny caches still evict correctly).
@@ -62,11 +67,18 @@ pub struct ShardedLruCache<K, V> {
     /// Per-shard entry budget (`capacity / shards.len()`).
     shard_capacity: usize,
     capacity: usize,
-    shards: Vec<Mutex<HashMap<K, (V, u64)>>>,
+    shards: Vec<Mutex<Shard<K, V>>>,
     hasher: RandomState,
-    tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+}
+
+/// One stripe: its entries plus its own LRU clock and counters, all
+/// guarded by the stripe's mutex so the hot path touches no shared
+/// atomics.
+struct Shard<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
@@ -75,17 +87,16 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
         let num_shards = capacity.clamp(1, MAX_SHARDS);
         let shard_capacity = capacity / num_shards;
         let shards = (0..num_shards)
-            .map(|_| Mutex::new(HashMap::with_capacity(shard_capacity.min(1024))))
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::with_capacity(shard_capacity.min(1024)),
+                    tick: 0,
+                    hits: 0,
+                    misses: 0,
+                })
+            })
             .collect();
-        Self {
-            shard_capacity,
-            capacity,
-            shards,
-            hasher: RandomState::new(),
-            tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self { shard_capacity, capacity, shards, hasher: RandomState::new() }
     }
 
     /// Whether the cache can hold anything at all.
@@ -100,7 +111,7 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
 
     /// Current number of cached entries (across all shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -108,33 +119,33 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
         self.len() == 0
     }
 
-    /// Lookups served from the cache so far. Monotone non-decreasing.
+    /// Lookups served from the cache so far, merged over shards. Monotone
+    /// non-decreasing.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.lock().hits).sum()
     }
 
-    /// Lookups that missed so far. Monotone non-decreasing.
+    /// Lookups that missed so far, merged over shards. Monotone
+    /// non-decreasing.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.lock().misses).sum()
     }
 
-    /// Counters plus occupancy in one snapshot.
+    /// Counters plus occupancy in one snapshot, merged over shards.
     pub fn stats(&self) -> CacheLayerStats {
-        CacheLayerStats {
-            hits: self.hits(),
-            misses: self.misses(),
-            entries: self.len(),
-            capacity: self.capacity,
+        let mut stats = CacheLayerStats { hits: 0, misses: 0, entries: 0, capacity: self.capacity };
+        for shard in &self.shards {
+            let shard = shard.lock();
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.entries += shard.map.len();
         }
+        stats
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, (V, u64)>> {
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
         let h = self.hasher.hash_one(key);
         &self.shards[(h % self.shards.len() as u64) as usize]
-    }
-
-    fn touch(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Looks `key` up, refreshing its LRU stamp and counting a hit or a
@@ -144,14 +155,17 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
             return None;
         }
         let mut shard = self.shard(key).lock();
-        match shard.get_mut(key) {
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
             Some((value, stamp)) => {
-                *stamp = self.touch();
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value.clone())
+                *stamp = tick;
+                let value = value.clone();
+                shard.hits += 1;
+                Some(value)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses += 1;
                 None
             }
         }
@@ -166,20 +180,21 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
         if self.shard_capacity == 0 {
             return;
         }
-        let stamp = self.touch();
         let mut shard = self.shard(&key).lock();
-        if let Some(slot) = shard.get_mut(&key) {
+        shard.tick += 1;
+        let stamp = shard.tick;
+        if let Some(slot) = shard.map.get_mut(&key) {
             *slot = (value, stamp);
             return;
         }
-        if shard.len() >= self.shard_capacity {
+        if shard.map.len() >= self.shard_capacity {
             if let Some(victim) =
-                shard.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+                shard.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
             {
-                shard.remove(&victim);
+                shard.map.remove(&victim);
             }
         }
-        shard.insert(key, (value, stamp));
+        shard.map.insert(key, (value, stamp));
     }
 }
 
