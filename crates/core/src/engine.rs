@@ -18,14 +18,18 @@ use crate::error::EngineError;
 use crate::metadata::{MetadataDb, MetadataStoreFactory};
 use crate::obs::EngineMetrics;
 use crate::query::{
-    max::try_query_max, sum::try_query_sum, Completeness, QueryContext, QueryOutcome, QueryStats,
-    RankedUser,
+    max::try_query_max,
+    sum::{try_query_sum, try_sum_rows},
+    Completeness, PartialSumOutcome, QueryContext, QueryOutcome, QueryStats, RankedUser,
+    StageClock,
 };
 use crate::scratch::ScratchPool;
+use std::time::Instant;
+use tklus_geo::Point;
 use tklus_graph::SocialNetwork;
 use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
 use tklus_metrics::RegistrySnapshot;
-use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery};
+use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery, UserId};
 use tklus_text::{TermId, TextPipeline};
 
 /// How users are ranked.
@@ -412,6 +416,81 @@ impl TklusEngine {
             obs.observe(&outcome.stats, !outcome.completeness.is_complete());
         }
         outcome
+    }
+
+    /// The row-producing half of Algorithm 4 for scatter-gather execution:
+    /// cover, fetch, combine, and per-candidate relevance scoring, with the
+    /// per-user Sum fold and distance blend left to the caller. Rows come
+    /// back in candidate (tweet-id) order — a router that merges rows from
+    /// engines over disjoint tweet sets by tweet id and folds sequentially
+    /// reproduces [`Self::try_query`]'s Sum scores bit for bit.
+    ///
+    /// Follows the same keyword contract as a full query: an AND query
+    /// with any unknown keyword, or a query whose keywords all resolve
+    /// away, yields no rows and is complete.
+    pub fn try_partial_sum(&self, q: &TklusQuery) -> Result<PartialSumOutcome, EngineError> {
+        let empty = || PartialSumOutcome {
+            rows: Vec::new(),
+            stats: QueryStats::default(),
+            completeness: Completeness::Complete,
+        };
+        if q.semantics == Semantics::And
+            && self.resolve_keywords(&q.keywords).iter().any(Option::is_none)
+        {
+            return Ok(self.finish_partial(empty()));
+        }
+        let terms = self.resolve_query_terms(&q.keywords);
+        if terms.is_empty() {
+            return Ok(self.finish_partial(empty()));
+        }
+        let ctx = QueryContext {
+            index: &self.index,
+            db: &self.db,
+            caches: &self.caches,
+            scoring: &self.scoring,
+            scratch: &self.scratch,
+            parallelism: self.parallelism,
+            timings: self.obs.is_some(),
+        };
+        let start = Instant::now();
+        let mut clock = StageClock::new(ctx.timings, start);
+        match try_sum_rows(&ctx, q, &terms, start, &mut clock) {
+            Ok((rows, mut stats, completeness)) => {
+                stats.elapsed = start.elapsed();
+                Ok(self.finish_partial(PartialSumOutcome { rows, stats, completeness }))
+            }
+            Err(e) => {
+                if let Some(obs) = &self.obs {
+                    obs.observe_error();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Aggregates a partial-sum execution into the registry, like
+    /// [`Self::finish`] does for full queries.
+    fn finish_partial(&self, outcome: PartialSumOutcome) -> PartialSumOutcome {
+        if let Some(obs) = &self.obs {
+            obs.observe(&outcome.stats, !outcome.completeness.is_complete());
+        }
+        outcome
+    }
+
+    /// Definition 10's user distance score δ(u, q) for one user, computed
+    /// over the user's posts in this engine's metadata database. This is
+    /// exactly the per-user blend input of Algorithm 4's lines 25–27, so a
+    /// scatter-gather router holding engines over the full corpus gets
+    /// bitwise the same δ the monolithic engine blends with.
+    pub fn try_user_distance_score(
+        &self,
+        center: &Point,
+        radius_km: f64,
+        user: UserId,
+    ) -> Result<f64, EngineError> {
+        let locations: Vec<Point> =
+            self.db.try_posts_of_user(user)?.into_iter().map(|(_, l)| l).collect();
+        Ok(crate::score::user_distance_score(center, radius_km, &locations, &self.scoring))
     }
 }
 

@@ -47,4 +47,7 @@ pub use cache::{CacheConfig, CacheStats, QueryCaches};
 pub use engine::{EngineConfig, Ranking, TklusEngine};
 pub use error::EngineError;
 pub use metadata::{MetaRow, MetadataDb, MetadataStoreFactory};
-pub use query::{Completeness, QueryOutcome, QueryStats, RankedUser, StageTimings};
+pub use query::{
+    top_k, Completeness, PartialSumOutcome, QueryOutcome, QueryStats, RankedUser, StageTimings,
+    SumRow,
+};

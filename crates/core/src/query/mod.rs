@@ -68,6 +68,37 @@ pub struct QueryOutcome {
     pub completeness: Completeness,
 }
 
+/// One scored candidate row of the Sum pipeline (Algorithm 4 lines
+/// 15–24), before the per-user fold: the tweet, its author, and the
+/// tweet's keyword-relevance contribution ρ (thread popularity × keyword
+/// score × recency). Rows come out in candidate (tweet-id) order, which
+/// is exactly the order the monolithic engine folds them in — a
+/// scatter-gather router that merges rows from disjoint shards by tweet
+/// id and folds sequentially reproduces the monolithic Sum scores bit
+/// for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumRow {
+    /// The candidate tweet.
+    pub tweet: TweetId,
+    /// The tweet's author.
+    pub user: UserId,
+    /// The tweet's contribution to its author's Sum score.
+    pub rho: f64,
+}
+
+/// What [`crate::TklusEngine::try_partial_sum`] produces: the scored
+/// candidate rows in tweet-id order (the fold and distance blend left to
+/// the caller), plus cost accounting and budget completeness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSumOutcome {
+    /// Scored rows in candidate (tweet-id) order.
+    pub rows: Vec<SumRow>,
+    /// Cost accounting through the thread-construction stage.
+    pub stats: QueryStats,
+    /// Whether the whole cover was examined.
+    pub completeness: Completeness,
+}
+
 /// A query budget resolved against this execution's start time, checked at
 /// cover-cell granularity: a cell is either fully examined or not started,
 /// which is what keeps degraded results deterministic for a fixed
@@ -689,7 +720,11 @@ where
 
 /// Sorts users by score descending (ties broken by user id for
 /// determinism) and truncates to `k`.
-pub(crate) fn top_k(mut users: Vec<RankedUser>, k: usize) -> Vec<RankedUser> {
+///
+/// Public because the sharded router (`tklus-shard`) must rank its merged
+/// user set with exactly this comparator to stay bitwise-identical to the
+/// monolithic engine.
+pub fn top_k(mut users: Vec<RankedUser>, k: usize) -> Vec<RankedUser> {
     users.sort_by(|a, b| {
         b.score.partial_cmp(&a.score).expect("scores are finite").then(a.user.cmp(&b.user))
     });

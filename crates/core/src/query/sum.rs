@@ -13,6 +13,13 @@
 //! is pure, so cached and uncached runs differ only in cost, never in
 //! results.
 //!
+//! The pipeline is split at the per-user fold: [`try_sum_rows`] produces
+//! the scored candidate rows in tweet-id order, and [`try_query_sum`]
+//! folds them into user Sum scores and blends with distance. The split is
+//! what lets the sharded router (`tklus-shard`) gather rows from disjoint
+//! shard engines, merge them by tweet id, and run the *same* sequential
+//! fold — reproducing the monolithic result bit for bit.
+//!
 //! Storage and index failures anywhere along the path — postings fetch,
 //! metadata row lookup, thread walk, user scan — propagate as typed
 //! [`EngineError`]s; a query budget degrades the cover instead
@@ -27,7 +34,7 @@
 use crate::error::EngineError;
 use crate::query::{
     candidates, parallel_map, top_k, CellBudget, Completeness, QueryContext, QueryStats,
-    RankedUser, StageClock,
+    RankedUser, StageClock, SumRow,
 };
 use crate::score::{tweet_keyword_score, user_distance_score, user_score};
 use std::collections::HashMap;
@@ -41,28 +48,23 @@ use tklus_text::TermId;
 /// time window, otherwise `(author, relevance, cache-probe)`.
 type ScoredSlot = (u64, Result<Option<(UserId, f64, Option<bool>)>, EngineError>);
 
-/// Runs Algorithm 4. `terms` are the query keywords already normalized to
-/// term ids (keywords missing from the dictionary are resolved upstream).
-/// The query's optional time window and recency bias (the Section VIII
-/// temporal extension) are honoured: out-of-window candidates are skipped
-/// before any metadata I/O, and keyword relevance is decayed by the
-/// recency factor.
-///
-/// `ctx.parallelism` is the number of worker threads for the postings
-/// fetch, the per-candidate thread scoring, and the per-user distance
-/// blend; the ranked output is identical at any value.
-pub(crate) fn try_query_sum(
+/// The row-producing front half of Algorithm 4 (lines 1–24): cover,
+/// fetch, AND/OR combine, and per-candidate relevance scoring. Returns
+/// the surviving rows in candidate (tweet-id) order, stats through the
+/// thread stage, and the budget completeness; the per-user fold and
+/// distance blend are left to the caller.
+pub(crate) fn try_sum_rows(
     ctx: &QueryContext<'_>,
     query: &TklusQuery,
     terms: &[TermId],
-) -> Result<(Vec<RankedUser>, QueryStats, Completeness), EngineError> {
-    let start = Instant::now();
+    start: Instant,
+    clock: &mut StageClock,
+) -> Result<(Vec<SumRow>, QueryStats, Completeness), EngineError> {
     let db = ctx.db;
     let config = ctx.scoring;
     let center = &query.location;
     let radius_km = query.radius_km;
     let budget = CellBudget::new(query.budget.as_ref(), start);
-    let mut clock = StageClock::new(ctx.timings, start);
 
     // Lines 1–14: cover, fetch, AND/OR combine — through the cache
     // hierarchy, stopping between cover cells if the budget expires.
@@ -95,7 +97,7 @@ pub(crate) fn try_query_sum(
     // Lines 15–24, fan-out half: per-tweet relevance. Each slot is pure —
     // radius check, thread popularity (possibly cached), keyword score —
     // and lands back in candidate order; any slot's storage error aborts
-    // the query in the sequential fold below.
+    // the query in the sequential collection below.
     let scored: Vec<ScoredSlot> = parallel_map(&cands, ctx.parallelism, |&(tid, tf)| {
         let reads_before = IoStats::thread_page_reads();
         let slot = (|| {
@@ -115,11 +117,11 @@ pub(crate) fn try_query_sum(
         (IoStats::thread_page_reads() - reads_before, slot)
     });
 
-    // Fold half: per-user Sum scores accumulate sequentially in candidate
-    // order, so float addition order never depends on scheduling.
+    // Collect surviving rows in candidate order (the fold order every
+    // consumer must preserve for float determinism).
     let mut page_reads = 0u64;
-    let mut users: HashMap<UserId, f64> = HashMap::new();
-    for (reads, slot) in scored {
+    let mut rows: Vec<SumRow> = Vec::new();
+    for ((reads, slot), &(tid, _)) in scored.into_iter().zip(cands.iter()) {
         page_reads += reads;
         let Some((uid, rs, probe)) = slot? else { continue };
         stats.in_radius += 1;
@@ -127,14 +129,28 @@ pub(crate) fn try_query_sum(
         if probe != Some(true) {
             stats.threads_built += 1;
         }
-        *users.entry(uid).or_insert(0.0) += rs;
+        rows.push(SumRow { tweet: tid, user: uid, rho: rs });
     }
     scratch.recycle_candidates(cands);
+    stats.metadata_page_reads = page_reads;
     stats.stages.threads = clock.lap();
+    Ok((rows, stats, completeness))
+}
 
-    // Lines 25–27: blend with user distance scores (Definition 10). Each
-    // user's blend is independent, so this fans out too; users are visited
-    // in id order for deterministic I/O patterns.
+/// The per-user distance blend (lines 25–27): each user's Sum score ρ
+/// blends with their distance score δ (Definition 10) into the final
+/// `score(u, q)`. Users are visited in id order for deterministic I/O
+/// patterns; the blend fans out across `parallelism` workers. Returns the
+/// unranked users and the metadata page reads incurred.
+pub(crate) fn try_blend_users(
+    ctx: &QueryContext<'_>,
+    query: &TklusQuery,
+    users: HashMap<UserId, f64>,
+) -> Result<(Vec<RankedUser>, u64), EngineError> {
+    let db = ctx.db;
+    let config = ctx.scoring;
+    let center = &query.location;
+    let radius_km = query.radius_km;
     let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
     entries.sort_by_key(|e| e.0);
     let ranked: Vec<(u64, Result<RankedUser, EngineError>)> =
@@ -148,14 +164,45 @@ pub(crate) fn try_query_sum(
             })();
             (IoStats::thread_page_reads() - reads_before, slot)
         });
+    let mut page_reads = 0u64;
     let mut users_ranked = Vec::with_capacity(ranked.len());
     for (reads, slot) in ranked {
         page_reads += reads;
         users_ranked.push(slot?);
     }
+    Ok((users_ranked, page_reads))
+}
+
+/// Runs Algorithm 4. `terms` are the query keywords already normalized to
+/// term ids (keywords missing from the dictionary are resolved upstream).
+/// The query's optional time window and recency bias (the Section VIII
+/// temporal extension) are honoured: out-of-window candidates are skipped
+/// before any metadata I/O, and keyword relevance is decayed by the
+/// recency factor.
+///
+/// `ctx.parallelism` is the number of worker threads for the postings
+/// fetch, the per-candidate thread scoring, and the per-user distance
+/// blend; the ranked output is identical at any value.
+pub(crate) fn try_query_sum(
+    ctx: &QueryContext<'_>,
+    query: &TklusQuery,
+    terms: &[TermId],
+) -> Result<(Vec<RankedUser>, QueryStats, Completeness), EngineError> {
+    let start = Instant::now();
+    let mut clock = StageClock::new(ctx.timings, start);
+    let (rows, mut stats, completeness) = try_sum_rows(ctx, query, terms, start, &mut clock)?;
+
+    // Fold half: per-user Sum scores accumulate sequentially in candidate
+    // order, so float addition order never depends on scheduling.
+    let mut users: HashMap<UserId, f64> = HashMap::new();
+    for row in &rows {
+        *users.entry(row.user).or_insert(0.0) += row.rho;
+    }
+
+    let (users_ranked, blend_reads) = try_blend_users(ctx, query, users)?;
+    stats.metadata_page_reads += blend_reads;
     stats.stages.scoring = clock.lap();
 
-    stats.metadata_page_reads = page_reads;
     let top = top_k(users_ranked, query.k);
     stats.stages.topk = clock.lap();
     stats.elapsed = start.elapsed();

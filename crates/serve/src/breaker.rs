@@ -109,7 +109,7 @@ impl std::fmt::Display for BreakerState {
 /// probing, and bounded exponential backoff.
 #[derive(Debug)]
 pub struct CircuitBreaker {
-    name: &'static str,
+    name: String,
     cfg: BreakerConfig,
     state: BreakerState,
     /// Rolling outcome window, `true` = failure. Only fed while closed.
@@ -124,10 +124,12 @@ pub struct CircuitBreaker {
 }
 
 impl CircuitBreaker {
-    /// A closed breaker named for the failure domain it guards.
-    pub fn new(name: &'static str, cfg: BreakerConfig) -> Self {
+    /// A closed breaker named for the failure domain it guards. The name
+    /// is owned so callers can mint breakers for dynamic domains (e.g.
+    /// one per query-engine shard) as well as the static panel pair.
+    pub fn new(name: impl Into<String>, cfg: BreakerConfig) -> Self {
         Self {
-            name,
+            name: name.into(),
             cfg,
             state: BreakerState::Closed,
             window: std::collections::VecDeque::with_capacity(cfg.window),
@@ -141,9 +143,10 @@ impl CircuitBreaker {
         }
     }
 
-    /// The guarded failure domain's name (`"storage"` / `"index"`).
-    pub fn name(&self) -> &'static str {
-        self.name
+    /// The guarded failure domain's name (e.g. `"storage"` / `"index"`,
+    /// or a per-shard domain like `"shard-003"`).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Current state (without advancing the clock — an open breaker past
@@ -351,10 +354,10 @@ impl BreakerPanel {
     /// agree, so a denied request never burns another domain's probe.
     pub fn check(&mut self, now_ms: u64) -> Result<ProbeGrant, &'static str> {
         if !self.storage.would_allow(now_ms) {
-            return Err(self.storage.name());
+            return Err("storage");
         }
         if !self.index.would_allow(now_ms) {
-            return Err(self.index.name());
+            return Err("index");
         }
         let storage = self.storage.try_grant(now_ms);
         let index = self.index.try_grant(now_ms);

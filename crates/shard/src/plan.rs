@@ -1,0 +1,183 @@
+//! The shard plan: a partition of the geohash keyspace into `N`
+//! contiguous half-open prefix ranges.
+//!
+//! A plan is just its `N - 1` sorted range boundaries; boundary `i` is the
+//! first cell of shard `i + 1`'s range, so shard `i` owns
+//! `[boundary[i-1], boundary[i])` (with the first and last ranges open at
+//! the keyspace ends). Routing a cell is one `partition_point` over the
+//! boundary list. Boundaries may repeat: a plan with more shards than
+//! distinct cells simply has empty ranges, which keeps the shard count an
+//! invariant of the plan rather than of the data.
+//!
+//! `Geohash` compares lexicographically for equal-length cells (its bits
+//! are left-aligned), so "contiguous boundary ranges" and "contiguous
+//! geographic prefix ranges" coincide as long as every routed cell uses
+//! the same geohash length — which the sharded engine guarantees by
+//! deriving both the plan and every query cover from one configured
+//! `geohash_len`.
+
+use tklus_geo::Geohash;
+
+/// Identifies one shard of a [`ShardPlan`]. Displays as `shard-NNN`,
+/// matching the on-disk subdirectory naming of the sharded manifest
+/// (format v3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub usize);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{:03}", self.0)
+    }
+}
+
+/// A partition of the geohash keyspace into contiguous shard ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Sorted range boundaries; `len() + 1` shards.
+    boundaries: Vec<Geohash>,
+}
+
+impl ShardPlan {
+    /// The trivial single-shard plan (the monolithic engine's keyspace).
+    pub fn single() -> Self {
+        Self { boundaries: Vec::new() }
+    }
+
+    /// A plan from explicit boundaries, which must be sorted ascending
+    /// (duplicates allowed — they denote empty shards).
+    pub fn from_boundaries(boundaries: Vec<Geohash>) -> Result<Self, String> {
+        if boundaries.windows(2).any(|w| w[0] > w[1]) {
+            return Err("shard boundaries must be sorted ascending".to_string());
+        }
+        Ok(Self { boundaries })
+    }
+
+    /// A plan that splits `cells` — the corpus's distinct geohash cells
+    /// with their post counts, sorted ascending by cell — into `n_shards`
+    /// contiguous ranges of roughly equal post mass (greedy prefix cuts).
+    /// With fewer distinct cells than shards, trailing boundaries repeat
+    /// and the surplus shards are empty; an empty cell list yields the
+    /// single-shard plan.
+    pub fn balanced(cells: &[(Geohash, usize)], n_shards: usize) -> Self {
+        let n = n_shards.max(1);
+        if n == 1 || cells.is_empty() {
+            return Self::single();
+        }
+        debug_assert!(cells.windows(2).all(|w| w[0].0 < w[1].0), "cells sorted and distinct");
+        let total: usize = cells.iter().map(|&(_, c)| c).sum();
+        let mut boundaries: Vec<Geohash> = Vec::with_capacity(n - 1);
+        let mut prefix = 0usize;
+        for &(gh, count) in cells {
+            // Cut in front of this cell whenever the mass before it has
+            // reached the next target `i * total / n`.
+            while boundaries.len() < n - 1
+                && prefix > 0
+                && prefix * n >= (boundaries.len() + 1) * total
+            {
+                boundaries.push(gh);
+            }
+            prefix += count;
+        }
+        // Fewer cut points than requested shards: repeat the last cell so
+        // the plan keeps its shard count (the extra shards are empty).
+        let pad = boundaries.last().copied().unwrap_or(cells[cells.len() - 1].0);
+        while boundaries.len() < n - 1 {
+            boundaries.push(pad);
+        }
+        Self { boundaries }
+    }
+
+    /// Number of shards (always `boundaries + 1`, never 0).
+    pub fn n_shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The sorted range boundaries (`n_shards() - 1` of them).
+    pub fn boundaries(&self) -> &[Geohash] {
+        &self.boundaries
+    }
+
+    /// The shard whose range contains `cell`. Total: every cell routes
+    /// somewhere, including cells outside any corpus shard's data.
+    pub fn shard_of(&self, cell: Geohash) -> ShardId {
+        ShardId(self.boundaries.partition_point(|b| *b <= cell))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test code: panics are the failure report
+mod tests {
+    use super::*;
+    use tklus_geo::{encode, Point};
+
+    fn cell(lat: f64, lon: f64) -> Geohash {
+        encode(&Point::new_unchecked(lat, lon), 4).unwrap()
+    }
+
+    #[test]
+    fn single_plan_routes_everything_to_shard_zero() {
+        let plan = ShardPlan::single();
+        assert_eq!(plan.n_shards(), 1);
+        assert_eq!(plan.shard_of(cell(43.7, -79.4)), ShardId(0));
+        assert_eq!(plan.shard_of(cell(-33.9, 151.2)), ShardId(0));
+    }
+
+    #[test]
+    fn balanced_splits_mass_into_contiguous_ranges() {
+        let mut cells: Vec<(Geohash, usize)> =
+            (0..8).map(|i| (cell(43.0 + i as f64 * 0.5, -79.4), 10)).collect();
+        cells.sort();
+        cells.dedup_by_key(|c| c.0);
+        let n_cells = cells.len();
+        let plan = ShardPlan::balanced(&cells, 4);
+        assert_eq!(plan.n_shards(), 4);
+        // Routing is monotone in the cell order: shard ids never decrease.
+        let ids: Vec<usize> = cells.iter().map(|&(gh, _)| plan.shard_of(gh).0).collect();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]), "{ids:?}");
+        assert_eq!(ids[0], 0, "first cell lands in the first shard");
+        assert_eq!(ids[n_cells - 1], 3, "last cell lands in the last shard");
+        // Equal mass: every shard holds some cells.
+        for shard in 0..4 {
+            assert!(ids.contains(&shard), "shard {shard} is empty: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_cells_pads_with_empty_ranges() {
+        let cells = vec![(cell(43.7, -79.4), 5)];
+        let plan = ShardPlan::balanced(&cells, 4);
+        assert_eq!(plan.n_shards(), 4, "plan keeps the requested shard count");
+        // The one cell routes to exactly one shard; the rest are empty.
+        let owner = plan.shard_of(cells[0].0);
+        assert!(owner.0 < 4);
+    }
+
+    #[test]
+    fn empty_cells_collapse_to_the_single_plan() {
+        assert_eq!(ShardPlan::balanced(&[], 4), ShardPlan::single());
+    }
+
+    #[test]
+    fn boundary_cell_starts_the_next_shard() {
+        let a = cell(40.0, -79.4);
+        let b = cell(45.0, -79.4);
+        assert!(a < b);
+        let plan = ShardPlan::from_boundaries(vec![b]).unwrap();
+        assert_eq!(plan.shard_of(a), ShardId(0));
+        assert_eq!(plan.shard_of(b), ShardId(1), "the boundary cell belongs to the right shard");
+    }
+
+    #[test]
+    fn unsorted_boundaries_are_rejected() {
+        let a = cell(40.0, -79.4);
+        let b = cell(45.0, -79.4);
+        assert!(ShardPlan::from_boundaries(vec![b, a]).is_err());
+        assert!(ShardPlan::from_boundaries(vec![a, a, b]).is_ok(), "duplicates are empty shards");
+    }
+
+    #[test]
+    fn shard_id_displays_like_the_on_disk_subdir() {
+        assert_eq!(ShardId(3).to_string(), "shard-003");
+        assert_eq!(ShardId(3).to_string(), tklus_index::shard_dir_name(3));
+    }
+}

@@ -1,0 +1,144 @@
+//! Regression pin for the cover-boundary double-count bug class.
+//!
+//! If the same tweet is reachable through more than one shard — hand-built
+//! overlapping shard sets, or any future plan/routing bug that assigns a
+//! boundary cell to two shards — the Sum ranking must still count each
+//! tweet **once**. The router guarantees this by deduplicating tweet ids
+//! at the k-way merge. This suite builds the worst case: two shards that
+//! each hold the *full* index (every tweet duplicated across shards), fans
+//! out to both, and requires the merged answer to stay bitwise-identical
+//! to the monolithic engine's. Without merge-side dedup, every Sum score
+//! would double.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+use proptest::prelude::*;
+use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_geo::{encode, Point};
+use tklus_index::build_index;
+use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
+use tklus_shard::{ShardCompleteness, ShardPlan, ShardedEngine};
+
+const WORDS: [&str; 8] = ["hotel", "pizza", "cafe", "museum", "sushi", "beach", "coffee", "club"];
+
+#[derive(Debug, Clone)]
+struct RawPost {
+    user: u8,
+    dlat: i8,
+    dlon: i8,
+    words: Vec<u8>,
+}
+
+fn arb_post() -> impl Strategy<Value = RawPost> {
+    (0u8..10, -100i8..=100, -100i8..=100, proptest::collection::vec(0u8..WORDS.len() as u8, 1..5))
+        .prop_map(|(user, dlat, dlon, words)| RawPost { user, dlat, dlon, words })
+}
+
+fn materialize(raw: &[RawPost]) -> Corpus {
+    let base = Point::new_unchecked(43.68, -79.38);
+    let posts: Vec<Post> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let loc = Point::new_unchecked(
+                base.lat() + r.dlat as f64 * 0.0015,
+                base.lon() + r.dlon as f64 * 0.002,
+            );
+            let text: String =
+                r.words.iter().map(|&w| WORDS[w as usize]).collect::<Vec<_>>().join(" ");
+            Post::original(TweetId(i as u64 + 1), UserId(r.user as u64), loc, text)
+        })
+        .collect();
+    Corpus::new(posts).expect("sequential ids")
+}
+
+/// Two shards, both holding the FULL index, split at the median corpus
+/// cell so realistic radii fan out to both.
+fn overlapping_engine(corpus: &Corpus, config: &EngineConfig) -> ShardedEngine {
+    let mut cells: Vec<_> = corpus
+        .posts()
+        .iter()
+        .map(|p| encode(&p.location, config.index.geohash_len).unwrap())
+        .collect();
+    cells.sort();
+    let boundary = cells[cells.len() / 2];
+    let plan = ShardPlan::from_boundaries(vec![boundary]).unwrap();
+    let (left, _) = build_index(corpus.posts(), &config.index);
+    let (right, _) = build_index(corpus.posts(), &config.index);
+    ShardedEngine::try_from_indexes(vec![left, right], plan, corpus, config).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn duplicated_tweets_across_shards_are_counted_once(
+        raw in proptest::collection::vec(arb_post(), 5..40),
+        radius in 5.0f64..30.0,
+        k in 1usize..6,
+        kw_idx in proptest::collection::vec(0u8..WORDS.len() as u8, 1..3),
+        and_sem in any::<bool>(),
+    ) {
+        let corpus = materialize(&raw);
+        let config = EngineConfig::default();
+        let (mono, _) = TklusEngine::build(&corpus, &config);
+        let sharded = overlapping_engine(&corpus, &config);
+        let keywords: Vec<String> =
+            kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
+        let semantics = if and_sem { Semantics::And } else { Semantics::Or };
+        let q = TklusQuery::new(
+            Point::new_unchecked(43.68, -79.38),
+            radius,
+            keywords,
+            k,
+            semantics,
+        ).unwrap();
+
+        // Sum is where double-counting bites (a duplicated tweet would add
+        // its ρ twice); Max must be idempotent under duplication.
+        for ranking in [Ranking::Sum, Ranking::Max(BoundsMode::HotKeywords)] {
+            let want = mono.try_query(&q, ranking).unwrap();
+            let got = sharded.query(&q, ranking);
+            prop_assert_eq!(got.completeness, ShardCompleteness::Complete);
+            prop_assert_eq!(got.users.len(), want.users.len(), "{:?}", ranking);
+            for (g, w) in got.users.iter().zip(&want.users) {
+                prop_assert_eq!(g.user, w.user, "{:?}", ranking);
+                prop_assert_eq!(
+                    g.score.to_bits(), w.score.to_bits(),
+                    "duplicated tweet double-counted: {} vs {} ({:?})",
+                    g.score, w.score, ranking
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic minimal pin: one tweet, duplicated in both shards, with
+/// a cover spanning both ranges — its Sum score must equal the monolithic
+/// score exactly (the pre-fix behaviour doubled the ρ term).
+#[test]
+fn single_tweet_in_two_shards_scores_once() {
+    let corpus = materialize(&[
+        RawPost { user: 1, dlat: -50, dlon: -50, words: vec![0] },
+        RawPost { user: 2, dlat: 50, dlon: 50, words: vec![0, 0] },
+    ]);
+    let config = EngineConfig::default();
+    let (mono, _) = TklusEngine::build(&corpus, &config);
+    let sharded = overlapping_engine(&corpus, &config);
+    let q = TklusQuery::new(
+        Point::new_unchecked(43.68, -79.38),
+        30.0,
+        vec![WORDS[0].to_string()],
+        2,
+        Semantics::Or,
+    )
+    .unwrap();
+    let want = mono.try_query(&q, Ranking::Sum).unwrap();
+    let got = sharded.query(&q, Ranking::Sum);
+    assert!(got.fanout >= 2, "the cover must reach both overlapping shards");
+    assert_eq!(got.users.len(), want.users.len());
+    for (g, w) in got.users.iter().zip(&want.users) {
+        assert_eq!(g.user, w.user);
+        assert_eq!(g.score.to_bits(), w.score.to_bits(), "{} vs {}", g.score, w.score);
+    }
+}

@@ -1,0 +1,200 @@
+//! Definition 11 shard-pruning soundness.
+//!
+//! The router may skip a shard only when the shard's upper bound proves it
+//! cannot affect the top-k. Two properties pin that down:
+//!
+//! 1. **Domination** — for every shard and query, the per-shard upper
+//!    bound is ≥ every user score that shard's engine actually produces
+//!    (so no skip decision can ever rest on an underestimate).
+//! 2. **No false skip** — the answer with shard skipping enabled is
+//!    bitwise-identical to the answer with skipping disabled, and no
+//!    skipped shard holds a user that belongs in the global top-k.
+//!
+//! Radii are fuzzed from "well inside one shard" to "covers every shard",
+//! so query circles straddle shard-range boundaries in most cases.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+use proptest::prelude::*;
+use tklus_core::{BoundsMode, EngineConfig, Ranking};
+use tklus_geo::Point;
+use tklus_model::{Corpus, Post, Semantics, TklusQuery, TweetId, UserId};
+use tklus_shard::ShardedEngine;
+
+const WORDS: [&str; 8] = ["hotel", "pizza", "cafe", "museum", "sushi", "beach", "coffee", "club"];
+
+#[derive(Debug, Clone)]
+struct RawPost {
+    user: u8,
+    dlat: i8,
+    dlon: i8,
+    words: Vec<u8>,
+    reply_to: Option<u8>,
+}
+
+fn arb_post() -> impl Strategy<Value = RawPost> {
+    (
+        0u8..10,
+        -100i8..=100,
+        -100i8..=100,
+        proptest::collection::vec(0u8..WORDS.len() as u8, 1..5),
+        proptest::option::of(0u8..40),
+    )
+        .prop_map(|(user, dlat, dlon, words, reply_to)| RawPost {
+            user,
+            dlat,
+            dlon,
+            words,
+            reply_to,
+        })
+}
+
+fn materialize(raw: &[RawPost]) -> Corpus {
+    let base = Point::new_unchecked(43.68, -79.38);
+    let posts: Vec<Post> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let id = TweetId(i as u64 + 1);
+            let loc = Point::new_unchecked(
+                base.lat() + r.dlat as f64 * 0.0015,
+                base.lon() + r.dlon as f64 * 0.002,
+            );
+            let text: String =
+                r.words.iter().map(|&w| WORDS[w as usize]).collect::<Vec<_>>().join(" ");
+            match r.reply_to {
+                Some(t) if (t as usize) < i => {
+                    let target = TweetId(t as u64 + 1);
+                    let target_user = UserId(raw[t as usize].user as u64);
+                    Post::reply(id, UserId(r.user as u64), loc, text, target, target_user)
+                }
+                _ => Post::original(id, UserId(r.user as u64), loc, text),
+            }
+        })
+        .collect();
+    Corpus::new(posts).expect("sequential ids")
+}
+
+/// A query whose circle is offset from the corpus centre, so its cover
+/// straddles shard-range boundaries rather than sitting in one shard.
+fn straddling_query(
+    off_lat: i8,
+    off_lon: i8,
+    radius: f64,
+    keywords: Vec<String>,
+    k: usize,
+    semantics: Semantics,
+) -> TklusQuery {
+    let center =
+        Point::new_unchecked(43.68 + off_lat as f64 * 0.0015, -79.38 + off_lon as f64 * 0.002);
+    TklusQuery::new(center, radius, keywords, k, semantics).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Property 1: the per-shard Definition 11 upper bound dominates every
+    /// user score the shard's own engine produces — across both bounds
+    /// modes, both semantics, and shard counts 2/4/16.
+    #[test]
+    fn shard_upper_bound_dominates_every_shard_score(
+        raw in proptest::collection::vec(arb_post(), 5..45),
+        off_lat in -100i8..=100,
+        off_lon in -100i8..=100,
+        radius in 1.0f64..30.0,
+        k in 1usize..6,
+        kw_idx in proptest::collection::vec(0u8..WORDS.len() as u8, 1..3),
+        n_shards in prop_oneof![Just(2usize), Just(4), Just(16)],
+        and_sem in any::<bool>(),
+    ) {
+        let corpus = materialize(&raw);
+        let engine = ShardedEngine::try_build(&corpus, n_shards, &EngineConfig::default())
+            .expect("sharded build");
+        let keywords: Vec<String> =
+            kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
+        let semantics = if and_sem { Semantics::And } else { Semantics::Or };
+        let q = straddling_query(off_lat, off_lon, radius, keywords, k, semantics);
+
+        for mode in [BoundsMode::Global, BoundsMode::HotKeywords] {
+            for sid in 0..engine.n_shards() {
+                let upper = engine.shard_upper_bound(sid, &q, mode);
+                prop_assert!(upper.is_finite() && upper >= 0.0, "bound sane: {upper}");
+                let local = engine
+                    .shard_engine(sid)
+                    .try_query(&q, Ranking::Max(mode))
+                    .unwrap();
+                for ru in &local.users {
+                    prop_assert!(
+                        ru.score <= upper,
+                        "shard {sid} produced {} above its bound {upper} \
+                         (mode {mode:?}, {semantics:?}, N={n_shards})",
+                        ru.score
+                    );
+                }
+            }
+        }
+    }
+
+    /// Property 2: skipping never changes the answer. The skip-enabled
+    /// router returns bitwise the skip-disabled router's top-k, and every
+    /// skipped shard's own best answer sits at or below the final k-th
+    /// score — i.e. a skipped shard never held a top-k member.
+    #[test]
+    fn bound_skip_never_drops_a_topk_member(
+        raw in proptest::collection::vec(arb_post(), 5..45),
+        off_lat in -100i8..=100,
+        off_lon in -100i8..=100,
+        radius in 1.0f64..30.0,
+        k in 1usize..6,
+        kw_idx in proptest::collection::vec(0u8..WORDS.len() as u8, 1..3),
+        n_shards in prop_oneof![Just(2usize), Just(4), Just(16)],
+        and_sem in any::<bool>(),
+        mode in prop_oneof![Just(BoundsMode::Global), Just(BoundsMode::HotKeywords)],
+    ) {
+        let corpus = materialize(&raw);
+        let config = EngineConfig::default();
+        let skipping = ShardedEngine::try_build(&corpus, n_shards, &config)
+            .expect("sharded build");
+        let exhaustive = ShardedEngine::try_build(&corpus, n_shards, &config)
+            .expect("sharded build")
+            .with_bound_skip(false);
+        let keywords: Vec<String> =
+            kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
+        let semantics = if and_sem { Semantics::And } else { Semantics::Or };
+        let q = straddling_query(off_lat, off_lon, radius, keywords, k, semantics);
+
+        let fast = skipping.query(&q, Ranking::Max(mode));
+        let full = exhaustive.query(&q, Ranking::Max(mode));
+
+        prop_assert!(full.skipped_by_bound.is_empty(), "skip disabled");
+        prop_assert_eq!(fast.users.len(), full.users.len());
+        for (f, w) in fast.users.iter().zip(&full.users) {
+            prop_assert_eq!(f.user, w.user, "skip changed the ranking");
+            prop_assert_eq!(
+                f.score.to_bits(), w.score.to_bits(),
+                "skip changed a score: {} vs {}", f.score, w.score
+            );
+        }
+
+        // Direct witness: each skipped shard's own best local score cannot
+        // beat the final k-th (the full result has ≥ k users whenever any
+        // shard could contribute one).
+        if let Some(kth) = fast.users.last().map(|ru| ru.score) {
+            if fast.users.len() == q.k {
+                for sid in &fast.skipped_by_bound {
+                    let local = skipping
+                        .shard_engine(sid.0)
+                        .try_query(&q, Ranking::Max(mode))
+                        .unwrap();
+                    if let Some(best) = local.users.first() {
+                        prop_assert!(
+                            best.score <= kth,
+                            "skipped {sid} held {} beating the k-th {kth}",
+                            best.score
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -25,5 +25,6 @@ pub use tklus_mapreduce as mapreduce;
 pub use tklus_metrics as metrics;
 pub use tklus_model as model;
 pub use tklus_serve as serve;
+pub use tklus_shard as shard;
 pub use tklus_storage as storage;
 pub use tklus_text as text;
