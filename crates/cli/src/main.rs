@@ -28,7 +28,9 @@
 //!   format-version mismatch);
 //! * `4` — metadata storage failure during engine build or query;
 //! * `5` — inverted-index failure during query;
-//! * `6` — degraded (budget-truncated) result under `--fail-on-degraded`.
+//! * `6` — degraded (budget-truncated) result under `--fail-on-degraded`;
+//! * `7` — write-ahead-log failure (`ingest --wal`: append, replay, or
+//!   unhealable corruption; DESIGN.md §15).
 //!
 //! A *degraded* query result (budget exhausted) is not a failure by
 //! default: the CLI prints the partial top-k with a completeness note and
@@ -68,6 +70,8 @@ enum CliError {
         /// Cover cells a complete answer would have examined.
         cells_total: usize,
     },
+    /// Write-ahead-log failures (`ingest --wal`) — exit 7.
+    Wal(tklus_wal::WalError),
 }
 
 impl CliError {
@@ -79,6 +83,7 @@ impl CliError {
             CliError::Engine(EngineError::Storage(_)) => 4,
             CliError::Engine(EngineError::Index(_)) => 5,
             CliError::Degraded { .. } => 6,
+            CliError::Wal(_) => 7,
         }
     }
 }
@@ -94,7 +99,14 @@ impl std::fmt::Display for CliError {
                 "degraded result ({cells_processed}/{cells_total} cover cells) \
                  rejected by --fail-on-degraded"
             ),
+            CliError::Wal(e) => write!(f, "write-ahead log failure: {e}"),
         }
+    }
+}
+
+impl From<tklus_wal::WalError> for CliError {
+    fn from(e: tklus_wal::WalError) -> Self {
+        CliError::Wal(e)
     }
 }
 
@@ -128,7 +140,8 @@ impl From<ShardError> for CliError {
 
 const USAGE: &str = "usage:
   tklus generate    --posts N [--seed S] --out FILE.tsv
-  tklus ingest      --json FILE.jsonl --out FILE.tsv
+  tklus ingest      --json FILE.jsonl [--out FILE.tsv] [--wal DIR]
+                    [--compact]
   tklus build-index [--corpus FILE.tsv | --posts N --seed S]
                     --out DIR [--geohash-len 4] [--nodes 3]
                     [--postings-format flat|block]
@@ -219,15 +232,18 @@ fn cmd_generate(raw: Vec<String>) -> Result<(), CliError> {
 
 fn cmd_ingest(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
-    args.check_known(&["json", "out"])?;
+    args.check_known(&["json", "out", "wal", "compact"])?;
     let json: String = args.require("json")?;
-    let out: String = args.require("out")?;
+    let out = args.get_str("out").map(str::to_string);
+    let wal = args.get_str("wal").map(str::to_string);
+    if out.is_none() && wal.is_none() {
+        return Err(ArgError("ingest needs --out FILE.tsv and/or --wal DIR".to_string()).into());
+    }
     let file = std::fs::File::open(&json).map_err(|e| CliError::General(format!("{json}: {e}")))?;
     let (corpus, report) =
         tklus_gen::etl_json(file).map_err(|e| CliError::General(e.to_string()))?;
-    save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| CliError::General(e.to_string()))?;
     println!(
-        "etl: {} lines -> {} loaded ({} no location, {} bad location, {} malformed, {} duplicate) -> {out}",
+        "etl: {} lines -> {} loaded ({} no location, {} bad location, {} malformed, {} duplicate)",
         report.lines,
         report.loaded,
         report.dropped_no_location,
@@ -235,6 +251,57 @@ fn cmd_ingest(raw: Vec<String>) -> Result<(), CliError> {
         report.dropped_malformed,
         report.dropped_duplicate
     );
+    if let Some(out) = out {
+        save_tsv(&corpus, &PathBuf::from(&out)).map_err(|e| CliError::General(e.to_string()))?;
+        println!("wrote {} posts -> {out}", corpus.len());
+    }
+    if let Some(dir) = wal {
+        ingest_into_wal(&corpus, &dir, args.get_flag("compact")?)?;
+    }
+    Ok(())
+}
+
+/// Appends `corpus` into the crash-safe WAL store at `dir` (creating it on
+/// first use, replaying any existing log first). Posts already in the
+/// store — this command is safe to re-run after a crash — count as
+/// duplicates, not failures.
+fn ingest_into_wal(corpus: &Corpus, dir: &str, compact: bool) -> Result<(), CliError> {
+    use std::sync::Arc;
+    use tklus_wal::{IngestStore, StdFs, StoreConfig, WalError, WalFs};
+    let fs: Arc<dyn WalFs> = Arc::new(StdFs::open(dir)?);
+    let (store, open) = IngestStore::open(fs, StoreConfig::default())?;
+    println!(
+        "wal: opened {dir} at generation {} ({} segments scanned, {} records replayed, \
+         {} sealed + {} live posts{})",
+        open.generation,
+        open.recovery.segments_scanned,
+        open.recovery.records_replayed,
+        open.sealed_posts,
+        open.live_posts,
+        match open.recovery.truncated_bytes {
+            0 => String::new(),
+            n => format!(", healed a {n}-byte torn tail"),
+        }
+    );
+    let mut acked = 0usize;
+    let mut duplicates = 0usize;
+    for post in corpus.posts() {
+        match store.ingest(post.clone()) {
+            Ok(_) => acked += 1,
+            Err(WalError::DuplicateTweet(_)) => duplicates += 1,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    println!("wal: acked {acked} posts ({duplicates} duplicates skipped)");
+    if compact {
+        let sealed = store.compact()?;
+        println!(
+            "wal: compaction {} (generation {}, {} posts sealed)",
+            if sealed { "sealed the live set" } else { "had nothing to seal" },
+            store.generation(),
+            store.acked_posts(),
+        );
+    }
     Ok(())
 }
 
@@ -302,19 +369,17 @@ fn cmd_shard_split(raw: Vec<String>) -> Result<(), CliError> {
             .unwrap_or(0);
         shard_posts[sid].push(post.clone());
     }
-    let mut indexes = Vec::with_capacity(plan.n_shards());
-    let mut total_bytes = 0u64;
-    for posts in &shard_posts {
-        let (index, report) = tklus_index::build_index(posts, &config);
-        total_bytes += report.index_bytes;
-        indexes.push(index);
-    }
-    tklus_index::save_sharded_dir(&indexes, plan.boundaries(), &PathBuf::from(&out))?;
+    // Build full shard engines (not bare indexes): the engine path also
+    // computes each shard's Definition 11 bound table, which try_save_dir
+    // persists as a bounds.tsv sidecar so a reloaded router skips shards
+    // exactly as this build would.
+    let engine_config = EngineConfig { index: config, ..EngineConfig::default() };
+    let sharded = ShardedEngine::try_build_with(&corpus, plan.clone(), &|_| engine_config.clone())?;
+    sharded.try_save_dir(&PathBuf::from(&out))?;
     println!(
-        "split {} posts into {} shards ({} inverted bytes total) -> {out}",
+        "split {} posts into {} shards (with Definition 11 bound sidecars) -> {out}",
         corpus.len(),
         plan.n_shards(),
-        total_bytes
     );
     for (i, posts) in shard_posts.iter().enumerate() {
         let range_end =

@@ -26,10 +26,10 @@ use crate::query::{
 use crate::scratch::ScratchPool;
 use std::time::Instant;
 use tklus_geo::Point;
-use tklus_graph::SocialNetwork;
+use tklus_graph::{try_build_thread, upper_bound_popularity, SocialNetwork};
 use tklus_index::{build_index, HybridIndex, IndexBuildConfig, IndexBuildReport};
 use tklus_metrics::RegistrySnapshot;
-use tklus_model::{Corpus, ScoringConfig, Semantics, TklusQuery, UserId};
+use tklus_model::{Corpus, Post, ScoringConfig, Semantics, TklusQuery, TweetId, UserId};
 use tklus_text::{TermId, TextPipeline};
 
 /// How users are ranked.
@@ -491,6 +491,127 @@ impl TklusEngine {
         let locations: Vec<Point> =
             self.db.try_posts_of_user(user)?.into_iter().map(|(_, l)| l).collect();
         Ok(crate::score::user_distance_score(center, radius_km, &locations, &self.scoring))
+    }
+
+    // ---- Streaming-ingest primitives (DESIGN.md §15) -------------------
+    //
+    // The engine's build-time state was immutable through PR 7; the
+    // `tklus-wal` write path relaxes that with a small, explicit mutation
+    // surface. The contract: after `try_insert_metadata` + thread-cache
+    // invalidation + bound loosening for an ingested post, every query
+    // answer is bitwise-identical to a from-scratch engine whose *index*
+    // covers the same sealed posts and whose *metadata/bounds* cover the
+    // same full post set. The inverted index itself is never mutated here —
+    // new posts' postings live in the caller's memtable until compaction.
+
+    /// Inserts `post` into the metadata database (primary row, reply
+    /// edge, user-location entry) and evicts the thread-cache entries the
+    /// insert stales: the post's own φ and every ancestor's, since a new
+    /// reply grows each ancestor thread it lands in. On error the caller
+    /// must treat the engine as suspect and rebuild from its durable log
+    /// (see [`MetadataDb::try_insert_post`]).
+    pub fn try_insert_metadata(&mut self, post: &Post) -> Result<(), EngineError> {
+        // Resolve the ancestor chain BEFORE inserting, so a failure after
+        // the insert cannot leave freshly staled cache entries behind: we
+        // evict only after the insert commits.
+        let ancestors = self.try_ancestor_chain(post)?;
+        self.db.try_insert_post(post)?;
+        self.caches.thread.remove(&post.id);
+        for tid in ancestors {
+            self.caches.thread.remove(&tid);
+        }
+        Ok(())
+    }
+
+    /// The reply chain above `post` (its target, the target's target, …),
+    /// resolved through the metadata database. Bounded by a visited set so
+    /// a malformed corpus with a reply cycle terminates.
+    pub fn try_ancestor_chain(&self, post: &Post) -> Result<Vec<TweetId>, EngineError> {
+        let mut chain = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut cursor = post.in_reply_to.map(|r| r.target);
+        while let Some(tid) = cursor {
+            if !seen.insert(tid) {
+                break;
+            }
+            chain.push(tid);
+            cursor = self.db.try_row(tid)?.and_then(|row| row.rsid);
+        }
+        Ok(chain)
+    }
+
+    /// The thread popularity φ(p) of the thread rooted at `tid`, built
+    /// over the **current** metadata database through the same thread
+    /// cache the query path uses (hit returns the cached value, miss
+    /// builds and caches). Ingest calls this after invalidation to obtain
+    /// live φ values for bound refresh; query-time candidates see exactly
+    /// the same numbers.
+    pub fn try_thread_phi(&self, tid: TweetId) -> Result<f64, EngineError> {
+        if let Some(phi) = self.caches.thread.get(&tid) {
+            return Ok(phi);
+        }
+        let thread = try_build_thread(&mut &self.db, tid, self.scoring.thread_depth)?;
+        let phi = thread.popularity(self.scoring.epsilon);
+        if self.caches.thread.is_enabled() {
+            self.caches.thread.insert(tid, phi);
+        }
+        Ok(phi)
+    }
+
+    /// Normalizes free text into the distinct term ids of this engine's
+    /// vocabulary (tokenize + stem, unknown terms dropped, first-occurrence
+    /// order). The ingest path uses this to find which hot-keyword bounds
+    /// an updated thread root can affect.
+    pub fn text_terms(&self, text: &str) -> Vec<TermId> {
+        let mut seen = std::collections::HashSet::new();
+        self.pipeline
+            .terms(text)
+            .iter()
+            .filter_map(|t| self.index.vocab().get(t))
+            .filter(|&t| seen.insert(t))
+            .collect()
+    }
+
+    /// Normalizes one query keyword through this engine's text pipeline
+    /// (lowercase + stem; `None` when it normalizes away entirely). The
+    /// live-delta index is keyed by term *string* — new terms have no id
+    /// in the sealed vocabulary yet — so its query path needs the
+    /// pipeline's normalization without the vocabulary lookup of
+    /// [`Self::resolve_keywords`].
+    pub fn normalize_keyword(&self, keyword: &str) -> Option<String> {
+        self.pipeline.normalize_keyword(keyword)
+    }
+
+    /// Tokenizes free text into `(term, tf)` pairs in first-occurrence
+    /// order — the exact counts the index builder would assign the post,
+    /// which is what makes a delta index over term strings agree with a
+    /// from-scratch rebuild.
+    pub fn term_counts(&self, text: &str) -> Vec<(String, u32)> {
+        let mut order: Vec<(String, u32)> = Vec::new();
+        for term in self.pipeline.terms(text) {
+            match order.iter_mut().find(|(t, _)| *t == term) {
+                Some((_, tf)) => *tf += 1,
+                None => order.push((term, 1)),
+            }
+        }
+        order
+    }
+
+    /// Loosen-only hot-bound refresh: raises `term`'s bound to at least
+    /// `phi`. See [`BoundsTable::raise_hot_bound`] for the soundness
+    /// argument. Returns whether the bound moved.
+    pub fn loosen_hot_bound(&mut self, term: TermId, phi: f64) -> bool {
+        self.bounds.raise_hot_bound(term, phi)
+    }
+
+    /// Loosen-only global-bound refresh for an observed reply fan-out:
+    /// recomputes Definition 11's `φ_m` upper bound from `max_fanout` under
+    /// this engine's scoring parameters and raises the global bound to it
+    /// if larger. Returns whether the bound moved.
+    pub fn loosen_global_for_fanout(&mut self, max_fanout: usize) -> bool {
+        let bound =
+            upper_bound_popularity(max_fanout, self.scoring.thread_depth, self.scoring.epsilon);
+        self.bounds.raise_global(bound)
     }
 }
 

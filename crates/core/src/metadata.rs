@@ -172,6 +172,44 @@ impl MetadataDb {
         })
     }
 
+    /// Inserts one post into all three trees — the streaming-ingest path
+    /// (bulk construction stays [`Self::try_from_posts`]).
+    ///
+    /// On a mid-insert storage failure the already-inserted keys are
+    /// rolled back best-effort so a clean failure leaves no half-applied
+    /// post behind. If the rollback *itself* fails the database may retain
+    /// a partial row; the returned error tells the caller that happened
+    /// only implicitly (any error ⇒ treat the database as suspect), so
+    /// fault-tolerant ingest layers rebuild from their durable log rather
+    /// than trust post-error state — exactly what `tklus-wal` does.
+    pub fn try_insert_post(&mut self, post: &Post) -> StorageResult<()> {
+        let row = MetaRow {
+            uid: post.user,
+            location: post.location,
+            ruid: post.in_reply_to.map(|r| r.target_user),
+            rsid: post.in_reply_to.map(|r| r.target),
+        };
+        self.primary.insert((post.id.0, 0), encode_row(&row))?;
+        if let Some(r) = post.in_reply_to {
+            if let Err(e) = self.reply_index.insert((r.target.0, post.id.0), []) {
+                let _ = self.primary.delete((post.id.0, 0));
+                return Err(e);
+            }
+        }
+        let mut loc = [0u8; LOC_SIZE];
+        loc[0..8].copy_from_slice(&post.location.lat().to_le_bytes());
+        loc[8..16].copy_from_slice(&post.location.lon().to_le_bytes());
+        if let Err(e) = self.user_index.insert((post.user.0, post.id.0), loc) {
+            let _ = self.primary.delete((post.id.0, 0));
+            if let Some(r) = post.in_reply_to {
+                let _ = self.reply_index.delete((r.target.0, post.id.0));
+            }
+            return Err(e);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
     /// Number of rows.
     pub fn len(&self) -> u64 {
         self.rows
@@ -310,6 +348,25 @@ mod tests {
             Post::forward(TweetId(4), UserId(11), pt(43.6, -79.5), "rt", TweetId(2), UserId(11)),
             Post::original(TweetId(5), UserId(10), pt(44.0, -79.0), "another original"),
         ]
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_load() {
+        let all = posts();
+        let bulk = MetadataDb::from_posts(&all, 0);
+        let mut grown = MetadataDb::from_posts(&all[..2], 0);
+        for p in &all[2..] {
+            grown.try_insert_post(p).unwrap();
+        }
+        assert_eq!(grown.len(), bulk.len());
+        for p in &all {
+            assert_eq!(grown.row(p.id), bulk.row(p.id));
+        }
+        assert_eq!(grown.replies_to_ids(TweetId(1)), bulk.replies_to_ids(TweetId(1)));
+        assert_eq!(grown.replies_to_ids(TweetId(2)), bulk.replies_to_ids(TweetId(2)));
+        for uid in [UserId(10), UserId(11), UserId(12)] {
+            assert_eq!(grown.posts_of_user(uid), bulk.posts_of_user(uid));
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub use inverted::{HybridIndex, IndexError, IndexKey, QueryFetch};
 pub use irtree::{IrSearchStats, IrTree};
 pub use persist::{
     load_dir, load_dir_with_report, load_sharded_dir_with_report, save_dir, save_sharded_dir,
-    shard_dir_name, LoadReport, PersistError, PERSIST_FORMAT_VERSION, SHARDED_FORMAT_VERSION,
+    save_sharded_dir_refs, shard_dir_name, LoadReport, PersistError, PERSIST_FORMAT_VERSION,
+    SHARDED_FORMAT_VERSION,
 };
 pub use posting::{intersect_gallop, intersect_sum, union_sum, DecodeError, Posting, PostingsList};

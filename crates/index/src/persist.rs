@@ -334,6 +334,18 @@ pub fn save_sharded_dir(
     boundaries: &[Geohash],
     dir: &Path,
 ) -> Result<(), PersistError> {
+    let refs: Vec<&HybridIndex> = shards.iter().collect();
+    save_sharded_dir_refs(&refs, boundaries, dir)
+}
+
+/// [`save_sharded_dir`] over borrowed indexes — the entry point for
+/// callers whose indexes live inside engines (e.g. the sharded engine's
+/// own save path, which persists per-shard bound sidecars alongside).
+pub fn save_sharded_dir_refs(
+    shards: &[&HybridIndex],
+    boundaries: &[Geohash],
+    dir: &Path,
+) -> Result<(), PersistError> {
     if boundaries.len() + 1 != shards.len() {
         return Err(corrupt(format!(
             "{} shards need {} boundaries, got {}",

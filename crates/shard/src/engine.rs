@@ -43,7 +43,10 @@ use tklus_core::{
 };
 use tklus_geo::{circle_cover, encode, Geohash};
 use tklus_graph::{build_thread, SocialNetwork};
-use tklus_index::{build_index, load_sharded_dir_with_report, HybridIndex, PersistError};
+use tklus_index::{
+    build_index, load_sharded_dir_with_report, save_sharded_dir_refs, shard_dir_name, HybridIndex,
+    PersistError,
+};
 use tklus_model::{Corpus, Post, ScoringConfig, Semantics, TklusQuery, UserId};
 use tklus_serve::{BreakerConfig, BreakerState, CircuitBreaker};
 use tklus_text::{TermId, TextPipeline, Vocab};
@@ -185,7 +188,68 @@ impl ShardBoundTable {
     fn rho_bound(&self, terms: &[TermId]) -> f64 {
         terms.iter().map(|t| self.per_term.get(t).copied().unwrap_or(0.0)).sum()
     }
+
+    /// The `bounds.tsv` sidecar body: format line, the shard's `max_tf`,
+    /// then one `term` line per vocabulary term, id-sorted, with the f64
+    /// bound as hex bits so a round trip is bit-exact.
+    fn encode_tsv(&self, max_tf: u32) -> String {
+        let mut entries: Vec<(u32, f64)> = self.per_term.iter().map(|(t, b)| (t.0, *b)).collect();
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let mut out = format!("format\t{BOUNDS_FORMAT_VERSION}\nmax_tf\t{max_tf}\n");
+        for (term, bound) in entries {
+            out.push_str(&format!("term\t{term}\t{:016x}\n", bound.to_bits()));
+        }
+        out
+    }
+
+    /// Parses a `bounds.tsv` body. Strict: an unknown key, a malformed
+    /// value, a missing header, or a non-finite/negative bound is corrupt —
+    /// an unsound table would silently skip shards that matter.
+    fn decode_tsv(text: &str) -> Result<(Self, u32), String> {
+        let mut format: Option<u32> = None;
+        let mut max_tf: Option<u32> = None;
+        let mut per_term: HashMap<TermId, f64> = HashMap::new();
+        for line in text.lines() {
+            let mut fields = line.split('\t');
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some("format"), Some(v), None, None) => {
+                    format = Some(v.parse().map_err(|_| format!("bad format line {line:?}"))?);
+                }
+                (Some("max_tf"), Some(v), None, None) => {
+                    max_tf = Some(v.parse().map_err(|_| format!("bad max_tf line {line:?}"))?);
+                }
+                (Some("term"), Some(t), Some(bits), None) => {
+                    let term: u32 = t.parse().map_err(|_| format!("bad term id in {line:?}"))?;
+                    let bits = u64::from_str_radix(bits, 16)
+                        .map_err(|_| format!("bad bits in {line:?}"))?;
+                    let bound = f64::from_bits(bits);
+                    if !bound.is_finite() || bound < 0.0 {
+                        return Err(format!("bound for term {term} is not a finite non-negative"));
+                    }
+                    if per_term.insert(TermId(term), bound).is_some() {
+                        return Err(format!("duplicate term {term}"));
+                    }
+                }
+                _ => return Err(format!("unknown bounds line {line:?}")),
+            }
+        }
+        match format {
+            Some(BOUNDS_FORMAT_VERSION) => {}
+            Some(v) => return Err(format!("bounds format {v}, expected {BOUNDS_FORMAT_VERSION}")),
+            None => return Err("missing bounds format line".to_string()),
+        }
+        let max_tf = max_tf.ok_or_else(|| "missing max_tf line".to_string())?;
+        Ok((Self { per_term }, max_tf))
+    }
 }
+
+/// Format version of the per-shard `bounds.tsv` sidecar.
+const BOUNDS_FORMAT_VERSION: u32 = 1;
+
+/// The per-shard Definition 11 sidecar file name, stored inside each
+/// `shard-NNN/` subdirectory next to the v2 index files (whose loader
+/// ignores unknown file names, so pre-sidecar readers stay compatible).
+pub const SHARD_BOUNDS_FILE: &str = "bounds.tsv";
 
 struct Shard {
     engine: TklusEngine,
@@ -359,8 +423,32 @@ impl ShardedEngine {
         })
     }
 
+    /// Writes this engine's shards as a sharded (format v3) index
+    /// directory, each shard's Definition 11 bound table riding along as a
+    /// `bounds.tsv` sidecar in its `shard-NNN/` subdirectory (shards
+    /// without an exact-membership table — hand-assembled overlapping
+    /// sets — simply omit the sidecar). [`Self::try_load_dir`] restores
+    /// the tables bit-exactly, so a reloaded engine skips shards exactly
+    /// as the builder did instead of falling back to the loose
+    /// `max_tf × corpus bound`.
+    pub fn try_save_dir(&self, dir: &Path) -> Result<(), ShardError> {
+        let indexes: Vec<&HybridIndex> = self.shards.iter().map(|s| s.engine.index()).collect();
+        save_sharded_dir_refs(&indexes, self.plan.boundaries(), dir)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some(table) = &shard.bounds {
+                let path = dir.join(shard_dir_name(i)).join(SHARD_BOUNDS_FILE);
+                std::fs::write(&path, table.encode_tsv(shard.max_tf))
+                    .map_err(|e| ShardError::Persist(PersistError::Io(e)))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Loads a sharded (format v3) or monolithic (v2, loaded as one shard)
-    /// index directory and assembles the engines over `corpus`.
+    /// index directory and assembles the engines over `corpus`. Shards
+    /// carrying a `bounds.tsv` sidecar get their persisted Definition 11
+    /// table (and exact per-shard `max_tf`) back; shards without one keep
+    /// the sound corpus-wide fallback.
     pub fn try_load_dir(
         dir: &Path,
         corpus: &Corpus,
@@ -368,7 +456,24 @@ impl ShardedEngine {
     ) -> Result<Self, ShardError> {
         let (indexes, boundaries, _report) = load_sharded_dir_with_report(dir)?;
         let plan = ShardPlan::from_boundaries(boundaries).map_err(ShardError::Plan)?;
-        Self::try_from_indexes(indexes, plan, corpus, config)
+        let mut engine = Self::try_from_indexes(indexes, plan, corpus, config)?;
+        for (i, shard) in engine.shards.iter_mut().enumerate() {
+            let path = dir.join(shard_dir_name(i)).join(SHARD_BOUNDS_FILE);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(ShardError::Persist(PersistError::Io(e))),
+            };
+            let (table, max_tf) = ShardBoundTable::decode_tsv(&text).map_err(|msg| {
+                ShardError::Persist(PersistError::Corrupt(format!(
+                    "{}/{SHARD_BOUNDS_FILE}: {msg}",
+                    shard_dir_name(i)
+                )))
+            })?;
+            shard.bounds = Some(table);
+            shard.max_tf = max_tf;
+        }
+        Ok(engine)
     }
 
     /// Disables (or re-enables) Definition 11 shard skipping. Used by the

@@ -22,7 +22,7 @@ mod engine;
 mod metrics;
 mod plan;
 
-pub use engine::{ShardCompleteness, ShardError, ShardedEngine, ShardedOutcome};
+pub use engine::{ShardCompleteness, ShardError, ShardedEngine, ShardedOutcome, SHARD_BOUNDS_FILE};
 pub use metrics::ShardMetrics;
 pub use plan::{ShardId, ShardPlan};
 // Breaker vocabulary for callers inspecting per-shard dispatch health.

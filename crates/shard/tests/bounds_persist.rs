@@ -1,0 +1,132 @@
+//! Round trip of the per-shard Definition 11 bound sidecars.
+//!
+//! `ShardedEngine::try_save_dir` persists each shard's bound table as a
+//! `bounds.tsv` sidecar; `try_load_dir` restores it. The contract: a
+//! reloaded engine prunes shards **exactly** like the engine that built
+//! the tables — same per-shard upper bounds to the bit, same skip
+//! decisions, same answers — rather than degrading to the loose
+//! `max_tf × corpus-wide bound` fallback that loads without sidecars get.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+use std::path::PathBuf;
+use tklus_core::{BoundsMode, EngineConfig, Ranking};
+use tklus_gen::{generate_corpus, generate_queries, GenConfig, QueryConfig};
+use tklus_model::{Corpus, Semantics, TklusQuery};
+use tklus_shard::{ShardError, ShardedEngine, SHARD_BOUNDS_FILE};
+
+const N_SHARDS: usize = 3;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tklus-bounds-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn corpus() -> Corpus {
+    generate_corpus(&GenConfig {
+        original_posts: 260,
+        users: 50,
+        vocab_size: 200,
+        seed: 17,
+        ..GenConfig::default()
+    })
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig { cache_pages: 0, parallelism: 1, ..EngineConfig::default() }
+}
+
+fn queries(corpus: &Corpus) -> Vec<(TklusQuery, Ranking)> {
+    generate_queries(corpus, &QueryConfig { per_bucket: 3, seed: 0xB0D5 })
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let semantics = if i % 2 == 0 { Semantics::Or } else { Semantics::And };
+            let mode = if i % 2 == 0 { BoundsMode::HotKeywords } else { BoundsMode::Global };
+            let q = TklusQuery::new(spec.location, 18.0, spec.keywords, 5, semantics).unwrap();
+            (q, Ranking::Max(mode))
+        })
+        .collect()
+}
+
+#[test]
+fn saved_bound_tables_reload_bit_exactly() {
+    let corpus = corpus();
+    let built = ShardedEngine::try_build(&corpus, N_SHARDS, &engine_config()).unwrap();
+    let dir = tmp_dir("roundtrip");
+    built.try_save_dir(&dir).unwrap();
+    for i in 0..built.n_shards() {
+        assert!(
+            dir.join(tklus_index::shard_dir_name(i)).join(SHARD_BOUNDS_FILE).exists(),
+            "shard {i} is missing its bounds sidecar"
+        );
+    }
+
+    let loaded = ShardedEngine::try_load_dir(&dir, &corpus, &engine_config()).unwrap();
+    assert_eq!(loaded.n_shards(), built.n_shards());
+
+    let qs = queries(&corpus);
+    let mut nonzero_bounds = 0usize;
+    for (q, ranking) in &qs {
+        let Ranking::Max(mode) = *ranking else { unreachable!("queries() is Max-only") };
+        for sid in 0..built.n_shards() {
+            let b = built.shard_upper_bound(sid, q, mode);
+            let l = loaded.shard_upper_bound(sid, q, mode);
+            assert_eq!(
+                b.to_bits(),
+                l.to_bits(),
+                "shard {sid}: reloaded bound {l} differs from built {b}"
+            );
+            nonzero_bounds += usize::from(b > 0.0);
+        }
+        let got = loaded.query(q, *ranking);
+        let want = built.query(q, *ranking);
+        assert_eq!(got.users, want.users, "reloaded answer diverged");
+        assert_eq!(
+            got.skipped_by_bound, want.skipped_by_bound,
+            "reloaded engine made different skip decisions"
+        );
+    }
+    assert!(nonzero_bounds > 0, "every bound was zero — the comparison is vacuous");
+}
+
+#[test]
+fn missing_sidecar_falls_back_and_stays_sound() {
+    let corpus = corpus();
+    let built = ShardedEngine::try_build(&corpus, N_SHARDS, &engine_config()).unwrap();
+    let dir = tmp_dir("fallback");
+    built.try_save_dir(&dir).unwrap();
+    // Strip shard 0's sidecar: it must load with the corpus-wide fallback,
+    // which can only be looser (≥) than the exact table — never tighter.
+    std::fs::remove_file(dir.join(tklus_index::shard_dir_name(0)).join(SHARD_BOUNDS_FILE)).unwrap();
+    let loaded = ShardedEngine::try_load_dir(&dir, &corpus, &engine_config()).unwrap();
+    let qs = queries(&corpus);
+    for (q, ranking) in &qs {
+        let Ranking::Max(mode) = *ranking else { unreachable!("queries() is Max-only") };
+        assert!(
+            loaded.shard_upper_bound(0, q, mode) >= built.shard_upper_bound(0, q, mode),
+            "fallback bound tighter than the exact table — unsound"
+        );
+        // Answers stay correct either way; only pruning power changes.
+        assert_eq!(loaded.query(q, *ranking).users, built.query(q, *ranking).users);
+    }
+}
+
+#[test]
+fn corrupt_sidecar_is_a_typed_error() {
+    let corpus = corpus();
+    let built = ShardedEngine::try_build(&corpus, N_SHARDS, &engine_config()).unwrap();
+    let dir = tmp_dir("corrupt");
+    built.try_save_dir(&dir).unwrap();
+    let path = dir.join(tklus_index::shard_dir_name(1)).join(SHARD_BOUNDS_FILE);
+    for bad in ["format\t1\nmax_tf\t3\nterm\tnope\tffff\n", "format\t9\nmax_tf\t3\n", "gibberish\n"]
+    {
+        std::fs::write(&path, bad).unwrap();
+        match ShardedEngine::try_load_dir(&dir, &corpus, &engine_config()) {
+            Err(ShardError::Persist(_)) => {}
+            Err(other) => panic!("wrong error class for corrupt sidecar: {other}"),
+            Ok(_) => panic!("corrupt sidecar {bad:?} loaded anyway"),
+        }
+    }
+}

@@ -45,6 +45,24 @@ pub struct FaultConfig {
     pub bit_flip_write_ppm: u32,
 }
 
+/// What the crash channel says about one write-path operation.
+///
+/// Produced by [`FaultHandle::crash_verdict`]; consumed by every store
+/// that models process death — [`FaultPager`] for the page write path,
+/// and the WAL's simulated filesystem for appends/fsyncs/renames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashVerdict {
+    /// Not the crash point: perform the operation normally.
+    Proceed,
+    /// This operation IS the crash point: the process dies mid-operation.
+    /// The store should persist at most a torn prefix of the operation's
+    /// effect (sized by a [`splitmix64`] draw) and then fail; the carried
+    /// value is the operation ordinal, for deterministic prefix draws.
+    Kill(u64),
+    /// The process already died: every operation fails, nothing persists.
+    Dead,
+}
+
 /// Shared control/observation handle for a [`FaultPager`]: the arming
 /// switch and counters of faults actually injected (so chaos tests can
 /// assert they exercised something, not vacuously passed).
@@ -54,6 +72,16 @@ pub struct FaultHandle {
     transient: AtomicU64,
     torn: AtomicU64,
     flipped: AtomicU64,
+    /// Crash channel: kill the write path at the Nth operation (1-based;
+    /// 0 = channel disarmed). Independent of the `armed` switch so chaos
+    /// tests can schedule a crash without enabling the probabilistic
+    /// channels.
+    crash_at: AtomicU64,
+    /// Write-path operations observed while the crash channel was armed.
+    crash_ops: AtomicU64,
+    /// Latched once the crash fires: the "process" is dead, every
+    /// subsequent operation fails.
+    crashed: AtomicBool,
 }
 
 impl FaultHandle {
@@ -91,10 +119,60 @@ impl FaultHandle {
     pub fn total_injected(&self) -> u64 {
         self.transient_injected() + self.torn_injected() + self.flips_injected()
     }
+
+    /// Arms the crash channel: the `n`th write-path operation from now
+    /// (1-based) dies mid-write. `n = 0` disarms. Resets the operation
+    /// counter and the crashed latch, so a handle can schedule successive
+    /// crash points across reopen cycles.
+    pub fn arm_crash_at(&self, n: u64) {
+        self.crash_at.store(n, Ordering::SeqCst);
+        self.crash_ops.store(0, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the scheduled crash has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Write-path operations counted against the crash schedule so far.
+    /// A chaos harness sweeps crash points by first running a scenario to
+    /// completion with the channel disarmed-but-counting disabled, then
+    /// re-running with `arm_crash_at(i)` for every `i` up to this count.
+    pub fn crash_ops_seen(&self) -> u64 {
+        self.crash_ops.load(Ordering::SeqCst)
+    }
+
+    /// Classifies one write-path operation against the crash schedule.
+    /// Counts the operation, fires the crash when the schedule says so,
+    /// and latches [`Self::is_crashed`] from then on.
+    pub fn crash_verdict(&self) -> CrashVerdict {
+        if self.crashed.load(Ordering::SeqCst) {
+            return CrashVerdict::Dead;
+        }
+        let at = self.crash_at.load(Ordering::SeqCst);
+        if at == 0 {
+            return CrashVerdict::Proceed;
+        }
+        let op = self.crash_ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if op == at {
+            self.crashed.store(true, Ordering::SeqCst);
+            CrashVerdict::Kill(op)
+        } else if op > at {
+            // Lost the race with the crashing thread: also dead.
+            CrashVerdict::Dead
+        } else {
+            CrashVerdict::Proceed
+        }
+    }
 }
 
 /// SplitMix64: tiny, high-quality, stateless mixing of a 64-bit input.
-fn splitmix64(mut x: u64) -> u64 {
+/// Public because every deterministic fault schedule in the workspace —
+/// this pager's channels, the WAL's simulated crash filesystem — derives
+/// its draws from the same mixer, keeping cross-layer chaos runs
+/// reproducible from one seed.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -153,6 +231,17 @@ impl<S: PageStore> FaultPager<S> {
         }
     }
 
+    /// The error every operation returns once the crash channel fired.
+    /// Deliberately *not* transient: a dead process does not come back
+    /// because the caller retried.
+    fn crashed(op: &'static str, id: PageId) -> StorageError {
+        StorageError::Io {
+            op,
+            page: Some(id),
+            source: std::io::Error::new(std::io::ErrorKind::BrokenPipe, "injected crash"),
+        }
+    }
+
     fn flip_one_bit(&self, page: &mut Page, op: u64) {
         let bit = (self.draw(op, 7) % (PAGE_SIZE as u64 * 8)) as usize;
         page[bit / 8] ^= 1 << (bit % 8);
@@ -168,6 +257,11 @@ impl<S: PageStore> PageStore for FaultPager<S> {
     }
 
     fn read(&self, id: PageId) -> StorageResult<Page> {
+        // Reads do not advance the crash schedule (the channel kills the
+        // *write* path at the Nth write), but a dead process reads nothing.
+        if self.handle.is_crashed() {
+            return Err(Self::crashed("read", id));
+        }
         if !self.handle.is_armed() {
             return self.inner.read(id);
         }
@@ -184,6 +278,26 @@ impl<S: PageStore> PageStore for FaultPager<S> {
     }
 
     fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        match self.handle.crash_verdict() {
+            CrashVerdict::Proceed => {}
+            CrashVerdict::Dead => return Err(Self::crashed("write", id)),
+            CrashVerdict::Kill(op) => {
+                // The process dies mid-write: a SplitMix64-sized prefix of
+                // the page lands (possibly zero bytes), the tail keeps its
+                // old content, and — unlike the torn-write channel — the
+                // caller is told the write FAILED, because there is no
+                // caller anymore. Recovery code must cope with both the
+                // prefix having landed and it having been lost.
+                let split = (self.draw(op, 8) % (PAGE_SIZE as u64 + 1)) as usize;
+                if split > 0 {
+                    let old = self.inner.read(id).unwrap_or_else(|_| zeroed_page());
+                    let mut torn = old;
+                    torn[..split].copy_from_slice(&page[..split]);
+                    let _ = self.inner.write(id, &torn);
+                }
+                return Err(Self::crashed("write", id));
+            }
+        }
         if !self.handle.is_armed() {
             return self.inner.write(id, page);
         }
@@ -288,6 +402,51 @@ mod tests {
         };
         assert_eq!(run(7), run(7), "same seed, same schedule");
         assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn crash_channel_kills_write_path_at_nth_write() {
+        let store = FaultPager::new(MemPager::new(), FaultConfig { seed: 9, ..Default::default() });
+        let handle = store.handle();
+        let id = store.allocate().unwrap();
+        let mut page = zeroed_page();
+        for b in page.iter_mut() {
+            *b = 0xEE;
+        }
+        // Crash at the 3rd write: two writes land, the third dies.
+        handle.arm_crash_at(3);
+        store.write(id, &page).unwrap();
+        store.write(id, &page).unwrap();
+        let err = store.write(id, &page).unwrap_err();
+        assert!(!err.is_transient(), "a crash is not retryable: {err}");
+        assert!(handle.is_crashed());
+        // Dead process: reads and writes both fail from now on.
+        assert!(store.read(id).is_err());
+        assert!(store.write(id, &page).is_err());
+        // Only pre-death operations count against the schedule; the
+        // post-crash attempts short-circuit at the latch.
+        assert_eq!(handle.crash_ops_seen(), 3);
+        // Re-arming across a "reopen" resurrects the store.
+        handle.arm_crash_at(0);
+        store.read(id).unwrap();
+    }
+
+    #[test]
+    fn crash_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let store =
+                FaultPager::new(MemPager::new(), FaultConfig { seed, ..Default::default() });
+            let id = store.allocate().unwrap();
+            let mut page = zeroed_page();
+            for b in page.iter_mut() {
+                *b = 0xA7;
+            }
+            store.handle().arm_crash_at(1);
+            let _ = store.write(id, &page);
+            store.handle().arm_crash_at(0);
+            crate::page::crc32(&store.read(id).unwrap()[..])
+        };
+        assert_eq!(run(5), run(5), "same seed, same torn prefix");
     }
 
     #[test]

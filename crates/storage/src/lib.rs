@@ -57,7 +57,7 @@ pub use buffer::BufferPool;
 pub use checked::CheckedPager;
 pub use dfs::{Dfs, DfsConfig, DfsError, DfsFile};
 pub use error::{StorageError, StorageResult};
-pub use fault::{FaultConfig, FaultHandle, FaultPager};
+pub use fault::{splitmix64, CrashVerdict, FaultConfig, FaultHandle, FaultPager};
 pub use iostats::{IoSnapshot, IoStats};
 pub use lru::{CacheLayerStats, ShardedLruCache};
 pub use page::{

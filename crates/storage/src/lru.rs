@@ -196,6 +196,19 @@ impl<K: Eq + Hash, V: Clone> ShardedLruCache<K, V> {
         }
         shard.map.insert(key, (value, stamp));
     }
+
+    /// Removes `key`, returning its value if it was cached. Neither a hit
+    /// nor a miss is counted: removal is an invalidation, not a lookup.
+    /// This is the coherence hook for mutable engines — a live ingest path
+    /// evicts entries whose inputs it just changed (e.g. the thread
+    /// popularity of every ancestor of a newly ingested reply) so the next
+    /// lookup recomputes from current state.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.shard(key).lock().map.remove(key).map(|(v, _)| v)
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +228,21 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries, s.capacity), (1, 1, 1, 8));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_invalidates_without_counting() {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(8);
+        cache.insert(1, 10);
+        assert_eq!(cache.remove(&1), Some(10));
+        assert_eq!(cache.remove(&1), None);
+        // The failed lookup after removal counts as a miss; the removals
+        // themselves counted nothing.
+        assert_eq!(cache.get(&1), None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Disabled cache: remove is a no-op.
+        let off: ShardedLruCache<u64, u64> = ShardedLruCache::new(0);
+        assert_eq!(off.remove(&1), None);
     }
 
     #[test]

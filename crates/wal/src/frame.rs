@@ -1,0 +1,143 @@
+//! The CRC32 frame codec every WAL byte goes through.
+//!
+//! A frame is `[len: u32 LE][crc32(payload): u32 LE][payload]` — length
+//! prefix first so a reader knows how much to expect, checksum over the
+//! payload so a torn or bit-flipped tail can never decode as data. The
+//! CRC is the same polynomial as the page layer's
+//! ([`tklus_storage::crc32`]), extending the PR 3 checksum discipline to
+//! the write path.
+//!
+//! Decoding never panics and never guesses: every outcome is one of the
+//! four [`FrameStep`] variants, and the recovery layer — not this module —
+//! decides whether a bad step means "truncate here" (final segment) or
+//! "typed corruption error" (any earlier segment).
+
+use tklus_storage::crc32;
+
+/// Frame header bytes: length prefix + payload checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// Largest payload a frame may carry (16 MiB). A length prefix above this
+/// is garbage by definition — no record we write comes near it — which
+/// lets the decoder classify an insane length as a bad frame instead of
+/// attempting a huge allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+/// One step of the frame scanner at `offset` into a segment's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStep {
+    /// A valid frame: payload at `buf[payload_start..payload_start + len]`,
+    /// next frame (or end) at `next`.
+    Frame {
+        /// Start of the payload inside the buffer.
+        payload_start: usize,
+        /// Payload length.
+        len: usize,
+        /// Offset of the byte after this frame.
+        next: usize,
+    },
+    /// `offset` is exactly the end of the buffer: a clean tail.
+    CleanEnd,
+    /// Bytes remain but fewer than a whole frame: the torn-tail signature
+    /// of a crash mid-append.
+    Torn {
+        /// What was cut short.
+        reason: &'static str,
+    },
+    /// A whole frame's worth of bytes is present but invalid (checksum
+    /// mismatch, zero or insane length).
+    Bad {
+        /// What failed to validate.
+        reason: &'static str,
+    },
+}
+
+/// Appends one frame around `payload` to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        !payload.is_empty() && payload.len() <= MAX_FRAME_PAYLOAD,
+        "frame payload must be 1..={MAX_FRAME_PAYLOAD} bytes"
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Classifies the bytes at `buf[offset..]` as the next frame, a clean
+/// end, a torn tail, or a bad frame. Pure and panic-free for every input.
+pub fn decode_step(buf: &[u8], offset: usize) -> FrameStep {
+    let remaining = buf.len().saturating_sub(offset);
+    if remaining == 0 {
+        return FrameStep::CleanEnd;
+    }
+    if remaining < FRAME_HEADER {
+        return FrameStep::Torn { reason: "frame header cut short" };
+    }
+    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+    if len == 0 {
+        return FrameStep::Bad { reason: "zero-length frame" };
+    }
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameStep::Bad { reason: "frame length exceeds maximum" };
+    }
+    if remaining < FRAME_HEADER + len {
+        return FrameStep::Torn { reason: "frame payload cut short" };
+    }
+    let want = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    let payload_start = offset + FRAME_HEADER;
+    if crc32(&buf[payload_start..payload_start + len]) != want {
+        return FrameStep::Bad { reason: "frame checksum mismatch" };
+    }
+    FrameStep::Frame { payload_start, len, next: payload_start + len }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+
+    #[test]
+    fn roundtrip_two_frames() {
+        let mut buf = Vec::new();
+        encode_frame(b"hello", &mut buf);
+        encode_frame(b"world!", &mut buf);
+        let FrameStep::Frame { payload_start, len, next } = decode_step(&buf, 0) else {
+            panic!("first frame")
+        };
+        assert_eq!(&buf[payload_start..payload_start + len], b"hello");
+        let FrameStep::Frame { payload_start, len, next } = decode_step(&buf, next) else {
+            panic!("second frame")
+        };
+        assert_eq!(&buf[payload_start..payload_start + len], b"world!");
+        assert_eq!(decode_step(&buf, next), FrameStep::CleanEnd);
+    }
+
+    #[test]
+    fn truncation_is_torn_not_bad() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload", &mut buf);
+        for cut in 1..buf.len() {
+            match decode_step(&buf[..cut], 0) {
+                FrameStep::Torn { .. } => {}
+                other => panic!("cut at {cut}: expected Torn, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_bad() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload", &mut buf);
+        buf[FRAME_HEADER] ^= 0x10;
+        assert!(matches!(decode_step(&buf, 0), FrameStep::Bad { .. }));
+    }
+
+    #[test]
+    fn zero_and_insane_lengths_are_bad() {
+        let mut zero = vec![0u8; FRAME_HEADER];
+        assert!(matches!(decode_step(&zero, 0), FrameStep::Bad { .. }));
+        zero[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_step(&zero, 0), FrameStep::Bad { .. }));
+    }
+}

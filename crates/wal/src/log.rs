@@ -1,0 +1,441 @@
+//! Segmented write-ahead log: append, rotate, replay.
+//!
+//! The log is a sequence of segments `wal-00000000.log`, `wal-00000001.log`,
+//! … Each segment opens with a 24-byte header (magic `TKWALSEG`, format
+//! version, segment ordinal, header CRC) and then carries CRC32 frames
+//! ([`crate::frame`]) whose payloads are [`WalRecord`]s. The writer is
+//! strictly append-only within a segment and rotates when a segment
+//! exceeds its size target.
+//!
+//! Recovery ([`replay`]) scans segments in ordinal order. Inside any
+//! non-final segment, every byte must validate — a bad frame there means
+//! real corruption ([`WalError::Corrupt`]), because the writer never left
+//! a segment in a partial state (it rotates only after a clean append).
+//! In the *final* segment, the first torn or bad frame is the expected
+//! crash signature: replay truncates the segment at that offset, reports
+//! the bytes discarded, and the records before the cut are exactly the
+//! acked ingests. A fresh [`WalWriter`] then always starts a new segment —
+//! it never appends after a truncation, so a frame that once failed its
+//! checksum can never be followed by valid frames (which is what keeps
+//! the torn-vs-corrupt distinction decidable).
+
+use crate::error::WalError;
+use crate::frame::{decode_step, encode_frame, FrameStep};
+use crate::fs::WalFs;
+use crate::record::{decode_record, encode_record, WalRecord};
+use std::sync::Arc;
+use tklus_storage::crc32;
+
+/// Segment file magic.
+pub const SEG_MAGIC: &[u8; 8] = b"TKWALSEG";
+/// WAL format version this build reads and writes.
+pub const WAL_VERSION: u32 = 1;
+/// Segment header size: magic + version + ordinal + crc.
+pub const SEG_HEADER: usize = 24;
+
+/// When to fsync the active segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: an `Ok` from ingest means durable. The
+    /// chaos suite runs under this policy — it is the one whose ack
+    /// contract the crash tests can assert.
+    Always,
+    /// Sync every `n` appends (and on rotation). Acks between syncs are
+    /// volatile: a crash may roll back up to `n - 1` acked ingests.
+    EveryN(u32),
+    /// Sync only on rotation. Maximum throughput, weakest ack.
+    Never,
+}
+
+/// Write-ahead log configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_bytes: usize,
+    /// Durability policy for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self { segment_bytes: 4 << 20, fsync: FsyncPolicy::Always }
+    }
+}
+
+/// Name of the segment with ordinal `ordinal`.
+pub fn segment_name(ordinal: u64) -> String {
+    format!("wal-{ordinal:08}.log")
+}
+
+/// Parses a segment file name back to its ordinal.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() < 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn encode_segment_header(ordinal: u64) -> [u8; SEG_HEADER] {
+    let mut out = [0u8; SEG_HEADER];
+    out[..8].copy_from_slice(SEG_MAGIC);
+    out[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    out[12..20].copy_from_slice(&ordinal.to_le_bytes());
+    let crc = crc32(&out[8..20]);
+    out[20..24].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates a segment header, returning the ordinal it declares.
+fn decode_segment_header(buf: &[u8], path: &str) -> Result<u64, WalError> {
+    let corrupt = |offset: usize, detail: &str| WalError::Corrupt {
+        path: path.to_string(),
+        offset,
+        detail: detail.to_string(),
+    };
+    if buf.len() < SEG_HEADER {
+        return Err(corrupt(buf.len(), "segment header cut short"));
+    }
+    if &buf[..8] != SEG_MAGIC {
+        return Err(corrupt(0, "bad segment magic"));
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let want = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes"));
+    if crc32(&buf[8..20]) != want {
+        return Err(corrupt(20, "segment header checksum mismatch"));
+    }
+    if version != WAL_VERSION {
+        return Err(WalError::VersionMismatch { found: version, expected: WAL_VERSION });
+    }
+    Ok(u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes")))
+}
+
+/// What [`replay`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments scanned, in ordinal order.
+    pub segments_scanned: usize,
+    /// Valid records decoded across all segments.
+    pub records_replayed: usize,
+    /// Bytes discarded from the final segment's torn tail (0 = clean).
+    pub truncated_bytes: usize,
+    /// The segment that was truncated, if any.
+    pub truncated_segment: Option<String>,
+    /// Why the tail was cut (the frame classifier's reason).
+    pub truncate_reason: Option<String>,
+    /// Highest ordinal seen; the writer's next segment is this + 1.
+    pub max_ordinal: Option<u64>,
+}
+
+/// Scans every WAL segment in the store, truncating the final segment at
+/// its first torn or bad frame and refusing (typed) anything a crash of
+/// the append-only writer cannot explain. Returns the acked records in
+/// append order plus the report.
+pub fn replay(fs: &dyn WalFs) -> Result<(Vec<WalRecord>, RecoveryReport), WalError> {
+    let mut segments: Vec<(u64, String)> = fs
+        .list()?
+        .into_iter()
+        .filter_map(|name| parse_segment_name(&name).map(|ord| (ord, name)))
+        .collect();
+    segments.sort();
+
+    let mut records = Vec::new();
+    let mut report = RecoveryReport::default();
+    let last = segments.len().checked_sub(1);
+    for (i, (ordinal, name)) in segments.iter().enumerate() {
+        let is_final = Some(i) == last;
+        let buf = fs.read(name)?;
+        report.segments_scanned += 1;
+        report.max_ordinal = Some(*ordinal);
+
+        // Header. In the final segment a short or invalid header is the
+        // signature of a crash between `create` and the header append:
+        // no frame can follow it (the writer writes the header first), so
+        // the whole segment is a torn tail and is truncated to nothing.
+        if is_final && (buf.len() < SEG_HEADER || decode_segment_header(&buf, name).is_err()) {
+            // A version mismatch is still a hard error, even at the tail:
+            // a torn write cannot forge a valid checksum over a different
+            // version field.
+            if let Err(e @ WalError::VersionMismatch { .. }) = decode_segment_header(&buf, name) {
+                return Err(e);
+            }
+            report.truncated_bytes = buf.len();
+            report.truncated_segment = Some(name.clone());
+            report.truncate_reason = Some("segment header cut short".to_string());
+            fs.truncate(name, 0)?;
+            break;
+        }
+        let declared = decode_segment_header(&buf, name)?;
+        if declared != *ordinal {
+            return Err(WalError::Corrupt {
+                path: name.clone(),
+                offset: 12,
+                detail: format!("header declares ordinal {declared}, file name says {ordinal}"),
+            });
+        }
+
+        // Frames.
+        let mut offset = SEG_HEADER;
+        loop {
+            match decode_step(&buf, offset) {
+                FrameStep::CleanEnd => break,
+                FrameStep::Frame { payload_start, len, next } => {
+                    let payload = &buf[payload_start..payload_start + len];
+                    match decode_record(payload) {
+                        Ok(rec) => records.push(rec),
+                        Err(detail) => {
+                            // The frame CRC validated, so the payload is
+                            // exactly what was written: a torn write
+                            // cannot produce this. Refuse loudly.
+                            return Err(WalError::Corrupt {
+                                path: name.clone(),
+                                offset: payload_start,
+                                detail,
+                            });
+                        }
+                    }
+                    offset = next;
+                }
+                FrameStep::Torn { reason } | FrameStep::Bad { reason } => {
+                    if !is_final {
+                        return Err(WalError::Corrupt {
+                            path: name.clone(),
+                            offset,
+                            detail: reason.to_string(),
+                        });
+                    }
+                    report.truncated_bytes = buf.len() - offset;
+                    report.truncated_segment = Some(name.clone());
+                    report.truncate_reason = Some(reason.to_string());
+                    fs.truncate(name, offset as u64)?;
+                    break;
+                }
+            }
+        }
+    }
+    report.records_replayed = records.len();
+    Ok((records, report))
+}
+
+/// The append side of the log. One writer per store; callers serialize
+/// access (the ingest store holds it under its write lock).
+pub struct WalWriter {
+    fs: Arc<dyn WalFs>,
+    config: WalConfig,
+    current: String,
+    ordinal: u64,
+    /// Bytes appended to the current segment (header included).
+    written: usize,
+    appends_since_sync: u32,
+}
+
+impl WalWriter {
+    /// Opens a writer on a *fresh* segment with ordinal `next_ordinal`
+    /// (one past the highest replayed ordinal). Starting fresh — never
+    /// appending to a replayed segment — is what makes the recovery
+    /// invariant hold: a truncated tail is never written past.
+    pub fn open(
+        fs: Arc<dyn WalFs>,
+        config: WalConfig,
+        next_ordinal: u64,
+    ) -> Result<Self, WalError> {
+        let mut w = Self {
+            fs,
+            config,
+            current: String::new(),
+            ordinal: next_ordinal,
+            written: 0,
+            appends_since_sync: 0,
+        };
+        w.start_segment(next_ordinal)?;
+        Ok(w)
+    }
+
+    fn start_segment(&mut self, ordinal: u64) -> Result<(), WalError> {
+        let name = segment_name(ordinal);
+        self.fs.create(&name)?;
+        self.fs.append(&name, &encode_segment_header(ordinal))?;
+        self.fs.sync(&name)?;
+        self.current = name;
+        self.ordinal = ordinal;
+        self.written = SEG_HEADER;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// The active segment's ordinal.
+    pub fn current_ordinal(&self) -> u64 {
+        self.ordinal
+    }
+
+    /// Appends one record, rotating first if the active segment is full,
+    /// and syncing per the configured policy. When this returns `Ok`
+    /// under [`FsyncPolicy::Always`], the record is durable.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if self.written >= self.config.segment_bytes {
+            self.rotate()?;
+        }
+        let mut frame = Vec::new();
+        encode_frame(&encode_record(record), &mut frame);
+        self.fs.append(&self.current, &frame)?;
+        self.written += frame.len();
+        match self.config.fsync {
+            FsyncPolicy::Always => self.fs.sync(&self.current)?,
+            FsyncPolicy::EveryN(n) => {
+                self.appends_since_sync += 1;
+                if self.appends_since_sync >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces the active segment durable.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.fs.sync(&self.current)?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Seals the active segment (final sync) and starts the next one.
+    pub fn rotate(&mut self) -> Result<(), WalError> {
+        self.fs.sync(&self.current)?;
+        self.start_segment(self.ordinal + 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+    use crate::fs::SimFs;
+    use tklus_geo::Point;
+    use tklus_model::{Post, TweetId, UserId};
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            post: Post::original(
+                TweetId(seq),
+                UserId(seq % 7),
+                Point::new_unchecked(43.0 + seq as f64 * 1e-4, -79.0),
+                "coffee downtown",
+            ),
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let (fs, _) = SimFs::new(3);
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        for seq in 1..=20 {
+            w.append(&rec(seq)).unwrap();
+        }
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records.len(), 20);
+        assert_eq!(records, (1..=20).map(rec).collect::<Vec<_>>());
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.max_ordinal, Some(0));
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments_and_replays_in_order() {
+        let (fs, _) = SimFs::new(4);
+        let config = WalConfig { segment_bytes: 128, fsync: FsyncPolicy::Always };
+        let mut w = WalWriter::open(fs.clone(), config, 0).unwrap();
+        for seq in 1..=50 {
+            w.append(&rec(seq)).unwrap();
+        }
+        assert!(w.current_ordinal() > 0, "tiny segments must have rotated");
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records, (1..=50).map(rec).collect::<Vec<_>>());
+        assert!(report.segments_scanned > 1);
+    }
+
+    #[test]
+    fn torn_tail_in_final_segment_truncates_and_keeps_prefix() {
+        let (fs, _) = SimFs::new(5);
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        for seq in 1..=5 {
+            w.append(&rec(seq)).unwrap();
+        }
+        // Simulate a torn append: half a frame of garbage at the tail.
+        fs.append(&segment_name(0), &[7u8; 5]).unwrap();
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(report.truncated_bytes, 5);
+        assert_eq!(report.truncated_segment, Some(segment_name(0)));
+        // Replay healed the file: a second replay is clean.
+        let (records2, report2) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records2.len(), 5);
+        assert_eq!(report2.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn bad_frame_in_non_final_segment_is_corruption() {
+        let (fs, _) = SimFs::new(6);
+        let config = WalConfig { segment_bytes: 64, fsync: FsyncPolicy::Always };
+        let mut w = WalWriter::open(fs.clone(), config, 0).unwrap();
+        for seq in 1..=10 {
+            w.append(&rec(seq)).unwrap();
+        }
+        assert!(w.current_ordinal() > 0);
+        // Flip a payload bit in the FIRST segment (not the final one).
+        let name = segment_name(0);
+        let mut bytes = fs.read(&name).unwrap();
+        let flip = SEG_HEADER + crate::frame::FRAME_HEADER + 3;
+        bytes[flip] ^= 0x01;
+        fs.remove(&name).unwrap();
+        fs.create(&name).unwrap();
+        fs.append(&name, &bytes).unwrap();
+        match replay(fs.as_ref()) {
+            Err(WalError::Corrupt { path, .. }) => assert_eq!(path, name),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed_even_in_final_segment() {
+        let (fs, _) = SimFs::new(7);
+        let name = segment_name(0);
+        fs.create(&name).unwrap();
+        let mut header = [0u8; SEG_HEADER];
+        header[..8].copy_from_slice(SEG_MAGIC);
+        header[8..12].copy_from_slice(&99u32.to_le_bytes());
+        header[12..20].copy_from_slice(&0u64.to_le_bytes());
+        let crc = crc32(&header[8..20]);
+        header[20..24].copy_from_slice(&crc.to_le_bytes());
+        fs.append(&name, &header).unwrap();
+        assert!(matches!(
+            replay(fs.as_ref()),
+            Err(WalError::VersionMismatch { found: 99, expected: WAL_VERSION })
+        ));
+    }
+
+    #[test]
+    fn torn_header_in_final_segment_truncates_to_empty() {
+        let (fs, _) = SimFs::new(8);
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        w.append(&rec(1)).unwrap();
+        w.rotate().unwrap();
+        // Crash mid-header on the new segment: only 3 bytes landed.
+        let name = segment_name(1);
+        fs.truncate(&name, 3).unwrap();
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(report.truncated_segment, Some(name));
+        assert_eq!(report.truncated_bytes, 3);
+    }
+
+    #[test]
+    fn segment_name_roundtrip() {
+        assert_eq!(parse_segment_name(&segment_name(42)), Some(42));
+        assert_eq!(parse_segment_name("wal-0000001.log"), None); // too short
+        assert_eq!(parse_segment_name("seal-00000001.log"), None);
+        assert_eq!(parse_segment_name("wal-xxxxxxxx.log"), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! The live delta index: postings for acked-but-unsealed posts.
+//!
+//! The sealed engine's inverted index is immutable; posts ingested since
+//! the last compaction live here instead, as a tiny in-memory postings
+//! map keyed by ⟨geohash cell, term *string*⟩. Term strings, not term
+//! ids: a live post can carry words the sealed vocabulary has never seen,
+//! and the whole point of the delta is to answer for them before any
+//! index rebuild.
+//!
+//! [`MemtableIndex::candidates`] mirrors the sealed engine's candidate
+//! formation exactly — per-cell exact lookups over the query's circle
+//! cover, OR = union summing term frequencies, AND = per-keyword unions
+//! intersected (any keyword that normalizes away empties an AND query) —
+//! so the ingest store can merge sealed and live candidates into one
+//! tweet-id-ordered stream and reproduce a from-scratch engine's answers
+//! bit for bit (the snapshot-equality oracle in `tests/` asserts this).
+
+use std::collections::BTreeMap;
+use tklus_geo::Geohash;
+use tklus_model::{Semantics, TweetId, UserId};
+
+/// In-memory postings over the live (unsealed) posts.
+#[derive(Debug, Default, Clone)]
+pub struct MemtableIndex {
+    /// ⟨cell, term⟩ → tweet-id-sorted postings with term frequencies.
+    postings: BTreeMap<(Geohash, String), Vec<(TweetId, u32)>>,
+    /// Live posts: tweet → author.
+    posts: BTreeMap<TweetId, UserId>,
+}
+
+impl MemtableIndex {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// True when no posts are live.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// The live tweet ids, ascending.
+    pub fn tweet_ids(&self) -> impl Iterator<Item = TweetId> + '_ {
+        self.posts.keys().copied()
+    }
+
+    /// True when `tid` is a live (unsealed) post.
+    pub fn contains(&self, tid: TweetId) -> bool {
+        self.posts.contains_key(&tid)
+    }
+
+    /// The distinct authors of live posts, ascending.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.posts.values().copied().collect();
+        users.sort();
+        users.dedup();
+        users
+    }
+
+    /// Absorbs one post: `cell` is its geohash at the sealed index's
+    /// encoding length, `terms` the pipeline's `(term, tf)` counts
+    /// ([`tklus_core::TklusEngine::term_counts`]). Posts may arrive in any
+    /// tweet-id order (replay is sequence-ordered, not id-ordered);
+    /// postings stay id-sorted by insertion position.
+    pub fn insert(&mut self, tid: TweetId, uid: UserId, cell: Geohash, terms: &[(String, u32)]) {
+        self.posts.insert(tid, uid);
+        for (term, tf) in terms {
+            let list = self.postings.entry((cell, term.clone())).or_default();
+            match list.binary_search_by_key(&tid, |e| e.0) {
+                Ok(at) => list[at].1 = *tf,
+                Err(at) => list.insert(at, (tid, *tf)),
+            }
+        }
+    }
+
+    /// Drops every post (compaction sealed them).
+    pub fn clear(&mut self) {
+        self.postings.clear();
+        self.posts.clear();
+    }
+
+    /// Candidate formation over the live posts, mirroring the sealed
+    /// engine: `cover` is the query's circle cover at the index geohash
+    /// length, `keywords` the *normalized* query keywords (`None` =
+    /// normalized away). OR unions all lists summing tf; AND unions per
+    /// keyword then intersects, and any `None` keyword empties the whole
+    /// AND query (the sealed engine's contract). Returns id-sorted
+    /// `(tweet, tf)` rows.
+    pub fn candidates(
+        &self,
+        cover: &[Geohash],
+        keywords: &[Option<String>],
+        semantics: Semantics,
+    ) -> Vec<(TweetId, u32)> {
+        // Dedup normalized keywords (the sealed path's resolve contract:
+        // "Hotels" and "hotel" contribute one term).
+        let mut terms: Vec<&str> = Vec::new();
+        for kw in keywords {
+            match kw {
+                Some(t) if !terms.contains(&t.as_str()) => terms.push(t),
+                Some(_) => {}
+                None if semantics == Semantics::And => return Vec::new(),
+                None => {}
+            }
+        }
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        match semantics {
+            Semantics::Or => {
+                let mut acc: BTreeMap<TweetId, u32> = BTreeMap::new();
+                for term in &terms {
+                    for (tid, tf) in self.term_postings(cover, term) {
+                        *acc.entry(tid).or_insert(0) += tf;
+                    }
+                }
+                acc.into_iter().collect()
+            }
+            Semantics::And => {
+                let mut groups: Vec<Vec<(TweetId, u32)>> = Vec::with_capacity(terms.len());
+                for term in &terms {
+                    let group: Vec<(TweetId, u32)> = self.term_postings(cover, term).collect();
+                    if group.is_empty() {
+                        return Vec::new();
+                    }
+                    groups.push(group);
+                }
+                tklus_index::intersect_sum(&groups)
+            }
+        }
+    }
+
+    /// One keyword's postings across the cover, id-sorted. A live post
+    /// appears in exactly one cell, so the per-cell lists are disjoint and
+    /// chaining them cell-by-cell then sorting by id is a true union.
+    fn term_postings<'a>(
+        &'a self,
+        cover: &'a [Geohash],
+        term: &'a str,
+    ) -> impl Iterator<Item = (TweetId, u32)> + 'a {
+        let mut rows: Vec<(TweetId, u32)> = cover
+            .iter()
+            .filter_map(|cell| self.postings.get(&(*cell, term.to_string())))
+            .flatten()
+            .copied()
+            .collect();
+        rows.sort_by_key(|e| e.0);
+        rows.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+    use tklus_geo::{encode, Point};
+
+    fn cell(lat: f64, lon: f64) -> Geohash {
+        encode(&Point::new_unchecked(lat, lon), 4).unwrap()
+    }
+
+    fn table() -> (MemtableIndex, Geohash) {
+        let c = cell(43.70, -79.42);
+        let mut m = MemtableIndex::new();
+        m.insert(TweetId(5), UserId(1), c, &[("hotel".into(), 2), ("coffe".into(), 1)]);
+        m.insert(TweetId(2), UserId(2), c, &[("hotel".into(), 1)]);
+        m.insert(TweetId(9), UserId(1), c, &[("coffe".into(), 3)]);
+        (m, c)
+    }
+
+    #[test]
+    fn or_unions_and_sorts_by_id() {
+        let (m, c) = table();
+        let cands =
+            m.candidates(&[c], &[Some("hotel".into()), Some("coffe".into())], Semantics::Or);
+        assert_eq!(cands, vec![(TweetId(2), 1), (TweetId(5), 3), (TweetId(9), 3)]);
+    }
+
+    #[test]
+    fn and_intersects_and_none_keyword_empties() {
+        let (m, c) = table();
+        let both =
+            m.candidates(&[c], &[Some("hotel".into()), Some("coffe".into())], Semantics::And);
+        assert_eq!(both, vec![(TweetId(5), 3)]);
+        let with_stopword =
+            m.candidates(&[c], &[Some("hotel".into()), None, Some("coffe".into())], Semantics::And);
+        assert!(with_stopword.is_empty());
+        // OR just drops the normalized-away keyword.
+        let or = m.candidates(&[c], &[Some("hotel".into()), None], Semantics::Or);
+        assert_eq!(or.len(), 2);
+    }
+
+    #[test]
+    fn cover_filters_by_cell_and_duplicate_keywords_count_once() {
+        let (mut m, c) = table();
+        let far = cell(-33.87, 151.21);
+        m.insert(TweetId(11), UserId(3), far, &[("hotel".into(), 1)]);
+        let near = m.candidates(&[c], &[Some("hotel".into())], Semantics::Or);
+        assert!(near.iter().all(|&(tid, _)| tid != TweetId(11)));
+        let both_cells = m.candidates(&[c, far], &[Some("hotel".into())], Semantics::Or);
+        assert!(both_cells.iter().any(|&(tid, _)| tid == TweetId(11)));
+        let dup = m.candidates(&[c], &[Some("hotel".into()), Some("hotel".into())], Semantics::Or);
+        assert_eq!(dup, m.candidates(&[c], &[Some("hotel".into())], Semantics::Or));
+    }
+
+    #[test]
+    fn clear_and_accessors() {
+        let (mut m, _) = table();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.users(), vec![UserId(1), UserId(2)]);
+        assert!(m.contains(TweetId(5)));
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.candidates(&[], &[Some("hotel".into())], Semantics::Or).is_empty());
+    }
+}

@@ -1,0 +1,908 @@
+//! The crash-safe ingest store: WAL-fronted LSM over the TkLUS engine.
+//!
+//! # Shape
+//!
+//! ```text
+//!   ingest ──▶ WAL append (fsync) ──▶ apply to live state ──▶ ack
+//!                                        │
+//!              sealed engine             ▼
+//!              (immutable index     MemtableIndex (live postings)
+//!               over sealed posts,  + engine metadata/bounds
+//!               metadata over ALL     (mutated in place)
+//!               acked posts)
+//!                      ▲
+//!                      └── compaction: seal files + MANIFEST swap,
+//!                          engine rebuilt over everything, WAL trimmed
+//! ```
+//!
+//! The engine's inverted index covers only *sealed* posts; its metadata
+//! database, thread cache, and popularity bounds cover *all* acked posts
+//! (each ingest inserts metadata, invalidates the staled thread-cache
+//! entries, and loosens the affected bounds — see
+//! [`tklus_core::TklusEngine::try_insert_metadata`]). Queries merge the
+//! sealed engine's candidates with the memtable's into one
+//! tweet-id-ordered stream, which reproduces a from-scratch engine's
+//! answers **bitwise** (the oracle suite asserts equality, not closeness):
+//!
+//! * Sum: sealed [`TklusEngine::try_partial_sum`] rows and memtable rows
+//!   (scored by the identical per-candidate sequence) merge by tweet id —
+//!   the monolithic fold order — then fold, blend, and rank exactly as
+//!   Algorithm 4 does.
+//! * Max: the sealed top-k and the exhaustively-scored memtable users
+//!   merge by per-user maximum. Exact because `user_score` is monotone in
+//!   its keyword part (so per-user max of scores equals score of max ρ)
+//!   and a user outside the sealed top-k with no live tweet is dominated
+//!   by k users in the merged set.
+//!
+//! # Crash safety
+//!
+//! An ingest is acked only after its WAL frame is appended (and, under
+//! [`FsyncPolicy::Always`], fsynced). Recovery replays the log over the
+//! sealed state named by `MANIFEST`, skipping records compaction already
+//! absorbed (`seq ≤ sealed_seq`), truncating the final segment's torn
+//! tail, and refusing mid-log corruption. Compaction writes seal files,
+//! fsyncs them, then swaps `MANIFEST.tmp → MANIFEST` atomically; a crash
+//! anywhere leaves either the old manifest (WAL still replays everything)
+//! or the new one (replay skips the sealed prefix) — never a mix.
+//!
+//! # Failure containment
+//!
+//! If applying an acked record to the live state fails part-way (a
+//! metadata page fault mid-insert), the store rebuilds the whole live
+//! state from the acked set — the in-memory equivalent of a WAL redo. If
+//! *that* also fails the store latches [`WalError::Poisoned`]: every call
+//! fails fast, no query ever observes a half-applied tweet, and reopening
+//! recovers from durable state.
+
+use crate::error::WalError;
+use crate::frame::{decode_step, encode_frame, FrameStep};
+use crate::fs::WalFs;
+use crate::log::{parse_segment_name, replay, segment_name, RecoveryReport, WalConfig, WalWriter};
+use crate::memtable::MemtableIndex;
+use crate::record::{decode_record, encode_record, WalRecord};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tklus_core::score::{tweet_keyword_score, user_score};
+use tklus_core::{top_k, EngineConfig, RankedUser, Ranking, SumRow, TklusEngine};
+use tklus_geo::{circle_cover, encode, Geohash};
+use tklus_model::{Corpus, Post, TklusQuery, TweetId, UserId};
+use tklus_storage::crc32;
+
+/// Manifest header line.
+const MANIFEST_MAGIC: &str = "TKLUSMANIFEST 1";
+/// The manifest's durable name.
+pub const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// Ingest store configuration.
+#[derive(Clone)]
+pub struct StoreConfig {
+    /// Engine build parameters (scoring, index, caches, metadata store).
+    pub engine: EngineConfig,
+    /// WAL segment size and fsync policy.
+    pub wal: WalConfig,
+    /// Background compactor: seal once this many posts are live. The
+    /// synchronous [`IngestStore::compact`] ignores it.
+    pub compact_threshold: usize,
+    /// Background compactor poll interval.
+    pub compact_interval: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            wal: WalConfig::default(),
+            compact_threshold: 1024,
+            compact_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What [`IngestStore::open`] found and rebuilt.
+#[derive(Debug, Clone, Default)]
+pub struct OpenReport {
+    /// WAL scan outcome (segments, torn-tail truncation).
+    pub recovery: RecoveryReport,
+    /// Posts loaded from sealed partitions.
+    pub sealed_posts: usize,
+    /// Posts replayed from the WAL into the live memtable.
+    pub live_posts: usize,
+    /// Compaction generation of the manifest loaded (0 = none).
+    pub generation: u64,
+}
+
+/// The sealed state a manifest names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Manifest {
+    generation: u64,
+    sealed_seq: u64,
+    /// `(file name, record count)` pairs, in manifest order.
+    files: Vec<(String, usize)>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut text = String::new();
+        text.push_str(MANIFEST_MAGIC);
+        text.push('\n');
+        text.push_str(&format!("generation {}\n", self.generation));
+        text.push_str(&format!("sealed_seq {}\n", self.sealed_seq));
+        for (name, count) in &self.files {
+            text.push_str(&format!("file {name} {count}\n"));
+        }
+        let crc = crc32(text.as_bytes());
+        text.push_str(&format!("crc {crc:08x}\n"));
+        text.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WalError> {
+        let corrupt = |offset: usize, detail: &str| WalError::Corrupt {
+            path: MANIFEST.to_string(),
+            offset,
+            detail: detail.to_string(),
+        };
+        let text = std::str::from_utf8(bytes).map_err(|_| corrupt(0, "manifest is not UTF-8"))?;
+        let Some(crc_at) = text.rfind("crc ") else {
+            return Err(corrupt(0, "manifest missing crc line"));
+        };
+        let declared = text[crc_at + 4..].trim();
+        let declared = u32::from_str_radix(declared, 16)
+            .map_err(|_| corrupt(crc_at, "manifest crc is not hex"))?;
+        if crc32(&text.as_bytes()[..crc_at]) != declared {
+            return Err(corrupt(crc_at, "manifest checksum mismatch"));
+        }
+        let mut lines = text[..crc_at].lines();
+        if lines.next() != Some(MANIFEST_MAGIC) {
+            return Err(corrupt(0, "bad manifest magic"));
+        }
+        let mut m = Manifest::default();
+        let mut have_gen = false;
+        let mut have_seq = false;
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("generation") => {
+                    m.generation = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| corrupt(0, "bad generation line"))?;
+                    have_gen = true;
+                }
+                Some("sealed_seq") => {
+                    m.sealed_seq = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| corrupt(0, "bad sealed_seq line"))?;
+                    have_seq = true;
+                }
+                Some("file") => {
+                    let name = parts.next().ok_or_else(|| corrupt(0, "bad file line"))?;
+                    let count: usize = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| corrupt(0, "bad file line"))?;
+                    m.files.push((name.to_string(), count));
+                }
+                // Same forward-compat posture as the page layer: an
+                // unknown field under a valid checksum is a future writer,
+                // not corruption — but we cannot honour what we cannot
+                // parse, so refuse loudly rather than drop state.
+                Some(other) => {
+                    return Err(corrupt(0, &format!("unknown manifest field {other:?}")))
+                }
+                None => {}
+            }
+        }
+        if !(have_gen && have_seq) {
+            return Err(corrupt(0, "manifest missing generation or sealed_seq"));
+        }
+        Ok(m)
+    }
+}
+
+/// The name of generation `generation`'s seal file for geohash group `g`.
+fn seal_name(generation: u64, group: char) -> String {
+    format!("seal-{generation:08}-{group}.log")
+}
+
+/// Mutable state under the store's lock.
+struct Inner {
+    engine: TklusEngine,
+    memtable: MemtableIndex,
+    wal: WalWriter,
+    /// Every acked record, sequence order. `acked[..sealed_len]` is the
+    /// sealed prefix the engine's index covers.
+    acked: Vec<WalRecord>,
+    sealed_len: usize,
+    /// Tweet id → index into `acked` (duplicate detection, ancestor text).
+    by_id: HashMap<TweetId, usize>,
+    /// Direct-reply fan-out per target, over all acked posts (feeds the
+    /// loosen-only global bound).
+    fanout: HashMap<TweetId, usize>,
+    next_seq: u64,
+    sealed_seq: u64,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// The crash-safe streaming ingest store. Cheaply shareable across
+/// threads behind an `Arc`; ingest/compaction take the write lock,
+/// queries the read lock, so a query can never observe an ingest half
+/// applied.
+pub struct IngestStore {
+    fs: Arc<dyn WalFs>,
+    config: StoreConfig,
+    inner: RwLock<Inner>,
+}
+
+impl IngestStore {
+    /// Opens the store: loads the manifest's sealed state, replays the
+    /// WAL (healing a torn tail), rebuilds the live memtable, and starts
+    /// a fresh WAL segment. Idempotent — opening twice in a row changes
+    /// nothing the second time.
+    pub fn open(fs: Arc<dyn WalFs>, config: StoreConfig) -> Result<(Self, OpenReport), WalError> {
+        let files = fs.list()?;
+        let manifest = if files.iter().any(|f| f == MANIFEST) {
+            Manifest::decode(&fs.read(MANIFEST)?)?
+        } else {
+            Manifest::default()
+        };
+
+        // Sealed posts, from the files the manifest names. These were
+        // fsynced before the manifest swap, so any invalid frame here is
+        // real corruption, never a torn tail.
+        let mut sealed: Vec<WalRecord> = Vec::new();
+        for (name, count) in &manifest.files {
+            let buf = fs.read(name)?;
+            let mut offset = 0;
+            let mut in_file = 0usize;
+            loop {
+                match decode_step(&buf, offset) {
+                    FrameStep::CleanEnd => break,
+                    FrameStep::Frame { payload_start, len, next } => {
+                        let rec = decode_record(&buf[payload_start..payload_start + len]).map_err(
+                            |detail| WalError::Corrupt {
+                                path: name.clone(),
+                                offset: payload_start,
+                                detail,
+                            },
+                        )?;
+                        sealed.push(rec);
+                        in_file += 1;
+                        offset = next;
+                    }
+                    FrameStep::Torn { reason } | FrameStep::Bad { reason } => {
+                        return Err(WalError::Corrupt {
+                            path: name.clone(),
+                            offset,
+                            detail: reason.to_string(),
+                        });
+                    }
+                }
+            }
+            if in_file != *count {
+                return Err(WalError::Corrupt {
+                    path: name.clone(),
+                    offset: buf.len(),
+                    detail: format!("manifest promises {count} records, file holds {in_file}"),
+                });
+            }
+        }
+        sealed.sort_by_key(|r| r.seq);
+
+        // Live posts, from the WAL. Records compaction already absorbed
+        // (seq ≤ sealed_seq) are skipped — the crash-between-swap-and-trim
+        // window leaves them in the log, and replay must be idempotent.
+        let (walked, recovery) = replay(fs.as_ref())?;
+        let live: Vec<WalRecord> =
+            walked.into_iter().filter(|r| r.seq > manifest.sealed_seq).collect();
+
+        let report = OpenReport {
+            recovery: recovery.clone(),
+            sealed_posts: sealed.len(),
+            live_posts: live.len(),
+            generation: manifest.generation,
+        };
+
+        let next_seq =
+            sealed.iter().chain(live.iter()).map(|r| r.seq).max().unwrap_or(manifest.sealed_seq)
+                + 1;
+        let wal = WalWriter::open(
+            Arc::clone(&fs),
+            config.wal,
+            recovery.max_ordinal.map_or(0, |o| o + 1),
+        )?;
+
+        let mut inner = Inner {
+            engine: Self::build_engine(&sealed, &config.engine)?,
+            memtable: MemtableIndex::new(),
+            wal,
+            acked: sealed,
+            sealed_len: 0,
+            by_id: HashMap::new(),
+            fanout: HashMap::new(),
+            next_seq,
+            sealed_seq: manifest.sealed_seq,
+            generation: manifest.generation,
+            poisoned: false,
+        };
+        inner.sealed_len = inner.acked.len();
+        for (i, rec) in inner.acked.iter().enumerate() {
+            inner.by_id.insert(rec.post.id, i);
+            if let Some(r) = rec.post.in_reply_to {
+                *inner.fanout.entry(r.target).or_insert(0) += 1;
+            }
+        }
+        let store = Self { fs, config, inner: RwLock::new(inner) };
+        {
+            let mut inner = store.inner.write();
+            for rec in live {
+                store.admit(&mut inner, rec)?;
+            }
+        }
+        Ok((store, report))
+    }
+
+    fn build_engine(sealed: &[WalRecord], config: &EngineConfig) -> Result<TklusEngine, WalError> {
+        let corpus = Corpus::new(sealed.iter().map(|r| r.post.clone()).collect())
+            .map_err(|d| WalError::DuplicateTweet(d.0))?;
+        let (engine, _report) = TklusEngine::try_build(&corpus, config)?;
+        Ok(engine)
+    }
+
+    /// Appends `rec` to the acked set and applies it to the live state;
+    /// on apply failure falls back to a full rebuild (see the module docs).
+    fn admit(&self, inner: &mut Inner, rec: WalRecord) -> Result<u64, WalError> {
+        let seq = rec.seq;
+        inner.by_id.insert(rec.post.id, inner.acked.len());
+        inner.acked.push(rec);
+        let at = inner.acked.len() - 1;
+        match self.apply_live(inner, at) {
+            Ok(()) => Ok(seq),
+            Err(_) => match self.rebuild_live(inner) {
+                Ok(()) => Ok(seq),
+                Err(_) => {
+                    inner.poisoned = true;
+                    Err(WalError::Poisoned)
+                }
+            },
+        }
+    }
+
+    /// Applies `inner.acked[at]` to the engine metadata, bounds, and
+    /// memtable. Must only be called with the record already in `acked`:
+    /// on error the caller rebuilds from that set.
+    fn apply_live(&self, inner: &mut Inner, at: usize) -> Result<(), WalError> {
+        let rec = inner.acked[at].clone();
+        let post = &rec.post;
+        inner.engine.try_insert_metadata(post)?;
+
+        // Loosen-only bound refresh: the new post grows every ancestor's
+        // thread, so each ancestor's φ may rise; raise the hot bound of
+        // every term those posts carry, and the global bound for the
+        // target's new fan-out. Bounds only ever prune *sealed*
+        // candidates (memtable candidates are scored exhaustively), so
+        // over-loosening costs pruning power, never correctness.
+        if let Some(reply) = post.in_reply_to {
+            let count = {
+                let entry = inner.fanout.entry(reply.target).or_insert(0);
+                *entry += 1;
+                *entry
+            };
+            inner.engine.loosen_global_for_fanout(count);
+            let mut affected = vec![post.id];
+            affected.extend(inner.engine.try_ancestor_chain(post)?);
+            for tid in affected {
+                let phi = inner.engine.try_thread_phi(tid)?;
+                let Some(&idx) = inner.by_id.get(&tid) else { continue };
+                let text = inner.acked[idx].post.text.clone();
+                for term in inner.engine.text_terms(&text) {
+                    inner.engine.loosen_hot_bound(term, phi);
+                }
+            }
+        }
+
+        let cell = self.post_cell(&inner.engine, post)?;
+        let terms = inner.engine.term_counts(&post.text);
+        inner.memtable.insert(post.id, post.user, cell, &terms);
+        Ok(())
+    }
+
+    /// The in-memory WAL redo: throw the live state away and rebuild it
+    /// from the acked set. Restores the invariant "live state ≡ fold of
+    /// acked records" after a half-applied record.
+    fn rebuild_live(&self, inner: &mut Inner) -> Result<(), WalError> {
+        let sealed = &inner.acked[..inner.sealed_len];
+        let mut engine = Self::build_engine(sealed, &self.config.engine)?;
+        let mut memtable = MemtableIndex::new();
+        let mut fanout: HashMap<TweetId, usize> = HashMap::new();
+        for rec in &inner.acked {
+            if let Some(r) = rec.post.in_reply_to {
+                *fanout.entry(r.target).or_insert(0) += 1;
+            }
+        }
+        for at in inner.sealed_len..inner.acked.len() {
+            let post = inner.acked[at].post.clone();
+            engine.try_insert_metadata(&post)?;
+            if let Some(reply) = post.in_reply_to {
+                engine.loosen_global_for_fanout(fanout[&reply.target]);
+                let mut affected = vec![post.id];
+                affected.extend(engine.try_ancestor_chain(&post)?);
+                for tid in affected {
+                    let phi = engine.try_thread_phi(tid)?;
+                    let Some(&idx) = inner.by_id.get(&tid) else { continue };
+                    let text = inner.acked[idx].post.text.clone();
+                    for term in engine.text_terms(&text) {
+                        engine.loosen_hot_bound(term, phi);
+                    }
+                }
+            }
+            let cell = self.post_cell(&engine, &post)?;
+            let terms = engine.term_counts(&post.text);
+            memtable.insert(post.id, post.user, cell, &terms);
+        }
+        inner.engine = engine;
+        inner.memtable = memtable;
+        inner.fanout = fanout;
+        inner.poisoned = false;
+        Ok(())
+    }
+
+    fn post_cell(&self, engine: &TklusEngine, post: &Post) -> Result<Geohash, WalError> {
+        encode(&post.location, engine.index().geohash_len()).map_err(|e| WalError::Corrupt {
+            path: String::new(),
+            offset: 0,
+            detail: format!("post location failed to encode: {e:?}"),
+        })
+    }
+
+    /// Ingests one post: duplicate check, durable WAL append, live apply.
+    /// Returns the record's sequence number. When this returns `Ok` under
+    /// [`FsyncPolicy::Always`], the post survives any crash.
+    ///
+    /// [`FsyncPolicy::Always`]: crate::log::FsyncPolicy::Always
+    pub fn ingest(&self, post: Post) -> Result<u64, WalError> {
+        let mut inner = self.inner.write();
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        if inner.by_id.contains_key(&post.id) {
+            return Err(WalError::DuplicateTweet(post.id));
+        }
+        let rec = WalRecord { seq: inner.next_seq, post };
+        inner.wal.append(&rec)?;
+        inner.next_seq += 1;
+        self.admit(&mut inner, rec)
+    }
+
+    /// Answers a query over the consistent snapshot "sealed ∪ live",
+    /// bitwise-equal to a from-scratch engine over the same posts (module
+    /// docs give the argument; the oracle suite asserts it).
+    pub fn try_query(&self, q: &TklusQuery, ranking: Ranking) -> Result<Vec<RankedUser>, WalError> {
+        let inner = self.inner.read();
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let engine = &inner.engine;
+        let live = self.live_candidates(&inner, q)?;
+        match ranking {
+            Ranking::Sum => {
+                let sealed = engine.try_partial_sum(q)?;
+                let mut rows = sealed.rows;
+                // Merge live rows into the sealed stream by tweet id: the
+                // sets are disjoint (a tweet is sealed or live, never
+                // both), and the merged order is the monolithic fold order.
+                for (tid, uid, rho) in live {
+                    let at = rows.partition_point(|r| r.tweet < tid);
+                    rows.insert(at, SumRow { tweet: tid, user: uid, rho });
+                }
+                let mut users: HashMap<UserId, f64> = HashMap::new();
+                for row in &rows {
+                    *users.entry(row.user).or_insert(0.0) += row.rho;
+                }
+                let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
+                entries.sort_by_key(|e| e.0);
+                let mut ranked = Vec::with_capacity(entries.len());
+                for (uid, rho) in entries {
+                    let delta = engine.try_user_distance_score(&q.location, q.radius_km, uid)?;
+                    ranked.push(RankedUser {
+                        user: uid,
+                        score: user_score(rho, delta, engine.scoring()),
+                    });
+                }
+                Ok(top_k(ranked, q.k))
+            }
+            Ranking::Max(_) => {
+                let sealed = engine.try_query(q, ranking)?;
+                // Per-user best keyword relevance over the live tweets.
+                let mut live_best: HashMap<UserId, f64> = HashMap::new();
+                for (_tid, uid, rho) in live {
+                    let entry = live_best.entry(uid).or_insert(f64::NEG_INFINITY);
+                    if rho > *entry {
+                        *entry = rho;
+                    }
+                }
+                let mut best: HashMap<UserId, f64> = HashMap::new();
+                for ru in sealed.users {
+                    best.insert(ru.user, ru.score);
+                }
+                let mut live_users: Vec<(UserId, f64)> = live_best.into_iter().collect();
+                live_users.sort_by_key(|e| e.0);
+                for (uid, rho) in live_users {
+                    let delta = engine.try_user_distance_score(&q.location, q.radius_km, uid)?;
+                    let score = user_score(rho, delta, engine.scoring());
+                    let entry = best.entry(uid).or_insert(f64::NEG_INFINITY);
+                    if score > *entry {
+                        *entry = score;
+                    }
+                }
+                let ranked =
+                    best.into_iter().map(|(user, score)| RankedUser { user, score }).collect();
+                Ok(top_k(ranked, q.k))
+            }
+        }
+    }
+
+    /// Scores the memtable's candidates for `q` with the exact
+    /// per-candidate sequence of Algorithm 4/5's relevance stage: time
+    /// window, metadata row, radius, thread popularity, keyword score ×
+    /// recency. Returns id-sorted `(tweet, author, ρ)` rows.
+    fn live_candidates(
+        &self,
+        inner: &Inner,
+        q: &TklusQuery,
+    ) -> Result<Vec<(TweetId, UserId, f64)>, WalError> {
+        let engine = &inner.engine;
+        if inner.memtable.is_empty() {
+            return Ok(Vec::new());
+        }
+        let scoring = engine.scoring();
+        let cover =
+            circle_cover(&q.location, q.radius_km, engine.index().geohash_len(), scoring.metric)
+                .expect("index geohash length is valid");
+        let keywords: Vec<Option<String>> =
+            q.keywords.iter().map(|kw| engine.normalize_keyword(kw)).collect();
+        let cands = inner.memtable.candidates(&cover, &keywords, q.semantics);
+        let mut rows = Vec::new();
+        for (tid, tf) in cands {
+            if !q.in_time_range(tid.0) {
+                continue;
+            }
+            let Some(row) = engine.db().try_row(tid).map_err(tklus_core::EngineError::from)? else {
+                continue;
+            };
+            if q.location.distance_km(&row.location, scoring.metric) > q.radius_km {
+                continue;
+            }
+            let phi = engine.try_thread_phi(tid)?;
+            let rho = tweet_keyword_score(tf, phi, scoring) * q.recency_factor(tid.0);
+            rows.push((tid, row.uid, rho));
+        }
+        Ok(rows)
+    }
+
+    /// Seals every live post into persisted geohash partitions and swaps
+    /// the manifest atomically, then rebuilds the engine over the full
+    /// corpus, clears the memtable, and trims absorbed WAL segments.
+    /// Returns `true` when something was sealed.
+    pub fn compact(&self) -> Result<bool, WalError> {
+        let mut inner = self.inner.write();
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        if inner.memtable.is_empty() {
+            return Ok(false);
+        }
+        let generation = inner.generation + 1;
+        let sealed_seq = inner.acked.iter().map(|r| r.seq).max().unwrap_or(inner.sealed_seq);
+
+        // Group every acked post by its geohash's leading character —
+        // the paper's coarse spatial partitioning — and write one seal
+        // file per group: frames, fsync, *then* the manifest swap. The
+        // sync before the rename is load-bearing: without it the manifest
+        // could durably name files whose bytes died in the page cache
+        // (the chaos suite's SimFs models exactly that).
+        let mut groups: std::collections::BTreeMap<char, Vec<&WalRecord>> =
+            std::collections::BTreeMap::new();
+        for rec in &inner.acked {
+            let cell = self.post_cell(&inner.engine, &rec.post)?;
+            let group = cell.to_string().chars().next().unwrap_or('0');
+            groups.entry(group).or_default().push(rec);
+        }
+        let mut files = Vec::with_capacity(groups.len());
+        for (group, recs) in &groups {
+            let name = seal_name(generation, *group);
+            let mut bytes = Vec::new();
+            for rec in recs {
+                encode_frame(&encode_record(rec), &mut bytes);
+            }
+            self.fs.create(&name)?;
+            self.fs.append(&name, &bytes)?;
+            self.fs.sync(&name)?;
+            files.push((name, recs.len()));
+        }
+        let manifest = Manifest { generation, sealed_seq, files };
+        self.fs.create(MANIFEST_TMP)?;
+        self.fs.append(MANIFEST_TMP, &manifest.encode())?;
+        self.fs.sync(MANIFEST_TMP)?;
+        self.fs.rename(MANIFEST_TMP, MANIFEST)?;
+
+        // ---- The swap is the commit point. Everything below is cleanup
+        // and in-memory refresh; a crash from here on recovers to the
+        // same state (replay skips seq ≤ sealed_seq; stray files of older
+        // generations are invisible to the manifest and removed below or
+        // by the next compaction).
+        inner.sealed_len = inner.acked.len();
+        inner.sealed_seq = sealed_seq;
+        inner.generation = generation;
+        inner.engine = Self::build_engine(&inner.acked, &self.config.engine)?;
+        inner.memtable.clear();
+
+        // Trim the WAL: rotate to a fresh segment, drop every older one
+        // (all their records have seq ≤ sealed_seq now), and drop seal
+        // files the new manifest no longer names.
+        inner.wal.rotate()?;
+        let keep_ordinal = inner.wal.current_ordinal();
+        let keep_names: std::collections::HashSet<&str> =
+            manifest.files.iter().map(|(n, _)| n.as_str()).collect();
+        for name in self.fs.list()? {
+            if let Some(ord) = parse_segment_name(&name) {
+                if ord < keep_ordinal {
+                    self.fs.remove(&name)?;
+                }
+            } else if name.starts_with("seal-") && !keep_names.contains(name.as_str()) {
+                self.fs.remove(&name)?;
+            }
+        }
+        let _ = segment_name(keep_ordinal); // (name formatting shared with the writer)
+        Ok(true)
+    }
+
+    /// Total acked posts (sealed + live).
+    pub fn acked_posts(&self) -> usize {
+        self.inner.read().acked.len()
+    }
+
+    /// True when `tid` has been acked (sealed or live).
+    pub fn contains_post(&self, tid: TweetId) -> bool {
+        self.inner.read().by_id.contains_key(&tid)
+    }
+
+    /// A snapshot of every acked post, sequence order. The chaos suite
+    /// builds its reference engine from exactly this set.
+    pub fn posts(&self) -> Vec<Post> {
+        self.inner.read().acked.iter().map(|r| r.post.clone()).collect()
+    }
+
+    /// Posts in the live memtable.
+    pub fn live_posts(&self) -> usize {
+        self.inner.read().memtable.len()
+    }
+
+    /// Current compaction generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().generation
+    }
+
+    /// Highest sequence number compaction has absorbed.
+    pub fn sealed_seq(&self) -> u64 {
+        self.inner.read().sealed_seq
+    }
+
+    /// True when the live state was lost and the store is failing fast.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.read().poisoned
+    }
+
+    /// Audits the loosen-only bound-refresh invariant: for every acked
+    /// post `p` and every hot term `t` in its text, `hot_bound(t)` must
+    /// dominate φ(p) under the *current* reply graph (live replies
+    /// included), and the global bound must dominate φ(p) outright —
+    /// Algorithm 5's prune consults exactly these bounds for sealed
+    /// candidates. Returns the audit; the oracle suite asserts it clean.
+    pub fn check_bounds_soundness(&self) -> Result<BoundsAudit, WalError> {
+        let inner = self.inner.read();
+        if inner.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let engine = &inner.engine;
+        let mut audit = BoundsAudit::default();
+        for rec in &inner.acked {
+            let phi = engine.try_thread_phi(rec.post.id)?;
+            if engine.bounds().global() < phi {
+                audit.violations.push((rec.post.id, None));
+            }
+            for term in engine.text_terms(&rec.post.text) {
+                let Some(bound) = engine.bounds().hot_bound(term) else { continue };
+                audit.checked += 1;
+                if bound < phi {
+                    audit.violations.push((rec.post.id, Some(term)));
+                }
+            }
+        }
+        Ok(audit)
+    }
+
+    /// Starts the background compactor: polls every
+    /// `config.compact_interval` and seals once `compact_threshold` posts
+    /// are live. Errors (including injected faults) are swallowed — the
+    /// next poll retries, and the synchronous path stays available.
+    pub fn spawn_compactor(self: &Arc<Self>) -> CompactorHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(store.config.compact_interval);
+                if store.live_posts() >= store.config.compact_threshold {
+                    let _ = store.compact();
+                }
+            }
+        });
+        CompactorHandle { stop, join: Some(join) }
+    }
+}
+
+/// Result of [`IngestStore::check_bounds_soundness`].
+#[derive(Debug, Clone, Default)]
+pub struct BoundsAudit {
+    /// `(post, hot term)` pairs inspected.
+    pub checked: usize,
+    /// Posts whose φ exceeds a bound that should dominate it: `Some(t)` =
+    /// the hot bound for `t`, `None` = the global bound. Always empty
+    /// unless the loosen-only refresh is broken.
+    pub violations: Vec<(TweetId, Option<tklus_text::TermId>)>,
+}
+
+/// Stops the background compactor on drop (or explicitly via
+/// [`CompactorHandle::stop`]).
+pub struct CompactorHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Signals the compactor to exit and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+    use crate::fs::SimFs;
+    use tklus_core::{BoundsMode, Ranking};
+    use tklus_geo::Point;
+    use tklus_model::Semantics;
+
+    fn post(id: u64, user: u64, lat: f64, lon: f64, text: &str) -> Post {
+        Post::original(TweetId(id), UserId(user), Point::new_unchecked(lat, lon), text)
+    }
+
+    fn query() -> TklusQuery {
+        TklusQuery::new(
+            Point::new_unchecked(43.70, -79.42),
+            25.0,
+            vec!["hotel".into()],
+            5,
+            Semantics::Or,
+        )
+        .unwrap()
+    }
+
+    fn open(fs: &Arc<SimFs>) -> (IngestStore, OpenReport) {
+        let fs: Arc<dyn WalFs> = Arc::clone(fs) as Arc<dyn WalFs>;
+        IngestStore::open(fs, StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn ingest_query_reopen_cycle() {
+        let (fs, _) = SimFs::new(11);
+        let (store, report) = open(&fs);
+        assert_eq!(report.sealed_posts + report.live_posts, 0);
+        store.ingest(post(1, 10, 43.70, -79.42, "great hotel downtown")).unwrap();
+        store.ingest(post(2, 11, 43.71, -79.40, "coffee first, hotel later")).unwrap();
+        let users = store.try_query(&query(), Ranking::Sum).unwrap();
+        assert_eq!(users.len(), 2);
+        assert!(matches!(
+            store.ingest(post(1, 9, 43.0, -79.0, "dup")),
+            Err(WalError::DuplicateTweet(TweetId(1)))
+        ));
+        drop(store);
+        let (store2, report2) = open(&fs);
+        assert_eq!(report2.live_posts, 2);
+        assert_eq!(store2.try_query(&query(), Ranking::Sum).unwrap(), users);
+    }
+
+    #[test]
+    fn compaction_seals_and_reopen_reads_manifest() {
+        let (fs, _) = SimFs::new(12);
+        let (store, _) = open(&fs);
+        for i in 1..=6 {
+            store.ingest(post(i, i, 43.70 + i as f64 * 1e-3, -79.42, "hotel by the lake")).unwrap();
+        }
+        let before = store.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap();
+        assert!(store.compact().unwrap());
+        assert_eq!(store.live_posts(), 0);
+        assert_eq!(store.acked_posts(), 6);
+        let after = store.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap();
+        assert_eq!(before, after, "compaction must not change answers");
+        assert!(!store.compact().unwrap(), "empty memtable has nothing to seal");
+        // Old WAL segments are gone; the log holds only the fresh one.
+        let segments: Vec<String> =
+            fs.list().unwrap().into_iter().filter(|n| parse_segment_name(n).is_some()).collect();
+        assert_eq!(segments.len(), 1);
+        drop(store);
+        let (store2, report) = open(&fs);
+        assert_eq!(report.sealed_posts, 6);
+        assert_eq!(report.live_posts, 0);
+        assert_eq!(report.generation, 1);
+        assert_eq!(
+            store2.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap(),
+            after
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let m = Manifest {
+            generation: 3,
+            sealed_seq: 120,
+            files: vec![(seal_name(3, 'd'), 57), (seal_name(3, '9'), 4)],
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        let mut bad = bytes.clone();
+        let at = bad.len() / 2;
+        bad[at] ^= 0x01;
+        assert!(matches!(Manifest::decode(&bad), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn replies_loosen_bounds_and_queries_stay_exact() {
+        let (fs, _) = SimFs::new(13);
+        let (store, _) = open(&fs);
+        store.ingest(post(1, 10, 43.70, -79.42, "grand hotel opening")).unwrap();
+        for i in 0..5 {
+            store
+                .ingest(Post::reply(
+                    TweetId(100 + i),
+                    UserId(20 + i),
+                    Point::new_unchecked(43.70, -79.42),
+                    "what a hotel",
+                    TweetId(1),
+                    UserId(10),
+                ))
+                .unwrap();
+        }
+        let sum = store.try_query(&query(), Ranking::Sum).unwrap();
+        let max = store.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap();
+        assert!(!sum.is_empty() && !max.is_empty());
+        // The thread root's author benefits from the replies under Sum.
+        assert_eq!(sum[0].user, UserId(10));
+        drop(store);
+        let (store2, _) = open(&fs);
+        assert_eq!(store2.try_query(&query(), Ranking::Sum).unwrap(), sum);
+        assert_eq!(store2.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap(), max);
+    }
+}

@@ -1,0 +1,173 @@
+//! Snapshot-equality oracle (DESIGN.md §15 acceptance).
+//!
+//! The ingest store's contract is that a query over "sealed ∪ live" is
+//! **bitwise** equal to the same query against a from-scratch
+//! [`TklusEngine`] built over the identical post set — same users, same
+//! float bits, same order. This suite builds both sides over a generated
+//! corpus split into a sealed prefix (ingested then compacted) and a live
+//! suffix (ingested after compaction, so its postings sit in the
+//! memtable), and asserts equality across Sum/Max × OR/AND × both bound
+//! modes, including replies that land in sealed threads and raise φ after
+//! sealing.
+//!
+//! A second family asserts the loosen-only bound-refresh soundness
+//! invariant directly: after any ingest sequence, every hot-keyword bound
+//! dominates φ(p) of every acked post carrying that keyword, and the
+//! global bound dominates every hot bound's subject too.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+use std::sync::Arc;
+use tklus_core::{BoundsMode, EngineConfig, Ranking, TklusEngine};
+use tklus_gen::{generate_corpus, generate_queries, GenConfig, QueryConfig};
+use tklus_model::{Corpus, Post, Semantics, TklusQuery};
+use tklus_wal::{IngestStore, SimFs, StoreConfig, WalFs};
+
+fn engine_config() -> EngineConfig {
+    EngineConfig { cache_pages: 0, parallelism: 1, ..EngineConfig::default() }
+}
+
+fn corpus(seed: u64) -> Corpus {
+    generate_corpus(&GenConfig {
+        original_posts: 220,
+        users: 50,
+        vocab_size: 250,
+        seed,
+        ..GenConfig::default()
+    })
+}
+
+fn queries(corpus: &Corpus) -> Vec<(TklusQuery, Ranking)> {
+    let specs = generate_queries(corpus, &QueryConfig { per_bucket: 3, seed: 0x5EED });
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let semantics = if i % 2 == 0 { Semantics::Or } else { Semantics::And };
+            let ranking = match i % 3 {
+                0 => Ranking::Sum,
+                1 => Ranking::Max(BoundsMode::HotKeywords),
+                _ => Ranking::Max(BoundsMode::Global),
+            };
+            let q = TklusQuery::new(spec.location, 20.0, spec.keywords, 5, semantics)
+                .expect("generated query is valid");
+            (q, ranking)
+        })
+        .collect()
+}
+
+/// Ingests `posts[..split]`, compacts (sealing them), ingests the rest
+/// live, and returns the store.
+fn store_with_split(posts: &[Post], split: usize) -> IngestStore {
+    let (fs, _) = SimFs::new(0x0AC1E);
+    let fs: Arc<dyn WalFs> = fs as Arc<dyn WalFs>;
+    let config = StoreConfig { engine: engine_config(), ..StoreConfig::default() };
+    let (store, _) = IngestStore::open(fs, config).unwrap();
+    for p in &posts[..split] {
+        store.ingest(p.clone()).unwrap();
+    }
+    assert_eq!(store.compact().unwrap(), split > 0, "compact seals iff something is live");
+    for p in &posts[split..] {
+        store.ingest(p.clone()).unwrap();
+    }
+    assert_eq!(store.live_posts(), posts.len() - split);
+    store
+}
+
+#[test]
+fn merged_snapshot_queries_match_from_scratch_engine_bitwise() {
+    let corpus = corpus(42);
+    let posts = corpus.posts().to_vec();
+    let split = posts.len() * 3 / 5;
+    let store = store_with_split(&posts, split);
+
+    let (reference, _) = TklusEngine::try_build(&corpus, &engine_config()).unwrap();
+    let qs = queries(&corpus);
+    assert!(qs.len() >= 9, "query workload must exercise every ranking arm");
+    let mut nonempty = 0;
+    for (q, ranking) in &qs {
+        let got = store.try_query(q, *ranking).unwrap();
+        let want = reference.try_query(q, *ranking).unwrap().users;
+        assert_eq!(got, want, "query {q:?} ranking {ranking:?} diverged from oracle");
+        nonempty += usize::from(!want.is_empty());
+    }
+    assert!(nonempty > 0, "oracle run is vacuous: every query came back empty");
+}
+
+#[test]
+fn live_replies_into_sealed_threads_stay_exact() {
+    // Seal a corpus, then ingest replies whose targets are *sealed* posts:
+    // the replies raise sealed threads' φ, so the sealed engine's cached
+    // bounds must loosen (and its thread cache invalidate) for the merged
+    // answer to stay exact.
+    let corpus = corpus(77);
+    let posts = corpus.posts().to_vec();
+    let store = store_with_split(&posts, posts.len());
+    assert_eq!(store.live_posts(), 0);
+
+    let first_id = posts.iter().map(|p| p.id.0).max().unwrap() + 1;
+    let mut all = posts.clone();
+    let targets = posts.iter().filter(|p| p.in_reply_to.is_none()).take(12);
+    for (next_id, target) in (first_id..).zip(targets) {
+        let reply = Post::reply(
+            tklus_model::TweetId(next_id),
+            tklus_model::UserId(next_id % 40),
+            target.location,
+            target.text.clone(),
+            target.id,
+            target.user,
+        );
+        store.ingest(reply.clone()).unwrap();
+        all.push(reply);
+    }
+
+    let full = Corpus::new(all).unwrap();
+    let (reference, _) = TklusEngine::try_build(&full, &engine_config()).unwrap();
+    for (q, ranking) in queries(&full) {
+        let got = store.try_query(&q, ranking).unwrap();
+        let want = reference.try_query(&q, ranking).unwrap().users;
+        assert_eq!(got, want, "post-reply query {q:?} ranking {ranking:?} diverged");
+    }
+}
+
+#[test]
+fn compaction_preserves_answers_at_every_boundary() {
+    // Answers must be invariant across the sealed/live boundary: any
+    // split of the same post set, compacted or not, yields the oracle's
+    // bytes.
+    let corpus = corpus(9);
+    let posts: Vec<Post> = corpus.posts().iter().take(120).cloned().collect();
+    let full = Corpus::new(posts.clone()).unwrap();
+    let (reference, _) = TklusEngine::try_build(&full, &engine_config()).unwrap();
+    let qs: Vec<(TklusQuery, Ranking)> = queries(&full).into_iter().take(6).collect();
+    for split in [0, posts.len() / 4, posts.len() / 2, posts.len()] {
+        let store = store_with_split(&posts, split);
+        for (q, ranking) in &qs {
+            let got = store.try_query(q, *ranking).unwrap();
+            let want = reference.try_query(q, *ranking).unwrap().users;
+            assert_eq!(got, want, "split {split}: query diverged from oracle");
+        }
+    }
+}
+
+#[test]
+fn hot_bounds_dominate_every_acked_thread_popularity() {
+    // The loosen-only refresh soundness invariant, asserted directly: for
+    // every acked post p and every hot term t in p's text,
+    // hot_bound(t) ≥ φ(p) — under the full reply graph including live
+    // replies into sealed threads. (Algorithm 5's prune consults exactly
+    // these bounds for sealed candidates.)
+    for seed in [5u64, 6, 7] {
+        let corpus = corpus(seed);
+        let posts = corpus.posts().to_vec();
+        let split = posts.len() / 2;
+        let store = store_with_split(&posts, split);
+        let audit = store.check_bounds_soundness().unwrap();
+        assert!(
+            audit.violations.is_empty(),
+            "seed {seed}: bounds underestimate φ for {:?}",
+            audit.violations
+        );
+        assert!(audit.checked > 0, "soundness sweep is vacuous: no hot term matched any post");
+    }
+}
