@@ -356,6 +356,88 @@ impl WalFs for SimFs {
     }
 }
 
+/// Test-only [`WalFs`] wrapper with scripted *transient* failures —
+/// unlike [`SimFs`]'s crash latch (which kills every later operation),
+/// a `FlakyFs` fault fails one call and then recovers, modelling an
+/// `ENOSPC`-style error the process survives. A scripted append failure
+/// still lands a prefix of its bytes first, like a partial `write_all`.
+#[cfg(test)]
+pub(crate) struct FlakyFs {
+    inner: Arc<SimFs>,
+    /// `(appends until failure, bytes of the failing append that land)`.
+    fail_append: Mutex<Option<(u32, usize)>>,
+    /// Syncs until failure (the frame before it lands whole).
+    fail_sync: Mutex<Option<u32>>,
+}
+
+#[cfg(test)]
+impl FlakyFs {
+    pub(crate) fn new(inner: Arc<SimFs>) -> Arc<Self> {
+        Arc::new(Self { inner, fail_append: Mutex::new(None), fail_sync: Mutex::new(None) })
+    }
+
+    /// Fails the `nth` append from now (1-based), persisting `partial`
+    /// bytes of it before erroring.
+    pub(crate) fn fail_append_at(&self, nth: u32, partial: usize) {
+        *self.fail_append.lock() = Some((nth, partial));
+    }
+
+    /// Fails the `nth` sync from now (1-based).
+    pub(crate) fn fail_sync_at(&self, nth: u32) {
+        *self.fail_sync.lock() = Some(nth);
+    }
+
+    fn flake(op: &'static str, name: &str) -> WalError {
+        io_err(op, name, std::io::Error::other("flaky disk: out of space"))
+    }
+}
+
+#[cfg(test)]
+impl WalFs for FlakyFs {
+    fn list(&self) -> Result<Vec<String>, WalError> {
+        self.inner.list()
+    }
+    fn read(&self, name: &str) -> Result<Vec<u8>, WalError> {
+        self.inner.read(name)
+    }
+    fn create(&self, name: &str) -> Result<(), WalError> {
+        self.inner.create(name)
+    }
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), WalError> {
+        let mut script = self.fail_append.lock();
+        if let Some((left, partial)) = script.as_mut() {
+            *left -= 1;
+            if *left == 0 {
+                let keep = (*partial).min(bytes.len());
+                *script = None;
+                self.inner.append(name, &bytes[..keep])?;
+                return Err(Self::flake("append", name));
+            }
+        }
+        self.inner.append(name, bytes)
+    }
+    fn sync(&self, name: &str) -> Result<(), WalError> {
+        let mut script = self.fail_sync.lock();
+        if let Some(left) = script.as_mut() {
+            *left -= 1;
+            if *left == 0 {
+                *script = None;
+                return Err(Self::flake("sync", name));
+            }
+        }
+        self.inner.sync(name)
+    }
+    fn truncate(&self, name: &str, len: u64) -> Result<(), WalError> {
+        self.inner.truncate(name, len)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), WalError> {
+        self.inner.rename(from, to)
+    }
+    fn remove(&self, name: &str) -> Result<(), WalError> {
+        self.inner.remove(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)] // test code: panics are the failure report

@@ -15,9 +15,12 @@
 //! crash signature: replay truncates the segment at that offset, reports
 //! the bytes discarded, and the records before the cut are exactly the
 //! acked ingests. A fresh [`WalWriter`] then always starts a new segment —
-//! it never appends after a truncation, so a frame that once failed its
-//! checksum can never be followed by valid frames (which is what keeps
-//! the torn-vs-corrupt distinction decidable).
+//! it never appends after a recovery truncation — and a writer whose own
+//! append or sync failed truncates the unknown tail back to its last
+//! acked frame boundary (and syncs the cut) before accepting another
+//! append, so a frame that once failed its checksum can never be
+//! followed by valid frames (which is what keeps the torn-vs-corrupt
+//! distinction decidable).
 
 use crate::error::WalError;
 use crate::frame::{decode_step, encode_frame, FrameStep};
@@ -148,17 +151,16 @@ pub fn replay(fs: &dyn WalFs) -> Result<(Vec<WalRecord>, RecoveryReport), WalErr
         report.segments_scanned += 1;
         report.max_ordinal = Some(*ordinal);
 
-        // Header. In the final segment a short or invalid header is the
-        // signature of a crash between `create` and the header append:
-        // no frame can follow it (the writer writes the header first), so
-        // the whole segment is a torn tail and is truncated to nothing.
-        if is_final && (buf.len() < SEG_HEADER || decode_segment_header(&buf, name).is_err()) {
-            // A version mismatch is still a hard error, even at the tail:
-            // a torn write cannot forge a valid checksum over a different
-            // version field.
-            if let Err(e @ WalError::VersionMismatch { .. }) = decode_segment_header(&buf, name) {
-                return Err(e);
-            }
+        // Header. In the final segment a header *shorter* than
+        // SEG_HEADER is the signature of a crash between `create` and the
+        // header append: no frame can follow it (the writer writes the
+        // header first), so the whole segment is a torn tail and is
+        // truncated to nothing. A full-length header that fails
+        // validation is different — the header is appended in one call,
+        // so a torn write can only leave a prefix of the true bytes;
+        // 24 bytes that fail magic/checksum (or declare another version)
+        // are real corruption and fall through to the typed error below.
+        if is_final && buf.len() < SEG_HEADER {
             report.truncated_bytes = buf.len();
             report.truncated_segment = Some(name.clone());
             report.truncate_reason = Some("segment header cut short".to_string());
@@ -224,9 +226,19 @@ pub struct WalWriter {
     config: WalConfig,
     current: String,
     ordinal: u64,
-    /// Bytes appended to the current segment (header included).
+    /// Bytes of the current segment through the last *fully successful*
+    /// append (header included). Everything past this offset is garbage
+    /// whenever `damaged` is set.
     written: usize,
     appends_since_sync: u32,
+    /// A frame append (or its policy fsync) failed: bytes past `written`
+    /// are in an unknown state — possibly a partial frame, possibly a
+    /// whole-but-unsynced one. The writer refuses to put anything after
+    /// them until [`Self::heal`] cuts the segment back to `written` and
+    /// syncs the cut; otherwise a later successful append could strand
+    /// garbage mid-segment, which recovery would either truncate away
+    /// (losing acked records) or refuse as corruption.
+    damaged: bool,
 }
 
 impl WalWriter {
@@ -246,6 +258,7 @@ impl WalWriter {
             ordinal: next_ordinal,
             written: 0,
             appends_since_sync: 0,
+            damaged: false,
         };
         w.start_segment(next_ordinal)?;
         Ok(w)
@@ -260,6 +273,18 @@ impl WalWriter {
         self.ordinal = ordinal;
         self.written = SEG_HEADER;
         self.appends_since_sync = 0;
+        self.damaged = false;
+        Ok(())
+    }
+
+    /// Restores the damaged segment to its last acked frame boundary:
+    /// truncate the unknown tail, make the cut durable. Until this
+    /// succeeds every append/sync/rotate fails without touching the file.
+    fn heal(&mut self) -> Result<(), WalError> {
+        self.fs.truncate(&self.current, self.written as u64)?;
+        self.fs.sync(&self.current)?;
+        self.appends_since_sync = 0;
+        self.damaged = false;
         Ok(())
     }
 
@@ -270,21 +295,40 @@ impl WalWriter {
 
     /// Appends one record, rotating first if the active segment is full,
     /// and syncing per the configured policy. When this returns `Ok`
-    /// under [`FsyncPolicy::Always`], the record is durable.
+    /// under [`FsyncPolicy::Always`], the record is durable. On `Err` the
+    /// record was **not** acked; a previous failure's tail is healed
+    /// (truncated at the last acked frame) before any new bytes land, so
+    /// a failed append never strands garbage under later records.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if self.damaged {
+            self.heal()?;
+        }
         if self.written >= self.config.segment_bytes {
             self.rotate()?;
         }
         let mut frame = Vec::new();
         encode_frame(&encode_record(record), &mut frame);
-        self.fs.append(&self.current, &frame)?;
+        if let Err(e) = self.append_frame(&frame) {
+            self.damaged = true;
+            return Err(e);
+        }
         self.written += frame.len();
+        Ok(())
+    }
+
+    /// The fallible part of [`Self::append`]: the raw write plus the
+    /// policy fsync. `written` advances only when the whole of this
+    /// succeeds, so on error the last acked frame boundary is exactly
+    /// where [`Self::heal`] must cut.
+    fn append_frame(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        self.fs.append(&self.current, frame)?;
         match self.config.fsync {
             FsyncPolicy::Always => self.fs.sync(&self.current)?,
             FsyncPolicy::EveryN(n) => {
                 self.appends_since_sync += 1;
                 if self.appends_since_sync >= n.max(1) {
-                    self.sync()?;
+                    self.fs.sync(&self.current)?;
+                    self.appends_since_sync = 0;
                 }
             }
             FsyncPolicy::Never => {}
@@ -292,16 +336,22 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Forces the active segment durable.
+    /// Forces the active segment durable (healing a damaged tail first).
     pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.damaged {
+            return self.heal();
+        }
         self.fs.sync(&self.current)?;
         self.appends_since_sync = 0;
         Ok(())
     }
 
-    /// Seals the active segment (final sync) and starts the next one.
+    /// Seals the active segment (final sync) and starts the next one. A
+    /// damaged tail is healed first so the sealed segment — which replay
+    /// holds to every-byte-valid, being non-final — carries only acked
+    /// frames.
     pub fn rotate(&mut self) -> Result<(), WalError> {
-        self.fs.sync(&self.current)?;
+        self.sync()?;
         self.start_segment(self.ordinal + 1)?;
         Ok(())
     }
@@ -429,6 +479,85 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(report.truncated_segment, Some(name));
         assert_eq!(report.truncated_bytes, 3);
+    }
+
+    #[test]
+    fn full_length_bad_header_in_final_segment_is_corruption() {
+        let (fs, _) = SimFs::new(9);
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        w.append(&rec(1)).unwrap();
+        // Corrupt one header byte in place: the header is full-length, so
+        // this cannot be a torn append — replay must refuse, not truncate
+        // the segment (and its acked record) away.
+        let name = segment_name(0);
+        let mut bytes = fs.read(&name).unwrap();
+        bytes[2] ^= 0x40;
+        fs.remove(&name).unwrap();
+        fs.create(&name).unwrap();
+        fs.append(&name, &bytes).unwrap();
+        match replay(fs.as_ref()) {
+            Err(WalError::Corrupt { path, .. }) => assert_eq!(path, name),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_heals_partial_append_before_accepting_more() {
+        let (sim, _) = SimFs::new(10);
+        let fs = crate::fs::FlakyFs::new(sim);
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        w.append(&rec(1)).unwrap();
+        // ENOSPC mid-frame: 5 garbage bytes land, the call errors, the
+        // process lives on and keeps appending.
+        fs.fail_append_at(1, 5);
+        assert!(w.append(&rec(2)).is_err());
+        w.append(&rec(3)).unwrap();
+        w.append(&rec(4)).unwrap();
+        // The heal cut the partial frame, so the log is clean — nothing
+        // torn, and the acked records (1, 3, 4) all replay.
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records, vec![rec(1), rec(3), rec(4)]);
+        assert_eq!(report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn writer_heals_failed_sync_before_accepting_more() {
+        let (sim, _) = SimFs::new(20);
+        let fs = crate::fs::FlakyFs::new(sim.clone());
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        w.append(&rec(1)).unwrap();
+        // The frame lands whole but its fsync fails: the record was never
+        // acked and its durability is unknown, so the writer must cut it
+        // rather than build on top of it.
+        fs.fail_sync_at(1);
+        assert!(w.append(&rec(2)).is_err());
+        w.append(&rec(3)).unwrap();
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records, vec![rec(1), rec(3)]);
+        assert_eq!(report.truncated_bytes, 0);
+        // Even after a power cut, every acked record survives — the heal
+        // re-synced the retained prefix before record 3 was acked on top.
+        sim.crash_and_lose_unsynced();
+        let (records, _) = replay(sim.as_ref()).unwrap();
+        assert_eq!(records, vec![rec(1), rec(3)]);
+    }
+
+    #[test]
+    fn rotate_after_failed_append_seals_only_acked_frames() {
+        let (sim, _) = SimFs::new(21);
+        let fs = crate::fs::FlakyFs::new(sim);
+        let mut w = WalWriter::open(fs.clone(), WalConfig::default(), 0).unwrap();
+        w.append(&rec(1)).unwrap();
+        fs.fail_append_at(1, 7);
+        assert!(w.append(&rec(2)).is_err());
+        // Rotation must heal first: segment 0 becomes non-final, where
+        // replay holds every byte to be valid.
+        w.rotate().unwrap();
+        w.append(&rec(3)).unwrap();
+        let (records, report) = replay(fs.as_ref()).unwrap();
+        assert_eq!(records, vec![rec(1), rec(3)]);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.segments_scanned, 2);
     }
 
     #[test]

@@ -66,7 +66,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tklus_core::score::{tweet_keyword_score, user_score};
-use tklus_core::{top_k, EngineConfig, RankedUser, Ranking, SumRow, TklusEngine};
+use tklus_core::{top_k, EngineConfig, RankedUser, Ranking, TklusEngine};
 use tklus_geo::{circle_cover, encode, Geohash};
 use tklus_model::{Corpus, Post, TklusQuery, TweetId, UserId};
 use tklus_storage::crc32;
@@ -297,9 +297,27 @@ impl IngestStore {
         // Live posts, from the WAL. Records compaction already absorbed
         // (seq ≤ sealed_seq) are skipped — the crash-between-swap-and-trim
         // window leaves them in the log, and replay must be idempotent.
+        // An *exact* duplicate (same post, a later seq) is the benign
+        // signature of a failed-but-durable append followed by a client
+        // retry: keep the first copy. The same tweet id over a different
+        // payload is not something the write path can produce — refuse it
+        // rather than let `Corpus::new`'s duplicate check wedge reopen.
         let (walked, recovery) = replay(fs.as_ref())?;
-        let live: Vec<WalRecord> =
-            walked.into_iter().filter(|r| r.seq > manifest.sealed_seq).collect();
+        let mut live: Vec<WalRecord> = Vec::new();
+        let mut live_at: HashMap<TweetId, usize> = HashMap::new();
+        for rec in walked {
+            if rec.seq <= manifest.sealed_seq {
+                continue;
+            }
+            if let Some(&at) = live_at.get(&rec.post.id) {
+                if live[at].post == rec.post {
+                    continue;
+                }
+                return Err(WalError::DuplicateTweet(rec.post.id));
+            }
+            live_at.insert(rec.post.id, live.len());
+            live.push(rec);
+        }
 
         let report = OpenReport {
             recovery: recovery.clone(),
@@ -473,9 +491,14 @@ impl IngestStore {
         if inner.by_id.contains_key(&post.id) {
             return Err(WalError::DuplicateTweet(post.id));
         }
+        // The seq is burned even when the append fails: a failed append's
+        // frame may still be durable (a sync error after a complete
+        // write), and reusing the seq for the client's retry would put
+        // two records for the same tweet in the log. Gaps are harmless —
+        // replay only needs seqs monotone.
         let rec = WalRecord { seq: inner.next_seq, post };
-        inner.wal.append(&rec)?;
         inner.next_seq += 1;
+        inner.wal.append(&rec)?;
         self.admit(&mut inner, rec)
     }
 
@@ -492,17 +515,23 @@ impl IngestStore {
         match ranking {
             Ranking::Sum => {
                 let sealed = engine.try_partial_sum(q)?;
-                let mut rows = sealed.rows;
-                // Merge live rows into the sealed stream by tweet id: the
-                // sets are disjoint (a tweet is sealed or live, never
-                // both), and the merged order is the monolithic fold order.
-                for (tid, uid, rho) in live {
-                    let at = rows.partition_point(|r| r.tweet < tid);
-                    rows.insert(at, SumRow { tweet: tid, user: uid, rho });
-                }
+                // Fold the sealed and live streams in one linear merge by
+                // tweet id: the sets are disjoint (a tweet is sealed or
+                // live, never both), both streams are id-sorted, and the
+                // merged order is the monolithic fold order — so the
+                // float association matches a from-scratch engine without
+                // the O(sealed × live) of mid-vector inserts.
                 let mut users: HashMap<UserId, f64> = HashMap::new();
-                for row in &rows {
+                let mut live_it = live.into_iter().peekable();
+                for row in sealed.rows {
+                    while live_it.peek().is_some_and(|&(tid, _, _)| tid < row.tweet) {
+                        let (_, uid, rho) = live_it.next().expect("peeked");
+                        *users.entry(uid).or_insert(0.0) += rho;
+                    }
                     *users.entry(row.user).or_insert(0.0) += row.rho;
+                }
+                for (_, uid, rho) in live_it {
+                    *users.entry(uid).or_insert(0.0) += rho;
                 }
                 let mut entries: Vec<(UserId, f64)> = users.into_iter().collect();
                 entries.sort_by_key(|e| e.0);
@@ -600,6 +629,13 @@ impl IngestStore {
         let generation = inner.generation + 1;
         let sealed_seq = inner.acked.iter().map(|r| r.seq).max().unwrap_or(inner.sealed_seq);
 
+        // Build the post-compaction engine up front: it is pure in-memory
+        // work, so a failure here aborts before any durable mutation, and
+        // once the manifest swap (the commit point) succeeds the install
+        // below is infallible — the in-memory bookkeeping can never
+        // disagree with the manifest that committed.
+        let engine = Self::build_engine(&inner.acked, &self.config.engine)?;
+
         // Group every acked post by its geohash's leading character —
         // the paper's coarse spatial partitioning — and write one seal
         // file per group: frames, fsync, *then* the manifest swap. The
@@ -635,11 +671,13 @@ impl IngestStore {
         // and in-memory refresh; a crash from here on recovers to the
         // same state (replay skips seq ≤ sealed_seq; stray files of older
         // generations are invisible to the manifest and removed below or
-        // by the next compaction).
+        // by the next compaction). The engine swap-in and memtable clear
+        // happen together under the held write lock, so no query observes
+        // the sealed index and the live postings double-counting a post.
         inner.sealed_len = inner.acked.len();
         inner.sealed_seq = sealed_seq;
         inner.generation = generation;
-        inner.engine = Self::build_engine(&inner.acked, &self.config.engine)?;
+        inner.engine = engine;
         inner.memtable.clear();
 
         // Trim the WAL: rotate to a fresh segment, drop every older one
@@ -861,6 +899,67 @@ mod tests {
             store2.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap(),
             after
         );
+    }
+
+    #[test]
+    fn transient_append_failure_then_retry_survives_reopen() {
+        let (sim, _) = SimFs::new(14);
+        let flaky = crate::fs::FlakyFs::new(sim);
+        let fs: Arc<dyn WalFs> = Arc::clone(&flaky) as Arc<dyn WalFs>;
+        let (store, _) = IngestStore::open(Arc::clone(&fs), StoreConfig::default()).unwrap();
+        store.ingest(post(1, 10, 43.70, -79.42, "grand hotel")).unwrap();
+        // The frame lands whole but its fsync fails: no ack, but the
+        // bytes are in the log. The client retries the identical post.
+        flaky.fail_sync_at(1);
+        assert!(store.ingest(post(2, 11, 43.71, -79.41, "hotel bar")).is_err());
+        store.ingest(post(2, 11, 43.71, -79.41, "hotel bar")).unwrap();
+        store.ingest(post(3, 12, 43.69, -79.43, "another hotel")).unwrap();
+        assert_eq!(store.acked_posts(), 3);
+        let answered = store.try_query(&query(), Ranking::Sum).unwrap();
+        drop(store);
+        let (store2, report) = IngestStore::open(fs, StoreConfig::default()).unwrap();
+        assert_eq!(report.live_posts, 3, "retry must not duplicate tweet 2 in the log");
+        assert_eq!(store2.try_query(&query(), Ranking::Sum).unwrap(), answered);
+    }
+
+    #[test]
+    fn replayed_exact_duplicate_is_skipped_and_mismatch_refused() {
+        // Hand-craft the crash shape the writer can leave when an append
+        // fails after its frame became durable and the process dies
+        // before healing: the same post twice, under distinct seqs.
+        let (fs, _) = SimFs::new(15);
+        {
+            let mut w =
+                crate::log::WalWriter::open(fs.clone(), crate::log::WalConfig::default(), 0)
+                    .unwrap();
+            let p = post(1, 10, 43.70, -79.42, "grand hotel");
+            w.append(&WalRecord { seq: 1, post: p.clone() }).unwrap();
+            w.append(&WalRecord { seq: 2, post: p }).unwrap();
+            w.append(&WalRecord { seq: 3, post: post(2, 11, 43.71, -79.41, "hotel bar") })
+                .unwrap();
+        }
+        let walfs: Arc<dyn WalFs> = Arc::clone(&fs) as Arc<dyn WalFs>;
+        let (store, report) = IngestStore::open(Arc::clone(&walfs), StoreConfig::default()).unwrap();
+        assert_eq!(report.live_posts, 2, "the exact duplicate collapses to one record");
+        assert_eq!(store.acked_posts(), 2);
+        drop(store);
+
+        // Same id over a different payload is *not* a crash signature.
+        let (fs2, _) = SimFs::new(16);
+        {
+            let mut w =
+                crate::log::WalWriter::open(fs2.clone(), crate::log::WalConfig::default(), 0)
+                    .unwrap();
+            w.append(&WalRecord { seq: 1, post: post(1, 10, 43.70, -79.42, "grand hotel") })
+                .unwrap();
+            w.append(&WalRecord { seq: 2, post: post(1, 10, 43.70, -79.42, "different text") })
+                .unwrap();
+        }
+        let walfs2: Arc<dyn WalFs> = Arc::clone(&fs2) as Arc<dyn WalFs>;
+        assert!(matches!(
+            IngestStore::open(walfs2, StoreConfig::default()),
+            Err(WalError::DuplicateTweet(TweetId(1)))
+        ));
     }
 
     #[test]
