@@ -32,6 +32,11 @@
 //! * `7` — write-ahead-log failure (`ingest --wal`: append, replay, or
 //!   unhealable corruption; DESIGN.md §15).
 //!
+//! `tklus serve-http` exits `0` on a clean SIGTERM/SIGINT drain — shed or
+//! abandoned requests were each answered typed, so a drained shutdown is
+//! success, not failure; the usual codes above apply to startup errors
+//! (bad flags `2`, WAL open `7`, bind failures `1`).
+//!
 //! A *degraded* query result (budget exhausted) is not a failure by
 //! default: the CLI prints the partial top-k with a completeness note and
 //! exits `0`. Pass `--fail-on-degraded` to make scripts treat the partial
@@ -40,6 +45,7 @@
 
 mod args;
 mod serve;
+mod serve_http;
 
 use args::{ArgError, Args};
 use std::path::PathBuf;
@@ -163,7 +169,16 @@ const USAGE: &str = "usage:
                     [--mean-service-ms MS] [--workers N] [--queue-capacity N]
                     [--est-service-ms MS] [--degrade-threshold N --degrade-cells N]
                     [--drain-at-ms MS] [--drain-deadline-ms MS]
-                    [--stats-every MS]";
+                    [--stats-every MS]
+  tklus serve-http  [--corpus FILE.tsv] [--posts N] [--seed S]
+                    [--addr HOST:PORT] [--wal DIR] [--threads N]
+                    [--workers N] [--queue-capacity N] [--deadline-ms MS]
+                    [--est-service-ms MS]
+                    [--degrade-threshold N --degrade-cells N]
+                    [--max-connections N] [--max-header-bytes B]
+                    [--max-body-bytes B] [--read-timeout-ms MS]
+                    [--write-timeout-ms MS] [--max-batch N]
+                    [--drain-timeout-ms MS]";
 
 fn main() {
     let mut argv = std::env::args().skip(1);
@@ -180,6 +195,7 @@ fn main() {
         "stats" => cmd_stats(rest),
         "query" => cmd_query(rest),
         "serve" => serve::cmd_serve(rest),
+        "serve-http" => serve_http::cmd_serve_http(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

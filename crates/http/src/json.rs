@@ -1,0 +1,418 @@
+//! JSON request decoding and response encoding.
+//!
+//! Decoding uses the vendored `serde_json` value parser; every missing or
+//! mistyped field becomes a [`BadRequest`] whose message names the field,
+//! so a client debugging a 400 never has to guess. Encoding is
+//! hand-rolled string building: response shapes are small, fixed, and
+//! golden-pinned, and the vendored parser is read-only.
+
+use std::time::Duration;
+use tklus_core::{BoundsMode, Completeness, QueryOutcome, Ranking};
+use tklus_geo::Point;
+use tklus_model::{Post, Priority, Semantics, TklusQuery, TweetId, UserId};
+
+/// A request body that failed to decode (400); the message names the
+/// offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// What was wrong, e.g. `"keywords must be a non-empty string array"`.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for BadRequest {}
+
+/// One decoded `/query` request: the engine query plus the serving-layer
+/// envelope (ranking, priority, deadline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The validated engine query.
+    pub query: TklusQuery,
+    /// Requested ranking function (default `sum`).
+    pub ranking: Ranking,
+    /// Admission priority (default `normal`).
+    pub priority: Priority,
+    /// Arrival deadline; `None` uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+fn parse_value(body: &[u8]) -> Result<serde_json::Value, BadRequest> {
+    let text = std::str::from_utf8(body).map_err(|_| BadRequest::new("body must be UTF-8 JSON"))?;
+    serde_json::from_str(text).map_err(|e| BadRequest::new(format!("invalid JSON: {e}")))
+}
+
+fn req_f64(v: &serde_json::Value, key: &str) -> Result<f64, BadRequest> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| BadRequest::new(format!("{key} must be a number")))
+}
+
+fn req_u64(v: &serde_json::Value, key: &str) -> Result<u64, BadRequest> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| BadRequest::new(format!("{key} must be a non-negative integer")))
+}
+
+fn opt_u64(v: &serde_json::Value, key: &str) -> Result<Option<u64>, BadRequest> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) if x.is_null() => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| BadRequest::new(format!("{key} must be a non-negative integer"))),
+    }
+}
+
+fn parse_point(v: &serde_json::Value) -> Result<Point, BadRequest> {
+    let lat = req_f64(v, "lat")?;
+    let lon = req_f64(v, "lon")?;
+    Point::new(lat, lon).map_err(|e| BadRequest::new(e.to_string()))
+}
+
+/// Decodes one query object (used by `/query` and each `/query_batch`
+/// element).
+pub fn parse_query_spec(v: &serde_json::Value) -> Result<QuerySpec, BadRequest> {
+    if v.as_object().is_none() {
+        return Err(BadRequest::new("query must be a JSON object"));
+    }
+    let location = parse_point(v)?;
+    let radius_km = req_f64(v, "radius_km")?;
+    let keywords: Vec<String> = v
+        .get("keywords")
+        .and_then(|x| x.as_array())
+        .and_then(|a| a.iter().map(|w| w.as_str().map(str::to_string)).collect::<Option<Vec<_>>>())
+        .ok_or_else(|| BadRequest::new("keywords must be a string array"))?;
+    let k = req_u64(v, "k")? as usize;
+    let semantics = match v.get("semantics").map(|s| s.as_str()) {
+        None => Semantics::Or,
+        Some(Some("or")) | Some(Some("OR")) => Semantics::Or,
+        Some(Some("and")) | Some(Some("AND")) => Semantics::And,
+        _ => return Err(BadRequest::new("semantics must be \"or\" or \"and\"")),
+    };
+    let mut query = TklusQuery::new(location, radius_km, keywords, k, semantics)
+        .map_err(|e| BadRequest::new(e.to_string()))?;
+    if let Some(timeout_ms) = opt_u64(v, "timeout_ms")? {
+        query = query.with_timeout_ms(timeout_ms);
+    }
+    if let Some(max_cells) = opt_u64(v, "max_cells")? {
+        query = query.with_max_cells(max_cells as usize);
+    }
+    if let Some(range) = v.get("time_range") {
+        let pair = range.as_array().filter(|a| a.len() == 2);
+        let start = pair.and_then(|a| a[0].as_u64());
+        let end = pair.and_then(|a| a[1].as_u64());
+        let (Some(start), Some(end)) = (start, end) else {
+            return Err(BadRequest::new("time_range must be [start, end] integers"));
+        };
+        query = query.with_time_range(start, end).map_err(|e| BadRequest::new(e.to_string()))?;
+    }
+    if let Some(rec) = v.get("recency") {
+        let now = req_u64(rec, "now")?;
+        let half_life = req_u64(rec, "half_life")?;
+        query = query.with_recency(now, half_life).map_err(|e| BadRequest::new(e.to_string()))?;
+    }
+    let ranking = match v.get("ranking").map(|s| s.as_str()) {
+        None | Some(Some("sum")) => Ranking::Sum,
+        Some(Some("max")) | Some(Some("max_global")) => Ranking::Max(BoundsMode::Global),
+        Some(Some("max_hot")) => Ranking::Max(BoundsMode::HotKeywords),
+        _ => {
+            return Err(BadRequest::new(
+                "ranking must be \"sum\", \"max\", \"max_global\", or \"max_hot\"",
+            ))
+        }
+    };
+    let priority = match v.get("priority").map(|s| s.as_str()) {
+        None | Some(Some("normal")) => Priority::Normal,
+        Some(Some("low")) => Priority::Low,
+        Some(Some("high")) => Priority::High,
+        _ => return Err(BadRequest::new("priority must be \"low\", \"normal\", or \"high\"")),
+    };
+    let deadline = opt_u64(v, "deadline_ms")?.map(Duration::from_millis);
+    Ok(QuerySpec { query, ranking, priority, deadline })
+}
+
+/// Decodes a `/query` body.
+pub fn parse_query_body(body: &[u8]) -> Result<QuerySpec, BadRequest> {
+    parse_query_spec(&parse_value(body)?)
+}
+
+/// Decodes a `/query_batch` body: `{"queries": [...]}`, at most
+/// `max_batch` entries.
+pub fn parse_batch_body(body: &[u8], max_batch: usize) -> Result<Vec<QuerySpec>, BadRequest> {
+    let v = parse_value(body)?;
+    let arr = v
+        .get("queries")
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| BadRequest::new("queries must be an array"))?;
+    if arr.is_empty() {
+        return Err(BadRequest::new("queries must not be empty"));
+    }
+    if arr.len() > max_batch {
+        return Err(BadRequest::new(format!(
+            "batch of {} exceeds the {max_batch}-query cap",
+            arr.len()
+        )));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, q)| {
+            parse_query_spec(q).map_err(|e| BadRequest::new(format!("queries[{i}]: {e}")))
+        })
+        .collect()
+}
+
+/// Decodes an `/ingest` body into a [`Post`].
+pub fn parse_ingest_body(body: &[u8]) -> Result<Post, BadRequest> {
+    let v = parse_value(body)?;
+    if v.as_object().is_none() {
+        return Err(BadRequest::new("post must be a JSON object"));
+    }
+    let id = TweetId(req_u64(&v, "id")?);
+    let user = UserId(req_u64(&v, "user")?);
+    let location = parse_point(&v)?;
+    let text = v
+        .get("text")
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| BadRequest::new("text must be a string"))?
+        .to_string();
+    match v.get("reply_to") {
+        None => Ok(Post::original(id, user, location, text)),
+        Some(r) if r.is_null() => Ok(Post::original(id, user, location, text)),
+        Some(r) => {
+            let target = TweetId(req_u64(r, "id")?);
+            let target_user = UserId(req_u64(r, "user")?);
+            match r.get("kind").map(|s| s.as_str()) {
+                None | Some(Some("reply")) => {
+                    Ok(Post::reply(id, user, location, text, target, target_user))
+                }
+                Some(Some("forward")) => {
+                    Ok(Post::forward(id, user, location, text, target, target_user))
+                }
+                _ => Err(BadRequest::new("reply_to.kind must be \"reply\" or \"forward\"")),
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes a successful query outcome. Scores render with Rust's
+/// shortest-roundtrip float formatting (engine scores are always finite).
+pub fn render_outcome(outcome: &QueryOutcome) -> String {
+    let mut out = String::from("{\"users\":[");
+    for (i, ranked) in outcome.users.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"user\":{},\"score\":{}}}", ranked.user.0, ranked.score));
+    }
+    out.push_str("],");
+    match &outcome.completeness {
+        Completeness::Complete => out.push_str("\"completeness\":\"complete\"}"),
+        Completeness::Degraded { cells_processed, cells_total } => out.push_str(&format!(
+            "\"completeness\":\"degraded\",\"cells_processed\":{cells_processed},\"cells_total\":{cells_total}}}",
+        )),
+    }
+    out
+}
+
+/// Encodes a typed error body: the stable error-class name, the
+/// human-readable detail, and (for retryable sheds) the millisecond
+/// retry estimate that also feeds the `Retry-After` header.
+pub fn render_error(kind: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut out = format!("{{\"error\":\"{}\",\"message\":\"{}\"", escape(kind), escape(message));
+    if let Some(ms) = retry_after_ms {
+        out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+
+    #[test]
+    fn full_query_round_trips_every_field() {
+        let spec = parse_query_body(
+            br#"{"lat": 43.68, "lon": -79.37, "radius_km": 10.0,
+                 "keywords": ["hotel", "cafe"], "k": 3, "semantics": "and",
+                 "ranking": "max_hot", "priority": "high", "deadline_ms": 250,
+                 "timeout_ms": 100, "max_cells": 7, "time_range": [5, 9],
+                 "recency": {"now": 9, "half_life": 4}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.query.keywords, vec!["hotel", "cafe"]);
+        assert_eq!(spec.query.k, 3);
+        assert_eq!(spec.query.semantics, Semantics::And);
+        assert_eq!(spec.ranking, Ranking::Max(BoundsMode::HotKeywords));
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(spec.query.budget.unwrap().max_cells, Some(7));
+        assert_eq!(spec.query.time_range, Some((5, 9)));
+        assert!(spec.query.recency.is_some());
+    }
+
+    #[test]
+    fn minimal_query_applies_defaults() {
+        let spec =
+            parse_query_body(br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["x"], "k": 1}"#)
+                .unwrap();
+        assert_eq!(spec.ranking, Ranking::Sum);
+        assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.deadline, None);
+        assert_eq!(spec.query.semantics, Semantics::Or);
+    }
+
+    #[test]
+    fn bad_queries_name_the_field() {
+        for (body, needle) in [
+            (br#"not json"#.as_slice(), "invalid JSON"),
+            (br#"[1]"#, "object"),
+            (br#"{"lat": "x", "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1}"#, "lat"),
+            (br#"{"lat": 99, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1}"#, "lat"),
+            (br#"{"lat": 0, "lon": 0, "keywords": ["a"], "k": 1}"#, "radius_km"),
+            (br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": [], "k": 1}"#, "keyword"),
+            (br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": [3], "k": 1}"#, "keywords"),
+            (br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 0}"#, "k"),
+            (
+                br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1, "ranking": "med"}"#,
+                "ranking",
+            ),
+            (
+                br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1, "priority": 9}"#,
+                "priority",
+            ),
+            (
+                br#"{"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1, "time_range": [9]}"#,
+                "time_range",
+            ),
+        ] {
+            let err = parse_query_body(body).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "expected {needle:?} in {:?} for {}",
+                err.message,
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_caps_and_indexes_errors() {
+        let two = parse_batch_body(
+            br#"{"queries": [
+                 {"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1},
+                 {"lat": 1, "lon": 1, "radius_km": 2, "keywords": ["b"], "k": 2}]}"#,
+            8,
+        )
+        .unwrap();
+        assert_eq!(two.len(), 2);
+        assert!(parse_batch_body(br#"{"queries": []}"#, 8).is_err());
+        assert!(parse_batch_body(br#"{"queries": 3}"#, 8).is_err());
+        let over = parse_batch_body(
+            br#"{"queries": [
+                 {"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1},
+                 {"lat": 1, "lon": 1, "radius_km": 2, "keywords": ["b"], "k": 2}]}"#,
+            1,
+        )
+        .unwrap_err();
+        assert!(over.message.contains("cap"));
+        let indexed = parse_batch_body(
+            br#"{"queries": [
+                 {"lat": 0, "lon": 0, "radius_km": 1, "keywords": ["a"], "k": 1},
+                 {"lat": 1, "lon": 1, "radius_km": 0, "keywords": ["b"], "k": 2}]}"#,
+            8,
+        )
+        .unwrap_err();
+        assert!(indexed.message.contains("queries[1]"), "{}", indexed.message);
+    }
+
+    #[test]
+    fn ingest_decodes_original_reply_and_forward() {
+        let post = parse_ingest_body(
+            br#"{"id": 7, "user": 3, "lat": 43.6, "lon": -79.4, "text": "nice hotel"}"#,
+        )
+        .unwrap();
+        assert_eq!((post.id.0, post.user.0), (7, 3));
+        assert!(post.in_reply_to.is_none());
+        let reply = parse_ingest_body(
+            br#"{"id": 8, "user": 4, "lat": 0, "lon": 0, "text": "agree",
+                 "reply_to": {"id": 7, "user": 3}}"#,
+        )
+        .unwrap();
+        assert_eq!(reply.in_reply_to.unwrap().target.0, 7);
+        let fwd = parse_ingest_body(
+            br#"{"id": 9, "user": 5, "lat": 0, "lon": 0, "text": "rt",
+                 "reply_to": {"id": 7, "user": 3, "kind": "forward"}}"#,
+        )
+        .unwrap();
+        assert_eq!(fwd.in_reply_to.unwrap().kind, tklus_model::InteractionKind::Forward);
+        assert!(parse_ingest_body(br#"{"id": 1, "user": 2, "lat": 0, "lon": 0}"#).is_err());
+    }
+
+    #[test]
+    fn outcome_and_error_bodies_are_pinned() {
+        use tklus_core::RankedUser;
+        let outcome = QueryOutcome {
+            users: vec![
+                RankedUser { user: UserId(5), score: 2.5 },
+                RankedUser { user: UserId(1), score: 0.125 },
+            ],
+            stats: Default::default(),
+            completeness: Completeness::Complete,
+        };
+        assert_eq!(
+            render_outcome(&outcome),
+            r#"{"users":[{"user":5,"score":2.5},{"user":1,"score":0.125}],"completeness":"complete"}"#
+        );
+        let degraded = QueryOutcome {
+            users: vec![],
+            stats: Default::default(),
+            completeness: Completeness::Degraded { cells_processed: 2, cells_total: 9 },
+        };
+        assert_eq!(
+            render_outcome(&degraded),
+            r#"{"users":[],"completeness":"degraded","cells_processed":2,"cells_total":9}"#
+        );
+        assert_eq!(
+            render_error("QueueFull", "queue is \"full\"", Some(40)),
+            r#"{"error":"QueueFull","message":"queue is \"full\"","retry_after_ms":40}"#
+        );
+        assert_eq!(
+            render_error("ShuttingDown", "bye\n", None),
+            "{\"error\":\"ShuttingDown\",\"message\":\"bye\\n\"}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # tklus-http — the real-socket front-end
+//!
+//! A hand-rolled, std-only HTTP/1.1 server (DESIGN.md §16) that exposes
+//! the overload-resilient serving layer ([`tklus_serve::TklusServer`])
+//! over TCP with **end-to-end backpressure**: bounded connections,
+//! capped and deadline-guarded request parsing, a bounded admission
+//! queue, and truthful status codes for every shed the queue can
+//! produce. No request ever gets a vague 500: every failure path maps a
+//! typed error onto exactly one status code.
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/query` | POST | One TkLUS query through admission |
+//! | `/query_batch` | POST | Up to `max_batch` queries, one admission each |
+//! | `/ingest` | POST | One durable write (WAL sink, priority lane) |
+//! | `/metrics` | GET | Prometheus exposition (`tklus_*`) |
+//! | `/health` | GET | Readiness/health report (503 when unhealthy) |
+//!
+//! Module map: [`parser`] (incremental, capped request parsing),
+//! [`response`] (serialization), [`json`] (body codecs), [`status`] (the
+//! shed→status taxonomy), [`metrics`] (socket-layer counters), [`sink`]
+//! (the WAL adapter), [`server`] (accept loop, connection lifecycle,
+//! graceful drain).
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod parser;
+pub mod response;
+pub mod server;
+pub mod sink;
+pub mod status;
+
+pub use json::{parse_batch_body, parse_ingest_body, parse_query_body, BadRequest, QuerySpec};
+pub use metrics::HttpMetrics;
+pub use parser::{ParseError, ParserConfig, Request, RequestParser};
+pub use response::Response;
+pub use server::{serve, HttpConfig, HttpHandle, HttpServer, ShutdownReport};
+pub use sink::{sink_error, WalSink};
+pub use status::{
+    ingest_response, parse_error_response, query_response, rejected_kind, rejected_response,
+    rejected_status,
+};

@@ -1,0 +1,425 @@
+//! Incremental HTTP/1.1 request parsing with hard caps (DESIGN.md §16).
+//!
+//! The parser is a push-fed state machine: the connection loop hands it
+//! whatever bytes the socket produced and asks for the next complete
+//! request. Nothing about socket timing lives here, which is what makes
+//! the truncation/garbage property suite possible — any byte stream,
+//! split at any offsets, must produce the same typed outcome.
+//!
+//! Defenses are caps, not heuristics:
+//!
+//! * the head (request line + headers) may not exceed
+//!   [`ParserConfig::max_header_bytes`] — a slow-loris client dribbling
+//!   an endless header section is cut off typed (431);
+//! * a declared `Content-Length` above
+//!   [`ParserConfig::max_body_bytes`] is rejected the moment the head
+//!   parses (413), *before* the body is read — a runaway body never
+//!   occupies memory;
+//! * `Transfer-Encoding` is not implemented and is refused typed (501)
+//!   rather than misparsed — request smuggling via chunked/identity
+//!   disagreement is structurally impossible when only `Content-Length`
+//!   framing exists.
+//!
+//! Bytes past a complete request stay buffered for pipelining; the
+//! connection loop drains them with [`RequestParser::feed`] (empty
+//! slice) before reading the socket again.
+
+/// Caps applied while parsing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserConfig {
+    /// Maximum bytes of request line + headers + terminator.
+    pub max_header_bytes: usize,
+    /// Maximum declared/observed body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        Self { max_header_bytes: 8 * 1024, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// Why a byte stream failed to parse as a request. Every variant maps to
+/// exactly one status code ([`ParseError::status`]); the connection
+/// writes it and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The head exceeded [`ParserConfig::max_header_bytes`] (431).
+    HeadersTooLarge {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// Declared `Content-Length` exceeds [`ParserConfig::max_body_bytes`]
+    /// (413). Detected at head-parse time, before any body byte is read.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: u64,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// Structurally invalid request (400); the detail names the first
+    /// broken element.
+    Malformed(&'static str),
+    /// `Transfer-Encoding` framing is not implemented (501); only
+    /// `Content-Length` bodies are accepted.
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// The one status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadersTooLarge { .. } => 431,
+            ParseError::BodyTooLarge { .. } => 413,
+            ParseError::Malformed(_) => 400,
+            ParseError::UnsupportedTransferEncoding => 501,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::HeadersTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            ParseError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}-byte cap")
+            }
+            ParseError::Malformed(what) => write!(f, "malformed request ({what})"),
+            ParseError::UnsupportedTransferEncoding => {
+                f.write_str("transfer-encoding is not supported; use content-length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (e.g. `GET`, `POST`).
+    pub method: String,
+    /// Request target as sent (e.g. `/query`).
+    pub target: String,
+    /// Whether the client spoke HTTP/1.1 (vs 1.0).
+    pub http11: bool,
+    /// Whether the connection should stay open after the response
+    /// (`Connection` header, defaulted per version).
+    pub keep_alive: bool,
+    /// The request body (`Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+}
+
+/// A parsed head waiting for its body bytes.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    target: String,
+    http11: bool,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// The incremental parser. Feed it socket bytes; it yields complete
+/// requests and keeps pipelined leftovers buffered.
+#[derive(Debug)]
+pub struct RequestParser {
+    cfg: ParserConfig,
+    buf: Vec<u8>,
+    /// How far the head-terminator scan has looked (restart overlap of 3
+    /// bytes keeps the scan O(total bytes), not O(n²) under dribble).
+    scanned: usize,
+    head: Option<Head>,
+    /// Set once the stream is poisoned; further feeds re-report it.
+    dead: Option<ParseError>,
+}
+
+impl RequestParser {
+    /// A fresh parser with the given caps.
+    pub fn new(cfg: ParserConfig) -> Self {
+        Self { cfg, buf: Vec::new(), scanned: 0, head: None, dead: None }
+    }
+
+    /// Appends socket bytes and returns the next complete request, if the
+    /// buffer now holds one. Call with an empty slice to drain a
+    /// pipelined request already buffered. After an `Err`, the parser is
+    /// poisoned and every later call returns the same error — the
+    /// connection must answer it and close.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        if let Some(err) = &self.dead {
+            return Err(err.clone());
+        }
+        self.buf.extend_from_slice(bytes);
+        match self.advance() {
+            Ok(out) => Ok(out),
+            Err(err) => {
+                self.dead = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    /// Whether bytes of an incomplete request are buffered — the
+    /// distinction between "clean close" and "client died mid-request"
+    /// (and between idle keep-alive and a 408 at the read deadline).
+    pub fn mid_request(&self) -> bool {
+        self.head.is_some() || !self.buf.is_empty()
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, ParseError> {
+        if self.head.is_none() {
+            let Some(head_end) = self.find_head_end()? else {
+                return Ok(None);
+            };
+            let head = parse_head(&self.buf[..head_end], &self.cfg)?;
+            self.buf.drain(..head_end);
+            self.scanned = 0;
+            self.head = Some(head);
+        }
+        // Safe: just set above when it was None.
+        let need = self.head.as_ref().map_or(0, |h| h.content_length);
+        if self.buf.len() < need {
+            return Ok(None);
+        }
+        let Some(head) = self.head.take() else { return Ok(None) };
+        let body: Vec<u8> = self.buf.drain(..need).collect();
+        Ok(Some(Request {
+            method: head.method,
+            target: head.target,
+            http11: head.http11,
+            keep_alive: head.keep_alive,
+            body,
+        }))
+    }
+
+    /// Finds the end of the head (index one past the blank line), honoring
+    /// the header cap. Accepts CRLF or bare-LF line endings.
+    fn find_head_end(&mut self) -> Result<Option<usize>, ParseError> {
+        let start = self.scanned.saturating_sub(3);
+        for i in start..self.buf.len() {
+            if self.buf[i] != b'\n' {
+                continue;
+            }
+            // "\n\n" or "\n\r\n" ends the head at i.
+            let prev = &self.buf[..i];
+            let blank = prev.ends_with(b"\n") || prev.ends_with(b"\n\r");
+            if blank {
+                let end = i + 1;
+                if end > self.cfg.max_header_bytes {
+                    return Err(ParseError::HeadersTooLarge { limit: self.cfg.max_header_bytes });
+                }
+                return Ok(Some(end));
+            }
+        }
+        self.scanned = self.buf.len();
+        if self.buf.len() > self.cfg.max_header_bytes {
+            return Err(ParseError::HeadersTooLarge { limit: self.cfg.max_header_bytes });
+        }
+        Ok(None)
+    }
+}
+
+/// Parses the head bytes (everything up to and including the blank line).
+fn parse_head(bytes: &[u8], cfg: &ParserConfig) -> Result<Head, ParseError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| ParseError::Malformed("non-utf8 head"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed("request line"));
+    };
+    if method.is_empty()
+        || method.len() > 16
+        || !method.bytes().all(|b| b.is_ascii_uppercase() || b == b'-')
+    {
+        return Err(ParseError::Malformed("method"));
+    }
+    if !(target.starts_with('/') || target == "*") || target.len() > 1024 {
+        return Err(ParseError::Malformed("target"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ParseError::Malformed("version")),
+    };
+
+    let mut content_length: Option<u64> = None;
+    let mut keep_alive = http11; // 1.1 defaults on, 1.0 defaults off
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line"));
+        };
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(ParseError::Malformed("header name"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        } else if name.eq_ignore_ascii_case("content-length") {
+            let parsed: u64 = value
+                .parse()
+                .ok()
+                .filter(|_| value.bytes().all(|b| b.is_ascii_digit()))
+                .ok_or(ParseError::Malformed("content-length"))?;
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(ParseError::Malformed("conflicting content-length"));
+            }
+            content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    let declared = content_length.unwrap_or(0);
+    if declared > cfg.max_body_bytes as u64 {
+        return Err(ParseError::BodyTooLarge { declared, limit: cfg.max_body_bytes });
+    }
+    Ok(Head {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        keep_alive,
+        content_length: declared as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+
+    fn parse_all(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        RequestParser::new(ParserConfig::default()).feed(raw)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/health");
+        assert!(req.http11 && req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_fed_byte_by_byte() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut p = RequestParser::new(ParserConfig::default());
+        for (i, b) in raw.iter().enumerate() {
+            let got = p.feed(std::slice::from_ref(b)).unwrap();
+            if i + 1 < raw.len() {
+                assert!(got.is_none(), "complete too early at byte {i}");
+                assert!(p.mid_request());
+            } else {
+                let req = got.unwrap();
+                assert_eq!(req.body, b"abcd");
+                assert!(!p.mid_request());
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_drain_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut p = RequestParser::new(ParserConfig::default());
+        let a = p.feed(raw).unwrap().unwrap();
+        assert_eq!(a.target, "/a");
+        let b = p.feed(&[]).unwrap().unwrap();
+        assert_eq!((b.target.as_str(), b.body.as_slice()), ("/b", b"hi".as_slice()));
+        let c = p.feed(&[]).unwrap().unwrap();
+        assert_eq!(c.target, "/c");
+        assert!(p.feed(&[]).unwrap().is_none());
+        assert!(!p.mid_request());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = parse_all(b"GET / HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.target, "/");
+    }
+
+    #[test]
+    fn connection_close_and_http10_defaults() {
+        let req = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.http11 && !req.keep_alive);
+        let req = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_when_dribbled() {
+        let cfg = ParserConfig { max_header_bytes: 64, max_body_bytes: 1024 };
+        let mut p = RequestParser::new(cfg);
+        let mut seen_err = None;
+        for chunk in b"GET / HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n".chunks(7) {
+            match p.feed(chunk) {
+                Ok(_) => {}
+                Err(e) => {
+                    seen_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = seen_err.expect("cap must fire");
+        assert_eq!(err.status(), 431);
+        // Poisoned: the error persists.
+        assert_eq!(p.feed(b"x").unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_before_body_bytes_arrive() {
+        let cfg = ParserConfig { max_header_bytes: 1024, max_body_bytes: 16 };
+        let mut p = RequestParser::new(cfg);
+        let err = p.feed(b"POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n").unwrap_err();
+        assert_eq!(err, ParseError::BodyTooLarge { declared: 17, limit: 16 });
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let err = parse_all(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err, ParseError::UnsupportedTransferEncoding);
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn malformed_heads_are_400() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            b"\xff\xfe GET / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse_all(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{raw:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_identical_content_length_is_tolerated() {
+        let req = parse_all(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+}

@@ -1,0 +1,131 @@
+//! HTTP/1.1 response serialization.
+//!
+//! Responses are built fully in memory (every body this service produces
+//! is small and bounded), always carry `Content-Length`, and state their
+//! connection intent explicitly — the connection loop closes exactly
+//! when the response says it will, so a client never waits on a
+//! half-open socket.
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Length`,
+    /// `Content-Type`, and `Connection`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether the connection closes after this response (rendered as
+    /// `Connection: close` / `keep-alive`).
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Marks the connection to close after this response.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Serializes status line, headers, and body.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        )
+        .into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Canonical reason phrases for every status this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+
+    #[test]
+    fn serializes_with_framing_headers() {
+        let raw = Response::json(200, "{\"ok\":true}".into()).serialize();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_and_close_render() {
+        let raw = Response::json(429, "{}".into())
+            .with_header("Retry-After", "2".into())
+            .closing()
+            .serialize();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

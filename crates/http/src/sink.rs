@@ -1,0 +1,93 @@
+//! Adapts the WAL crate's durable [`IngestStore`] to the serving layer's
+//! storage-agnostic [`IngestSink`] (DESIGN.md §16).
+//!
+//! The adapter is where the WAL's typed failure taxonomy crosses into
+//! HTTP: each [`WalError`] variant's *name* is carried verbatim as the
+//! stable `kind` in the 503/409 body, so a client (or an operator's
+//! alert rule) can tell a dead disk (`Io`) from a poisoned live index
+//! (`Poisoned`) without parsing prose.
+
+use tklus_model::Post;
+use tklus_serve::{IngestSink, SinkError};
+use tklus_wal::{IngestStore, WalError};
+
+/// The production sink: a crash-safe [`IngestStore`] behind the serve
+/// crate's trait. The store is internally synchronized (`ingest` takes
+/// `&self`), so worker threads call straight through.
+pub struct WalSink {
+    store: IngestStore,
+}
+
+impl WalSink {
+    /// Wraps an opened store.
+    pub fn new(store: IngestStore) -> Self {
+        Self { store }
+    }
+
+    /// The wrapped store (e.g. for a shutdown-time seal or stats read).
+    pub fn store(&self) -> &IngestStore {
+        &self.store
+    }
+}
+
+impl IngestSink for WalSink {
+    fn ingest(&self, post: Post) -> Result<u64, SinkError> {
+        self.store.ingest(post).map_err(sink_error)
+    }
+}
+
+/// Maps a [`WalError`] to the typed sink failure HTTP renders: the
+/// variant name as the stable kind, duplicate ids flagged as conflicts
+/// (409 — the store is healthy, the write is wrong), everything else a
+/// store-side failure (503).
+pub fn sink_error(e: WalError) -> SinkError {
+    let kind = match &e {
+        WalError::Io { .. } => "Io",
+        WalError::Corrupt { .. } => "Corrupt",
+        WalError::VersionMismatch { .. } => "VersionMismatch",
+        WalError::Crashed => "Crashed",
+        WalError::DuplicateTweet(_) => "DuplicateTweet",
+        WalError::Poisoned => "Poisoned",
+        WalError::Engine(_) => "Engine",
+    };
+    SinkError { kind, message: e.to_string(), conflict: matches!(e, WalError::DuplicateTweet(_)) }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+    use super::*;
+    use tklus_model::TweetId;
+
+    #[test]
+    fn every_wal_variant_keeps_its_name_and_only_duplicates_conflict() {
+        let cases: Vec<(WalError, &str, bool)> = vec![
+            (
+                WalError::Io {
+                    op: "append",
+                    path: "wal-1.log".into(),
+                    source: std::io::Error::other("disk gone"),
+                },
+                "Io",
+                false,
+            ),
+            (
+                WalError::Corrupt { path: "wal-1.log".into(), offset: 9, detail: "crc".into() },
+                "Corrupt",
+                false,
+            ),
+            (WalError::VersionMismatch { found: 9, expected: 1 }, "VersionMismatch", false),
+            (WalError::Crashed, "Crashed", false),
+            (WalError::DuplicateTweet(TweetId(7)), "DuplicateTweet", true),
+            (WalError::Poisoned, "Poisoned", false),
+        ];
+        for (err, kind, conflict) in cases {
+            let display = err.to_string();
+            let sink = sink_error(err);
+            assert_eq!(sink.kind, kind);
+            assert_eq!(sink.conflict, conflict, "{kind}");
+            assert_eq!(sink.message, display);
+        }
+    }
+}

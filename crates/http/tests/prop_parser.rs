@@ -1,0 +1,223 @@
+//! Parser robustness properties (ISSUE acceptance, DESIGN.md §16).
+//!
+//! The parser faces the rawest input in the system: arbitrary bytes
+//! from arbitrary sockets, delivered in arbitrary fragments. The
+//! properties pin the full contract:
+//!
+//! * **no panic, ever** — any byte stream, any fragmentation, yields
+//!   `Ok(None)`, a complete request, or a typed [`ParseError`];
+//! * **fragmentation invisibility** — a valid byte stream parses to the
+//!   same requests whether it arrives in one read or byte-by-byte, so
+//!   TCP segmentation (and a slow-writer attacker) cannot change
+//!   meaning;
+//! * **truncation safety** — every proper prefix of a valid request is
+//!   simply "not done yet", never an error and never a spurious
+//!   request;
+//! * **caps always fire** — oversized heads and declared bodies fail
+//!   typed (431/413) no matter how they are dribbled in.
+
+#![allow(clippy::unwrap_used)] // test code: panics are the failure report
+
+use proptest::prelude::*;
+use tklus_http::{ParseError, ParserConfig, Request, RequestParser};
+
+/// Feeds `raw` split at the given fraction points; returns the requests
+/// parsed and the first error (parsing stops there, like a real
+/// connection would).
+fn parse_fragmented(
+    raw: &[u8],
+    cfg: ParserConfig,
+    cuts: &[usize],
+) -> (Vec<Request>, Option<ParseError>) {
+    let mut parser = RequestParser::new(cfg);
+    let mut out = Vec::new();
+    let mut cursor = 0;
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (raw.len() + 1)).collect();
+    bounds.push(raw.len());
+    bounds.sort_unstable();
+    for end in bounds {
+        let chunk = &raw[cursor..end];
+        cursor = end;
+        // Feed the chunk, then drain any pipelined requests it completed.
+        let mut fed = false;
+        loop {
+            let step = if fed { parser.feed(&[]) } else { parser.feed(chunk) };
+            fed = true;
+            match step {
+                Ok(Some(req)) => out.push(req),
+                Ok(None) => break,
+                Err(err) => return (out, Some(err)),
+            }
+        }
+    }
+    (out, None)
+}
+
+/// A generated, structurally valid request.
+#[derive(Debug, Clone)]
+struct ValidRequest {
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    crlf: bool,
+}
+
+impl ValidRequest {
+    fn serialize(&self) -> Vec<u8> {
+        let eol = if self.crlf { "\r\n" } else { "\n" };
+        let mut out = format!("{} {} HTTP/1.1{eol}", self.method, self.target).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}{eol}").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}{eol}{eol}", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn arb_valid_request() -> impl Strategy<Value = ValidRequest> {
+    (
+        (0usize..5).prop_map(|i| ["GET", "POST", "PUT", "DELETE", "PATCH"][i]),
+        "/[a-z_/]{0,20}",
+        proptest::collection::vec(("[A-Za-z][A-Za-z-]{0,10}", "[ -~]{0,20}"), 0..4),
+        proptest::collection::vec(any::<u8>(), 0..200),
+        any::<bool>(),
+    )
+        .prop_map(|(method, target, headers, body, crlf)| ValidRequest {
+            method: method.to_string(),
+            target,
+            // Keep generated headers away from the ones with parsing
+            // semantics; those are covered by directed cases.
+            headers: headers
+                .into_iter()
+                .filter(|(n, _)| {
+                    !n.eq_ignore_ascii_case("content-length")
+                        && !n.eq_ignore_ascii_case("transfer-encoding")
+                        && !n.eq_ignore_ascii_case("connection")
+                })
+                .collect(),
+            body,
+            crlf,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any bytes, any fragmentation: the parser never panics, and a
+    /// poisoning error is sticky.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        raw in proptest::collection::vec(any::<u8>(), 0..600),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let cfg = ParserConfig { max_header_bytes: 128, max_body_bytes: 256 };
+        let (_, err) = parse_fragmented(&raw, cfg, &cuts);
+        if let Some(err) = err {
+            // Typed and mapped to a closeable status.
+            prop_assert!(matches!(err.status(), 400 | 413 | 431 | 501));
+        }
+    }
+
+    /// A valid request parses identically no matter how it is split —
+    /// including byte-by-byte (the slow-writer client).
+    #[test]
+    fn fragmentation_is_invisible(
+        req in arb_valid_request(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let raw = req.serialize();
+        let cfg = ParserConfig::default();
+        let (whole, err) = parse_fragmented(&raw, cfg, &[]);
+        prop_assert!(err.is_none(), "valid request failed: {err:?}");
+        prop_assert_eq!(whole.len(), 1);
+        let (split, err) = parse_fragmented(&raw, cfg, &cuts);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(&split, &whole, "fragmentation changed the parse");
+        let byte_cuts: Vec<usize> = (0..raw.len()).collect();
+        let (bytewise, err) = parse_fragmented(&raw, cfg, &byte_cuts);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(&bytewise, &whole);
+        prop_assert_eq!(&whole[0].method, &req.method);
+        prop_assert_eq!(&whole[0].target, &req.target);
+        prop_assert_eq!(&whole[0].body, &req.body);
+    }
+
+    /// Every proper prefix of a valid request is incomplete — never an
+    /// error, never a request.
+    #[test]
+    fn truncation_at_every_offset_is_incomplete(req in arb_valid_request()) {
+        let raw = req.serialize();
+        for end in 0..raw.len() {
+            let mut parser = RequestParser::new(ParserConfig::default());
+            match parser.feed(&raw[..end]) {
+                Ok(None) => {
+                    // The distinguishing bit for 408-vs-clean-close must
+                    // be set for any nonempty prefix.
+                    prop_assert_eq!(parser.mid_request(), end > 0);
+                }
+                Ok(Some(r)) => return Err(TestCaseError::Fail(
+                    format!("prefix {end}/{} yielded {r:?}", raw.len()),
+                )),
+                Err(e) => return Err(TestCaseError::Fail(
+                    format!("prefix {end}/{} errored: {e}", raw.len()),
+                )),
+            }
+        }
+    }
+
+    /// Two pipelined requests survive arbitrary re-fragmentation.
+    #[test]
+    fn pipelining_is_fragmentation_proof(
+        a in arb_valid_request(),
+        b in arb_valid_request(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..10),
+    ) {
+        let mut raw = a.serialize();
+        raw.extend_from_slice(&b.serialize());
+        let (got, err) = parse_fragmented(&raw, ParserConfig::default(), &cuts);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(got.len(), 2);
+        prop_assert_eq!(&got[0].body, &a.body);
+        prop_assert_eq!(&got[1].method, &b.method);
+        prop_assert_eq!(&got[1].body, &b.body);
+    }
+
+    /// The header cap fires typed (431) for any unterminated dribble,
+    /// at any fragmentation.
+    #[test]
+    fn header_cap_fires_for_any_dribble(
+        pad in proptest::collection::vec((0usize..6).prop_map(|i| b"aB-: /"[i]), 200..400),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let cfg = ParserConfig { max_header_bytes: 128, max_body_bytes: 1024 };
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend_from_slice(&pad);
+        // No terminator ever arrives; the cap must still fire.
+        let (got, err) = parse_fragmented(&raw, cfg, &cuts);
+        prop_assert!(got.is_empty());
+        prop_assert_eq!(err.map(|e| e.status()), Some(431));
+    }
+
+    /// A declared oversized body fails typed (413) as soon as the head
+    /// completes, regardless of how much body ever arrives.
+    #[test]
+    fn declared_oversized_body_is_413(
+        extra in 1u64..10_000,
+        sent in 0usize..32,
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let cfg = ParserConfig { max_header_bytes: 1024, max_body_bytes: 64 };
+        let declared = 64 + extra;
+        let mut raw =
+            format!("POST /q HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n").into_bytes();
+        raw.extend_from_slice(&vec![b'x'; sent]);
+        let (got, err) = parse_fragmented(&raw, cfg, &cuts);
+        prop_assert!(got.is_empty());
+        prop_assert_eq!(
+            err,
+            Some(ParseError::BodyTooLarge { declared, limit: 64 })
+        );
+    }
+}

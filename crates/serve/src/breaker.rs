@@ -379,6 +379,14 @@ impl BreakerPanel {
         }
     }
 
+    /// [`Self::release`] for work that may not hold a grant at all (the
+    /// ingest lane skips the breaker gate entirely).
+    pub fn release_opt(&mut self, grant: Option<ProbeGrant>) {
+        if let Some(grant) = grant {
+            self.release(grant);
+        }
+    }
+
     /// Feeds one completed query's outcome to the panel.
     pub fn record(&mut self, now_ms: u64, outcome: Result<(), &EngineError>) {
         match outcome {

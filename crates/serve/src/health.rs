@@ -23,6 +23,8 @@ pub(crate) struct Snapshot {
     pub completed: u64,
     pub failed: u64,
     pub degraded: u64,
+    pub ingested: u64,
+    pub ingest_failed: u64,
 }
 
 fn breaker_probe(b: &CircuitBreaker, now_ms: u64) -> Probe {
@@ -84,6 +86,8 @@ mod tests {
             completed: 5,
             failed: 0,
             degraded: 0,
+            ingested: 0,
+            ingest_failed: 0,
         }
     }
 

@@ -36,6 +36,7 @@
 mod breaker;
 mod config;
 mod health;
+mod ingest;
 mod metrics;
 mod queue;
 mod reject;
@@ -44,6 +45,7 @@ pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerPanel, BreakerState, CircuitBreaker, ProbeGrant};
 pub use config::{DegradePolicy, ServeConfig};
+pub use ingest::{IngestFailure, IngestSink, SinkError};
 pub use queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
 pub use reject::{Rejected, ServeError};
-pub use server::{DrainReport, Ticket, TklusServer};
+pub use server::{DrainReport, IngestTicket, Ticket, TklusServer};

@@ -23,6 +23,8 @@ pub(crate) fn gauge_rows(snap: &Snapshot, panel: &BreakerPanel) -> Vec<(&'static
         ("completed", snap.completed),
         ("failed", snap.failed),
         ("degraded", snap.degraded),
+        ("ingested", snap.ingested),
+        ("ingest_failed", snap.ingest_failed),
         ("shed_queue_full", snap.counters.shed_queue_full),
         ("shed_deadline", snap.counters.shed_deadline),
         ("shed_evicted", snap.counters.shed_evicted),
@@ -80,6 +82,8 @@ mod tests {
             completed: 30,
             failed: 2,
             degraded: 1,
+            ingested: 12,
+            ingest_failed: 3,
         }
     }
 

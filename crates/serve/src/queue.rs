@@ -183,7 +183,7 @@ impl<T> AdmissionQueue<T> {
                 None => {
                     self.counters.shed_queue_full += 1;
                     return AdmitResult::Shed {
-                        reason: Rejected::QueueFull { depth: self.depth() },
+                        reason: Rejected::QueueFull { depth: self.depth(), estimated_wait_ms },
                         payload,
                     };
                 }
@@ -272,9 +272,14 @@ mod tests {
         let mut q = queue(2, 1);
         admit(&mut q, 0, Priority::Low, 1000, "l-old");
         admit(&mut q, 1, Priority::Low, 1000, "l-new");
-        // A Low arrival cannot evict its own class: queue full.
+        // A Low arrival cannot evict its own class: queue full. The shed
+        // carries the wait estimate a retry would face (2 entries ahead,
+        // 1 worker, 10 ms each -> 20 ms).
         match admit(&mut q, 2, Priority::Low, 1000, "l-3") {
-            AdmitResult::Shed { reason: Rejected::QueueFull { depth: 2 }, payload: "l-3" } => {}
+            AdmitResult::Shed {
+                reason: Rejected::QueueFull { depth: 2, estimated_wait_ms: 20 },
+                payload: "l-3",
+            } => {}
             other => panic!("expected QueueFull, got {other:?}"),
         }
         // A High arrival evicts the *newest* Low entry.
@@ -338,6 +343,58 @@ mod tests {
             other => panic!("expected ready, got {other:?}"),
         }
         assert_eq!(q.counters().expired_at_dispatch, 1);
+    }
+
+    #[test]
+    fn wait_estimate_saturates_at_extreme_clocks() {
+        // est_service_ms at the ceiling: the multiply must saturate, not
+        // wrap, and the saturated estimate must flow into the typed shed.
+        let mut q: AdmissionQueue<&'static str> = AdmissionQueue::new(2, 1, u64::MAX);
+        q.try_admit(0, Priority::Normal, u64::MAX, "a", 0);
+        assert_eq!(q.estimated_wait_ms(Priority::Normal, 1), u64::MAX);
+        // The saturated estimate pushes `now + estimate` to the clock's
+        // ceiling; against any deadline below it the hopeless check fires
+        // with the saturated value instead of a wrapped small number.
+        match q.try_admit(0, Priority::Normal, u64::MAX - 1, "b", 1) {
+            AdmitResult::Shed {
+                reason: Rejected::DeadlineHopeless { estimated_wait_ms: u64::MAX, .. },
+                ..
+            } => {}
+            other => panic!("expected saturated DeadlineHopeless, got {other:?}"),
+        }
+        // An idle queue with a live deadline still admits even at the
+        // clock's edge (the PR 5 instant-shed guard, re-pinned here).
+        let mut idle: AdmissionQueue<&'static str> = AdmissionQueue::new(2, 1, u64::MAX);
+        assert!(matches!(
+            idle.try_admit(u64::MAX, Priority::Normal, u64::MAX, "c", 0),
+            AdmitResult::Admitted { .. }
+        ));
+        // With a deadline at the ceiling the saturated sum equals (never
+        // exceeds) it, so the request survives to the capacity check and
+        // the QueueFull shed carries the saturated wait.
+        let mut full: AdmissionQueue<&'static str> = AdmissionQueue::new(1, 1, u64::MAX);
+        full.try_admit(0, Priority::Normal, u64::MAX, "d", 0);
+        match full.try_admit(0, Priority::Normal, u64::MAX, "e", 1) {
+            AdmitResult::Shed {
+                reason: Rejected::QueueFull { depth: 1, estimated_wait_ms: u64::MAX },
+                ..
+            } => {}
+            other => panic!("expected saturated QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_full_shed_carries_the_retry_estimate() {
+        let mut q = queue(1, 2);
+        admit(&mut q, 0, Priority::Normal, 1000, "first");
+        // 1 queued + 1 busy over 2 workers -> floor(2/2) x 10 ms = 10 ms.
+        match q.try_admit(0, Priority::Normal, 1000, "second", 1) {
+            AdmitResult::Shed {
+                reason: Rejected::QueueFull { depth: 1, estimated_wait_ms: 10 },
+                ..
+            } => {}
+            other => panic!("expected QueueFull with estimate, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub enum Rejected {
     QueueFull {
         /// Queue depth at the time of rejection.
         depth: usize,
+        /// The deterministic wait estimate a same-priority retry would face
+        /// right now (saturating; the HTTP front-end renders it as
+        /// `Retry-After`).
+        estimated_wait_ms: u64,
     },
     /// The request's deadline would expire before a worker could plausibly
     /// start it, so running it would waste engine time on an answer nobody
@@ -35,6 +39,9 @@ pub enum Rejected {
     Evicted {
         /// Priority of the arrival that displaced it.
         by: Priority,
+        /// The deterministic wait estimate a retry at the victim's own
+        /// priority would face right now (saturating; feeds `Retry-After`).
+        estimated_wait_ms: u64,
     },
     /// The request was admitted but its deadline passed while it queued;
     /// a worker caught it at dispatch and answered it typed instead of
@@ -48,16 +55,39 @@ pub enum Rejected {
     ShuttingDown,
 }
 
+impl Rejected {
+    /// For sheds a client can sensibly retry after a backoff, the
+    /// deterministic queue-wait estimate (ms) at decision time; `None` for
+    /// sheds where "try again soon" is the wrong advice (open breakers and
+    /// shutdowns heal on their own clock, expiry means the deadline was
+    /// already spent). The HTTP front-end renders this as `Retry-After`.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Rejected::QueueFull { estimated_wait_ms, .. }
+            | Rejected::Evicted { estimated_wait_ms, .. }
+            | Rejected::DeadlineHopeless { estimated_wait_ms, .. } => Some(*estimated_wait_ms),
+            Rejected::CircuitOpen { .. }
+            | Rejected::ExpiredInQueue { .. }
+            | Rejected::ShuttingDown => None,
+        }
+    }
+}
+
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Rejected::QueueFull { depth } => write!(f, "admission queue full ({depth} queued)"),
+            Rejected::QueueFull { depth, estimated_wait_ms } => {
+                write!(f, "admission queue full ({depth} queued, ~{estimated_wait_ms} ms wait)")
+            }
             Rejected::DeadlineHopeless { deadline_in_ms, estimated_wait_ms } => write!(
                 f,
                 "deadline hopeless: {deadline_in_ms} ms left, estimated wait {estimated_wait_ms} ms"
             ),
             Rejected::CircuitOpen { breaker } => write!(f, "{breaker} circuit breaker open"),
-            Rejected::Evicted { by } => write!(f, "evicted from queue by a {by}-priority arrival"),
+            Rejected::Evicted { by, estimated_wait_ms } => write!(
+                f,
+                "evicted from queue by a {by}-priority arrival (~{estimated_wait_ms} ms to retry)"
+            ),
             Rejected::ExpiredInQueue { waited_ms } => {
                 write!(f, "deadline expired after {waited_ms} ms in queue")
             }
@@ -110,13 +140,36 @@ mod tests {
 
     #[test]
     fn displays_name_the_cause() {
-        assert!(Rejected::QueueFull { depth: 9 }.to_string().contains("9 queued"));
+        let full = Rejected::QueueFull { depth: 9, estimated_wait_ms: 35 };
+        assert!(full.to_string().contains("9 queued"));
+        assert!(full.to_string().contains("~35 ms"));
         let hopeless = Rejected::DeadlineHopeless { deadline_in_ms: 3, estimated_wait_ms: 40 };
         assert!(hopeless.to_string().contains("estimated wait 40"));
         assert!(Rejected::CircuitOpen { breaker: "storage" }.to_string().contains("storage"));
-        assert!(Rejected::Evicted { by: Priority::High }.to_string().contains("high"));
+        let evicted = Rejected::Evicted { by: Priority::High, estimated_wait_ms: 12 };
+        assert!(evicted.to_string().contains("high"));
         assert!(Rejected::ExpiredInQueue { waited_ms: 75 }.to_string().contains("75 ms in queue"));
         assert!(ServeError::from(Rejected::ShuttingDown).to_string().contains("shutting down"));
         assert!(ServeError::Abandoned.to_string().contains("drain"));
+    }
+
+    #[test]
+    fn retry_after_covers_exactly_the_retryable_sheds() {
+        assert_eq!(
+            Rejected::QueueFull { depth: 4, estimated_wait_ms: 20 }.retry_after_ms(),
+            Some(20)
+        );
+        assert_eq!(
+            Rejected::Evicted { by: Priority::High, estimated_wait_ms: 7 }.retry_after_ms(),
+            Some(7)
+        );
+        assert_eq!(
+            Rejected::DeadlineHopeless { deadline_in_ms: 1, estimated_wait_ms: u64::MAX }
+                .retry_after_ms(),
+            Some(u64::MAX)
+        );
+        assert_eq!(Rejected::CircuitOpen { breaker: "index" }.retry_after_ms(), None);
+        assert_eq!(Rejected::ExpiredInQueue { waited_ms: 3 }.retry_after_ms(), None);
+        assert_eq!(Rejected::ShuttingDown.retry_after_ms(), None);
     }
 }

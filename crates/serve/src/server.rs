@@ -16,6 +16,7 @@
 use crate::breaker::{BreakerPanel, ProbeGrant};
 use crate::config::ServeConfig;
 use crate::health::{build_report, Snapshot};
+use crate::ingest::{IngestFailure, IngestSink, SinkError};
 use crate::queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
 use crate::reject::{Rejected, ServeError};
 use std::sync::mpsc;
@@ -23,18 +24,37 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tklus_core::{QueryOutcome, Ranking, TklusEngine};
 use tklus_metrics::HealthReport;
-use tklus_model::{Priority, QueryBudget, TklusQuery};
+use tklus_model::{Post, Priority, QueryBudget, TklusQuery};
 
-/// One queued unit of work: the query plus the channel its answer goes
-/// back on. Dropping the sender wakes the waiter with
-/// [`ServeError::Abandoned`].
+/// Clamp for drain timeouts: `Instant + Duration` panics on overflow,
+/// and a caller passing `Duration::MAX` means "wait forever" anyway.
+const DRAIN_TIMEOUT_CAP: Duration = Duration::from_secs(365 * 24 * 60 * 60);
+
+/// One queued unit of work plus the channel its answer goes back on.
+/// Dropping a sender wakes the waiter with the typed `Abandoned` error.
 struct Job {
-    query: TklusQuery,
-    ranking: Ranking,
     /// Half-open probes the breaker panel spent admitting this job; must
-    /// be released if the job dies without executing.
-    grant: ProbeGrant,
-    resp: mpsc::SyncSender<Result<QueryOutcome, ServeError>>,
+    /// be released if the job dies without executing. `None` for ingest:
+    /// writes never consume query-breaker probes (the WAL is its own
+    /// failure domain and reports failures typed per request).
+    grant: Option<ProbeGrant>,
+    work: Work,
+}
+
+/// The two kinds of work the admission queue carries (DESIGN.md §16):
+/// queries and durable writes share the same bounded slots so overload
+/// sheds both with one typed taxonomy instead of buffering writes
+/// unboundedly.
+enum Work {
+    Query {
+        query: TklusQuery,
+        ranking: Ranking,
+        resp: mpsc::SyncSender<Result<QueryOutcome, ServeError>>,
+    },
+    Ingest {
+        post: Post,
+        resp: mpsc::SyncSender<Result<u64, IngestFailure>>,
+    },
 }
 
 /// Mutable server state, guarded by one mutex.
@@ -50,11 +70,16 @@ struct State {
     completed: u64,
     failed: u64,
     degraded: u64,
+    ingested: u64,
+    ingest_failed: u64,
 }
 
 struct Shared {
     engine: Arc<TklusEngine>,
     cfg: ServeConfig,
+    /// Durable write destination; `None` means ingest submissions are
+    /// answered with a typed `NotConfigured` sink error.
+    sink: Option<Arc<dyn IngestSink>>,
     state: Mutex<State>,
     /// Signalled when work arrives or the server stops.
     work_cv: Condvar,
@@ -87,6 +112,22 @@ impl Ticket {
     }
 }
 
+/// A pending write acknowledgement. Obtained from
+/// [`TklusServer::submit_ingest`]; redeem it with [`IngestTicket::wait`].
+pub struct IngestTicket {
+    /// The admission ticket id (matches drain-report accounting).
+    pub id: u64,
+    rx: mpsc::Receiver<Result<u64, IngestFailure>>,
+}
+
+impl IngestTicket {
+    /// Blocks until the write is durably acknowledged (its WAL sequence
+    /// number), fails typed, is shed post-admission, or is abandoned.
+    pub fn wait(self) -> Result<u64, IngestFailure> {
+        self.rx.recv().unwrap_or(Err(IngestFailure::Abandoned))
+    }
+}
+
 /// What a graceful [`TklusServer::drain`] observed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DrainReport {
@@ -108,11 +149,23 @@ pub struct TklusServer {
 }
 
 impl TklusServer {
-    /// Starts `cfg.workers` worker threads over the engine.
+    /// Starts `cfg.workers` worker threads over the engine, with no ingest
+    /// sink (writes answered `NotConfigured`).
     pub fn start(engine: Arc<TklusEngine>, cfg: ServeConfig) -> Result<Self, String> {
+        Self::start_with_sink(engine, cfg, None)
+    }
+
+    /// Starts the server with a durable write destination for
+    /// [`TklusServer::submit_ingest`].
+    pub fn start_with_sink(
+        engine: Arc<TklusEngine>,
+        cfg: ServeConfig,
+        sink: Option<Arc<dyn IngestSink>>,
+    ) -> Result<Self, String> {
         cfg.validate()?;
         let shared = Arc::new(Shared {
             engine,
+            sink,
             state: Mutex::new(State {
                 queue: AdmissionQueue::new(cfg.queue_capacity, cfg.workers, cfg.est_service_ms),
                 panel: BreakerPanel::new(cfg.breaker),
@@ -124,6 +177,8 @@ impl TklusServer {
                 completed: 0,
                 failed: 0,
                 degraded: 0,
+                ingested: 0,
+                ingest_failed: 0,
             }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
@@ -170,24 +225,70 @@ impl TklusServer {
             }
         };
         let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job { grant: Some(grant), work: Work::Query { query, ranking, resp: tx } };
+        let id = self.admit(&mut state, now_ms, priority, deadline_ms, job)?;
+        drop(state);
+        self.shared.work_cv.notify_one();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Submits a durable write. Writes ride the high-priority lane of the
+    /// *same* bounded admission queue as queries — a firehose burst and a
+    /// query storm contend for the same slots, so overload sheds writes
+    /// with the same typed taxonomy instead of buffering them unboundedly.
+    /// Writes skip the query breaker gate (the WAL is its own failure
+    /// domain; sink failures come back typed on the ticket).
+    pub fn submit_ingest(
+        &self,
+        post: Post,
+        deadline: Option<Duration>,
+    ) -> Result<IngestTicket, Rejected> {
+        let now_ms = self.shared.now_ms();
+        let relative_ms = deadline.map_or(self.shared.cfg.default_deadline_ms, |d| {
+            u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+        });
+        let deadline_ms = now_ms.saturating_add(relative_ms);
+        let mut state = self.shared.state.lock().expect("serve lock poisoned");
+        if state.draining || state.stopped {
+            return Err(Rejected::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job { grant: None, work: Work::Ingest { post, resp: tx } };
+        let id = self.admit(&mut state, now_ms, Priority::High, deadline_ms, job)?;
+        drop(state);
+        self.shared.work_cv.notify_one();
+        Ok(IngestTicket { id, rx })
+    }
+
+    /// Shared admission step: try the queue, answer any evicted victim
+    /// typed (with its Retry-After estimate), refund probes on shed.
+    fn admit(
+        &self,
+        state: &mut State,
+        now_ms: u64,
+        priority: Priority,
+        deadline_ms: u64,
+        job: Job,
+    ) -> Result<u64, Rejected> {
         let busy = state.busy;
-        let job = Job { query, ranking, grant, resp: tx };
         match state.queue.try_admit(now_ms, priority, deadline_ms, job, busy) {
             AdmitResult::Admitted { id, evicted } => {
-                if let Some(victim) = evicted {
+                if let Some(mut victim) = evicted {
                     // The victim never reaches the engine: refund any
                     // half-open probes it was admitted on.
-                    state.panel.release(victim.payload.grant);
-                    answer(victim, Err(Rejected::Evicted { by: priority }.into()));
+                    state.panel.release_opt(victim.payload.grant.take());
+                    // Retry-After for the victim: what a retry at its own
+                    // priority would wait, estimated against the queue as it
+                    // stands after the eviction.
+                    let est = state.queue.estimated_wait_ms(victim.priority, busy);
+                    answer(victim, Rejected::Evicted { by: priority, estimated_wait_ms: est });
                 }
-                drop(state);
-                self.shared.work_cv.notify_one();
-                Ok(Ticket { id, rx })
+                Ok(id)
             }
             AdmitResult::Shed { reason, payload } => {
                 // Shed at enqueue (after the breaker gate): the probes the
                 // panel just spent on it must come back too.
-                state.panel.release(payload.grant);
+                state.panel.release_opt(payload.grant);
                 Err(reason)
             }
         }
@@ -240,6 +341,8 @@ impl TklusServer {
             completed: state.completed,
             failed: state.failed,
             degraded: state.degraded,
+            ingested: state.ingested,
+            ingest_failed: state.ingest_failed,
         }
     }
 
@@ -248,15 +351,61 @@ impl TklusServer {
         self.shared.state.lock().expect("serve lock poisoned").queue.counters()
     }
 
+    /// Closes admission *without* consuming the server: every subsequent
+    /// `submit`/`submit_ingest` answers [`Rejected::ShuttingDown`], while
+    /// workers keep running and answer everything already admitted. The
+    /// HTTP front-end calls this at SIGTERM so keep-alive connections see
+    /// typed 503s immediately, finishes its connection threads, and only
+    /// then calls [`TklusServer::drain`] for the final accounting.
+    pub fn begin_drain(&self) {
+        let mut state = self.shared.state.lock().expect("serve lock poisoned");
+        state.draining = true;
+        drop(state);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Bounded-wait drain phase that does *not* consume the server:
+    /// closes admission, waits up to `timeout` for queued and in-flight
+    /// work to finish, then abandons whatever still queues — answering
+    /// every abandoned waiter — and returns the abandoned ticket ids
+    /// (sorted). In-flight work keeps running and is answered by its
+    /// worker.
+    ///
+    /// The HTTP front-end calls this *before* joining its connection
+    /// threads: those threads block on tickets, so every ticket must be
+    /// answered (completed or abandoned) within the drain budget or
+    /// shutdown would stall behind a slow queue. [`TklusServer::drain`]
+    /// afterwards joins the workers and produces the final report.
+    pub fn drain_queued(&self, timeout: Duration) -> Vec<u64> {
+        let deadline = Instant::now() + timeout.min(DRAIN_TIMEOUT_CAP);
+        let mut abandoned = Vec::new();
+        let mut state = self.shared.state.lock().expect("serve lock poisoned");
+        state.draining = true;
+        self.shared.work_cv.notify_all();
+        while (state.queue.depth() > 0 || state.busy > 0) && Instant::now() < deadline {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            let (next, timed_out) =
+                self.shared.idle_cv.wait_timeout(state, wait).expect("serve lock poisoned");
+            state = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        for mut entry in state.queue.drain_all() {
+            state.panel.release_opt(entry.payload.grant.take());
+            abandoned.push(entry.id);
+            abandon(entry);
+        }
+        abandoned.sort_unstable();
+        abandoned
+    }
+
     /// Gracefully drains: closes admission immediately, lets queued and
     /// in-flight work finish for up to `timeout`, then abandons the rest
     /// *by name* — every admitted ticket is accounted for either in
     /// `completed`, as an answered eviction/expiry, or in the report's
     /// abandoned lists. Consumes the server; workers are joined.
     pub fn drain(mut self, timeout: Duration) -> DrainReport {
-        // Clamp to a year: `Instant + Duration` panics on overflow, and a
-        // caller passing `Duration::MAX` means "wait forever" anyway.
-        const DRAIN_TIMEOUT_CAP: Duration = Duration::from_secs(365 * 24 * 60 * 60);
         let deadline = Instant::now() + timeout.min(DRAIN_TIMEOUT_CAP);
         let mut report = DrainReport::default();
         {
@@ -274,10 +423,10 @@ impl TklusServer {
                 }
             }
             // Whatever still queues at the deadline is abandoned, typed.
-            for entry in state.queue.drain_all() {
-                state.panel.release(entry.payload.grant);
+            for mut entry in state.queue.drain_all() {
+                state.panel.release_opt(entry.payload.grant.take());
                 report.abandoned_queued.push(entry.id);
-                answer(entry, Err(ServeError::Abandoned));
+                abandon(entry);
             }
             report.in_flight_at_deadline = state.busy;
             report.completed = state.completed;
@@ -299,9 +448,9 @@ impl Drop for TklusServer {
             let mut state = self.shared.state.lock().expect("serve lock poisoned");
             state.draining = true;
             state.stopped = true;
-            for entry in state.queue.drain_all() {
-                state.panel.release(entry.payload.grant);
-                answer(entry, Err(ServeError::Abandoned));
+            for mut entry in state.queue.drain_all() {
+                state.panel.release_opt(entry.payload.grant.take());
+                abandon(entry);
             }
         }
         self.shared.work_cv.notify_all();
@@ -311,10 +460,31 @@ impl Drop for TklusServer {
     }
 }
 
-/// Sends a post-admission answer to a queued job's waiter. The waiter may
-/// have given up (receiver dropped) — that is its right, not an error.
-fn answer(entry: QueuedEntry<Job>, result: Result<QueryOutcome, ServeError>) {
-    let _ = entry.payload.resp.send(result);
+/// Sends a post-admission shed to a queued job's waiter, on whichever
+/// channel (query or ingest) the job carries. The waiter may have given
+/// up (receiver dropped) — that is its right, not an error.
+fn answer(entry: QueuedEntry<Job>, reason: Rejected) {
+    match entry.payload.work {
+        Work::Query { resp, .. } => {
+            let _ = resp.send(Err(ServeError::Rejected(reason)));
+        }
+        Work::Ingest { resp, .. } => {
+            let _ = resp.send(Err(IngestFailure::Rejected(reason)));
+        }
+    }
+}
+
+/// Answers a drain/Drop abandonment typed on whichever channel the job
+/// carries.
+fn abandon(entry: QueuedEntry<Job>) {
+    match entry.payload.work {
+        Work::Query { resp, .. } => {
+            let _ = resp.send(Err(ServeError::Abandoned));
+        }
+        Work::Ingest { resp, .. } => {
+            let _ = resp.send(Err(IngestFailure::Abandoned));
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -332,12 +502,12 @@ fn worker_loop(shared: &Shared) {
             continue; // raced with another worker
         };
         match popped {
-            Popped::Expired(entry) => {
+            Popped::Expired(mut entry) => {
                 // Dead on arrival at dispatch: answer typed, skip the
                 // engine, and refund any breaker probes it held.
-                state.panel.release(entry.payload.grant);
+                state.panel.release_opt(entry.payload.grant.take());
                 let waited_ms = now_ms.saturating_sub(entry.arrival_ms);
-                answer(entry, Err(Rejected::ExpiredInQueue { waited_ms }.into()));
+                answer(entry, Rejected::ExpiredInQueue { waited_ms });
                 // An expired pop can be the last thing draining waits on.
                 if state.queue.depth() == 0 && state.busy == 0 {
                     shared.idle_cv.notify_all();
@@ -346,45 +516,78 @@ fn worker_loop(shared: &Shared) {
             Popped::Ready(entry) => {
                 state.busy += 1;
                 let deadline_ms = entry.deadline_ms;
-                // The grant is settled by `panel.record` below, not refunded.
-                let Job { mut query, ranking, resp, grant: _ } = entry.payload;
-                // Tighten budgets while still holding the lock (cheap).
-                if let Some(policy) = shared.cfg.degrade {
-                    if state.queue.depth() >= policy.queue_threshold {
+                // The query grant is settled by `panel.record` below, not
+                // refunded; ingest never holds one.
+                let Job { grant: _, work } = entry.payload;
+                match work {
+                    Work::Query { mut query, ranking, resp } => {
+                        // Tighten budgets while still holding the lock (cheap).
+                        if let Some(policy) = shared.cfg.degrade {
+                            if state.queue.depth() >= policy.queue_threshold {
+                                query
+                                    .budget
+                                    .get_or_insert_with(QueryBudget::default)
+                                    .tighten_max_cells(policy.max_cells);
+                            }
+                        }
+                        // Fit the execution into the time left before the
+                        // arrival deadline — queueing already consumed part
+                        // of it.
+                        let remaining = deadline_ms.saturating_sub(now_ms).max(1);
                         query
                             .budget
                             .get_or_insert_with(QueryBudget::default)
-                            .tighten_max_cells(policy.max_cells);
-                    }
-                }
-                // Fit the execution into the time left before the arrival
-                // deadline — queueing already consumed part of it.
-                let remaining = deadline_ms.saturating_sub(now_ms).max(1);
-                query.budget.get_or_insert_with(QueryBudget::default).tighten_timeout_ms(remaining);
+                            .tighten_timeout_ms(remaining);
 
-                drop(state); // run the query WITHOUT the admission lock
-                let result = shared.engine.try_query(&query, ranking);
-                let end_ms = shared.started.elapsed().as_millis() as u64;
+                        drop(state); // run the query WITHOUT the admission lock
+                        let result = shared.engine.try_query(&query, ranking);
+                        let end_ms = shared.started.elapsed().as_millis() as u64;
 
-                state = shared.state.lock().expect("serve lock poisoned");
-                state.panel.record(end_ms, result.as_ref().map(|_| ()));
-                match &result {
-                    Ok(outcome) => {
-                        state.completed += 1;
-                        if !outcome.completeness.is_complete() {
-                            state.degraded += 1;
+                        state = shared.state.lock().expect("serve lock poisoned");
+                        state.panel.record(end_ms, result.as_ref().map(|_| ()));
+                        match &result {
+                            Ok(outcome) => {
+                                state.completed += 1;
+                                if !outcome.completeness.is_complete() {
+                                    state.degraded += 1;
+                                }
+                            }
+                            Err(_) => {
+                                state.completed += 1;
+                                state.failed += 1;
+                            }
                         }
+                        state.busy -= 1;
+                        if state.queue.depth() == 0 && state.busy == 0 {
+                            shared.idle_cv.notify_all();
+                        }
+                        let _ = resp.send(result.map_err(ServeError::Engine));
                     }
-                    Err(_) => {
-                        state.completed += 1;
-                        state.failed += 1;
+                    Work::Ingest { post, resp } => {
+                        drop(state); // run the sink WITHOUT the admission lock
+                        let result = match &shared.sink {
+                            Some(sink) => sink.ingest(post).map_err(IngestFailure::Sink),
+                            None => Err(IngestFailure::Sink(SinkError {
+                                kind: "NotConfigured",
+                                message: "no ingest sink configured".to_string(),
+                                conflict: false,
+                            })),
+                        };
+                        state = shared.state.lock().expect("serve lock poisoned");
+                        // Sink outcomes are NOT recorded to the query
+                        // breakers: a WAL disk failure must not open the
+                        // storage breaker and shed reads.
+                        state.ingested += 1;
+                        if result.is_err() {
+                            state.ingest_failed += 1;
+                        }
+                        state.busy -= 1;
+                        if state.queue.depth() == 0 && state.busy == 0 {
+                            shared.idle_cv.notify_all();
+                        }
+                        let _ = resp.send(result);
                     }
                 }
-                state.busy -= 1;
-                if state.queue.depth() == 0 && state.busy == 0 {
-                    shared.idle_cv.notify_all();
-                }
-                let _ = resp.send(result.map_err(ServeError::Engine));
             }
         }
     }

@@ -282,12 +282,16 @@ impl SimReport {
                 Disposition::Shed(r) => {
                     mix(1);
                     mix(match r {
-                        Rejected::QueueFull { depth } => 10 + *depth as u64,
+                        Rejected::QueueFull { depth, estimated_wait_ms } => {
+                            10 + *depth as u64 + estimated_wait_ms.wrapping_mul(31)
+                        }
                         Rejected::DeadlineHopeless { estimated_wait_ms, .. } => {
                             1000 + estimated_wait_ms
                         }
                         Rejected::CircuitOpen { breaker } => 2000 + breaker.len() as u64,
-                        Rejected::Evicted { by } => 3000 + by.index() as u64,
+                        Rejected::Evicted { by, estimated_wait_ms } => {
+                            3000 + by.index() as u64 + estimated_wait_ms.wrapping_mul(31)
+                        }
                         Rejected::ShuttingDown => 4000,
                         Rejected::ExpiredInQueue { waited_ms } => 5000 + waited_ms,
                     });
@@ -499,9 +503,15 @@ pub fn run_sim(
                     // The victim never reaches the engine: refund its probes.
                     panel.release(victim.payload.grant);
                     let ticket = outcomes[victim.payload.idx].as_ref().and_then(|o| o.ticket);
+                    // Retry-After for the victim: the wait a retry at its own
+                    // priority would face in the post-eviction queue.
+                    let est = queue.estimated_wait_ms(victim.priority, busy);
                     outcomes[victim.payload.idx] = Some(RequestOutcome {
                         ticket,
-                        disposition: Disposition::Shed(Rejected::Evicted { by: req.priority }),
+                        disposition: Disposition::Shed(Rejected::Evicted {
+                            by: req.priority,
+                            estimated_wait_ms: est,
+                        }),
                     });
                 }
             }
@@ -578,6 +588,10 @@ pub fn run_sim(
         completed: latencies_ms.len() as u64,
         failed,
         degraded,
+        // The simulator models the query path only; ingest is exercised
+        // by the threaded harness and the HTTP end-to-end tests.
+        ingested: 0,
+        ingest_failed: 0,
     };
     let health = build_report(&snapshot, &panel);
     let metrics = crate::metrics::inject_serve_rows(

@@ -54,6 +54,10 @@ use tklus_text::{TermId, TextPipeline, Vocab};
 use crate::metrics::ShardMetrics;
 use crate::plan::{ShardId, ShardPlan};
 
+/// One parallel-scatter result slot: outer `Option` is "worker filled
+/// it yet", inner is `dispatch`'s breaker-refusal signal.
+type ScatterSlot<T> = Mutex<Option<Option<Result<T, EngineError>>>>;
+
 /// Completeness of a scatter-gather answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShardCompleteness {
@@ -278,6 +282,18 @@ pub struct ShardedEngine {
     /// Definition 11 shard skipping (on by default; tests disable it to
     /// prove skipping never changes the answer).
     bound_skip: bool,
+    /// Scatter width: how many shard dispatches run concurrently on
+    /// scoped worker threads. `1` reproduces the sequential scatter
+    /// exactly; any value yields identical answers (see the module doc —
+    /// merge order is fixed by fanout position, and Definition 11 skips
+    /// are exact), only the skip/fanout *accounting* may differ for
+    /// Maximum-score ranking because the k-th floor is frozen per wave.
+    scatter_parallelism: usize,
+}
+
+/// Default scatter width: one dispatch thread per available core.
+fn default_scatter_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl ShardedEngine {
@@ -368,6 +384,7 @@ impl ShardedEngine {
             metrics: ShardMetrics::new(),
             epoch: Instant::now(),
             bound_skip: true,
+            scatter_parallelism: default_scatter_parallelism(),
         })
     }
 
@@ -420,6 +437,7 @@ impl ShardedEngine {
             metrics: ShardMetrics::new(),
             epoch: Instant::now(),
             bound_skip: true,
+            scatter_parallelism: default_scatter_parallelism(),
         })
     }
 
@@ -481,6 +499,20 @@ impl ShardedEngine {
     pub fn with_bound_skip(mut self, on: bool) -> Self {
         self.bound_skip = on;
         self
+    }
+
+    /// Sets the scatter width (clamped to ≥ 1). `1` reproduces the
+    /// sequential scatter loop exactly; the invariance oracle asserts the
+    /// answer is identical at any width.
+    pub fn with_scatter_parallelism(mut self, n: usize) -> Self {
+        self.set_scatter_parallelism(n);
+        self
+    }
+
+    /// In-place form of [`Self::with_scatter_parallelism`] (the invariance
+    /// oracle re-queries one engine at several widths).
+    pub fn set_scatter_parallelism(&mut self, n: usize) {
+        self.scatter_parallelism = n.max(1);
     }
 
     /// Replaces every shard's circuit breaker with one using `cfg`.
@@ -613,14 +645,48 @@ impl ShardedEngine {
         self.epoch.elapsed().as_millis() as u64
     }
 
+    /// Dispatches `f` against every shard in `sids`, up to
+    /// `scatter_parallelism` at a time on scoped worker threads. The
+    /// result vector is indexed by position in `sids` — callers consume it
+    /// in that order, so the merge order is identical to the sequential
+    /// loop's no matter how the dispatches interleave in time.
+    fn dispatch_all<T: Send>(
+        &self,
+        sids: &[usize],
+        f: &(dyn Fn(&TklusEngine) -> Result<T, EngineError> + Sync),
+    ) -> Vec<Option<Result<T, EngineError>>> {
+        let threads = self.scatter_parallelism.min(sids.len());
+        if threads <= 1 {
+            return sids.iter().map(|&sid| self.dispatch(sid, f)).collect();
+        }
+        let slots: Vec<ScatterSlot<T>> = sids.iter().map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&sid) = sids.get(i) else { break };
+                    let result = self.dispatch(sid, f);
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("worker filled every slot")).collect()
+    }
+
     /// Sum-score scatter-gather: per-shard tid-ordered partial rows, k-way
     /// merged with duplicate-tweet elimination, folded in global tweet-id
     /// order (the monolithic fold order), then distance-blended and ranked.
     fn scatter_sum(&self, q: &TklusQuery, fanout: &[usize], cells_total: usize) -> ShardedOutcome {
         let mut failed: Vec<ShardId> = Vec::new();
         let mut healthy: Vec<(usize, PartialSumOutcome)> = Vec::new();
-        for &sid in fanout {
-            match self.dispatch(sid, |e| e.try_partial_sum(q)) {
+        // Concurrent dispatch, position-ordered collection: `healthy` ends
+        // up in fanout order exactly as the sequential loop built it, so
+        // the k-way merge (and therefore the float fold) is unchanged.
+        for (&sid, result) in
+            fanout.iter().zip(self.dispatch_all(fanout, &|e| e.try_partial_sum(q)))
+        {
+            match result {
                 Some(Ok(p)) => healthy.push((sid, p)),
                 Some(Err(_)) | None => failed.push(ShardId(sid)),
             }
@@ -708,31 +774,48 @@ impl ShardedEngine {
         let mut partial_completeness: Vec<Completeness> = Vec::new();
         let mut stats = QueryStats::default();
         let mut dispatched = 0usize;
-        for &(sid, upper) in &order {
-            if self.bound_skip {
-                if let Some(floor) = kth_floor(&best, q.k) {
+        // Dispatch the bound-ordered list in waves of `scatter_parallelism`
+        // shards. The k-th floor is frozen while a wave is being assembled
+        // and refreshed between waves — at width 1 that is exactly the
+        // sequential loop (the floor only ever changes after a dispatch).
+        // Wider waves may dispatch a shard the sequential loop would have
+        // skipped, but a skip is only ever taken when the bound *proves*
+        // the shard cannot affect the top-k, so the merged answer is
+        // identical at any width; only the skip/fanout tallies move.
+        let mut i = 0usize;
+        while i < order.len() {
+            let floor = if self.bound_skip { kth_floor(&best, q.k) } else { None };
+            let mut wave: Vec<usize> = Vec::new();
+            while i < order.len() && wave.len() < self.scatter_parallelism {
+                let (sid, upper) = order[i];
+                i += 1;
+                if floor.is_some_and(|floor| {
                     // Same comparison the monolithic prune uses
                     // (`upper <= kth`): a shard tying the floor cannot
                     // strictly displace the k-th user.
-                    if upper <= floor {
-                        skipped.push(ShardId(sid));
-                        continue;
-                    }
+                    upper <= floor
+                }) {
+                    skipped.push(ShardId(sid));
+                    continue;
                 }
+                wave.push(sid);
             }
-            dispatched += 1;
-            match self.dispatch(sid, |e| e.try_query(q, Ranking::Max(mode))) {
-                Some(Ok(out)) => {
-                    for ru in &out.users {
-                        let entry = best.entry(ru.user).or_insert(f64::NEG_INFINITY);
-                        if ru.score > *entry {
-                            *entry = ru.score;
+            dispatched += wave.len();
+            let results = self.dispatch_all(&wave, &|e| e.try_query(q, Ranking::Max(mode)));
+            for (&sid, result) in wave.iter().zip(results) {
+                match result {
+                    Some(Ok(out)) => {
+                        for ru in &out.users {
+                            let entry = best.entry(ru.user).or_insert(f64::NEG_INFINITY);
+                            if ru.score > *entry {
+                                *entry = ru.score;
+                            }
                         }
+                        merge_stats(&mut stats, &out.stats);
+                        partial_completeness.push(out.completeness);
                     }
-                    merge_stats(&mut stats, &out.stats);
-                    partial_completeness.push(out.completeness);
+                    Some(Err(_)) | None => failed.push(ShardId(sid)),
                 }
-                Some(Err(_)) | None => failed.push(ShardId(sid)),
             }
         }
         skipped.sort();

@@ -155,7 +155,7 @@ proptest! {
         let keywords: Vec<String> =
             kw_idx.iter().map(|&i| WORDS[i as usize].to_string()).collect();
 
-        let sharded: Vec<(usize, ShardedEngine, ShardedEngine)> = shard_counts()
+        let mut sharded: Vec<(usize, ShardedEngine, ShardedEngine)> = shard_counts()
             .into_iter()
             .map(|n| {
                 let block = ShardedEngine::try_build(
@@ -182,18 +182,25 @@ proptest! {
                 Ranking::Max(BoundsMode::HotKeywords),
             ] {
                 let want = mono.try_query(&q, ranking).unwrap();
-                for (n, block, flat) in &sharded {
-                    for (engine, layout) in [(block, "block"), (flat, "flat")] {
-                        for temp in ["cold", "warm"] {
-                            let got = engine.query(&q, ranking);
-                            let label = format!(
-                                "N={n} {layout} {temp} {ranking:?} {semantics:?}"
-                            );
-                            assert_bitwise(&got, &want.users, &want.completeness, &label)?;
-                            prop_assert!(
-                                got.fanout + got.skipped_by_bound.len() <= engine.n_shards(),
-                                "fanout accounting: {}", label
-                            );
+                for (n, block, flat) in &mut sharded {
+                    let n = *n;
+                    for (engine, layout) in [(&mut *block, "block"), (&mut *flat, "flat")] {
+                        // Scatter-width invariance: the sequential loop
+                        // (width 1) and the scoped-thread scatter (width 4)
+                        // must both reproduce the monolithic answer bitwise.
+                        for par in [1usize, 4] {
+                            engine.set_scatter_parallelism(par);
+                            for temp in ["cold", "warm"] {
+                                let got = engine.query(&q, ranking);
+                                let label = format!(
+                                    "N={n} par={par} {layout} {temp} {ranking:?} {semantics:?}"
+                                );
+                                assert_bitwise(&got, &want.users, &want.completeness, &label)?;
+                                prop_assert!(
+                                    got.fanout + got.skipped_by_bound.len() <= engine.n_shards(),
+                                    "fanout accounting: {}", label
+                                );
+                            }
                         }
                     }
                 }
@@ -232,7 +239,7 @@ proptest! {
         q.budget = Some(QueryBudget { timeout_ms: None, max_cells: Some(max_cells) });
 
         for n in shard_counts() {
-            let engine = ShardedEngine::try_build(
+            let mut engine = ShardedEngine::try_build(
                 &corpus, n, &sharded_config(PostingsFormat::default()),
             ).expect("sharded build");
             // Budgeted queries only run Sum (the Max bound-skip could skip
@@ -240,8 +247,13 @@ proptest! {
             // proof assumes complete shard answers, so the router's Sum
             // path is the budget-faithful one to pin).
             let want = mono.try_query(&q, Ranking::Sum).unwrap();
-            let got = engine.query(&q, Ranking::Sum);
-            assert_bitwise(&got, &want.users, &want.completeness, &format!("N={n} budget"))?;
+            for par in [1usize, 4] {
+                engine.set_scatter_parallelism(par);
+                let got = engine.query(&q, Ranking::Sum);
+                assert_bitwise(
+                    &got, &want.users, &want.completeness, &format!("N={n} par={par} budget"),
+                )?;
+            }
         }
     }
 }

@@ -935,11 +935,11 @@ mod tests {
             let p = post(1, 10, 43.70, -79.42, "grand hotel");
             w.append(&WalRecord { seq: 1, post: p.clone() }).unwrap();
             w.append(&WalRecord { seq: 2, post: p }).unwrap();
-            w.append(&WalRecord { seq: 3, post: post(2, 11, 43.71, -79.41, "hotel bar") })
-                .unwrap();
+            w.append(&WalRecord { seq: 3, post: post(2, 11, 43.71, -79.41, "hotel bar") }).unwrap();
         }
         let walfs: Arc<dyn WalFs> = Arc::clone(&fs) as Arc<dyn WalFs>;
-        let (store, report) = IngestStore::open(Arc::clone(&walfs), StoreConfig::default()).unwrap();
+        let (store, report) =
+            IngestStore::open(Arc::clone(&walfs), StoreConfig::default()).unwrap();
         assert_eq!(report.live_posts, 2, "the exact duplicate collapses to one record");
         assert_eq!(store.acked_posts(), 2);
         drop(store);
