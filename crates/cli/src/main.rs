@@ -169,9 +169,11 @@ const USAGE: &str = "usage:
                     [--mean-service-ms MS] [--workers N] [--queue-capacity N]
                     [--est-service-ms MS] [--degrade-threshold N --degrade-cells N]
                     [--drain-at-ms MS] [--drain-deadline-ms MS]
-                    [--stats-every MS]
+                    [--stats-every MS] [--wal DIR]
+                    [--compact-threshold N] [--compact-interval-ms MS]
   tklus serve-http  [--corpus FILE.tsv] [--posts N] [--seed S]
                     [--addr HOST:PORT] [--wal DIR] [--threads N]
+                    [--compact-threshold N] [--compact-interval-ms MS]
                     [--workers N] [--queue-capacity N] [--deadline-ms MS]
                     [--est-service-ms MS]
                     [--degrade-threshold N --degrade-cells N]

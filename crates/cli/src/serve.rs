@@ -10,6 +10,12 @@
 //!   virtual length;
 //! * `--mode threaded` — the real [`TklusServer`] with worker threads and
 //!   wall-clock arrivals (the same schedule, replayed in real time).
+//!
+//! Threaded mode optionally attaches the crash-safe WAL store
+//! (`--wal DIR`) as the ingest sink and runs its background compactor
+//! (`--compact-threshold`, `--compact-interval-ms`), stopping it before
+//! the drain's final seal — the same serving-path wiring `serve-http`
+//! uses.
 
 use crate::args::{ArgError, Args};
 use crate::{corpus_from, CliError};
@@ -186,9 +192,16 @@ fn run_threaded(
     load: &LoadConfig,
     drain: Option<DrainPlan>,
     stats_every: Option<u64>,
+    wal_store: Option<Arc<tklus_wal::IngestStore>>,
 ) -> Result<(), CliError> {
     let plan = generate_plan(load, queries.len());
-    let server = TklusServer::start(engine, serve).map_err(CliError::Usage)?;
+    let sink: Option<Arc<dyn tklus_serve::IngestSink>> =
+        wal_store.as_ref().map(|store| Arc::new(tklus_http::WalSink::new(Arc::clone(store))) as _);
+    let server = TklusServer::start_with_sink(engine, serve, sink).map_err(CliError::Usage)?;
+    // The serving path owns the store's maintenance: seal live posts
+    // (replayed at open, or ingested through the sink) in the background
+    // so queries never score an unbounded memtable.
+    let compactor = wal_store.as_ref().map(|store| store.spawn_compactor());
     let mut shed = 0usize;
     let mut submitted = 0usize;
     let mut completed = 0usize;
@@ -269,6 +282,11 @@ fn run_threaded(
         println!("{}", stats_line(&server.metrics_snapshot()));
         println!("-- metrics --\n{}", server.metrics_snapshot().render_prometheus());
     }
+    // The compactor stops before the drain's final seal — a round
+    // mid-build would contend with it for the compaction gate.
+    if let Some(compactor) = compactor {
+        compactor.stop();
+    }
     let drain_deadline = Duration::from_millis(drain.map_or(1_000, |d| d.deadline_ms));
     let report = server.drain(drain_deadline);
     println!(
@@ -277,6 +295,16 @@ fn run_threaded(
         report.abandoned_queued.len(),
         report.in_flight_at_deadline
     );
+    if let Some(store) = &wal_store {
+        match store.compact() {
+            Ok(sealed) => println!(
+                "wal: final seal {} (generation {})",
+                if sealed { "wrote" } else { "had nothing live" },
+                store.generation()
+            ),
+            Err(e) => println!("wal: final seal failed: {e}"),
+        }
+    }
     Ok(())
 }
 
@@ -301,6 +329,9 @@ pub fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
         "drain-at-ms",
         "drain-deadline-ms",
         "stats-every",
+        "wal",
+        "compact-threshold",
+        "compact-interval-ms",
     ])?;
     let serve = parse_serve_config(&args)?;
     let stats_every = args.get::<u64>("stats-every")?;
@@ -324,6 +355,36 @@ pub fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
         load.requests, load.seed, load.mean_interarrival_ms, load.mean_service_ms
     );
 
+    // Optional durable write path (threaded mode only: the virtual-time
+    // simulator has no sink seam and no wall clock for a compactor).
+    let wal_store = match args.get_str("wal") {
+        Some(dir) => {
+            if args.get_str("mode").unwrap_or("sim") != "threaded" {
+                return Err(ArgError("--wal requires --mode threaded".into()).into());
+            }
+            use tklus_wal::{IngestStore, StdFs, StoreConfig, WalFs};
+            let defaults = StoreConfig::default();
+            let store_cfg = StoreConfig {
+                compact_threshold: args.get_or("compact-threshold", defaults.compact_threshold)?,
+                compact_interval: Duration::from_millis(
+                    args.get_or(
+                        "compact-interval-ms",
+                        defaults.compact_interval.as_millis() as u64,
+                    )?,
+                ),
+                ..defaults
+            };
+            let fs: Arc<dyn WalFs> = Arc::new(StdFs::open(dir)?);
+            let (store, open) = IngestStore::open(fs, store_cfg)?;
+            println!(
+                "wal: opened {dir} at generation {} ({} sealed + {} live posts)",
+                open.generation, open.sealed_posts, open.live_posts
+            );
+            Some(Arc::new(store))
+        }
+        None => None,
+    };
+
     match args.get_str("mode").unwrap_or("sim") {
         "sim" => {
             // Deterministic virtual-time replay: parallelism 1 keeps the
@@ -345,7 +406,7 @@ pub fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
         "threaded" => {
             let engine = Arc::new(TklusEngine::try_build(&corpus, &EngineConfig::default())?.0);
             let queries = workload(&corpus, load_seed)?;
-            run_threaded(engine, &queries, serve, &load, drain, stats_every)
+            run_threaded(engine, &queries, serve, &load, drain, stats_every, wal_store)
         }
         other => Err(ArgError(format!("--mode must be sim|threaded, got {other:?}")).into()),
     }

@@ -9,8 +9,12 @@
 //! an error, however much work was abandoned at the deadline.
 //!
 //! With `--wal DIR`, `POST /ingest` writes land in the crash-safe WAL
-//! store (DESIGN.md §15) through the admission queue's priority lane;
-//! without it, ingest answers a typed 503 `NotConfigured`.
+//! store (DESIGN.md §15) through the admission queue's priority lane,
+//! and a background compactor seals the memtable incrementally once it
+//! crosses `--compact-threshold` live posts (polling every
+//! `--compact-interval-ms`). On shutdown the compactor is stopped before
+//! the drain's final seal. Without `--wal`, ingest answers a typed 503
+//! `NotConfigured`.
 
 use crate::args::Args;
 use crate::{corpus_from, CliError};
@@ -118,6 +122,8 @@ pub fn cmd_serve_http(raw: Vec<String>) -> Result<(), CliError> {
         "max-batch",
         "drain-timeout-ms",
         "wal",
+        "compact-threshold",
+        "compact-interval-ms",
         "threads",
     ])?;
     let serve_cfg = parse_serve_config(&args)?;
@@ -134,15 +140,29 @@ pub fn cmd_serve_http(raw: Vec<String>) -> Result<(), CliError> {
 
     // Optional durable write path: open (and replay) the WAL store before
     // the listener exists, so a bound port means writes are accepted.
+    let mut wal_store: Option<Arc<tklus_wal::IngestStore>> = None;
     let sink: Option<Arc<dyn IngestSink>> = match args.get_str("wal") {
         Some(dir) => {
             use tklus_wal::{IngestStore, StdFs, StoreConfig, WalFs};
+            let defaults = StoreConfig::default();
+            let store_cfg = StoreConfig {
+                compact_threshold: args.get_or("compact-threshold", defaults.compact_threshold)?,
+                compact_interval: Duration::from_millis(
+                    args.get_or(
+                        "compact-interval-ms",
+                        defaults.compact_interval.as_millis() as u64,
+                    )?,
+                ),
+                ..defaults
+            };
             let fs: Arc<dyn WalFs> = Arc::new(StdFs::open(dir)?);
-            let (store, open) = IngestStore::open(fs, StoreConfig::default())?;
+            let (store, open) = IngestStore::open(fs, store_cfg)?;
             eprintln!(
                 "wal: opened {dir} at generation {} ({} sealed + {} live posts)",
                 open.generation, open.sealed_posts, open.live_posts
             );
+            let store = Arc::new(store);
+            wal_store = Some(Arc::clone(&store));
             Some(Arc::new(WalSink::new(store)))
         }
         None => None,
@@ -150,6 +170,18 @@ pub fn cmd_serve_http(raw: Vec<String>) -> Result<(), CliError> {
 
     let server =
         TklusServer::start_with_sink(engine, serve_cfg.clone(), sink).map_err(CliError::Usage)?;
+    // The background compactor seals the memtable once it crosses the
+    // threshold, keeping live-candidate scoring bounded under sustained
+    // `POST /ingest`. Started after the server so a bind failure never
+    // leaves a compactor thread behind.
+    let compactor = wal_store.as_ref().map(|store| store.spawn_compactor());
+    if let Some(store) = &wal_store {
+        eprintln!(
+            "wal: background compactor sealing at {} live posts (poll {} ms)",
+            store.store_config().compact_threshold,
+            store.store_config().compact_interval.as_millis(),
+        );
+    }
     let handle = serve(server, http_cfg.clone())
         .map_err(|e| CliError::General(format!("bind {}: {e}", http_cfg.addr)))?;
     // The contract line scripts scrape (port 0 resolves here).
@@ -172,6 +204,12 @@ pub fn cmd_serve_http(raw: Vec<String>) -> Result<(), CliError> {
     }
 
     eprintln!("signal received; draining ...");
+    // Stop the compactor *before* the drain's final seal: a background
+    // round mid-build would otherwise contend with it for the compaction
+    // gate and the final seal could absorb a stale snapshot.
+    if let Some(compactor) = compactor {
+        compactor.stop();
+    }
     let report = handle.shutdown();
     println!(
         "shutdown: {} connections open at signal; drain: {} completed, {} abandoned in queue, \
@@ -181,5 +219,18 @@ pub fn cmd_serve_http(raw: Vec<String>) -> Result<(), CliError> {
         report.drain.abandoned_queued.len(),
         report.drain.in_flight_at_deadline,
     );
+    if let Some(store) = &wal_store {
+        // Every drained ingest is acked in the WAL; the final seal folds
+        // them into the immutable form so the next open replays nothing.
+        match store.compact() {
+            Ok(true) => eprintln!(
+                "wal: final seal wrote generation {} ({} posts sealed)",
+                store.generation(),
+                store.acked_posts()
+            ),
+            Ok(false) => eprintln!("wal: final seal found nothing live to seal"),
+            Err(e) => eprintln!("wal: final seal failed: {e}"),
+        }
+    }
     Ok(())
 }

@@ -5,27 +5,33 @@
 //! HTTP: each [`WalError`] variant's *name* is carried verbatim as the
 //! stable `kind` in the 503/409 body, so a client (or an operator's
 //! alert rule) can tell a dead disk (`Io`) from a poisoned live index
-//! (`Poisoned`) without parsing prose.
+//! (`Poisoned`) without parsing prose. The store's compaction outcome
+//! counters cross the same seam as [`SinkHealth`], so `/health` can say
+//! "the store has stopped sealing" without the serving layer knowing
+//! what a compaction is.
 
+use std::sync::Arc;
 use tklus_model::Post;
-use tklus_serve::{IngestSink, SinkError};
+use tklus_serve::{IngestSink, SinkError, SinkHealth};
 use tklus_wal::{IngestStore, WalError};
 
 /// The production sink: a crash-safe [`IngestStore`] behind the serve
 /// crate's trait. The store is internally synchronized (`ingest` takes
-/// `&self`), so worker threads call straight through.
+/// `&self`), so worker threads call straight through. Shared as an
+/// `Arc` so the serving path's background compactor can hold the same
+/// store.
 pub struct WalSink {
-    store: IngestStore,
+    store: Arc<IngestStore>,
 }
 
 impl WalSink {
     /// Wraps an opened store.
-    pub fn new(store: IngestStore) -> Self {
+    pub fn new(store: Arc<IngestStore>) -> Self {
         Self { store }
     }
 
     /// The wrapped store (e.g. for a shutdown-time seal or stats read).
-    pub fn store(&self) -> &IngestStore {
+    pub fn store(&self) -> &Arc<IngestStore> {
         &self.store
     }
 }
@@ -33,6 +39,20 @@ impl WalSink {
 impl IngestSink for WalSink {
     fn ingest(&self, post: Post) -> Result<u64, SinkError> {
         self.store.ingest(post).map_err(sink_error)
+    }
+
+    fn health(&self) -> Option<SinkHealth> {
+        let stats = self.store.compaction_stats();
+        let detail = match (&stats.last_error, stats.consecutive_failures) {
+            (_, 0) => format!("{} compactions sealed", stats.successes_total),
+            (Some(err), n) => format!("compaction failing ({n} consecutive): {err}"),
+            (None, n) => format!("compaction failing ({n} consecutive)"),
+        };
+        Some(SinkHealth {
+            persistent_failure: stats.persistent_failure,
+            maintenance_failures: stats.failures_total,
+            detail,
+        })
     }
 }
 
@@ -89,5 +109,17 @@ mod tests {
             assert_eq!(sink.conflict, conflict, "{kind}");
             assert_eq!(sink.message, display);
         }
+    }
+
+    #[test]
+    fn sink_health_mirrors_compaction_stats() {
+        let (fs, _) = tklus_wal::SimFs::new(31);
+        let fs: Arc<dyn tklus_wal::WalFs> = fs;
+        let (store, _) = IngestStore::open(fs, tklus_wal::StoreConfig::default()).unwrap();
+        let sink = WalSink::new(Arc::new(store));
+        let health = IngestSink::health(&sink).unwrap();
+        assert!(!health.persistent_failure);
+        assert_eq!(health.maintenance_failures, 0);
+        assert!(health.detail.contains("0 compactions sealed"));
     }
 }

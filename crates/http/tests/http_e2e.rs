@@ -437,7 +437,7 @@ fn ingest_lands_in_the_wal_and_duplicates_conflict() {
     let engine = engine();
     let fs: Arc<dyn WalFs> = Arc::new(StdFs::open(&dir).expect("open wal dir"));
     let (store, _report) = IngestStore::open(fs, StoreConfig::default()).expect("open store");
-    let sink = Arc::new(WalSink::new(store));
+    let sink = Arc::new(WalSink::new(Arc::new(store)));
     let server = TklusServer::start_with_sink(
         engine,
         ServeConfig::default(),
@@ -463,6 +463,65 @@ fn ingest_lands_in_the_wal_and_duplicates_conflict() {
         post(handle.addr(), "/ingest", "{\"id\":2,\"user\":8,\"lat\":0,\"lon\":0,\"text\":\"x\"}");
     assert_eq!(status, 200);
     handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_compactor_advances_generation_under_http_ingest() {
+    let dir = std::env::temp_dir().join(format!("tklus-http-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = engine();
+    let fs: Arc<dyn WalFs> = Arc::new(StdFs::open(&dir).expect("open wal dir"));
+    let store_cfg = StoreConfig {
+        compact_threshold: 8,
+        compact_interval: Duration::from_millis(5),
+        ..StoreConfig::default()
+    };
+    let (store, _report) = IngestStore::open(fs, store_cfg).expect("open store");
+    let store = Arc::new(store);
+    let sink = Arc::new(WalSink::new(Arc::clone(&store)));
+    let server = TklusServer::start_with_sink(
+        engine,
+        ServeConfig::default(),
+        Some(sink as Arc<dyn IngestSink>),
+    )
+    .expect("server starts");
+    let handle = serve(server, HttpConfig::default()).expect("front-end binds");
+    // The serving-path wiring under test: compactor spawned alongside the
+    // listener, exactly as `tklus serve-http --wal` does.
+    let compactor = store.spawn_compactor();
+    assert_eq!(store.generation(), 0);
+
+    // Ingest past the threshold over the wire.
+    for id in 1..=20u64 {
+        let body = format!(
+            "{{\"id\":{id},\"user\":{},\"lat\":43.6,\"lon\":-79.4,\"text\":\"hotel stream\"}}",
+            id % 5 + 1
+        );
+        let (status, _, resp) = post(handle.addr(), "/ingest", &body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    }
+
+    // The compactor polls every 5 ms; the seal must land shortly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while store.generation() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        store.generation() >= 1,
+        "compactor never sealed: {} live posts at generation {}",
+        store.live_posts(),
+        store.generation()
+    );
+    assert_eq!(store.acked_posts(), 20, "a seal must not drop acked posts");
+
+    // Drain ordering from the serving paths: compactor stops before the
+    // final shutdown seal, which folds any remaining live posts.
+    compactor.stop();
+    handle.shutdown();
+    store.compact().expect("final seal");
+    assert_eq!(store.live_posts(), 0);
+    assert_eq!(store.acked_posts(), 20);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

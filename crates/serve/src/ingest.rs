@@ -16,6 +16,30 @@ use tklus_model::Post;
 pub trait IngestSink: Send + Sync {
     /// Durably ingest one post.
     fn ingest(&self, post: Post) -> Result<u64, SinkError>;
+
+    /// The sink's own health, if it has any to report. `None` (the
+    /// default) means "nothing to say" — the serving layer adds no
+    /// probe. The production WAL sink reports its background compactor's
+    /// failure state here so `/health` goes unhealthy when the store has
+    /// stopped sealing.
+    fn health(&self) -> Option<SinkHealth> {
+        None
+    }
+}
+
+/// A sink's self-reported health (see [`IngestSink::health`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SinkHealth {
+    /// True when the sink's maintenance machinery is persistently
+    /// failing (e.g. compaction has failed several times in a row) and
+    /// operator attention is needed. Renders the `/health` overall
+    /// status unhealthy.
+    pub persistent_failure: bool,
+    /// Total maintenance failures observed (monotone counter; exported
+    /// as `tklus_wal_compaction_failures_total` for the WAL sink).
+    pub maintenance_failures: u64,
+    /// Human-readable probe detail.
+    pub detail: String,
 }
 
 /// A typed sink failure. `kind` is the stable error-class name (the WAL

@@ -45,7 +45,7 @@ pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerPanel, BreakerState, CircuitBreaker, ProbeGrant};
 pub use config::{DegradePolicy, ServeConfig};
-pub use ingest::{IngestFailure, IngestSink, SinkError};
+pub use ingest::{IngestFailure, IngestSink, SinkError, SinkHealth};
 pub use queue::{AdmissionCounters, AdmissionQueue, AdmitResult, Popped, QueuedEntry};
 pub use reject::{Rejected, ServeError};
 pub use server::{DrainReport, IngestTicket, Ticket, TklusServer};

@@ -305,25 +305,47 @@ impl TklusServer {
         self.submit(query, ranking, priority, deadline)?.wait()
     }
 
-    /// The current health/readiness report.
+    /// The current health/readiness report. When a sink is attached and
+    /// reports its own health (the WAL sink's compaction state), a
+    /// `sink:compaction` probe is appended — persistent maintenance
+    /// failure renders the whole report unhealthy.
     pub fn health(&self) -> HealthReport {
         let now_ms = self.shared.now_ms();
+        let sink_health = self.shared.sink.as_ref().and_then(|s| s.health());
         let state = self.shared.state.lock().expect("serve lock poisoned");
-        build_report(&Self::observe(now_ms, &state, &self.shared.cfg), &state.panel)
+        let mut report =
+            build_report(&Self::observe(now_ms, &state, &self.shared.cfg), &state.panel);
+        drop(state);
+        if let Some(sink) = sink_health {
+            let health = if sink.persistent_failure {
+                tklus_metrics::Health::Unhealthy
+            } else {
+                tklus_metrics::Health::Healthy
+            };
+            report.probe(tklus_metrics::Probe::new("sink:compaction", health, sink.detail));
+        }
+        report
     }
 
     /// One coherent registry snapshot: the engine's query/storage/cache
     /// metrics plus the serving-layer `tklus_serve_*` counters, captured
-    /// under the same admission lock the health report uses.
+    /// under the same admission lock the health report uses. A sink that
+    /// reports health also contributes
+    /// `tklus_wal_compaction_failures_total`.
     pub fn metrics_snapshot(&self) -> tklus_metrics::RegistrySnapshot {
         let now_ms = self.shared.now_ms();
+        let sink_health = self.shared.sink.as_ref().and_then(|s| s.health());
         let state = self.shared.state.lock().expect("serve lock poisoned");
-        let base = self.shared.engine.metrics_snapshot().unwrap_or_default();
-        crate::metrics::inject_serve_rows(
-            base,
+        let mut snap = crate::metrics::inject_serve_rows(
+            self.shared.engine.metrics_snapshot().unwrap_or_default(),
             &Self::observe(now_ms, &state, &self.shared.cfg),
             &state.panel,
-        )
+        );
+        drop(state);
+        if let Some(sink) = sink_health {
+            snap.set_counter("tklus_wal_compaction_failures_total", sink.maintenance_failures);
+        }
+        snap
     }
 
     /// Captures the gauge snapshot both surfaces above render from.

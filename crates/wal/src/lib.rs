@@ -46,6 +46,9 @@ pub use fs::{SimFs, StdFs, WalFs};
 pub use log::{
     parse_segment_name, replay, segment_name, FsyncPolicy, RecoveryReport, WalConfig, WalWriter,
 };
-pub use memtable::MemtableIndex;
+pub use memtable::{MemtableIndex, DEFAULT_PACK_THRESHOLD};
 pub use record::{decode_record, encode_record, WalRecord};
-pub use store::{BoundsAudit, CompactorHandle, IngestStore, OpenReport, StoreConfig, MANIFEST};
+pub use store::{
+    parse_seal_name, seal_name, BoundsAudit, CompactionReport, CompactionStrategy, CompactorHandle,
+    IngestStore, OpenReport, StoreConfig, MANIFEST,
+};

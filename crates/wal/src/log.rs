@@ -128,6 +128,12 @@ pub struct RecoveryReport {
     pub truncate_reason: Option<String>,
     /// Highest ordinal seen; the writer's next segment is this + 1.
     pub max_ordinal: Option<u64>,
+    /// `(ordinal, highest record seq)` per non-empty segment, ordinal
+    /// order. Compaction's fenced trim consults this: a segment may be
+    /// removed only once every seq it holds is at or below the sealed
+    /// fence — with off-latch builds, records acked *during* a build land
+    /// in pre-rotation segments and must survive the trim.
+    pub segment_max_seqs: Vec<(u64, u64)>,
 }
 
 /// Scans every WAL segment in the store, truncating the final segment at
@@ -178,13 +184,17 @@ pub fn replay(fs: &dyn WalFs) -> Result<(Vec<WalRecord>, RecoveryReport), WalErr
 
         // Frames.
         let mut offset = SEG_HEADER;
+        let mut seg_max_seq: Option<u64> = None;
         loop {
             match decode_step(&buf, offset) {
                 FrameStep::CleanEnd => break,
                 FrameStep::Frame { payload_start, len, next } => {
                     let payload = &buf[payload_start..payload_start + len];
                     match decode_record(payload) {
-                        Ok(rec) => records.push(rec),
+                        Ok(rec) => {
+                            seg_max_seq = Some(seg_max_seq.map_or(rec.seq, |m| m.max(rec.seq)));
+                            records.push(rec);
+                        }
                         Err(detail) => {
                             // The frame CRC validated, so the payload is
                             // exactly what was written: a torn write
@@ -213,6 +223,9 @@ pub fn replay(fs: &dyn WalFs) -> Result<(Vec<WalRecord>, RecoveryReport), WalErr
                     break;
                 }
             }
+        }
+        if let Some(max_seq) = seg_max_seq {
+            report.segment_max_seqs.push((*ordinal, max_seq));
         }
     }
     report.records_replayed = records.len();
@@ -390,6 +403,7 @@ mod tests {
         assert_eq!(records, (1..=20).map(rec).collect::<Vec<_>>());
         assert_eq!(report.truncated_bytes, 0);
         assert_eq!(report.max_ordinal, Some(0));
+        assert_eq!(report.segment_max_seqs, vec![(0, 20)]);
     }
 
     #[test]
@@ -404,6 +418,10 @@ mod tests {
         let (records, report) = replay(fs.as_ref()).unwrap();
         assert_eq!(records, (1..=50).map(rec).collect::<Vec<_>>());
         assert!(report.segments_scanned > 1);
+        // Per-segment max seqs partition the record range in ordinal order.
+        assert_eq!(report.segment_max_seqs.len(), report.segments_scanned);
+        assert!(report.segment_max_seqs.windows(2).all(|w| w[0].1 < w[1].1));
+        assert_eq!(report.segment_max_seqs.last().unwrap().1, 50);
     }
 
     #[test]

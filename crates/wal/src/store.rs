@@ -11,8 +11,10 @@
 //!               metadata over ALL     (mutated in place)
 //!               acked posts)
 //!                      ▲
-//!                      └── compaction: seal files + MANIFEST swap,
-//!                          engine rebuilt over everything, WAL trimmed
+//!                      └── compaction: touched geohash partitions
+//!                          rewritten, untouched ones carried forward
+//!                          by name; built OFF the latch, installed by
+//!                          a seq-fenced swap under the write latch
 //! ```
 //!
 //! The engine's inverted index covers only *sealed* posts; its metadata
@@ -34,16 +36,49 @@
 //!   and a user outside the sealed top-k with no live tweet is dominated
 //!   by k users in the merged set.
 //!
+//! # Incremental, off-latch compaction
+//!
+//! Seal files are partitioned by the leading geohash character — the
+//! paper's coarse spatial grouping — and the manifest names one file per
+//! partition, LSM-style: a compaction rewrites only the partitions the
+//! live memtable actually touched and **carries forward** every other
+//! partition's file by name, so seal I/O is proportional to the delta's
+//! spatial footprint, not the corpus.
+//!
+//! The protocol has three phases:
+//!
+//! 1. **Snapshot** (read lock): record the seq fence (the highest acked
+//!    seq), clone the acked set, and note which partitions the live
+//!    records touch. Ingest resumes the moment the lock drops.
+//! 2. **Build** (no lock): rebuild the engine over the snapshot, write
+//!    the touched partitions' replacement seal files (fsynced), and stage
+//!    `MANIFEST.tmp` — fsynced but **not** renamed. Queries and ingest
+//!    run concurrently throughout.
+//! 3. **Swap** (write lock): `MANIFEST.tmp → MANIFEST` is the atomic
+//!    commit point; then install the built engine, advance the sealed
+//!    prefix to the fence, and re-apply the records acked *during* the
+//!    build (their seqs are above the fence) onto a fresh memtable —
+//!    they stay live and are absorbed by the next round. The latch is
+//!    held only for the rename plus the suffix replay, never for the
+//!    O(corpus) build.
+//!
 //! # Crash safety
 //!
 //! An ingest is acked only after its WAL frame is appended (and, under
 //! [`FsyncPolicy::Always`], fsynced). Recovery replays the log over the
 //! sealed state named by `MANIFEST`, skipping records compaction already
 //! absorbed (`seq ≤ sealed_seq`), truncating the final segment's torn
-//! tail, and refusing mid-log corruption. Compaction writes seal files,
-//! fsyncs them, then swaps `MANIFEST.tmp → MANIFEST` atomically; a crash
-//! anywhere leaves either the old manifest (WAL still replays everything)
-//! or the new one (replay skips the sealed prefix) — never a mix.
+//! tail, and refusing mid-log corruption. A crash anywhere in the
+//! compaction schedule leaves either the old manifest (the WAL still
+//! replays everything above the old fence) or the new one (replay skips
+//! the newly sealed prefix) — never a mix; partition files staged by a
+//! build that never committed are unreferenced and swept at reopen.
+//!
+//! The WAL trim after a swap is **seq-fenced**: a segment is removed only
+//! when every record it holds is at or below the fence. Records acked
+//! during an off-latch build land in pre-rotation segments but carry
+//! post-fence seqs, so the trim keeps their segments alive until a later
+//! round absorbs them.
 //!
 //! # Failure containment
 //!
@@ -52,17 +87,22 @@
 //! state from the acked set — the in-memory equivalent of a WAL redo. If
 //! *that* also fails the store latches [`WalError::Poisoned`]: every call
 //! fails fast, no query ever observes a half-applied tweet, and reopening
-//! recovers from durable state.
+//! recovers from durable state. Compaction failures are counted in
+//! [`IngestStore::compaction_stats`]; the background compactor backs off
+//! exponentially on repeated failure and the serving layer surfaces the
+//! persistent-failure flag through `/health`.
+//!
+//! [`FsyncPolicy::Always`]: crate::log::FsyncPolicy::Always
 
 use crate::error::WalError;
 use crate::frame::{decode_step, encode_frame, FrameStep};
 use crate::fs::WalFs;
-use crate::log::{parse_segment_name, replay, segment_name, RecoveryReport, WalConfig, WalWriter};
-use crate::memtable::MemtableIndex;
+use crate::log::{parse_segment_name, replay, RecoveryReport, WalConfig, WalWriter};
+use crate::memtable::{MemtableIndex, DEFAULT_PACK_THRESHOLD};
 use crate::record::{decode_record, encode_record, WalRecord};
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tklus_core::score::{tweet_keyword_score, user_score};
@@ -77,6 +117,25 @@ const MANIFEST_MAGIC: &str = "TKLUSMANIFEST 1";
 pub const MANIFEST: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
 
+/// Consecutive compaction failures after which the store reports
+/// persistent failure (and `/health` goes unhealthy).
+const PERSISTENT_FAILURE_THRESHOLD: u64 = 3;
+/// Ceiling for the background compactor's exponential backoff.
+const MAX_COMPACTOR_BACKOFF: Duration = Duration::from_secs(5);
+
+/// How [`IngestStore::compact`] schedules its work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionStrategy {
+    /// Seal under the write latch held for the whole build, rewriting
+    /// every partition each generation — the pre-incremental behaviour,
+    /// kept as the `compaction_stall` bench baseline.
+    FullLatch,
+    /// Snapshot under a read lock, build the replacement partitions and
+    /// engine off the latch, then take the write latch only for the
+    /// seq-fenced manifest swap. Rewrites only touched partitions.
+    Incremental,
+}
+
 /// Ingest store configuration.
 #[derive(Clone)]
 pub struct StoreConfig {
@@ -87,8 +146,14 @@ pub struct StoreConfig {
     /// Background compactor: seal once this many posts are live. The
     /// synchronous [`IngestStore::compact`] ignores it.
     pub compact_threshold: usize,
-    /// Background compactor poll interval.
+    /// Background compactor poll interval (also the base of its failure
+    /// backoff).
     pub compact_interval: Duration,
+    /// Compaction scheduling (off-latch incremental by default).
+    pub strategy: CompactionStrategy,
+    /// Memtable delta index: pack a term/cell list into §13 block
+    /// postings once this many posts are live (`usize::MAX` disables).
+    pub delta_index_threshold: usize,
 }
 
 impl Default for StoreConfig {
@@ -98,6 +163,8 @@ impl Default for StoreConfig {
             wal: WalConfig::default(),
             compact_threshold: 1024,
             compact_interval: Duration::from_millis(20),
+            strategy: CompactionStrategy::Incremental,
+            delta_index_threshold: DEFAULT_PACK_THRESHOLD,
         }
     }
 }
@@ -120,7 +187,8 @@ pub struct OpenReport {
 struct Manifest {
     generation: u64,
     sealed_seq: u64,
-    /// `(file name, record count)` pairs, in manifest order.
+    /// `(file name, record count)` pairs, in manifest order. Files from
+    /// older generations carried forward keep their original names.
     files: Vec<(String, usize)>,
 }
 
@@ -205,8 +273,24 @@ impl Manifest {
 }
 
 /// The name of generation `generation`'s seal file for geohash group `g`.
-fn seal_name(generation: u64, group: char) -> String {
+pub fn seal_name(generation: u64, group: char) -> String {
     format!("seal-{generation:08}-{group}.log")
+}
+
+/// Parses a seal-file name back to `(generation, group)`; `None` when
+/// the name is not of [`seal_name`]'s form.
+pub fn parse_seal_name(name: &str) -> Option<(u64, char)> {
+    let rest = name.strip_prefix("seal-")?.strip_suffix(".log")?;
+    let (digits, tail) = rest.split_once('-')?;
+    if digits.len() != 8 {
+        return None;
+    }
+    let mut chars = tail.chars();
+    let group = chars.next()?;
+    if chars.next().is_some() {
+        return None;
+    }
+    Some((digits.parse().ok()?, group))
 }
 
 /// Mutable state under the store's lock.
@@ -217,36 +301,78 @@ struct Inner {
     /// Every acked record, sequence order. `acked[..sealed_len]` is the
     /// sealed prefix the engine's index covers.
     acked: Vec<WalRecord>,
+    /// Geohash partition (leading geohash character) per acked record,
+    /// parallel to `acked`. Stable across reopen: the geohash length is
+    /// configuration, not state.
+    groups: Vec<char>,
     sealed_len: usize,
     /// Tweet id → index into `acked` (duplicate detection, ancestor text).
     by_id: HashMap<TweetId, usize>,
     /// Direct-reply fan-out per target, over all acked posts (feeds the
     /// loosen-only global bound).
     fanout: HashMap<TweetId, usize>,
+    /// Highest acked seq per WAL segment ordinal. The seq-fenced trim
+    /// consults this: a segment may be removed only once every record it
+    /// holds is at or below the sealed fence.
+    segment_max_seq: HashMap<u64, u64>,
     next_seq: u64,
+    /// Highest seq ever acked — the compaction fence source, tracked
+    /// incrementally instead of re-scanning `acked`.
+    max_seq: u64,
     sealed_seq: u64,
     generation: u64,
+    /// The manifest's current partition files: group → (name, records).
+    seal_files: BTreeMap<char, (String, usize)>,
     poisoned: bool,
 }
 
+/// Counters behind [`IngestStore::compaction_stats`].
+#[derive(Default)]
+struct CompactionStats {
+    successes: AtomicU64,
+    failures: AtomicU64,
+    consecutive_failures: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+/// A snapshot of compaction outcomes, for metrics and health reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Rounds that completed (including empty-memtable no-ops).
+    pub successes_total: u64,
+    /// Rounds that returned an error.
+    pub failures_total: u64,
+    /// Failures since the last success.
+    pub consecutive_failures: u64,
+    /// True once `consecutive_failures` reaches the persistence
+    /// threshold — the store is not sealing and needs attention.
+    pub persistent_failure: bool,
+    /// The most recent failure's rendering, if any failure ever happened.
+    pub last_error: Option<String>,
+}
+
 /// The crash-safe streaming ingest store. Cheaply shareable across
-/// threads behind an `Arc`; ingest/compaction take the write lock,
-/// queries the read lock, so a query can never observe an ingest half
-/// applied.
+/// threads behind an `Arc`; ingest takes the write lock, queries the
+/// read lock, so a query can never observe an ingest half applied.
+/// Incremental compaction holds the write lock only for its final swap.
 pub struct IngestStore {
     fs: Arc<dyn WalFs>,
     config: StoreConfig,
     inner: RwLock<Inner>,
+    /// Serializes compaction rounds (background + synchronous callers).
+    compact_gate: Mutex<()>,
+    stats: CompactionStats,
 }
 
 impl IngestStore {
-    /// Opens the store: loads the manifest's sealed state, replays the
-    /// WAL (healing a torn tail), rebuilds the live memtable, and starts
-    /// a fresh WAL segment. Idempotent — opening twice in a row changes
+    /// Opens the store: loads the manifest's sealed partitions, sweeps
+    /// stray files an uncommitted build left behind, replays the WAL
+    /// (healing a torn tail), rebuilds the live memtable, and starts a
+    /// fresh WAL segment. Idempotent — opening twice in a row changes
     /// nothing the second time.
     pub fn open(fs: Arc<dyn WalFs>, config: StoreConfig) -> Result<(Self, OpenReport), WalError> {
-        let files = fs.list()?;
-        let manifest = if files.iter().any(|f| f == MANIFEST) {
+        let listing = fs.list()?;
+        let manifest = if listing.iter().any(|f| f == MANIFEST) {
             Manifest::decode(&fs.read(MANIFEST)?)?
         } else {
             Manifest::default()
@@ -256,7 +382,16 @@ impl IngestStore {
         // fsynced before the manifest swap, so any invalid frame here is
         // real corruption, never a torn tail.
         let mut sealed: Vec<WalRecord> = Vec::new();
+        let mut seal_files: BTreeMap<char, (String, usize)> = BTreeMap::new();
         for (name, count) in &manifest.files {
+            let Some((_, group)) = parse_seal_name(name) else {
+                return Err(WalError::Corrupt {
+                    path: MANIFEST.to_string(),
+                    offset: 0,
+                    detail: format!("manifest names unparseable seal file {name:?}"),
+                });
+            };
+            seal_files.insert(group, (name.clone(), *count));
             let buf = fs.read(name)?;
             let mut offset = 0;
             let mut in_file = 0usize;
@@ -293,6 +428,19 @@ impl IngestStore {
             }
         }
         sealed.sort_by_key(|r| r.seq);
+
+        // Sweep what an uncommitted build left behind: partition files no
+        // manifest names and a staged-but-unrenamed manifest. Both are
+        // invisible to recovery (the rename never happened), so removing
+        // them is a no-op on state — it just stops generations of strays
+        // accumulating across crash/reopen cycles.
+        let named: HashSet<&str> = manifest.files.iter().map(|(n, _)| n.as_str()).collect();
+        for name in &listing {
+            if name == MANIFEST_TMP || (name.starts_with("seal-") && !named.contains(name.as_str()))
+            {
+                fs.remove(name)?;
+            }
+        }
 
         // Live posts, from the WAL. Records compaction already absorbed
         // (seq ≤ sealed_seq) are skipped — the crash-between-swap-and-trim
@@ -335,17 +483,23 @@ impl IngestStore {
             recovery.max_ordinal.map_or(0, |o| o + 1),
         )?;
 
+        let engine = Self::build_engine(&sealed, &config.engine)?;
+        let groups: Vec<char> = sealed.iter().map(|r| Self::post_group(&engine, &r.post)).collect();
         let mut inner = Inner {
-            engine: Self::build_engine(&sealed, &config.engine)?,
-            memtable: MemtableIndex::new(),
+            engine,
+            memtable: MemtableIndex::with_pack_threshold(config.delta_index_threshold),
             wal,
             acked: sealed,
+            groups,
             sealed_len: 0,
             by_id: HashMap::new(),
             fanout: HashMap::new(),
+            segment_max_seq: recovery.segment_max_seqs.iter().copied().collect(),
             next_seq,
+            max_seq: manifest.sealed_seq,
             sealed_seq: manifest.sealed_seq,
             generation: manifest.generation,
+            seal_files,
             poisoned: false,
         };
         inner.sealed_len = inner.acked.len();
@@ -355,7 +509,13 @@ impl IngestStore {
                 *inner.fanout.entry(r.target).or_insert(0) += 1;
             }
         }
-        let store = Self { fs, config, inner: RwLock::new(inner) };
+        let store = Self {
+            fs,
+            config,
+            inner: RwLock::new(inner),
+            compact_gate: Mutex::new(()),
+            stats: CompactionStats::default(),
+        };
         {
             let mut inner = store.inner.write();
             for rec in live {
@@ -377,7 +537,9 @@ impl IngestStore {
     fn admit(&self, inner: &mut Inner, rec: WalRecord) -> Result<u64, WalError> {
         let seq = rec.seq;
         inner.by_id.insert(rec.post.id, inner.acked.len());
+        inner.groups.push(Self::post_group(&inner.engine, &rec.post));
         inner.acked.push(rec);
+        inner.max_seq = inner.max_seq.max(seq);
         let at = inner.acked.len() - 1;
         match self.apply_live(inner, at) {
             Ok(()) => Ok(seq),
@@ -424,9 +586,45 @@ impl IngestStore {
             }
         }
 
-        let cell = self.post_cell(&inner.engine, post)?;
+        let cell = Self::post_cell(&inner.engine, post)?;
         let terms = inner.engine.term_counts(&post.text);
         inner.memtable.insert(post.id, post.user, cell, &terms);
+        Ok(())
+    }
+
+    /// Re-applies `acked[from..]` — metadata, loosen-only bounds (with
+    /// *final* fan-out counts, which can only over-loosen), and memtable
+    /// postings — onto an engine that seals exactly `acked[..from]`.
+    /// Shared by the post-swap suffix replay and the poison-recovery
+    /// rebuild, so the two paths cannot drift.
+    fn replay_suffix(
+        engine: &mut TklusEngine,
+        memtable: &mut MemtableIndex,
+        acked: &[WalRecord],
+        by_id: &HashMap<TweetId, usize>,
+        fanout: &HashMap<TweetId, usize>,
+        from: usize,
+    ) -> Result<(), WalError> {
+        for at in from..acked.len() {
+            let post = acked[at].post.clone();
+            engine.try_insert_metadata(&post)?;
+            if let Some(reply) = post.in_reply_to {
+                engine.loosen_global_for_fanout(fanout[&reply.target]);
+                let mut affected = vec![post.id];
+                affected.extend(engine.try_ancestor_chain(&post)?);
+                for tid in affected {
+                    let phi = engine.try_thread_phi(tid)?;
+                    let Some(&idx) = by_id.get(&tid) else { continue };
+                    let text = acked[idx].post.text.clone();
+                    for term in engine.text_terms(&text) {
+                        engine.loosen_hot_bound(term, phi);
+                    }
+                }
+            }
+            let cell = Self::post_cell(engine, &post)?;
+            let terms = engine.term_counts(&post.text);
+            memtable.insert(post.id, post.user, cell, &terms);
+        }
         Ok(())
     }
 
@@ -436,33 +634,21 @@ impl IngestStore {
     fn rebuild_live(&self, inner: &mut Inner) -> Result<(), WalError> {
         let sealed = &inner.acked[..inner.sealed_len];
         let mut engine = Self::build_engine(sealed, &self.config.engine)?;
-        let mut memtable = MemtableIndex::new();
+        let mut memtable = self.fresh_memtable();
         let mut fanout: HashMap<TweetId, usize> = HashMap::new();
         for rec in &inner.acked {
             if let Some(r) = rec.post.in_reply_to {
                 *fanout.entry(r.target).or_insert(0) += 1;
             }
         }
-        for at in inner.sealed_len..inner.acked.len() {
-            let post = inner.acked[at].post.clone();
-            engine.try_insert_metadata(&post)?;
-            if let Some(reply) = post.in_reply_to {
-                engine.loosen_global_for_fanout(fanout[&reply.target]);
-                let mut affected = vec![post.id];
-                affected.extend(engine.try_ancestor_chain(&post)?);
-                for tid in affected {
-                    let phi = engine.try_thread_phi(tid)?;
-                    let Some(&idx) = inner.by_id.get(&tid) else { continue };
-                    let text = inner.acked[idx].post.text.clone();
-                    for term in engine.text_terms(&text) {
-                        engine.loosen_hot_bound(term, phi);
-                    }
-                }
-            }
-            let cell = self.post_cell(&engine, &post)?;
-            let terms = engine.term_counts(&post.text);
-            memtable.insert(post.id, post.user, cell, &terms);
-        }
+        Self::replay_suffix(
+            &mut engine,
+            &mut memtable,
+            &inner.acked,
+            &inner.by_id,
+            &fanout,
+            inner.sealed_len,
+        )?;
         inner.engine = engine;
         inner.memtable = memtable;
         inner.fanout = fanout;
@@ -470,12 +656,28 @@ impl IngestStore {
         Ok(())
     }
 
-    fn post_cell(&self, engine: &TklusEngine, post: &Post) -> Result<Geohash, WalError> {
+    fn post_cell(engine: &TklusEngine, post: &Post) -> Result<Geohash, WalError> {
         encode(&post.location, engine.index().geohash_len()).map_err(|e| WalError::Corrupt {
             path: String::new(),
             offset: 0,
             detail: format!("post location failed to encode: {e:?}"),
         })
+    }
+
+    /// The post's seal partition: its geohash's leading character.
+    /// Infallible so `groups` stays parallel to `acked` on every path;
+    /// the `'0'` fallback is unreachable in practice because
+    /// [`Self::apply_live`] refuses posts whose location will not encode.
+    fn post_group(engine: &TklusEngine, post: &Post) -> char {
+        encode(&post.location, engine.index().geohash_len())
+            .ok()
+            .and_then(|cell| cell.to_string().chars().next())
+            .unwrap_or('0')
+    }
+
+    /// A memtable tuned to this store's delta-index threshold.
+    fn fresh_memtable(&self) -> MemtableIndex {
+        MemtableIndex::with_pack_threshold(self.config.delta_index_threshold)
     }
 
     /// Ingests one post: duplicate check, durable WAL append, live apply.
@@ -499,6 +701,12 @@ impl IngestStore {
         let rec = WalRecord { seq: inner.next_seq, post };
         inner.next_seq += 1;
         inner.wal.append(&rec)?;
+        // `append` rotates *before* writing, so the current ordinal is
+        // the segment this record landed in — record it for the fenced
+        // trim before anything can fail.
+        let ordinal = inner.wal.current_ordinal();
+        let entry = inner.segment_max_seq.entry(ordinal).or_insert(rec.seq);
+        *entry = (*entry).max(rec.seq);
         self.admit(&mut inner, rec)
     }
 
@@ -595,7 +803,13 @@ impl IngestStore {
                 .expect("index geohash length is valid");
         let keywords: Vec<Option<String>> =
             q.keywords.iter().map(|kw| engine.normalize_keyword(kw)).collect();
-        let cands = inner.memtable.candidates(&cover, &keywords, q.semantics);
+        let cands = inner.memtable.candidates(&cover, &keywords, q.semantics).map_err(|e| {
+            WalError::Corrupt {
+                path: "<memtable delta index>".to_string(),
+                offset: 0,
+                detail: format!("packed postings decode failed: {e}"),
+            }
+        })?;
         let mut rows = Vec::new();
         for (tid, tf) in cands {
             if !q.in_time_range(tid.0) {
@@ -614,11 +828,155 @@ impl IngestStore {
         Ok(rows)
     }
 
-    /// Seals every live post into persisted geohash partitions and swaps
-    /// the manifest atomically, then rebuilds the engine over the full
-    /// corpus, clears the memtable, and trims absorbed WAL segments.
+    /// Runs one compaction round under the configured
+    /// [`CompactionStrategy`], recording the outcome for
+    /// [`Self::compaction_stats`]. Rounds are serialized by an internal
+    /// gate, so background and synchronous callers never interleave.
     /// Returns `true` when something was sealed.
     pub fn compact(&self) -> Result<bool, WalError> {
+        let _gate = self.compact_gate.lock();
+        let result = match self.config.strategy {
+            CompactionStrategy::Incremental => self.compact_incremental(),
+            CompactionStrategy::FullLatch => self.compact_full_latch(),
+        };
+        match &result {
+            Ok(_) => {
+                self.stats.successes.fetch_add(1, Ordering::Relaxed);
+                self.stats.consecutive_failures.store(0, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+                *self.stats.last_error.lock() = Some(e.to_string());
+            }
+        }
+        result
+    }
+
+    /// Compaction outcome counters (metrics, `/health`).
+    pub fn compaction_stats(&self) -> CompactionReport {
+        let consecutive = self.stats.consecutive_failures.load(Ordering::Relaxed);
+        CompactionReport {
+            successes_total: self.stats.successes.load(Ordering::Relaxed),
+            failures_total: self.stats.failures.load(Ordering::Relaxed),
+            consecutive_failures: consecutive,
+            persistent_failure: consecutive >= PERSISTENT_FAILURE_THRESHOLD,
+            last_error: self.stats.last_error.lock().clone(),
+        }
+    }
+
+    /// The off-latch incremental round (module docs, "Incremental,
+    /// off-latch compaction"). The write latch is held only for the
+    /// manifest rename and the replay of records acked during the build.
+    fn compact_incremental(&self) -> Result<bool, WalError> {
+        // Phase 1 — snapshot under the read lock: the fence, the acked
+        // set, and which partitions the live records touch. Untouched
+        // partitions' files are carried forward by name: their record
+        // sets are exactly the old sealed prefix's (every live record's
+        // partition is in `touched` by construction).
+        let (snapshot, snapshot_groups, touched, carried, generation, fence) = {
+            let inner = self.inner.read();
+            if inner.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if inner.memtable.is_empty() {
+                return Ok(false);
+            }
+            let touched: BTreeSet<char> =
+                inner.groups[inner.sealed_len..].iter().copied().collect();
+            let carried: BTreeMap<char, (String, usize)> = inner
+                .seal_files
+                .iter()
+                .filter(|(g, _)| !touched.contains(g))
+                .map(|(g, f)| (*g, f.clone()))
+                .collect();
+            (
+                inner.acked.clone(),
+                inner.groups.clone(),
+                touched,
+                carried,
+                inner.generation + 1,
+                inner.max_seq,
+            )
+        };
+
+        // Phase 2 — build outside any lock: the replacement engine, the
+        // touched partitions' seal files, and the staged manifest.
+        // Nothing here is visible to recovery until the rename below; on
+        // error the staged files are swept (and reopen sweeps whatever a
+        // crash leaves).
+        let engine = Self::build_engine(&snapshot, &self.config.engine)?;
+        let mut files = carried;
+        let mut created = Vec::new();
+        if let Err(e) = self.stage_partitions(
+            generation,
+            fence,
+            &snapshot,
+            &snapshot_groups,
+            &touched,
+            &mut files,
+            &mut created,
+        ) {
+            self.remove_aborted(&created);
+            return Err(e);
+        }
+
+        // Phase 3 — seq-fenced validate-and-swap under the write latch.
+        let mut inner = self.inner.write();
+        if inner.poisoned {
+            drop(inner);
+            self.remove_aborted(&created);
+            return Err(WalError::Poisoned);
+        }
+        debug_assert_eq!(inner.generation + 1, generation, "compaction rounds are serialized");
+        if let Err(e) = self.fs.rename(MANIFEST_TMP, MANIFEST) {
+            drop(inner);
+            self.remove_aborted(&created);
+            return Err(e);
+        }
+        // ---- The rename is the commit point. The in-memory install
+        // below mirrors exactly what the manifest now promises: sealed =
+        // the snapshot, live = the records acked during the build (their
+        // seqs are above the fence, so recovery replays them from the
+        // WAL, which the fenced trim keeps).
+        let sealed_len = snapshot.len();
+        inner.sealed_len = sealed_len;
+        inner.sealed_seq = fence;
+        inner.generation = generation;
+        inner.seal_files = files;
+        inner.engine = engine;
+        let mut memtable = self.fresh_memtable();
+        let replayed = {
+            let inner = &mut *inner;
+            Self::replay_suffix(
+                &mut inner.engine,
+                &mut memtable,
+                &inner.acked,
+                &inner.by_id,
+                &inner.fanout,
+                sealed_len,
+            )
+        };
+        match replayed {
+            Ok(()) => inner.memtable = memtable,
+            Err(_) => {
+                // Same containment as `admit`: redo from the acked set,
+                // poison on a second failure.
+                if self.rebuild_live(&mut inner).is_err() {
+                    inner.poisoned = true;
+                    return Err(WalError::Poisoned);
+                }
+            }
+        }
+        inner.wal.rotate()?;
+        self.trim_absorbed(&mut inner)?;
+        Ok(true)
+    }
+
+    /// The pre-incremental behaviour: the write latch held for the whole
+    /// build, every partition rewritten. Kept as the `compaction_stall`
+    /// bench baseline (and a maximally-simple fallback).
+    fn compact_full_latch(&self) -> Result<bool, WalError> {
         let mut inner = self.inner.write();
         if inner.poisoned {
             return Err(WalError::Poisoned);
@@ -627,77 +985,120 @@ impl IngestStore {
             return Ok(false);
         }
         let generation = inner.generation + 1;
-        let sealed_seq = inner.acked.iter().map(|r| r.seq).max().unwrap_or(inner.sealed_seq);
-
-        // Build the post-compaction engine up front: it is pure in-memory
-        // work, so a failure here aborts before any durable mutation, and
-        // once the manifest swap (the commit point) succeeds the install
-        // below is infallible — the in-memory bookkeeping can never
-        // disagree with the manifest that committed.
+        let fence = inner.max_seq;
         let engine = Self::build_engine(&inner.acked, &self.config.engine)?;
-
-        // Group every acked post by its geohash's leading character —
-        // the paper's coarse spatial partitioning — and write one seal
-        // file per group: frames, fsync, *then* the manifest swap. The
-        // sync before the rename is load-bearing: without it the manifest
-        // could durably name files whose bytes died in the page cache
-        // (the chaos suite's SimFs models exactly that).
-        let mut groups: std::collections::BTreeMap<char, Vec<&WalRecord>> =
-            std::collections::BTreeMap::new();
-        for rec in &inner.acked {
-            let cell = self.post_cell(&inner.engine, &rec.post)?;
-            let group = cell.to_string().chars().next().unwrap_or('0');
-            groups.entry(group).or_default().push(rec);
+        let touched: BTreeSet<char> = inner.groups.iter().copied().collect();
+        let mut files = BTreeMap::new();
+        let mut created = Vec::new();
+        if let Err(e) = self.stage_partitions(
+            generation,
+            fence,
+            &inner.acked,
+            &inner.groups,
+            &touched,
+            &mut files,
+            &mut created,
+        ) {
+            self.remove_aborted(&created);
+            return Err(e);
         }
-        let mut files = Vec::with_capacity(groups.len());
-        for (group, recs) in &groups {
-            let name = seal_name(generation, *group);
+        if let Err(e) = self.fs.rename(MANIFEST_TMP, MANIFEST) {
+            self.remove_aborted(&created);
+            return Err(e);
+        }
+        // ---- The rename is the commit point (same argument as the
+        // incremental path, degenerate case: nothing was acked during
+        // the build because the latch was held throughout).
+        inner.sealed_len = inner.acked.len();
+        inner.sealed_seq = fence;
+        inner.generation = generation;
+        inner.seal_files = files;
+        inner.engine = engine;
+        inner.memtable.clear();
+        inner.wal.rotate()?;
+        self.trim_absorbed(&mut inner)?;
+        Ok(true)
+    }
+
+    /// Writes the replacement seal file for every touched partition —
+    /// all snapshot records of that partition, framed and fsynced — and
+    /// stages `MANIFEST.tmp` naming `files` (carried ∪ rewritten), also
+    /// fsynced but **not** renamed: the caller owns the commit point.
+    /// Every created name is pushed to `created` before any write to it,
+    /// so the caller can sweep a partial stage.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_partitions(
+        &self,
+        generation: u64,
+        fence: u64,
+        snapshot: &[WalRecord],
+        snapshot_groups: &[char],
+        touched: &BTreeSet<char>,
+        files: &mut BTreeMap<char, (String, usize)>,
+        created: &mut Vec<String>,
+    ) -> Result<(), WalError> {
+        for &group in touched {
+            let name = seal_name(generation, group);
             let mut bytes = Vec::new();
-            for rec in recs {
-                encode_frame(&encode_record(rec), &mut bytes);
+            let mut count = 0usize;
+            for (rec, &g) in snapshot.iter().zip(snapshot_groups) {
+                if g == group {
+                    encode_frame(&encode_record(rec), &mut bytes);
+                    count += 1;
+                }
             }
+            created.push(name.clone());
             self.fs.create(&name)?;
             self.fs.append(&name, &bytes)?;
             self.fs.sync(&name)?;
-            files.push((name, recs.len()));
+            files.insert(group, (name, count));
         }
-        let manifest = Manifest { generation, sealed_seq, files };
+        let manifest =
+            Manifest { generation, sealed_seq: fence, files: files.values().cloned().collect() };
+        created.push(MANIFEST_TMP.to_string());
         self.fs.create(MANIFEST_TMP)?;
         self.fs.append(MANIFEST_TMP, &manifest.encode())?;
         self.fs.sync(MANIFEST_TMP)?;
-        self.fs.rename(MANIFEST_TMP, MANIFEST)?;
+        Ok(())
+    }
 
-        // ---- The swap is the commit point. Everything below is cleanup
-        // and in-memory refresh; a crash from here on recovers to the
-        // same state (replay skips seq ≤ sealed_seq; stray files of older
-        // generations are invisible to the manifest and removed below or
-        // by the next compaction). The engine swap-in and memtable clear
-        // happen together under the held write lock, so no query observes
-        // the sealed index and the live postings double-counting a post.
-        inner.sealed_len = inner.acked.len();
-        inner.sealed_seq = sealed_seq;
-        inner.generation = generation;
-        inner.engine = engine;
-        inner.memtable.clear();
+    /// Best-effort sweep of a build that will not commit. The names are
+    /// from a generation no manifest names, so failure here costs disk,
+    /// never correctness — reopen sweeps strays again.
+    fn remove_aborted(&self, created: &[String]) {
+        for name in created {
+            let _ = self.fs.remove(name);
+        }
+    }
 
-        // Trim the WAL: rotate to a fresh segment, drop every older one
-        // (all their records have seq ≤ sealed_seq now), and drop seal
-        // files the new manifest no longer names.
-        inner.wal.rotate()?;
+    /// Trims durable state a committed swap absorbed. WAL segments are
+    /// removed under the **seq fence**: only when every acked record the
+    /// segment holds is at or below `sealed_seq` — records acked during
+    /// an off-latch build sit in pre-rotation segments with post-fence
+    /// seqs and must survive until a later round absorbs them. Seal
+    /// files the manifest no longer names are removed outright.
+    fn trim_absorbed(&self, inner: &mut Inner) -> Result<(), WalError> {
         let keep_ordinal = inner.wal.current_ordinal();
-        let keep_names: std::collections::HashSet<&str> =
-            manifest.files.iter().map(|(n, _)| n.as_str()).collect();
+        let fence = inner.sealed_seq;
+        let keep_names: HashSet<String> =
+            inner.seal_files.values().map(|(n, _)| n.clone()).collect();
         for name in self.fs.list()? {
-            if let Some(ord) = parse_segment_name(&name) {
-                if ord < keep_ordinal {
+            if let Some(ordinal) = parse_segment_name(&name) {
+                let absorbed = inner.segment_max_seq.get(&ordinal).is_none_or(|&max| max <= fence);
+                if ordinal < keep_ordinal && absorbed {
                     self.fs.remove(&name)?;
+                    inner.segment_max_seq.remove(&ordinal);
                 }
-            } else if name.starts_with("seal-") && !keep_names.contains(name.as_str()) {
+            } else if name.starts_with("seal-") && !keep_names.contains(&name) {
                 self.fs.remove(&name)?;
             }
         }
-        let _ = segment_name(keep_ordinal); // (name formatting shared with the writer)
-        Ok(true)
+        Ok(())
+    }
+
+    /// The configuration the store was opened with.
+    pub fn store_config(&self) -> &StoreConfig {
+        &self.config
     }
 
     /// Total acked posts (sealed + live).
@@ -719,6 +1120,11 @@ impl IngestStore {
     /// Posts in the live memtable.
     pub fn live_posts(&self) -> usize {
         self.inner.read().memtable.len()
+    }
+
+    /// Term/cell lists the live memtable has packed into block postings.
+    pub fn packed_delta_lists(&self) -> usize {
+        self.inner.read().memtable.packed_lists()
     }
 
     /// Current compaction generation.
@@ -767,17 +1173,46 @@ impl IngestStore {
 
     /// Starts the background compactor: polls every
     /// `config.compact_interval` and seals once `compact_threshold` posts
-    /// are live. Errors (including injected faults) are swallowed — the
-    /// next poll retries, and the synchronous path stays available.
+    /// are live. Failures are *counted*, not swallowed: the outcome feeds
+    /// [`Self::compaction_stats`] (so `/health` can surface a store that
+    /// never seals) and repeated failure backs the poll off exponentially
+    /// up to a few seconds instead of spin-failing every interval. The
+    /// synchronous [`Self::compact`] stays available throughout.
     pub fn spawn_compactor(self: &Arc<Self>) -> CompactorHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let store = Arc::clone(self);
         let flag = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
-            while !flag.load(Ordering::Relaxed) {
-                std::thread::sleep(store.config.compact_interval);
-                if store.live_posts() >= store.config.compact_threshold {
-                    let _ = store.compact();
+            let base = store.config.compact_interval.max(Duration::from_millis(1));
+            let mut delay = base;
+            loop {
+                // Sleep in short slices so `stop()` never waits out a
+                // multi-second backoff.
+                let mut slept = Duration::ZERO;
+                while slept < delay {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let slice = (delay - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                if store.live_posts() < store.config.compact_threshold {
+                    delay = base;
+                    continue;
+                }
+                match store.compact() {
+                    Ok(_) => delay = base,
+                    Err(_) => {
+                        let strikes =
+                            store.stats.consecutive_failures.load(Ordering::Relaxed).min(8);
+                        delay = base
+                            .saturating_mul(1u32 << (strikes as u32))
+                            .min(MAX_COMPACTOR_BACKOFF);
+                    }
                 }
             }
         });
@@ -854,6 +1289,17 @@ mod tests {
     }
 
     #[test]
+    fn seal_name_roundtrips_through_parse() {
+        assert_eq!(parse_seal_name(&seal_name(7, 'd')), Some((7, 'd')));
+        assert_eq!(parse_seal_name(&seal_name(0, '9')), Some((0, '9')));
+        assert_eq!(parse_seal_name("seal-0000000a-d.log"), None);
+        assert_eq!(parse_seal_name("seal-00000001-dd.log"), None);
+        assert_eq!(parse_seal_name("seal-001-d.log"), None);
+        assert_eq!(parse_seal_name("wal-00000001.log"), None);
+        assert_eq!(parse_seal_name("seal-00000001-d"), None);
+    }
+
+    #[test]
     fn ingest_query_reopen_cycle() {
         let (fs, _) = SimFs::new(11);
         let (store, report) = open(&fs);
@@ -899,6 +1345,86 @@ mod tests {
             store2.try_query(&query(), Ranking::Max(BoundsMode::HotKeywords)).unwrap(),
             after
         );
+    }
+
+    #[test]
+    fn full_latch_strategy_still_seals_and_answers_identically() {
+        let (fs, _) = SimFs::new(18);
+        let walfs: Arc<dyn WalFs> = Arc::clone(&fs) as Arc<dyn WalFs>;
+        let config =
+            StoreConfig { strategy: CompactionStrategy::FullLatch, ..StoreConfig::default() };
+        let (store, _) = IngestStore::open(walfs, config.clone()).unwrap();
+        for i in 1..=6 {
+            store.ingest(post(i, i, 43.70 + i as f64 * 1e-3, -79.42, "hotel by the lake")).unwrap();
+        }
+        let before = store.try_query(&query(), Ranking::Sum).unwrap();
+        assert!(store.compact().unwrap());
+        assert_eq!(store.live_posts(), 0);
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.try_query(&query(), Ranking::Sum).unwrap(), before);
+        drop(store);
+        let walfs: Arc<dyn WalFs> = Arc::clone(&fs) as Arc<dyn WalFs>;
+        let (store2, report) = IngestStore::open(walfs, config).unwrap();
+        assert_eq!(report.sealed_posts, 6);
+        assert_eq!(store2.try_query(&query(), Ranking::Sum).unwrap(), before);
+    }
+
+    #[test]
+    fn incremental_compaction_rewrites_only_touched_partitions() {
+        let (fs, _) = SimFs::new(19);
+        let (store, _) = open(&fs);
+        // Two far-apart geohash partitions: Toronto ('d') and Sydney ('r').
+        store.ingest(post(1, 10, 43.70, -79.42, "toronto hotel")).unwrap();
+        store.ingest(post(2, 11, -33.87, 151.21, "sydney hotel")).unwrap();
+        assert!(store.compact().unwrap());
+        let listing = fs.list().unwrap();
+        assert!(listing.iter().any(|n| n == &seal_name(1, 'd')), "{listing:?}");
+        assert!(listing.iter().any(|n| n == &seal_name(1, 'r')), "{listing:?}");
+        // A delta confined to Toronto rewrites only Toronto's partition;
+        // Sydney's generation-1 file is carried forward by name.
+        store.ingest(post(3, 12, 43.71, -79.41, "toronto coffee")).unwrap();
+        assert!(store.compact().unwrap());
+        let listing = fs.list().unwrap();
+        assert!(listing.iter().any(|n| n == &seal_name(2, 'd')), "{listing:?}");
+        assert!(listing.iter().any(|n| n == &seal_name(1, 'r')), "{listing:?}");
+        assert!(
+            !listing.iter().any(|n| n == &seal_name(2, 'r')),
+            "untouched partition must not be rewritten: {listing:?}"
+        );
+        assert!(!listing.iter().any(|n| n == &seal_name(1, 'd')), "{listing:?}");
+        // Reopen reads the mixed-generation manifest bit-exactly.
+        drop(store);
+        let (store2, report) = open(&fs);
+        assert_eq!(report.sealed_posts, 3);
+        assert_eq!(report.generation, 2);
+        assert!(store2.contains_post(TweetId(2)));
+    }
+
+    #[test]
+    fn compaction_failures_count_and_clear_on_success() {
+        let (sim, _) = SimFs::new(17);
+        let flaky = crate::fs::FlakyFs::new(sim);
+        let fs: Arc<dyn WalFs> = Arc::clone(&flaky) as Arc<dyn WalFs>;
+        let (store, _) = IngestStore::open(Arc::clone(&fs), StoreConfig::default()).unwrap();
+        for i in 1..=4 {
+            store.ingest(post(i, i, 43.70, -79.42, "grand hotel")).unwrap();
+        }
+        for round in 1..=3u64 {
+            flaky.fail_sync_at(1);
+            assert!(store.compact().is_err());
+            let stats = store.compaction_stats();
+            assert_eq!(stats.failures_total, round);
+            assert_eq!(stats.consecutive_failures, round);
+            assert_eq!(stats.persistent_failure, round >= 3);
+            assert!(stats.last_error.is_some());
+        }
+        assert!(store.compact().unwrap(), "store recovers once the fault clears");
+        let stats = store.compaction_stats();
+        assert_eq!(stats.successes_total, 1);
+        assert_eq!(stats.failures_total, 3);
+        assert_eq!(stats.consecutive_failures, 0);
+        assert!(!stats.persistent_failure);
+        assert_eq!(store.generation(), 1);
     }
 
     #[test]

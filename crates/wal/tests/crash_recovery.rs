@@ -1,7 +1,8 @@
 //! Crash-recovery chaos suite (the ISSUE's tentpole acceptance).
 //!
-//! One deterministic workload — ingests with WAL segment rotation, two
-//! mid-stream compactions (seal-file writes + manifest swaps), a final
+//! One deterministic workload — multi-partition ingests with WAL segment
+//! rotation, two mid-stream incremental compactions (partial partition
+//! rewrites, carried-forward seal files, manifest swaps), a final
 //! compaction — runs against [`SimFs`] with a crash scheduled at the Nth
 //! mutating filesystem operation, for **every** N the clean run performs
 //! (so every append, segment-rotate, compaction write, and manifest-swap
@@ -51,6 +52,9 @@ fn store_config() -> StoreConfig {
         // Tiny segments force rotations mid-workload, so the sweep hits
         // rotate-time crash points, not just appends.
         wal: WalConfig { segment_bytes: 256, fsync: FsyncPolicy::Always },
+        // Pack memtable delta lists almost immediately, so post-recovery
+        // queries exercise the block-postings path, not just the tails.
+        delta_index_threshold: 2,
         ..StoreConfig::default()
     }
 }
@@ -58,7 +62,7 @@ fn store_config() -> StoreConfig {
 fn workload(seed: u64) -> Vec<Post> {
     // ~35 posts with reply cascades (targets precede replies in id
     // order). Small enough that a full every-op crash sweep stays fast.
-    generate_corpus(&GenConfig {
+    let mut posts = generate_corpus(&GenConfig {
         original_posts: 22,
         users: 10,
         vocab_size: 60,
@@ -66,7 +70,20 @@ fn workload(seed: u64) -> Vec<Post> {
         ..GenConfig::default()
     })
     .posts()
-    .to_vec()
+    .to_vec();
+    // Scatter a third of the posts across far-apart geohash partitions,
+    // so every compaction in the sweep writes several partition files and
+    // carries untouched ones forward — the incremental schedule's partial
+    // rewrites and carried-forward names all become crash points.
+    for (i, post) in posts.iter_mut().enumerate() {
+        let jitter = i as f64 * 7e-3;
+        match i % 3 {
+            1 => post.location = tklus_geo::Point::new_unchecked(-33.85 + jitter, 151.20),
+            2 => post.location = tklus_geo::Point::new_unchecked(35.65 + jitter, 139.70),
+            _ => {}
+        }
+    }
+    posts
 }
 
 fn queries(posts: &[Post]) -> Vec<(TklusQuery, Ranking)> {
